@@ -1,0 +1,203 @@
+"""Ablations on the design choices DESIGN.md calls out.
+
+Not a paper artifact — these quantify the §4.3 mechanisms directly:
+
+* configuration sweep: 16E. / 8E. / 8E.N end-to-end overhead;
+* cache bypass: CAM lookups saved by the instruction privilege register
+  (the dynamic-energy argument);
+* software prefetch: demand-miss stalls removed by ``pfch``.
+"""
+
+import pytest
+
+from repro.analysis import Experiment
+from repro.core import ALL_CONFIGS, CONFIG_8E, PcuConfig
+from repro.kernel import RiscvKernel
+from repro.workloads import GATE_STRESS
+from repro.workloads.generator import riscv_user_program
+
+
+def _run_config(config: PcuConfig):
+    kernel = RiscvKernel("decomposed", config)
+    stats = kernel.run(riscv_user_program(GATE_STRESS), max_steps=8_000_000)
+    assert kernel.fault_count == 0
+    return stats.cycles, kernel.system.pcu.stats
+
+
+def bench_ablation_config_sweep(benchmark, experiment_sink):
+    def run():
+        return {config.name: _run_config(config) for config in ALL_CONFIGS}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    native = RiscvKernel("native").run(
+        riscv_user_program(GATE_STRESS), max_steps=8_000_000
+    ).cycles
+
+    experiment = Experiment(
+        "Ablation A", "PCU configuration sweep (gate-stress workload, RISC-V)"
+    )
+    for name, (cycles, stats) in results.items():
+        experiment.add(
+            "%s normalized time" % name, "≈1.0 (all configs)",
+            round(cycles / native, 4), "normalized",
+            "sgt hit %.1f%%" % (100 * stats.sgt_cache.hit_rate),
+        )
+    experiment.shape_criteria += [
+        "8E.N pays SGT memory reads on every gate yet stays close to 8E.",
+        "16E. is never slower than 8E.",
+    ]
+    experiment_sink(experiment)
+
+    cycles_16 = results["16E."][0]
+    cycles_8 = results["8E."][0]
+    cycles_8n = results["8E.N"][0]
+    assert cycles_16 <= cycles_8 + 1
+    assert cycles_8n > cycles_8  # the SGT cache visibly earns its area
+    # Gate-stress is the SGT cache's worst case: 3 cross-domain calls
+    # per handful of syscalls.  Even then the no-SGT-cache variant stays
+    # within ~15% — and real workloads (Figures 5-7) are far below.
+    assert cycles_8n / native < 1.15
+
+
+def bench_ablation_bypass_energy(benchmark, experiment_sink):
+    def run():
+        with_bypass = _run_config(CONFIG_8E)[1]
+        no_bypass = _run_config(
+            PcuConfig(name="8E.nobypass", bypass_enabled=False)
+        )[1]
+        return with_bypass, no_bypass
+
+    with_bypass, no_bypass = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    saved = 1 - with_bypass.inst_cache.lookups / max(1, no_bypass.inst_cache.lookups)
+    experiment = Experiment(
+        "Ablation B", "Cache bypass: CAM lookups saved (dynamic-energy proxy)"
+    )
+    experiment.add("inst-cache lookups w/ bypass", "-", with_bypass.inst_cache.lookups)
+    experiment.add("inst-cache lookups w/o bypass", "-", no_bypass.inst_cache.lookups)
+    experiment.add("lookups saved", "large", "%.2f%%" % (saved * 100))
+    experiment.add("bypass hit share", "≈100%",
+                   "%.2f%%" % (100 * with_bypass.bypass_hits / max(1, with_bypass.inst_checks)))
+    experiment.shape_criteria += [
+        "bypass removes the vast majority of fully-associative searches",
+    ]
+    experiment_sink(experiment)
+    assert saved > 0.95
+
+
+def bench_ablation_draco(benchmark, experiment_sink):
+    """§8 'Cache Optimization': a Draco-style legal-access cache skips
+    the full check pipeline for previously proven-legal tuples."""
+    import dataclasses
+
+    def run():
+        baseline = _run_config(CONFIG_8E)[1]
+        draco = _run_config(
+            dataclasses.replace(CONFIG_8E, name="8E.+draco", draco_entries=64)
+        )[1]
+        return baseline, draco
+
+    baseline, draco = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    skipped = draco.draco_hits / max(1, draco.inst_checks)
+    experiment = Experiment(
+        "Ablation D", "Draco-style legal-access cache (§8 Cache Optimization)"
+    )
+    experiment.add("checks skipped by legal cache", "large",
+                   "%.2f%%" % (skipped * 100))
+    experiment.add("CSR-check work w/ draco", "-",
+                   draco.csr_read_checks + draco.csr_write_checks)
+    experiment.add("CSR-check work baseline", "-",
+                   baseline.csr_read_checks + baseline.csr_write_checks)
+    experiment.shape_criteria += [
+        "the legal-access cache absorbs the vast majority of checks",
+        "security unchanged: faults are never cached",
+    ]
+    experiment_sink(experiment)
+    assert skipped > 0.90
+    assert (draco.csr_read_checks + draco.csr_write_checks) < (
+        baseline.csr_read_checks + baseline.csr_write_checks
+    )
+
+
+def bench_ablation_flush_on_switch(benchmark, experiment_sink):
+    """§8 security/performance trade-off: flushing the privilege cache
+    on every domain switch defeats PRIME+PROBE at a measurable cost."""
+    import dataclasses
+
+    def run():
+        normal = _run_config(CONFIG_8E)[0]
+        hardened = _run_config(
+            dataclasses.replace(CONFIG_8E, name="8E.+flush", flush_on_switch=True)
+        )[0]
+        return normal, hardened
+
+    normal, hardened = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    experiment = Experiment(
+        "Ablation E", "Flush-before-switch side-channel hardening (§8)"
+    )
+    experiment.add("gate-stress cycles, default", "-", round(normal))
+    experiment.add("gate-stress cycles, flush-on-switch", "-", round(hardened))
+    experiment.add("hardening cost", "a measurable tradeoff",
+                   "%+.2f%%" % ((hardened / normal - 1) * 100))
+    experiment.shape_criteria += [
+        "flushing costs something (every post-switch access misses)",
+        "the cost is bounded — tens of percent on the gate-heavy worst case",
+    ]
+    experiment_sink(experiment)
+    assert hardened > normal
+    assert hardened / normal < 2.0
+
+
+def bench_ablation_prefetch(benchmark, experiment_sink):
+    """pfch pulls a CSR's privilege structures in ahead of the access."""
+    from repro.core import GateKind
+    from repro.riscv import KERNEL_BASE, assemble, build_riscv_system
+
+    def measure(prefetch: bool):
+        system = build_riscv_system(CONFIG_8E)
+        manager = system.manager
+        domain = manager.create_domain("bench")
+        manager.allow_all_instructions(domain.domain_id)
+        manager.grant_register(domain.domain_id, "satp", read=True, write=True)
+        body = "    pfch t2\n" if prefetch else "    nop\n"
+        source = """
+entry:
+    li t0, 0
+g0:
+    hccall t0
+start:
+    li t2, %d
+%s
+    li t3, 600
+warmup:
+    addi t3, t3, -1
+    bnez t3, warmup
+    csrw satp, t4
+    halt
+""" % (system.pcu.isa_map.csr_index("satp"), body)
+        program = assemble(source, base=KERNEL_BASE)
+        system.load(program)
+        manager.register_gate(program.symbol("g0"), program.symbol("start"), domain.domain_id)
+        system.run(program.symbol("entry"), max_steps=10_000)
+        return system.pcu.stats.reg_cache
+
+    def run():
+        return measure(prefetch=True), measure(prefetch=False)
+
+    with_prefetch, without = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    experiment = Experiment(
+        "Ablation C", "Software prefetch (pfch) vs demand miss on first CSR access"
+    )
+    experiment.add("reg-cache demand misses w/ pfch", 0, with_prefetch.misses)
+    experiment.add("reg-cache demand misses w/o pfch", ">= 1", without.misses)
+    experiment.add("prefetch fills", 1, with_prefetch.prefetch_fills)
+    experiment.shape_criteria += [
+        "the prefetched access hits where the demand access misses",
+    ]
+    experiment_sink(experiment)
+    assert with_prefetch.misses == 0
+    assert without.misses >= 1
+    assert with_prefetch.prefetch_fills >= 1

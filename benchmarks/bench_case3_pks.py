@@ -1,0 +1,46 @@
+"""Case 3 (§7.2): PKS + ISA-Grid trampoline estimate.
+
+The paper composes: wrpkru (26 cycles, from Hodor) + MPK trampoline
+(105 cycles) + two measured ``hccall`` switches (70) = 175 cycles, and
+compares against page-table switching (938 / 577) and vmfunc (268).
+A functional demo additionally shows wrpkrs is dead outside the
+trampoline domain.
+"""
+
+import pytest
+
+from repro.analysis import Experiment
+from repro.kernel import estimate_case3, run_pks_demo
+
+
+def bench_case3_pks_estimate(benchmark, experiment_sink):
+    estimate = benchmark.pedantic(estimate_case3, rounds=1, iterations=1)
+
+    experiment = Experiment("Case 3", "PKS + ISA-Grid domain switch (cycles)")
+    experiment.add("two hccall (measured)", 70, round(estimate.two_hccall_cycles, 1), "cycles")
+    experiment.add("MPK trampoline (quoted)", 105, estimate.mpk_trampoline_cycles, "cycles")
+    experiment.add("wrpkru (quoted)", 26, estimate.wrpkru_cycles, "cycles")
+    experiment.add("PKS + ISA-Grid total", 175,
+                   round(estimate.pks_with_isagrid_cycles, 1), "cycles")
+    for label, cost in estimate.alternatives.items():
+        experiment.add(label, cost, "(quoted)", "cycles")
+    experiment.shape_criteria += [
+        "PKS+ISA-Grid beats vmfunc (268) and page-table switches (577/938)",
+    ]
+    experiment_sink(experiment)
+    benchmark.extra_info["total_cycles"] = round(estimate.pks_with_isagrid_cycles, 1)
+
+    assert estimate.pks_with_isagrid_cycles == pytest.approx(175, rel=0.1)
+    assert estimate.faster_than_all_alternatives
+
+
+def bench_case3_pks_guard_demo(benchmark, experiment_sink):
+    demo = benchmark.pedantic(run_pks_demo, rounds=1, iterations=1)
+
+    experiment = Experiment("Case 3 (guard)", "wrpkrs confined to the trampoline domain")
+    experiment.add("wrpkrs inside trampoline", "executes",
+                   "executes" if demo.trampoline_writes_succeeded else "BLOCKED")
+    experiment.add("wrpkrs outside trampoline", "faults",
+                   "faults" if demo.outside_write_blocked else "EXECUTES")
+    experiment_sink(experiment)
+    assert demo.guarded

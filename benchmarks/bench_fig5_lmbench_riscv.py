@@ -1,0 +1,51 @@
+"""Figure 5: LMbench normalized execution time, decomposed RISC-V kernel.
+
+The paper's bars hover between 1.00 and ~1.02 across the LMbench
+operations.  Each bar here is cycles(decomposed) / cycles(native) for an
+identical user instruction stream.
+"""
+
+import pytest
+
+from repro.analysis import Experiment, NormalizedResult, summarize
+from repro.kernel import RiscvKernel
+from repro.workloads import LMBENCH_SUITE, run_riscv
+
+
+def _run_suite():
+    results = []
+    for bench in LMBENCH_SUITE:
+        native = run_riscv(bench, RiscvKernel("native"))
+        decomposed = run_riscv(bench, RiscvKernel("decomposed"))
+        results.append(NormalizedResult(bench.name, native, decomposed))
+    return results
+
+
+def bench_fig5_lmbench_riscv(benchmark, experiment_sink):
+    results = benchmark.pedantic(_run_suite, rounds=1, iterations=1)
+
+    experiment = Experiment(
+        "Figure 5", "LMbench normalized execution time — Linux decomposition, RISC-V"
+    )
+    for result in results:
+        experiment.add(
+            result.label, "~1.00-1.02", round(result.normalized, 4),
+            "normalized", "%.0f cyc/op native" % (result.baseline_cycles),
+        )
+    summary = summarize(results)
+    experiment.add("geomean", "~1.00", round(summary["geomean_normalized"], 4), "normalized")
+    experiment.shape_criteria += [
+        "every operation within a few percent of native",
+        "gated operations (mmap/sig/ctx) show the largest bars",
+        "ungated operations (null/read/stat) are near 1.0",
+    ]
+    experiment_sink(experiment)
+    benchmark.extra_info.update(
+        {r.label: round(r.normalized, 4) for r in results}
+    )
+
+    assert summary["max_overhead"] < 0.10, "no operation may exceed 10%"
+    assert summary["geomean_normalized"] < 1.03
+    by_name = {r.label: r.normalized for r in results}
+    # gated operations carry more overhead than the null call
+    assert by_name["lat_mmap"] >= by_name["lat_null"] - 0.001

@@ -1,0 +1,42 @@
+"""Figure 6: application workloads on the decomposed RISC-V kernel.
+
+SQLite / Mbedtls / gzip / tar, normalized against the native kernel.
+The paper reports less than 1% overhead on real applications.
+"""
+
+import pytest
+
+from repro.analysis import Experiment, NormalizedResult, summarize
+from repro.workloads import APPLICATIONS, normalized_time, run_riscv_app
+
+
+def _run_apps():
+    results = []
+    for profile in APPLICATIONS:
+        native = run_riscv_app(profile, "native")
+        decomposed = run_riscv_app(profile, "decomposed")
+        assert native.valid and decomposed.valid
+        results.append(
+            NormalizedResult(profile.name, native.cycles, decomposed.cycles)
+        )
+    return results
+
+
+def bench_fig6_apps_riscv(benchmark, experiment_sink):
+    results = benchmark.pedantic(_run_apps, rounds=1, iterations=1)
+
+    experiment = Experiment(
+        "Figure 6", "Application normalized execution time — decomposition, RISC-V"
+    )
+    for result in results:
+        experiment.add(result.label, "< 1.01", round(result.normalized, 4), "normalized")
+    summary = summarize(results)
+    experiment.add("geomean", "< 1.01", round(summary["geomean_normalized"], 4), "normalized")
+    experiment.shape_criteria += [
+        "all four applications under 1% overhead",
+        "syscall-light Mbedtls near zero overhead",
+    ]
+    experiment_sink(experiment)
+    benchmark.extra_info.update({r.label: round(r.normalized, 4) for r in results})
+
+    assert summary["max_overhead"] < 0.01, "Figure 6: overhead must stay below 1%"

@@ -1,0 +1,44 @@
+"""Figure 7: application workloads on the decomposed x86 kernel.
+
+Same application set as Figure 6, on the Gem5-like O3 prototype.
+"""
+
+import pytest
+
+from repro.analysis import Experiment, NormalizedResult, summarize
+from repro.workloads import APPLICATIONS, run_x86_app
+from repro.workloads.profiles import scaled
+
+
+def _run_apps():
+    results = []
+    for base_profile in APPLICATIONS:
+        # 3x-length runs so one-time cold PCU misses do not dominate the
+        # way they never would in the paper's minutes-long executions.
+        profile = scaled(base_profile, 3)
+        native = run_x86_app(profile, "native", max_steps=20_000_000)
+        decomposed = run_x86_app(profile, "decomposed", max_steps=20_000_000)
+        assert native.valid and decomposed.valid
+        results.append(
+            NormalizedResult(profile.name, native.cycles, decomposed.cycles)
+        )
+    return results
+
+
+def bench_fig7_apps_x86(benchmark, experiment_sink):
+    results = benchmark.pedantic(_run_apps, rounds=1, iterations=1)
+
+    experiment = Experiment(
+        "Figure 7", "Application normalized execution time — decomposition, x86"
+    )
+    for result in results:
+        experiment.add(result.label, "< 1.01", round(result.normalized, 4), "normalized")
+    summary = summarize(results)
+    experiment.add("geomean", "< 1.01", round(summary["geomean_normalized"], 4), "normalized")
+    experiment.shape_criteria += [
+        "all four applications under 1% overhead on the O3 core",
+    ]
+    experiment_sink(experiment)
+    benchmark.extra_info.update({r.label: round(r.normalized, 4) for r in results})
+
+    assert summary["max_overhead"] < 0.01, "Figure 7: overhead must stay below 1%"

@@ -1,0 +1,54 @@
+"""Figure 8: Nested-Kernel monitor overhead on x86 (use case 2).
+
+Nest.Mon. mediates every page-table change through the monitor domain;
+Nest.Mon.Log additionally keeps a circular log.  Both are normalized
+against the unmodified (native) kernel, paper overhead < 1%.
+"""
+
+import pytest
+
+from repro.analysis import Experiment, NormalizedResult, summarize
+from repro.workloads import APPLICATIONS, run_x86_app
+from repro.workloads.profiles import scaled
+
+
+def _run_variants():
+    rows = []
+    for base_profile in APPLICATIONS:
+        profile = scaled(base_profile, 3)
+        native = run_x86_app(profile, "native", max_steps=20_000_000)
+        monitor = run_x86_app(profile, "decomposed", variant="nested", max_steps=20_000_000)
+        logged = run_x86_app(profile, "decomposed", variant="nested_log", max_steps=20_000_000)
+        assert native.valid and monitor.valid and logged.valid
+        rows.append(
+            (
+                NormalizedResult(profile.name + " (Nest.Mon.)", native.cycles, monitor.cycles),
+                NormalizedResult(profile.name + " (Nest.Mon.Log)", native.cycles, logged.cycles),
+            )
+        )
+    return rows
+
+
+def bench_fig8_nested_kernel(benchmark, experiment_sink):
+    rows = benchmark.pedantic(_run_variants, rounds=1, iterations=1)
+
+    experiment = Experiment(
+        "Figure 8", "Nested-Kernel monitor normalized execution time — x86"
+    )
+    flat = []
+    for monitor, logged in rows:
+        experiment.add(monitor.label, "< 1.01", round(monitor.normalized, 4), "normalized")
+        experiment.add(logged.label, "< 1.01", round(logged.normalized, 4), "normalized")
+        flat += [monitor, logged]
+    summary = summarize(flat)
+    experiment.add("geomean", "< 1.01", round(summary["geomean_normalized"], 4), "normalized")
+    experiment.shape_criteria += [
+        "monitor overhead under 1% for every application",
+        "logging variant costs at least as much as the plain monitor",
+    ]
+    experiment_sink(experiment)
+    benchmark.extra_info.update({r.label: round(r.normalized, 4) for r in flat})
+
+    assert summary["max_overhead"] < 0.01
+    for monitor, logged in rows:
+        assert logged.protected_cycles >= monitor.protected_cycles - 1

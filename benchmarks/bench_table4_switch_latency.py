@@ -1,0 +1,103 @@
+"""Table 4: domain-switching latency.
+
+Regenerates every row: measured gate latencies on both prototypes, the
+per-instruction pipeline costs, the empty system/supervisor calls, and
+the literature comparison rows the paper quotes.
+"""
+
+import pytest
+
+from repro.analysis import Experiment
+from repro.workloads.micro import (
+    LITERATURE_ROWS,
+    instruction_latencies,
+    measure_riscv_gates,
+    measure_riscv_supervisor_call,
+    measure_riscv_syscall,
+    measure_x86_gates,
+)
+
+ITERATIONS = 1500
+
+
+def bench_table4_riscv_gates(benchmark, experiment_sink):
+    result = benchmark.pedantic(
+        lambda: measure_riscv_gates(iterations=ITERATIONS), rounds=1, iterations=1
+    )
+    latencies = instruction_latencies()["riscv"]
+
+    experiment = Experiment("Table 4a", "RISC-V Rocket domain switching (cycles)")
+    experiment.add("hccall (instruction)", 5, latencies["hccall"], "cycles")
+    experiment.add("hccalls (instruction)", 12, latencies["hccalls"], "cycles")
+    experiment.add("hcrets (instruction)", 12, latencies["hcrets"], "cycles")
+    experiment.add("X-domain call, 2x hccall", 13,
+                   round(result["xdomain_two_hccall"], 1), "cycles",
+                   "loop-differenced")
+    experiment.add("X-domain call, hccalls+hcrets", 32,
+                   round(result["hccalls+hcrets"], 1), "cycles",
+                   "loop-differenced")
+    experiment.shape_criteria += [
+        "hccall is a single-digit number of cycles",
+        "extended gates cost ~2x the basic gate",
+    ]
+    experiment_sink(experiment)
+    benchmark.extra_info.update({k: round(v, 2) for k, v in result.items()})
+    assert latencies["hccall"] == 5
+    assert result["hccalls+hcrets"] < 40
+
+
+def bench_table4_x86_gates(benchmark, experiment_sink):
+    result = benchmark.pedantic(
+        lambda: measure_x86_gates(iterations=ITERATIONS), rounds=1, iterations=1
+    )
+    latencies = instruction_latencies()["x86"]
+
+    experiment = Experiment("Table 4b", "x86 Gem5 domain switching (cycles)")
+    experiment.add("hccall (instruction)", 34, round(latencies["hccall"], 1), "cycles")
+    experiment.add("hccalls (instruction)", 52, round(latencies["hccalls"], 1), "cycles")
+    experiment.add("hcrets (instruction)", 44, round(latencies["hcrets"], 1), "cycles")
+    experiment.add("hccall (measured loop)", 34, round(result["hccall"], 1), "cycles")
+    experiment.add("X-domain call (hccalls+hcrets)", 74,
+                   round(result["xdomain_hccalls_hcrets"], 1), "cycles",
+                   "store-to-load forwarding")
+    experiment.shape_criteria += [
+        "X-domain call < hccalls + hcrets (forwarding saves cycles)",
+    ]
+    experiment_sink(experiment)
+    benchmark.extra_info.update({k: round(v, 2) for k, v in result.items()})
+    assert result["xdomain_hccalls_hcrets"] < latencies["hccalls"] + latencies["hcrets"]
+    assert abs(result["hccall"] - 34) < 2
+
+
+def bench_table4_calls_and_baselines(benchmark, experiment_sink):
+    def run():
+        return {
+            "syscall": measure_riscv_syscall(iterations=400),
+            "syscall_pti": measure_riscv_syscall(pti=True, iterations=400),
+            "supervisor": measure_riscv_supervisor_call(iterations=400),
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    gates = measure_riscv_gates(iterations=500)
+
+    experiment = Experiment(
+        "Table 4c", "Scheme comparison on RISC-V (cycles; MiniKernel paths "
+        "are leaner than Linux, so absolute syscall numbers sit lower — "
+        "orderings are the reproduced shape)"
+    )
+    experiment.add("Empty system call w/ PTI", 532, round(result["syscall_pti"], 1), "cycles")
+    experiment.add("Empty system call (no PTI)", "-", round(result["syscall"], 1), "cycles")
+    experiment.add("Empty supervisor call", 434, round(result["supervisor"], 1), "cycles")
+    experiment.add("X-domain call (2x hccall)", 13,
+                   round(gates["xdomain_two_hccall"], 1), "cycles")
+    for label, cycles in LITERATURE_ROWS.items():
+        experiment.add(label, cycles, "(quoted)", "cycles")
+    experiment.shape_criteria += [
+        "gate switch << supervisor call << syscall w/ PTI << VM trap",
+        "PTI adds measurable cost to the syscall path",
+    ]
+    experiment_sink(experiment)
+    benchmark.extra_info.update({k: round(v, 1) for k, v in result.items()})
+    assert gates["xdomain_two_hccall"] < result["supervisor"] < result["syscall_pti"]
+    assert result["syscall_pti"] > result["syscall"]
+    assert result["syscall_pti"] < LITERATURE_ROWS["Empty VM call (virtualization trap)"]

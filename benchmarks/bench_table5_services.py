@@ -1,0 +1,106 @@
+"""Table 5: multi-service protection latency (use case 4).
+
+Four kernel services (CPUID info, MTRR memory type, PMC interrupt
+count, PMC iTLB/I-cache misses), each in its own ISA domain, invoked
+through an ioctl-style syscall.  The paper measures 1700-2100 cycles
+per call with < 5% ISA-Grid overhead.
+"""
+
+import pytest
+
+from repro.analysis import Experiment
+from repro.kernel import (
+    SERVICE_CPUID,
+    SERVICE_MTRR,
+    SERVICE_PMC_IRQ,
+    SERVICE_PMC_MISS,
+    X86Kernel,
+)
+from repro.x86 import USER_BASE, assemble
+
+ITERATIONS = 300
+
+_PAPER_ROWS = {
+    "Service-1 (CPUID)": (2081, 1997, 4.21),
+    "Service-2 (MTRR)": (2038, 1970, 3.45),
+    "Service-3 (PMC interrupts)": (1803, 1721, 4.76),
+    "Service-4 (PMC iTLB miss)": (1776, 1698, 4.60),
+}
+
+_SERVICES = [
+    ("Service-1 (CPUID)", SERVICE_CPUID),
+    ("Service-2 (MTRR)", SERVICE_MTRR),
+    ("Service-3 (PMC interrupts)", SERVICE_PMC_IRQ),
+    ("Service-4 (PMC iTLB miss)", SERVICE_PMC_MISS),
+]
+
+
+def _service_loop(service: int) -> str:
+    return """
+user_entry:
+    mov rsp, 0x6f0000
+    mov r12, %d
+loop:
+    mov rax, 12
+    mov rdi, %d
+    syscall
+    sub r12, 1
+    jne loop
+    mov rax, 0
+    mov rdi, 0
+    syscall
+""" % (ITERATIONS, service)
+
+
+def _measure(kernel_mode: str, service: int) -> float:
+    kernel = X86Kernel(kernel_mode)
+    program = assemble(_service_loop(service), base=USER_BASE)
+    stats = kernel.run(program, max_steps=600 * ITERATIONS + 2000)
+    assert kernel.fault_count == 0
+    return stats.cycles / ITERATIONS
+
+
+def bench_table5_services(benchmark, experiment_sink):
+    def run():
+        rows = []
+        for label, service in _SERVICES:
+            native = _measure("native", service)
+            protected = _measure("decomposed", service)
+            rows.append((label, native, protected))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    experiment = Experiment(
+        "Table 5",
+        "Latency for ioctl services in separate ISA domains (cycles). "
+        "MiniKernel's ioctl path (~350-450 cycles) is far leaner than "
+        "Linux's (~1700-2000), so the same absolute gate cost is a "
+        "larger fraction here; the 'projected' column scales the "
+        "measured protection delta onto the paper's native latency.",
+    )
+    for label, native, protected in rows:
+        paper_isagrid, paper_native, paper_overhead = _PAPER_ROWS[label]
+        delta = protected - native
+        overhead = delta / native * 100
+        projected = delta / paper_native * 100
+        experiment.add(
+            label,
+            "%d vs %d (+%.2f%%)" % (paper_isagrid, paper_native, paper_overhead),
+            "%.0f vs %.0f (+%.2f%%; projected +%.2f%%)"
+            % (protected, native, overhead, projected),
+            "cycles",
+        )
+        assert protected > native, "protection must cost something"
+        # The absolute protection cost is two gates plus residual cache
+        # effects — the quantity that transfers across kernels.
+        assert 50 < delta < 150, "%s delta %.0f out of range" % (label, delta)
+        assert projected < 8.0, "%s projected overhead too high" % label
+    experiment.shape_criteria += [
+        "absolute protection cost ≈ one hccalls+hcrets pair (~74 cycles)",
+        "projected onto the paper's native latency: ~4-5%, matching Table 5",
+    ]
+    experiment_sink(experiment)
+    benchmark.extra_info.update(
+        {label: round((p - n) / n * 100, 2) for label, n, p in rows}
+    )

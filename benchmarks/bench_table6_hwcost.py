@@ -1,0 +1,39 @@
+"""Table 6: FPGA hardware cost of the three PCU configurations."""
+
+import pytest
+
+from repro.analysis import Experiment
+from repro.hwcost import table6_rows
+
+
+def bench_table6_hwcost(benchmark, experiment_sink):
+    rows = benchmark.pedantic(table6_rows, rounds=1, iterations=1)
+
+    paper = {
+        "Rocket Core": (51137, 37576, 0.0, 0.0),
+        "16E.": (53421, 40280, 4.47, 7.20),
+        "8E.": (52685, 39208, 3.03, 4.34),
+        "8E.N": (52267, 38683, 2.21, 2.95),
+    }
+
+    experiment = Experiment("Table 6", "FPGA resource utilization (Vivado model)")
+    for row in rows:
+        expected = paper[row["name"]]
+        experiment.add(
+            "%s LUT / FF" % row["name"],
+            "%d / %d (%.2f%% / %.2f%%)" % expected,
+            "%d / %d (%.2f%% / %.2f%%)" % (
+                row["lut_logic"], row["flip_flops"], row["lut_pct"], row["ff_pct"],
+            ),
+        )
+        assert row["lut_logic"] == pytest.approx(expected[0], abs=5)
+        assert row["flip_flops"] == pytest.approx(expected[1], abs=5)
+        assert row["ramb36"] == 10 and row["ramb18"] == 10 and row["dsp48e1"] == 15
+    experiment.shape_criteria += [
+        "cost monotone in cache entries (16E. > 8E. > 8E.N)",
+        "RAM blocks and DSPs unchanged across all configurations",
+    ]
+    experiment_sink(experiment)
+    benchmark.extra_info.update(
+        {row["name"]: row["lut_logic"] for row in rows}
+    )

@@ -1,0 +1,36 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every ``bench_*`` file regenerates one paper table or figure.  The
+simulated-cycle results (the quantities the paper reports) are printed
+as an :class:`~repro.analysis.report.Experiment` and attached to the
+pytest-benchmark record via ``extra_info``; the wall-clock numbers
+pytest-benchmark itself measures are simulation speed, not the paper's
+metric.
+
+Reports are also written to ``benchmarks/results/`` so they survive
+output capture.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def experiment_sink():
+    """Write an experiment report to the results directory and stdout."""
+
+    def sink(experiment):
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        name = experiment.artifact.lower().replace(" ", "_")
+        path = os.path.join(RESULTS_DIR, "%s.txt" % name)
+        text = experiment.render()
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print()
+        print(text)
+        return path
+
+    return sink

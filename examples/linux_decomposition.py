@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Use case 1: kernel decomposition on both prototypes (§6.1, Figures 5-7).
+
+Boots the MiniKernel in native and decomposed modes on RISC-V and x86,
+runs the SQLite-profile workload on each, and reports:
+
+* the domain inventory with per-domain privileges,
+* normalized execution time (the paper's < 1% overhead claim),
+* the attack-surface reduction vs privilege levels alone.
+
+Usage::
+
+    python examples/linux_decomposition.py
+"""
+
+from repro.analysis import format_normalized, render_table
+from repro.baselines import compare_exposure
+from repro.kernel import RiscvKernel, X86Kernel
+from repro.workloads import SQLITE, normalized_time, run_riscv_app, run_x86_app
+
+
+def main() -> None:
+    print("Booting kernels and running the SQLite-profile workload...\n")
+
+    riscv_native = run_riscv_app(SQLITE, "native")
+    riscv_decomposed = run_riscv_app(SQLITE, "decomposed")
+    x86_native = run_x86_app(SQLITE, "native")
+    x86_decomposed = run_x86_app(SQLITE, "decomposed")
+
+    print(render_table(
+        ("arch", "native cycles", "decomposed cycles", "normalized"),
+        [
+            ("riscv", round(riscv_native.cycles), round(riscv_decomposed.cycles),
+             format_normalized(normalized_time(riscv_decomposed, riscv_native))),
+            ("x86", round(x86_native.cycles), round(x86_decomposed.cycles),
+             format_normalized(normalized_time(x86_decomposed, x86_native))),
+        ],
+    ))
+
+    kernel = X86Kernel("decomposed")
+    print("\nx86 domain inventory (least privilege in action):")
+    for line in kernel.system.manager.describe():
+        print("   ", line)
+
+    comparison = compare_exposure(kernel.system.manager)
+    print("\nattack-surface comparison (privileged resources reachable by one")
+    print("compromised component):")
+    print("    privilege levels alone : %d resources (everything)"
+          % comparison.baseline_exposure)
+    print("    worst ISA-Grid domain  : %d resources"
+          % comparison.worst_domain_exposure)
+    print("    reduction              : %.0fx" % comparison.reduction_factor)
+    for name, exposure in sorted(comparison.domain_exposure.items()):
+        print("        %-10s %d" % (name, exposure))
+
+
+if __name__ == "__main__":
+    main()

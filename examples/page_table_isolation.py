@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Breaking (and keeping) page-table isolation — §2.2 made concrete.
+
+"The memory mapping is controlled by the page table base address
+register (e.g., CR3 in x86 and SATP in RISC-V). Once such a register is
+abused, attackers can construct malicious mappings and break the page
+table isolation."
+
+With the Sv39 MMU turned on, this demo runs that exact attack:
+
+* the legitimate address space maps VA 0x4000_0000 to a *public* frame;
+  a secret lives in a physical frame that no mapping exposes;
+* the attacker (running hijacked kernel-domain code) has pre-built a
+  malicious page table whose 0x4000_0000 points at the secret frame,
+  and tries ``csrw satp`` + ``sfence.vma`` to install it;
+* **without ISA-Grid** the install succeeds and the secret is read out
+  through the attacker's mapping;
+* **with ISA-Grid** the kernel domain holds no SATP write privilege:
+  the write faults, translation never changes, and the same load still
+  returns the public value.
+
+Usage::
+
+    python examples/page_table_isolation.py
+"""
+
+from repro.riscv import CSR_ADDRESS, KERNEL_BASE, assemble, build_riscv_system
+from repro.riscv.mmu import PTE_R, PTE_W, PTE_X, PageTableBuilder
+
+SECRET_FRAME = 0x0065_0000
+PUBLIC_FRAME = 0x0062_0000
+WINDOW_VA = 0x4000_0000
+SECRET_VALUE = 0x5EC12E7
+PUBLIC_VALUE = 0x7AB11C
+
+PROGRAM_TEMPLATE = """
+entry:                        # domain-0: install paging + trap handler
+    la t0, handler
+    csrw stvec, t0
+    li t0, %(good_satp)d
+    csrw satp, t0
+    sfence.vma
+    li t0, 0
+g_enter:
+    hccall t0                 # -> hijacked code in the kernel domain
+attacker:
+    li t3, %(window)d
+    ld s0, 0(t3)              # legitimate read: the public value
+    li t0, %(evil_satp)d
+    csrw satp, t0             # THE ABUSE: install the malicious table
+    sfence.vma
+    ld s1, 0(t3)              # same VA again — secret or still public?
+    halt
+handler:                      # ISA-Grid faults: count, skip, continue
+    la t1, %(fault_cell)d
+    ld t2, 0(t1)
+    addi t2, t2, 1
+    sd t2, 0(t1)
+    csrr t2, sepc
+    addi t2, t2, 4
+    csrw sepc, t2
+    sret
+"""
+
+FAULT_CELL = 0x0063_0000
+
+
+def run(protected: bool):
+    system = build_riscv_system(with_isagrid=True)
+    memory = system.machine.memory
+    memory.store(SECRET_FRAME, SECRET_VALUE, 8)
+    memory.store(PUBLIC_FRAME, PUBLIC_VALUE, 8)
+
+    # Legitimate address space: text, data, and the public window.
+    good = PageTableBuilder(memory, 0x0200_0000)
+    good.identity_map(KERNEL_BASE, 0x10000, PTE_R | PTE_X)
+    good.identity_map(0x0060_0000, 0x40000, PTE_R | PTE_W)   # excludes secret
+    good.map_page(WINDOW_VA, PUBLIC_FRAME, PTE_R)
+
+    # The attacker's pre-built malicious table: window -> secret frame.
+    evil = PageTableBuilder(memory, 0x0210_0000)
+    evil.identity_map(KERNEL_BASE, 0x10000, PTE_R | PTE_X)
+    evil.identity_map(0x0060_0000, 0x40000, PTE_R | PTE_W)
+    evil.map_page(WINDOW_VA, SECRET_FRAME, PTE_R)
+
+    source = PROGRAM_TEMPLATE % {
+        "good_satp": good.satp(asid=1),
+        "evil_satp": evil.satp(asid=2),
+        "window": WINDOW_VA,
+        "fault_cell": FAULT_CELL,
+    }
+    program = assemble(source, base=KERNEL_BASE)
+    system.load(program)
+
+    manager = system.manager
+    kernel = manager.create_domain("kernel")
+    manager.allow_instructions(
+        kernel.domain_id,
+        ["alu", "load", "store", "branch", "jump", "csr", "sret", "halt"],
+    )
+    for name in ("scause", "sepc", "stval"):
+        manager.grant_register(kernel.domain_id, name, read=True)
+    manager.grant_register(kernel.domain_id, "sepc", write=True)
+    manager.grant_register(kernel.domain_id, "stvec", read=True)
+    manager.grant_register(kernel.domain_id, "satp", read=True)
+    if not protected:
+        # Baseline: the kernel domain may install page tables — the
+        # privilege-level status quo, where any kernel code can.
+        manager.grant_register(kernel.domain_id, "satp", write=True)
+        manager.allow_instructions(kernel.domain_id, ["sfence_vma"])
+    manager.register_gate(
+        program.symbol("g_enter"), program.symbol("attacker"), kernel.domain_id
+    )
+
+    system.run(program.symbol("entry"), max_steps=10_000)
+    return {
+        "legit_read": system.cpu.regs[8],
+        "attack_read": system.cpu.regs[9],
+        "faults": memory.load(FAULT_CELL, 8),
+    }
+
+
+def main() -> None:
+    print("secret frame holds 0x%X; public frame holds 0x%X\n"
+          % (SECRET_VALUE, PUBLIC_VALUE))
+    for protected in (False, True):
+        result = run(protected)
+        label = "ISA-Grid (SATP confined)" if protected else "privilege levels only"
+        leaked = result["attack_read"] == SECRET_VALUE
+        print("%s:" % label)
+        print("    legitimate read  : 0x%X" % result["legit_read"])
+        print("    post-abuse read  : 0x%X  -> %s"
+              % (result["attack_read"],
+                 "SECRET LEAKED" if leaked else "still the public value"))
+        print("    blocked attempts : %d\n" % result["faults"])
+    print("Same attacker code, same hardware — only the SATP write "
+          "privilege differs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Use case §6.4: an in-kernel sandbox guarded by ISA-Grid.
+
+PrivBox/Dune-style hosting: application code runs *in supervisor mode*
+(kernel-speed, no syscall boundary) inside a compute-only ISA domain —
+every privileged instruction is dead there, enforced by the PCU rather
+than by error-prone binary scanning.
+
+Usage::
+
+    python examples/sandbox.py
+"""
+
+from repro.kernel import run_sandbox
+
+
+def main() -> None:
+    print("well-behaved guest (computes 6 * 7 at kernel speed):")
+    result = run_sandbox("""
+        li a0, 6
+        li a1, 7
+        mul a0, a0, a1
+        halt
+    """)
+    print("    exit code           : %d" % result.exit_code)
+    print("    privileged attempts : %d" % result.blocked_attempts)
+    print("    instructions/cycles : %d / %.0f" % (result.instructions, result.cycles))
+
+    print("\nhostile guest (tries to take over the address space and")
+    print("trap vector, then forge a gate):")
+    result = run_sandbox("""
+        li t5, 0xdead
+        csrw satp, t5
+        csrw stvec, t5
+        li t5, 0
+        hccall t5
+        li a0, 0
+        halt
+    """)
+    print("    blocked attempts    : %d (satp, stvec, forged gate)"
+          % result.blocked_attempts)
+    print("    guest still exited  : code %d — host unharmed" % result.exit_code)
+    assert result.blocked_attempts == 3
+
+    print("\nselective exposure (Dune-style read-only introspection):")
+    result = run_sandbox("csrr a0, satp\n    halt\n",
+                         extra_readable_csrs=("satp",))
+    print("    satp readable by grant, write still dead: clean=%s" % result.clean)
+
+
+if __name__ == "__main__":
+    main()

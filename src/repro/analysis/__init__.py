@@ -1,0 +1,40 @@
+"""Result formatting, auditing, and experiment reports."""
+
+from .audit import (
+    AuditReport,
+    CRITICAL,
+    Finding,
+    INFO,
+    WARNING,
+    audit,
+)
+
+from .normalize import (
+    NormalizedResult,
+    averaged,
+    geometric_mean,
+    mean,
+    summarize,
+)
+from .report import Experiment, ExperimentRow, print_experiment
+from .tables import format_normalized, format_percent, render_table
+
+__all__ = [
+    "AuditReport",
+    "CRITICAL",
+    "Experiment",
+    "Finding",
+    "INFO",
+    "WARNING",
+    "audit",
+    "ExperimentRow",
+    "NormalizedResult",
+    "averaged",
+    "format_normalized",
+    "format_percent",
+    "geometric_mean",
+    "mean",
+    "print_experiment",
+    "render_table",
+    "summarize",
+]

@@ -1,0 +1,194 @@
+"""Static audit of a domain configuration.
+
+The paper leaves privilege *policy* to domain-0 software (§5.2, §8):
+nothing in the hardware stops an operator from granting two domains the
+same critical register, leaving a domain over-privileged, or forgetting
+to register a gate destination.  This auditor inspects a
+:class:`~repro.core.domain.DomainManager` and reports the hazards a
+deployment review would look for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+from repro.core.domain import DomainManager
+from repro.core.pcu import DOMAIN_0
+
+#: Severity levels for findings.
+INFO = "info"
+WARNING = "warning"
+CRITICAL = "critical"
+
+#: Instruction classes any component may reasonably hold.
+BENIGN_CLASSES = frozenset(
+    {
+        "alu", "mul", "mov", "load", "store", "stack", "branch", "jump",
+        "call", "nop", "fence", "string", "ecall", "ebreak", "int",
+        "halt", "hlt",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One audit finding."""
+
+    severity: str
+    code: str
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return "[%s] %s %s: %s" % (self.severity, self.code, self.subject, self.detail)
+
+
+@dataclass
+class AuditReport:
+    """All findings for one configuration."""
+
+    findings: List[Finding] = field(default_factory=list)
+
+    def add(self, severity: str, code: str, subject: str, detail: str) -> None:
+        self.findings.append(Finding(severity, code, subject, detail))
+
+    def by_severity(self, severity: str) -> List[Finding]:
+        return [f for f in self.findings if f.severity == severity]
+
+    @property
+    def critical(self) -> List[Finding]:
+        return self.by_severity(CRITICAL)
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return self.by_severity(WARNING)
+
+    @property
+    def clean(self) -> bool:
+        return not self.critical
+
+    def render(self) -> str:
+        if not self.findings:
+            return "audit: no findings"
+        return "\n".join(str(f) for f in self.findings)
+
+
+def audit(manager: DomainManager) -> AuditReport:
+    """Audit every domain and gate registered with ``manager``."""
+    report = AuditReport()
+    _audit_write_overlaps(manager, report)
+    _audit_overbroad_domains(manager, report)
+    _audit_idle_domains(manager, report)
+    _audit_gates(manager, report)
+    _audit_full_masks(manager, report)
+    return report
+
+
+def _audit_write_overlaps(manager: DomainManager, report: AuditReport) -> None:
+    """Two domains writing the same CSR defeats least privilege.
+
+    Bit-aware: for bitwise-controlled CSRs, writers whose grant masks
+    are pairwise disjoint partition the register cleanly (e.g. one
+    domain holding CR0.TS/NE and another CR0.WP) and only rate an INFO.
+    """
+    writers: Dict[str, List] = {}
+    for domain_id, descriptor in manager.domains.items():
+        if domain_id == DOMAIN_0:
+            continue
+        for csr in descriptor.writable_csrs:
+            full = (1 << 64) - 1
+            mask = descriptor.bit_grants.get(csr, full)
+            writers.setdefault(csr, []).append((descriptor.name, mask))
+    for csr, entries in sorted(writers.items()):
+        if len(entries) <= 1:
+            continue
+        names = sorted(name for name, _ in entries)
+        union = 0
+        disjoint = True
+        for _, mask in entries:
+            if union & mask:
+                disjoint = False
+                break
+            union |= mask
+        index = manager.isa_map.csr_index(csr)
+        bitwise = manager.isa_map.mask_slot(index) is not None
+        if bitwise and disjoint:
+            report.add(
+                INFO, "I-BITPARTITION", csr,
+                "bit-partitioned between %s (disjoint masks)" % ", ".join(names),
+            )
+        else:
+            report.add(
+                WARNING, "W-OVERLAP", csr,
+                "written by multiple domains: %s" % ", ".join(names),
+            )
+
+
+def _audit_overbroad_domains(manager: DomainManager, report: AuditReport) -> None:
+    """A domain holding every instruction class is domain-0 in disguise."""
+    n_classes = manager.isa_map.n_inst_classes
+    for domain_id, descriptor in manager.domains.items():
+        if domain_id == DOMAIN_0:
+            continue
+        if len(descriptor.instructions) == n_classes:
+            report.add(
+                CRITICAL, "C-ALLCLASSES", descriptor.name,
+                "holds every instruction class — effectively unrestricted",
+            )
+        privileged = set(descriptor.instructions) - BENIGN_CLASSES
+        if len(privileged) > 8:
+            report.add(
+                WARNING, "W-BROAD", descriptor.name,
+                "holds %d privileged instruction classes: %s"
+                % (len(privileged), ", ".join(sorted(privileged))),
+            )
+
+
+def _audit_idle_domains(manager: DomainManager, report: AuditReport) -> None:
+    """A domain no gate can reach is dead configuration."""
+    reachable: Set[int] = {DOMAIN_0}
+    for entry in manager.gates.values():
+        reachable.add(entry.destination_domain)
+    for domain_id, descriptor in manager.domains.items():
+        if domain_id not in reachable:
+            report.add(
+                INFO, "I-UNREACHABLE", descriptor.name,
+                "no registered gate targets this domain",
+            )
+
+
+def _audit_gates(manager: DomainManager, report: AuditReport) -> None:
+    """Gate hygiene: duplicate call sites, gates into domain-0."""
+    sites: Dict[int, List[int]] = {}
+    for gate_id, entry in manager.gates.items():
+        sites.setdefault(entry.gate_address, []).append(gate_id)
+        if entry.destination_domain == DOMAIN_0:
+            report.add(
+                WARNING, "W-D0GATE", "gate %d" % gate_id,
+                "targets domain-0 at 0x%x — its destination code is "
+                "fully privileged; keep it minimal" % entry.destination_address,
+            )
+    for address, gate_ids in sorted(sites.items()):
+        if len(gate_ids) > 1:
+            report.add(
+                CRITICAL, "C-DUPSITE", "0x%x" % address,
+                "gates %s share one call site; only the id register "
+                "distinguishes them" % gate_ids,
+            )
+
+
+def _audit_full_masks(manager: DomainManager, report: AuditReport) -> None:
+    """A bitwise CSR granted with an all-ones mask wastes the mechanism."""
+    for domain_id, descriptor in manager.domains.items():
+        if domain_id == DOMAIN_0:
+            continue
+        for csr, mask in sorted(descriptor.bit_grants.items()):
+            index = manager.isa_map.csr_index(csr)
+            width = manager.isa_map.csr_descriptor(index).width
+            if mask == (1 << width) - 1:
+                report.add(
+                    INFO, "I-FULLMASK", "%s/%s" % (descriptor.name, csr),
+                    "bitwise CSR granted with an all-ones mask; consider "
+                    "a bit-level grant",
+                )

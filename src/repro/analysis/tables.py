@@ -1,0 +1,41 @@
+"""Fixed-width text tables for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        return "%.2f" % value
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a padded, pipe-separated text table."""
+    string_rows: List[List[str]] = [[_stringify(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * w for w in widths)
+    out = [line(list(headers)), separator]
+    out += [line(row) for row in string_rows]
+    return "\n".join(out)
+
+
+def format_percent(fraction: float, *, signed: bool = True) -> str:
+    """0.0123 -> '+1.23%'."""
+    pct = fraction * 100
+    if signed:
+        return "%+.2f%%" % pct
+    return "%.2f%%" % pct
+
+
+def format_normalized(ratio: float) -> str:
+    """1.0123 -> '1.012 (+1.23%)'."""
+    return "%.4f (%s)" % (ratio, format_percent(ratio - 1.0))

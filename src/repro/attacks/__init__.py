@@ -1,0 +1,69 @@
+"""ISA-abuse-based attacks (Table 1) and gate-forgery attacks."""
+
+from .base import (
+    MARKER_ADDRESS,
+    MARKER_VALUE,
+    AttackOutcome,
+    AttackSpec,
+    evaluate_attack,
+    marker_written,
+    run_attack,
+)
+from .gate_forgery import (
+    GATE_ATTACKS,
+    HIDDEN_WRMSR_X86,
+    INJECTED_GATE_RISCV,
+    INJECTED_GATE_X86,
+    MISALIGNED_GATE_X86,
+)
+from .riscv_attacks import (
+    POSITIVE_CONTROLS,
+    RISCV_ATTACKS,
+    SATP_HIJACK,
+    SCOUNTEREN_CONTROL,
+    SIE_ABUSE,
+    SSTATUS_SUM_FLIP,
+    STVEC_HIJACK,
+)
+from .table1 import (
+    CONTROLLED_CHANNEL,
+    FORESHADOW,
+    NAILGUN,
+    SGXPECTRE,
+    STEALTHY_PAGE_TABLE,
+    SUPER_ROOT,
+    TABLE1_ATTACKS,
+    TRESOR_HUNT,
+    VOLTAGE,
+)
+
+__all__ = [
+    "AttackOutcome",
+    "AttackSpec",
+    "CONTROLLED_CHANNEL",
+    "FORESHADOW",
+    "GATE_ATTACKS",
+    "HIDDEN_WRMSR_X86",
+    "INJECTED_GATE_RISCV",
+    "INJECTED_GATE_X86",
+    "MARKER_ADDRESS",
+    "MARKER_VALUE",
+    "MISALIGNED_GATE_X86",
+    "NAILGUN",
+    "POSITIVE_CONTROLS",
+    "RISCV_ATTACKS",
+    "SATP_HIJACK",
+    "SCOUNTEREN_CONTROL",
+    "SGXPECTRE",
+    "SIE_ABUSE",
+    "SSTATUS_SUM_FLIP",
+    "STEALTHY_PAGE_TABLE",
+    "STVEC_HIJACK",
+    "SUPER_ROOT",
+    "TABLE1_ATTACKS",
+    "TRESOR_HUNT",
+    "VOLTAGE",
+    "evaluate_attack",
+    "marker_written",
+    "run_attack",
+]

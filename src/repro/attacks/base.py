@@ -1,0 +1,126 @@
+"""Attack harness: run ISA-abuse payloads against the MiniKernels.
+
+The attacker model is the paper's (Section 6.1): a user exploits a
+control-flow-hijack vulnerability in some kernel module and executes a
+chosen payload *inside that module's ISA domain* (ring 0 / S mode).
+Each :class:`AttackSpec` names the compromised module — always one that
+does **not** hold the attack's prerequisite privilege — the payload, and
+an effect predicate evaluated against machine state after the run.
+
+An attack *succeeds* when its effect is observed; ISA-Grid *mitigates*
+it when, on the decomposed kernel, the payload faults and the effect is
+absent while the system keeps running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.kernel.riscv_kernel import RiscvKernel
+from repro.kernel.riscv_kernel import VULN_MODULES as RISCV_VULN_MODULES
+from repro.kernel.x86_kernel import VULN_MODULES as X86_VULN_MODULES
+from repro.kernel.x86_kernel import X86Kernel
+from repro.riscv import USER_BASE as RISCV_USER_BASE
+from repro.riscv import assemble as riscv_assemble
+from repro.x86 import USER_BASE as X86_USER_BASE
+from repro.x86 import assemble as x86_assemble
+
+#: User-memory word the payloads use to prove they ran to completion.
+MARKER_ADDRESS = 0x0063_0000
+MARKER_VALUE = 0x600DC0DE
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """One ISA-abuse-based attack (a Table 1 row or a gate attack)."""
+
+    name: str
+    arch: str                     # "x86" or "riscv"
+    prerequisite: str             # the ISA resource the attack abuses
+    consequence: str              # what the paper says the attack achieves
+    compromised_module: str       # module the attacker hijacks
+    payload: str                  # assembly starting at `attack_code`, ending in ret
+    effect: Callable[[object], bool]  # did the abuse take effect?
+    table1_row: str = ""          # citation key in Table 1
+
+
+@dataclass
+class AttackOutcome:
+    """Result of running one attack against one kernel mode."""
+
+    spec: AttackSpec
+    mode: str
+    succeeded: bool
+    faults: int
+    completed: bool               # the machine ran to an orderly exit
+
+    @property
+    def mitigated(self) -> bool:
+        """Blocked: the effect is absent and the abuse faulted."""
+        return not self.succeeded and self.faults > 0
+
+
+def _x86_program(spec: AttackSpec):
+    source = (
+        "user_entry:\n"
+        "    mov rsp, 0x6f0000\n"
+        "    mov rax, 16\n"
+        "    mov rdi, attack_code\n"
+        "    mov rsi, %d\n"
+        "    syscall\n"
+        "aborted:\n"
+        "    mov rax, 0\n"
+        "    mov rdi, 0\n"
+        "    syscall\n"
+        "attack_code:\n"
+        "%s\n" % (X86_VULN_MODULES[spec.compromised_module], spec.payload)
+    )
+    return x86_assemble(source, base=X86_USER_BASE)
+
+
+def _riscv_program(spec: AttackSpec):
+    source = (
+        "user_entry:\n"
+        "    li a7, 16\n"
+        "    la a0, attack_code\n"
+        "    li a1, %d\n"
+        "    ecall\n"
+        "    li a7, 0\n"
+        "    li a0, 0\n"
+        "    ecall\n"
+        "attack_code:\n"
+        "%s\n" % (RISCV_VULN_MODULES[spec.compromised_module], spec.payload)
+    )
+    return riscv_assemble(source, base=RISCV_USER_BASE)
+
+
+def run_attack(spec: AttackSpec, mode: str, max_steps: int = 400_000) -> AttackOutcome:
+    """Run one attack against a freshly booted kernel in ``mode``."""
+    if spec.arch == "x86":
+        kernel = X86Kernel(mode)
+        program = _x86_program(spec)
+        kernel.load_user(program)
+        kernel.set_abort_continuation(program.symbol("aborted"))
+        stats = kernel.run(max_steps=max_steps)
+    else:
+        kernel = RiscvKernel(mode)
+        program = _riscv_program(spec)
+        stats = kernel.run(program, max_steps=max_steps)
+    return AttackOutcome(
+        spec=spec,
+        mode=mode,
+        succeeded=bool(spec.effect(kernel)),
+        faults=kernel.fault_count,
+        completed=stats.halted,
+    )
+
+
+def evaluate_attack(spec: AttackSpec) -> "tuple[AttackOutcome, AttackOutcome]":
+    """(native outcome, decomposed outcome) for one attack."""
+    return run_attack(spec, "native"), run_attack(spec, "decomposed")
+
+
+def marker_written(kernel) -> bool:
+    """Shared effect helper: did the payload write its proof marker?"""
+    return kernel.memory.load(MARKER_ADDRESS, 8) == MARKER_VALUE

@@ -1,0 +1,116 @@
+"""Gate-forgery and unintended-instruction attacks (Sections 4.2, 8).
+
+These exercise the unforgeable-gate properties and the dynamic threat
+that defeats static binary scanning:
+
+* **Injected gate** — a genuine ``hccall`` instruction placed at an
+  unregistered address.  Property (i)/(iv): the PCU compares the
+  runtime address against the SGT entry and faults.
+* **Misaligned gate** — the ``hccall`` byte sequence hiding inside the
+  immediate of a legitimate ``mov``; jumping into the middle of the
+  instruction (a ROP-style gadget) decodes it for real.  Same address
+  check stops it.
+* **Hidden wrmsr** — the classic unintended instruction: ``0F 30``
+  buried in an immediate.  Static scanners that walk aligned
+  instructions never see it; Nested Kernel's manual gadget elimination
+  must find it by hand.  ISA-Grid blocks it at execution time because
+  the *decoded* instruction still passes through the PCU.
+
+The x86 payloads use raw ``.byte`` emission to construct the overlapped
+encodings exactly as an attacker would.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.riscv import encode as riscv_encode
+
+from .base import AttackSpec
+
+# hccall r10 encodes as 49 0F 0A C2 (REX.B, 0F 0A, ModRM mode-3 rm=r10).
+_HCCALL_R10 = (0x49, 0x0F, 0x0A, 0xC2)
+
+INJECTED_GATE_X86 = AttackSpec(
+    name="injected-gate",
+    arch="x86",
+    prerequisite="a gate instruction at an attacker-chosen address",
+    consequence="Switching to an arbitrary ISA domain",
+    compromised_module="cpuid",
+    payload="""
+    mov r10, 0
+    hccall r10
+    ret
+""",
+    effect=lambda kernel: False,  # success would be a silent domain switch
+)
+
+MISALIGNED_GATE_X86 = AttackSpec(
+    name="misaligned-gate",
+    arch="x86",
+    prerequisite="gate bytes inside another instruction's immediate",
+    consequence="ROP-constructed domain switch",
+    compromised_module="cpuid",
+    payload="""
+    mov r10, 0
+    jmp hidden_gate
+carrier:
+    .byte 0x48, 0xBB
+hidden_gate:
+    .byte %d, %d, %d, %d
+    ret
+""" % _HCCALL_R10,
+    effect=lambda kernel: False,
+)
+
+HIDDEN_WRMSR_X86 = AttackSpec(
+    name="hidden-wrmsr",
+    arch="x86",
+    prerequisite="wrmsr bytes (0F 30) inside an immediate",
+    consequence="Writing MSR 0x150 through an unintended instruction",
+    compromised_module="cpuid",
+    payload="""
+    mov rcx, 0x150
+    mov rax, 0x666
+    mov rdx, 0
+    jmp hidden_wrmsr
+carrier:
+    .byte 0x48, 0xBB
+hidden_wrmsr:
+    .byte 0x0F, 0x30
+    ret
+""",
+    effect=lambda kernel: kernel.cpu.sys.msrs[0x150] == 0x666,
+)
+
+
+def _riscv_injected_gate_payload() -> str:
+    # A genuine hccall word (gate id in t5 = x30), injected verbatim.
+    word = riscv_encode("hccall", rs1=30)
+    return """
+    li t5, 0
+    .word %d
+    ret
+""" % word
+
+
+INJECTED_GATE_RISCV = AttackSpec(
+    name="injected-gate-riscv",
+    arch="riscv",
+    prerequisite="a gate instruction at an attacker-chosen address",
+    consequence="Switching to an arbitrary ISA domain",
+    compromised_module="misc",
+    payload=_riscv_injected_gate_payload(),
+    effect=lambda kernel: False,
+)
+
+#: Gate/unintended-instruction attacks.  Only ``hidden-wrmsr`` has a
+#: meaningful native comparison (natively it *succeeds*, proving the
+#: unintended instruction is live code); the pure gate forgeries target
+#: ISA-Grid hardware and are evaluated on the decomposed kernel only.
+GATE_ATTACKS: List[AttackSpec] = [
+    INJECTED_GATE_X86,
+    MISALIGNED_GATE_X86,
+    HIDDEN_WRMSR_X86,
+    INJECTED_GATE_RISCV,
+]

@@ -1,0 +1,113 @@
+"""ISA-abuse attacks against the RISC-V prototype.
+
+Table 1 lists x86/ARM attacks; these are their RISC-V analogues on the
+decomposed RISC-V MiniKernel, covering the same resource classes:
+page-table base (SATP ≈ CR3), trap vector (STVEC ≈ IDTR), interrupt
+enables, and a bit-level violation of the basic domain's ``sstatus``
+mask — the last one exercises the bit-mask check specifically.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.riscv import CSR_ADDRESS, SSTATUS_SUM
+
+from .base import MARKER_ADDRESS, MARKER_VALUE, AttackSpec, marker_written
+
+SATP_HIJACK = AttackSpec(
+    name="satp-hijack",
+    arch="riscv",
+    prerequisite="SATP",
+    consequence="Malicious mappings break page-table isolation",
+    compromised_module="irq",
+    payload="""
+    li t5, 0xbad
+    csrw satp, t5
+    ret
+""",
+    effect=lambda kernel: kernel.cpu.csrs[CSR_ADDRESS["satp"]] == 0xBAD,
+)
+
+STVEC_HIJACK = AttackSpec(
+    name="stvec-hijack",
+    arch="riscv",
+    prerequisite="STVEC",
+    consequence="Redirecting the trap vector (controlled-channel analogue)",
+    compromised_module="vm",
+    # Probe-and-restore: write a hijack value, read it back into the
+    # marker, then restore — so the machine stays bootable natively and
+    # the effect is still observable.
+    payload="""
+    csrr t4, stvec
+    li t5, 0x555000
+    csrw stvec, t5
+    csrr t6, stvec
+    csrw stvec, t4
+    la t4, %d
+    sd t6, 0(t4)
+    ret
+""" % MARKER_ADDRESS,
+    effect=lambda kernel: kernel.memory.load(MARKER_ADDRESS, 8) == 0x555000,
+)
+
+SIE_ABUSE = AttackSpec(
+    name="sie-abuse",
+    arch="riscv",
+    prerequisite="SIE",
+    consequence="Masking interrupts to hide malicious activity",
+    compromised_module="ctx",
+    payload="""
+    li t5, 0x222
+    csrw sie, t5
+    ret
+""",
+    effect=lambda kernel: kernel.cpu.csrs[CSR_ADDRESS["sie"]] == 0x222,
+)
+
+SSTATUS_SUM_FLIP = AttackSpec(
+    name="sstatus-sum-flip",
+    arch="riscv",
+    prerequisite="sstatus.SUM (bit 18)",
+    consequence="Supervisor access to user memory (SMAP-disable analogue)",
+    # The ctx module may write sstatus, but only the FS bits — flipping
+    # SUM violates its bit mask (the bit-level check of Section 4.1).
+    compromised_module="ctx",
+    payload="""
+    li t5, %d
+    csrrs x0, sstatus, t5
+    ret
+""" % SSTATUS_SUM,
+    effect=lambda kernel: bool(
+        kernel.cpu.csrs[CSR_ADDRESS["sstatus"]] & SSTATUS_SUM
+    ),
+)
+
+SCOUNTEREN_CONTROL = AttackSpec(
+    name="scounteren-positive-control",
+    arch="riscv",
+    prerequisite="scounteren (held by the compromised module)",
+    consequence="Positive control: the module's own privilege still works",
+    compromised_module="misc",
+    payload="""
+    li t5, 5
+    csrw scounteren, t5
+    la t6, %d
+    li t5, %d
+    sd t5, 0(t6)
+    ret
+""" % (MARKER_ADDRESS, MARKER_VALUE),
+    effect=marker_written,
+)
+
+#: Attacks expected to be blocked by the decomposed kernel.
+RISCV_ATTACKS: List[AttackSpec] = [
+    SATP_HIJACK,
+    STVEC_HIJACK,
+    SIE_ABUSE,
+    SSTATUS_SUM_FLIP,
+]
+
+#: Sanity check: a module exercising its *granted* privilege succeeds
+#: even under ISA-Grid (least privilege, not lock-everything).
+POSITIVE_CONTROLS: List[AttackSpec] = [SCOUNTEREN_CONTROL]

@@ -1,0 +1,174 @@
+"""The eight ISA-abuse-based attack families of Table 1.
+
+Each spec encodes: the ISA-resource prerequisite the paper lists, a
+payload that abuses it, the *unrelated* kernel module the attacker is
+assumed to have compromised, and an effect predicate.  The two ARM
+attacks (NAILGUN, Super Root) are modelled on the x86 prototype with
+the equivalent resource class (performance counters, debug-control
+registers), preserving the prerequisite structure.
+
+Expected result (the Table 1 "Can ISA-Grid mitigate" column): every
+attack succeeds on the native kernel and is mitigated on the
+ISA-Grid-decomposed kernel.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.x86.registers import CR0_CD
+
+from .base import MARKER_ADDRESS, MARKER_VALUE, AttackSpec, marker_written
+
+CONTROLLED_CHANNEL = AttackSpec(
+    name="controlled-channel",
+    arch="x86",
+    prerequisite="IDTR",
+    consequence="Stealing data from different types of TEEs",
+    compromised_module="power",
+    payload="""
+    mov rbx, %d
+    mov rcx, 0x555000
+    mov [rbx+0], rcx
+    mov rcx, 4095
+    mov [rbx+8], rcx
+    lidt [rbx+0]
+    ret
+""" % (MARKER_ADDRESS + 0x100),
+    effect=lambda kernel: kernel.cpu.sys.idtr.base == 0x555000,
+    table1_row="Controlled-Channel Attacks [77]",
+)
+
+FORESHADOW = AttackSpec(
+    name="foreshadow",
+    arch="x86",
+    prerequisite="wbinvd instruction, DR0-7",
+    consequence="Extracting enclave secrets",
+    compromised_module="mtrr",
+    payload="""
+    wbinvd
+    mov rbx, 0x1337
+    mov dr0, rbx
+    ret
+""",
+    effect=lambda kernel: kernel.cpu.sys.dr[0] == 0x1337,
+    table1_row="FORESHADOW Attacks [63]",
+)
+
+NAILGUN = AttackSpec(
+    name="nailgun",
+    arch="x86",
+    prerequisite="PMU registers",
+    consequence="Stealing sensitive data",
+    compromised_module="ldt",
+    payload="""
+    mov rcx, 0
+    rdpmc
+    mov rbx, %d
+    mov rcx, %d
+    mov [rbx+0], rcx
+    ret
+""" % (MARKER_ADDRESS, MARKER_VALUE),
+    effect=marker_written,
+    table1_row="NAILGUN Attacks [51]",
+)
+
+STEALTHY_PAGE_TABLE = AttackSpec(
+    name="stealthy-page-table",
+    arch="x86",
+    prerequisite="CR0.CD",
+    consequence="Stealing data from Intel SGX enclave",
+    compromised_module="cpuid",
+    payload="""
+    mov rbx, cr0
+    or rbx, %d
+    mov cr0, rbx
+    ret
+""" % CR0_CD,
+    effect=lambda kernel: bool(kernel.cpu.sys.cr0 & CR0_CD),
+    table1_row="Stealthy Page Table-Based Attacks [64]",
+)
+
+SUPER_ROOT = AttackSpec(
+    name="super-root",
+    arch="x86",
+    prerequisite="DBGBCR, HDCR, HVC (modelled: DR7 debug control)",
+    consequence="Obtaining the kernel or the hypervisor privilege",
+    compromised_module="fpu",
+    payload="""
+    mov rbx, 0x401
+    mov dr7, rbx
+    ret
+""",
+    effect=lambda kernel: kernel.cpu.sys.dr[7] == 0x401,
+    table1_row="Super Root Attacks [79]",
+)
+
+SGXPECTRE = AttackSpec(
+    name="sgxpectre",
+    arch="x86",
+    prerequisite="MSR 0x48, MSR 0x49",
+    consequence="Stealing attestation keys of Intel SGX",
+    compromised_module="debug",
+    payload="""
+    mov rcx, 0x48
+    mov rax, 0
+    mov rdx, 0
+    wrmsr
+    mov rcx, 0x49
+    mov rax, 1
+    mov rdx, 0
+    wrmsr
+    ret
+""",
+    # Boot hardens MSR 0x48 (IBRS = 1); the attack strips it.
+    effect=lambda kernel: kernel.cpu.sys.msrs[0x48] == 0,
+    table1_row="SgxPectre Attacks [16]",
+)
+
+TRESOR_HUNT = AttackSpec(
+    name="tresor-hunt",
+    arch="x86",
+    prerequisite="DR0-7",
+    consequence="Stealing cryptographic keys",
+    compromised_module="power",
+    payload="""
+    mov rbx, 0xfeed
+    mov dr0, rbx
+    mov rbx, dr0
+    mov rcx, %d
+    mov [rcx+0], rbx
+    ret
+""" % MARKER_ADDRESS,
+    effect=lambda kernel: kernel.cpu.sys.dr[0] == 0xFEED,
+    table1_row="TRESOR-HUNT Attacks [15]",
+)
+
+VOLTAGE = AttackSpec(
+    name="voltage",
+    arch="x86",
+    prerequisite="MSR 0x150",
+    consequence="Injecting bit flips / stealing secrets from SGX enclaves",
+    compromised_module="debug",
+    payload="""
+    mov rcx, 0x150
+    mov rax, 0x666
+    mov rdx, 0
+    wrmsr
+    ret
+""",
+    effect=lambda kernel: kernel.cpu.sys.msrs[0x150] == 0x666,
+    table1_row="Voltage-based Attacks [36, 48, 54]",
+)
+
+#: All Table 1 rows, in paper order.
+TABLE1_ATTACKS: List[AttackSpec] = [
+    CONTROLLED_CHANNEL,
+    FORESHADOW,
+    NAILGUN,
+    STEALTHY_PAGE_TABLE,
+    SUPER_ROOT,
+    SGXPECTRE,
+    TRESOR_HUNT,
+    VOLTAGE,
+]

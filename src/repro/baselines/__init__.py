@@ -1,0 +1,45 @@
+"""Comparison baselines: privilege levels, trap-and-emulate, binary scan."""
+
+from .binary_scan import (
+    DEFAULT_FORBIDDEN,
+    RewriteResult,
+    ScanReport,
+    find_byte_occurrences,
+    linear_disassemble,
+    rewrite_hidden_bytes,
+    scan_program,
+)
+from .privilege_levels import (
+    ExposureComparison,
+    PrivilegeLevelPolicy,
+    compare_exposure,
+    policy_from_isa_map,
+)
+from .trap_emulate import (
+    EMULATION_CHECK_CYCLES,
+    TRAPPABLE_CLASSES,
+    UNTRAPPABLE_PRIVILEGED,
+    VM_EXIT_CYCLES,
+    TrapAndEmulateModel,
+    compare_switch_latency,
+)
+
+__all__ = [
+    "DEFAULT_FORBIDDEN",
+    "EMULATION_CHECK_CYCLES",
+    "ExposureComparison",
+    "PrivilegeLevelPolicy",
+    "RewriteResult",
+    "ScanReport",
+    "TRAPPABLE_CLASSES",
+    "TrapAndEmulateModel",
+    "UNTRAPPABLE_PRIVILEGED",
+    "VM_EXIT_CYCLES",
+    "compare_exposure",
+    "compare_switch_latency",
+    "find_byte_occurrences",
+    "linear_disassemble",
+    "policy_from_isa_map",
+    "rewrite_hidden_bytes",
+    "scan_program",
+]

@@ -1,0 +1,151 @@
+"""The binary-scanning software baseline (Section 2.3, ERIM / Nested
+Kernel style).
+
+These systems grep compiled binaries for forbidden instruction byte
+sequences and either rewrite them (ERIM) or reject/manually refactor
+the code (Nested Kernel).  Two measurable failure modes:
+
+* **Unintended occurrences** — on a variable-length ISA the forbidden
+  bytes appear *inside* other instructions (immediates, displacements)
+  and at instruction boundaries.  A byte-level scan finds them; a
+  linear disassembly from the entry point does not execute them — yet a
+  ROP/jump-into-the-middle attacker can.  (The paper's example: the
+  one-byte ``out`` appears >50k times in a Linux image, ~300 intended.)
+* **Unsafe rewriting** — replacing the hidden bytes destroys the
+  carrier instruction; proving a rewrite safe is equivalent to solving
+  instruction alignment, which is undecidable in general [55, 69].
+
+:func:`scan_program` quantifies the first; :func:`rewrite_hidden_bytes`
+demonstrates the second by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.x86.encoding import EncodingError, decode, simple_bytes
+
+#: Sequences a Nested-Kernel-style scanner must eliminate.
+DEFAULT_FORBIDDEN: Tuple[str, ...] = ("wrmsr", "wrpkru", "wrpkrs", "hlt", "cli")
+
+
+def find_byte_occurrences(code: bytes, pattern: bytes) -> List[int]:
+    """Every offset where ``pattern`` occurs — aligned or not."""
+    out: List[int] = []
+    start = 0
+    while True:
+        index = code.find(pattern, start)
+        if index < 0:
+            return out
+        out.append(index)
+        start = index + 1
+
+
+def linear_disassemble(code: bytes) -> List[Tuple[int, str, int]]:
+    """Walk the code linearly from offset 0: (offset, mnemonic, size).
+
+    Undecodable bytes resynchronize at +1, the way objdump-style
+    scanners do.
+    """
+    out: List[Tuple[int, str, int]] = []
+    offset = 0
+    while offset < len(code):
+        try:
+            inst = decode(code, offset)
+        except EncodingError:
+            offset += 1
+            continue
+        out.append((offset, inst.mnemonic, inst.size))
+        offset += inst.size
+    return out
+
+
+@dataclass
+class ScanReport:
+    """What a byte-level scan finds vs what linear disassembly sees."""
+
+    mnemonic: str
+    pattern: bytes
+    total_occurrences: List[int] = field(default_factory=list)
+    intended_offsets: List[int] = field(default_factory=list)
+
+    @property
+    def unintended_offsets(self) -> List[int]:
+        intended = set(self.intended_offsets)
+        return [o for o in self.total_occurrences if o not in intended]
+
+    @property
+    def has_hidden_instances(self) -> bool:
+        return bool(self.unintended_offsets)
+
+
+def scan_program(
+    code: bytes, forbidden: Sequence[str] = DEFAULT_FORBIDDEN
+) -> Dict[str, ScanReport]:
+    """Scan a binary for forbidden sequences, splitting intended (on the
+    linear instruction stream) from unintended (hidden) occurrences."""
+    listing = linear_disassemble(code)
+    by_mnemonic: Dict[str, List[int]] = {}
+    for offset, mnemonic, _size in listing:
+        by_mnemonic.setdefault(mnemonic, []).append(offset)
+
+    reports: Dict[str, ScanReport] = {}
+    for mnemonic in forbidden:
+        pattern = simple_bytes(mnemonic)
+        reports[mnemonic] = ScanReport(
+            mnemonic=mnemonic,
+            pattern=pattern,
+            total_occurrences=find_byte_occurrences(code, pattern),
+            intended_offsets=by_mnemonic.get(mnemonic, []),
+        )
+    return reports
+
+
+@dataclass
+class RewriteResult:
+    """Outcome of a naive NOP-out rewrite of hidden occurrences."""
+
+    rewritten: bytes
+    patched_offsets: List[int]
+    corrupted_instructions: List[Tuple[int, str]]
+
+    @property
+    def safe(self) -> bool:
+        """True iff no legitimate instruction was destroyed."""
+        return not self.corrupted_instructions
+
+
+def rewrite_hidden_bytes(
+    code: bytes, forbidden: Sequence[str] = DEFAULT_FORBIDDEN
+) -> RewriteResult:
+    """ERIM-style naive rewrite: overwrite hidden occurrences with NOPs.
+
+    Returns which *legitimate* instructions got corrupted in the
+    process — demonstrating why scanning-and-rewriting cannot be both
+    complete and safe on a variable-length ISA.
+    """
+    reports = scan_program(code, forbidden)
+    patched = bytearray(code)
+    patched_offsets: List[int] = []
+    for report in reports.values():
+        for offset in report.unintended_offsets:
+            patched[offset : offset + len(report.pattern)] = b"\x90" * len(report.pattern)
+            patched_offsets.append(offset)
+
+    def full_listing(data: bytes) -> Dict[int, Tuple[str, int, int]]:
+        out: Dict[int, Tuple[str, int, int]] = {}
+        for offset, mnemonic, size in linear_disassemble(data):
+            inst = decode(data, offset)
+            out[offset] = (mnemonic, size, inst.imm)
+        return out
+
+    # Corruption is semantic as well as structural: compare mnemonic,
+    # size AND immediate of every pre-existing instruction.
+    corrupted: List[Tuple[int, str]] = []
+    before = full_listing(code)
+    after = full_listing(bytes(patched))
+    for offset, description in before.items():
+        if after.get(offset) != description:
+            corrupted.append((offset, description[0]))
+    return RewriteResult(bytes(patched), sorted(patched_offsets), corrupted)

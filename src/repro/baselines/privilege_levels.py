@@ -1,0 +1,115 @@
+"""The privilege-level baseline (Section 2.3, "Hardware Approaches").
+
+Modern CPUs gate ISA resources only by privilege level: all code at one
+level shares one privilege set.  The MiniKernel's ``native`` mode *is*
+this baseline operationally; this module additionally models the policy
+itself so experiments can quantify exposure — how many privileged
+resources a compromised component can reach under levels alone versus
+under an ISA-Grid decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set
+
+from repro.core.domain import DomainManager
+from repro.core.isa_extension import IsaGridIsaMap
+
+
+@dataclass(frozen=True)
+class PrivilegeLevelPolicy:
+    """Classic ring/exception-level access control for one ISA.
+
+    ``level_resources`` maps privilege level -> the set of resource
+    names accessible at that level; lower levels inherit nothing, higher
+    levels inherit everything below them (x86 ring semantics inverted to
+    "bigger number = more privileged" for uniformity with RISC-V U<S<M).
+    """
+
+    arch: str
+    level_names: Dict[int, str]
+    level_resources: Dict[int, FrozenSet[str]]
+
+    def accessible(self, level: int) -> Set[str]:
+        """All resources code at ``level`` can touch."""
+        out: Set[str] = set()
+        for other, resources in self.level_resources.items():
+            if other <= level:
+                out |= resources
+        return out
+
+    def exposure(self, level: int) -> int:
+        """Number of privileged resources exposed to one compromised
+        component at ``level`` — under levels alone, that is *all* of
+        them."""
+        return len(self.accessible(level))
+
+
+def policy_from_isa_map(isa_map: IsaGridIsaMap, kernel_level: int = 1) -> PrivilegeLevelPolicy:
+    """Build the baseline policy for an ISA-Grid ISA map: every system
+    CSR and system instruction class is kernel-level."""
+    user: Set[str] = set()
+    kernel: Set[str] = set()
+    for name in isa_map.inst_class_names:
+        target = user if name in ("alu", "mul", "mov", "load", "store", "stack",
+                                  "branch", "jump", "call", "nop", "fence",
+                                  "string", "ecall", "ebreak", "int") else kernel
+        target.add("inst:%s" % name)
+    for csr in isa_map.csrs[1:]:  # skip the reserved slot
+        kernel.add("csr:%s" % csr.name)
+    return PrivilegeLevelPolicy(
+        arch=isa_map.arch,
+        level_names={0: "user", kernel_level: "kernel"},
+        level_resources={0: frozenset(user), kernel_level: frozenset(kernel)},
+    )
+
+
+@dataclass
+class ExposureComparison:
+    """Attack-surface comparison: levels-only vs ISA-Grid domains."""
+
+    arch: str
+    baseline_exposure: int                 # resources a compromised kernel
+                                           # component reaches under levels
+    domain_exposure: Dict[str, int]        # per-domain exposure under ISA-Grid
+
+    @property
+    def worst_domain_exposure(self) -> int:
+        return max(self.domain_exposure.values()) if self.domain_exposure else 0
+
+    @property
+    def reduction_factor(self) -> float:
+        """baseline / worst-case-domain exposure (>1 is better)."""
+        worst = self.worst_domain_exposure
+        return self.baseline_exposure / worst if worst else float("inf")
+
+
+def compare_exposure(manager: DomainManager, kernel_level: int = 1) -> ExposureComparison:
+    """Quantify least-privilege: what can each compromised domain reach?
+
+    Counts privileged resources (system instruction classes + writable
+    CSRs) available to each non-domain-0 domain and compares with the
+    levels-only baseline where any kernel component reaches everything.
+    """
+    isa_map = manager.isa_map
+    policy = policy_from_isa_map(isa_map, kernel_level)
+    baseline = policy.exposure(kernel_level) - policy.exposure(0)
+
+    per_domain: Dict[str, int] = {}
+    user_classes = {
+        name for name in isa_map.inst_class_names
+        if "inst:%s" % name in policy.level_resources[0]
+    }
+    for domain_id, descriptor in manager.domains.items():
+        if domain_id == 0:
+            continue
+        privileged_instructions = descriptor.instructions - user_classes
+        per_domain[descriptor.name] = (
+            len(privileged_instructions) + len(descriptor.writable_csrs)
+        )
+    return ExposureComparison(
+        arch=isa_map.arch,
+        baseline_exposure=baseline,
+        domain_exposure=per_domain,
+    )

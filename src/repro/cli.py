@@ -1,0 +1,185 @@
+"""Command-line interface: quick looks at the reproduced artifacts.
+
+Usage::
+
+    python -m repro table4            # domain-switch latencies
+    python -m repro table6            # FPGA cost model
+    python -m repro case3             # PKS trampoline estimate
+    python -m repro attacks           # Table-1 mitigation matrix
+    python -m repro decompose         # use case 1 overhead + exposure
+    python -m repro hitrate           # §7.1 privilege-cache hit rates
+    python -m repro scan              # §2.3 unintended instructions
+    python -m repro audit             # audit the shipped decompositions
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_table4(_args) -> int:
+    from repro.analysis import render_table
+    from repro.workloads.micro import (
+        LITERATURE_ROWS,
+        instruction_latencies,
+        measure_riscv_gates,
+        measure_x86_gates,
+    )
+
+    latencies = instruction_latencies()
+    riscv = measure_riscv_gates(iterations=800)
+    x86 = measure_x86_gates(iterations=800)
+    rows = [
+        ("riscv hccall", 5, round(latencies["riscv"]["hccall"], 1)),
+        ("riscv hccalls / hcrets", "12 / 12",
+         "%.1f / %.1f" % (latencies["riscv"]["hccalls"], latencies["riscv"]["hcrets"])),
+        ("riscv X-domain (2x hccall)", 13, round(riscv["xdomain_two_hccall"], 1)),
+        ("riscv X-domain (calls+rets)", 32, round(riscv["hccalls+hcrets"], 1)),
+        ("x86 hccall", 34, round(x86["hccall"], 1)),
+        ("x86 hccalls / hcrets", "52 / 44",
+         "%.1f / %.1f" % (latencies["x86"]["hccalls"], latencies["x86"]["hcrets"])),
+        ("x86 X-domain call", 74, round(x86["xdomain_hccalls_hcrets"], 1)),
+    ]
+    rows += [(label, cycles, "(quoted)") for label, cycles in LITERATURE_ROWS.items()]
+    print(render_table(("switch", "paper cycles", "measured"), rows))
+    return 0
+
+
+def _cmd_table6(_args) -> int:
+    from repro.analysis import render_table
+    from repro.hwcost import table6_rows
+
+    rows = table6_rows()
+    print(render_table(
+        ("config", "LUT", "FF", "LUT %", "FF %", "RAMB36/18", "DSP"),
+        [
+            (r["name"], r["lut_logic"], r["flip_flops"],
+             "%.2f" % r["lut_pct"], "%.2f" % r["ff_pct"],
+             "%d/%d" % (r["ramb36"], r["ramb18"]), r["dsp48e1"])
+            for r in rows
+        ],
+    ))
+    return 0
+
+
+def _cmd_case3(_args) -> int:
+    from repro.kernel import estimate_case3, run_pks_demo
+
+    demo = run_pks_demo()
+    estimate = estimate_case3()
+    print("wrpkrs guard: inside trampoline %s / outside %s" % (
+        "executes" if demo.trampoline_writes_succeeded else "BLOCKED",
+        "faults" if demo.outside_write_blocked else "EXECUTES",
+    ))
+    print("switch cost: %.0f cycles (paper: 175)" % estimate.pks_with_isagrid_cycles)
+    for label, cost in estimate.alternatives.items():
+        print("    vs %-28s %4d cycles" % (label, cost))
+    return 0
+
+
+def _cmd_attacks(_args) -> int:
+    from repro.analysis import render_table
+    from repro.attacks import RISCV_ATTACKS, TABLE1_ATTACKS, evaluate_attack
+
+    rows = []
+    mitigated = 0
+    for spec in TABLE1_ATTACKS + RISCV_ATTACKS:
+        native, decomposed = evaluate_attack(spec)
+        rows.append((
+            spec.name, spec.prerequisite,
+            "succeeds" if native.succeeded else "blocked",
+            "mitigated" if decomposed.mitigated else "NOT MITIGATED",
+        ))
+        mitigated += decomposed.mitigated
+    print(render_table(("attack", "prerequisite", "native", "ISA-Grid"), rows))
+    print("\nmitigated %d/%d" % (mitigated, len(rows)))
+    return 0 if mitigated == len(rows) else 1
+
+
+def _cmd_decompose(_args) -> int:
+    from repro.analysis import format_normalized
+    from repro.baselines import compare_exposure
+    from repro.kernel import X86Kernel
+    from repro.workloads import SQLITE, normalized_time, run_riscv_app, run_x86_app
+
+    for arch, runner in (("riscv", run_riscv_app), ("x86", run_x86_app)):
+        native = runner(SQLITE, "native")
+        decomposed = runner(SQLITE, "decomposed")
+        print("%-6s SQLite normalized time: %s"
+              % (arch, format_normalized(normalized_time(decomposed, native))))
+    comparison = compare_exposure(X86Kernel("decomposed").system.manager)
+    print("exposure: %d resources (levels only) -> worst domain %d (%.0fx reduction)"
+          % (comparison.baseline_exposure, comparison.worst_domain_exposure,
+             comparison.reduction_factor))
+    return 0
+
+
+def _cmd_hitrate(_args) -> int:
+    from repro.core import CONFIG_8E
+    from repro.kernel import X86Kernel
+    from repro.workloads import GATE_STRESS
+    from repro.workloads.generator import x86_user_program
+
+    kernel = X86Kernel("decomposed", CONFIG_8E)
+    kernel.run(x86_user_program(GATE_STRESS), max_steps=20_000_000)
+    for cache, rate in kernel.system.pcu.stats.hit_rates().items():
+        print("%-5s cache hit rate: %6.2f%%" % (cache, rate * 100))
+    return 0
+
+
+def _cmd_audit(_args) -> int:
+    from repro.analysis import audit
+    from repro.kernel import RiscvKernel, X86Kernel
+
+    for kernel in (RiscvKernel("decomposed"), X86Kernel("decomposed")):
+        manager = kernel.system.manager
+        report = audit(manager)
+        print("%s (%s):" % (kernel.__class__.__name__, manager.isa_map.arch))
+        print("    " + report.render().replace("\n", "\n    "))
+        print()
+    return 0
+
+
+def _cmd_scan(_args) -> int:
+    from repro.baselines import scan_program
+    from repro.kernel.x86_kernel import kernel_source
+    from repro.x86 import KERNEL_BASE, assemble
+
+    source, _ = kernel_source(True)
+    program = assemble(source, base=KERNEL_BASE)
+    print("scanning the generated x86 kernel image (%d bytes):" % program.size)
+    for mnemonic, report in scan_program(program.data).items():
+        print("    %-8s %3d total, %3d intended, %3d hidden" % (
+            mnemonic, len(report.total_occurrences),
+            len(report.intended_offsets), len(report.unintended_offsets),
+        ))
+    return 0
+
+
+_COMMANDS = {
+    "audit": _cmd_audit,
+    "table4": _cmd_table4,
+    "table6": _cmd_table6,
+    "case3": _cmd_case3,
+    "attacks": _cmd_attacks,
+    "decompose": _cmd_decompose,
+    "hitrate": _cmd_hitrate,
+    "scan": _cmd_scan,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="ISA-Grid reproduction: quick experiment runners.",
+    )
+    parser.add_argument("command", choices=sorted(_COMMANDS),
+                        help="artifact to regenerate")
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

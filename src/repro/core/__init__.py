@@ -1,0 +1,113 @@
+"""ISA-Grid core: the paper's primary contribution.
+
+This package is architecture-neutral.  It models the Privilege Check
+Unit (PCU) with its hybrid-grained privilege check engine, unforgeable
+domain switching engine and domain privilege cache, plus the trusted
+memory structures (HPT, SGT, trusted stack) and the domain-0 software
+runtime.
+
+Typical wiring (see ``examples/quickstart.py``)::
+
+    from repro.core import (
+        PcuConfig, PrivilegeCheckUnit, DomainManager, TrustedMemory,
+    )
+    from repro.riscv import RISCV_ISA_MAP
+
+    tmem = TrustedMemory(base=0x8000_0000, size=1 << 20)
+    pcu = PrivilegeCheckUnit(RISCV_ISA_MAP, PcuConfig(), tmem)
+    manager = DomainManager(pcu)
+    kernel = manager.create_domain("kernel")
+    manager.allow_instructions(kernel.domain_id, ["alu", "load", "store"])
+"""
+
+from .bitmap import BitMaskArray, InstructionBitmap, RegisterBitmap, words_for_bits
+from .cache import FullyAssociativeCache, HptCacheSet, InstPrivilegeRegister, SgtCache
+from .config import ALL_CONFIGS, CONFIG_16E, CONFIG_8E, CONFIG_8EN, PcuConfig
+from .domain import (
+    DomainDescriptor,
+    DomainManager,
+    RegistrationRejected,
+    allow_all_policy,
+    exclusive_writers_policy,
+)
+from .errors import (
+    BitMaskViolationFault,
+    ConfigurationError,
+    GateFault,
+    InstructionPrivilegeFault,
+    IsaGridError,
+    PrivilegeFault,
+    RegisterReadFault,
+    RegisterWriteFault,
+    TrustedMemoryFault,
+    TrustedStackFault,
+)
+from .hpt import HybridPrivilegeTable
+from .manifest import apply_manifest, dumps as manifest_dumps, export_manifest, loads as manifest_loads
+from .isa_extension import (
+    AccessInfo,
+    CacheId,
+    CsrDescriptor,
+    GateKind,
+    IsaGridIsaMap,
+    NEW_INSTRUCTIONS,
+    NEW_REGISTERS,
+    PcuRegisters,
+)
+from .pcu import DOMAIN_0, PrivilegeCheckUnit
+from .sgt import GateEntry, SwitchingGateTable
+from .stats import CacheStats, PcuStats
+from .trusted_memory import TrustedMemory, TrustedStack, WordMemory
+
+__all__ = [
+    "AccessInfo",
+    "ALL_CONFIGS",
+    "BitMaskArray",
+    "BitMaskViolationFault",
+    "CacheId",
+    "CacheStats",
+    "CONFIG_16E",
+    "CONFIG_8E",
+    "CONFIG_8EN",
+    "ConfigurationError",
+    "CsrDescriptor",
+    "DOMAIN_0",
+    "DomainDescriptor",
+    "DomainManager",
+    "FullyAssociativeCache",
+    "GateEntry",
+    "GateFault",
+    "GateKind",
+    "HptCacheSet",
+    "HybridPrivilegeTable",
+    "InstPrivilegeRegister",
+    "InstructionBitmap",
+    "InstructionPrivilegeFault",
+    "IsaGridError",
+    "IsaGridIsaMap",
+    "NEW_INSTRUCTIONS",
+    "NEW_REGISTERS",
+    "PcuConfig",
+    "PcuRegisters",
+    "PcuStats",
+    "PrivilegeCheckUnit",
+    "PrivilegeFault",
+    "RegisterBitmap",
+    "RegisterReadFault",
+    "RegisterWriteFault",
+    "RegistrationRejected",
+    "SgtCache",
+    "SwitchingGateTable",
+    "TrustedMemory",
+    "TrustedMemoryFault",
+    "TrustedStack",
+    "TrustedStackFault",
+    "WordMemory",
+    "allow_all_policy",
+    "apply_manifest",
+    "export_manifest",
+    "manifest_dumps",
+    "manifest_loads",
+    "exclusive_writers_policy",
+    "words_for_bits",
+]

@@ -1,0 +1,100 @@
+"""PCU configurations (Section 7, "Configuration").
+
+The paper evaluates three configurations of the domain privilege cache,
+each fully associative with LRU replacement:
+
+* ``16E.`` — 16 entries in each of the three HPT caches and the SGT cache;
+* ``8E.``  — 8 entries in each cache;
+* ``8E.N`` — 8 entries in each HPT cache but *no* SGT cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PcuConfig:
+    """Static parameters of one Privilege Check Unit instance.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports ("16E.", "8E.", "8E.N").
+    hpt_cache_entries:
+        Entries in each of the three HPT caches (instruction bitmap,
+        register bitmap, bit-mask).
+    sgt_cache_entries:
+        Entries in the SGT cache; 0 disables it (the ``8E.N`` variant),
+        making every gate execution read the SGT from memory.
+    inst_group_bits:
+        Instruction classes covered by one instruction-bitmap cache entry
+        (one 64-bit word).
+    reg_group_csrs:
+        CSRs covered by one register-bitmap cache entry (32, since each
+        CSR takes two bits of a 64-bit word).
+    refill_latency:
+        Cycles to fetch one HPT/SGT word from memory on a cache miss.
+        Stand-alone core uses this constant; a full Machine overrides it
+        with its memory-hierarchy latency.
+    bypass_enabled:
+        Use the instruction privilege register so the instruction bitmap
+        cache is only searched right after a domain switch (Section 4.3,
+        "Cache Bypass For Saving Energy").
+    prefetch_enabled:
+        Honour the ``pfch`` instruction.
+    draco_entries:
+        Entries in the optional Draco-style legal-access cache the
+        paper suggests in Section 8 ("Cache Optimization"): known-legal
+        (domain, instruction, register, value) tuples skip the whole
+        check pipeline.  0 disables it (the paper's baseline design).
+    flush_on_switch:
+        Flush the domain privilege cache on every domain switch — the
+        Section 8 performance/security trade-off against PRIME+PROBE
+        on the privilege caches.
+    max_domains / max_gates:
+        Capacity of the HPT and SGT.
+    """
+
+    name: str = "8E."
+    hpt_cache_entries: int = 8
+    sgt_cache_entries: int = 8
+    inst_group_bits: int = 64
+    reg_group_csrs: int = 32
+    refill_latency: int = 120
+    bypass_enabled: bool = True
+    prefetch_enabled: bool = True
+    draco_entries: int = 0
+    flush_on_switch: bool = False
+    max_domains: int = 4096
+    max_gates: int = 1024
+
+    def __post_init__(self):
+        if self.hpt_cache_entries < 1:
+            raise ConfigurationError("HPT caches need at least one entry")
+        if self.sgt_cache_entries < 0:
+            raise ConfigurationError("SGT cache entries must be >= 0")
+        if self.inst_group_bits not in (8, 16, 32, 64):
+            raise ConfigurationError("inst_group_bits must divide a 64-bit word")
+        if self.reg_group_csrs not in (4, 8, 16, 32):
+            raise ConfigurationError("reg_group_csrs must be <= 32 and a power of two")
+        if self.draco_entries < 0:
+            raise ConfigurationError("draco_entries must be >= 0")
+
+    @property
+    def has_sgt_cache(self) -> bool:
+        return self.sgt_cache_entries > 0
+
+    def with_refill_latency(self, cycles: int) -> "PcuConfig":
+        """Copy of this config with a machine-specific refill latency."""
+        return replace(self, refill_latency=cycles)
+
+
+#: The three configurations evaluated in the paper.
+CONFIG_16E = PcuConfig(name="16E.", hpt_cache_entries=16, sgt_cache_entries=16)
+CONFIG_8E = PcuConfig(name="8E.", hpt_cache_entries=8, sgt_cache_entries=8)
+CONFIG_8EN = PcuConfig(name="8E.N", hpt_cache_entries=8, sgt_cache_entries=0)
+
+ALL_CONFIGS = (CONFIG_16E, CONFIG_8E, CONFIG_8EN)

@@ -1,0 +1,273 @@
+"""Domain-0 software runtime: domain and gate registration (Section 5.2).
+
+:class:`DomainManager` is the software that runs in domain-0.  It owns
+the id spaces of domains and gates, edits the HPT and SGT through the
+PCU, and applies a pluggable :class:`RegistrationPolicy` so deployments
+can e.g. reject domains with overlapping privileges (the paper notes
+ISA-Grid itself does not force exclusivity; policy is software's job).
+
+The API is name-based: callers grant ``"csrrw"`` or ``"satp"`` rather
+than raw indices, using the architecture's
+:class:`~repro.core.isa_extension.IsaGridIsaMap`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from .errors import ConfigurationError
+from .pcu import DOMAIN_0, PrivilegeCheckUnit
+from .sgt import GateEntry
+
+
+@dataclass
+class DomainDescriptor:
+    """Bookkeeping for one ISA domain (domain-0 software state)."""
+
+    domain_id: int
+    name: str
+    instructions: Set[str] = field(default_factory=set)
+    readable_csrs: Set[str] = field(default_factory=set)
+    writable_csrs: Set[str] = field(default_factory=set)
+    bit_grants: Dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return "%s(id=%d): %d inst classes, %d readable, %d writable CSRs" % (
+            self.name,
+            self.domain_id,
+            len(self.instructions),
+            len(self.readable_csrs),
+            len(self.writable_csrs),
+        )
+
+
+class RegistrationRejected(ConfigurationError):
+    """A registration policy refused a domain or gate registration."""
+
+
+#: A policy receives (manager, descriptor-or-gate) and raises
+#: :class:`RegistrationRejected` to refuse; return value is ignored.
+RegistrationPolicy = Callable[["DomainManager", object], None]
+
+
+def allow_all_policy(manager: "DomainManager", request: object) -> None:
+    """Default policy: accept every registration."""
+
+
+def exclusive_writers_policy(manager: "DomainManager", request: object) -> None:
+    """Example policy: no two domains may both write the same CSR.
+
+    The paper suggests domain-0 software may "reject creating domains
+    with overlapping privileges"; this is the natural reading for write
+    privileges, where overlap defeats least-privilege decomposition.
+    """
+    if not isinstance(request, DomainDescriptor):
+        return
+    for other in manager.domains.values():
+        if other.domain_id in (request.domain_id, DOMAIN_0):
+            continue
+        overlap = other.writable_csrs & request.writable_csrs
+        if overlap:
+            raise RegistrationRejected(
+                "domain %s overlaps write privileges %s with %s"
+                % (request.name, sorted(overlap), other.name)
+            )
+
+
+class DomainManager:
+    """The domain-0 runtime controlling one PCU."""
+
+    def __init__(
+        self,
+        pcu: PrivilegeCheckUnit,
+        policy: RegistrationPolicy = allow_all_policy,
+    ):
+        self.pcu = pcu
+        self.isa_map = pcu.isa_map
+        self.policy = policy
+        self.domains: Dict[int, DomainDescriptor] = {
+            DOMAIN_0: DomainDescriptor(DOMAIN_0, "domain-0")
+        }
+        self._names: Dict[str, int] = {"domain-0": DOMAIN_0}
+        self._next_domain = 1
+        self.gates: Dict[int, GateEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Domain registration.
+    # ------------------------------------------------------------------
+    def create_domain(self, name: Optional[str] = None) -> DomainDescriptor:
+        """Create a fresh, fully de-privileged ISA domain.
+
+        New domains start with *no* privileges; code in them must be
+        granted instruction classes and CSR access explicitly
+        (Section 8, "Development Complexity").
+        """
+        domain_id = self._next_domain
+        if domain_id >= self.pcu.config.max_domains:
+            raise ConfigurationError("out of domain ids")
+        if name is None:
+            name = "domain-%d" % domain_id
+        if name in self._names:
+            raise ConfigurationError("duplicate domain name %r" % name)
+        descriptor = DomainDescriptor(domain_id, name)
+        self.policy(self, descriptor)
+        self._next_domain += 1
+        self.domains[domain_id] = descriptor
+        self._names[name] = domain_id
+        self.pcu.registers.domain_nr = self._next_domain
+        return descriptor
+
+    def domain_id(self, name: str) -> int:
+        try:
+            return self._names[name]
+        except KeyError:
+            raise ConfigurationError("unknown domain %r" % name) from None
+
+    # ------------------------------------------------------------------
+    # Privilege grants (write-through to the HPT in trusted memory).
+    # ------------------------------------------------------------------
+    def allow_instructions(self, domain_id: int, class_names: Iterable[str]) -> None:
+        descriptor = self._descriptor(domain_id)
+        names = list(class_names)
+        self.pcu.hpt.allow_instructions(
+            domain_id, [self.isa_map.inst_class(n) for n in names]
+        )
+        descriptor.instructions.update(names)
+        self._refresh_policy(descriptor)
+
+    def allow_all_instructions(self, domain_id: int) -> None:
+        descriptor = self._descriptor(domain_id)
+        self.pcu.hpt.allow_all_instructions(domain_id)
+        descriptor.instructions.update(self.isa_map.inst_class_names)
+        self._refresh_policy(descriptor)
+
+    def deny_instruction(self, domain_id: int, class_name: str) -> None:
+        descriptor = self._descriptor(domain_id)
+        self.pcu.hpt.deny_instruction(domain_id, self.isa_map.inst_class(class_name))
+        descriptor.instructions.discard(class_name)
+        self.pcu.flush()  # revocation: drop stale cached privileges
+
+    def grant_register(
+        self, domain_id: int, csr_name: str, *, read: bool = False, write: bool = False
+    ) -> None:
+        descriptor = self._descriptor(domain_id)
+        csr = self.isa_map.csr_index(csr_name)
+        self.pcu.hpt.grant_register(domain_id, csr, read=read, write=write)
+        if read:
+            descriptor.readable_csrs.add(csr_name)
+        if write:
+            descriptor.writable_csrs.add(csr_name)
+            if self.isa_map.mask_slot(csr) is not None and csr_name not in descriptor.bit_grants:
+                # A full write grant on a bitwise CSR exposes every bit.
+                width = self.isa_map.csr_descriptor(csr).width
+                self.pcu.hpt.set_mask(domain_id, csr, (1 << width) - 1)
+                descriptor.bit_grants[csr_name] = (1 << width) - 1
+        self._refresh_policy(descriptor)
+
+    def grant_register_bits(self, domain_id: int, csr_name: str, bits: int) -> None:
+        """Bit-level grant: expose only ``bits`` of a bitwise CSR."""
+        descriptor = self._descriptor(domain_id)
+        csr = self.isa_map.csr_index(csr_name)
+        if self.isa_map.mask_slot(csr) is None:
+            raise ConfigurationError(
+                "CSR %s is not bitwise-controlled; use grant_register" % csr_name
+            )
+        self.pcu.hpt.grant_register(domain_id, csr, write=True)
+        self.pcu.hpt.allow_bits(domain_id, csr, bits)
+        descriptor.writable_csrs.add(csr_name)
+        descriptor.bit_grants[csr_name] = descriptor.bit_grants.get(csr_name, 0) | bits
+        self._refresh_policy(descriptor)
+
+    def revoke_register(
+        self, domain_id: int, csr_name: str, *, read: bool = False, write: bool = False
+    ) -> None:
+        descriptor = self._descriptor(domain_id)
+        csr = self.isa_map.csr_index(csr_name)
+        self.pcu.hpt.revoke_register(domain_id, csr, read=read, write=write)
+        if read:
+            descriptor.readable_csrs.discard(csr_name)
+        if write:
+            descriptor.writable_csrs.discard(csr_name)
+            if self.isa_map.mask_slot(csr) is not None:
+                self.pcu.hpt.set_mask(domain_id, csr, 0)
+                descriptor.bit_grants.pop(csr_name, None)
+        self.pcu.flush()  # revocation: drop stale cached privileges
+
+    def _descriptor(self, domain_id: int) -> DomainDescriptor:
+        try:
+            return self.domains[domain_id]
+        except KeyError:
+            raise ConfigurationError("unknown domain id %d" % domain_id) from None
+
+    def _refresh_policy(self, descriptor: DomainDescriptor) -> None:
+        self.policy(self, descriptor)
+
+    # ------------------------------------------------------------------
+    # Gate registration.
+    # ------------------------------------------------------------------
+    def register_gate(
+        self,
+        gate_address: int,
+        destination_address: int,
+        destination_domain: int,
+    ) -> int:
+        """Register an unforgeable switching gate; returns the gate id."""
+        self._descriptor(destination_domain)  # destination must exist
+        entry = self.pcu.sgt.register(
+            gate_address, destination_address, destination_domain
+        )
+        self.policy(self, entry)
+        self.gates[entry.gate_id] = entry
+        self.pcu.sgt_cache.invalidate(entry.gate_id)
+        self.pcu.registers.gate_nr = self.pcu.sgt.gate_nr
+        return entry.gate_id
+
+    def unregister_gate(self, gate_id: int) -> None:
+        self.pcu.sgt.unregister(gate_id)
+        self.pcu.sgt_cache.invalidate(gate_id)
+        self.gates.pop(gate_id, None)
+
+    # ------------------------------------------------------------------
+    # Trusted stack management (per-thread contexts, Section 5.2).
+    # ------------------------------------------------------------------
+    def allocate_trusted_stack(self, frames: int = 64) -> Tuple[int, int]:
+        """Carve a trusted-stack window out of trusted memory."""
+        words = frames * 2
+        base = self.pcu.trusted_memory.allocate(words)
+        limit = base + words * 8
+        self.pcu.trusted_stack.configure(base, limit)
+        return base, limit
+
+    def create_thread_stack(
+        self,
+        frames: int = 64,
+        *,
+        entry_address: Optional[int] = None,
+        entry_domain: Optional[int] = None,
+    ) -> Tuple[int, int, int]:
+        """Allocate a trusted stack for another thread (Section 5.2).
+
+        Returns the thread's ``(hcsp, hcsb, hcsl)`` context without
+        touching the live registers.  With an entry point given, the
+        stack is seeded with one frame so the first ``hcrets`` executed
+        on this context "returns" into the thread's entry — the idiom a
+        domain-0 scheduler uses to start a fresh thread.
+        """
+        words = frames * 2
+        base = self.pcu.trusted_memory.allocate(words)
+        limit = base + words * 8
+        pointer = base
+        if entry_address is not None:
+            if entry_domain is None or entry_domain == DOMAIN_0:
+                raise ConfigurationError(
+                    "thread entries need a non-domain-0 entry domain"
+                )
+            self.pcu.trusted_memory.store_word(base, entry_address)
+            self.pcu.trusted_memory.store_word(base + 8, entry_domain)
+            pointer = base + 16
+        return pointer, base, limit
+
+    def describe(self) -> List[str]:
+        """Human-readable inventory of all registered domains."""
+        return [self.domains[i].summary() for i in sorted(self.domains)]

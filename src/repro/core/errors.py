@@ -1,0 +1,138 @@
+"""Exception hierarchy for ISA-Grid.
+
+The paper specifies that any privilege-check rejection by the PCU raises a
+*hardware exception*.  In this reproduction those hardware exceptions are
+modelled as Python exceptions derived from :class:`PrivilegeFault`; the
+simulated CPUs catch them and vector to the architectural trap handler
+(see ``repro.sim.machine``).  Configuration mistakes that the real
+hardware could never observe (e.g. registering a gate for a non-existent
+domain) raise :class:`IsaGridError` instead.
+"""
+
+from __future__ import annotations
+
+
+class IsaGridError(Exception):
+    """Base class for all errors raised by the ISA-Grid model."""
+
+
+class ConfigurationError(IsaGridError):
+    """Invalid static configuration (sizes, overlapping regions, ...)."""
+
+
+class PrivilegeFault(IsaGridError):
+    """Base class for faults the PCU raises as hardware exceptions.
+
+    Attributes
+    ----------
+    domain:
+        The ISA domain that was active when the fault occurred.
+    address:
+        Program counter of the faulting instruction, when known.
+    """
+
+    def __init__(self, message: str, *, domain: int = -1, address: int = -1):
+        super().__init__(message)
+        self.domain = domain
+        self.address = address
+
+
+class InstructionPrivilegeFault(PrivilegeFault):
+    """The current domain may not execute this instruction class."""
+
+    def __init__(self, inst_class: int, *, domain: int = -1, address: int = -1):
+        super().__init__(
+            "domain %d may not execute instruction class %d" % (domain, inst_class),
+            domain=domain,
+            address=address,
+        )
+        self.inst_class = inst_class
+
+
+class RegisterReadFault(PrivilegeFault):
+    """The current domain may not read this control/status register."""
+
+    def __init__(self, csr: int, *, domain: int = -1, address: int = -1):
+        super().__init__(
+            "domain %d may not read CSR %d" % (domain, csr),
+            domain=domain,
+            address=address,
+        )
+        self.csr = csr
+
+
+class RegisterWriteFault(PrivilegeFault):
+    """The current domain may not write this control/status register."""
+
+    def __init__(self, csr: int, *, domain: int = -1, address: int = -1):
+        super().__init__(
+            "domain %d may not write CSR %d" % (domain, csr),
+            domain=domain,
+            address=address,
+        )
+        self.csr = csr
+
+
+class BitMaskViolationFault(PrivilegeFault):
+    """A CSR write flips bits outside the domain's write mask.
+
+    The PCU permits a write of ``value`` to a bitwise-controlled CSR
+    currently holding ``old`` under mask ``mask`` iff
+    ``(old ^ value) & ~mask == 0`` (Section 4.1 of the paper).
+    """
+
+    def __init__(
+        self,
+        csr: int,
+        old: int,
+        value: int,
+        mask: int,
+        *,
+        domain: int = -1,
+        address: int = -1,
+    ):
+        illegal = (old ^ value) & ~mask
+        super().__init__(
+            "domain %d write to CSR %d flips protected bits 0x%x"
+            % (domain, csr, illegal),
+            domain=domain,
+            address=address,
+        )
+        self.csr = csr
+        self.old = old
+        self.value = value
+        self.mask = mask
+        self.illegal_bits = illegal
+
+
+class GateFault(PrivilegeFault):
+    """A domain-switching gate was used illegally.
+
+    Raised when a gate instruction executes at an address other than the
+    registered one, when the gate id is invalid or unregistered, or when
+    ``hcrets`` attempts to return to domain-0 (Sections 4.2 and 4.4).
+    """
+
+    def __init__(self, reason: str, *, gate_id: int = -1, domain: int = -1, address: int = -1):
+        super().__init__(reason, domain=domain, address=address)
+        self.gate_id = gate_id
+
+
+class TrustedMemoryFault(PrivilegeFault):
+    """A load/store touched the trusted memory region outside domain-0."""
+
+    def __init__(self, access_address: int, *, domain: int = -1, address: int = -1):
+        super().__init__(
+            "domain %d accessed trusted memory at 0x%x" % (domain, access_address),
+            domain=domain,
+            address=address,
+        )
+        self.access_address = access_address
+
+
+class TrustedStackFault(PrivilegeFault):
+    """Trusted stack pointer left the [hcsb, hcsl) window (over/underflow)."""
+
+    def __init__(self, reason: str, pointer: int, *, domain: int = -1, address: int = -1):
+        super().__init__(reason, domain=domain, address=address)
+        self.pointer = pointer

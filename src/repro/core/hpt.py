@@ -1,0 +1,228 @@
+"""The Hybrid Privilege Table (Section 4.1).
+
+The HPT stores, for every ISA domain, the instruction bitmap, the
+register (R/W) bitmap and the bit-mask array.  It is laid out in trusted
+memory at the base addresses held in the ``inst-cap``, ``csr-cap`` and
+``csr-bit-mask`` registers, domain-major, so the PCU can compute the word
+address of any privilege bit from (domain id, resource index) alone.
+
+This class is both the layout authority and the domain-0 configuration
+API: every mutation is written through to trusted memory, and the PCU's
+cache-refill path reads those same words back (paying memory latency on a
+privilege-cache miss).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .bitmap import (
+    WORD_BITS,
+    BitMaskArray,
+    InstructionBitmap,
+    RegisterBitmap,
+    words_for_bits,
+)
+from .errors import ConfigurationError
+from .isa_extension import IsaGridIsaMap
+from .trusted_memory import WORD_BYTES, TrustedMemory
+
+
+class HybridPrivilegeTable:
+    """Per-domain privilege store backed by trusted memory.
+
+    Parameters
+    ----------
+    isa_map:
+        The architecture's resource mappings (class/CSR/mask indices).
+    memory:
+        Trusted memory region the table is allocated in.
+    max_domains:
+        Capacity of the table.  The RISC-V prototype in the paper uses
+        ``2**12`` domains to bound cache-entry tags; the architectural
+        limit is ``2**64``.
+    """
+
+    def __init__(self, isa_map: IsaGridIsaMap, memory: TrustedMemory, max_domains: int = 4096):
+        if max_domains < 1:
+            raise ConfigurationError("need at least one domain")
+        self.isa_map = isa_map
+        self.memory = memory
+        self.max_domains = max_domains
+
+        self.inst_words_per_domain = words_for_bits(isa_map.n_inst_classes)
+        self.reg_words_per_domain = words_for_bits(2 * isa_map.n_csrs)
+        self.mask_words_per_domain = isa_map.n_masked_csrs
+
+        self.inst_cap = memory.allocate(max_domains * self.inst_words_per_domain)
+        self.csr_cap = memory.allocate(max_domains * self.reg_words_per_domain)
+        self.csr_bit_mask = memory.allocate(
+            max(1, max_domains * self.mask_words_per_domain)
+        )
+
+        # Python-side mirror for the configuration API; trusted memory is
+        # the source of truth for the PCU's refill path.
+        self._inst: Dict[int, InstructionBitmap] = {}
+        self._regs: Dict[int, RegisterBitmap] = {}
+        self._masks: Dict[int, BitMaskArray] = {}
+
+    # ------------------------------------------------------------------
+    # Layout: word addresses the PCU refills cache entries from.
+    # ------------------------------------------------------------------
+    def inst_word_address(self, domain: int, word_index: int) -> int:
+        self._check_domain(domain)
+        if not 0 <= word_index < self.inst_words_per_domain:
+            raise IndexError("instruction bitmap word %d out of range" % word_index)
+        return self.inst_cap + (domain * self.inst_words_per_domain + word_index) * WORD_BYTES
+
+    def reg_word_address(self, domain: int, word_index: int) -> int:
+        self._check_domain(domain)
+        if not 0 <= word_index < self.reg_words_per_domain:
+            raise IndexError("register bitmap word %d out of range" % word_index)
+        return self.csr_cap + (domain * self.reg_words_per_domain + word_index) * WORD_BYTES
+
+    def mask_address(self, domain: int, slot: int) -> int:
+        self._check_domain(domain)
+        if not 0 <= slot < self.mask_words_per_domain:
+            raise IndexError("mask slot %d out of range" % slot)
+        return self.csr_bit_mask + (domain * self.mask_words_per_domain + slot) * WORD_BYTES
+
+    def _check_domain(self, domain: int) -> None:
+        if not 0 <= domain < self.max_domains:
+            raise ConfigurationError("domain id %d out of range" % domain)
+
+    # ------------------------------------------------------------------
+    # Domain-0 configuration API (write-through to trusted memory).
+    # ------------------------------------------------------------------
+    def _inst_bitmap(self, domain: int) -> InstructionBitmap:
+        self._check_domain(domain)
+        bitmap = self._inst.get(domain)
+        if bitmap is None:
+            bitmap = InstructionBitmap(self.isa_map.n_inst_classes)
+            self._inst[domain] = bitmap
+        return bitmap
+
+    def _reg_bitmap(self, domain: int) -> RegisterBitmap:
+        self._check_domain(domain)
+        bitmap = self._regs.get(domain)
+        if bitmap is None:
+            bitmap = RegisterBitmap(self.isa_map.n_csrs)
+            self._regs[domain] = bitmap
+        return bitmap
+
+    def _mask_array(self, domain: int) -> BitMaskArray:
+        self._check_domain(domain)
+        masks = self._masks.get(domain)
+        if masks is None:
+            masks = BitMaskArray(self.isa_map.n_masked_csrs)
+            self._masks[domain] = masks
+        return masks
+
+    def _sync_inst(self, domain: int) -> None:
+        bitmap = self._inst[domain]
+        for i in range(bitmap.n_words):
+            self.memory.store_word(self.inst_word_address(domain, i), bitmap.word(i))
+
+    def _sync_regs(self, domain: int) -> None:
+        bitmap = self._regs[domain]
+        for i in range(bitmap.n_words):
+            self.memory.store_word(self.reg_word_address(domain, i), bitmap.word(i))
+
+    def _sync_mask(self, domain: int, slot: int) -> None:
+        self.memory.store_word(
+            self.mask_address(domain, slot), self._masks[domain].get_mask(slot)
+        )
+
+    def allow_instruction(self, domain: int, inst_class: int) -> None:
+        bitmap = self._inst_bitmap(domain)
+        bitmap.allow(inst_class)
+        word = inst_class // WORD_BITS
+        self.memory.store_word(self.inst_word_address(domain, word), bitmap.word(word))
+
+    def deny_instruction(self, domain: int, inst_class: int) -> None:
+        bitmap = self._inst_bitmap(domain)
+        bitmap.deny(inst_class)
+        word = inst_class // WORD_BITS
+        self.memory.store_word(self.inst_word_address(domain, word), bitmap.word(word))
+
+    def allow_instructions(self, domain: int, classes) -> None:
+        bitmap = self._inst_bitmap(domain)
+        bitmap.allow_many(classes)
+        self._sync_inst(domain)
+
+    def allow_all_instructions(self, domain: int) -> None:
+        self._inst[domain] = InstructionBitmap(self.isa_map.n_inst_classes, fill=True)
+        self._sync_inst(domain)
+
+    def grant_register(self, domain: int, csr: int, *, read: bool = False, write: bool = False) -> None:
+        bitmap = self._reg_bitmap(domain)
+        bitmap.grant(csr, read=read, write=write)
+        word = (2 * csr) // WORD_BITS
+        self.memory.store_word(self.reg_word_address(domain, word), bitmap.word(word))
+
+    def revoke_register(self, domain: int, csr: int, *, read: bool = False, write: bool = False) -> None:
+        bitmap = self._reg_bitmap(domain)
+        if read:
+            bitmap.revoke_read(csr)
+        if write:
+            bitmap.revoke_write(csr)
+        word = (2 * csr) // WORD_BITS
+        self.memory.store_word(self.reg_word_address(domain, word), bitmap.word(word))
+
+    def grant_all_registers(self, domain: int) -> None:
+        self._regs[domain] = RegisterBitmap(self.isa_map.n_csrs, fill=True)
+        self._sync_regs(domain)
+
+    def set_mask(self, domain: int, csr: int, mask: int) -> None:
+        """Set the full write mask for a bitwise-controlled CSR."""
+        slot = self.isa_map.mask_slot(csr)
+        if slot is None:
+            raise ConfigurationError(
+                "CSR %s is not bitwise-controlled" % self.isa_map.csr_name(csr)
+            )
+        masks = self._mask_array(domain)
+        masks.set_mask(slot, mask)
+        self._sync_mask(domain, slot)
+
+    def allow_bits(self, domain: int, csr: int, bits: int) -> None:
+        """Expose additional writable bits of a bitwise-controlled CSR."""
+        slot = self.isa_map.mask_slot(csr)
+        if slot is None:
+            raise ConfigurationError(
+                "CSR %s is not bitwise-controlled" % self.isa_map.csr_name(csr)
+            )
+        masks = self._mask_array(domain)
+        masks.allow_bits(slot, bits)
+        self._sync_mask(domain, slot)
+
+    def set_all_masks(self, domain: int, mask: int) -> None:
+        masks = self._mask_array(domain)
+        for slot in range(self.isa_map.n_masked_csrs):
+            masks.set_mask(slot, mask)
+            self._sync_mask(domain, slot)
+
+    # ------------------------------------------------------------------
+    # PCU refill path: raw word reads from trusted memory.
+    # ------------------------------------------------------------------
+    def read_inst_word(self, domain: int, word_index: int) -> int:
+        return self.memory.load_word(self.inst_word_address(domain, word_index))
+
+    def read_reg_word(self, domain: int, word_index: int) -> int:
+        return self.memory.load_word(self.reg_word_address(domain, word_index))
+
+    def read_mask(self, domain: int, slot: int) -> int:
+        return self.memory.load_word(self.mask_address(domain, slot))
+
+    def read_inst_words(self, domain: int) -> List[int]:
+        """All instruction-bitmap words of one domain (bypass-register fill)."""
+        return [
+            self.read_inst_word(domain, i) for i in range(self.inst_words_per_domain)
+        ]
+
+    def footprint_words(self) -> int:
+        """Trusted-memory footprint of the whole table, in words."""
+        return self.max_domains * (
+            self.inst_words_per_domain
+            + self.reg_words_per_domain
+            + self.mask_words_per_domain
+        )

@@ -1,0 +1,202 @@
+"""Architecture-neutral description of the ISA-Grid ISA extension.
+
+The PCU itself is architecture-agnostic: it checks *instruction classes*
+and *CSR indices*.  Each host architecture (``repro.riscv``,
+``repro.x86``) supplies an :class:`IsaGridIsaMap` describing the three
+hardware mappings the paper calls out in Section 4.1:
+
+1. instruction opcode → instruction-bitmap index,
+2. register address → register-bitmap index,
+3. register address → bit-mask-array slot (for bitwise-controlled CSRs).
+
+This module also defines :class:`AccessInfo`, the per-instruction record
+the CPU hands to the PCU, the gate kinds of Section 4.2, and the new
+architectural registers of Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Dict, List, Optional, Sequence
+
+from .errors import ConfigurationError
+
+
+class GateKind(Enum):
+    """The three domain-switching instructions (Table 2)."""
+
+    HCCALL = auto()   # basic gate: jump + switch
+    HCCALLS = auto()  # extended gate: jump + switch + push trusted stack
+    HCRETS = auto()   # extended return: pop trusted stack + jump + switch
+
+
+class CacheId(Enum):
+    """Identifiers accepted by the ``pflh`` cache-flush instruction.
+
+    ``ALL`` (encoded as id zero in the instruction operand) flushes every
+    module of the domain privilege cache.
+    """
+
+    ALL = 0
+    INST_BITMAP = 1
+    REG_BITMAP = 2
+    BIT_MASK = 3
+    SGT = 4
+
+
+@dataclass(frozen=True)
+class AccessInfo:
+    """Everything the PCU needs to check one issued instruction.
+
+    ``csr`` is the architecture-level CSR index (already mapped through
+    :meth:`IsaGridIsaMap.csr_index`); it is ``None`` for instructions that
+    do not *explicitly* access a CSR.  Per Section 4.1 the PCU ignores
+    side-effect CSR accesses (e.g. a faulting load updating ``scause``),
+    so the decoders only populate ``csr`` for explicit accesses.
+    """
+
+    inst_class: int
+    address: int = 0
+    csr: Optional[int] = None
+    csr_read: bool = False
+    csr_write: bool = False
+    write_value: Optional[int] = None
+    old_value: Optional[int] = None  # current CSR value, for the mask equation
+
+
+@dataclass
+class CsrDescriptor:
+    """One control/status register known to ISA-Grid."""
+
+    name: str
+    index: int
+    width: int = 64
+    bitwise: bool = False  # does this CSR need a per-domain write mask?
+    mask_slot: Optional[int] = None
+
+
+class IsaGridIsaMap:
+    """The hardware parameters of an ISA-Grid instance for one ISA.
+
+    Software developers must know these mappings (Section 4.1); the
+    simulated kernels import the map from their architecture package.
+    """
+
+    def __init__(self, arch: str, inst_class_names: Sequence[str], csrs: Sequence[CsrDescriptor]):
+        self.arch = arch
+        self.inst_class_names: List[str] = list(inst_class_names)
+        if len(set(self.inst_class_names)) != len(self.inst_class_names):
+            raise ConfigurationError("duplicate instruction class names")
+        self._class_index: Dict[str, int] = {
+            name: i for i, name in enumerate(self.inst_class_names)
+        }
+        self.csrs: List[CsrDescriptor] = list(csrs)
+        self._csr_by_name: Dict[str, CsrDescriptor] = {}
+        mask_slot = 0
+        for i, csr in enumerate(self.csrs):
+            if csr.index != i:
+                raise ConfigurationError(
+                    "CSR %s has index %d but position %d" % (csr.name, csr.index, i)
+                )
+            if csr.name in self._csr_by_name:
+                raise ConfigurationError("duplicate CSR name %s" % csr.name)
+            self._csr_by_name[csr.name] = csr
+            if csr.bitwise:
+                csr.mask_slot = mask_slot
+                mask_slot += 1
+        self.n_masked_csrs = mask_slot
+
+    @property
+    def n_inst_classes(self) -> int:
+        return len(self.inst_class_names)
+
+    @property
+    def n_csrs(self) -> int:
+        return len(self.csrs)
+
+    def inst_class(self, name: str) -> int:
+        """Instruction-bitmap index of a named instruction class."""
+        try:
+            return self._class_index[name]
+        except KeyError:
+            raise ConfigurationError("unknown instruction class %r" % name) from None
+
+    def inst_class_name(self, index: int) -> str:
+        return self.inst_class_names[index]
+
+    def csr_index(self, name: str) -> int:
+        """Register-bitmap index of a named CSR."""
+        try:
+            return self._csr_by_name[name].index
+        except KeyError:
+            raise ConfigurationError("unknown CSR %r" % name) from None
+
+    def csr_descriptor(self, index: int) -> CsrDescriptor:
+        return self.csrs[index]
+
+    def csr_name(self, index: int) -> str:
+        return self.csrs[index].name
+
+    def mask_slot(self, csr_index: int) -> Optional[int]:
+        """Bit-mask-array slot for a CSR, or ``None`` if not bitwise."""
+        return self.csrs[csr_index].mask_slot
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "IsaGridIsaMap(%s: %d classes, %d CSRs, %d masked)" % (
+            self.arch,
+            self.n_inst_classes,
+            self.n_csrs,
+            self.n_masked_csrs,
+        )
+
+
+@dataclass
+class PcuRegisters:
+    """The new architectural registers introduced by ISA-Grid (Table 2).
+
+    All of these are readable/writable only in domain-0, except
+    ``domain``/``pdomain`` whose read permission is configurable and whose
+    writes only happen through gate instructions.
+    """
+
+    domain: int = 0        # id of the current ISA domain (reset: domain-0)
+    pdomain: int = 0       # id of the previous domain after a switch
+    domain_nr: int = 0     # number of valid domains
+    csr_cap: int = 0       # base address of the register bitmaps
+    csr_bit_mask: int = 0  # base address of the bit-mask arrays
+    inst_cap: int = 0      # base address of the instruction bitmaps
+    gate_addr: int = 0     # base address of the SGT
+    gate_nr: int = 0       # number of valid gates
+    hcsp: int = 0          # trusted stack pointer
+    hcsb: int = 0          # trusted stack base
+    hcsl: int = 0          # trusted stack limit
+    tmemb: int = 0         # trusted memory base
+    tmeml: int = 0         # trusted memory limit
+
+
+#: Human-readable summary of the ISA extension (Table 2), used by docs
+#: and the quickstart example.
+NEW_INSTRUCTIONS = {
+    "hccall #gateid": "Domain switch: verify gate address, jump to the "
+                      "registered destination and change domain.",
+    "hccalls #gateid": "Extended switch: as hccall, plus push (return "
+                       "address, current domain) on the trusted stack.",
+    "hcrets": "Extended return: pop (return address, domain) from the "
+              "trusted stack, jump and change domain.",
+    "pfch #csr": "Prefetch privilege structures of #csr (0 = all) into "
+                 "the domain privilege cache.",
+    "pflh #bufid": "Flush the privilege cache module #bufid (0 = all).",
+}
+
+NEW_REGISTERS = {
+    "domain/pdomain": "Current / previous domain id (read-only).",
+    "domain-nr": "Number of valid domains.",
+    "csr-cap": "Base address of the CSR bitmaps.",
+    "csr-bit-mask": "Base address of the CSR bit-mask arrays.",
+    "inst-cap": "Base address of the instruction bitmaps.",
+    "gate-addr": "Base address of the SGT.",
+    "gate-nr": "Number of valid gates.",
+    "hcsp/hcsb/hcsl": "Trusted stack pointer / base / limit.",
+    "tmemb/tmeml": "Trusted memory base / limit.",
+}

@@ -1,0 +1,149 @@
+"""Domain-configuration manifests: export/apply as plain data.
+
+Deployments want privilege policy in review-able files, not imperative
+setup code.  A manifest captures every domain's grants and every gate
+registration; :func:`apply_manifest` replays it onto a fresh
+:class:`~repro.core.domain.DomainManager`.  Gate/dest addresses may be
+given numerically or symbolically against a provided symbol table (so
+manifests survive relinking).
+
+Example manifest::
+
+    {
+      "domains": [
+        {"name": "vm",
+         "instructions": ["alu", "csr"],
+         "registers": [{"csr": "satp", "read": true, "write": true}],
+         "register_bits": [{"csr": "sstatus", "bits": "0x6000"}]}
+      ],
+      "gates": [
+        {"gate": "g_set_satp", "destination": "fn_set_satp", "domain": "vm"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, Union
+
+from .domain import DomainManager
+from .errors import ConfigurationError
+from .pcu import DOMAIN_0
+
+Address = Union[int, str]
+
+
+def _resolve(value: Address, symbols: Optional[Mapping[str, int]]) -> int:
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        if symbols is not None and value in symbols:
+            return symbols[value]
+        try:
+            return int(value, 0)
+        except ValueError:
+            raise ConfigurationError(
+                "manifest address %r is not a symbol or number" % value
+            ) from None
+    raise ConfigurationError("bad manifest address %r" % (value,))
+
+
+def _parse_bits(value: Union[int, str]) -> int:
+    if isinstance(value, int):
+        return value
+    return int(value, 0)
+
+
+def export_manifest(manager: DomainManager) -> Dict[str, object]:
+    """Capture the manager's current configuration as plain data."""
+    domains: List[Dict[str, object]] = []
+    for domain_id in sorted(manager.domains):
+        if domain_id == DOMAIN_0:
+            continue
+        descriptor = manager.domains[domain_id]
+        registers = []
+        for csr in sorted(descriptor.readable_csrs | descriptor.writable_csrs):
+            if csr in descriptor.bit_grants and csr not in descriptor.readable_csrs:
+                continue  # bit-grant-only CSRs are captured below
+            registers.append({
+                "csr": csr,
+                "read": csr in descriptor.readable_csrs,
+                "write": csr in descriptor.writable_csrs
+                and csr not in descriptor.bit_grants,
+            })
+        domains.append({
+            "name": descriptor.name,
+            "instructions": sorted(descriptor.instructions),
+            "registers": registers,
+            "register_bits": [
+                {"csr": csr, "bits": "0x%X" % bits}
+                for csr, bits in sorted(descriptor.bit_grants.items())
+            ],
+        })
+    gates = [
+        {
+            "gate": entry.gate_address,
+            "destination": entry.destination_address,
+            "domain": manager.domains[entry.destination_domain].name,
+        }
+        for _, entry in sorted(manager.gates.items())
+    ]
+    return {"arch": manager.isa_map.arch, "domains": domains, "gates": gates}
+
+
+def apply_manifest(
+    manager: DomainManager,
+    manifest: Mapping[str, object],
+    *,
+    symbols: Optional[Mapping[str, int]] = None,
+) -> Dict[str, int]:
+    """Replay a manifest onto ``manager``; returns name -> domain id."""
+    arch = manifest.get("arch")
+    if arch is not None and arch != manager.isa_map.arch:
+        raise ConfigurationError(
+            "manifest is for %r, manager is %r" % (arch, manager.isa_map.arch)
+        )
+    ids: Dict[str, int] = {"domain-0": DOMAIN_0}
+    for spec in manifest.get("domains", ()):
+        descriptor = manager.create_domain(spec["name"])
+        ids[spec["name"]] = descriptor.domain_id
+        manager.allow_instructions(descriptor.domain_id, spec.get("instructions", ()))
+        for grant in spec.get("registers", ()):
+            manager.grant_register(
+                descriptor.domain_id,
+                grant["csr"],
+                read=bool(grant.get("read")),
+                write=bool(grant.get("write")),
+            )
+        for grant in spec.get("register_bits", ()):
+            manager.grant_register_bits(
+                descriptor.domain_id, grant["csr"], _parse_bits(grant["bits"])
+            )
+    for spec in manifest.get("gates", ()):
+        domain_name = spec["domain"]
+        if domain_name not in ids:
+            raise ConfigurationError("gate targets unknown domain %r" % domain_name)
+        manager.register_gate(
+            _resolve(spec["gate"], symbols),
+            _resolve(spec["destination"], symbols),
+            ids[domain_name],
+        )
+    return ids
+
+
+def dumps(manager: DomainManager, **json_kwargs) -> str:
+    """Export as JSON text."""
+    json_kwargs.setdefault("indent", 2)
+    json_kwargs.setdefault("sort_keys", True)
+    return json.dumps(export_manifest(manager), **json_kwargs)
+
+
+def loads(
+    manager: DomainManager,
+    text: str,
+    *,
+    symbols: Optional[Mapping[str, int]] = None,
+) -> Dict[str, int]:
+    """Apply a JSON manifest."""
+    return apply_manifest(manager, json.loads(text), symbols=symbols)

@@ -1,0 +1,362 @@
+"""The Privilege Check Unit (Sections 3.3 and 4).
+
+The PCU is the single hardware unit ISA-Grid adds to a core.  It owns
+
+* the architectural registers of Table 2 (:class:`PcuRegisters`),
+* the hybrid-grained privilege check engine (against the HPT),
+* the unforgeable domain switching engine (against the SGT and the
+  trusted stack), and
+* the domain privilege cache with its bypass register.
+
+The host CPU calls :meth:`check` for every issued instruction and
+:meth:`execute_gate` for the three gate instructions.  Both return the
+stall cycles the check added (0 on every cache hit); privilege
+violations raise :class:`~repro.core.errors.PrivilegeFault` subclasses,
+which the simulated machine turns into architectural traps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .cache import FullyAssociativeCache, HptCacheSet, InstPrivilegeRegister, SgtCache
+from .config import PcuConfig
+from .errors import (
+    BitMaskViolationFault,
+    ConfigurationError,
+    GateFault,
+    InstructionPrivilegeFault,
+    RegisterReadFault,
+    RegisterWriteFault,
+    TrustedMemoryFault,
+)
+from .hpt import HybridPrivilegeTable
+from .isa_extension import AccessInfo, CacheId, GateKind, IsaGridIsaMap, PcuRegisters
+from .sgt import SwitchingGateTable
+from .stats import PcuStats
+from .trusted_memory import TrustedMemory, TrustedStack
+
+DOMAIN_0 = 0
+
+
+class PrivilegeCheckUnit:
+    """One PCU instance attached to one simulated core."""
+
+    def __init__(
+        self,
+        isa_map: IsaGridIsaMap,
+        config: PcuConfig,
+        trusted_memory: TrustedMemory,
+    ):
+        self.isa_map = isa_map
+        self.config = config
+        self.trusted_memory = trusted_memory
+        self.registers = PcuRegisters(
+            tmemb=trusted_memory.base, tmeml=trusted_memory.limit
+        )
+
+        self.hpt = HybridPrivilegeTable(
+            isa_map, trusted_memory, max_domains=config.max_domains
+        )
+        self.sgt = SwitchingGateTable(trusted_memory, max_gates=config.max_gates)
+        self.registers.inst_cap = self.hpt.inst_cap
+        self.registers.csr_cap = self.hpt.csr_cap
+        self.registers.csr_bit_mask = self.hpt.csr_bit_mask
+        self.registers.gate_addr = self.sgt.base
+
+        self.hpt_cache = HptCacheSet(config, self.hpt)
+        self.sgt_cache = SgtCache(config, self.sgt)
+        self.bypass = InstPrivilegeRegister()
+        # Optional Draco-style cache of known-legal accesses (Section 8):
+        # a hit proves legality without running the check pipeline.
+        self.draco = (
+            FullyAssociativeCache(config.draco_entries)
+            if config.draco_entries
+            else None
+        )
+        self.trusted_stack = TrustedStack(trusted_memory, self.registers)
+        self.stats = PcuStats()
+        self.enabled = True
+
+    # ------------------------------------------------------------------
+    # State.
+    # ------------------------------------------------------------------
+    @property
+    def current_domain(self) -> int:
+        return self.registers.domain
+
+    @property
+    def previous_domain(self) -> int:
+        return self.registers.pdomain
+
+    def reset(self) -> None:
+        """Processor reset: back to the all-privileged domain-0."""
+        self.registers.domain = DOMAIN_0
+        self.registers.pdomain = DOMAIN_0
+        self.bypass.invalidate()
+
+    def _enter_domain(self, destination: int) -> None:
+        if self.config.flush_on_switch:
+            # Section 8 trade-off: flush privilege state on every switch
+            # so one domain cannot PRIME+PROBE another's check history.
+            self.flush(CacheId.ALL)
+            if self.draco is not None:
+                self.draco.flush()
+        self.registers.pdomain = self.registers.domain
+        self.registers.domain = destination
+        self.bypass.invalidate()
+        self.stats.domain_switches += 1
+
+    # ------------------------------------------------------------------
+    # Hybrid-grained privilege check engine (Section 4.1).
+    # ------------------------------------------------------------------
+    def check(self, access: AccessInfo) -> int:
+        """Check one issued instruction; return added stall cycles.
+
+        Domain-0 holds every privilege by default (Section 4.4), so its
+        checks always pass without touching the caches.
+        """
+        if not self.enabled:
+            return 0
+        domain = self.registers.domain
+        self.stats.inst_checks += 1
+        if domain == DOMAIN_0:
+            return 0
+
+        # Draco-style shortcut (Section 8): a previously proven-legal
+        # access tuple skips the whole check pipeline.
+        draco_key = None
+        if self.draco is not None:
+            draco_key = (
+                domain, access.inst_class, access.csr,
+                access.csr_read, access.csr_write,
+                access.write_value, access.old_value,
+            )
+            if self.draco.lookup(draco_key) is not None:
+                self.stats.draco_hits += 1
+                return 0
+
+        stall = self._check_instruction(domain, access)
+        if access.csr is not None:
+            stall += self._check_csr(domain, access)
+        if draco_key is not None:
+            self.draco.fill(draco_key, True)  # only reached if legal
+        self.stats.stall_cycles += stall
+        return stall
+
+    def _check_instruction(self, domain: int, access: AccessInfo) -> int:
+        if self.config.bypass_enabled:
+            verdict = self.bypass.allowed(domain, access.inst_class)
+            if verdict is not None:
+                self.stats.bypass_hits += 1
+                if not verdict:
+                    self._fault(
+                        InstructionPrivilegeFault(
+                            access.inst_class, domain=domain, address=access.address
+                        )
+                    )
+                return 0
+            stall = self._fill_bypass(domain)
+            if not self.bypass.allowed(domain, access.inst_class):
+                self._fault(
+                    InstructionPrivilegeFault(
+                        access.inst_class, domain=domain, address=access.address
+                    )
+                )
+            return stall
+
+        word_index, offset = divmod(access.inst_class, 64)
+        word, stall = self.hpt_cache.inst_word(
+            domain, word_index, self.stats.inst_cache
+        )
+        if not word >> offset & 1:
+            self._fault(
+                InstructionPrivilegeFault(
+                    access.inst_class, domain=domain, address=access.address
+                )
+            )
+        return stall
+
+    def _fill_bypass(self, domain: int) -> int:
+        """Pull the whole instruction bitmap into the bypass register."""
+        words = []
+        stall = 0
+        for index in range(self.hpt.inst_words_per_domain):
+            word, cycles = self.hpt_cache.inst_word(
+                domain, index, self.stats.inst_cache
+            )
+            words.append(word)
+            stall += cycles
+        self.bypass.load(domain, words)
+        self.stats.bypass_fills += 1
+        return stall
+
+    def _check_csr(self, domain: int, access: AccessInfo) -> int:
+        csr = access.csr
+        word_index = (2 * csr) // 64
+        word, stall = self.hpt_cache.reg_word(domain, word_index, self.stats.reg_cache)
+        read_bit = word >> ((2 * csr) % 64) & 1
+        write_bit = word >> ((2 * csr) % 64 + 1) & 1
+
+        if access.csr_read:
+            self.stats.csr_read_checks += 1
+            if not read_bit:
+                self._fault(
+                    RegisterReadFault(csr, domain=domain, address=access.address)
+                )
+        if access.csr_write:
+            self.stats.csr_write_checks += 1
+            slot = self.isa_map.mask_slot(csr)
+            if slot is not None:
+                # Bitwise-controlled CSR: the mask decides writability.
+                stall += self._check_mask(domain, slot, access)
+            elif not write_bit:
+                self._fault(
+                    RegisterWriteFault(csr, domain=domain, address=access.address)
+                )
+        return stall
+
+    def _check_mask(self, domain: int, slot: int, access: AccessInfo) -> int:
+        self.stats.mask_checks += 1
+        mask, stall = self.hpt_cache.mask_word(domain, slot, self.stats.mask_cache)
+        if access.write_value is None or access.old_value is None:
+            raise ConfigurationError(
+                "bitwise CSR write check requires old and new values"
+            )
+        if (access.old_value ^ access.write_value) & ~mask:
+            self._fault(
+                BitMaskViolationFault(
+                    access.csr,
+                    access.old_value,
+                    access.write_value,
+                    mask,
+                    domain=domain,
+                    address=access.address,
+                )
+            )
+        return stall
+
+    def _fault(self, fault) -> None:
+        self.stats.record_fault(fault)
+        raise fault
+
+    # ------------------------------------------------------------------
+    # Unforgeable domain switching engine (Section 4.2).
+    # ------------------------------------------------------------------
+    def execute_gate(
+        self,
+        kind: GateKind,
+        gate_id: int,
+        pc: int,
+        return_address: Optional[int] = None,
+    ) -> Tuple[int, int]:
+        """Execute a gate instruction at ``pc``.
+
+        Returns ``(target_pc, stall_cycles)``.  Gate instructions are
+        executable from every domain; the SGT entry, not the HPT, decides
+        legality.  Raises :class:`GateFault` when the runtime address
+        does not match the registered gate address (defeating injected or
+        ROP-constructed gates) or the gate is unregistered.
+        """
+        if kind is GateKind.HCRETS:
+            return self._execute_return(pc)
+
+        try:
+            entry, stall = self.sgt_cache.entry(gate_id, self.stats.sgt_cache)
+        except GateFault as fault:
+            fault.domain = self.registers.domain
+            fault.address = pc
+            self._fault(fault)
+            raise  # unreachable; _fault always raises
+
+        if not entry.matches_call_site(pc):
+            self._fault(
+                GateFault(
+                    "gate %d called from 0x%x, registered at 0x%x"
+                    % (gate_id, pc, entry.gate_address),
+                    gate_id=gate_id,
+                    domain=self.registers.domain,
+                    address=pc,
+                )
+            )
+
+        if kind is GateKind.HCCALLS:
+            if return_address is None:
+                raise ConfigurationError("hccalls requires a return address")
+            self.trusted_stack.push(return_address, self.registers.domain)
+            self.stats.gate_calls_extended += 1
+        else:
+            self.stats.gate_calls += 1
+
+        self._enter_domain(entry.destination_domain)
+        self.stats.stall_cycles += stall
+        return entry.destination_address, stall
+
+    def _execute_return(self, pc: int) -> Tuple[int, int]:
+        """``hcrets``: pop the trusted stack and return cross-domain."""
+        return_address, domain = self.trusted_stack.pop()
+        if domain == DOMAIN_0:
+            # Section 4.4: hcrets must never re-enter the all-privileged
+            # init domain at a non-registered address.
+            self._fault(
+                GateFault(
+                    "hcrets may not return to domain-0",
+                    domain=self.registers.domain,
+                    address=pc,
+                )
+            )
+        self.stats.gate_returns += 1
+        self._enter_domain(domain)
+        return return_address, 0
+
+    # ------------------------------------------------------------------
+    # Cache management instructions (Section 5.1).
+    # ------------------------------------------------------------------
+    def prefetch(self, csr: int = 0) -> None:
+        """``pfch #csr``: warm the HPT caches; ``csr == 0`` fetches all.
+
+        (CSR index 0 is reserved by the ISA maps for this encoding.)
+        """
+        if not self.config.prefetch_enabled:
+            return
+        domain = self.registers.domain
+        if csr == 0:
+            self.hpt_cache.prefetch_all(
+                domain, self.stats.reg_cache, self.stats.mask_cache
+            )
+        else:
+            self.hpt_cache.prefetch_csr(
+                domain, csr, self.stats.reg_cache, self.stats.mask_cache
+            )
+
+    def flush(self, cache_id: CacheId = CacheId.ALL) -> None:
+        """``pflh #bufid``: flush one privilege-cache module (0 = all)."""
+        if cache_id in (CacheId.ALL, CacheId.INST_BITMAP):
+            self.hpt_cache.inst.flush()
+            self.bypass.invalidate()
+            self.stats.inst_cache.flushes += 1
+        if cache_id in (CacheId.ALL, CacheId.REG_BITMAP):
+            self.hpt_cache.reg.flush()
+            self.stats.reg_cache.flushes += 1
+        if cache_id in (CacheId.ALL, CacheId.BIT_MASK):
+            self.hpt_cache.mask.flush()
+            self.stats.mask_cache.flushes += 1
+        if cache_id in (CacheId.ALL, CacheId.SGT):
+            self.sgt_cache.flush()
+            self.stats.sgt_cache.flushes += 1
+        if cache_id is CacheId.ALL and self.draco is not None:
+            self.draco.flush()
+
+    # ------------------------------------------------------------------
+    # Trusted memory enforcement (Section 4.5).
+    # ------------------------------------------------------------------
+    def check_memory_access(self, address: int, pc: int = 0) -> None:
+        """Software load/store filter: trusted memory is domain-0-only."""
+        if not self.enabled:
+            return
+        if self.registers.domain != DOMAIN_0 and self.trusted_memory.contains(address):
+            self._fault(
+                TrustedMemoryFault(
+                    address, domain=self.registers.domain, address=pc
+                )
+            )

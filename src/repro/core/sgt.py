@@ -1,0 +1,110 @@
+"""The Switching Gate Table (Section 4.2).
+
+Every legal domain switch corresponds to one registered gate.  An SGT
+entry freezes the triple (gate address, destination address, destination
+domain); the entry's index is the *gate id* that the ``hccall``/
+``hccalls`` instructions name at runtime.  The table lives in trusted
+memory at the address held in the ``gate-addr`` register, four words per
+entry, so the PCU's SGT-cache refill is an indexed memory read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .errors import ConfigurationError, GateFault
+from .trusted_memory import WORD_BYTES, TrustedMemory
+
+ENTRY_WORDS = 4  # gate address, destination address, destination domain, valid
+
+
+@dataclass(frozen=True)
+class GateEntry:
+    """One registered switching gate."""
+
+    gate_id: int
+    gate_address: int
+    destination_address: int
+    destination_domain: int
+
+    def matches_call_site(self, address: int) -> bool:
+        """Property (i): a gate may only be called at its frozen address."""
+        return address == self.gate_address
+
+
+class SwitchingGateTable:
+    """Trusted-memory-backed table of unforgeable switching gates."""
+
+    def __init__(self, memory: TrustedMemory, max_gates: int = 1024):
+        if max_gates < 1:
+            raise ConfigurationError("need at least one gate slot")
+        self.memory = memory
+        self.max_gates = max_gates
+        self.base = memory.allocate(max_gates * ENTRY_WORDS)
+        self._next_id = 0
+
+    def entry_address(self, gate_id: int) -> int:
+        if not 0 <= gate_id < self.max_gates:
+            raise ConfigurationError("gate id %d out of range" % gate_id)
+        return self.base + gate_id * ENTRY_WORDS * WORD_BYTES
+
+    # ------------------------------------------------------------------
+    # Domain-0 registration API.
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        gate_address: int,
+        destination_address: int,
+        destination_domain: int,
+        *,
+        gate_id: Optional[int] = None,
+    ) -> GateEntry:
+        """Register a new gate and return its entry.
+
+        ``gate_id`` defaults to the next free slot; passing it explicitly
+        lets domain-0 software manage its own id space (e.g. re-using
+        slots of unloaded modules).
+        """
+        if gate_id is None:
+            gate_id = self._next_id
+            self._next_id += 1
+        elif gate_id >= self._next_id:
+            self._next_id = gate_id + 1
+        entry = GateEntry(gate_id, gate_address, destination_address, destination_domain)
+        address = self.entry_address(gate_id)
+        self.memory.store_word(address, gate_address)
+        self.memory.store_word(address + WORD_BYTES, destination_address)
+        self.memory.store_word(address + 2 * WORD_BYTES, destination_domain)
+        self.memory.store_word(address + 3 * WORD_BYTES, 1)
+        return entry
+
+    def unregister(self, gate_id: int) -> None:
+        address = self.entry_address(gate_id)
+        self.memory.store_word(address + 3 * WORD_BYTES, 0)
+
+    @property
+    def gate_nr(self) -> int:
+        """Number of gate slots handed out so far (the gate-nr register)."""
+        return self._next_id
+
+    # ------------------------------------------------------------------
+    # PCU refill path.
+    # ------------------------------------------------------------------
+    def read_entry(self, gate_id: int) -> GateEntry:
+        """Load one SGT entry from trusted memory; faults if unregistered.
+
+        Property (iv): an unregistered gate can never be executed — the
+        valid word is zero and the lookup raises :class:`GateFault`.
+        """
+        if not 0 <= gate_id < self.max_gates:
+            raise GateFault("gate id %d out of range" % gate_id, gate_id=gate_id)
+        address = self.entry_address(gate_id)
+        if not self.memory.load_word(address + 3 * WORD_BYTES):
+            raise GateFault("gate %d is not registered" % gate_id, gate_id=gate_id)
+        return GateEntry(
+            gate_id,
+            self.memory.load_word(address),
+            self.memory.load_word(address + WORD_BYTES),
+            self.memory.load_word(address + 2 * WORD_BYTES),
+        )

@@ -1,0 +1,159 @@
+"""Trusted memory region and trusted stack (Sections 4.2, 4.5).
+
+ISA-Grid reserves a power-of-two-sized, aligned range of physical memory
+for the HPT, the SGT and the trusted stack.  Two dedicated registers
+(``tmemb``/``tmeml``) bound the range.  Loads and stores may touch the
+range only while the core is in domain-0; in any other domain only the
+PCU itself may read it.  The bound check is a simple mask compare thanks
+to the power-of-two constraint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Protocol
+
+from .errors import ConfigurationError, TrustedStackFault
+
+WORD_BYTES = 8
+
+
+class WordBacking(Protocol):
+    """Minimal memory interface trusted structures are stored through."""
+
+    def load_word(self, address: int) -> int: ...
+
+    def store_word(self, address: int, value: int) -> None: ...
+
+
+class WordMemory:
+    """Sparse 64-bit word store; the default backing for unit tests."""
+
+    def __init__(self) -> None:
+        self._words: Dict[int, int] = {}
+
+    def load_word(self, address: int) -> int:
+        if address % WORD_BYTES:
+            raise ValueError("unaligned word load at 0x%x" % address)
+        return self._words.get(address, 0)
+
+    def store_word(self, address: int, value: int) -> None:
+        if address % WORD_BYTES:
+            raise ValueError("unaligned word store at 0x%x" % address)
+        self._words[address] = value & (1 << 64) - 1
+
+
+class TrustedMemory:
+    """The reserved physical range holding HPT, SGT and trusted stacks.
+
+    Parameters
+    ----------
+    base, size:
+        Physical range ``[base, base + size)``.  ``size`` must be a power
+        of two and ``base`` aligned to it, which lets the hardware bound
+        check be a single mask compare (Section 4.5).
+    backing:
+        Word-granular memory the region lives in.  Defaults to a private
+        :class:`WordMemory` so the core package is usable stand-alone.
+    """
+
+    def __init__(self, base: int, size: int, backing: WordBacking = None):
+        if size <= 0 or size & (size - 1):
+            raise ConfigurationError("trusted memory size must be a power of two")
+        if base % size:
+            raise ConfigurationError("trusted memory base must be size-aligned")
+        self.base = base
+        self.size = size
+        self.limit = base + size
+        self._backing: WordBacking = backing if backing is not None else WordMemory()
+        self._next_alloc = base
+
+    def contains(self, address: int) -> bool:
+        """Hardware bound check: is ``address`` inside the trusted range?"""
+        return (address & ~(self.size - 1)) == self.base
+
+    def load_word(self, address: int) -> int:
+        """PCU-side read; bypasses the domain-0-only software check."""
+        if not self.contains(address):
+            raise ConfigurationError("PCU read outside trusted memory: 0x%x" % address)
+        return self._backing.load_word(address)
+
+    def store_word(self, address: int, value: int) -> None:
+        """Domain-0 software write path (the Machine enforces domain-0)."""
+        if not self.contains(address):
+            raise ConfigurationError("write outside trusted memory: 0x%x" % address)
+        self._backing.store_word(address, value)
+
+    def allocate(self, n_words: int) -> int:
+        """Bump-allocate ``n_words`` words; used by domain-0 init code."""
+        address = self._next_alloc
+        end = address + n_words * WORD_BYTES
+        if end > self.limit:
+            raise ConfigurationError(
+                "trusted memory exhausted (%d words requested)" % n_words
+            )
+        self._next_alloc = end
+        return address
+
+    @property
+    def words_free(self) -> int:
+        return (self.limit - self._next_alloc) // WORD_BYTES
+
+
+class TrustedStack:
+    """The trusted stack used by ``hccalls``/``hcrets`` (Section 4.2).
+
+    Each frame is two words: the return address and the source domain id.
+    The stack grows upward from ``hcsb``; pushes beyond ``hcsl`` or pops
+    below ``hcsb`` raise :class:`TrustedStackFault`.  The three pointer
+    registers live in the PCU register file; this class manipulates them
+    through the ``registers`` object it is given (duck-typed to
+    :class:`~repro.core.isa_extension.PcuRegisters`).
+    """
+
+    FRAME_WORDS = 2
+
+    def __init__(self, memory: TrustedMemory, registers) -> None:
+        self._memory = memory
+        self._regs = registers
+
+    def configure(self, base: int, limit: int) -> None:
+        """Domain-0 initialization of hcsb/hcsl/hcsp."""
+        if not (self._memory.contains(base) and self._memory.contains(limit - WORD_BYTES)):
+            raise ConfigurationError("trusted stack must live in trusted memory")
+        if limit <= base:
+            raise ConfigurationError("trusted stack limit must exceed base")
+        self._regs.hcsb = base
+        self._regs.hcsl = limit
+        self._regs.hcsp = base
+
+    def push(self, return_address: int, source_domain: int) -> None:
+        sp = self._regs.hcsp
+        new_sp = sp + self.FRAME_WORDS * WORD_BYTES
+        if sp < self._regs.hcsb or new_sp > self._regs.hcsl:
+            raise TrustedStackFault(
+                "trusted stack overflow", sp, domain=source_domain
+            )
+        self._memory.store_word(sp, return_address)
+        self._memory.store_word(sp + WORD_BYTES, source_domain)
+        self._regs.hcsp = new_sp
+
+    def pop(self) -> "tuple[int, int]":
+        sp = self._regs.hcsp - self.FRAME_WORDS * WORD_BYTES
+        if sp < self._regs.hcsb:
+            raise TrustedStackFault("trusted stack underflow", self._regs.hcsp)
+        return_address = self._memory.load_word(sp)
+        domain = self._memory.load_word(sp + WORD_BYTES)
+        self._regs.hcsp = sp
+        return return_address, domain
+
+    @property
+    def depth(self) -> int:
+        """Number of frames currently on the stack."""
+        return (self._regs.hcsp - self._regs.hcsb) // (self.FRAME_WORDS * WORD_BYTES)
+
+    def save_context(self) -> "tuple[int, int, int]":
+        """Snapshot (hcsp, hcsb, hcsl) for a thread switch (Section 5.2)."""
+        return self._regs.hcsp, self._regs.hcsb, self._regs.hcsl
+
+    def restore_context(self, context: "tuple[int, int, int]") -> None:
+        self._regs.hcsp, self._regs.hcsb, self._regs.hcsl = context

@@ -1,0 +1,31 @@
+"""Analytic FPGA resource model (Table 6)."""
+
+from .fpga import (
+    FIXED_FF,
+    FIXED_LUT,
+    FpgaUtilization,
+    HPT_ENTRY_FF,
+    HPT_ENTRY_LUT,
+    ROCKET_BASELINE,
+    SGT_ENTRY_FF,
+    SGT_ENTRY_LUT,
+    estimate,
+    pcu_cost,
+    rocket_baseline,
+    table6_rows,
+)
+
+__all__ = [
+    "FIXED_FF",
+    "FIXED_LUT",
+    "FpgaUtilization",
+    "HPT_ENTRY_FF",
+    "HPT_ENTRY_LUT",
+    "ROCKET_BASELINE",
+    "SGT_ENTRY_FF",
+    "SGT_ENTRY_LUT",
+    "estimate",
+    "pcu_cost",
+    "rocket_baseline",
+    "table6_rows",
+]

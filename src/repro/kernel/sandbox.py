@@ -1,0 +1,115 @@
+"""Use case §6.4: in-kernel sandboxes and Dune-style processes.
+
+PrivBox runs application code inside the kernel for fast syscalls;
+Colony builds software TEEs around a trusted monitor; Dune gives
+processes ring-0 access to privileged hardware.  All three must ensure
+the hosted code cannot execute privileged instructions — which, without
+ISA-Grid, requires fragile binary scanning (§2.3).
+
+:func:`run_sandbox` executes guest code *in supervisor mode* inside a
+compute-only ISA domain: the code enjoys kernel-speed execution while
+every privileged instruction class (and every CSR) stays dead, enforced
+by the PCU rather than by scanning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core import CONFIG_8E, PcuConfig
+from repro.riscv import CSR_ADDRESS, KERNEL_BASE, assemble, build_riscv_system
+
+#: Instruction classes a sandboxed guest may use: pure computation.
+#: No ecall — PrivBox turns syscalls into direct calls.
+SANDBOX_CLASSES: Sequence[str] = (
+    "alu", "mul", "load", "store", "branch", "jump", "fence", "halt",
+)
+
+_HARNESS = """
+entry:                       # domain-0: install the fault handler, enter
+    la t0, handler
+    csrw stvec, t0
+    li t0, 0
+g_enter:
+    hccall t0                # -> guest code inside the sandbox domain
+handler:                     # ISA-Grid faults land here (in the sandbox
+    csrr t0, scause          # domain; scause read is granted)
+    la t1, %(fault_cell)d
+    ld t2, 0(t1)
+    addi t2, t2, 1
+    sd t2, 0(t1)
+    csrr t2, sepc            # skip the faulting instruction
+    addi t2, t2, 4
+    csrw sepc, t2
+    sret
+guest:
+%(guest)s
+"""
+
+FAULT_CELL = 0x0063_8000
+
+
+@dataclass
+class SandboxResult:
+    """Outcome of one sandboxed guest execution."""
+
+    exit_code: Optional[int]
+    blocked_attempts: int
+    instructions: int
+    cycles: float
+    registers: List[int] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """The guest never tried (or never managed) anything privileged."""
+        return self.blocked_attempts == 0
+
+
+def run_sandbox(
+    guest_source: str,
+    config: PcuConfig = CONFIG_8E,
+    *,
+    max_steps: int = 500_000,
+    extra_readable_csrs: Sequence[str] = (),
+) -> SandboxResult:
+    """Run guest assembly inside a compute-only ISA domain at S-mode.
+
+    The guest starts at its first instruction (label ``guest``) and must
+    finish with ``halt`` (the PrivBox exit).  Privileged instructions
+    fault, are counted, and are skipped — the guest cannot break out,
+    and the host survives every attempt.
+    """
+    system = build_riscv_system(config)
+    manager = system.manager
+    sandbox = manager.create_domain("sandbox")
+    manager.allow_instructions(sandbox.domain_id, SANDBOX_CLASSES)
+    # The fault path needs exception-CSR access (csr class + reads);
+    # grant the minimum and nothing else.
+    manager.allow_instructions(sandbox.domain_id, ("csr", "sret"))
+    for name in ("scause", "sepc", "stval"):
+        manager.grant_register(sandbox.domain_id, name, read=True)
+    manager.grant_register(sandbox.domain_id, "sepc", write=True)
+    manager.grant_register(sandbox.domain_id, "sscratch", read=True, write=True)
+    manager.grant_register_bits(sandbox.domain_id, "sstatus", 0x122)
+    for name in extra_readable_csrs:
+        manager.grant_register(sandbox.domain_id, name, read=True)
+
+    guest_body = "\n".join(
+        "    %s" % line.strip() if not line.strip().endswith(":") else line.strip()
+        for line in guest_source.strip().splitlines()
+    )
+    source = _HARNESS % {"guest": guest_body, "fault_cell": FAULT_CELL}
+    program = assemble(source, base=KERNEL_BASE)
+    system.load(program)
+    manager.register_gate(
+        program.symbol("g_enter"), program.symbol("guest"), sandbox.domain_id
+    )
+    stats = system.run(program.symbol("entry"), max_steps=max_steps)
+    return SandboxResult(
+        exit_code=system.cpu.exit_code,
+        blocked_attempts=system.machine.memory.load(FAULT_CELL, 8),
+        instructions=stats.instructions,
+        cycles=stats.cycles,
+        registers=list(system.cpu.regs),
+    )

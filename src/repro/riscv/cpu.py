@@ -1,0 +1,572 @@
+"""Functional RV64 CPU model with an integrated Privilege Check Unit.
+
+The core models U/S privilege modes (plus an M mode for completeness),
+the supervisor trap machinery (``stvec``/``sepc``/``scause``/``stval``/
+``sstatus``), and the full instruction subset of
+:mod:`repro.riscv.encoding`.  Every issued instruction is checked by the
+CPU privilege level *and* by the attached PCU, exactly as Section 4.1
+prescribes; either rejection vectors to the supervisor trap handler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.errors import PrivilegeFault, TrustedMemoryFault
+from repro.core.isa_extension import AccessInfo, CacheId, GateKind
+from repro.core.pcu import PrivilegeCheckUnit
+from repro.sim.machine import Machine
+from repro.sim.pipeline import StepInfo
+from repro.sim.trap import Trap, TrapKind
+
+from .encoding import (
+    EncodingError,
+    Instruction,
+    decode,
+    is_unsigned_load,
+    load_width,
+    sign_extend,
+)
+from .isa import (
+    CSR_ADDRESS,
+    CSR_INDEX_BY_ADDRESS,
+    CSR_MIN_PRIV,
+    GATE_CLASSES,
+    READ_ONLY_CSRS,
+    RISCV_ISA_MAP,
+    SSTATUS_SIE,
+    SSTATUS_SPIE,
+    SSTATUS_SPP,
+    SSTATUS_SUM,
+)
+
+MASK64 = (1 << 64) - 1
+
+PRIV_U = 0
+PRIV_S = 1
+PRIV_M = 3
+
+# scause values (RISC-V privileged spec + two custom causes for ISA-Grid).
+CAUSE_ILLEGAL_INSTRUCTION = 2
+CAUSE_BREAKPOINT = 3
+CAUSE_ECALL_U = 8
+CAUSE_ECALL_S = 9
+CAUSE_ISA_GRID_FAULT = 24      # custom: PCU privilege rejection
+CAUSE_TRUSTED_MEMORY = 25      # custom: trusted-memory access violation
+
+_CAUSE_BY_KIND = {
+    TrapKind.ILLEGAL_INSTRUCTION: CAUSE_ILLEGAL_INSTRUCTION,
+    TrapKind.BREAKPOINT: CAUSE_BREAKPOINT,
+    TrapKind.ISA_GRID_FAULT: CAUSE_ISA_GRID_FAULT,
+    TrapKind.TRUSTED_MEMORY_FAULT: CAUSE_TRUSTED_MEMORY,
+}
+
+_GATE_KIND = {
+    "hccall": GateKind.HCCALL,
+    "hccalls": GateKind.HCCALLS,
+    "hcrets": GateKind.HCRETS,
+}
+
+
+class CpuPanic(Exception):
+    """A trap occurred with no handler installed (stvec == 0)."""
+
+
+def to_signed(value: int) -> int:
+    return sign_extend(value & MASK64, 64)
+
+
+def _div_trunc(a: int, b: int) -> int:
+    """RISC-V signed division: truncate toward zero, div-by-zero = -1."""
+    if b == 0:
+        return -1
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient
+
+
+class RiscvCpu:
+    """A single RV64 hart attached to a :class:`Machine`."""
+
+    def __init__(self, machine: Machine, pcu: Optional[PrivilegeCheckUnit] = None):
+        self.machine = machine
+        self.memory = machine.memory
+        self.pcu = pcu if pcu is not None else machine.pcu
+        self.isa_map = RISCV_ISA_MAP
+        self.regs = [0] * 32
+        self.pc = 0
+        self.mode = PRIV_S  # boot in supervisor mode (kernel boot code)
+        self.csrs: Dict[int, int] = {addr: 0 for addr in CSR_INDEX_BY_ADDRESS}
+        self.exit_code: Optional[int] = None
+        self.trap_count = 0
+        self.last_trap: Optional[Trap] = None
+        self._class_index = {
+            name: self.isa_map.inst_class(name)
+            for name in self.isa_map.inst_class_names
+        }
+        self._decode_cache: Dict[int, Instruction] = {}
+        # Optional Sv39 translation: identity (Bare) until software
+        # writes a Sv39-mode SATP.  The decode cache is keyed by
+        # *physical* address, so address-space switches stay coherent.
+        from .mmu import ACCESS_FETCH, ACCESS_LOAD, ACCESS_STORE, Sv39Mmu
+
+        self.mmu = Sv39Mmu(machine.memory, machine.hierarchy)
+        self._ACCESS_FETCH = ACCESS_FETCH
+        self._ACCESS_LOAD = ACCESS_LOAD
+        self._ACCESS_STORE = ACCESS_STORE
+        machine.attach_cpu(self)
+
+    # ------------------------------------------------------------------
+    # Address translation.
+    # ------------------------------------------------------------------
+    def _translate(self, vaddr: int, access: str, info: StepInfo) -> int:
+        satp = self.csrs[CSR_ADDRESS["satp"]]
+        if satp == 0:  # Bare mode fast path
+            return vaddr
+        paddr, cycles = self.mmu.translate(
+            vaddr,
+            access,
+            satp=satp,
+            priv_mode=self.mode,
+            sum_bit=bool(self.csrs[CSR_ADDRESS["sstatus"]] & SSTATUS_SUM),
+        )
+        info.extra_cycles += cycles
+        return paddr
+
+    def flush_decode_cache(self) -> None:
+        """Call after writing instruction memory (icache coherence)."""
+        self._decode_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Register helpers.
+    # ------------------------------------------------------------------
+    def reg(self, index: int) -> int:
+        return self.regs[index]
+
+    def set_reg(self, index: int, value: int) -> None:
+        if index:
+            self.regs[index] = value & MASK64
+
+    # ------------------------------------------------------------------
+    # CSR access (architectural; privilege checks are in the executor).
+    # ------------------------------------------------------------------
+    def read_csr(self, address: int) -> int:
+        if address == CSR_ADDRESS["domain"]:
+            return self.pcu.current_domain if self.pcu else 0
+        if address == CSR_ADDRESS["pdomain"]:
+            return self.pcu.previous_domain if self.pcu else 0
+        if address == CSR_ADDRESS["hcsp"]:
+            return self.pcu.registers.hcsp if self.pcu else 0
+        if address == CSR_ADDRESS["hcsb"]:
+            return self.pcu.registers.hcsb if self.pcu else 0
+        if address == CSR_ADDRESS["hcsl"]:
+            return self.pcu.registers.hcsl if self.pcu else 0
+        if address == CSR_ADDRESS["cycle"]:
+            return int(self.machine.stats.cycles)
+        if address == CSR_ADDRESS["instret"]:
+            return self.machine.stats.instructions
+        if address == CSR_ADDRESS["time"]:
+            return int(self.machine.stats.cycles) // 10
+        return self.csrs[address]
+
+    def write_csr(self, address: int, value: int) -> None:
+        # The trusted-stack pointer registers live in the PCU (Table 2);
+        # the PCU's HPT check has already gated who may write them
+        # (domain-0 by default).
+        if self.pcu is not None:
+            if address == CSR_ADDRESS["hcsp"]:
+                self.pcu.registers.hcsp = value & MASK64
+                return
+            if address == CSR_ADDRESS["hcsb"]:
+                self.pcu.registers.hcsb = value & MASK64
+                return
+            if address == CSR_ADDRESS["hcsl"]:
+                self.pcu.registers.hcsl = value & MASK64
+                return
+        self.csrs[address] = value & MASK64
+
+    # ------------------------------------------------------------------
+    # Trap machinery.
+    # ------------------------------------------------------------------
+    def _vector_trap(self, trap: Trap, info: StepInfo) -> None:
+        """Hardware trap entry into supervisor mode."""
+        self.trap_count += 1
+        self.last_trap = trap
+        handler = self.csrs[CSR_ADDRESS["stvec"]]
+        if not handler:
+            raise CpuPanic(
+                "trap %s at pc=0x%x with no stvec handler" % (trap, trap.pc)
+            )
+        self.csrs[CSR_ADDRESS["sepc"]] = trap.pc
+        self.csrs[CSR_ADDRESS["scause"]] = trap.cause
+        self.csrs[CSR_ADDRESS["stval"]] = trap.value & MASK64
+        status = self.csrs[CSR_ADDRESS["sstatus"]]
+        # Side-effect CSR updates: not PCU-checked (Section 4.1).
+        if self.mode == PRIV_S:
+            status |= SSTATUS_SPP
+        else:
+            status &= ~SSTATUS_SPP & MASK64
+        if status & SSTATUS_SIE:
+            status |= SSTATUS_SPIE
+        else:
+            status &= ~SSTATUS_SPIE & MASK64
+        status &= ~SSTATUS_SIE & MASK64
+        self.csrs[CSR_ADDRESS["sstatus"]] = status
+        self.mode = PRIV_S
+        self.pc = handler
+        info.trapped = True
+
+    def _sret(self, info: StepInfo) -> None:
+        if self.mode < PRIV_S:
+            raise Trap(TrapKind.ILLEGAL_INSTRUCTION, CAUSE_ILLEGAL_INSTRUCTION, pc=self.pc)
+        status = self.csrs[CSR_ADDRESS["sstatus"]]
+        self.mode = PRIV_S if status & SSTATUS_SPP else PRIV_U
+        if status & SSTATUS_SPIE:
+            status |= SSTATUS_SIE
+        else:
+            status &= ~SSTATUS_SIE & MASK64
+        status &= ~SSTATUS_SPP & MASK64
+        self.csrs[CSR_ADDRESS["sstatus"]] = status
+        self.pc = self.csrs[CSR_ADDRESS["sepc"]]
+        info.trap_return = True
+
+    # ------------------------------------------------------------------
+    # The fetch-decode-execute step.
+    # ------------------------------------------------------------------
+    def step(self) -> StepInfo:
+        pc = self.pc
+        info = StepInfo(pc=pc, size=4)
+        try:
+            fetch_pa = self._translate(pc, self._ACCESS_FETCH, info)
+            inst = self._decode_cache.get(fetch_pa)
+            if inst is None:
+                try:
+                    word = self.memory.load(fetch_pa, 4)
+                    inst = decode(word)
+                except EncodingError as error:
+                    raise Trap(
+                        TrapKind.ILLEGAL_INSTRUCTION,
+                        CAUSE_ILLEGAL_INSTRUCTION,
+                        value=self.memory.load(fetch_pa, 4),
+                        pc=pc,
+                        message=str(error),
+                    )
+                self._decode_cache[fetch_pa] = inst
+            self._execute(inst, pc, info)
+        except Trap as trap:
+            if not trap.pc:
+                trap.pc = pc  # page faults raised mid-translation
+            self._vector_trap(trap, info)
+        except PrivilegeFault as fault:
+            kind = (
+                TrapKind.TRUSTED_MEMORY_FAULT
+                if isinstance(fault, TrustedMemoryFault)
+                else TrapKind.ISA_GRID_FAULT
+            )
+            self._vector_trap(
+                Trap(
+                    kind,
+                    _CAUSE_BY_KIND[kind],
+                    pc=pc,
+                    message=str(fault),
+                    fault=fault,
+                ),
+                info,
+            )
+        return info
+
+    # ------------------------------------------------------------------
+    def _check_pcu(self, inst: Instruction, pc: int, info: StepInfo, access: AccessInfo) -> None:
+        if self.pcu is not None:
+            info.pcu_stall += self.pcu.check(access)
+
+    def _plain_access(self, inst: Instruction, pc: int) -> AccessInfo:
+        return AccessInfo(inst_class=self._class_index[inst.inst_class], address=pc)
+
+    def _execute(self, inst: Instruction, pc: int, info: StepInfo) -> None:
+        m = inst.mnemonic
+        cls = inst.inst_class
+
+        if cls in GATE_CLASSES:
+            self._execute_gate(inst, pc, info)
+            return
+        if cls == "csr":
+            self._execute_csr(inst, pc, info)
+            return
+
+        # Hybrid check: CPU privilege level first, then the PCU.
+        if m in ("sret", "mret", "wfi") and self.mode < PRIV_S:
+            raise Trap(TrapKind.ILLEGAL_INSTRUCTION, CAUSE_ILLEGAL_INSTRUCTION, pc=pc)
+        if m == "sfence.vma" and self.mode < PRIV_S:
+            raise Trap(TrapKind.ILLEGAL_INSTRUCTION, CAUSE_ILLEGAL_INSTRUCTION, pc=pc)
+        self._check_pcu(inst, pc, info, self._plain_access(inst, pc))
+
+        next_pc = pc + 4
+        r = self.regs
+
+        if cls == "alu" or cls == "mul":
+            self._execute_alu(inst, pc)
+        elif cls == "load":
+            address = (r[inst.rs1] + inst.imm) & MASK64
+            physical = self._translate(address, self._ACCESS_LOAD, info)
+            self.machine.check_data_access(physical, pc)
+            width = load_width(m)
+            value = self.memory.load(physical, width)
+            if not is_unsigned_load(m):
+                value = sign_extend(value, 8 * width) & MASK64
+            self.set_reg(inst.rd, value)
+            info.is_load = True
+            info.mem_address = physical
+        elif cls == "store":
+            address = (r[inst.rs1] + inst.imm) & MASK64
+            physical = self._translate(address, self._ACCESS_STORE, info)
+            self.machine.check_data_access(physical, pc)
+            self.memory.store(physical, r[inst.rs2], load_width(m))
+            info.is_store = True
+            info.mem_address = physical
+        elif cls == "branch":
+            info.is_branch = True
+            taken = self._branch_taken(m, r[inst.rs1], r[inst.rs2])
+            info.branch_taken = taken
+            if taken:
+                next_pc = (pc + inst.imm) & MASK64
+        elif m == "jal":
+            self.set_reg(inst.rd, pc + 4)
+            next_pc = (pc + inst.imm) & MASK64
+        elif m == "jalr":
+            target = (r[inst.rs1] + inst.imm) & MASK64 & ~1
+            self.set_reg(inst.rd, pc + 4)
+            next_pc = target
+        elif cls == "fence":
+            pass
+        elif m == "ecall":
+            raise Trap(
+                TrapKind.SYSCALL,
+                CAUSE_ECALL_S if self.mode == PRIV_S else CAUSE_ECALL_U,
+                pc=pc,
+            )
+        elif m == "ebreak":
+            raise Trap(TrapKind.BREAKPOINT, CAUSE_BREAKPOINT, pc=pc)
+        elif m == "sret":
+            self._sret(info)
+            return
+        elif m == "mret":
+            # Minimal M-mode support: treated like sret from M.
+            self._sret(info)
+            return
+        elif m == "wfi":
+            pass
+        elif m == "sfence.vma":
+            self.mmu.flush_tlb()
+            info.extra_cycles = 8  # TLB maintenance cost
+        elif m == "pfch":
+            if self.pcu is not None:
+                self.pcu.prefetch(r[inst.rs1] & 0xFFFF)
+            info.extra_cycles = 1
+        elif m == "pflh":
+            if self.pcu is not None:
+                self.pcu.flush(CacheId(r[inst.rs1] & 0x7))
+            info.extra_cycles = 1
+        elif m == "halt":
+            self.exit_code = r[10]
+            info.halted = True
+        else:  # pragma: no cover - decoder and executor must stay in sync
+            raise Trap(TrapKind.ILLEGAL_INSTRUCTION, CAUSE_ILLEGAL_INSTRUCTION, pc=pc)
+
+        self.pc = next_pc
+
+    def _branch_taken(self, m: str, a: int, b: int) -> bool:
+        if m == "beq":
+            return a == b
+        if m == "bne":
+            return a != b
+        if m == "blt":
+            return to_signed(a) < to_signed(b)
+        if m == "bge":
+            return to_signed(a) >= to_signed(b)
+        if m == "bltu":
+            return a < b
+        return a >= b  # bgeu
+
+    def _execute_alu(self, inst: Instruction, pc: int) -> None:
+        m = inst.mnemonic
+        r = self.regs
+        a = r[inst.rs1]
+        if m == "lui":
+            result = inst.imm
+        elif m == "auipc":
+            result = pc + inst.imm
+        elif m == "addi":
+            result = a + inst.imm
+        elif m == "slti":
+            result = int(to_signed(a) < inst.imm)
+        elif m == "sltiu":
+            result = int(a < inst.imm & MASK64)
+        elif m == "xori":
+            result = a ^ inst.imm & MASK64
+        elif m == "ori":
+            result = a | inst.imm & MASK64
+        elif m == "andi":
+            result = a & inst.imm & MASK64
+        elif m == "slli":
+            result = a << inst.imm
+        elif m == "srli":
+            result = a >> inst.imm
+        elif m == "srai":
+            result = to_signed(a) >> inst.imm
+        elif m == "addiw":
+            result = sign_extend((a + inst.imm) & 0xFFFFFFFF, 32)
+        elif m == "slliw":
+            result = sign_extend((a << inst.imm) & 0xFFFFFFFF, 32)
+        elif m == "srliw":
+            result = sign_extend((a & 0xFFFFFFFF) >> inst.imm, 32)
+        elif m == "sraiw":
+            result = sign_extend(a & 0xFFFFFFFF, 32) >> inst.imm
+        else:
+            b = r[inst.rs2]
+            if m == "add":
+                result = a + b
+            elif m == "sub":
+                result = a - b
+            elif m == "sll":
+                result = a << (b & 63)
+            elif m == "slt":
+                result = int(to_signed(a) < to_signed(b))
+            elif m == "sltu":
+                result = int(a < b)
+            elif m == "xor":
+                result = a ^ b
+            elif m == "srl":
+                result = a >> (b & 63)
+            elif m == "sra":
+                result = to_signed(a) >> (b & 63)
+            elif m == "or":
+                result = a | b
+            elif m == "and":
+                result = a & b
+            elif m == "mul":
+                result = to_signed(a) * to_signed(b)
+            elif m == "mulh":
+                result = (to_signed(a) * to_signed(b)) >> 64
+            elif m == "mulhu":
+                result = (a * b) >> 64
+            elif m == "mulhsu":
+                result = (to_signed(a) * b) >> 64
+            elif m == "div":
+                result = _div_trunc(to_signed(a), to_signed(b))
+            elif m == "divu":
+                result = MASK64 if b == 0 else a // b
+            elif m == "rem":
+                sa, sb = to_signed(a), to_signed(b)
+                result = sa if sb == 0 else sa - _div_trunc(sa, sb) * sb
+            elif m == "remu":
+                result = a if b == 0 else a % b
+            elif m == "addw":
+                result = sign_extend((a + b) & 0xFFFFFFFF, 32)
+            elif m == "subw":
+                result = sign_extend((a - b) & 0xFFFFFFFF, 32)
+            elif m == "sllw":
+                result = sign_extend((a << (b & 31)) & 0xFFFFFFFF, 32)
+            elif m == "srlw":
+                result = sign_extend((a & 0xFFFFFFFF) >> (b & 31), 32)
+            elif m == "sraw":
+                result = sign_extend(a & 0xFFFFFFFF, 32) >> (b & 31)
+            elif m == "mulw":
+                result = sign_extend((a * b) & 0xFFFFFFFF, 32)
+            elif m == "divw":
+                aw = sign_extend(a & 0xFFFFFFFF, 32)
+                bw = sign_extend(b & 0xFFFFFFFF, 32)
+                result = sign_extend(_div_trunc(aw, bw) & 0xFFFFFFFF, 32)
+            elif m == "divuw":
+                aw, bw = a & 0xFFFFFFFF, b & 0xFFFFFFFF
+                result = -1 if bw == 0 else sign_extend(aw // bw, 32)
+            elif m == "remw":
+                aw = sign_extend(a & 0xFFFFFFFF, 32)
+                bw = sign_extend(b & 0xFFFFFFFF, 32)
+                rem = aw if bw == 0 else aw - _div_trunc(aw, bw) * bw
+                result = sign_extend(rem & 0xFFFFFFFF, 32)
+            elif m == "remuw":
+                aw, bw = a & 0xFFFFFFFF, b & 0xFFFFFFFF
+                result = sign_extend(aw if bw == 0 else aw % bw, 32)
+            else:  # pragma: no cover
+                raise Trap(TrapKind.ILLEGAL_INSTRUCTION, CAUSE_ILLEGAL_INSTRUCTION, pc=pc)
+        self.set_reg(inst.rd, result & MASK64)
+
+    # ------------------------------------------------------------------
+    def _execute_csr(self, inst: Instruction, pc: int, info: StepInfo) -> None:
+        m = inst.mnemonic
+        address = inst.csr
+        info.is_csr = True
+
+        # CPU privilege-level check (the classic mechanism).
+        min_priv = CSR_MIN_PRIV.get(address)
+        if min_priv is None:
+            raise Trap(
+                TrapKind.ILLEGAL_INSTRUCTION, CAUSE_ILLEGAL_INSTRUCTION,
+                value=address, pc=pc, message="unimplemented CSR 0x%x" % address,
+            )
+        if self.mode < min_priv:
+            raise Trap(
+                TrapKind.ILLEGAL_INSTRUCTION, CAUSE_ILLEGAL_INSTRUCTION,
+                value=address, pc=pc, message="CSR 0x%x needs privilege" % address,
+            )
+
+        immediate = m.endswith("i")
+        operand = inst.rs1 if immediate else self.regs[inst.rs1]
+        does_read = not (m in ("csrrw", "csrrwi") and inst.rd == 0)
+        does_write = m in ("csrrw", "csrrwi") or (
+            m in ("csrrs", "csrrc", "csrrsi", "csrrci") and
+            (inst.rs1 != 0 if not immediate else operand != 0)
+        )
+
+        if does_write and address in READ_ONLY_CSRS:
+            raise Trap(
+                TrapKind.ILLEGAL_INSTRUCTION, CAUSE_ILLEGAL_INSTRUCTION,
+                value=address, pc=pc, message="CSR 0x%x is read-only" % address,
+            )
+
+        old = self.read_csr(address)
+        if m in ("csrrw", "csrrwi"):
+            new = operand & MASK64
+        elif m in ("csrrs", "csrrsi"):
+            new = old | operand
+        else:
+            new = old & ~operand & MASK64
+
+        # ISA-Grid check: explicit CSR access (Section 4.1).
+        if self.pcu is not None:
+            csr_index = CSR_INDEX_BY_ADDRESS[address]
+            info.pcu_stall += self.pcu.check(
+                AccessInfo(
+                    inst_class=self._class_index["csr"],
+                    address=pc,
+                    csr=csr_index,
+                    csr_read=does_read,
+                    csr_write=does_write,
+                    write_value=new if does_write else None,
+                    old_value=old if does_write else None,
+                )
+            )
+
+        if does_read:
+            self.set_reg(inst.rd, old)
+        if does_write:
+            self.write_csr(address, new)
+        self.pc = pc + 4
+
+    # ------------------------------------------------------------------
+    def _execute_gate(self, inst: Instruction, pc: int, info: StepInfo) -> None:
+        """Gate instructions route to the PCU's switching engine."""
+        if self.pcu is None:
+            raise Trap(
+                TrapKind.ILLEGAL_INSTRUCTION, CAUSE_ILLEGAL_INSTRUCTION,
+                pc=pc, message="gate instruction without ISA-Grid",
+            )
+        kind = _GATE_KIND[inst.mnemonic]
+        info.is_gate = True
+        info.gate_kind = kind
+        gate_id = self.regs[inst.rs1]
+        target, stall = self.pcu.execute_gate(
+            kind, gate_id, pc, return_address=pc + 4
+        )
+        info.pcu_stall += stall
+        self.pc = target

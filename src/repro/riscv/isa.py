@@ -1,0 +1,143 @@
+"""RISC-V instruction classes and CSRs known to ISA-Grid.
+
+The HPT's instruction bitmap is indexed by *instruction type*, derived
+from the opcode (Section 4.1).  For the RV64 prototype we group the base
+ISA the way the Rocket prototype does: all general-computation opcodes
+in a handful of always-granted classes, and every system-level opcode in
+its own class so domains can be granted them individually.
+
+The CSR list covers the supervisor-mode registers the decomposed kernel
+touches (Section 6.1), machine-mode registers, the user counters, and
+the ISA-Grid ``domain``/``pdomain`` registers of Table 2.  ``sstatus``
+is the bitwise-controlled register of the RISC-V prototype (Section 7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.isa_extension import CsrDescriptor, IsaGridIsaMap
+
+# ---------------------------------------------------------------------------
+# Instruction classes (instruction-bitmap indices).
+# ---------------------------------------------------------------------------
+INST_CLASSES: List[str] = [
+    "alu",         # OP / OP-IMM / LUI / AUIPC
+    "mul",         # M extension
+    "load",
+    "store",
+    "branch",      # conditional branches
+    "jump",        # jal / jalr
+    "fence",       # fence / fence.i
+    "ecall",
+    "ebreak",
+    "csr",         # csrrw/csrrs/csrrc (+imm) — register check follows
+    "sret",
+    "mret",
+    "wfi",
+    "sfence_vma",  # TLB maintenance
+    "hccall",
+    "hccalls",
+    "hcrets",
+    "pfch",
+    "pflh",
+    "halt",        # simulation-only: stop the machine
+]
+
+#: Classes every domain doing ordinary computation needs.
+BASE_COMPUTE_CLASSES = ("alu", "mul", "load", "store", "branch", "jump", "fence")
+
+#: Gate instructions are executable from every domain (Section 4.2); the
+#: decoders route them to the switching engine instead of the bitmap check.
+GATE_CLASSES = ("hccall", "hccalls", "hcrets")
+
+# ---------------------------------------------------------------------------
+# Control and status registers.
+# ---------------------------------------------------------------------------
+#: (name, architectural CSR address, min privilege, bitwise?)  Index 0 is
+#: reserved so a zero ``pfch`` operand can mean "prefetch everything".
+_CSR_TABLE = [
+    ("reserved", 0x000, 3, False),
+    ("sstatus", 0x100, 1, True),
+    ("sie", 0x104, 1, False),
+    ("stvec", 0x105, 1, False),
+    ("scounteren", 0x106, 1, False),
+    ("sscratch", 0x140, 1, False),
+    ("sepc", 0x141, 1, False),
+    ("scause", 0x142, 1, False),
+    ("stval", 0x143, 1, False),
+    ("sip", 0x144, 1, False),
+    ("satp", 0x180, 1, False),
+    ("mstatus", 0x300, 3, False),
+    ("medeleg", 0x302, 3, False),
+    ("mideleg", 0x303, 3, False),
+    ("mie", 0x304, 3, False),
+    ("mtvec", 0x305, 3, False),
+    ("mscratch", 0x340, 3, False),
+    ("mepc", 0x341, 3, False),
+    ("mcause", 0x342, 3, False),
+    ("mtval", 0x343, 3, False),
+    ("mip", 0x344, 3, False),
+    ("pmpcfg0", 0x3A0, 3, False),
+    ("pmpaddr0", 0x3B0, 3, False),
+    ("domain", 0x5C0, 1, False),    # ISA-Grid: current domain id (read-only)
+    ("pdomain", 0x5C1, 1, False),   # ISA-Grid: previous domain id (read-only)
+    ("hcsp", 0x5C2, 1, False),      # ISA-Grid: trusted stack pointer (Table 2)
+    ("hcsb", 0x5C3, 1, False),      # ISA-Grid: trusted stack base
+    ("hcsl", 0x5C4, 1, False),      # ISA-Grid: trusted stack limit
+    ("cycle", 0xC00, 0, False),
+    ("time", 0xC01, 0, False),
+    ("instret", 0xC02, 0, False),
+    ("mhartid", 0xF14, 3, False),
+]
+
+#: CSR name -> architectural address (used by the assembler and CPU).
+CSR_ADDRESS: Dict[str, int] = {name: addr for name, addr, _, _ in _CSR_TABLE}
+
+#: architectural address -> bitmap index.
+CSR_INDEX_BY_ADDRESS: Dict[int, int] = {
+    addr: i for i, (_, addr, _, _) in enumerate(_CSR_TABLE)
+}
+
+#: architectural address -> minimum privilege level (0=U, 1=S, 3=M).
+CSR_MIN_PRIV: Dict[int, int] = {addr: priv for _, addr, priv, _ in _CSR_TABLE}
+
+#: CSRs that ordinary CSR-write instructions can never modify (the
+#: ``domain``/``pdomain`` registers only change through gates, Table 2).
+READ_ONLY_CSRS = {CSR_ADDRESS["domain"], CSR_ADDRESS["pdomain"],
+                  CSR_ADDRESS["cycle"], CSR_ADDRESS["time"],
+                  CSR_ADDRESS["instret"], CSR_ADDRESS["mhartid"]}
+
+#: The ISA-Grid map for the RV64 prototype.
+RISCV_ISA_MAP = IsaGridIsaMap(
+    "riscv64",
+    INST_CLASSES,
+    [
+        CsrDescriptor(name, index, width=64, bitwise=bitwise)
+        for index, (name, _, _, bitwise) in enumerate(_CSR_TABLE)
+    ],
+)
+
+# ---------------------------------------------------------------------------
+# sstatus fields (the bitwise-controlled CSR of the RISC-V prototype).
+# ---------------------------------------------------------------------------
+SSTATUS_SIE = 1 << 1
+SSTATUS_SPIE = 1 << 5
+SSTATUS_SPP = 1 << 8
+SSTATUS_FS = 0b11 << 13
+SSTATUS_SUM = 1 << 18
+SSTATUS_MXR = 1 << 19
+
+# ---------------------------------------------------------------------------
+# Register names.
+# ---------------------------------------------------------------------------
+ABI_REGISTERS = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+]
+
+REGISTER_NUMBER: Dict[str, int] = {name: i for i, name in enumerate(ABI_REGISTERS)}
+REGISTER_NUMBER.update({"x%d" % i: i for i in range(32)})
+REGISTER_NUMBER["fp"] = 8

@@ -1,0 +1,270 @@
+"""Sv39 virtual memory for the RISC-V core.
+
+The paper's flagship abused register is the page-table base (SATP /
+CR3): "Once such a register is abused, attackers can construct
+malicious mappings and break the page table isolation" (§2.2).  This
+module makes that concrete: with ``satp.MODE = 8`` the core translates
+through real Sv39 page tables, so a hijacked SATP observably redirects
+every access.
+
+Behaviour follows the privileged spec's subset we need:
+
+* 3-level walk, 9 bits per level, 4 KiB pages plus 2 MiB / 1 GiB
+  superpages (leaf at a higher level);
+* PTE bits V/R/W/X/U/A/D; R=0,W=1 reserved → fault;
+* permission checks per access type and privilege mode, honouring
+  ``sstatus.SUM`` for S-mode access to U pages;
+* A/D updates trap-style: a missing A (or D on store) faults, the way
+  hardware configured for software A/D management behaves;
+* a small TLB keyed by (ASID, VPN) flushed by ``sfence.vma`` and
+  timed: a miss costs the walk's memory accesses.
+
+M-mode and ``satp.MODE = 0`` (Bare) bypass translation, so the existing
+kernels and workloads run unchanged until someone turns paging on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.sim.trap import Trap, TrapKind
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+LEVELS = 3
+PTE_SIZE = 8
+
+# satp fields (RV64).
+SATP_MODE_SHIFT = 60
+SATP_MODE_BARE = 0
+SATP_MODE_SV39 = 8
+SATP_ASID_SHIFT = 44
+SATP_ASID_MASK = 0xFFFF
+SATP_PPN_MASK = (1 << 44) - 1
+
+# PTE bits.
+PTE_V = 1 << 0
+PTE_R = 1 << 1
+PTE_W = 1 << 2
+PTE_X = 1 << 3
+PTE_U = 1 << 4
+PTE_G = 1 << 5
+PTE_A = 1 << 6
+PTE_D = 1 << 7
+
+# scause page-fault codes.
+CAUSE_FETCH_PAGE_FAULT = 12
+CAUSE_LOAD_PAGE_FAULT = 13
+CAUSE_STORE_PAGE_FAULT = 15
+
+ACCESS_FETCH = "fetch"
+ACCESS_LOAD = "load"
+ACCESS_STORE = "store"
+
+_FAULT_CAUSE = {
+    ACCESS_FETCH: CAUSE_FETCH_PAGE_FAULT,
+    ACCESS_LOAD: CAUSE_LOAD_PAGE_FAULT,
+    ACCESS_STORE: CAUSE_STORE_PAGE_FAULT,
+}
+
+
+def make_satp(root_ppn: int, asid: int = 0, mode: int = SATP_MODE_SV39) -> int:
+    """Compose a SATP value from a root page number."""
+    return (
+        (mode & 0xF) << SATP_MODE_SHIFT
+        | (asid & SATP_ASID_MASK) << SATP_ASID_SHIFT
+        | root_ppn & SATP_PPN_MASK
+    )
+
+
+def make_pte(paddr: int, flags: int) -> int:
+    """Compose a leaf/pointer PTE for a physical address."""
+    return (paddr >> PAGE_SHIFT) << 10 | flags
+
+
+@dataclass
+class TlbEntry:
+    """One cached translation (always normalized to 4 KiB granularity)."""
+
+    paddr_base: int
+    flags: int
+    level: int
+
+
+class PageFault(Trap):
+    """Sv39 translation failure, vectored like any other trap."""
+
+    def __init__(self, access: str, vaddr: int):
+        super().__init__(
+            TrapKind.PAGE_FAULT,
+            _FAULT_CAUSE[access],
+            value=vaddr,
+            message="%s page fault at 0x%x" % (access, vaddr),
+        )
+        self.access = access
+        self.vaddr = vaddr
+
+
+class Sv39Mmu:
+    """Translation engine + TLB for one hart."""
+
+    def __init__(self, memory, hierarchy=None, tlb_entries: int = 64):
+        self.memory = memory
+        self.hierarchy = hierarchy
+        self.tlb_entries = tlb_entries
+        self._tlb: Dict[Tuple[int, int], TlbEntry] = {}
+        self.walks = 0
+        self.tlb_hits = 0
+        self.tlb_misses = 0
+
+    # ------------------------------------------------------------------
+    def flush_tlb(self) -> None:
+        """``sfence.vma`` (full flush in this model)."""
+        self._tlb.clear()
+
+    @staticmethod
+    def _vpn(vaddr: int, level: int) -> int:
+        return vaddr >> (PAGE_SHIFT + 9 * level) & 0x1FF
+
+    @staticmethod
+    def _canonical(vaddr: int) -> bool:
+        """Sv39 requires bits 63..39 to equal bit 38."""
+        top = vaddr >> 38
+        return top == 0 or top == (1 << 26) - 1
+
+    def translate(
+        self,
+        vaddr: int,
+        access: str,
+        *,
+        satp: int,
+        priv_mode: int,
+        sum_bit: bool = False,
+    ) -> Tuple[int, int]:
+        """Translate ``vaddr``; returns ``(paddr, extra_cycles)``.
+
+        Raises :class:`PageFault` on any translation failure.  Bare mode
+        (or M-mode) is the identity with zero cost.
+        """
+        mode = satp >> SATP_MODE_SHIFT & 0xF
+        if mode == SATP_MODE_BARE or priv_mode >= 3:
+            return vaddr, 0
+        if mode != SATP_MODE_SV39:
+            raise PageFault(access, vaddr)
+        if not self._canonical(vaddr):
+            raise PageFault(access, vaddr)
+
+        asid = satp >> SATP_ASID_SHIFT & SATP_ASID_MASK
+        page = vaddr >> PAGE_SHIFT
+        entry = self._tlb.get((asid, page))
+        if entry is not None:
+            self.tlb_hits += 1
+            self._check_permissions(entry.flags, access, priv_mode, sum_bit, vaddr)
+            return entry.paddr_base | vaddr & PAGE_SIZE - 1, 0
+
+        self.tlb_misses += 1
+        paddr_base, flags, level, cycles = self._walk(vaddr, satp, access)
+        self._check_permissions(flags, access, priv_mode, sum_bit, vaddr)
+        if len(self._tlb) >= self.tlb_entries:
+            self._tlb.pop(next(iter(self._tlb)))
+        self._tlb[(asid, page)] = TlbEntry(paddr_base, flags, level)
+        return paddr_base | vaddr & PAGE_SIZE - 1, cycles
+
+    # ------------------------------------------------------------------
+    def _walk(self, vaddr: int, satp: int, access: str) -> Tuple[int, int, int, int]:
+        """Page-table walk; returns (page base, flags, level, cycles)."""
+        self.walks += 1
+        table = (satp & SATP_PPN_MASK) << PAGE_SHIFT
+        cycles = 0
+        for level in range(LEVELS - 1, -1, -1):
+            pte_address = table + self._vpn(vaddr, level) * PTE_SIZE
+            if self.hierarchy is not None:
+                cycles += self.hierarchy.access_data(pte_address)
+            pte = self.memory.load(pte_address, 8)
+            if not pte & PTE_V or (not pte & PTE_R and pte & PTE_W):
+                raise PageFault(access, vaddr)
+            if pte & (PTE_R | PTE_X):
+                # Leaf.  Superpage PPN alignment must hold.
+                ppn = pte >> 10
+                if level and ppn & (1 << 9 * level) - 1:
+                    raise PageFault(access, vaddr)
+                # Software A/D management: missing A (or D on store)
+                # faults so the OS can set the bits.
+                if not pte & PTE_A or (access == ACCESS_STORE and not pte & PTE_D):
+                    raise PageFault(access, vaddr)
+                base = (ppn << PAGE_SHIFT) | (
+                    vaddr & ((1 << PAGE_SHIFT + 9 * level) - 1) & ~(PAGE_SIZE - 1)
+                )
+                return base, pte & 0xFF, level, cycles
+            table = (pte >> 10) << PAGE_SHIFT
+        raise PageFault(access, vaddr)
+
+    @staticmethod
+    def _check_permissions(
+        flags: int, access: str, priv_mode: int, sum_bit: bool, vaddr: int
+    ) -> None:
+        if access == ACCESS_FETCH and not flags & PTE_X:
+            raise PageFault(access, vaddr)
+        if access == ACCESS_LOAD and not flags & PTE_R:
+            raise PageFault(access, vaddr)
+        if access == ACCESS_STORE and not flags & PTE_W:
+            raise PageFault(access, vaddr)
+        if priv_mode == 0 and not flags & PTE_U:
+            raise PageFault(access, vaddr)
+        if priv_mode == 1 and flags & PTE_U:
+            # S-mode touching U pages: data needs SUM; fetch never allowed.
+            if access == ACCESS_FETCH or not sum_bit:
+                raise PageFault(access, vaddr)
+
+
+class PageTableBuilder:
+    """Build Sv39 page tables in physical memory (kernel-side helper)."""
+
+    def __init__(self, memory, allocator_base: int):
+        self.memory = memory
+        self._next = allocator_base
+        self.root = self._alloc_table()
+
+    def _alloc_table(self) -> int:
+        table = self._next
+        self._next += PAGE_SIZE
+        for offset in range(0, PAGE_SIZE, PTE_SIZE):
+            self.memory.store(table + offset, 0, 8)
+        return table
+
+    @property
+    def root_ppn(self) -> int:
+        return self.root >> PAGE_SHIFT
+
+    def satp(self, asid: int = 0) -> int:
+        return make_satp(self.root_ppn, asid)
+
+    def map_page(self, vaddr: int, paddr: int, flags: int) -> None:
+        """Install one 4 KiB mapping (A/D pre-set, V implied)."""
+        table = self.root
+        for level in range(LEVELS - 1, 0, -1):
+            index = Sv39Mmu._vpn(vaddr, level)
+            pte_address = table + index * PTE_SIZE
+            pte = self.memory.load(pte_address, 8)
+            if pte & PTE_V:
+                table = (pte >> 10) << PAGE_SHIFT
+            else:
+                new_table = self._alloc_table()
+                self.memory.store(
+                    pte_address, make_pte(new_table, PTE_V), 8
+                )
+                table = new_table
+        index = Sv39Mmu._vpn(vaddr, 0)
+        self.memory.store(
+            table + index * PTE_SIZE,
+            make_pte(paddr, flags | PTE_V | PTE_A | PTE_D),
+            8,
+        )
+
+    def map_range(self, vaddr: int, paddr: int, size: int, flags: int) -> None:
+        for offset in range(0, size, PAGE_SIZE):
+            self.map_page(vaddr + offset, paddr + offset, flags)
+
+    def identity_map(self, base: int, size: int, flags: int) -> None:
+        self.map_range(base, base, size, flags)

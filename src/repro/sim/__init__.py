@@ -1,0 +1,39 @@
+"""Simulation substrate: memory, cache hierarchy, pipelines, machines."""
+
+from .branch import BranchStats, TournamentPredictor
+from .machine import Core, Machine, MachineStats, SimulationLimitExceeded
+from .memhier import (
+    CacheLevel,
+    CacheLevelStats,
+    MemoryHierarchy,
+    gem5_o3_hierarchy,
+    rocket_hierarchy,
+)
+from .memory import MemoryAccessError, PhysicalMemory
+from .pipeline import InOrderPipelineModel, OutOfOrderPipelineModel, PipelineModel, StepInfo
+from .tracer import TraceRecord, Tracer
+from .trap import Trap, TrapKind
+
+__all__ = [
+    "BranchStats",
+    "CacheLevel",
+    "CacheLevelStats",
+    "Core",
+    "InOrderPipelineModel",
+    "Machine",
+    "MachineStats",
+    "MemoryAccessError",
+    "MemoryHierarchy",
+    "OutOfOrderPipelineModel",
+    "PhysicalMemory",
+    "PipelineModel",
+    "SimulationLimitExceeded",
+    "StepInfo",
+    "TournamentPredictor",
+    "TraceRecord",
+    "Tracer",
+    "Trap",
+    "TrapKind",
+    "gem5_o3_hierarchy",
+    "rocket_hierarchy",
+]

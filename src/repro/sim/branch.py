@@ -1,0 +1,78 @@
+"""Tournament branch predictor (timing only).
+
+The paper's Gem5 configuration uses a tournament predictor (Table 3).
+This is a compact functional model: a local 2-bit-counter table indexed
+by PC, a global 2-bit-counter table indexed by history, and a chooser
+that learns which of the two to trust per branch.  Only the predicted
+taken/not-taken bit feeds back into the pipeline model (mispredict =>
+flush penalty); targets are assumed BTB-resident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BranchStats:
+    predictions: int = 0
+    mispredictions: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        if not self.predictions:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions
+
+
+def _update_counter(counter: int, taken: bool) -> int:
+    """Saturating 2-bit counter update."""
+    if taken:
+        return min(3, counter + 1)
+    return max(0, counter - 1)
+
+
+class TournamentPredictor:
+    """Local + global predictor with a per-branch chooser."""
+
+    def __init__(self, local_bits: int = 10, global_bits: int = 10):
+        self.local_size = 1 << local_bits
+        self.global_size = 1 << global_bits
+        self._local = [1] * self.local_size     # weakly not-taken
+        self._global = [1] * self.global_size
+        self._chooser = [2] * self.local_size   # weakly prefer global
+        self._history = 0
+
+    def _indices(self, pc: int) -> "tuple[int, int]":
+        # XOR-fold the upper PC bits into the index (as real predictors
+        # do) so code regions a power-of-two apart don't alias head-on.
+        folded = (pc >> 2) ^ (pc >> 13) ^ (pc >> 21)
+        local_index = folded % self.local_size
+        global_index = (self._history ^ folded) % self.global_size
+        return local_index, global_index
+
+    def predict(self, pc: int) -> bool:
+        local_index, global_index = self._indices(pc)
+        if self._chooser[local_index] >= 2:
+            return self._global[global_index] >= 2
+        return self._local[local_index] >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Record the outcome; returns True if the prediction was wrong."""
+        local_index, global_index = self._indices(pc)
+        local_prediction = self._local[local_index] >= 2
+        global_prediction = self._global[global_index] >= 2
+        used_global = self._chooser[local_index] >= 2
+        prediction = global_prediction if used_global else local_prediction
+
+        # Chooser learns toward whichever component was right.
+        if local_prediction != global_prediction:
+            if global_prediction == taken:
+                self._chooser[local_index] = min(3, self._chooser[local_index] + 1)
+            else:
+                self._chooser[local_index] = max(0, self._chooser[local_index] - 1)
+
+        self._local[local_index] = _update_counter(self._local[local_index], taken)
+        self._global[global_index] = _update_counter(self._global[global_index], taken)
+        self._history = ((self._history << 1) | int(taken)) % self.global_size
+        return prediction != taken

@@ -1,0 +1,119 @@
+"""The Machine: one core + memory + hierarchy + PCU + timing model.
+
+The machine owns everything an experiment needs: the functional CPU
+(attached by the architecture packages), the physical memory with its
+trusted region, the cache-hierarchy and pipeline timing models, and the
+optional Privilege Check Unit.  ``run`` drives the fetch-execute loop
+and accumulates instruction and cycle counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol
+
+from repro.core.pcu import PrivilegeCheckUnit
+
+from .memhier import MemoryHierarchy
+from .memory import PhysicalMemory
+from .pipeline import PipelineModel, StepInfo
+
+
+class Core(Protocol):
+    """What the Machine requires of a functional CPU model."""
+
+    pc: int
+
+    def step(self) -> StepInfo: ...
+
+
+@dataclass
+class MachineStats:
+    """Aggregate run statistics."""
+
+    instructions: int = 0
+    cycles: float = 0.0
+    traps: int = 0
+    halted: bool = False
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    def reset(self) -> None:
+        self.instructions = 0
+        self.cycles = 0.0
+        self.traps = 0
+        self.halted = False
+
+
+class SimulationLimitExceeded(Exception):
+    """``run`` hit ``max_steps`` without the program halting."""
+
+
+class Machine:
+    """A single-core simulated machine."""
+
+    def __init__(
+        self,
+        memory: PhysicalMemory,
+        hierarchy: MemoryHierarchy,
+        pipeline: PipelineModel,
+        pcu: Optional[PrivilegeCheckUnit] = None,
+    ):
+        self.memory = memory
+        self.hierarchy = hierarchy
+        self.pipeline = pipeline
+        self.pcu = pcu
+        self.cpu: Optional[Core] = None
+        self.stats = MachineStats()
+
+    def attach_cpu(self, cpu: Core) -> None:
+        self.cpu = cpu
+
+    # ------------------------------------------------------------------
+    # Trusted-memory software filter (Section 4.5): every load/store the
+    # CPU performs on behalf of software goes through this check.
+    # ------------------------------------------------------------------
+    def check_data_access(self, address: int, pc: int = 0) -> None:
+        if self.pcu is not None:
+            self.pcu.check_memory_access(address, pc)
+
+    # ------------------------------------------------------------------
+    # Run loop.
+    # ------------------------------------------------------------------
+    def step(self) -> StepInfo:
+        """Execute one instruction and account its cycles."""
+        if self.cpu is None:
+            raise RuntimeError("no CPU attached")
+        info = self.cpu.step()
+        self.stats.instructions += 1
+        self.stats.cycles += self.pipeline.instruction_cycles(info)
+        if info.trapped:
+            self.stats.traps += 1
+        if info.halted:
+            self.stats.halted = True
+        return info
+
+    def run(self, max_steps: int = 2_000_000, *, require_halt: bool = True) -> MachineStats:
+        """Run until the program halts (or ``max_steps`` instructions).
+
+        With ``require_halt`` (the default), exceeding the budget raises
+        :class:`SimulationLimitExceeded` — runaway programs are a bug in
+        the experiment, not a result.
+        """
+        for _ in range(max_steps):
+            if self.step().halted:
+                return self.stats
+        if require_halt:
+            raise SimulationLimitExceeded(
+                "no halt after %d instructions (pc=0x%x)"
+                % (max_steps, self.cpu.pc if self.cpu else -1)
+            )
+        return self.stats
+
+    def reset_stats(self) -> None:
+        """Clear run statistics (not architectural or cache state)."""
+        self.stats.reset()
+        if self.pcu is not None:
+            self.pcu.stats.reset()

@@ -1,0 +1,145 @@
+"""Cache hierarchy timing model (Table 3 of the paper).
+
+Functional correctness is handled by :class:`~repro.sim.memory.
+PhysicalMemory`; this module only models *latency*: each level keeps a
+set-associative LRU tag array, and an access walks down the hierarchy
+accumulating the latency of every level it misses in, plus the DRAM
+latency on a full miss.
+
+The x86 prototype uses the paper's Gem5 parameters (32 KB 4-way L1s,
+256 KB 16-way L2, 2 MB 16-way L3, 30 ns DRAM); the Rocket prototype uses
+a two-level arrangement so that a load/store miss costs >120 cycles as
+reported in Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class CacheLevelStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 1.0
+
+
+class CacheLevel:
+    """One set-associative, LRU, write-allocate cache level (timing only)."""
+
+    def __init__(self, name: str, size: int, line: int, ways: int, latency: int):
+        if size % (line * ways):
+            raise ValueError("%s: size must be a multiple of line*ways" % name)
+        self.name = name
+        self.size = size
+        self.line = line
+        self.ways = ways
+        self.latency = latency
+        self.n_sets = size // (line * ways)
+        # set index -> list of tags, most-recently-used last
+        self._sets: Dict[int, List[int]] = {}
+        self.stats = CacheLevelStats()
+
+    def access(self, address: int) -> bool:
+        """Touch one line; returns True on hit, inserts on miss."""
+        line_address = address // self.line
+        set_index = line_address % self.n_sets
+        tag = line_address // self.n_sets
+        ways = self._sets.get(set_index)
+        if ways is None:
+            ways = []
+            self._sets[set_index] = ways
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(ways) >= self.ways:
+            ways.pop(0)
+        ways.append(tag)
+        return False
+
+    def flush(self) -> None:
+        self._sets.clear()
+
+
+class MemoryHierarchy:
+    """I-side and D-side L1s in front of a shared L2/L3/DRAM chain."""
+
+    def __init__(
+        self,
+        l1i: CacheLevel,
+        l1d: CacheLevel,
+        shared: Optional[List[CacheLevel]] = None,
+        dram_latency: int = 90,
+    ):
+        self.l1i = l1i
+        self.l1d = l1d
+        self.shared = shared or []
+        self.dram_latency = dram_latency
+
+    def _walk(self, first: CacheLevel, address: int) -> int:
+        """Latency of an access starting at ``first``."""
+        cycles = first.latency
+        if first.access(address):
+            return cycles
+        for level in self.shared:
+            cycles += level.latency
+            if level.access(address):
+                return cycles
+        return cycles + self.dram_latency
+
+    def access_instruction(self, address: int) -> int:
+        """Fetch-side latency in cycles for one instruction address."""
+        return self._walk(self.l1i, address)
+
+    def access_data(self, address: int, write: bool = False) -> int:
+        """Data-side latency in cycles (write-allocate, so same walk)."""
+        return self._walk(self.l1d, address)
+
+    @property
+    def miss_path_latency(self) -> int:
+        """Full L1-to-DRAM miss latency (the ">120 / >200 cycles" rows)."""
+        return (
+            self.l1d.latency
+            + sum(level.latency for level in self.shared)
+            + self.dram_latency
+        )
+
+    def flush(self) -> None:
+        self.l1i.flush()
+        self.l1d.flush()
+        for level in self.shared:
+            level.flush()
+
+
+def rocket_hierarchy() -> MemoryHierarchy:
+    """Rocket-like: 16 KB L1s straight to DDR3 (~120-cycle miss path)."""
+    return MemoryHierarchy(
+        l1i=CacheLevel("L1I", size=16 * 1024, line=64, ways=4, latency=1),
+        l1d=CacheLevel("L1D", size=16 * 1024, line=64, ways=4, latency=2),
+        shared=[],
+        dram_latency=120,
+    )
+
+
+def gem5_o3_hierarchy() -> MemoryHierarchy:
+    """The paper's Table 3 hierarchy (x86 Gem5 O3 prototype)."""
+    return MemoryHierarchy(
+        l1i=CacheLevel("L1I", size=32 * 1024, line=64, ways=4, latency=2),
+        l1d=CacheLevel("L1D", size=32 * 1024, line=64, ways=4, latency=2),
+        shared=[
+            CacheLevel("L2", size=256 * 1024, line=64, ways=16, latency=20),
+            CacheLevel("L3", size=2 * 1024 * 1024, line=64, ways=16, latency=32),
+        ],
+        dram_latency=150,  # 30 ns DRAM at the simulated clock, >200-cycle path
+    )

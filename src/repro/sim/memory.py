@@ -1,0 +1,111 @@
+"""Sparse byte-addressable physical memory.
+
+Backs both CPU loads/stores and the trusted-memory structures (it
+satisfies the :class:`repro.core.trusted_memory.WordBacking` protocol).
+Pages are allocated lazily so a 1 GB address space costs nothing until
+it is touched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class MemoryAccessError(Exception):
+    """Unaligned or out-of-range physical access."""
+
+
+class PhysicalMemory:
+    """Little-endian sparse physical memory of ``size`` bytes."""
+
+    def __init__(self, size: int = 1 << 30, base: int = 0):
+        if size <= 0:
+            raise ValueError("memory size must be positive")
+        self.base = base
+        self.size = size
+        self.limit = base + size
+        self._pages: Dict[int, bytearray] = {}
+
+    def _page(self, address: int) -> bytearray:
+        page = self._pages.get(address >> PAGE_SHIFT)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[address >> PAGE_SHIFT] = page
+        return page
+
+    def _check(self, address: int, width: int) -> None:
+        if not self.base <= address <= self.limit - width:
+            raise MemoryAccessError(
+                "physical access at 0x%x (+%d) out of range [0x%x, 0x%x)"
+                % (address, width, self.base, self.limit)
+            )
+
+    # ------------------------------------------------------------------
+    # Scalar accessors.
+    # ------------------------------------------------------------------
+    def load(self, address: int, width: int = 8) -> int:
+        """Load ``width`` bytes (1/2/4/8), little-endian, unsigned."""
+        self._check(address, width)
+        if (address & PAGE_MASK) + width <= PAGE_SIZE:
+            page = self._page(address)
+            offset = address & PAGE_MASK
+            return int.from_bytes(page[offset : offset + width], "little")
+        return int.from_bytes(self.load_bytes(address, width), "little")
+
+    def store(self, address: int, value: int, width: int = 8) -> None:
+        """Store ``width`` bytes (1/2/4/8), little-endian."""
+        self._check(address, width)
+        data = (value & (1 << 8 * width) - 1).to_bytes(width, "little")
+        if (address & PAGE_MASK) + width <= PAGE_SIZE:
+            page = self._page(address)
+            offset = address & PAGE_MASK
+            page[offset : offset + width] = data
+        else:
+            self.store_bytes(address, data)
+
+    # ------------------------------------------------------------------
+    # Bulk accessors (program loading, byte-level decoding).
+    # ------------------------------------------------------------------
+    def load_bytes(self, address: int, length: int) -> bytes:
+        self._check(address, max(length, 1))
+        out = bytearray()
+        while length:
+            page = self._page(address)
+            offset = address & PAGE_MASK
+            chunk = min(length, PAGE_SIZE - offset)
+            out += page[offset : offset + chunk]
+            address += chunk
+            length -= chunk
+        return bytes(out)
+
+    def store_bytes(self, address: int, data: bytes) -> None:
+        self._check(address, max(len(data), 1))
+        position = 0
+        while position < len(data):
+            page = self._page(address)
+            offset = address & PAGE_MASK
+            chunk = min(len(data) - position, PAGE_SIZE - offset)
+            page[offset : offset + chunk] = data[position : position + chunk]
+            address += chunk
+            position += chunk
+
+    # ------------------------------------------------------------------
+    # WordBacking protocol (trusted memory storage).
+    # ------------------------------------------------------------------
+    def load_word(self, address: int) -> int:
+        if address % 8:
+            raise MemoryAccessError("unaligned word load at 0x%x" % address)
+        return self.load(address, 8)
+
+    def store_word(self, address: int, value: int) -> None:
+        if address % 8:
+            raise MemoryAccessError("unaligned word store at 0x%x" % address)
+        self.store(address, value, 8)
+
+    @property
+    def pages_allocated(self) -> int:
+        return len(self._pages)

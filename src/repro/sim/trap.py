@@ -1,0 +1,50 @@
+"""Architecture-neutral trap descriptions.
+
+Both simulated CPUs vector traps through their own mechanisms (RISC-V
+``stvec``/``scause``, x86 IDT); this module only provides the shared
+vocabulary so kernels, attacks and tests can reason about trap causes
+without caring which ISA produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Optional
+
+
+class TrapKind(Enum):
+    """Why the CPU vectored to a handler."""
+
+    SYSCALL = auto()            # ecall / int 0x80-style system call
+    ILLEGAL_INSTRUCTION = auto()  # undecodable or privilege-level violation
+    ISA_GRID_FAULT = auto()     # PCU rejected an instruction / register / gate
+    TRUSTED_MEMORY_FAULT = auto()  # load/store touched trusted memory
+    BREAKPOINT = auto()
+    PAGE_FAULT = auto()
+    INTERRUPT = auto()
+
+
+@dataclass
+class Trap(Exception):
+    """An architectural trap in flight.
+
+    CPUs raise this internally and catch it at the top of ``step`` to
+    vector to the registered handler; it escapes the CPU only when no
+    handler is installed (a triple-fault analogue, which ends simulation).
+    """
+
+    kind: TrapKind
+    cause: int = 0
+    value: int = 0
+    pc: int = 0
+    message: str = ""
+    fault: Optional[BaseException] = None  # originating PrivilegeFault, if any
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return "Trap(%s, cause=%d, pc=0x%x%s)" % (
+            self.kind.name,
+            self.cause,
+            self.pc,
+            ", %s" % self.message if self.message else "",
+        )

@@ -1,0 +1,54 @@
+"""Synthetic workloads: LMbench microbenchmarks and application profiles."""
+
+from .apps import AppRunResult, normalized_time, run_riscv_app, run_x86_app
+from .generator import (
+    USER_BUFFER,
+    riscv_user_program,
+    riscv_user_source,
+    x86_user_program,
+    x86_user_source,
+)
+from .lmbench import (
+    LMBENCH_SUITE,
+    MicroBenchmark,
+    benchmark_by_name,
+    riscv_loop_source,
+    run_riscv,
+    run_x86,
+    x86_loop_source,
+)
+from .profiles import (
+    APPLICATIONS,
+    GATE_STRESS,
+    GZIP,
+    MBEDTLS,
+    SQLITE,
+    TAR,
+    WorkloadProfile,
+)
+
+__all__ = [
+    "APPLICATIONS",
+    "AppRunResult",
+    "GATE_STRESS",
+    "GZIP",
+    "LMBENCH_SUITE",
+    "MBEDTLS",
+    "MicroBenchmark",
+    "SQLITE",
+    "TAR",
+    "USER_BUFFER",
+    "WorkloadProfile",
+    "benchmark_by_name",
+    "normalized_time",
+    "riscv_loop_source",
+    "riscv_user_program",
+    "riscv_user_source",
+    "run_riscv",
+    "run_riscv_app",
+    "run_x86",
+    "run_x86_app",
+    "x86_loop_source",
+    "x86_user_program",
+    "x86_user_source",
+]

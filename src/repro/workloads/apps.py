@@ -1,0 +1,86 @@
+"""Application-workload runners (Figures 6, 7 and 8).
+
+Each runner boots a fresh MiniKernel, runs the profile's generated user
+program, and returns total cycles.  ``normalized_time`` is the paper's
+metric: decomposed (or monitored) cycles divided by native cycles for
+the identical instruction stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core import CONFIG_8E, PcuConfig
+from repro.kernel.riscv_kernel import RiscvKernel
+from repro.kernel.x86_kernel import X86Kernel
+
+from .generator import riscv_user_program, x86_user_program
+from .profiles import WorkloadProfile
+
+
+@dataclass
+class AppRunResult:
+    """One workload execution on one kernel configuration."""
+
+    workload: str
+    arch: str
+    mode: str
+    variant: str
+    cycles: float
+    instructions: int
+    syscalls: int
+    faults: int
+
+    @property
+    def valid(self) -> bool:
+        return self.faults == 0
+
+
+def run_riscv_app(
+    profile: WorkloadProfile,
+    mode: str,
+    config: PcuConfig = CONFIG_8E,
+    max_steps: int = 8_000_000,
+) -> AppRunResult:
+    kernel = RiscvKernel(mode, config)
+    stats = kernel.run(riscv_user_program(profile), max_steps=max_steps)
+    return AppRunResult(
+        workload=profile.name,
+        arch="riscv",
+        mode=mode,
+        variant="plain",
+        cycles=stats.cycles,
+        instructions=stats.instructions,
+        syscalls=kernel.syscall_count,
+        faults=kernel.fault_count,
+    )
+
+
+def run_x86_app(
+    profile: WorkloadProfile,
+    mode: str,
+    config: PcuConfig = CONFIG_8E,
+    *,
+    variant: str = "plain",
+    max_steps: int = 8_000_000,
+) -> AppRunResult:
+    kernel = X86Kernel(mode, config, variant=variant)
+    stats = kernel.run(x86_user_program(profile), max_steps=max_steps)
+    return AppRunResult(
+        workload=profile.name,
+        arch="x86",
+        mode=mode,
+        variant=variant,
+        cycles=stats.cycles,
+        instructions=stats.instructions,
+        syscalls=kernel.syscall_count,
+        faults=kernel.fault_count,
+    )
+
+
+def normalized_time(protected: AppRunResult, native: AppRunResult) -> float:
+    """The paper's normalized execution time (1.0 = no overhead)."""
+    if native.cycles <= 0:
+        raise ValueError("native run has no cycles")
+    return protected.cycles / native.cycles

@@ -1,0 +1,169 @@
+"""Deterministic user-program synthesis from a workload profile.
+
+Given a :class:`~repro.workloads.profiles.WorkloadProfile`, the
+generators emit an assembly program for either architecture: an outer
+loop whose body is a seeded-random compute block (ALU/MUL/load/store/
+branch in the profile's proportions, walking the profile's working set)
+followed by the profile's syscall schedule, terminated by ``SYS_EXIT``.
+
+The same seed always yields the same program, so native-vs-decomposed
+comparisons run identical instruction streams.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.kernel.syscalls import SYS_EXIT
+from repro.riscv import USER_BASE as RISCV_USER_BASE
+from repro.riscv import assemble as riscv_assemble
+from repro.riscv.assembler import Program as RiscvProgram
+from repro.x86 import USER_BASE as X86_USER_BASE
+from repro.x86 import USER_STACK_TOP
+from repro.x86 import assemble as x86_assemble
+from repro.x86.assembler import Program as X86Program
+
+from .profiles import WorkloadProfile
+
+#: User scratch buffer base (shared by both memory maps).
+USER_BUFFER = 0x0062_0000
+
+
+def _pick_ops(profile: WorkloadProfile) -> List[str]:
+    rng = random.Random(profile.seed)
+    kinds = list(profile.mix)
+    weights = [profile.mix[k] for k in kinds]
+    return rng.choices(kinds, weights=weights, k=profile.compute_ops)
+
+
+def _offsets(profile: WorkloadProfile, count: int) -> List[int]:
+    """Deterministic stream of 8-aligned offsets inside the working set."""
+    rng = random.Random(profile.seed ^ 0xBEEF)
+    span = max(8, profile.working_set - 8)
+    return [rng.randrange(0, span // 8) * 8 for _ in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# RISC-V
+# ---------------------------------------------------------------------------
+def riscv_user_source(profile: WorkloadProfile) -> str:
+    """Generate RISC-V user-mode assembly for a profile."""
+    ops = _pick_ops(profile)
+    offsets = iter(_offsets(profile, profile.compute_ops))
+    lines: List[str] = []
+    emit = lines.append
+    emit("user_entry:")
+    emit("    li sp, 0x6f0000")
+    emit("    li s1, %d" % USER_BUFFER)
+    emit("    li s2, %d" % profile.outer_iterations)
+    emit("    li s3, 0")
+    emit("    li t4, 12345")
+    emit("    li t5, 777")
+    emit("outer:")
+    branch_id = 0
+    for op in ops:
+        if op == "alu":
+            emit("    add t4, t4, t5")
+            continue
+        if op == "mul":
+            emit("    mul t5, t5, t4")
+            continue
+        offset = next(offsets)
+        if offset >= 2048:
+            # Out of I-immediate range: form the address explicitly.
+            emit("    li t6, %d" % offset)
+            emit("    add t6, s1, t6")
+            if op == "load":
+                emit("    ld t4, 0(t6)")
+            elif op == "store":
+                emit("    sd t5, 0(t6)")
+            else:
+                emit("    andi t6, t4, 1")
+                emit("    beqz t6, wskip_%d" % branch_id)
+                emit("    addi s3, s3, 1")
+                emit("wskip_%d:" % branch_id)
+                branch_id += 1
+            continue
+        if op == "load":
+            emit("    ld t4, %d(s1)" % offset)
+        elif op == "store":
+            emit("    sd t5, %d(s1)" % offset)
+        else:  # branch
+            emit("    andi t6, t4, 1")
+            emit("    beqz t6, wskip_%d" % branch_id)
+            emit("    addi s3, s3, 1")
+            emit("wskip_%d:" % branch_id)
+            branch_id += 1
+    for number, arg0, arg1 in profile.syscalls:
+        emit("    li a7, %d" % number)
+        emit("    li a0, %d" % arg0)
+        emit("    li a1, %d" % arg1)
+        emit("    ecall")
+    emit("    addi s2, s2, -1")
+    emit("    bnez s2, outer_far")
+    emit("    li a7, %d" % SYS_EXIT)
+    emit("    li a0, 0")
+    emit("    ecall")
+    # Trampoline for loop bodies larger than the B-type branch range.
+    emit("outer_far:")
+    emit("    j outer")
+    return "\n".join(lines) + "\n"
+
+
+def riscv_user_program(profile: WorkloadProfile) -> RiscvProgram:
+    return riscv_assemble(riscv_user_source(profile), base=RISCV_USER_BASE)
+
+
+# ---------------------------------------------------------------------------
+# x86
+# ---------------------------------------------------------------------------
+def x86_user_source(profile: WorkloadProfile) -> str:
+    """Generate x86 ring-3 assembly for a profile."""
+    ops = _pick_ops(profile)
+    offsets = iter(_offsets(profile, profile.compute_ops))
+    lines: List[str] = []
+    emit = lines.append
+    emit("user_entry:")
+    emit("    mov rsp, %d" % USER_STACK_TOP)
+    emit("    mov r13, %d" % USER_BUFFER)
+    emit("    mov r12, %d" % profile.outer_iterations)
+    emit("    mov r14, 12345")
+    emit("    mov r15, 777")
+    emit("outer:")
+    branch_id = 0
+    for op in ops:
+        if op == "alu":
+            emit("    add r14, r15")
+            continue
+        if op == "mul":
+            emit("    add r15, r14")
+            emit("    shl r15, 1")
+            continue
+        offset = next(offsets)
+        if op == "load":
+            emit("    mov r14, [r13+%d]" % offset)
+        elif op == "store":
+            emit("    mov [r13+%d], r15" % offset)
+        else:  # branch
+            emit("    mov rbx, r14")
+            emit("    and rbx, 1")
+            emit("    je wskip_%d" % branch_id)
+            emit("    add r15, 1")
+            emit("wskip_%d:" % branch_id)
+            branch_id += 1
+    for number, arg0, arg1 in profile.syscalls:
+        emit("    mov rax, %d" % number)
+        emit("    mov rdi, %d" % arg0)
+        emit("    mov rsi, %d" % arg1)
+        emit("    syscall")
+    emit("    sub r12, 1")
+    emit("    jne outer")
+    emit("    mov rax, %d" % SYS_EXIT)
+    emit("    mov rdi, 0")
+    emit("    syscall")
+    return "\n".join(lines) + "\n"
+
+
+def x86_user_program(profile: WorkloadProfile) -> X86Program:
+    return x86_assemble(x86_user_source(profile), base=X86_USER_BASE)

@@ -1,0 +1,130 @@
+"""LMbench-style microbenchmarks (Figure 5 and Table 4 substrate).
+
+Each microbenchmark is a tight user-mode loop around one kernel
+operation, the way ``lat_syscall``/``lat_sig``/``lat_select`` work.
+The runner executes the loop on a booted MiniKernel and reports cycles
+per operation; Figure 5 normalizes decomposed-kernel times against the
+native kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.kernel.syscalls import (
+    SYS_CLOSE,
+    SYS_DUP,
+    SYS_EXIT,
+    SYS_FSTAT,
+    SYS_GETPID,
+    SYS_GETTIME,
+    SYS_MMAP,
+    SYS_OPEN,
+    SYS_READ,
+    SYS_SELECT,
+    SYS_SIGACTION,
+    SYS_STAT,
+    SYS_WRITE,
+    SYS_YIELD,
+)
+from repro.riscv import USER_BASE as RISCV_USER_BASE
+from repro.riscv import assemble as riscv_assemble
+from repro.x86 import USER_BASE as X86_USER_BASE
+from repro.x86 import USER_STACK_TOP
+from repro.x86 import assemble as x86_assemble
+
+
+@dataclass(frozen=True)
+class MicroBenchmark:
+    """One LMbench-style operation: a sequence of syscalls per iteration."""
+
+    name: str
+    syscalls: Sequence[Tuple[int, int, int]]
+    iterations: int = 400
+
+
+#: The Figure-5 benchmark set.
+LMBENCH_SUITE: List[MicroBenchmark] = [
+    MicroBenchmark("lat_null", ((SYS_GETPID, 0, 0),)),
+    MicroBenchmark("lat_read", ((SYS_READ, 0x620000, 64),)),
+    MicroBenchmark("lat_write", ((SYS_WRITE, 0x620000, 64),)),
+    MicroBenchmark("lat_stat", ((SYS_STAT, 0, 0),)),
+    MicroBenchmark("lat_fstat", ((SYS_FSTAT, 0, 0),)),
+    MicroBenchmark("lat_openclose", ((SYS_OPEN, 0xABCD, 0), (SYS_CLOSE, 3, 0)), 250),
+    MicroBenchmark("lat_sig_install", ((SYS_SIGACTION, 5, 0x620100),)),
+    MicroBenchmark("lat_select", ((SYS_SELECT, 0, 0),)),
+    MicroBenchmark("lat_mmap", ((SYS_MMAP, 0x5000, 0),), 250),
+    MicroBenchmark("lat_ctx", ((SYS_YIELD, 0, 0),)),
+    MicroBenchmark("lat_dup", ((SYS_DUP, 3, 0),)),
+    MicroBenchmark("lat_gettime", ((SYS_GETTIME, 0, 0),)),
+]
+
+
+def riscv_loop_source(bench: MicroBenchmark) -> str:
+    lines = [
+        "user_entry:",
+        "    li sp, 0x6f0000",
+        "    li s2, %d" % bench.iterations,
+        "outer:",
+    ]
+    for number, arg0, arg1 in bench.syscalls:
+        lines += [
+            "    li a7, %d" % number,
+            "    li a0, %d" % arg0,
+            "    li a1, %d" % arg1,
+            "    ecall",
+        ]
+    lines += [
+        "    addi s2, s2, -1",
+        "    bnez s2, outer",
+        "    li a7, %d" % SYS_EXIT,
+        "    li a0, 0",
+        "    ecall",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def x86_loop_source(bench: MicroBenchmark) -> str:
+    lines = [
+        "user_entry:",
+        "    mov rsp, %d" % USER_STACK_TOP,
+        "    mov r12, %d" % bench.iterations,
+        "outer:",
+    ]
+    for number, arg0, arg1 in bench.syscalls:
+        lines += [
+            "    mov rax, %d" % number,
+            "    mov rdi, %d" % arg0,
+            "    mov rsi, %d" % arg1,
+            "    syscall",
+        ]
+    lines += [
+        "    sub r12, 1",
+        "    jne outer",
+        "    mov rax, %d" % SYS_EXIT,
+        "    mov rdi, 0",
+        "    syscall",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def run_riscv(bench: MicroBenchmark, kernel, max_steps: int = 3_000_000) -> float:
+    """Cycles per operation on a booted :class:`RiscvKernel`."""
+    program = riscv_assemble(riscv_loop_source(bench), base=RISCV_USER_BASE)
+    stats = kernel.run(program, max_steps=max_steps)
+    return stats.cycles / bench.iterations
+
+
+def run_x86(bench: MicroBenchmark, kernel, max_steps: int = 3_000_000) -> float:
+    """Cycles per operation on a booted :class:`X86Kernel`."""
+    program = x86_assemble(x86_loop_source(bench), base=X86_USER_BASE)
+    stats = kernel.run(program, max_steps=max_steps)
+    return stats.cycles / bench.iterations
+
+
+def benchmark_by_name(name: str) -> MicroBenchmark:
+    for bench in LMBENCH_SUITE:
+        if bench.name == name:
+            return bench
+    raise KeyError("unknown LMbench benchmark %r" % name)

@@ -1,0 +1,167 @@
+"""Workload profiles: instruction mix + syscall density descriptors.
+
+ISA-Grid's runtime overhead is a function of how often the kernel
+crosses ISA domains and touches privileged registers per unit of user
+computation.  Real applications cannot run on the functional subset
+simulators, so each paper workload is modelled by a profile that
+reproduces its *syscall-density shape*:
+
+* **SQLite speed benchmark** — storage-engine style: hashing and
+  B-tree-ish pointer chasing with regular read/write/open syscalls.
+* **Mbedtls benchmark** — cryptographic kernels: very heavy ALU/MUL,
+  almost no syscalls.
+* **gzip (kernel image)** — compression: byte crunching over a large
+  buffer, periodic read/write.
+* **tar (source tree)** — archival: per-file open/stat/read/write/close
+  bursts, metadata heavy.
+
+The LMbench microbenchmarks are separate (see ``lmbench.py``): each is
+a tight loop around one kernel operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.kernel.syscalls import (
+    SYS_CLOSE,
+    SYS_GETPID,
+    SYS_GETTIME,
+    SYS_MMAP,
+    SYS_OPEN,
+    SYS_READ,
+    SYS_SELECT,
+    SYS_SIGACTION,
+    SYS_STAT,
+    SYS_WRITE,
+    SYS_YIELD,
+)
+
+#: One syscall in a profile's per-iteration schedule: (number, arg0, arg1).
+SyscallSpec = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A deterministic synthetic workload description.
+
+    Attributes
+    ----------
+    name:
+        Report label.
+    outer_iterations:
+        Number of outer-loop iterations.
+    compute_ops:
+        Instructions in the generated compute block per iteration.
+    mix:
+        Weights for the compute block: alu / mul / load / store / branch.
+    working_set:
+        Bytes of user buffer the load/store stream walks over (cache
+        behaviour knob).
+    syscalls:
+        Syscalls issued each iteration, in order.
+    seed:
+        Generator seed (the block is deterministic given the seed).
+    """
+
+    name: str
+    outer_iterations: int
+    compute_ops: int
+    mix: Dict[str, float]
+    working_set: int
+    syscalls: Sequence[SyscallSpec] = ()
+    seed: int = 7
+
+    @property
+    def approx_instructions(self) -> int:
+        """Rough dynamic instruction count (for budget sanity checks)."""
+        per_iter = self.compute_ops + 80 * len(self.syscalls) + 4
+        return self.outer_iterations * per_iter
+
+
+SQLITE = WorkloadProfile(
+    name="SQLite",
+    outer_iterations=220,
+    compute_ops=260,
+    mix={"alu": 0.42, "mul": 0.04, "load": 0.26, "store": 0.18, "branch": 0.10},
+    working_set=96 * 1024,
+    syscalls=(
+        (SYS_OPEN, 0x1234, 0),
+        (SYS_READ, 0, 128),
+        (SYS_WRITE, 0, 128),
+        (SYS_READ, 0, 64),
+        (SYS_CLOSE, 3, 0),
+    ),
+    seed=11,
+)
+
+MBEDTLS = WorkloadProfile(
+    name="Mbedtls",
+    outer_iterations=140,
+    compute_ops=700,
+    mix={"alu": 0.58, "mul": 0.22, "load": 0.08, "store": 0.06, "branch": 0.06},
+    working_set=8 * 1024,
+    syscalls=((SYS_GETTIME, 0, 0),),
+    seed=23,
+)
+
+GZIP = WorkloadProfile(
+    name="gzip",
+    outer_iterations=170,
+    compute_ops=420,
+    mix={"alu": 0.40, "mul": 0.02, "load": 0.28, "store": 0.22, "branch": 0.08},
+    working_set=256 * 1024,
+    syscalls=(
+        (SYS_READ, 0, 248),
+        (SYS_WRITE, 0, 248),
+    ),
+    seed=31,
+)
+
+TAR = WorkloadProfile(
+    name="tar",
+    outer_iterations=150,
+    compute_ops=180,
+    mix={"alu": 0.38, "mul": 0.02, "load": 0.28, "store": 0.22, "branch": 0.10},
+    working_set=128 * 1024,
+    syscalls=(
+        (SYS_OPEN, 0x77AA, 0),
+        (SYS_STAT, 0, 0),
+        (SYS_READ, 0, 248),
+        (SYS_WRITE, 0, 248),
+        (SYS_CLOSE, 2, 0),
+    ),
+    seed=43,
+)
+
+#: The application set of Figures 6 and 7.
+APPLICATIONS: List[WorkloadProfile] = [SQLITE, MBEDTLS, GZIP, TAR]
+
+
+def scaled(profile: WorkloadProfile, factor: int) -> WorkloadProfile:
+    """The same workload, ``factor`` times longer (for measurement runs
+    where one-time cold costs must not dominate)."""
+    import dataclasses
+
+    return dataclasses.replace(
+        profile, outer_iterations=profile.outer_iterations * factor
+    )
+
+#: A syscall-stressing profile used by the cache-hit-rate experiment:
+#: exercises every gated kernel path so all privilege caches see traffic.
+GATE_STRESS = WorkloadProfile(
+    name="gate-stress",
+    outer_iterations=300,
+    compute_ops=60,
+    mix={"alu": 0.5, "mul": 0.05, "load": 0.2, "store": 0.15, "branch": 0.10},
+    working_set=16 * 1024,
+    syscalls=(
+        (SYS_MMAP, 0x5000, 0),
+        (SYS_SIGACTION, 3, 0x400500),
+        (SYS_YIELD, 0, 0),
+        (SYS_GETPID, 0, 0),
+        (SYS_SELECT, 0, 0),
+    ),
+    seed=5,
+)

@@ -1,0 +1,164 @@
+"""x86 instruction classes and the CSR map for ISA-Grid.
+
+The x86 prototype ignores instruction prefixes and keys the instruction
+bitmap off the opcode (Section 7, "x86 Prototype").  General-purpose
+computation shares a handful of always-granted classes; every system
+instruction gets its own class so the decomposed kernel can grant, say,
+``wrmsr`` without granting ``mov cr``.
+
+The "CSRs" of the x86 instance are the control registers (CR0/CR4 with
+bitwise control, Figure 1), each implemented MSR individually, the
+descriptor-table registers, the debug registers, the protection-key
+registers, the TSC and the PMCs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.isa_extension import CsrDescriptor, IsaGridIsaMap
+
+from . import registers as regs
+
+# ---------------------------------------------------------------------------
+# Instruction classes.
+# ---------------------------------------------------------------------------
+INST_CLASSES: List[str] = [
+    "alu",       # add/sub/and/or/xor/cmp/test/shifts/lea
+    "mov",       # register/memory moves
+    "stack",     # push/pop
+    "branch",    # jmp/jcc
+    "call",      # call/ret
+    "nop",
+    "string",    # simple rep-style ops (modelled as plain moves)
+    # --- system instructions: one class each ------------------------------
+    "syscall",
+    "sysret",
+    "int",       # software interrupt
+    "iret",
+    "rdtsc",
+    "rdpmc",
+    "rdmsr",
+    "wrmsr",
+    "cpuid",
+    "mov_cr",    # mov to/from control registers
+    "mov_dr",    # mov to/from debug registers
+    "lgdt",
+    "sgdt",
+    "lidt",
+    "sidt",
+    "lldt",
+    "ltr",
+    "invlpg",
+    "wbinvd",
+    "in",
+    "out",
+    "cli",
+    "sti",
+    "clts",
+    "hlt",
+    "rdpkru",
+    "wrpkru",
+    "rdpkrs",
+    "wrpkrs",
+    # --- ISA-Grid extension ----------------------------------------------
+    "hccall",
+    "hccalls",
+    "hcrets",
+    "pfch",
+    "pflh",
+]
+
+#: Classes any ordinary code needs.
+BASE_COMPUTE_CLASSES = ("alu", "mov", "stack", "branch", "call", "nop", "string")
+
+GATE_CLASSES = ("hccall", "hccalls", "hcrets")
+
+# ---------------------------------------------------------------------------
+# The x86 "CSR" table: index 0 reserved (pfch-all encoding).
+# ---------------------------------------------------------------------------
+_CSR_TABLE: List[Tuple[str, bool]] = [
+    ("reserved", False),
+    ("cr0", True),          # bitwise-controlled (Section 7)
+    ("cr2", False),
+    ("cr3", False),
+    ("cr4", True),          # bitwise-controlled
+    ("gdtr", False),
+    ("idtr", False),
+    ("ldtr", False),
+    ("tr", False),
+    ("dr0", False),
+    ("dr1", False),
+    ("dr2", False),
+    ("dr3", False),
+    ("dr6", False),
+    ("dr7", False),
+    ("pkru", False),
+    ("pkrs", False),
+    ("tsc", False),
+    ("pmc0", False),
+    ("pmc1", False),
+    ("msr_apic_base", False),
+    ("msr_spec_ctrl", False),
+    ("msr_pred_cmd", False),
+    ("msr_mtrrcap", False),
+    ("msr_voltage", False),
+    ("msr_mtrr_physbase0", False),
+    ("msr_mtrr_physmask0", False),
+    ("msr_mtrr_def_type", False),
+    ("msr_pat", False),
+    ("msr_efer", False),
+    ("msr_star", False),
+    ("msr_lstar", False),
+    ("msr_sfmask", False),
+    ("msr_fs_base", False),
+    ("msr_gs_base", False),
+    ("msr_kernel_gs_base", False),
+    ("msr_tsc_aux", False),
+    ("domain", False),     # ISA-Grid: current domain id (Table 2)
+    ("pdomain", False),    # ISA-Grid: previous domain id
+]
+
+CSR_INDEX: Dict[str, int] = {name: i for i, (name, _) in enumerate(_CSR_TABLE)}
+
+#: MSR address -> CSR name (for rdmsr/wrmsr privilege mapping).
+MSR_CSR_NAME: Dict[int, str] = {
+    regs.MSR_APIC_BASE: "msr_apic_base",
+    regs.MSR_SPEC_CTRL: "msr_spec_ctrl",
+    regs.MSR_PRED_CMD: "msr_pred_cmd",
+    regs.MSR_MTRRCAP: "msr_mtrrcap",
+    regs.MSR_VOLTAGE: "msr_voltage",
+    regs.MSR_MTRR_PHYSBASE0: "msr_mtrr_physbase0",
+    regs.MSR_MTRR_PHYSMASK0: "msr_mtrr_physmask0",
+    regs.MSR_MTRR_DEF_TYPE: "msr_mtrr_def_type",
+    regs.MSR_PAT: "msr_pat",
+    regs.MSR_EFER: "msr_efer",
+    regs.MSR_STAR: "msr_star",
+    regs.MSR_LSTAR: "msr_lstar",
+    regs.MSR_SFMASK: "msr_sfmask",
+    regs.MSR_FS_BASE: "msr_fs_base",
+    regs.MSR_GS_BASE: "msr_gs_base",
+    regs.MSR_KERNEL_GS_BASE: "msr_kernel_gs_base",
+    regs.MSR_TSC_AUX: "msr_tsc_aux",
+}
+
+#: The ISA-Grid map for the x86 prototype.
+X86_ISA_MAP = IsaGridIsaMap(
+    "x86_64",
+    INST_CLASSES,
+    [
+        CsrDescriptor(name, index, width=64, bitwise=bitwise)
+        for index, (name, bitwise) in enumerate(_CSR_TABLE)
+    ],
+)
+
+#: Instruction classes only ring 0 may execute (the privilege-level
+#: baseline that ISA-Grid complements).  ``wrpkru``/``rdpkru`` are
+#: deliberately *not* here — that is exactly the MPK problem of §2.2.
+RING0_CLASSES = frozenset(
+    {
+        "rdmsr", "wrmsr", "mov_cr", "mov_dr", "lgdt", "lidt", "lldt", "ltr",
+        "invlpg", "wbinvd", "in", "out", "cli", "sti", "clts", "hlt",
+        "iret", "wrpkrs", "rdpkrs", "pfch", "pflh",
+    }
+)

@@ -1,0 +1,157 @@
+"""x86-64 system registers: control registers, MSRs, descriptor tables.
+
+These are the ISA resources the paper's attacks abuse (Table 1): the
+control registers with their function bits (Figure 1), the model-
+specific registers including the voltage/frequency MSR 0x150 and the
+BTB-control MSRs 0x48/0x49, the debug registers, the descriptor-table
+registers, and the MPK/PKS protection-key registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+MASK64 = (1 << 64) - 1
+
+# ---------------------------------------------------------------------------
+# CR0 bits (Figure 1 analogue; the paper's bitwise-controlled register #1).
+# ---------------------------------------------------------------------------
+CR0_PE = 1 << 0    # protected mode enable
+CR0_MP = 1 << 1
+CR0_EM = 1 << 2
+CR0_TS = 1 << 3    # task switched (lazy FPU) — per-function domain in §6.1
+CR0_ET = 1 << 4
+CR0_NE = 1 << 5    # numeric error — per-function domain in §6.1
+CR0_WP = 1 << 16   # write protect — toggled by the Nested Kernel monitor
+CR0_AM = 1 << 18
+CR0_NW = 1 << 29
+CR0_CD = 1 << 30   # cache disable — Stealthy Page Table attack prerequisite
+CR0_PG = 1 << 31   # paging enable
+
+# ---------------------------------------------------------------------------
+# CR4 bits (Figure 1; bitwise-controlled register #2).
+# ---------------------------------------------------------------------------
+CR4_VME = 1 << 0
+CR4_PVI = 1 << 1
+CR4_TSD = 1 << 2    # rdtsc restricted to ring 0 when set
+CR4_DE = 1 << 3
+CR4_PSE = 1 << 4
+CR4_PAE = 1 << 5
+CR4_MCE = 1 << 6
+CR4_PGE = 1 << 7
+CR4_PCE = 1 << 8    # rdpmc allowed in ring 3 when set
+CR4_OSFXSR = 1 << 9
+CR4_OSXMMEXCPT = 1 << 10
+CR4_UMIP = 1 << 11
+CR4_VMXE = 1 << 13
+CR4_SMXE = 1 << 14
+CR4_FSGSBASE = 1 << 16
+CR4_PCIDE = 1 << 17
+CR4_OSXSAVE = 1 << 18
+CR4_SMEP = 1 << 20
+CR4_SMAP = 1 << 21  # the one bit the outer kernel may flip in §6.2
+CR4_PKE = 1 << 22   # MPK enable
+CR4_PKS = 1 << 24   # PKS enable (Intel SDM bit for supervisor keys)
+
+# ---------------------------------------------------------------------------
+# MSR addresses (architectural numbers where they exist).
+# ---------------------------------------------------------------------------
+MSR_APIC_BASE = 0x1B
+MSR_SPEC_CTRL = 0x48      # SgxPectre prerequisite (IBRS/STIBP control)
+MSR_PRED_CMD = 0x49       # SgxPectre prerequisite (IBPB)
+MSR_MTRRCAP = 0xFE
+MSR_VOLTAGE = 0x150       # V0LTpwn / Plundervolt prerequisite
+MSR_MTRR_PHYSBASE0 = 0x200
+MSR_MTRR_PHYSMASK0 = 0x201
+MSR_MTRR_DEF_TYPE = 0x2FF
+MSR_PAT = 0x277
+MSR_EFER = 0xC0000080     # long-mode/NXE control; Nested Kernel protects it
+MSR_STAR = 0xC0000081
+MSR_LSTAR = 0xC0000082    # syscall entry point
+MSR_SFMASK = 0xC0000084
+MSR_FS_BASE = 0xC0000100
+MSR_GS_BASE = 0xC0000101
+MSR_KERNEL_GS_BASE = 0xC0000102
+MSR_TSC_AUX = 0xC0000103
+
+#: All MSRs the simulated core implements, with reset values.
+KNOWN_MSRS: Dict[int, int] = {
+    MSR_APIC_BASE: 0xFEE00000,
+    MSR_SPEC_CTRL: 0,
+    MSR_PRED_CMD: 0,
+    MSR_MTRRCAP: 0x508,
+    MSR_VOLTAGE: 0,
+    MSR_MTRR_PHYSBASE0: 0x6,      # write-back
+    MSR_MTRR_PHYSMASK0: 0x800,
+    MSR_MTRR_DEF_TYPE: 0x6,
+    MSR_PAT: 0x0007040600070406,
+    MSR_EFER: 0,
+    MSR_STAR: 0,
+    MSR_LSTAR: 0,
+    MSR_SFMASK: 0,
+    MSR_FS_BASE: 0,
+    MSR_GS_BASE: 0,
+    MSR_KERNEL_GS_BASE: 0,
+    MSR_TSC_AUX: 0,
+}
+
+EFER_SCE = 1 << 0
+EFER_LME = 1 << 8
+EFER_LMA = 1 << 10
+EFER_NXE = 1 << 11
+
+
+@dataclass
+class DescriptorTableRegister:
+    """GDTR/IDTR-style base+limit register pair."""
+
+    base: int = 0
+    limit: int = 0
+
+    def pack(self) -> int:
+        """Pack into one 64-bit value (48-bit base | 16-bit limit)."""
+        return (self.base & 0xFFFFFFFFFFFF) << 16 | self.limit & 0xFFFF
+
+    @classmethod
+    def unpack(cls, value: int) -> "DescriptorTableRegister":
+        return cls(base=value >> 16 & 0xFFFFFFFFFFFF, limit=value & 0xFFFF)
+
+
+@dataclass
+class SystemRegisters:
+    """The full system-register file of the simulated x86 core."""
+
+    cr0: int = CR0_PE | CR0_ET | CR0_PG
+    cr2: int = 0
+    cr3: int = 0
+    cr4: int = CR4_PAE | CR4_PGE
+    msrs: Dict[int, int] = field(default_factory=lambda: dict(KNOWN_MSRS))
+    gdtr: DescriptorTableRegister = field(default_factory=DescriptorTableRegister)
+    idtr: DescriptorTableRegister = field(default_factory=DescriptorTableRegister)
+    ldtr: int = 0
+    tr: int = 0
+    dr: Dict[int, int] = field(default_factory=lambda: {i: 0 for i in range(8)})
+    pkru: int = 0
+    pkrs: int = 0
+    tsc: int = 0
+    pmc: Dict[int, int] = field(default_factory=lambda: {0: 0, 1: 0, 2: 0, 3: 0})
+
+    def read_msr(self, address: int) -> int:
+        if address not in self.msrs:
+            raise KeyError("unimplemented MSR 0x%x" % address)
+        return self.msrs[address]
+
+    def write_msr(self, address: int, value: int) -> None:
+        if address not in self.msrs:
+            raise KeyError("unimplemented MSR 0x%x" % address)
+        self.msrs[address] = value & MASK64
+
+
+#: General-purpose register names, in hardware encoding order.
+GPR_NAMES = [
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+]
+
+GPR_NUMBER: Dict[str, int] = {name: i for i, name in enumerate(GPR_NAMES)}

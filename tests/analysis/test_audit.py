@@ -1,0 +1,121 @@
+"""The domain-configuration auditor."""
+
+import pytest
+
+from repro.analysis import CRITICAL, INFO, WARNING, audit
+from repro.kernel import RiscvKernel, X86Kernel
+
+# Reuse the synthetic ISA fixtures.
+from tests.core.conftest import isa_map, manager, pcu, trusted_memory  # noqa: F401
+
+
+class TestFindings:
+    def test_clean_config_is_clean(self, manager):
+        domain = manager.create_domain("vm")
+        manager.allow_instructions(domain.domain_id, ["alu", "csr"])
+        manager.grant_register(domain.domain_id, "vbase", write=True)
+        manager.register_gate(0x1000, 0x2000, domain.domain_id)
+        report = audit(manager)
+        assert report.clean
+
+    def test_write_overlap_flagged(self, manager):
+        a = manager.create_domain("a")
+        b = manager.create_domain("b")
+        manager.grant_register(a.domain_id, "vbase", write=True)
+        manager.grant_register(b.domain_id, "vbase", write=True)
+        report = audit(manager)
+        overlaps = [f for f in report.warnings if f.code == "W-OVERLAP"]
+        assert len(overlaps) == 1
+        assert "vbase" in overlaps[0].subject
+
+    def test_all_classes_is_critical(self, manager):
+        domain = manager.create_domain("god")
+        manager.allow_all_instructions(domain.domain_id)
+        report = audit(manager)
+        assert any(f.code == "C-ALLCLASSES" for f in report.critical)
+        assert not report.clean
+
+    def test_unreachable_domain_noted(self, manager):
+        manager.create_domain("island")
+        report = audit(manager)
+        assert any(
+            f.code == "I-UNREACHABLE" and f.subject == "island"
+            for f in report.by_severity(INFO)
+        )
+
+    def test_duplicate_gate_site_is_critical(self, manager):
+        domain = manager.create_domain("vm")
+        manager.register_gate(0x1000, 0x2000, domain.domain_id)
+        manager.register_gate(0x1000, 0x3000, domain.domain_id)
+        report = audit(manager)
+        assert any(f.code == "C-DUPSITE" for f in report.critical)
+
+    def test_domain0_gate_warned(self, manager):
+        manager.register_gate(0x1000, 0x2000, 0)
+        report = audit(manager)
+        assert any(f.code == "W-D0GATE" for f in report.warnings)
+
+    def test_full_mask_noted(self, manager):
+        domain = manager.create_domain("vm")
+        manager.grant_register(domain.domain_id, "ctrl", write=True)  # all bits
+        report = audit(manager)
+        assert any(f.code == "I-FULLMASK" for f in report.by_severity(INFO))
+
+    def test_render_mentions_each_finding(self, manager):
+        domain = manager.create_domain("god")
+        manager.allow_all_instructions(domain.domain_id)
+        text = audit(manager).render()
+        assert "C-ALLCLASSES" in text and "god" in text
+
+
+class TestRealKernels:
+    def test_decomposed_kernels_have_no_criticals(self):
+        """The shipped decompositions must pass their own audit."""
+        for kernel in (RiscvKernel("decomposed"), X86Kernel("decomposed")):
+            report = audit(kernel.system.manager)
+            assert report.clean, report.render()
+
+    def test_x86_overlap_inventory_is_intentional(self):
+        """Only expected co-writers may appear: monitor + vm share CR3
+        by design (the monitor is an alternative mediation path), and
+        CR0 is *bit-partitioned* (fpu: TS/NE, monitor: WP) — the
+        bit-aware check must downgrade it to info."""
+        report = audit(X86Kernel("decomposed").system.manager)
+        overlap_subjects = {
+            f.subject for f in report.warnings if f.code == "W-OVERLAP"
+        }
+        assert overlap_subjects == {"cr3"}
+        partitioned = {
+            f.subject for f in report.findings if f.code == "I-BITPARTITION"
+        }
+        assert "cr0" in partitioned
+
+    def test_riscv_overlap_inventory_is_intentional(self):
+        """sscratch/scounteren co-writes are the trap-entry footprint;
+        sstatus is bit-partitioned (kernel: SPP/SPIE/SIE, ctx: FS)."""
+        report = audit(RiscvKernel("decomposed").system.manager)
+        overlap_subjects = {
+            f.subject for f in report.warnings if f.code == "W-OVERLAP"
+        }
+        assert overlap_subjects <= {"sscratch", "scounteren"}
+        partitioned = {
+            f.subject for f in report.findings if f.code == "I-BITPARTITION"
+        }
+        assert "sstatus" in partitioned
+
+    def test_bit_partitioned_writers_not_warned(self, manager):
+        a = manager.create_domain("a")
+        b = manager.create_domain("b")
+        manager.grant_register_bits(a.domain_id, "ctrl", 0b0011)
+        manager.grant_register_bits(b.domain_id, "ctrl", 0b1100)
+        report = audit(manager)
+        assert not any(f.code == "W-OVERLAP" for f in report.findings)
+        assert any(f.code == "I-BITPARTITION" for f in report.findings)
+
+    def test_overlapping_bit_masks_still_warned(self, manager):
+        a = manager.create_domain("a")
+        b = manager.create_domain("b")
+        manager.grant_register_bits(a.domain_id, "ctrl", 0b0110)
+        manager.grant_register_bits(b.domain_id, "ctrl", 0b1100)
+        report = audit(manager)
+        assert any(f.code == "W-OVERLAP" for f in report.warnings)

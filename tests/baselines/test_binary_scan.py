@@ -1,0 +1,100 @@
+"""Binary-scanning baseline: hidden bytes and unsafe rewriting."""
+
+import pytest
+
+from repro.baselines import (
+    find_byte_occurrences,
+    linear_disassemble,
+    rewrite_hidden_bytes,
+    scan_program,
+)
+from repro.x86 import assemble
+from repro.x86.encoding import simple_bytes
+
+
+class TestByteSearch:
+    def test_finds_all_offsets(self):
+        code = b"\x0F\x30" + b"\x90" + b"\x0F\x30"
+        assert find_byte_occurrences(code, b"\x0F\x30") == [0, 3]
+
+    def test_finds_overlapping(self):
+        code = b"\xAA\xAA\xAA"
+        assert find_byte_occurrences(code, b"\xAA\xAA") == [0, 1]
+
+    def test_empty_result(self):
+        assert find_byte_occurrences(b"\x90" * 8, b"\x0F\x30") == []
+
+
+class TestLinearDisassembly:
+    def test_clean_stream(self):
+        program = assemble("nop\n    wrmsr\n    ret\n", base=0)
+        listing = linear_disassemble(program.data)
+        assert [m for _, m, _ in listing] == ["nop", "wrmsr", "ret"]
+
+    def test_resynchronizes_on_garbage(self):
+        code = b"\xD6" + b"\x90"  # bad byte, then nop
+        listing = linear_disassemble(code)
+        assert listing == [(1, "nop", 1)]
+
+
+class TestScanReports:
+    def test_intended_only(self):
+        program = assemble("wrmsr\n    nop\n", base=0)
+        report = scan_program(program.data)["wrmsr"]
+        assert report.total_occurrences == [0]
+        assert report.intended_offsets == [0]
+        assert not report.has_hidden_instances
+
+    def test_hidden_occurrence_detected(self):
+        """wrmsr bytes buried inside a mov immediate: the byte scan sees
+        them, the instruction stream does not."""
+        program = assemble("""
+            mov rax, 0x11300F22
+            nop
+        """, base=0)
+        report = scan_program(program.data)["wrmsr"]
+        assert report.has_hidden_instances
+        assert report.intended_offsets == []
+
+    def test_paper_out_instruction_phenomenon(self):
+        """Dense data reproduces the >50k-occurrences problem in
+        miniature: hidden instances vastly outnumber intended ones."""
+        # Little-endian immediates: value 0x...300F puts the bytes
+        # 0F 30 (wrmsr) adjacent in memory.
+        source = "\n".join(
+            "    mov rax, 0x%016X" % (0x0000_300F_0000_300F + (i << 32)) for i in range(50)
+        ) + "\n    wrmsr\n"
+        program = assemble(source, base=0)
+        report = scan_program(program.data)["wrmsr"]
+        assert len(report.intended_offsets) == 1
+        assert len(report.unintended_offsets) >= 50
+
+
+class TestRewriting:
+    def test_clean_binary_rewrites_safely(self):
+        program = assemble("nop\n    add rax, rbx\n    ret\n", base=0)
+        result = rewrite_hidden_bytes(program.data)
+        assert result.safe
+        assert result.rewritten == program.data
+
+    def test_rewriting_hidden_bytes_corrupts_carrier(self):
+        """The undecidable-alignment problem by construction: NOP-ing
+        the hidden wrmsr destroys the legitimate mov around it."""
+        program = assemble("""
+            mov rax, 0x11300F22
+            ret
+        """, base=0)
+        result = rewrite_hidden_bytes(program.data)
+        assert result.patched_offsets
+        assert not result.safe
+        assert any(m == "mov_imm" for _, m in result.corrupted_instructions)
+
+    def test_rewrite_changes_program_semantics(self):
+        program = assemble("mov rax, 0x11300F22\n    hlt\n", base=0)
+        result = rewrite_hidden_bytes(program.data, forbidden=("wrmsr",))
+        from repro.x86.encoding import decode
+
+        original = decode(program.data)
+        assert original.imm == 0x11300F22
+        patched = decode(result.rewritten)
+        assert patched.imm != original.imm  # immediate destroyed

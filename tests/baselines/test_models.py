@@ -1,0 +1,82 @@
+"""Privilege-level and trap-and-emulate baseline models."""
+
+import pytest
+
+from repro.baselines import (
+    TrapAndEmulateModel,
+    UNTRAPPABLE_PRIVILEGED,
+    VM_EXIT_CYCLES,
+    compare_exposure,
+    compare_switch_latency,
+    policy_from_isa_map,
+)
+from repro.kernel import RiscvKernel, X86Kernel
+from repro.riscv import RISCV_ISA_MAP
+from repro.x86 import X86_ISA_MAP
+
+
+class TestPrivilegeLevelPolicy:
+    def test_kernel_sees_everything(self):
+        policy = policy_from_isa_map(RISCV_ISA_MAP)
+        kernel_view = policy.accessible(1)
+        assert "csr:satp" in kernel_view
+        assert "inst:sret" in kernel_view
+        assert "inst:alu" in kernel_view
+
+    def test_user_sees_only_compute(self):
+        policy = policy_from_isa_map(RISCV_ISA_MAP)
+        user_view = policy.accessible(0)
+        assert "inst:alu" in user_view
+        assert "csr:satp" not in user_view
+        assert "inst:csr" not in user_view
+
+    def test_exposure_monotone_in_level(self):
+        policy = policy_from_isa_map(X86_ISA_MAP)
+        assert policy.exposure(1) > policy.exposure(0)
+
+
+class TestExposureComparison:
+    @pytest.mark.parametrize("kernel_cls", [RiscvKernel, X86Kernel])
+    def test_isagrid_reduces_worst_case_exposure(self, kernel_cls):
+        """The least-privilege claim, quantified: any single compromised
+        domain reaches far fewer privileged resources than a kernel-level
+        component does under privilege levels alone."""
+        kernel = kernel_cls("decomposed")
+        comparison = compare_exposure(kernel.system.manager)
+        assert comparison.worst_domain_exposure < comparison.baseline_exposure
+        assert comparison.reduction_factor > 1.5
+
+    def test_every_module_domain_is_narrow(self):
+        kernel = X86Kernel("decomposed")
+        comparison = compare_exposure(kernel.system.manager)
+        for name, exposure in comparison.domain_exposure.items():
+            if name == "kernel":
+                continue
+            assert exposure <= 10, "%s exposes too much" % name
+
+
+class TestTrapAndEmulate:
+    def test_exit_cost_matches_quoted_figure(self):
+        model = TrapAndEmulateModel()
+        assert model.check_cost("wrmsr") >= VM_EXIT_CYCLES
+
+    def test_wrpkru_cannot_be_controlled(self):
+        """The §2.3 coverage hole: MPK instructions do not trap."""
+        model = TrapAndEmulateModel()
+        for inst_class in UNTRAPPABLE_PRIVILEGED:
+            assert not model.can_control(inst_class)
+            assert model.check_cost(inst_class) == 0
+        assert model.uncovered_accesses == len(UNTRAPPABLE_PRIVILEGED)
+
+    def test_total_overhead_accumulates(self):
+        model = TrapAndEmulateModel()
+        for _ in range(10):
+            model.check_cost("rdmsr")
+        assert model.exits == 10
+        assert model.total_overhead_cycles() == 10 * (model.vm_exit_cycles + model.check_cycles)
+
+    def test_comparison_rows(self):
+        rows = compare_switch_latency(isagrid_hccall_cycles=34.0)
+        assert rows["hypervisor trap"] == VM_EXIT_CYCLES
+        assert rows["speedup"] == pytest.approx(VM_EXIT_CYCLES / 34.0)
+        assert rows["speedup"] > 10  # the paper's headline contrast

@@ -1,0 +1,46 @@
+"""Shared fixtures for the core test suite: a small synthetic ISA map."""
+
+import pytest
+
+from repro.core import (
+    CONFIG_8E,
+    CsrDescriptor,
+    DomainManager,
+    IsaGridIsaMap,
+    PcuConfig,
+    PrivilegeCheckUnit,
+    TrustedMemory,
+)
+
+TEST_CLASSES = ["alu", "load", "store", "csr", "sysop", "halt"]
+
+TEST_CSRS = [
+    CsrDescriptor("reserved", 0),
+    CsrDescriptor("ctrl", 1, bitwise=True),
+    CsrDescriptor("vbase", 2),
+    CsrDescriptor("scratch", 3),
+    CsrDescriptor("status", 4, bitwise=True),
+    CsrDescriptor("counter", 5),
+]
+
+
+@pytest.fixture
+def isa_map():
+    return IsaGridIsaMap("testarch", TEST_CLASSES, [
+        CsrDescriptor(d.name, d.index, d.width, d.bitwise) for d in TEST_CSRS
+    ])
+
+
+@pytest.fixture
+def trusted_memory():
+    return TrustedMemory(base=0x100000, size=1 << 20)
+
+
+@pytest.fixture
+def pcu(isa_map, trusted_memory):
+    return PrivilegeCheckUnit(isa_map, CONFIG_8E, trusted_memory)
+
+
+@pytest.fixture
+def manager(pcu):
+    return DomainManager(pcu)

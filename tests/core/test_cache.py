@@ -1,0 +1,236 @@
+"""The domain privilege cache: LRU behaviour, refills, bypass register."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    CONFIG_8E,
+    CONFIG_8EN,
+    FullyAssociativeCache,
+    HybridPrivilegeTable,
+    InstPrivilegeRegister,
+    PcuConfig,
+    SwitchingGateTable,
+    TrustedMemory,
+)
+from repro.core.cache import HptCacheSet, SgtCache
+from repro.core.errors import GateFault
+from repro.core.stats import CacheStats
+
+
+class TestFullyAssociativeCache:
+    def test_miss_then_hit(self):
+        cache = FullyAssociativeCache(2)
+        assert cache.lookup("a") is None
+        cache.fill("a", 1)
+        assert cache.lookup("a") == 1
+
+    def test_lru_eviction(self):
+        cache = FullyAssociativeCache(2)
+        cache.fill("a", 1)
+        cache.fill("b", 2)
+        cache.fill("c", 3)  # evicts "a"
+        assert cache.lookup("a") is None
+        assert cache.lookup("b") == 2
+        assert cache.lookup("c") == 3
+
+    def test_lookup_promotes(self):
+        cache = FullyAssociativeCache(2)
+        cache.fill("a", 1)
+        cache.fill("b", 2)
+        cache.lookup("a")        # "a" becomes MRU
+        cache.fill("c", 3)        # evicts "b"
+        assert cache.lookup("a") == 1
+        assert cache.lookup("b") is None
+
+    def test_refill_updates_payload(self):
+        cache = FullyAssociativeCache(2)
+        cache.fill("a", 1)
+        cache.fill("a", 9)
+        assert cache.lookup("a") == 9
+        assert len(cache) == 1
+
+    def test_invalidate(self):
+        cache = FullyAssociativeCache(2)
+        cache.fill("a", 1)
+        cache.invalidate("a")
+        assert cache.lookup("a") is None
+        cache.invalidate("missing")  # no-op
+
+    def test_flush(self):
+        cache = FullyAssociativeCache(4)
+        cache.fill("a", 1)
+        cache.fill("b", 2)
+        cache.flush()
+        assert len(cache) == 0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FullyAssociativeCache(0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), max_size=200))
+    def test_never_exceeds_capacity(self, accesses):
+        cache = FullyAssociativeCache(4)
+        for tag in accesses:
+            if cache.lookup(tag) is None:
+                cache.fill(tag, tag)
+        assert len(cache) <= 4
+
+    @given(st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=200))
+    def test_matches_reference_lru(self, accesses):
+        """The cache must behave exactly like a reference LRU model."""
+        cache = FullyAssociativeCache(3)
+        reference = []
+        for tag in accesses:
+            hit = cache.lookup(tag) is not None
+            assert hit == (tag in reference)
+            if hit:
+                reference.remove(tag)
+            else:
+                cache.fill(tag, tag)
+                if len(reference) >= 3:
+                    reference.pop(0)
+            reference.append(tag)
+
+
+@pytest.fixture
+def hpt_and_caches(isa_map):
+    memory = TrustedMemory(base=0x100000, size=1 << 20)
+    hpt = HybridPrivilegeTable(isa_map, memory, max_domains=16)
+    caches = HptCacheSet(CONFIG_8E, hpt)
+    return hpt, caches
+
+
+class TestHptCacheSet:
+    def test_miss_pays_refill_latency(self, hpt_and_caches):
+        hpt, caches = hpt_and_caches
+        stats = CacheStats()
+        _, cycles = caches.inst_word(1, 0, stats)
+        assert cycles == CONFIG_8E.refill_latency
+        assert stats.misses == 1
+
+    def test_hit_is_free(self, hpt_and_caches):
+        hpt, caches = hpt_and_caches
+        stats = CacheStats()
+        caches.inst_word(1, 0, stats)
+        _, cycles = caches.inst_word(1, 0, stats)
+        assert cycles == 0
+        assert stats.hits == 1
+
+    def test_refill_reads_current_hpt_contents(self, hpt_and_caches):
+        hpt, caches = hpt_and_caches
+        hpt.allow_instruction(1, 3)
+        stats = CacheStats()
+        word, _ = caches.inst_word(1, 0, stats)
+        assert word == 1 << 3
+
+    def test_domain_id_in_tag(self, hpt_and_caches):
+        """No flush needed on domain switch: tags carry the domain id."""
+        hpt, caches = hpt_and_caches
+        hpt.allow_instruction(1, 0)
+        stats = CacheStats()
+        word1, _ = caches.inst_word(1, 0, stats)
+        word2, _ = caches.inst_word(2, 0, stats)
+        assert word1 == 1 and word2 == 0
+        # both entries coexist
+        word1_again, cycles = caches.inst_word(1, 0, stats)
+        assert cycles == 0 and word1_again == 1
+
+    def test_reg_and_mask_caches_independent(self, hpt_and_caches, isa_map):
+        hpt, caches = hpt_and_caches
+        ctrl = isa_map.csr_index("ctrl")
+        hpt.grant_register(1, ctrl, write=True)
+        hpt.set_mask(1, ctrl, 0xFF)
+        reg_stats, mask_stats = CacheStats(), CacheStats()
+        caches.reg_word(1, 0, reg_stats)
+        caches.mask_word(1, isa_map.mask_slot(ctrl), mask_stats)
+        assert reg_stats.misses == 1 and mask_stats.misses == 1
+
+    def test_prefetch_warms_without_stall(self, hpt_and_caches, isa_map):
+        hpt, caches = hpt_and_caches
+        ctrl = isa_map.csr_index("ctrl")
+        reg_stats, mask_stats = CacheStats(), CacheStats()
+        caches.prefetch_csr(1, ctrl, reg_stats, mask_stats)
+        assert reg_stats.prefetch_fills == 1
+        assert mask_stats.prefetch_fills == 1
+        # subsequent demand access hits
+        _, cycles = caches.reg_word(1, 0, reg_stats)
+        assert cycles == 0
+
+    def test_prefetch_all(self, hpt_and_caches, isa_map):
+        hpt, caches = hpt_and_caches
+        reg_stats, mask_stats = CacheStats(), CacheStats()
+        caches.prefetch_all(1, reg_stats, mask_stats)
+        assert mask_stats.prefetch_fills == isa_map.n_masked_csrs
+
+
+class TestSgtCache:
+    @pytest.fixture
+    def sgt(self):
+        memory = TrustedMemory(base=0x100000, size=1 << 20)
+        sgt = SwitchingGateTable(memory, max_gates=32)
+        sgt.register(0x1000, 0x2000, 1)
+        return sgt
+
+    def test_miss_then_hit(self, sgt):
+        cache = SgtCache(CONFIG_8E, sgt)
+        stats = CacheStats()
+        entry, cycles = cache.entry(0, stats)
+        assert cycles == CONFIG_8E.refill_latency
+        entry, cycles = cache.entry(0, stats)
+        assert cycles == 0
+        assert entry.destination_domain == 1
+
+    def test_no_cache_variant_always_pays(self, sgt):
+        """8E.N: every gate execution reads the SGT from memory."""
+        cache = SgtCache(CONFIG_8EN, sgt)
+        stats = CacheStats()
+        for _ in range(3):
+            _, cycles = cache.entry(0, stats)
+            assert cycles == CONFIG_8EN.refill_latency
+        assert stats.lookups == 0  # no CAM exists to search
+
+    def test_unregistered_gate_fault_propagates(self, sgt):
+        cache = SgtCache(CONFIG_8E, sgt)
+        with pytest.raises(GateFault):
+            cache.entry(5, CacheStats())
+
+    def test_invalidate_after_reregistration(self, sgt):
+        cache = SgtCache(CONFIG_8E, sgt)
+        stats = CacheStats()
+        cache.entry(0, stats)
+        sgt.register(0x3000, 0x4000, 2, gate_id=0)
+        cache.invalidate(0)
+        entry, _ = cache.entry(0, stats)
+        assert entry.gate_address == 0x3000
+
+
+class TestInstPrivilegeRegister:
+    def test_unloaded_returns_none(self):
+        register = InstPrivilegeRegister()
+        assert register.allowed(1, 0) is None
+
+    def test_loaded_domain_serves_checks(self):
+        register = InstPrivilegeRegister()
+        register.load(1, [0b101])
+        assert register.allowed(1, 0) is True
+        assert register.allowed(1, 1) is False
+        assert register.allowed(1, 2) is True
+
+    def test_other_domain_misses(self):
+        register = InstPrivilegeRegister()
+        register.load(1, [0b1])
+        assert register.allowed(2, 0) is None
+
+    def test_invalidate(self):
+        register = InstPrivilegeRegister()
+        register.load(1, [0b1])
+        register.invalidate()
+        assert register.allowed(1, 0) is None
+        assert register.loaded_domain is None
+
+    def test_multi_word_bitmaps(self):
+        register = InstPrivilegeRegister()
+        register.load(3, [0, 1 << 5])
+        assert register.allowed(3, 64 + 5) is True
+        assert register.allowed(3, 5) is False

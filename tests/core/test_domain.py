@@ -1,0 +1,145 @@
+"""Domain-0 runtime: registration, grants, policies."""
+
+import pytest
+
+from repro.core import (
+    ConfigurationError,
+    RegistrationRejected,
+    DomainManager,
+    exclusive_writers_policy,
+)
+
+
+class TestDomainRegistration:
+    def test_ids_are_sequential(self, manager):
+        a = manager.create_domain()
+        b = manager.create_domain()
+        assert (a.domain_id, b.domain_id) == (1, 2)
+
+    def test_domain0_preexists(self, manager):
+        assert manager.domain_id("domain-0") == 0
+
+    def test_named_lookup(self, manager):
+        domain = manager.create_domain("vm")
+        assert manager.domain_id("vm") == domain.domain_id
+
+    def test_duplicate_name_rejected(self, manager):
+        manager.create_domain("vm")
+        with pytest.raises(ConfigurationError):
+            manager.create_domain("vm")
+
+    def test_unknown_name(self, manager):
+        with pytest.raises(ConfigurationError):
+            manager.domain_id("nope")
+
+    def test_domain_nr_register_updated(self, manager):
+        manager.create_domain()
+        assert manager.pcu.registers.domain_nr == 2
+
+    def test_new_domains_start_deprived(self, manager, isa_map):
+        domain = manager.create_domain("empty")
+        for i in range(isa_map.n_inst_classes):
+            word = manager.pcu.hpt.read_inst_word(domain.domain_id, 0)
+            assert word == 0
+
+
+class TestGrants:
+    def test_instruction_grants_tracked(self, manager):
+        domain = manager.create_domain("kernel")
+        manager.allow_instructions(domain.domain_id, ["alu", "load"])
+        assert domain.instructions == {"alu", "load"}
+
+    def test_unknown_class_rejected(self, manager):
+        domain = manager.create_domain("kernel")
+        with pytest.raises(ConfigurationError):
+            manager.allow_instructions(domain.domain_id, ["warp-drive"])
+
+    def test_deny_instruction(self, manager):
+        domain = manager.create_domain("kernel")
+        manager.allow_instructions(domain.domain_id, ["alu"])
+        manager.deny_instruction(domain.domain_id, "alu")
+        assert "alu" not in domain.instructions
+        assert manager.pcu.hpt.read_inst_word(domain.domain_id, 0) == 0
+
+    def test_register_grant_sets_bits(self, manager, isa_map):
+        domain = manager.create_domain("kernel")
+        manager.grant_register(domain.domain_id, "vbase", read=True, write=True)
+        word = manager.pcu.hpt.read_reg_word(domain.domain_id, 0)
+        vbase = isa_map.csr_index("vbase")
+        assert word >> (2 * vbase) & 0b11 == 0b11
+
+    def test_full_write_grant_on_bitwise_csr_opens_mask(self, manager, isa_map):
+        domain = manager.create_domain("kernel")
+        manager.grant_register(domain.domain_id, "ctrl", write=True)
+        slot = isa_map.mask_slot(isa_map.csr_index("ctrl"))
+        assert manager.pcu.hpt.read_mask(domain.domain_id, slot) == (1 << 64) - 1
+
+    def test_bit_grant_opens_only_those_bits(self, manager, isa_map):
+        domain = manager.create_domain("kernel")
+        manager.grant_register_bits(domain.domain_id, "ctrl", 0b110)
+        slot = isa_map.mask_slot(isa_map.csr_index("ctrl"))
+        assert manager.pcu.hpt.read_mask(domain.domain_id, slot) == 0b110
+
+    def test_bit_grant_on_plain_csr_rejected(self, manager):
+        domain = manager.create_domain("kernel")
+        with pytest.raises(ConfigurationError):
+            manager.grant_register_bits(domain.domain_id, "vbase", 0b1)
+
+    def test_revoke_clears_mask(self, manager, isa_map):
+        domain = manager.create_domain("kernel")
+        manager.grant_register_bits(domain.domain_id, "ctrl", 0b110)
+        manager.revoke_register(domain.domain_id, "ctrl", write=True)
+        slot = isa_map.mask_slot(isa_map.csr_index("ctrl"))
+        assert manager.pcu.hpt.read_mask(domain.domain_id, slot) == 0
+        assert "ctrl" not in domain.writable_csrs
+
+    def test_unknown_domain_rejected(self, manager):
+        with pytest.raises(ConfigurationError):
+            manager.grant_register(42, "vbase", read=True)
+
+
+class TestGateManagement:
+    def test_gate_ids_sequential(self, manager):
+        domain = manager.create_domain("kernel")
+        a = manager.register_gate(0x1000, 0x2000, domain.domain_id)
+        b = manager.register_gate(0x1100, 0x2100, domain.domain_id)
+        assert (a, b) == (0, 1)
+
+    def test_gate_to_unknown_domain_rejected(self, manager):
+        with pytest.raises(ConfigurationError):
+            manager.register_gate(0x1000, 0x2000, 99)
+
+    def test_gate_nr_register(self, manager):
+        domain = manager.create_domain("kernel")
+        manager.register_gate(0x1000, 0x2000, domain.domain_id)
+        assert manager.pcu.registers.gate_nr == 1
+
+    def test_unregister_gate(self, manager):
+        domain = manager.create_domain("kernel")
+        gate = manager.register_gate(0x1000, 0x2000, domain.domain_id)
+        manager.unregister_gate(gate)
+        assert gate not in manager.gates
+
+
+class TestPolicies:
+    def test_exclusive_writers_allows_disjoint(self, pcu):
+        manager = DomainManager(pcu, policy=exclusive_writers_policy)
+        a = manager.create_domain("a")
+        b = manager.create_domain("b")
+        manager.grant_register(a.domain_id, "vbase", write=True)
+        manager.grant_register(b.domain_id, "scratch", write=True)
+
+    def test_exclusive_writers_rejects_overlap(self, pcu):
+        manager = DomainManager(pcu, policy=exclusive_writers_policy)
+        a = manager.create_domain("a")
+        b = manager.create_domain("b")
+        manager.grant_register(a.domain_id, "vbase", write=True)
+        with pytest.raises(RegistrationRejected):
+            manager.grant_register(b.domain_id, "vbase", write=True)
+
+    def test_describe_lists_all_domains(self, manager):
+        manager.create_domain("a")
+        manager.create_domain("b")
+        summary = manager.describe()
+        assert len(summary) == 3  # domain-0 + 2
+        assert any("a(id=1)" in line for line in summary)

@@ -1,0 +1,71 @@
+"""Fault hierarchy: messages, attributes, catchability."""
+
+import pytest
+
+from repro.core import (
+    BitMaskViolationFault,
+    GateFault,
+    InstructionPrivilegeFault,
+    IsaGridError,
+    PrivilegeFault,
+    RegisterReadFault,
+    RegisterWriteFault,
+    TrustedMemoryFault,
+    TrustedStackFault,
+)
+from repro.core.errors import ConfigurationError
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("fault", [
+        InstructionPrivilegeFault(3, domain=1),
+        RegisterReadFault(2, domain=1),
+        RegisterWriteFault(2, domain=1),
+        BitMaskViolationFault(2, 0, 1, 0, domain=1),
+        GateFault("bad", gate_id=0, domain=1),
+        TrustedMemoryFault(0x1000, domain=1),
+        TrustedStackFault("overflow", 0x2000, domain=1),
+    ])
+    def test_all_faults_are_privilege_faults(self, fault):
+        assert isinstance(fault, PrivilegeFault)
+        assert isinstance(fault, IsaGridError)
+
+    def test_configuration_error_is_not_a_fault(self):
+        assert not isinstance(ConfigurationError("x"), PrivilegeFault)
+
+    def test_fault_carries_domain_and_address(self):
+        fault = InstructionPrivilegeFault(7, domain=3, address=0x1234)
+        assert fault.domain == 3
+        assert fault.address == 0x1234
+        assert fault.inst_class == 7
+        assert "domain 3" in str(fault)
+
+    def test_bitmask_fault_computes_illegal_bits(self):
+        fault = BitMaskViolationFault(1, old=0b0000, value=0b1010, mask=0b0010)
+        assert fault.illegal_bits == 0b1000
+        assert "0x8" in str(fault)
+
+    def test_trusted_memory_fault_names_the_address(self):
+        fault = TrustedMemoryFault(0xDEAD000, domain=2)
+        assert fault.access_address == 0xDEAD000
+        assert "0xdead000" in str(fault)
+
+    def test_gate_fault_carries_gate_id(self):
+        fault = GateFault("forged", gate_id=9)
+        assert fault.gate_id == 9
+
+
+class TestTrapVocabulary:
+    def test_trap_str(self):
+        from repro.sim import Trap, TrapKind
+
+        trap = Trap(TrapKind.SYSCALL, cause=8, pc=0x100, message="ecall")
+        text = str(trap)
+        assert "SYSCALL" in text and "0x100" in text and "ecall" in text
+
+    def test_trap_kinds_cover_needed_causes(self):
+        from repro.sim import TrapKind
+
+        names = {k.name for k in TrapKind}
+        assert {"SYSCALL", "ILLEGAL_INSTRUCTION", "ISA_GRID_FAULT",
+                "TRUSTED_MEMORY_FAULT", "PAGE_FAULT"} <= names

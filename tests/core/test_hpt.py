@@ -1,0 +1,112 @@
+"""The Hybrid Privilege Table: layout, write-through, refill reads."""
+
+import pytest
+
+from repro.core import ConfigurationError, HybridPrivilegeTable, TrustedMemory
+
+
+@pytest.fixture
+def hpt(isa_map):
+    memory = TrustedMemory(base=0x100000, size=1 << 20)
+    return HybridPrivilegeTable(isa_map, memory, max_domains=16)
+
+
+class TestLayout:
+    def test_regions_are_disjoint(self, hpt):
+        inst_end = hpt.inst_cap + hpt.max_domains * hpt.inst_words_per_domain * 8
+        assert hpt.csr_cap >= inst_end
+        reg_end = hpt.csr_cap + hpt.max_domains * hpt.reg_words_per_domain * 8
+        assert hpt.csr_bit_mask >= reg_end
+
+    def test_domain_major_addressing(self, hpt):
+        a0 = hpt.inst_word_address(0, 0)
+        a1 = hpt.inst_word_address(1, 0)
+        assert a1 - a0 == hpt.inst_words_per_domain * 8
+
+    def test_word_index_bounds(self, hpt):
+        with pytest.raises(IndexError):
+            hpt.inst_word_address(0, hpt.inst_words_per_domain)
+        with pytest.raises(IndexError):
+            hpt.reg_word_address(0, hpt.reg_words_per_domain)
+
+    def test_domain_bounds(self, hpt):
+        with pytest.raises(ConfigurationError):
+            hpt.inst_word_address(16, 0)
+        with pytest.raises(ConfigurationError):
+            hpt.allow_instruction(-1, 0)
+
+    def test_mask_slots_only_for_bitwise_csrs(self, hpt, isa_map):
+        assert hpt.mask_words_per_domain == isa_map.n_masked_csrs == 2
+
+    def test_footprint(self, hpt):
+        expected = 16 * (
+            hpt.inst_words_per_domain
+            + hpt.reg_words_per_domain
+            + hpt.mask_words_per_domain
+        )
+        assert hpt.footprint_words() == expected
+
+
+class TestWriteThrough:
+    def test_instruction_grant_lands_in_memory(self, hpt):
+        hpt.allow_instruction(3, 2)
+        assert hpt.read_inst_word(3, 0) == 1 << 2
+
+    def test_instruction_deny_clears_bit(self, hpt):
+        hpt.allow_instruction(3, 2)
+        hpt.deny_instruction(3, 2)
+        assert hpt.read_inst_word(3, 0) == 0
+
+    def test_allow_all_instructions(self, hpt, isa_map):
+        hpt.allow_all_instructions(1)
+        word = hpt.read_inst_word(1, 0)
+        assert word == (1 << isa_map.n_inst_classes) - 1
+
+    def test_register_grant_lands_in_memory(self, hpt):
+        hpt.grant_register(2, 1, read=True)
+        assert hpt.read_reg_word(2, 0) == 1 << 2  # read bit of CSR 1
+
+    def test_register_write_bit(self, hpt):
+        hpt.grant_register(2, 1, write=True)
+        assert hpt.read_reg_word(2, 0) == 1 << 3  # write bit of CSR 1
+
+    def test_revoke_register(self, hpt):
+        hpt.grant_register(2, 1, read=True, write=True)
+        hpt.revoke_register(2, 1, write=True)
+        assert hpt.read_reg_word(2, 0) == 1 << 2
+
+    def test_grant_all_registers(self, hpt, isa_map):
+        hpt.grant_all_registers(4)
+        word = hpt.read_reg_word(4, 0)
+        assert word == (1 << 2 * isa_map.n_csrs) - 1
+
+    def test_mask_write_through(self, hpt, isa_map):
+        ctrl = isa_map.csr_index("ctrl")
+        hpt.set_mask(5, ctrl, 0xF0)
+        slot = isa_map.mask_slot(ctrl)
+        assert hpt.read_mask(5, slot) == 0xF0
+
+    def test_allow_bits_accumulates(self, hpt, isa_map):
+        ctrl = isa_map.csr_index("ctrl")
+        hpt.allow_bits(5, ctrl, 0x0F)
+        hpt.allow_bits(5, ctrl, 0xF0)
+        assert hpt.read_mask(5, isa_map.mask_slot(ctrl)) == 0xFF
+
+    def test_mask_on_non_bitwise_csr_rejected(self, hpt, isa_map):
+        with pytest.raises(ConfigurationError):
+            hpt.set_mask(5, isa_map.csr_index("vbase"), 0xFF)
+
+    def test_set_all_masks(self, hpt, isa_map):
+        hpt.set_all_masks(6, 0x3)
+        for slot in range(isa_map.n_masked_csrs):
+            assert hpt.read_mask(6, slot) == 0x3
+
+    def test_domains_are_isolated(self, hpt):
+        hpt.allow_instruction(1, 0)
+        assert hpt.read_inst_word(2, 0) == 0
+
+    def test_read_inst_words_covers_domain(self, hpt):
+        hpt.allow_instruction(1, 0)
+        words = hpt.read_inst_words(1)
+        assert len(words) == hpt.inst_words_per_domain
+        assert words[0] == 1

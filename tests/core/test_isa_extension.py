@@ -1,0 +1,122 @@
+"""IsaGridIsaMap and the Table-2 extension description."""
+
+import pytest
+
+from repro.core import (
+    AccessInfo,
+    ConfigurationError,
+    CsrDescriptor,
+    GateKind,
+    IsaGridIsaMap,
+    NEW_INSTRUCTIONS,
+    NEW_REGISTERS,
+    PcuRegisters,
+)
+
+
+def make_map():
+    return IsaGridIsaMap("demo", ["a", "b", "c"], [
+        CsrDescriptor("reserved", 0),
+        CsrDescriptor("plain", 1),
+        CsrDescriptor("masked", 2, bitwise=True),
+        CsrDescriptor("masked2", 3, bitwise=True),
+    ])
+
+
+class TestIsaMap:
+    def test_class_index_lookup(self):
+        isa = make_map()
+        assert isa.inst_class("b") == 1
+        assert isa.inst_class_name(2) == "c"
+
+    def test_unknown_class(self):
+        with pytest.raises(ConfigurationError):
+            make_map().inst_class("nope")
+
+    def test_csr_lookup(self):
+        isa = make_map()
+        assert isa.csr_index("plain") == 1
+        assert isa.csr_name(2) == "masked"
+
+    def test_unknown_csr(self):
+        with pytest.raises(ConfigurationError):
+            make_map().csr_index("nope")
+
+    def test_mask_slots_assigned_in_order(self):
+        isa = make_map()
+        assert isa.mask_slot(isa.csr_index("masked")) == 0
+        assert isa.mask_slot(isa.csr_index("masked2")) == 1
+        assert isa.mask_slot(isa.csr_index("plain")) is None
+        assert isa.n_masked_csrs == 2
+
+    def test_duplicate_class_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IsaGridIsaMap("bad", ["x", "x"], [CsrDescriptor("r", 0)])
+
+    def test_duplicate_csr_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IsaGridIsaMap("bad", ["x"], [
+                CsrDescriptor("r", 0), CsrDescriptor("r", 1),
+            ])
+
+    def test_csr_index_must_match_position(self):
+        with pytest.raises(ConfigurationError):
+            IsaGridIsaMap("bad", ["x"], [CsrDescriptor("r", 5)])
+
+    def test_real_maps_are_wellformed(self):
+        from repro.riscv import RISCV_ISA_MAP
+        from repro.x86 import X86_ISA_MAP
+
+        for isa in (RISCV_ISA_MAP, X86_ISA_MAP):
+            assert isa.n_inst_classes > 10
+            assert isa.n_csrs > 10
+            assert isa.csrs[0].name == "reserved"  # pfch-all encoding
+            # every bitwise CSR has a slot, every plain one has none
+            for csr in isa.csrs:
+                if csr.bitwise:
+                    assert csr.mask_slot is not None
+                else:
+                    assert csr.mask_slot is None
+
+    def test_paper_bitwise_registers(self):
+        """§7: sstatus on RISC-V; CR0 and CR4 on x86."""
+        from repro.riscv import RISCV_ISA_MAP
+        from repro.x86 import X86_ISA_MAP
+
+        assert RISCV_ISA_MAP.csr_descriptor(
+            RISCV_ISA_MAP.csr_index("sstatus")).bitwise
+        assert X86_ISA_MAP.csr_descriptor(X86_ISA_MAP.csr_index("cr0")).bitwise
+        assert X86_ISA_MAP.csr_descriptor(X86_ISA_MAP.csr_index("cr4")).bitwise
+        assert not X86_ISA_MAP.csr_descriptor(X86_ISA_MAP.csr_index("cr3")).bitwise
+
+
+class TestTable2Description:
+    def test_all_new_instructions_documented(self):
+        for mnemonic in ("hccall", "hccalls", "hcrets", "pfch", "pflh"):
+            assert any(mnemonic in key for key in NEW_INSTRUCTIONS)
+
+    def test_all_new_registers_documented(self):
+        for name in ("domain", "csr-cap", "inst-cap", "gate-addr",
+                     "hcsp", "tmemb"):
+            assert any(name in key for key in NEW_REGISTERS)
+
+    def test_pcu_registers_reset_state(self):
+        registers = PcuRegisters()
+        assert registers.domain == 0  # reset into domain-0 (§4.4)
+        assert registers.pdomain == 0
+
+
+class TestAccessInfo:
+    def test_defaults(self):
+        access = AccessInfo(inst_class=3)
+        assert access.csr is None
+        assert not access.csr_read and not access.csr_write
+        assert access.write_value is None and access.old_value is None
+
+    def test_frozen(self):
+        access = AccessInfo(inst_class=3)
+        with pytest.raises(Exception):
+            access.inst_class = 4
+
+    def test_gate_kinds_cover_table2(self):
+        assert {k.name for k in GateKind} == {"HCCALL", "HCCALLS", "HCRETS"}

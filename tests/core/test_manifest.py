@@ -1,0 +1,142 @@
+"""Domain-configuration manifests: export, apply, JSON round-trips."""
+
+import pytest
+
+from repro.core import (
+    ConfigurationError,
+    DomainManager,
+    PrivilegeCheckUnit,
+    CONFIG_8E,
+    TrustedMemory,
+    apply_manifest,
+    export_manifest,
+    manifest_dumps,
+    manifest_loads,
+)
+
+
+def fresh_manager(isa_map):
+    pcu = PrivilegeCheckUnit(isa_map, CONFIG_8E, TrustedMemory(0x100000, 1 << 20))
+    return DomainManager(pcu)
+
+
+@pytest.fixture
+def configured(manager):
+    vm = manager.create_domain("vm")
+    manager.allow_instructions(vm.domain_id, ["alu", "csr"])
+    manager.grant_register(vm.domain_id, "vbase", read=True, write=True)
+    manager.grant_register_bits(vm.domain_id, "ctrl", 0b1100)
+    app = manager.create_domain("app")
+    manager.allow_instructions(app.domain_id, ["alu", "load", "store"])
+    manager.register_gate(0x1000, 0x2000, vm.domain_id)
+    manager.register_gate(0x3000, 0x4000, app.domain_id)
+    return manager
+
+
+class TestExport:
+    def test_captures_domains_and_gates(self, configured):
+        manifest = export_manifest(configured)
+        names = [d["name"] for d in manifest["domains"]]
+        assert names == ["vm", "app"]
+        assert len(manifest["gates"]) == 2
+        assert manifest["arch"] == "testarch"
+
+    def test_bit_grants_exported_as_hex(self, configured):
+        manifest = export_manifest(configured)
+        vm = manifest["domains"][0]
+        assert vm["register_bits"] == [{"csr": "ctrl", "bits": "0xC"}]
+
+    def test_domain0_not_exported(self, configured):
+        manifest = export_manifest(configured)
+        assert all(d["name"] != "domain-0" for d in manifest["domains"])
+
+
+class TestRoundTrip:
+    def test_apply_reproduces_grants(self, configured, isa_map):
+        manifest = export_manifest(configured)
+        target = fresh_manager(isa_map)
+        ids = apply_manifest(target, manifest)
+        assert set(ids) == {"domain-0", "vm", "app"}
+        vm = target.domains[ids["vm"]]
+        assert vm.instructions == {"alu", "csr"}
+        assert vm.readable_csrs == {"vbase"}
+        assert vm.bit_grants == {"ctrl": 0b1100}
+
+    def test_apply_reproduces_hpt_state(self, configured, isa_map):
+        manifest = export_manifest(configured)
+        target = fresh_manager(isa_map)
+        ids = apply_manifest(target, manifest)
+        source_word = configured.pcu.hpt.read_reg_word(1, 0)
+        target_word = target.pcu.hpt.read_reg_word(ids["vm"], 0)
+        assert source_word == target_word
+
+    def test_apply_reproduces_gates(self, configured, isa_map):
+        manifest = export_manifest(configured)
+        target = fresh_manager(isa_map)
+        apply_manifest(target, manifest)
+        entry = target.pcu.sgt.read_entry(0)
+        assert entry.gate_address == 0x1000
+        assert entry.destination_address == 0x2000
+
+    def test_json_round_trip(self, configured, isa_map):
+        text = manifest_dumps(configured)
+        target = fresh_manager(isa_map)
+        manifest_loads(target, text)
+        assert export_manifest(target) == export_manifest(configured)
+
+
+class TestSymbolicAddresses:
+    def test_symbols_resolved(self, isa_map):
+        target = fresh_manager(isa_map)
+        manifest = {
+            "domains": [{"name": "vm", "instructions": ["alu"]}],
+            "gates": [{"gate": "g0", "destination": "fn", "domain": "vm"}],
+        }
+        apply_manifest(target, manifest, symbols={"g0": 0x1111, "fn": 0x2222})
+        entry = target.pcu.sgt.read_entry(0)
+        assert (entry.gate_address, entry.destination_address) == (0x1111, 0x2222)
+
+    def test_hex_string_addresses(self, isa_map):
+        target = fresh_manager(isa_map)
+        manifest = {
+            "domains": [{"name": "vm", "instructions": ["alu"]}],
+            "gates": [{"gate": "0x1234", "destination": "0x5678", "domain": "vm"}],
+        }
+        apply_manifest(target, manifest)
+        assert target.pcu.sgt.read_entry(0).gate_address == 0x1234
+
+    def test_unknown_symbol_rejected(self, isa_map):
+        target = fresh_manager(isa_map)
+        manifest = {
+            "domains": [{"name": "vm", "instructions": ["alu"]}],
+            "gates": [{"gate": "missing", "destination": 0, "domain": "vm"}],
+        }
+        with pytest.raises(ConfigurationError):
+            apply_manifest(target, manifest)
+
+
+class TestValidation:
+    def test_wrong_arch_rejected(self, isa_map):
+        target = fresh_manager(isa_map)
+        with pytest.raises(ConfigurationError):
+            apply_manifest(target, {"arch": "sparc", "domains": []})
+
+    def test_gate_to_undeclared_domain_rejected(self, isa_map):
+        target = fresh_manager(isa_map)
+        manifest = {"domains": [], "gates": [
+            {"gate": 0, "destination": 0, "domain": "ghost"},
+        ]}
+        with pytest.raises(ConfigurationError):
+            apply_manifest(target, manifest)
+
+    def test_real_kernel_manifest_round_trips(self):
+        """The shipped x86 decomposition exports and re-applies."""
+        from repro.kernel import X86Kernel
+        from repro.x86 import X86_ISA_MAP
+
+        kernel = X86Kernel("decomposed")
+        manifest = export_manifest(kernel.system.manager)
+        target = fresh_manager(X86_ISA_MAP)
+        ids = apply_manifest(target, manifest)
+        assert "debug" in ids and "monitor" in ids
+        assert export_manifest(target) == manifest

@@ -1,0 +1,144 @@
+"""Section 8 PCU extensions: Draco-style cache, flush-on-switch,
+revocation coherence."""
+
+import pytest
+
+from repro.core import (
+    AccessInfo,
+    BitMaskViolationFault,
+    DomainManager,
+    GateKind,
+    InstructionPrivilegeFault,
+    PcuConfig,
+    PrivilegeCheckUnit,
+    RegisterWriteFault,
+    TrustedMemory,
+)
+
+
+def make_pcu(isa_map, **config_kwargs):
+    pcu = PrivilegeCheckUnit(
+        isa_map, PcuConfig(**config_kwargs), TrustedMemory(0x100000, 1 << 20)
+    )
+    manager = DomainManager(pcu)
+    domain = manager.create_domain("kernel")
+    manager.allow_instructions(domain.domain_id, ["alu", "csr"])
+    manager.grant_register(domain.domain_id, "vbase", read=True)
+    gate = manager.register_gate(0x1000, 0x2000, domain.domain_id)
+    pcu.execute_gate(GateKind.HCCALL, gate, 0x1000)
+    return pcu, manager, domain
+
+
+class TestDracoCache:
+    def test_disabled_by_default(self, isa_map):
+        pcu, _, _ = make_pcu(isa_map)
+        assert pcu.draco is None
+
+    def test_repeated_legal_access_hits(self, isa_map):
+        pcu, _, _ = make_pcu(isa_map, draco_entries=16)
+        access = AccessInfo(inst_class=isa_map.inst_class("alu"))
+        pcu.check(access)
+        pcu.check(access)
+        pcu.check(access)
+        assert pcu.stats.draco_hits == 2
+
+    def test_csr_tuples_cached_by_value(self, isa_map):
+        pcu, _, _ = make_pcu(isa_map, draco_entries=16)
+        read = AccessInfo(
+            inst_class=isa_map.inst_class("csr"),
+            csr=isa_map.csr_index("vbase"), csr_read=True,
+        )
+        pcu.check(read)
+        pcu.check(read)
+        assert pcu.stats.draco_hits == 1
+
+    def test_illegal_access_never_cached(self, isa_map):
+        pcu, _, _ = make_pcu(isa_map, draco_entries=16)
+        bad = AccessInfo(inst_class=isa_map.inst_class("sysop"))
+        for _ in range(3):
+            with pytest.raises(InstructionPrivilegeFault):
+                pcu.check(bad)
+        assert pcu.stats.draco_hits == 0
+
+    def test_distinct_values_are_distinct_entries(self, isa_map):
+        """Legality depends on the written value for bitwise CSRs, so
+        the tuple key must include it."""
+        pcu, manager, domain = make_pcu(isa_map, draco_entries=16)
+        manager.grant_register_bits(domain.domain_id, "ctrl", 0b10)
+        good = AccessInfo(
+            inst_class=isa_map.inst_class("csr"),
+            csr=isa_map.csr_index("ctrl"), csr_write=True,
+            write_value=0b10, old_value=0,
+        )
+        bad = AccessInfo(
+            inst_class=isa_map.inst_class("csr"),
+            csr=isa_map.csr_index("ctrl"), csr_write=True,
+            write_value=0b01, old_value=0,
+        )
+        pcu.check(good)
+        pcu.check(good)
+        assert pcu.stats.draco_hits == 1
+        with pytest.raises(BitMaskViolationFault):
+            pcu.check(bad)
+
+    def test_flush_all_clears_draco(self, isa_map):
+        pcu, _, _ = make_pcu(isa_map, draco_entries=16)
+        access = AccessInfo(inst_class=isa_map.inst_class("alu"))
+        pcu.check(access)
+        pcu.flush()
+        pcu.check(access)
+        assert pcu.stats.draco_hits == 0
+
+
+class TestFlushOnSwitch:
+    def test_caches_cold_after_every_switch(self, isa_map):
+        pcu, manager, domain = make_pcu(isa_map, flush_on_switch=True)
+        access = AccessInfo(inst_class=isa_map.inst_class("alu"))
+        pcu.check(access)
+        other = manager.create_domain("other")
+        manager.allow_instructions(other.domain_id, ["alu"])
+        gate = manager.register_gate(0x3000, 0x4000, other.domain_id)
+        pcu.execute_gate(GateKind.HCCALL, gate, 0x3000)
+        # the first check after the switch must miss everywhere
+        flushes_before = pcu.stats.inst_cache.flushes
+        stall = pcu.check(AccessInfo(inst_class=isa_map.inst_class("alu")))
+        assert stall > 0
+        assert flushes_before >= 1
+
+    def test_default_keeps_caches_warm_across_switches(self, isa_map):
+        pcu, manager, domain = make_pcu(isa_map)
+        pcu.check(AccessInfo(inst_class=isa_map.inst_class("alu")))
+        # round trip: out and back
+        other = manager.create_domain("other")
+        manager.allow_instructions(other.domain_id, ["alu"])
+        gate_out = manager.register_gate(0x3000, 0x4000, other.domain_id)
+        gate_back = manager.register_gate(0x5000, 0x6000, domain.domain_id)
+        pcu.execute_gate(GateKind.HCCALL, gate_out, 0x3000)
+        pcu.check(AccessInfo(inst_class=isa_map.inst_class("alu")))
+        pcu.execute_gate(GateKind.HCCALL, gate_back, 0x5000)
+        stall = pcu.check(AccessInfo(inst_class=isa_map.inst_class("alu")))
+        assert stall == 0  # domain-tagged entries survived the switches
+
+
+class TestRevocationCoherence:
+    def test_revoked_register_faults_despite_warm_caches(self, isa_map):
+        pcu, manager, domain = make_pcu(isa_map, draco_entries=16)
+        read = AccessInfo(
+            inst_class=isa_map.inst_class("csr"),
+            csr=isa_map.csr_index("vbase"), csr_read=True,
+        )
+        pcu.check(read)
+        pcu.check(read)  # now draco- and reg-cache-resident
+        manager.revoke_register(domain.domain_id, "vbase", read=True)
+        from repro.core import RegisterReadFault
+
+        with pytest.raises(RegisterReadFault):
+            pcu.check(read)
+
+    def test_denied_instruction_faults_despite_bypass(self, isa_map):
+        pcu, manager, domain = make_pcu(isa_map)
+        access = AccessInfo(inst_class=isa_map.inst_class("alu"))
+        pcu.check(access)  # bypass register loaded
+        manager.deny_instruction(domain.domain_id, "alu")
+        with pytest.raises(InstructionPrivilegeFault):
+            pcu.check(access)

@@ -1,0 +1,81 @@
+"""The Switching Gate Table: registration, refill, gate-id semantics."""
+
+import pytest
+
+from repro.core import (
+    ConfigurationError,
+    GateFault,
+    SwitchingGateTable,
+    TrustedMemory,
+)
+
+
+@pytest.fixture
+def sgt():
+    memory = TrustedMemory(base=0x100000, size=1 << 20)
+    return SwitchingGateTable(memory, max_gates=8)
+
+
+class TestRegistration:
+    def test_sequential_ids(self, sgt):
+        a = sgt.register(0x1000, 0x2000, 1)
+        b = sgt.register(0x1100, 0x2100, 2)
+        assert (a.gate_id, b.gate_id) == (0, 1)
+
+    def test_explicit_id(self, sgt):
+        entry = sgt.register(0x1000, 0x2000, 1, gate_id=5)
+        assert entry.gate_id == 5
+        # the allocator skips past explicitly-used slots
+        assert sgt.register(0x1200, 0x2200, 1).gate_id == 6
+
+    def test_gate_nr_tracks_allocations(self, sgt):
+        sgt.register(0x1000, 0x2000, 1)
+        sgt.register(0x1100, 0x2100, 1)
+        assert sgt.gate_nr == 2
+
+    def test_out_of_slots(self, sgt):
+        for i in range(8):
+            sgt.register(0x1000 + i, 0x2000, 1)
+        with pytest.raises(ConfigurationError):
+            sgt.register(0x9000, 0x2000, 1)
+
+    def test_entry_words_in_trusted_memory(self, sgt):
+        entry = sgt.register(0x1000, 0x2000, 3)
+        address = sgt.entry_address(entry.gate_id)
+        assert sgt.memory.load_word(address) == 0x1000
+        assert sgt.memory.load_word(address + 8) == 0x2000
+        assert sgt.memory.load_word(address + 16) == 3
+        assert sgt.memory.load_word(address + 24) == 1  # valid
+
+
+class TestReadEntry:
+    def test_roundtrip(self, sgt):
+        sgt.register(0x1000, 0x2000, 3)
+        entry = sgt.read_entry(0)
+        assert entry.gate_address == 0x1000
+        assert entry.destination_address == 0x2000
+        assert entry.destination_domain == 3
+
+    def test_unregistered_gate_faults(self, sgt):
+        """Property (iv): unregistered gates can never be executed."""
+        with pytest.raises(GateFault):
+            sgt.read_entry(0)
+
+    def test_out_of_range_gate_id_faults(self, sgt):
+        with pytest.raises(GateFault):
+            sgt.read_entry(100)
+        with pytest.raises(GateFault):
+            sgt.read_entry(-1)
+
+    def test_unregister_invalidates(self, sgt):
+        sgt.register(0x1000, 0x2000, 3)
+        sgt.unregister(0)
+        with pytest.raises(GateFault):
+            sgt.read_entry(0)
+
+    def test_matches_call_site(self, sgt):
+        """Property (i): a gate is only callable at its frozen address."""
+        sgt.register(0x1000, 0x2000, 3)
+        entry = sgt.read_entry(0)
+        assert entry.matches_call_site(0x1000)
+        assert not entry.matches_call_site(0x1004)

@@ -1,0 +1,146 @@
+"""Trusted memory region and trusted stack (Sections 4.2, 4.5)."""
+
+import pytest
+
+from repro.core import (
+    ConfigurationError,
+    PcuRegisters,
+    TrustedMemory,
+    TrustedStack,
+    TrustedStackFault,
+    WordMemory,
+)
+
+
+class TestWordMemory:
+    def test_default_zero(self):
+        memory = WordMemory()
+        assert memory.load_word(0x100) == 0
+
+    def test_roundtrip(self):
+        memory = WordMemory()
+        memory.store_word(0x100, 0xDEADBEEF)
+        assert memory.load_word(0x100) == 0xDEADBEEF
+
+    def test_unaligned_rejected(self):
+        memory = WordMemory()
+        with pytest.raises(ValueError):
+            memory.load_word(0x101)
+        with pytest.raises(ValueError):
+            memory.store_word(0x103, 1)
+
+    def test_values_truncated_to_64_bits(self):
+        memory = WordMemory()
+        memory.store_word(0, 1 << 70 | 5)
+        assert memory.load_word(0) == 5
+
+
+class TestTrustedMemory:
+    def test_power_of_two_required(self):
+        with pytest.raises(ConfigurationError):
+            TrustedMemory(base=0, size=3000)
+
+    def test_alignment_required(self):
+        with pytest.raises(ConfigurationError):
+            TrustedMemory(base=0x1234, size=1 << 12)
+
+    def test_contains_is_mask_compare(self):
+        memory = TrustedMemory(base=0x100000, size=1 << 20)
+        assert memory.contains(0x100000)
+        assert memory.contains(0x1FFFFF)
+        assert not memory.contains(0x200000)
+        assert not memory.contains(0xFFFFF)
+
+    def test_store_and_load(self):
+        memory = TrustedMemory(base=0x100000, size=1 << 20)
+        memory.store_word(0x100008, 42)
+        assert memory.load_word(0x100008) == 42
+
+    def test_out_of_region_access_rejected(self):
+        memory = TrustedMemory(base=0x100000, size=1 << 20)
+        with pytest.raises(ConfigurationError):
+            memory.store_word(0x200000, 1)
+        with pytest.raises(ConfigurationError):
+            memory.load_word(0x0)
+
+    def test_allocate_bumps(self):
+        memory = TrustedMemory(base=0x100000, size=1 << 20)
+        a = memory.allocate(4)
+        b = memory.allocate(2)
+        assert b == a + 32
+
+    def test_allocate_exhaustion(self):
+        memory = TrustedMemory(base=0x100000, size=1 << 12)
+        memory.allocate(500)
+        with pytest.raises(ConfigurationError):
+            memory.allocate(100)
+
+    def test_words_free(self):
+        memory = TrustedMemory(base=0x100000, size=1 << 12)
+        before = memory.words_free
+        memory.allocate(10)
+        assert memory.words_free == before - 10
+
+
+class TestTrustedStack:
+    @pytest.fixture
+    def stack(self):
+        memory = TrustedMemory(base=0x100000, size=1 << 20)
+        registers = PcuRegisters()
+        stack = TrustedStack(memory, registers)
+        base = memory.allocate(8)  # 4 frames
+        stack.configure(base, base + 8 * 8)
+        return stack, registers
+
+    def test_push_pop_roundtrip(self, stack):
+        trusted_stack, registers = stack
+        trusted_stack.push(0x1234, 7)
+        address, domain = trusted_stack.pop()
+        assert (address, domain) == (0x1234, 7)
+
+    def test_lifo_order(self, stack):
+        trusted_stack, _ = stack
+        trusted_stack.push(1, 10)
+        trusted_stack.push(2, 20)
+        assert trusted_stack.pop() == (2, 20)
+        assert trusted_stack.pop() == (1, 10)
+
+    def test_depth(self, stack):
+        trusted_stack, _ = stack
+        assert trusted_stack.depth == 0
+        trusted_stack.push(1, 1)
+        trusted_stack.push(2, 2)
+        assert trusted_stack.depth == 2
+
+    def test_underflow_faults(self, stack):
+        trusted_stack, _ = stack
+        with pytest.raises(TrustedStackFault):
+            trusted_stack.pop()
+
+    def test_overflow_faults(self, stack):
+        trusted_stack, _ = stack
+        for i in range(4):
+            trusted_stack.push(i, i)
+        with pytest.raises(TrustedStackFault):
+            trusted_stack.push(99, 99)
+
+    def test_configure_outside_region_rejected(self):
+        memory = TrustedMemory(base=0x100000, size=1 << 12)
+        stack = TrustedStack(memory, PcuRegisters())
+        with pytest.raises(ConfigurationError):
+            stack.configure(0x200000, 0x200100)
+
+    def test_configure_empty_window_rejected(self):
+        memory = TrustedMemory(base=0x100000, size=1 << 12)
+        stack = TrustedStack(memory, PcuRegisters())
+        with pytest.raises(ConfigurationError):
+            stack.configure(0x100100, 0x100100)
+
+    def test_context_save_restore(self, stack):
+        """Per-thread trusted stacks (Section 5.2)."""
+        trusted_stack, registers = stack
+        trusted_stack.push(5, 1)
+        context = trusted_stack.save_context()
+        registers.hcsp = registers.hcsb  # simulate a different thread
+        trusted_stack.restore_context(context)
+        assert trusted_stack.pop() == (5, 1)

@@ -1,0 +1,67 @@
+"""The Table 6 FPGA resource model."""
+
+import pytest
+
+from repro.core import CONFIG_16E, CONFIG_8E, CONFIG_8EN, PcuConfig
+from repro.hwcost import estimate, pcu_cost, rocket_baseline, table6_rows
+
+
+class TestCalibration:
+    """The model must land on the paper's Table 6 percentages."""
+
+    @pytest.mark.parametrize("config,lut_pct,ff_pct", [
+        (CONFIG_16E, 4.47, 7.20),
+        (CONFIG_8E, 3.03, 4.34),
+        (CONFIG_8EN, 2.21, 2.95),
+    ])
+    def test_overhead_percentages(self, config, lut_pct, ff_pct):
+        utilization = estimate(config)
+        overhead = utilization.overhead_vs(rocket_baseline())
+        assert overhead["lut_logic"] * 100 == pytest.approx(lut_pct, abs=0.05)
+        assert overhead["flip_flops"] * 100 == pytest.approx(ff_pct, abs=0.05)
+
+    @pytest.mark.parametrize("config,lut,ff", [
+        (CONFIG_16E, 53421, 40280),
+        (CONFIG_8E, 52685, 39208),
+        (CONFIG_8EN, 52267, 38683),
+    ])
+    def test_absolute_utilization(self, config, lut, ff):
+        utilization = estimate(config)
+        assert utilization.lut_logic == pytest.approx(lut, abs=5)
+        assert utilization.flip_flops == pytest.approx(ff, abs=5)
+
+    def test_no_bram_or_dsp_added(self):
+        base = rocket_baseline()
+        for config in (CONFIG_16E, CONFIG_8E, CONFIG_8EN):
+            utilization = estimate(config)
+            assert utilization.ramb36 == base.ramb36
+            assert utilization.ramb18 == base.ramb18
+            assert utilization.dsp48e1 == base.dsp48e1
+            assert utilization.lut_memory == base.lut_memory
+
+
+class TestModelStructure:
+    def test_cost_monotone_in_entries(self):
+        small = pcu_cost(PcuConfig(hpt_cache_entries=4, sgt_cache_entries=4))
+        large = pcu_cost(PcuConfig(hpt_cache_entries=32, sgt_cache_entries=32))
+        assert large["lut_logic"] > small["lut_logic"]
+        assert large["flip_flops"] > small["flip_flops"]
+
+    def test_dropping_sgt_cache_saves_area(self):
+        with_sgt = pcu_cost(CONFIG_8E)
+        without = pcu_cost(CONFIG_8EN)
+        assert without["lut_logic"] < with_sgt["lut_logic"]
+        assert without["flip_flops"] < with_sgt["flip_flops"]
+
+    def test_fixed_cost_floor(self):
+        tiny = pcu_cost(PcuConfig(hpt_cache_entries=1, sgt_cache_entries=0))
+        from repro.hwcost import FIXED_FF, FIXED_LUT
+
+        assert tiny["lut_logic"] >= FIXED_LUT
+        assert tiny["flip_flops"] >= FIXED_FF
+
+    def test_table6_rows_complete(self):
+        rows = table6_rows()
+        assert [r["name"] for r in rows] == ["Rocket Core", "16E.", "8E.", "8E.N"]
+        assert rows[0]["lut_pct"] == 0.0
+        assert rows[1]["lut_pct"] > rows[2]["lut_pct"] > rows[3]["lut_pct"]

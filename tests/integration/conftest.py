@@ -1,0 +1,3 @@
+"""Integration tests reuse the core suite's synthetic-ISA fixtures."""
+
+from tests.core.conftest import isa_map, manager, pcu, trusted_memory  # noqa: F401

@@ -1,0 +1,33 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table6(self, capsys):
+        assert main(["table6"]) == 0
+        out = capsys.readouterr().out
+        assert "Rocket Core" in out and "8E.N" in out
+        assert "2.21" in out
+
+    def test_scan(self, capsys):
+        assert main(["scan"]) == 0
+        out = capsys.readouterr().out
+        assert "wrmsr" in out and "hidden" in out
+
+    def test_case3(self, capsys):
+        assert main(["case3"]) == 0
+        out = capsys.readouterr().out
+        assert "executes" in out and "faults" in out
+        assert "175" in out
+
+    def test_hitrate(self, capsys):
+        assert main(["hitrate"]) == 0
+        out = capsys.readouterr().out
+        assert "sgt" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

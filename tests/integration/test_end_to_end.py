@@ -1,0 +1,134 @@
+"""Cross-package integration tests."""
+
+import pytest
+
+from repro.core import CONFIG_16E, CONFIG_8E, CONFIG_8EN, PcuStats
+from repro.kernel import RiscvKernel, X86Kernel
+from repro.workloads import GATE_STRESS, MBEDTLS, SQLITE
+from repro.workloads.generator import riscv_user_program, x86_user_program
+from repro.workloads.micro import (
+    instruction_latencies,
+    measure_riscv_gates,
+    measure_x86_gates,
+)
+
+
+class TestDeterminism:
+    """The whole stack must be bit-for-bit reproducible."""
+
+    def test_riscv_kernel_run_deterministic(self):
+        def run():
+            kernel = RiscvKernel("decomposed")
+            stats = kernel.run(riscv_user_program(MBEDTLS), max_steps=8_000_000)
+            return stats.cycles, stats.instructions, kernel.syscall_count
+
+        assert run() == run()
+
+    def test_x86_kernel_run_deterministic(self):
+        def run():
+            kernel = X86Kernel("decomposed")
+            stats = kernel.run(x86_user_program(MBEDTLS), max_steps=8_000_000)
+            return stats.cycles, stats.instructions
+
+        assert run() == run()
+
+
+class TestConfigSweep:
+    @pytest.mark.parametrize("config", [CONFIG_16E, CONFIG_8E, CONFIG_8EN],
+                             ids=lambda c: c.name)
+    def test_all_configs_run_clean(self, config):
+        kernel = RiscvKernel("decomposed", config)
+        stats = kernel.run(riscv_user_program(GATE_STRESS), max_steps=8_000_000)
+        assert kernel.fault_count == 0
+        assert stats.halted
+
+    def test_bigger_caches_never_slower(self):
+        program = riscv_user_program(GATE_STRESS)
+        cycles = {}
+        for config in (CONFIG_16E, CONFIG_8E, CONFIG_8EN):
+            kernel = RiscvKernel("decomposed", config)
+            cycles[config.name] = kernel.run(program, max_steps=8_000_000).cycles
+        assert cycles["16E."] <= cycles["8E."] + 1
+        assert cycles["8E."] <= cycles["8E.N"] + 1
+
+
+class TestRebootSemantics:
+    def test_pcu_reset_reenters_domain0(self):
+        kernel = RiscvKernel("decomposed")
+        kernel.run(riscv_user_program(MBEDTLS), max_steps=8_000_000)
+        assert kernel.system.pcu.current_domain != 0
+        kernel.system.pcu.reset()
+        assert kernel.system.pcu.current_domain == 0
+
+    def test_sequential_workloads_on_fresh_kernels(self):
+        """Aggregating stats across per-app kernels (the §7.1 method)."""
+        total = PcuStats()
+        for profile in (SQLITE, GATE_STRESS):
+            kernel = RiscvKernel("decomposed")
+            kernel.run(riscv_user_program(profile), max_steps=8_000_000)
+            assert kernel.fault_count == 0
+            total.merge(kernel.system.pcu.stats)
+        assert total.domain_switches > 0
+        assert total.total_checks > 100_000
+
+
+class TestTable4Shape:
+    """The microbenchmark orderings the paper's Table 4 establishes."""
+
+    def test_gate_hierarchy_riscv(self):
+        gates = measure_riscv_gates(iterations=500)
+        latencies = instruction_latencies()["riscv"]
+        assert latencies["hccall"] < latencies["hccalls"]
+        assert gates["hccall"] < gates["hccalls+hcrets"]
+
+    def test_forwarding_effect_x86(self):
+        gates = measure_x86_gates(iterations=500)
+        latencies = instruction_latencies()["x86"]
+        assert gates["xdomain_hccalls_hcrets"] < (
+            latencies["hccalls"] + latencies["hcrets"]
+        )
+
+    def test_gates_beat_trap_and_emulate_everywhere(self):
+        from repro.baselines import VM_EXIT_CYCLES
+
+        riscv = measure_riscv_gates(iterations=500)
+        x86 = measure_x86_gates(iterations=500)
+        assert riscv["hccalls+hcrets"] * 20 < VM_EXIT_CYCLES
+        assert x86["xdomain_hccalls_hcrets"] * 10 < VM_EXIT_CYCLES
+
+
+class TestFaultIsolationUnderLoad:
+    def test_attack_mid_workload_does_not_corrupt_results(self):
+        """An attack blocked mid-run leaves the workload's own state
+        intact — the 'system keeps running' half of mitigation."""
+        from repro.riscv import USER_BASE, assemble
+
+        source = """
+        user_entry:
+            li s2, 30
+        outer:
+            li a7, 16          # hijack the misc module...
+            la a0, attack
+            li a1, 0
+            ecall
+            li a7, 1           # ...then business as usual
+            ecall
+            mv s3, a0
+            addi s2, s2, -1
+            bnez s2, outer
+            li a7, 0
+            mv a0, s3
+            ecall
+        attack:
+            li t5, 0xbad
+            csrw satp, t5
+            ret
+        """
+        kernel = RiscvKernel("decomposed")
+        stats = kernel.run(assemble(source, base=USER_BASE), max_steps=500_000)
+        assert kernel.fault_count == 30          # every attempt blocked
+        assert kernel.cpu.exit_code == 42        # getpid still correct
+        from repro.riscv import CSR_ADDRESS
+
+        assert kernel.cpu.csrs[CSR_ADDRESS["satp"]] == 0
+        assert stats.halted

@@ -1,0 +1,111 @@
+"""Per-thread trusted stacks and domain-0 context switching (§5.2/§8)."""
+
+import pytest
+
+from repro.core import ConfigurationError, DomainManager, GateKind
+
+
+class TestThreadStackAllocation:
+    def test_seeded_stack_has_one_frame(self, pcu, manager):
+        kernel = manager.create_domain("kernel")
+        sp, base, limit = manager.create_thread_stack(
+            frames=8, entry_address=0x4000, entry_domain=kernel.domain_id
+        )
+        assert sp == base + 16
+        assert pcu.trusted_memory.load_word(base) == 0x4000
+        assert pcu.trusted_memory.load_word(base + 8) == kernel.domain_id
+
+    def test_unseeded_stack_is_empty(self, manager):
+        sp, base, limit = manager.create_thread_stack(frames=8)
+        assert sp == base
+        assert limit == base + 8 * 2 * 8
+
+    def test_seeding_into_domain0_rejected(self, manager):
+        """hcrets can never enter domain-0, so such a seed is a bug."""
+        with pytest.raises(ConfigurationError):
+            manager.create_thread_stack(frames=8, entry_address=0x4000, entry_domain=0)
+
+    def test_contexts_do_not_alias(self, manager):
+        a = manager.create_thread_stack(frames=8)
+        b = manager.create_thread_stack(frames=8)
+        assert a[2] <= b[1]  # a's limit at or below b's base
+
+    def test_switching_contexts_switches_pop_source(self, pcu, manager):
+        """Installing another thread's context redirects hcrets."""
+        kernel = manager.create_domain("kernel")
+        other = manager.create_domain("other")
+        manager.allocate_trusted_stack(frames=8)
+        gate = manager.register_gate(0x1000, 0x2000, other.domain_id)
+        pcu.execute_gate(GateKind.HCCALL, gate, 0x1000)  # leave domain-0
+        gate2 = manager.register_gate(0x2100, 0x2200, kernel.domain_id)
+        pcu.execute_gate(GateKind.HCCALLS, gate2, 0x2100, return_address=0x2104)
+
+        seeded = manager.create_thread_stack(
+            frames=8, entry_address=0x9000, entry_domain=other.domain_id
+        )
+        saved = pcu.trusted_stack.save_context()
+        pcu.trusted_stack.restore_context(seeded)
+        target, _ = pcu.execute_gate(GateKind.HCRETS, 0, 0x2200)
+        assert target == 0x9000                     # the seeded entry
+        assert pcu.current_domain == other.domain_id
+
+        pcu.trusted_stack.restore_context(saved)
+        target, _ = pcu.execute_gate(GateKind.HCRETS, 0, 0x9000)
+        assert target == 0x2104                     # the original frame
+        assert pcu.current_domain == other.domain_id
+
+
+class TestCooperativeThreadsDemo:
+    def test_example_interleaves_two_threads(self):
+        import importlib.util
+        import os
+
+        path = os.path.join(
+            os.path.dirname(__file__), "..", "..", "examples",
+            "cooperative_threads.py",
+        )
+        spec = importlib.util.spec_from_file_location("coop_demo", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        system, stats = module.run_demo()
+        regs = system.cpu.regs
+        assert regs[21] == 0xA    # thread A ran
+        assert regs[22] == 0xB    # thread B ran
+        assert regs[23] == 0xAB   # thread A resumed after the yield
+        assert stats.halted
+
+    def test_hcs_registers_writable_only_in_domain0(self):
+        """The Table-2 stack registers are domain-0-only by default."""
+        from repro.riscv import (
+            CAUSE_ISA_GRID_FAULT, KERNEL_BASE, assemble, build_riscv_system,
+        )
+
+        system = build_riscv_system()
+        manager = system.manager
+        kernel = manager.create_domain("kernel")
+        manager.allow_instructions(
+            kernel.domain_id, ["alu", "csr", "jump", "halt"]
+        )
+        manager.grant_register(kernel.domain_id, "stvec", read=True, write=True)
+        manager.grant_register(kernel.domain_id, "scause", read=True)
+        program = assemble("""
+entry:
+    csrw hcsp, t0            # fine: still domain-0
+    la t0, handler
+    csrw stvec, t0
+    li t0, 0
+g0:
+    hccall t0
+in_kernel:
+    csrw hcsp, t0            # ILLEGAL outside domain-0
+    halt
+handler:
+    csrr a0, scause
+    halt
+""", base=KERNEL_BASE)
+        system.load(program)
+        manager.register_gate(
+            program.symbol("g0"), program.symbol("in_kernel"), kernel.domain_id
+        )
+        system.run(program.symbol("entry"), max_steps=1_000)
+        assert system.cpu.regs[10] == CAUSE_ISA_GRID_FAULT

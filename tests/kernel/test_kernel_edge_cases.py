@@ -1,0 +1,111 @@
+"""Kernel robustness: unknown syscalls, fault storms, halting."""
+
+import pytest
+
+from repro.kernel import RiscvKernel, X86Kernel
+from repro.riscv import USER_BASE as RUB
+from repro.riscv import assemble as rasm
+from repro.x86 import USER_BASE as XUB
+from repro.x86 import assemble as xasm
+
+
+class TestUnknownSyscalls:
+    def test_riscv_unknown_syscall_is_ignored(self):
+        kernel = RiscvKernel("decomposed")
+        program = rasm("""
+user_entry:
+    li a7, 99
+    ecall
+    li a7, 1
+    ecall
+    mv s0, a0
+    li a7, 0
+    mv a0, s0
+    ecall
+""", base=RUB)
+        kernel.run(program, max_steps=100_000)
+        assert kernel.cpu.exit_code == 42
+        assert kernel.syscall_count == 3
+
+    def test_x86_unknown_syscall_returns_minus_one(self):
+        kernel = X86Kernel("decomposed")
+        program = xasm("""
+user_entry:
+    mov rsp, 0x6f0000
+    mov rax, 99
+    syscall
+    mov rdi, rax
+    mov rax, 0
+    syscall
+""", base=XUB)
+        kernel.run(program, max_steps=100_000)
+        assert kernel.cpu.exit_code == (-1) & (1 << 64) - 1
+
+
+class TestFaultStorm:
+    def test_riscv_survives_many_blocked_attempts(self):
+        """A fault per loop iteration must not wedge the trap stack."""
+        kernel = RiscvKernel("decomposed")
+        program = rasm("""
+user_entry:
+    li s2, 100
+loop:
+    li a7, 16
+    la a0, attack
+    li a1, 0
+    ecall
+    addi s2, s2, -1
+    bnez s2, loop
+    li a7, 0
+    li a0, 5
+    ecall
+attack:
+    csrw stvec, t5
+    csrw satp, t5
+    ret
+""", base=RUB)
+        stats = kernel.run(program, max_steps=2_000_000)
+        assert kernel.fault_count == 200
+        assert kernel.cpu.exit_code == 5
+        assert stats.halted
+
+    def test_user_mode_privilege_violations_also_counted(self):
+        """User code poking CSRs hits the privilege-LEVEL check (cause 2),
+        which rides the same fault path."""
+        kernel = RiscvKernel("decomposed")
+        program = rasm("""
+user_entry:
+    csrw satp, t0
+    li a7, 0
+    li a0, 3
+    ecall
+""", base=RUB)
+        kernel.run(program, max_steps=100_000)
+        assert kernel.fault_count == 1
+        assert kernel.last_fault_cause == 2  # illegal instruction
+        assert kernel.cpu.exit_code == 3
+
+
+class TestHalting:
+    def test_exit_code_passes_through(self):
+        kernel = RiscvKernel("native")
+        program = rasm("""
+user_entry:
+    li a7, 0
+    li a0, 123
+    ecall
+""", base=RUB)
+        kernel.run(program, max_steps=10_000)
+        assert kernel.cpu.exit_code == 123
+
+    def test_runaway_user_program_raises(self):
+        from repro.sim import SimulationLimitExceeded
+
+        kernel = RiscvKernel("native")
+        program = rasm("""
+user_entry:
+loop:
+    j loop
+""", base=RUB)
+        with pytest.raises(SimulationLimitExceeded):
+            kernel.run(program, max_steps=5_000)

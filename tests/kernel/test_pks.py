@@ -1,0 +1,53 @@
+"""Use case 3: the PKS/wrpkrs trampoline."""
+
+import pytest
+
+from repro.kernel import estimate_case3, measure_two_hccall, run_pks_demo
+from repro.kernel.pks import (
+    MPK_TRAMPOLINE_CYCLES,
+    PAGE_TABLE_SWITCH_NO_PTI,
+    VMFUNC_SWITCH,
+    WRPKRU_CYCLES,
+)
+
+
+class TestPksDemo:
+    @pytest.fixture(scope="class")
+    def demo(self):
+        return run_pks_demo()
+
+    def test_trampoline_writes_succeed(self, demo):
+        assert demo.trampoline_writes_succeeded
+
+    def test_outside_write_blocked(self, demo):
+        assert demo.outside_write_blocked
+
+    def test_guarded(self, demo):
+        assert demo.guarded
+        assert demo.pkrs_value == 0
+
+
+class TestCase3Estimate:
+    @pytest.fixture(scope="class")
+    def estimate(self):
+        return estimate_case3()
+
+    def test_two_hccall_near_70_cycles(self, estimate):
+        """Paper: two hccall ≈ 70 cycles on the x86 prototype."""
+        assert estimate.two_hccall_cycles == pytest.approx(70, rel=0.15)
+
+    def test_total_near_175(self, estimate):
+        """Paper: 105 + 70 = 175 cycles for PKS + ISA-Grid."""
+        assert estimate.pks_with_isagrid_cycles == pytest.approx(175, rel=0.1)
+
+    def test_faster_than_every_alternative(self, estimate):
+        assert estimate.faster_than_all_alternatives
+        assert estimate.pks_with_isagrid_cycles < VMFUNC_SWITCH
+        assert estimate.pks_with_isagrid_cycles < PAGE_TABLE_SWITCH_NO_PTI
+
+    def test_quoted_constants(self, estimate):
+        assert estimate.wrpkru_cycles == WRPKRU_CYCLES == 26
+        assert estimate.mpk_trampoline_cycles == MPK_TRAMPOLINE_CYCLES == 105
+
+    def test_measure_is_deterministic(self):
+        assert measure_two_hccall(iterations=200) == measure_two_hccall(iterations=200)

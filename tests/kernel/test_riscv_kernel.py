@@ -1,0 +1,190 @@
+"""The RISC-V MiniKernel: boot, syscalls, decomposition semantics."""
+
+import pytest
+
+from repro.kernel import RiscvKernel
+from repro.kernel.syscalls import SYS_GETPID
+from repro.riscv import USER_BASE, assemble
+
+
+def user(source):
+    return assemble(source, base=USER_BASE)
+
+
+EXERCISER = user("""
+user_entry:
+    li a7, 1          # getpid
+    ecall
+    mv s0, a0
+    li a7, 2          # read
+    li a0, 0x620000
+    li a1, 64
+    ecall
+    li a7, 3          # write
+    li a0, 0x620000
+    li a1, 64
+    ecall
+    li a7, 6          # open
+    li a0, 0x1234
+    ecall
+    mv s1, a0
+    li a7, 7          # close
+    mv a0, s1
+    ecall
+    li a7, 9          # mmap
+    li a0, 0x8000
+    ecall
+    li a7, 8          # sigaction
+    li a0, 3
+    li a1, 0x400100
+    ecall
+    li a7, 13         # yield
+    ecall
+    li a7, 15         # select
+    ecall
+    li a7, 0
+    mv a0, s0
+    ecall
+""")
+
+
+@pytest.fixture(scope="module", params=["native", "decomposed"])
+def booted(request):
+    kernel = RiscvKernel(request.param)
+    stats = kernel.run(EXERCISER, max_steps=300_000)
+    return kernel, stats
+
+
+class TestBothModes:
+    def test_exits_with_pid(self, booted):
+        kernel, _ = booted
+        assert kernel.cpu.exit_code == 42
+
+    def test_syscalls_counted(self, booted):
+        kernel, _ = booted
+        assert kernel.syscall_count == 10
+
+    def test_no_spurious_faults(self, booted):
+        kernel, _ = booted
+        assert kernel.fault_count == 0
+
+    def test_mmap_wrote_satp(self, booted):
+        kernel, _ = booted
+        from repro.riscv import CSR_ADDRESS
+
+        assert kernel.cpu.csrs[CSR_ADDRESS["satp"]] == 0x8000
+
+    def test_sigaction_set_sie(self, booted):
+        kernel, _ = booted
+        from repro.riscv import CSR_ADDRESS
+
+        assert kernel.cpu.csrs[CSR_ADDRESS["sie"]] & 2
+
+
+class TestDecomposedSpecifics:
+    @pytest.fixture(scope="class")
+    def kernel(self):
+        kernel = RiscvKernel("decomposed")
+        kernel.run(EXERCISER, max_steps=300_000)
+        return kernel
+
+    def test_domains_created(self, kernel):
+        assert set(kernel.domains) == {
+            "kernel", "vm", "irq", "ctx", "misc", "domain-0",
+        }
+
+    def test_gates_registered(self, kernel):
+        assert kernel.system.pcu.sgt.gate_nr == len(kernel.gate_plan)
+
+    def test_domain_switches_happened(self, kernel):
+        # leave-d0 + (mmap, sigaction, yield) round trips
+        assert kernel.system.pcu.stats.domain_switches >= 7
+
+    def test_ends_in_basic_domain(self, kernel):
+        assert kernel.system.pcu.current_domain == kernel.domains["kernel"]
+
+    def test_vm_domain_cannot_be_entered_without_gate(self, kernel):
+        from repro.core import GateFault
+        from repro.core.isa_extension import GateKind
+
+        with pytest.raises(GateFault):
+            kernel.system.pcu.execute_gate(GateKind.HCCALL, 999, 0x1)
+
+    def test_hit_rates_high_after_gate_heavy_run(self):
+        """Section 7.1 shape: caches reach very high hit rates once the
+        gated kernel paths are hot."""
+        loop = user("""
+        user_entry:
+            li s2, 60
+        outer:
+            li a7, 9
+            li a0, 0x8000
+            ecall
+            li a7, 8
+            li a0, 3
+            li a1, 0x400100
+            ecall
+            li a7, 13
+            ecall
+            addi s2, s2, -1
+            bnez s2, outer
+            li a7, 0
+            li a0, 0
+            ecall
+        """)
+        kernel = RiscvKernel("decomposed")
+        kernel.run(loop, max_steps=500_000)
+        rates = kernel.system.pcu.stats.hit_rates()
+        assert rates["inst"] > 0.95
+        assert rates["sgt"] > 0.95
+        assert rates["reg"] > 0.95
+
+    def test_native_has_no_pcu(self):
+        assert RiscvKernel("native").system.pcu is None
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            RiscvKernel("bogus")
+
+    def test_user_program_must_sit_at_user_base(self):
+        kernel = RiscvKernel("native")
+        with pytest.raises(ValueError):
+            kernel.load_user(assemble("nop\n", base=0x1000))
+
+
+class TestOverheadShape:
+    def test_decomposition_overhead_is_small(self):
+        """Figure 5/6 shape: decomposed ≈ native (well under 5% here)."""
+        loop = user("""
+        user_entry:
+            li s2, 150
+        outer:
+            li a7, %d
+            ecall
+            addi s2, s2, -1
+            bnez s2, outer
+            li a7, 0
+            li a0, 0
+            ecall
+        """ % SYS_GETPID)
+        native = RiscvKernel("native").run(loop, max_steps=500_000)
+        decomposed = RiscvKernel("decomposed").run(loop, max_steps=500_000)
+        ratio = decomposed.cycles / native.cycles
+        assert 0.99 < ratio < 1.05
+
+    def test_pti_variant_is_slower(self):
+        loop = user("""
+        user_entry:
+            li s2, 100
+        outer:
+            li a7, 1
+            ecall
+            addi s2, s2, -1
+            bnez s2, outer
+            li a7, 0
+            li a0, 0
+            ecall
+        """)
+        plain = RiscvKernel("native").run(loop, max_steps=500_000)
+        pti = RiscvKernel("native", pti=True).run(loop, max_steps=500_000)
+        assert pti.cycles > plain.cycles * 1.05

@@ -1,0 +1,166 @@
+"""Runtime domain/gate registration through domain-0 (§5.2).
+
+The paper allows gates to be registered at runtime: a kernel component
+calls a special gate into domain-0, whose software writes the new SGT
+entry into trusted memory and returns the gate id.  Our MiniKernel
+exposes this as ``SYS_REGISTER``; ``SYS_MMAP2``'s gate only exists
+after such a call.
+"""
+
+import pytest
+
+from repro.kernel import RiscvKernel
+from repro.kernel.riscv_kernel import DATA_BASE, META_NEXT_GATE, OFF_RT_GATE
+from repro.riscv import CSR_ADDRESS, USER_BASE, assemble
+
+
+def registration_program(kernel, *, register_first=True, satp_value=0x2222):
+    body = """
+    li a7, 17
+    li a0, %d
+    li a1, %d
+    li a2, %d
+    ecall
+""" % (kernel.symbol("g_mmap2"), kernel.symbol("fn_set_satp"), kernel.domains["vm"])
+    source = """
+user_entry:
+%s
+    li a7, 18
+    li a0, %d
+    ecall
+    li a7, 0
+    li a0, 0
+    ecall
+""" % (body if register_first else "    nop", satp_value)
+    return assemble(source, base=USER_BASE)
+
+
+class TestRuntimeRegistration:
+    def test_gate_usable_after_registration(self):
+        kernel = RiscvKernel("decomposed")
+        kernel.run(registration_program(kernel), max_steps=300_000)
+        assert kernel.fault_count == 0
+        assert kernel.cpu.csrs[CSR_ADDRESS["satp"]] == 0x2222
+
+    def test_gate_unusable_before_registration(self):
+        kernel = RiscvKernel("decomposed")
+        kernel.run(registration_program(kernel, register_first=False), max_steps=300_000)
+        assert kernel.fault_count >= 1
+        assert kernel.cpu.csrs[CSR_ADDRESS["satp"]] == 0
+
+    def test_gate_id_continues_boot_sequence(self):
+        kernel = RiscvKernel("decomposed")
+        boot_gates = kernel.system.pcu.sgt.gate_nr
+        kernel.run(registration_program(kernel), max_steps=300_000)
+        assert kernel.memory.load(DATA_BASE + OFF_RT_GATE, 8) == boot_gates
+        assert kernel.memory.load(META_NEXT_GATE, 8) == boot_gates + 1
+
+    def test_registered_entry_lands_in_sgt(self):
+        kernel = RiscvKernel("decomposed")
+        kernel.run(registration_program(kernel), max_steps=300_000)
+        gate_id = kernel.memory.load(DATA_BASE + OFF_RT_GATE, 8)
+        entry = kernel.system.pcu.sgt.read_entry(gate_id)
+        assert entry.gate_address == kernel.symbol("g_mmap2")
+        assert entry.destination_address == kernel.symbol("fn_set_satp")
+        assert entry.destination_domain == kernel.domains["vm"]
+
+    def test_runtime_gate_still_checks_call_site(self):
+        """A runtime-registered gate is as unforgeable as a boot one:
+        the registered address is g_mmap2, so executing a gate with the
+        same id anywhere else must fault."""
+        kernel = RiscvKernel("decomposed")
+        program = assemble("""
+user_entry:
+    li a7, 17
+    li a0, %d
+    li a1, %d
+    li a2, %d
+    ecall
+    li a7, 16          # hijack misc, replay the gate id from there
+    la a0, forged
+    li a1, 0
+    ecall
+    li a7, 0
+    li a0, 0
+    ecall
+forged:
+    la t5, %d
+    ld t5, 0(t5)       # the runtime gate id from kernel data
+forged_site:
+    hccall t5          # wrong address -> GateFault
+    ret
+""" % (
+            kernel.symbol("g_mmap2"), kernel.symbol("fn_set_satp"),
+            kernel.domains["vm"], DATA_BASE + OFF_RT_GATE,
+        ), base=USER_BASE)
+        kernel.run(program, max_steps=300_000)
+        assert kernel.fault_count >= 1
+        assert kernel.cpu.csrs[CSR_ADDRESS["satp"]] == 0
+
+    def test_x86_runtime_registration(self):
+        from repro.kernel import X86Kernel
+        from repro.x86 import USER_BASE as XUB
+        from repro.x86 import assemble as xasm
+
+        kernel = X86Kernel("decomposed")
+        user = xasm("""
+user_entry:
+    mov rsp, 0x6f0000
+    mov rax, 17
+    mov rdi, %d
+    mov rsi, %d
+    mov rdx, %d
+    syscall
+    mov rax, 18
+    mov rdi, 0x9000
+    syscall
+    mov rax, 0
+    mov rdi, 0
+    syscall
+""" % (kernel.symbol("g_mmap2"), kernel.symbol("fn_write_cr3"),
+            kernel.domains["vm"]), base=XUB)
+        kernel.run(user, max_steps=300_000)
+        assert kernel.fault_count == 0
+        assert kernel.cpu.sys.cr3 == 0x9000
+
+    def test_x86_gate_unusable_before_registration(self):
+        from repro.kernel import X86Kernel
+        from repro.x86 import USER_BASE as XUB
+        from repro.x86 import assemble as xasm
+
+        kernel = X86Kernel("decomposed")
+        user = xasm("""
+user_entry:
+    mov rsp, 0x6f0000
+    mov rax, 18
+    mov rdi, 0x9000
+    syscall
+aborted:
+    mov rax, 0
+    mov rdi, 0
+    syscall
+""", base=XUB)
+        kernel.load_user(user)
+        kernel.set_abort_continuation(user.symbol("aborted"))
+        kernel.run(max_steps=300_000)
+        assert kernel.fault_count >= 1
+        assert kernel.cpu.sys.cr3 == 0
+
+    def test_native_kernel_reports_no_gate(self):
+        kernel = RiscvKernel("native")
+        program = assemble("""
+user_entry:
+    li a7, 17
+    li a0, 0
+    li a1, 0
+    li a2, 0
+    ecall
+    li a7, 18          # native mmap2 falls back to a direct call
+    li a0, 0x777
+    ecall
+    li a7, 0
+    li a0, 0
+    ecall
+""", base=USER_BASE)
+        kernel.run(program, max_steps=300_000)
+        assert kernel.cpu.csrs[CSR_ADDRESS["satp"]] == 0x777

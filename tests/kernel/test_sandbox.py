@@ -1,0 +1,82 @@
+"""Use case §6.4: the PrivBox/Dune-style in-kernel sandbox."""
+
+import pytest
+
+from repro.kernel.sandbox import SANDBOX_CLASSES, run_sandbox
+from repro.riscv import RISCV_ISA_MAP
+
+
+class TestSandbox:
+    def test_compute_guest_runs_clean(self):
+        result = run_sandbox("""
+            li a0, 0
+            li t1, 50
+        loop:
+            addi a0, a0, 2
+            addi t1, t1, -1
+            bnez t1, loop
+            halt
+        """)
+        assert result.clean
+        assert result.exit_code == 100
+
+    def test_privileged_instructions_blocked_and_counted(self):
+        result = run_sandbox("""
+            li t5, 0xbad
+            csrw satp, t5
+            csrw stvec, t5
+            sfence.vma
+            li a0, 1
+            halt
+        """)
+        assert result.blocked_attempts == 3
+        assert result.exit_code == 1  # the host survives every attempt
+
+    def test_escape_attempt_leaves_no_trace(self):
+        """The classic Dune worry: guest flips the page-table base."""
+        result = run_sandbox("""
+            li t5, 0xdeadbeef
+            csrw satp, t5
+            li a0, 0
+            halt
+        """)
+        assert result.blocked_attempts == 1
+
+    def test_csr_reads_not_granted_by_default(self):
+        result = run_sandbox("""
+            csrr a0, satp
+            li a0, 5
+            halt
+        """)
+        assert result.blocked_attempts == 1
+        assert result.exit_code == 5
+
+    def test_extra_readable_csr_grant(self):
+        """Hosts may expose selected read-only state (e.g. Dune exposes
+        the page-table root for introspection)."""
+        result = run_sandbox("""
+            csrr a0, satp
+            halt
+        """, extra_readable_csrs=("satp",))
+        assert result.clean
+        assert result.exit_code == 0  # satp reads back 0
+
+    def test_gate_forgery_from_guest_blocked(self):
+        result = run_sandbox("""
+            li t5, 0
+            hccall t5
+            li a0, 9
+            halt
+        """)
+        assert result.blocked_attempts == 1
+        assert result.exit_code == 9
+
+    def test_sandbox_classes_exclude_all_system_classes(self):
+        system_classes = {
+            "csr", "sret", "mret", "wfi", "sfence_vma", "ecall",
+            "hccall", "hccalls", "hcrets", "pfch", "pflh",
+        }
+        assert not set(SANDBOX_CLASSES) & system_classes
+        # ... and everything listed exists in the real ISA map
+        for name in SANDBOX_CLASSES:
+            RISCV_ISA_MAP.inst_class(name)

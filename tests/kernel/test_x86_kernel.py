@@ -1,0 +1,223 @@
+"""The x86 MiniKernel: boot, syscalls, services, nested monitor."""
+
+import pytest
+
+from repro.kernel import (
+    SERVICE_CPUID,
+    SERVICE_MTRR,
+    SERVICE_PMC_IRQ,
+    SERVICE_PMC_MISS,
+    SERVICE_VOLTAGE,
+    X86Kernel,
+)
+from repro.kernel.x86_kernel import DATA_BASE, OFF_MON_LOG, OFF_PT_AREA
+from repro.x86 import USER_BASE, assemble
+
+
+def user(source):
+    return assemble(source, base=USER_BASE)
+
+
+EXERCISER = user("""
+user_entry:
+    mov rsp, 0x6f0000
+    mov rax, 1          # getpid
+    syscall
+    mov r12, rax
+    mov rax, 2          # read
+    mov rdi, 0x620000
+    mov rsi, 64
+    syscall
+    mov rax, 3          # write
+    mov rdi, 0x620000
+    mov rsi, 64
+    syscall
+    mov rax, 6          # open
+    mov rdi, 0x1234
+    syscall
+    mov rax, 9          # mmap
+    mov rdi, 0x5000
+    syscall
+    mov rax, 8          # sigaction
+    mov rdi, 3
+    mov rsi, 0x400100
+    syscall
+    mov rax, 13         # yield
+    syscall
+    mov rax, 0
+    mov rdi, r12
+    syscall
+""")
+
+
+@pytest.fixture(scope="module", params=["native", "decomposed"])
+def booted(request):
+    kernel = X86Kernel(request.param)
+    stats = kernel.run(EXERCISER, max_steps=300_000)
+    return kernel, stats
+
+
+class TestBothModes:
+    def test_exit_code_is_pid(self, booted):
+        kernel, _ = booted
+        assert kernel.cpu.exit_code == 42
+
+    def test_syscalls_counted(self, booted):
+        kernel, _ = booted
+        assert kernel.syscall_count == 8
+
+    def test_no_spurious_faults(self, booted):
+        kernel, _ = booted
+        assert kernel.fault_count == 0
+
+    def test_mmap_wrote_cr3(self, booted):
+        kernel, _ = booted
+        assert kernel.cpu.sys.cr3 == 0x5000
+
+    def test_smap_bit_restored_after_copies(self, booted):
+        kernel, _ = booted
+        from repro.x86 import CR4_SMAP
+
+        assert not kernel.cpu.sys.cr4 & CR4_SMAP
+
+    def test_boot_hardened_spec_ctrl(self, booted):
+        kernel, _ = booted
+        assert kernel.cpu.sys.msrs[0x48] == 1
+
+
+SERVICES = user("""
+user_entry:
+    mov rsp, 0x6f0000
+    mov rax, 12
+    mov rdi, 1          # cpuid service
+    syscall
+    mov r12, rax
+    mov rax, 12
+    mov rdi, 2          # mtrr service
+    syscall
+    mov r13, rax
+    mov rax, 12
+    mov rdi, 3          # pmc interrupts
+    syscall
+    mov rax, 12
+    mov rdi, 4          # pmc misses
+    syscall
+    mov r14, rax
+    mov rax, 12
+    mov rdi, 5          # voltage read
+    syscall
+    mov rax, 0
+    mov rdi, r13
+    syscall
+""")
+
+
+class TestServices:
+    @pytest.fixture(scope="class", params=["native", "decomposed"])
+    def kernel(self, request):
+        kernel = X86Kernel(request.param)
+        kernel.run(SERVICES, max_steps=300_000)
+        return kernel
+
+    def test_all_services_complete(self, kernel):
+        assert kernel.fault_count == 0
+        assert kernel.syscall_count == 6
+
+    def test_mtrr_service_returns_memory_type(self, kernel):
+        assert kernel.cpu.exit_code == 0x6  # write-back from MTRR base
+
+
+class TestDecomposedSpecifics:
+    def test_domains(self):
+        kernel = X86Kernel("decomposed")
+        expected = {"kernel", "vm", "fpu", "ldt", "power", "mtrr",
+                    "cpuid", "pmu", "debug", "monitor", "domain-0"}
+        assert set(kernel.domains) == expected
+
+    def test_kernel_domain_has_only_smap_bit_of_cr4(self):
+        kernel = X86Kernel("decomposed")
+        from repro.x86 import CR4_SMAP, CSR_INDEX
+
+        manager = kernel.system.manager
+        cr4 = CSR_INDEX["cr4"]
+        slot = manager.isa_map.mask_slot(cr4)
+        mask = kernel.system.pcu.hpt.read_mask(kernel.domains["kernel"], slot)
+        assert mask == CR4_SMAP
+
+    def test_overhead_shape(self):
+        """Figure 7 shape: amortized decomposition overhead is small."""
+        loop = user("""
+        user_entry:
+            mov rsp, 0x6f0000
+            mov r12, 200
+        loop:
+            mov rax, 1
+            syscall
+            mov rax, 4
+            syscall
+            sub r12, 1
+            jne loop
+            mov rax, 0
+            mov rdi, 0
+            syscall
+        """)
+        native = X86Kernel("native").run(loop, max_steps=600_000)
+        decomposed = X86Kernel("decomposed").run(loop, max_steps=600_000)
+        assert decomposed.cycles / native.cycles < 1.03
+
+
+MMAP_LOOP = user("""
+user_entry:
+    mov rsp, 0x6f0000
+    mov r12, 100
+loop:
+    mov rax, 9
+    mov rdi, 0x77
+    syscall
+    sub r12, 1
+    jne loop
+    mov rax, 0
+    mov rdi, 0
+    syscall
+""")
+
+
+class TestNestedKernel:
+    def test_monitor_writes_page_table(self):
+        kernel = X86Kernel("decomposed", variant="nested")
+        kernel.run(MMAP_LOOP, max_steps=300_000)
+        assert kernel.fault_count == 0
+        assert kernel.memory.load(DATA_BASE + OFF_PT_AREA, 8) == 0x77
+
+    def test_log_variant_records_modifications(self):
+        kernel = X86Kernel("decomposed", variant="nested_log")
+        kernel.run(MMAP_LOOP, max_steps=300_000)
+        assert kernel.memory.load(DATA_BASE + OFF_MON_LOG, 8) == 0x77
+
+    def test_wp_set_after_mediation(self):
+        """The exit path re-enables CR0.WP so page tables stay RO."""
+        kernel = X86Kernel("decomposed", variant="nested")
+        kernel.run(MMAP_LOOP, max_steps=300_000)
+        from repro.x86 import CR0_WP
+
+        assert kernel.cpu.sys.cr0 & CR0_WP
+
+    def test_outer_kernel_cannot_write_cr3_in_nested_mode(self):
+        """In the nested variant the vm gate isn't registered; only the
+        monitor touches page-table state."""
+        kernel = X86Kernel("decomposed", variant="nested")
+        gate_names = {site.name for site in kernel.gate_plan}
+        assert "write_cr3" not in gate_names
+        assert "mon_enter" in gate_names and "mon_exit" in gate_names
+
+    def test_bad_variant_rejected(self):
+        with pytest.raises(ValueError):
+            X86Kernel("decomposed", variant="wat")
+
+    def test_nested_overhead_over_plain_is_small(self):
+        """Figure 8 shape: the mediated monitor costs little once hot.
+        (The mmap-only loop here is the worst case — every syscall is a
+        mediated page-table write; real apps amortize far below this.)"""
+        plain = X86Kernel("native").run(MMAP_LOOP, max_steps=600_000)
+        nested = X86Kernel("decomposed", variant="nested").run(MMAP_LOOP, max_steps=600_000)
+        assert nested.cycles / plain.cycles < 1.25

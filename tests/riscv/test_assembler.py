@@ -1,0 +1,148 @@
+"""The RV64 assembler: labels, pseudo-ops, directives."""
+
+import pytest
+
+from repro.riscv import assemble, decode
+from repro.riscv.assembler import AssemblerError
+
+
+def decode_all(program):
+    return [decode(int.from_bytes(program.data[i:i + 4], "little"))
+            for i in range(0, len(program.data), 4)]
+
+
+class TestBasics:
+    def test_simple_program(self):
+        program = assemble("start:\n    addi a0, zero, 5\n    halt\n", base=0x1000)
+        assert program.base == 0x1000
+        assert program.size == 8
+        assert program.symbol("start") == 0x1000
+
+    def test_labels_point_at_next_instruction(self):
+        program = assemble("""
+        a:
+            nop
+        b:  nop
+        """, base=0)
+        assert program.symbol("a") == 0
+        assert program.symbol("b") == 4
+
+    def test_comments_stripped(self):
+        program = assemble("nop # comment\n    nop\n", base=0)
+        assert program.size == 8
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("a:\nnop\na:\nnop\n")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate a0, a1\n")
+
+    def test_unknown_symbol(self):
+        with pytest.raises(AssemblerError):
+            assemble("j nowhere\n")
+
+
+class TestPseudoOps:
+    def test_li_small(self):
+        program = assemble("li a0, 42\n", base=0)
+        (inst,) = decode_all(program)
+        assert inst.mnemonic == "addi" and inst.imm == 42
+
+    def test_li_negative(self):
+        program = assemble("li a0, -5\n", base=0)
+        (inst,) = decode_all(program)
+        assert inst.imm == -5
+
+    def test_li_32bit(self):
+        program = assemble("li t0, 0x12345678\n", base=0)
+        instructions = decode_all(program)
+        assert instructions[0].mnemonic == "lui"
+        assert instructions[1].mnemonic == "addi"
+
+    def test_mv_and_nop(self):
+        program = assemble("mv a1, a0\n    nop\n", base=0)
+        first, second = decode_all(program)
+        assert first.mnemonic == "addi" and first.rs1 == 10 and first.rd == 11
+        assert second.rd == 0
+
+    def test_j_and_call(self):
+        program = assemble("""
+        start:
+            j end
+            call end
+        end:
+            ret
+        """, base=0)
+        jump, call, ret = decode_all(program)
+        assert jump.mnemonic == "jal" and jump.rd == 0 and jump.imm == 8
+        assert call.mnemonic == "jal" and call.rd == 1 and call.imm == 4
+        assert ret.mnemonic == "jalr" and ret.rs1 == 1
+
+    def test_beqz_bnez(self):
+        program = assemble("""
+        top:
+            beqz a0, top
+            bnez a1, top
+        """, base=0)
+        beq, bne = decode_all(program)
+        assert beq.mnemonic == "beq" and beq.imm == 0
+        assert bne.mnemonic == "bne" and bne.imm == -4
+
+    def test_csr_pseudo_ops(self):
+        program = assemble("""
+            csrr a0, sstatus
+            csrw satp, a1
+        """, base=0)
+        read, write = decode_all(program)
+        assert read.mnemonic == "csrrs" and read.csr == 0x100 and read.rs1 == 0
+        assert write.mnemonic == "csrrw" and write.csr == 0x180 and write.rd == 0
+
+    def test_csr_by_number(self):
+        program = assemble("csrr a0, 0x141\n", base=0)
+        (inst,) = decode_all(program)
+        assert inst.csr == 0x141
+
+    def test_la_resolves_symbols(self):
+        program = assemble("""
+        start:
+            la a0, target
+            nop
+        target:
+            nop
+        """, base=0x4000)
+        # la is always 8 bytes (lui+addi)
+        assert program.symbol("target") == 0x400C
+
+    def test_memory_operands(self):
+        program = assemble("ld a0, -8(sp)\n    sd a1, 16(s0)\n", base=0)
+        load, store = decode_all(program)
+        assert load.imm == -8 and load.rs1 == 2
+        assert store.imm == 16 and store.rs1 == 8
+
+
+class TestDirectives:
+    def test_word(self):
+        program = assemble(".word 0xDEADBEEF, 0x1\n", base=0)
+        assert program.data[:4] == (0xDEADBEEF).to_bytes(4, "little")
+        assert program.size == 8
+
+    def test_zero(self):
+        program = assemble(".zero 16\n    nop\n", base=0)
+        assert program.size == 20
+        assert program.data[:16] == b"\x00" * 16
+
+    def test_align(self):
+        program = assemble("nop\n.align 16\naligned:\n    nop\n", base=0)
+        assert program.symbol("aligned") == 16
+
+
+class TestLoading:
+    def test_load_into_memory(self):
+        from repro.sim import PhysicalMemory
+
+        memory = PhysicalMemory(size=1 << 20)
+        program = assemble("li a0, 1\n", base=0x2000)
+        program.load(memory)
+        assert memory.load_bytes(0x2000, 4) == program.data

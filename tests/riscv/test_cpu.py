@@ -1,0 +1,507 @@
+"""The RV64 functional CPU: semantics, traps, privilege, ISA-Grid."""
+
+import pytest
+
+from repro.core import GateFault
+from repro.riscv import (
+    CAUSE_ECALL_U,
+    CAUSE_ILLEGAL_INSTRUCTION,
+    CAUSE_ISA_GRID_FAULT,
+    CSR_ADDRESS,
+    KERNEL_BASE,
+    PRIV_S,
+    PRIV_U,
+    CpuPanic,
+    assemble,
+    build_riscv_system,
+)
+
+
+def run_program(source, *, with_isagrid=False, max_steps=100_000, setup=None):
+    system = build_riscv_system(with_isagrid=with_isagrid)
+    if with_isagrid and setup:
+        setup(system)
+    elif with_isagrid:
+        domain = system.manager.create_domain("all")
+        system.manager.allow_all_instructions(domain.domain_id)
+    program = assemble(source, base=KERNEL_BASE)
+    system.load(program)
+    system.run(program.symbol("entry") if "entry" in program.symbols else KERNEL_BASE,
+               max_steps=max_steps)
+    return system
+
+
+class TestAluSemantics:
+    def test_arithmetic(self):
+        system = run_program("""
+        entry:
+            li a0, 100
+            li a1, 7
+            add a2, a0, a1
+            sub a3, a0, a1
+            mul a4, a0, a1
+            div a5, a0, a1
+            rem a6, a0, a1
+            halt
+        """)
+        regs = system.cpu.regs
+        assert regs[12] == 107
+        assert regs[13] == 93
+        assert regs[14] == 700
+        assert regs[15] == 14
+        assert regs[16] == 2
+
+    def test_wraparound_64bit(self):
+        system = run_program("""
+        entry:
+            li a0, -1
+            li a1, 1
+            add a2, a0, a1
+            halt
+        """)
+        assert system.cpu.regs[12] == 0
+
+    def test_signed_division_truncates_toward_zero(self):
+        system = run_program("""
+        entry:
+            li a0, -7
+            li a1, 2
+            div a2, a0, a1
+            rem a3, a0, a1
+            halt
+        """)
+        assert system.cpu.regs[12] == (-3) & (1 << 64) - 1
+        assert system.cpu.regs[13] == (-1) & (1 << 64) - 1
+
+    def test_division_by_zero(self):
+        system = run_program("""
+        entry:
+            li a0, 5
+            li a1, 0
+            div a2, a0, a1
+            divu a3, a0, a1
+            rem a4, a0, a1
+            halt
+        """)
+        assert system.cpu.regs[12] == (1 << 64) - 1  # -1
+        assert system.cpu.regs[13] == (1 << 64) - 1
+        assert system.cpu.regs[14] == 5
+
+    def test_shifts(self):
+        system = run_program("""
+        entry:
+            li a0, -8
+            srai a1, a0, 1
+            srli a2, a0, 60
+            slli a3, a0, 1
+            halt
+        """)
+        assert system.cpu.regs[11] == (-4) & (1 << 64) - 1
+        assert system.cpu.regs[12] == 0xF
+        assert system.cpu.regs[13] == (-16) & (1 << 64) - 1
+
+    def test_comparisons(self):
+        system = run_program("""
+        entry:
+            li a0, -1
+            li a1, 1
+            slt a2, a0, a1
+            sltu a3, a0, a1
+            halt
+        """)
+        assert system.cpu.regs[12] == 1  # signed: -1 < 1
+        assert system.cpu.regs[13] == 0  # unsigned: 2^64-1 > 1
+
+    def test_x0_is_hardwired_zero(self):
+        system = run_program("""
+        entry:
+            addi x0, x0, 5
+            mv a0, x0
+            halt
+        """)
+        assert system.cpu.regs[10] == 0
+
+
+class TestMemoryAndControlFlow:
+    def test_load_store_roundtrip(self):
+        system = run_program("""
+        entry:
+            li s0, 0x620000
+            li a0, 0x1234
+            sd a0, 0(s0)
+            ld a1, 0(s0)
+            lw a2, 0(s0)
+            lb a3, 1(s0)
+            halt
+        """)
+        assert system.cpu.regs[11] == 0x1234
+        assert system.cpu.regs[12] == 0x1234
+        assert system.cpu.regs[13] == 0x12
+
+    def test_sign_extending_loads(self):
+        system = run_program("""
+        entry:
+            li s0, 0x620000
+            li a0, 0xFF
+            sb a0, 0(s0)
+            lb a1, 0(s0)
+            lbu a2, 0(s0)
+            halt
+        """)
+        assert system.cpu.regs[11] == (1 << 64) - 1
+        assert system.cpu.regs[12] == 0xFF
+
+    def test_loop(self):
+        system = run_program("""
+        entry:
+            li a0, 0
+            li t0, 10
+        loop:
+            addi a0, a0, 2
+            addi t0, t0, -1
+            bnez t0, loop
+            halt
+        """)
+        assert system.cpu.regs[10] == 20
+
+    def test_function_call(self):
+        system = run_program("""
+        entry:
+            li a0, 5
+            call double
+            halt
+        double:
+            add a0, a0, a0
+            ret
+        """)
+        assert system.cpu.regs[10] == 10
+
+    def test_jalr_clears_low_bit(self):
+        system = run_program("""
+        entry:
+            la t0, target
+            addi t0, t0, 1
+            jalr ra, t0, 0
+        target:
+            halt
+        """)
+        assert system.cpu.exit_code is not None
+
+
+class TestTraps:
+    def test_ecall_vectors_to_stvec(self):
+        system = run_program("""
+        entry:
+            la t0, handler
+            csrw stvec, t0
+            ecall
+            halt
+        handler:
+            li a0, 99
+            halt
+        """)
+        assert system.cpu.regs[10] == 99
+        assert system.cpu.csrs[CSR_ADDRESS["scause"]] == 9  # ecall from S
+
+    def test_ecall_saves_sepc(self):
+        system = run_program("""
+        entry:
+            la t0, handler
+            csrw stvec, t0
+        site:
+            ecall
+            halt
+        handler:
+            csrr a1, sepc
+            halt
+        """)
+        # sepc == address of the ecall
+        program_site = system.cpu.regs[11]
+        assert system.machine.memory.load(program_site, 4) == 0x00000073
+
+    def test_trap_without_handler_panics(self):
+        with pytest.raises(CpuPanic):
+            run_program("entry:\n    ecall\n    halt\n")
+
+    def test_illegal_instruction_cause(self):
+        system = run_program("""
+        entry:
+            la t0, handler
+            csrw stvec, t0
+            .word 0xFFFFFFFF
+            halt
+        handler:
+            csrr a0, scause
+            halt
+        """)
+        assert system.cpu.regs[10] == CAUSE_ILLEGAL_INSTRUCTION
+
+    def test_sret_returns_and_restores_mode(self):
+        system = run_program("""
+        entry:
+            la t0, handler
+            csrw stvec, t0
+            la t0, user_code
+            csrw sepc, t0
+            li t1, 0x100
+            csrrc x0, sstatus, t1
+            sret
+        user_code:
+            ecall
+        after:
+            halt
+        handler:
+            csrr a0, scause
+            csrr t0, sepc
+            addi t0, t0, 4
+            csrw sepc, t0
+            sret
+        """)
+        # user ecall (cause 8), handler resumes after it, halt in U mode
+        assert system.cpu.regs[10] == CAUSE_ECALL_U
+
+    def test_user_mode_cannot_touch_csrs(self):
+        system = run_program("""
+        entry:
+            la t0, handler
+            csrw stvec, t0
+            la t0, user_code
+            csrw sepc, t0
+            li t1, 0x100
+            csrrc x0, sstatus, t1
+            sret
+        user_code:
+            csrw satp, t0
+            halt
+        handler:
+            li a0, 77
+            halt
+        """)
+        assert system.cpu.regs[10] == 77
+        assert system.cpu.csrs[CSR_ADDRESS["scause"]] == CAUSE_ILLEGAL_INSTRUCTION
+
+    def test_user_can_read_cycle_counter(self):
+        system = run_program("""
+        entry:
+            la t0, user_code
+            csrw sepc, t0
+            li t1, 0x100
+            csrrc x0, sstatus, t1
+            sret
+        user_code:
+            csrr a0, cycle
+            halt
+        """)
+        assert system.cpu.regs[10] > 0
+
+
+class TestCsrSemantics:
+    def test_csrrw_swaps(self):
+        system = run_program("""
+        entry:
+            li t0, 0xAA
+            csrw sscratch, t0
+            li t1, 0xBB
+            csrrw a0, sscratch, t1
+            csrr a1, sscratch
+            halt
+        """)
+        assert system.cpu.regs[10] == 0xAA
+        assert system.cpu.regs[11] == 0xBB
+
+    def test_csrrs_sets_bits(self):
+        system = run_program("""
+        entry:
+            li t0, 0b1100
+            csrw sscratch, t0
+            li t1, 0b0011
+            csrrs a0, sscratch, t1
+            csrr a1, sscratch
+            halt
+        """)
+        assert system.cpu.regs[10] == 0b1100
+        assert system.cpu.regs[11] == 0b1111
+
+    def test_csrrc_clears_bits(self):
+        system = run_program("""
+        entry:
+            li t0, 0b1111
+            csrw sscratch, t0
+            li t1, 0b0101
+            csrrc x0, sscratch, t1
+            csrr a1, sscratch
+            halt
+        """)
+        assert system.cpu.regs[11] == 0b1010
+
+    def test_csr_immediate_forms(self):
+        system = run_program("""
+        entry:
+            csrrwi a0, sscratch, 21
+            csrr a1, sscratch
+            halt
+        """)
+        assert system.cpu.regs[11] == 21
+
+    def test_domain_register_read_only(self):
+        system = run_program("""
+        entry:
+            la t0, handler
+            csrw stvec, t0
+            csrw 0x5C0, t0
+            halt
+        handler:
+            li a0, 55
+            halt
+        """)
+        assert system.cpu.regs[10] == 55  # write trapped as illegal
+
+    def test_unimplemented_csr_traps(self):
+        system = run_program("""
+        entry:
+            la t0, handler
+            csrw stvec, t0
+            csrr a0, 0x7C0
+            halt
+        handler:
+            li a0, 66
+            halt
+        """)
+        assert system.cpu.regs[10] == 66
+
+
+class TestIsaGridIntegration:
+    def _setup(self, system):
+        manager = system.manager
+        kernel = manager.create_domain("kernel")
+        manager.allow_instructions(
+            kernel.domain_id,
+            ["alu", "load", "store", "branch", "jump", "csr", "halt"],
+        )
+        manager.grant_register(kernel.domain_id, "sscratch", read=True, write=True)
+        manager.grant_register(kernel.domain_id, "stvec", read=True, write=True)
+        manager.grant_register(kernel.domain_id, "scause", read=True)
+        return kernel
+
+    def test_csr_fault_vectors_with_custom_cause(self):
+        def setup(system):
+            kernel = self._setup(system)
+            gate = system.manager.register_gate(0, 0, kernel.domain_id)
+
+        system = build_riscv_system()
+        kernel = self._setup(system)
+        source = """
+        entry:
+            la t0, handler
+            csrw stvec, t0
+            li t0, 0
+        g0:
+            hccall t0
+        in_kernel:
+            csrw satp, t0
+            halt
+        handler:
+            csrr a0, scause
+            halt
+        """
+        program = assemble(source, base=KERNEL_BASE)
+        system.load(program)
+        system.manager.register_gate(
+            program.symbol("g0"), program.symbol("in_kernel"), kernel.domain_id
+        )
+        system.run(program.symbol("entry"), max_steps=10_000)
+        assert system.cpu.regs[10] == CAUSE_ISA_GRID_FAULT
+
+    def test_gate_roundtrip_with_trusted_stack(self):
+        system = build_riscv_system()
+        manager = system.manager
+        kernel = self._setup(system)
+        vm = manager.create_domain("vm")
+        manager.allow_instructions(vm.domain_id, ["alu", "csr", "hcrets"])
+        manager.grant_register(vm.domain_id, "satp", write=True, read=True)
+        manager.allocate_trusted_stack()
+        source = """
+        entry:
+            li t0, 0
+        g0:
+            hccall t0
+        in_kernel:
+            li a0, 0x42
+            li t0, 1
+        g1:
+            hccalls t0
+        back:
+            halt
+        fn_vm:
+            csrw satp, a0
+            hcrets
+        """
+        program = assemble(source, base=KERNEL_BASE)
+        system.load(program)
+        manager.register_gate(program.symbol("g0"), program.symbol("in_kernel"), kernel.domain_id)
+        manager.register_gate(program.symbol("g1"), program.symbol("fn_vm"), vm.domain_id)
+        system.run(program.symbol("entry"), max_steps=10_000)
+        assert system.cpu.csrs[CSR_ADDRESS["satp"]] == 0x42
+        assert system.pcu.current_domain == kernel.domain_id
+
+    def test_forged_gate_faults(self):
+        system = build_riscv_system()
+        kernel = self._setup(system)
+        source = """
+        entry:
+            la t0, handler
+            csrw stvec, t0
+            li t0, 0
+        not_the_gate:
+            hccall t0
+            halt
+        handler:
+            csrr a0, scause
+            halt
+        """
+        program = assemble(source, base=KERNEL_BASE)
+        system.load(program)
+        system.manager.register_gate(0x9999000, 0x9999100, kernel.domain_id)
+        system.run(program.symbol("entry"), max_steps=10_000)
+        assert system.cpu.regs[10] == CAUSE_ISA_GRID_FAULT
+
+    def test_trusted_memory_untouchable_outside_domain0(self):
+        from repro.riscv import TRUSTED_BASE
+
+        system = build_riscv_system()
+        kernel = self._setup(system)
+        source = """
+        entry:
+            la t0, handler
+            csrw stvec, t0
+            li t0, 0
+        g0:
+            hccall t0
+        in_kernel:
+            li t1, %d
+            ld a1, 0(t1)
+            halt
+        handler:
+            csrr a0, scause
+            halt
+        """ % TRUSTED_BASE
+        program = assemble(source, base=KERNEL_BASE)
+        system.load(program)
+        system.manager.register_gate(
+            program.symbol("g0"), program.symbol("in_kernel"), kernel.domain_id
+        )
+        system.run(program.symbol("entry"), max_steps=10_000)
+        from repro.riscv import CAUSE_TRUSTED_MEMORY
+
+        assert system.cpu.regs[10] == CAUSE_TRUSTED_MEMORY
+
+    def test_domain0_may_read_trusted_memory(self):
+        from repro.riscv import TRUSTED_BASE
+
+        system = run_program("""
+        entry:
+            li t1, %d
+            ld a1, 0(t1)
+            halt
+        """ % TRUSTED_BASE, with_isagrid=True)
+        assert system.cpu.exit_code is not None

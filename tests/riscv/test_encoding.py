@@ -1,0 +1,154 @@
+"""RV64 encode/decode, including roundtrip property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.riscv.encoding import (
+    EncodingError,
+    decode,
+    encode,
+    instruction_class,
+    load_width,
+    sign_extend,
+)
+
+
+class TestSignExtend:
+    def test_positive(self):
+        assert sign_extend(0x7FF, 12) == 0x7FF
+
+    def test_negative(self):
+        assert sign_extend(0xFFF, 12) == -1
+        assert sign_extend(0x800, 12) == -2048
+
+    @given(st.integers(min_value=-2048, max_value=2047))
+    def test_roundtrip_12(self, value):
+        assert sign_extend(value & 0xFFF, 12) == value
+
+
+class TestKnownEncodings:
+    """Spot checks against the RISC-V spec's reference encodings."""
+
+    def test_addi(self):
+        # addi x1, x2, 3 = 0x00310093
+        assert encode("addi", rd=1, rs1=2, imm=3) == 0x00310093
+
+    def test_ecall(self):
+        assert encode("ecall") == 0x00000073
+
+    def test_sret(self):
+        assert encode("sret") == 0x10200073
+
+    def test_mret(self):
+        assert encode("mret") == 0x30200073
+
+    def test_csrrw(self):
+        # csrrw x5, sstatus(0x100), x6 = 0x100312f3
+        assert encode("csrrw", rd=5, rs1=6, csr=0x100) == 0x100312F3
+
+    def test_nop_decodes(self):
+        inst = decode(0x00000013)  # addi x0, x0, 0
+        assert inst.mnemonic == "addi" and inst.rd == 0 and inst.imm == 0
+
+    def test_jal_negative_offset(self):
+        word = encode("jal", rd=0, imm=-8)
+        inst = decode(word)
+        assert inst.mnemonic == "jal" and inst.imm == -8
+
+    def test_branch_offset(self):
+        word = encode("beq", rs1=1, rs2=2, imm=-4096)
+        inst = decode(word)
+        assert inst.imm == -4096
+
+    def test_store_negative_offset(self):
+        word = encode("sd", rs1=2, rs2=3, imm=-16)
+        inst = decode(word)
+        assert inst.mnemonic == "sd" and inst.imm == -16 and inst.rs2 == 3
+
+
+class TestGridExtension:
+    @pytest.mark.parametrize("mnemonic", ["hccall", "hccalls", "hcrets", "pfch", "pflh", "halt"])
+    def test_custom0_roundtrip(self, mnemonic):
+        word = encode(mnemonic, rs1=10)
+        inst = decode(word)
+        assert inst.mnemonic == mnemonic
+        assert inst.rs1 == 10
+        assert word & 0x7F == 0x0B  # custom-0 opcode
+
+    def test_gate_classes(self):
+        assert instruction_class("hccall") == "hccall"
+        assert instruction_class("csrrw") == "csr"
+        assert instruction_class("mul") == "mul"
+        assert instruction_class("add") == "alu"
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(EncodingError):
+            encode("vfmadd")
+
+    def test_bad_register(self):
+        with pytest.raises(EncodingError):
+            encode("add", rd=32, rs1=0, rs2=0)
+
+    def test_immediate_range(self):
+        with pytest.raises(EncodingError):
+            encode("addi", rd=1, rs1=1, imm=5000)
+        with pytest.raises(EncodingError):
+            encode("beq", rs1=0, rs2=0, imm=3)  # odd offset
+
+    def test_undecodable_word(self):
+        with pytest.raises(EncodingError):
+            decode(0xFFFFFFFF)
+        with pytest.raises(EncodingError):
+            decode(0x00000000)
+
+    def test_load_width(self):
+        assert load_width("ld") == 8
+        assert load_width("lbu") == 1
+        assert load_width("sw") == 4
+
+
+REG = st.integers(min_value=0, max_value=31)
+
+
+class TestRoundtrip:
+    @given(rd=REG, rs1=REG, rs2=REG)
+    def test_r_type(self, rd, rs1, rs2):
+        for mnemonic in ("add", "sub", "xor", "mul", "sltu"):
+            inst = decode(encode(mnemonic, rd=rd, rs1=rs1, rs2=rs2))
+            assert (inst.mnemonic, inst.rd, inst.rs1, inst.rs2) == (mnemonic, rd, rs1, rs2)
+
+    @given(rd=REG, rs1=REG, imm=st.integers(min_value=-2048, max_value=2047))
+    def test_i_type(self, rd, rs1, imm):
+        for mnemonic in ("addi", "andi", "ld", "jalr"):
+            inst = decode(encode(mnemonic, rd=rd, rs1=rs1, imm=imm))
+            assert (inst.mnemonic, inst.rd, inst.rs1, inst.imm) == (mnemonic, rd, rs1, imm)
+
+    @given(rs1=REG, rs2=REG, imm=st.integers(min_value=-2048, max_value=2047))
+    def test_s_type(self, rs1, rs2, imm):
+        inst = decode(encode("sd", rs1=rs1, rs2=rs2, imm=imm))
+        assert (inst.rs1, inst.rs2, inst.imm) == (rs1, rs2, imm)
+
+    @given(rs1=REG, rs2=REG,
+           imm=st.integers(min_value=-2048, max_value=2047).map(lambda i: i * 2))
+    def test_b_type(self, rs1, rs2, imm):
+        inst = decode(encode("bne", rs1=rs1, rs2=rs2, imm=imm))
+        assert (inst.rs1, inst.rs2, inst.imm) == (rs1, rs2, imm)
+
+    @given(rd=REG, imm=st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1)
+           .map(lambda i: i * 2))
+    def test_j_type(self, rd, imm):
+        inst = decode(encode("jal", rd=rd, imm=imm))
+        assert (inst.rd, inst.imm) == (rd, imm)
+
+    @given(rd=REG, rs1=REG, csr=st.integers(min_value=0, max_value=0xFFF))
+    def test_csr_ops(self, rd, rs1, csr):
+        inst = decode(encode("csrrs", rd=rd, rs1=rs1, csr=csr))
+        assert (inst.rd, inst.rs1, inst.csr) == (rd, rs1, csr)
+
+    @given(rd=REG, shamt=st.integers(min_value=0, max_value=63))
+    def test_shifts(self, rd, shamt):
+        for mnemonic in ("slli", "srli", "srai"):
+            inst = decode(encode(mnemonic, rd=rd, rs1=rd, imm=shamt))
+            assert inst.mnemonic == mnemonic and inst.imm == shamt

@@ -1,0 +1,290 @@
+"""Sv39 virtual memory: walks, permissions, TLB, and SATP semantics."""
+
+import pytest
+
+from repro.riscv import CSR_ADDRESS, KERNEL_BASE, assemble, build_riscv_system
+from repro.riscv.mmu import (
+    CAUSE_FETCH_PAGE_FAULT,
+    CAUSE_LOAD_PAGE_FAULT,
+    CAUSE_STORE_PAGE_FAULT,
+    PTE_A,
+    PTE_D,
+    PTE_R,
+    PTE_U,
+    PTE_V,
+    PTE_W,
+    PTE_X,
+    PageFault,
+    PageTableBuilder,
+    Sv39Mmu,
+    make_pte,
+    make_satp,
+)
+from repro.sim import PhysicalMemory
+
+PT_BASE = 0x0200_0000
+
+
+def make_mmu():
+    memory = PhysicalMemory(size=1 << 30)
+    return memory, Sv39Mmu(memory), PageTableBuilder(memory, PT_BASE)
+
+
+class TestWalk:
+    def test_identity_mapping(self):
+        memory, mmu, pt = make_mmu()
+        pt.identity_map(0x10000, 0x3000, PTE_R | PTE_W)
+        paddr, _ = mmu.translate(0x10123, "load", satp=pt.satp(), priv_mode=1)
+        assert paddr == 0x10123
+
+    def test_aliased_mapping(self):
+        memory, mmu, pt = make_mmu()
+        pt.map_page(0x4000_0000, 0x9000, PTE_R)
+        paddr, _ = mmu.translate(0x4000_0ABC, "load", satp=pt.satp(), priv_mode=1)
+        assert paddr == 0x9ABC
+
+    def test_unmapped_faults(self):
+        memory, mmu, pt = make_mmu()
+        with pytest.raises(PageFault) as excinfo:
+            mmu.translate(0x7000, "load", satp=pt.satp(), priv_mode=1)
+        assert excinfo.value.cause == CAUSE_LOAD_PAGE_FAULT
+
+    def test_bare_mode_is_identity(self):
+        memory, mmu, _ = make_mmu()
+        paddr, cycles = mmu.translate(0xDEAD000, "store", satp=0, priv_mode=1)
+        assert paddr == 0xDEAD000 and cycles == 0
+
+    def test_machine_mode_bypasses(self):
+        memory, mmu, pt = make_mmu()
+        paddr, _ = mmu.translate(0x7000, "load", satp=pt.satp(), priv_mode=3)
+        assert paddr == 0x7000
+
+    def test_non_canonical_address_faults(self):
+        memory, mmu, pt = make_mmu()
+        with pytest.raises(PageFault):
+            mmu.translate(1 << 45, "load", satp=pt.satp(), priv_mode=1)
+
+    def test_write_only_pte_reserved(self):
+        """R=0, W=1 is a reserved combination -> fault."""
+        memory, mmu, pt = make_mmu()
+        pt.map_page(0x10000, 0x9000, PTE_W)
+        # map_page sets V|A|D; clear R leaves the reserved combination.
+        with pytest.raises(PageFault):
+            mmu.translate(0x10000, "store", satp=pt.satp(), priv_mode=1)
+
+    def test_superpage_leaf_at_level_1(self):
+        memory, mmu, pt = make_mmu()
+        # Hand-install a 2 MiB leaf at level 1 of a fresh second level.
+        vaddr = 0x4020_0000
+        root = pt.root
+        level2_index = vaddr >> 30 & 0x1FF
+        table1 = PT_BASE + 0x10000
+        for offset in range(0, 4096, 8):
+            memory.store(table1 + offset, 0, 8)
+        memory.store(root + level2_index * 8, make_pte(table1, PTE_V), 8)
+        level1_index = vaddr >> 21 & 0x1FF
+        memory.store(
+            table1 + level1_index * 8,
+            make_pte(0x0040_0000, PTE_V | PTE_R | PTE_A | PTE_D),
+            8,
+        )
+        paddr, _ = mmu.translate(
+            vaddr + 0x12345, "load", satp=pt.satp(), priv_mode=1
+        )
+        assert paddr == 0x0040_0000 + 0x12345
+
+    def test_misaligned_superpage_faults(self):
+        memory, mmu, pt = make_mmu()
+        vaddr = 0x4020_0000
+        root = pt.root
+        table1 = PT_BASE + 0x10000
+        for offset in range(0, 4096, 8):
+            memory.store(table1 + offset, 0, 8)
+        memory.store(root + (vaddr >> 30 & 0x1FF) * 8, make_pte(table1, PTE_V), 8)
+        # PPN not aligned to the 2 MiB boundary.
+        memory.store(
+            table1 + (vaddr >> 21 & 0x1FF) * 8,
+            make_pte(0x0040_1000, PTE_V | PTE_R | PTE_A | PTE_D),
+            8,
+        )
+        with pytest.raises(PageFault):
+            mmu.translate(vaddr, "load", satp=pt.satp(), priv_mode=1)
+
+
+class TestPermissions:
+    @pytest.fixture
+    def mapped(self):
+        memory, mmu, pt = make_mmu()
+        pt.map_page(0x10000, 0x9000, PTE_R)                 # read-only
+        pt.map_page(0x11000, 0x9000, PTE_R | PTE_W)         # read-write
+        pt.map_page(0x12000, 0x9000, PTE_R | PTE_X)         # executable
+        pt.map_page(0x13000, 0x9000, PTE_R | PTE_W | PTE_U)  # user page
+        return mmu, pt.satp()
+
+    def test_store_to_readonly_faults(self, mapped):
+        mmu, satp = mapped
+        with pytest.raises(PageFault) as excinfo:
+            mmu.translate(0x10000, "store", satp=satp, priv_mode=1)
+        assert excinfo.value.cause == CAUSE_STORE_PAGE_FAULT
+
+    def test_fetch_from_nx_faults(self, mapped):
+        mmu, satp = mapped
+        with pytest.raises(PageFault) as excinfo:
+            mmu.translate(0x11000, "fetch", satp=satp, priv_mode=1)
+        assert excinfo.value.cause == CAUSE_FETCH_PAGE_FAULT
+
+    def test_fetch_from_x_page(self, mapped):
+        mmu, satp = mapped
+        mmu.translate(0x12000, "fetch", satp=satp, priv_mode=1)
+
+    def test_user_cannot_touch_supervisor_pages(self, mapped):
+        mmu, satp = mapped
+        with pytest.raises(PageFault):
+            mmu.translate(0x11000, "load", satp=satp, priv_mode=0)
+
+    def test_supervisor_needs_sum_for_user_pages(self, mapped):
+        mmu, satp = mapped
+        with pytest.raises(PageFault):
+            mmu.translate(0x13000, "load", satp=satp, priv_mode=1)
+        mmu.flush_tlb()
+        mmu.translate(0x13000, "load", satp=satp, priv_mode=1, sum_bit=True)
+
+    def test_supervisor_never_fetches_user_pages(self, mapped):
+        """SUM covers data only (the SMEP-like rule)."""
+        mmu, satp = mapped
+        with pytest.raises(PageFault):
+            mmu.translate(0x13000, "fetch", satp=satp, priv_mode=1, sum_bit=True)
+
+
+class TestTlb:
+    def test_hit_after_walk(self):
+        memory, mmu, pt = make_mmu()
+        pt.map_page(0x10000, 0x9000, PTE_R)
+        satp = pt.satp()
+        mmu.translate(0x10000, "load", satp=satp, priv_mode=1)
+        mmu.translate(0x10008, "load", satp=satp, priv_mode=1)
+        assert mmu.tlb_hits == 1 and mmu.walks == 1
+
+    def test_sfence_flushes(self):
+        memory, mmu, pt = make_mmu()
+        pt.map_page(0x10000, 0x9000, PTE_R)
+        satp = pt.satp()
+        mmu.translate(0x10000, "load", satp=satp, priv_mode=1)
+        mmu.flush_tlb()
+        mmu.translate(0x10000, "load", satp=satp, priv_mode=1)
+        assert mmu.walks == 2
+
+    def test_asids_do_not_collide(self):
+        memory, mmu, pt_a = make_mmu()
+        pt_b = PageTableBuilder(memory, PT_BASE + 0x100000)
+        pt_a.map_page(0x10000, 0x9000, PTE_R)
+        pt_b.map_page(0x10000, 0xA000, PTE_R)
+        pa, _ = mmu.translate(0x10000, "load", satp=pt_a.satp(asid=1), priv_mode=1)
+        pb, _ = mmu.translate(0x10000, "load", satp=pt_b.satp(asid=2), priv_mode=1)
+        assert (pa, pb) == (0x9000, 0xA000)
+
+    def test_capacity_bounded(self):
+        memory, mmu, pt = make_mmu()
+        mmu.tlb_entries = 4
+        for index in range(8):
+            pt.map_page(0x10000 + index * 0x1000, 0x9000, PTE_R)
+        for index in range(8):
+            mmu.translate(0x10000 + index * 0x1000, "load",
+                          satp=pt.satp(), priv_mode=1)
+        assert len(mmu._tlb) <= 4
+
+
+class TestCpuIntegration:
+    def test_paged_execution_end_to_end(self):
+        system = build_riscv_system(with_isagrid=False)
+        memory = system.machine.memory
+        pt = PageTableBuilder(memory, PT_BASE)
+        pt.identity_map(KERNEL_BASE, 0x10000, PTE_R | PTE_X)
+        pt.identity_map(0x0060_0000, 0x100000, PTE_R | PTE_W)
+        pt.map_page(0x4000_0000, 0x0062_0000, PTE_R | PTE_W)
+        source = """
+entry:
+    li t0, %d
+    csrw satp, t0
+    sfence.vma
+    li t1, 0x620000
+    li t2, 0x77
+    sd t2, 0(t1)
+    li t3, 0x40000000
+    ld a0, 0(t3)
+    halt
+""" % pt.satp()
+        program = assemble(source, base=KERNEL_BASE)
+        system.load(program)
+        system.run(program.symbol("entry"), max_steps=1_000)
+        assert system.cpu.regs[10] == 0x77
+
+    def test_page_fault_vectors_to_stvec(self):
+        system = build_riscv_system(with_isagrid=False)
+        memory = system.machine.memory
+        pt = PageTableBuilder(memory, PT_BASE)
+        pt.identity_map(KERNEL_BASE, 0x10000, PTE_R | PTE_X)
+        pt.identity_map(0x0060_0000, 0x100000, PTE_R | PTE_W)
+        source = """
+entry:
+    la t0, handler
+    csrw stvec, t0
+    li t0, %d
+    csrw satp, t0
+    sfence.vma
+    li t1, 0x50000000
+    ld a0, 0(t1)       # unmapped -> load page fault
+    halt
+handler:
+    csrr a0, scause
+    csrr a1, stval
+    halt
+""" % pt.satp()
+        program = assemble(source, base=KERNEL_BASE)
+        system.load(program)
+        system.run(program.symbol("entry"), max_steps=1_000)
+        assert system.cpu.regs[10] == CAUSE_LOAD_PAGE_FAULT
+        assert system.cpu.regs[11] == 0x5000_0000
+
+    def test_satp_switch_changes_address_space(self):
+        """Two address spaces map the same VA to different frames —
+        the property SATP hijack abuses."""
+        system = build_riscv_system(with_isagrid=False)
+        memory = system.machine.memory
+        pt_a = PageTableBuilder(memory, PT_BASE)
+        pt_b = PageTableBuilder(memory, PT_BASE + 0x100000)
+        for pt in (pt_a, pt_b):
+            pt.identity_map(KERNEL_BASE, 0x10000, PTE_R | PTE_X)
+            pt.identity_map(0x0060_0000, 0x100000, PTE_R | PTE_W)
+        pt_a.map_page(0x4000_0000, 0x0062_0000, PTE_R)
+        pt_b.map_page(0x4000_0000, 0x0063_0000, PTE_R)
+        memory.store(0x0062_0000, 0xAAAA, 8)
+        memory.store(0x0063_0000, 0xBBBB, 8)
+        source = """
+entry:
+    li t0, %d
+    csrw satp, t0
+    sfence.vma
+    li t3, 0x40000000
+    ld a0, 0(t3)
+    li t0, %d
+    csrw satp, t0
+    sfence.vma
+    ld a1, 0(t3)
+    halt
+""" % (pt_a.satp(asid=1), pt_b.satp(asid=2))
+        program = assemble(source, base=KERNEL_BASE)
+        system.load(program)
+        system.run(program.symbol("entry"), max_steps=1_000)
+        assert system.cpu.regs[10] == 0xAAAA
+        assert system.cpu.regs[11] == 0xBBBB
+
+    def test_tlb_miss_costs_cycles(self):
+        memory, mmu, pt = make_mmu()
+        from repro.sim import rocket_hierarchy
+
+        mmu.hierarchy = rocket_hierarchy()
+        pt.map_page(0x10000, 0x9000, PTE_R)
+        _, miss_cycles = mmu.translate(0x10000, "load", satp=pt.satp(), priv_mode=1)
+        _, hit_cycles = mmu.translate(0x10000, "load", satp=pt.satp(), priv_mode=1)
+        assert miss_cycles > 0 and hit_cycles == 0

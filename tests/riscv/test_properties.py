@@ -1,0 +1,123 @@
+"""Differential property tests: random RV64 ALU programs vs a Python
+reference interpreter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.riscv import KERNEL_BASE, assemble, build_riscv_system
+from repro.riscv.encoding import sign_extend
+
+MASK64 = (1 << 64) - 1
+
+
+def _ref_signed(value):
+    return sign_extend(value & MASK64, 64)
+
+
+def _div_trunc(a, b):
+    if b == 0:
+        return -1
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient
+
+
+#: (mnemonic, reference semantics over unsigned 64-bit operands)
+BINARY_OPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "sll": lambda a, b: a << (b & 63),
+    "srl": lambda a, b: a >> (b & 63),
+    "sra": lambda a, b: _ref_signed(a) >> (b & 63),
+    "slt": lambda a, b: int(_ref_signed(a) < _ref_signed(b)),
+    "sltu": lambda a, b: int(a < b),
+    "mul": lambda a, b: _ref_signed(a) * _ref_signed(b),
+    "mulh": lambda a, b: (_ref_signed(a) * _ref_signed(b)) >> 64,
+    "mulhu": lambda a, b: (a * b) >> 64,
+    "mulhsu": lambda a, b: (_ref_signed(a) * b) >> 64,
+    "div": lambda a, b: _div_trunc(_ref_signed(a), _ref_signed(b)),
+    "divu": lambda a, b: MASK64 if b == 0 else a // b,
+    "rem": lambda a, b: _ref_signed(a) if b == 0
+        else _ref_signed(a) - _div_trunc(_ref_signed(a), _ref_signed(b)) * _ref_signed(b),
+    "remu": lambda a, b: a if b == 0 else a % b,
+    "addw": lambda a, b: sign_extend((a + b) & 0xFFFFFFFF, 32),
+    "subw": lambda a, b: sign_extend((a - b) & 0xFFFFFFFF, 32),
+    "sllw": lambda a, b: sign_extend((a << (b & 31)) & 0xFFFFFFFF, 32),
+    "srlw": lambda a, b: sign_extend((a & 0xFFFFFFFF) >> (b & 31), 32),
+    "sraw": lambda a, b: sign_extend(a & 0xFFFFFFFF, 32) >> (b & 31),
+    "mulw": lambda a, b: sign_extend((a * b) & 0xFFFFFFFF, 32),
+}
+
+
+def run_binary_op(mnemonic, a, b):
+    system = build_riscv_system(with_isagrid=False)
+    source = """
+entry:
+    li a0, %d
+    li a1, %d
+    %s a2, a0, a1
+    halt
+""" % (sign_extend(a, 64), sign_extend(b, 64), mnemonic)
+    program = assemble(source, base=KERNEL_BASE)
+    system.load(program)
+    system.run(program.symbol("entry"), max_steps=100)
+    return system.cpu.regs[12]
+
+
+VALUE = st.integers(min_value=0, max_value=MASK64)
+
+
+@settings(max_examples=25, deadline=None)
+@given(a=VALUE, b=VALUE, op=st.sampled_from(sorted(BINARY_OPS)))
+def test_binary_ops_match_reference(a, b, op):
+    expected = BINARY_OPS[op](a, b) & MASK64
+    assert run_binary_op(op, a, b) == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(value=VALUE)
+def test_li_materializes_any_64bit_constant(value):
+    system = build_riscv_system(with_isagrid=False)
+    program = assemble("entry:\n    li a0, %d\n    halt\n" % sign_extend(value, 64),
+                       base=KERNEL_BASE)
+    system.load(program)
+    system.run(program.symbol("entry"), max_steps=100)
+    assert system.cpu.regs[10] == value
+
+
+@settings(max_examples=15, deadline=None)
+@given(value=VALUE, shift=st.integers(min_value=0, max_value=63))
+def test_shift_immediates_match_reference(value, shift):
+    system = build_riscv_system(with_isagrid=False)
+    source = """
+entry:
+    li a0, %d
+    slli a1, a0, %d
+    srli a2, a0, %d
+    srai a3, a0, %d
+    halt
+""" % (sign_extend(value, 64), shift, shift, shift)
+    program = assemble(source, base=KERNEL_BASE)
+    system.load(program)
+    system.run(program.symbol("entry"), max_steps=100)
+    assert system.cpu.regs[11] == (value << shift) & MASK64
+    assert system.cpu.regs[12] == value >> shift
+    assert system.cpu.regs[13] == (_ref_signed(value) >> shift) & MASK64
+
+
+@settings(max_examples=10, deadline=None)
+@given(values=st.lists(VALUE, min_size=1, max_size=8))
+def test_store_load_roundtrip_sequence(values):
+    system = build_riscv_system(with_isagrid=False)
+    lines = ["entry:", "    li s1, 0x620000"]
+    for index, value in enumerate(values):
+        lines.append("    li t0, %d" % sign_extend(value, 64))
+        lines.append("    sd t0, %d(s1)" % (8 * index))
+    lines.append("    halt")
+    program = assemble("\n".join(lines) + "\n", base=KERNEL_BASE)
+    system.load(program)
+    system.run(program.symbol("entry"), max_steps=2000)
+    for index, value in enumerate(values):
+        assert system.machine.memory.load(0x620000 + 8 * index, 8) == value

@@ -1,0 +1,96 @@
+"""Sparse physical memory."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import MemoryAccessError, PhysicalMemory
+
+
+class TestScalarAccess:
+    def test_default_zero(self):
+        memory = PhysicalMemory(size=1 << 20)
+        assert memory.load(0x1000, 8) == 0
+
+    @pytest.mark.parametrize("width", [1, 2, 4, 8])
+    def test_roundtrip_widths(self, width):
+        memory = PhysicalMemory(size=1 << 20)
+        value = (1 << 8 * width) - 3
+        memory.store(0x100, value, width)
+        assert memory.load(0x100, width) == value
+
+    def test_little_endian(self):
+        memory = PhysicalMemory(size=1 << 20)
+        memory.store(0x100, 0x0102030405060708, 8)
+        assert memory.load(0x100, 1) == 0x08
+        assert memory.load(0x107, 1) == 0x01
+
+    def test_store_truncates(self):
+        memory = PhysicalMemory(size=1 << 20)
+        memory.store(0x100, 0x1FF, 1)
+        assert memory.load(0x100, 1) == 0xFF
+
+    def test_out_of_range(self):
+        memory = PhysicalMemory(size=1 << 12)
+        with pytest.raises(MemoryAccessError):
+            memory.load(1 << 12, 1)
+        with pytest.raises(MemoryAccessError):
+            memory.store((1 << 12) - 4, 0, 8)
+
+    def test_cross_page_access(self):
+        memory = PhysicalMemory(size=1 << 20)
+        memory.store(0xFFC, 0x1122334455667788, 8)  # spans pages 0 and 1
+        assert memory.load(0xFFC, 8) == 0x1122334455667788
+
+    def test_base_offset(self):
+        memory = PhysicalMemory(size=1 << 12, base=0x8000)
+        memory.store(0x8000, 7, 8)
+        with pytest.raises(MemoryAccessError):
+            memory.load(0x0, 8)
+
+
+class TestBulkAccess:
+    def test_bytes_roundtrip(self):
+        memory = PhysicalMemory(size=1 << 20)
+        memory.store_bytes(0x200, b"hello world")
+        assert memory.load_bytes(0x200, 11) == b"hello world"
+
+    def test_bytes_cross_page(self):
+        memory = PhysicalMemory(size=1 << 20)
+        data = bytes(range(200)) * 30  # 6000 bytes, > one page
+        memory.store_bytes(0xF00, data)
+        assert memory.load_bytes(0xF00, len(data)) == data
+
+    def test_pages_allocated_lazily(self):
+        memory = PhysicalMemory(size=1 << 30)
+        assert memory.pages_allocated == 0
+        memory.store(0x10_0000, 1, 8)
+        assert memory.pages_allocated == 1
+
+
+class TestWordBacking:
+    def test_word_roundtrip(self):
+        memory = PhysicalMemory(size=1 << 20)
+        memory.store_word(0x100, 0xDEAD)
+        assert memory.load_word(0x100) == 0xDEAD
+
+    def test_word_alignment_enforced(self):
+        memory = PhysicalMemory(size=1 << 20)
+        with pytest.raises(MemoryAccessError):
+            memory.load_word(0x101)
+        with pytest.raises(MemoryAccessError):
+            memory.store_word(0x104 + 1, 0)
+
+
+@given(st.lists(st.tuples(
+    st.integers(min_value=0, max_value=(1 << 16) - 8),
+    st.integers(min_value=0, max_value=(1 << 64) - 1),
+), max_size=50))
+def test_last_write_wins(writes):
+    memory = PhysicalMemory(size=1 << 16)
+    reference = {}
+    for address, value in writes:
+        address &= ~7
+        memory.store(address, value, 8)
+        reference[address] = value
+    for address, value in reference.items():
+        assert memory.load(address, 8) == value

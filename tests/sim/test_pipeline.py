@@ -1,0 +1,152 @@
+"""Pipeline timing models — calibrated against the paper's Table 4."""
+
+import pytest
+
+from repro.core.isa_extension import GateKind
+from repro.sim import (
+    InOrderPipelineModel,
+    OutOfOrderPipelineModel,
+    StepInfo,
+    gem5_o3_hierarchy,
+    rocket_hierarchy,
+)
+
+
+def warm(model, pc=0x1000):
+    """Warm the I-cache line for ``pc`` so fetch costs nothing extra."""
+    model.hierarchy.access_instruction(pc)
+
+
+@pytest.fixture
+def inorder():
+    model = InOrderPipelineModel(rocket_hierarchy())
+    warm(model)
+    return model
+
+
+@pytest.fixture
+def o3():
+    model = OutOfOrderPipelineModel(gem5_o3_hierarchy())
+    warm(model)
+    model.hierarchy.access_instruction(0x1000)  # fully warm
+    return model
+
+
+class TestInOrderModel:
+    def test_alu_is_one_cycle(self, inorder):
+        assert inorder.instruction_cycles(StepInfo(pc=0x1000)) == 1.0
+
+    def test_hccall_is_five_cycles(self, inorder):
+        """Table 4: Rocket hccall = 5 cycles."""
+        info = StepInfo(pc=0x1000, is_gate=True, gate_kind=GateKind.HCCALL)
+        assert inorder.instruction_cycles(info) == 5.0
+
+    def test_hccalls_is_twelve_cycles(self, inorder):
+        """Table 4: Rocket hccalls = 12 cycles."""
+        info = StepInfo(pc=0x1000, is_gate=True, gate_kind=GateKind.HCCALLS)
+        assert inorder.instruction_cycles(info) == 12.0
+
+    def test_hcrets_is_twelve_cycles(self, inorder):
+        """Table 4: Rocket hcrets = 12 cycles."""
+        info = StepInfo(pc=0x1000, is_gate=True, gate_kind=GateKind.HCRETS)
+        assert inorder.instruction_cycles(info) == 12.0
+
+    def test_load_miss_exceeds_120_cycles(self):
+        """Table 4: Rocket load/store miss > 120 cycles."""
+        model = InOrderPipelineModel(rocket_hierarchy())
+        warm(model)
+        info = StepInfo(pc=0x1000, is_load=True, mem_address=0x80000)
+        assert model.instruction_cycles(info) > 120
+
+    def test_warm_load_is_cheap(self, inorder):
+        inorder.hierarchy.access_data(0x80000)
+        info = StepInfo(pc=0x1000, is_load=True, mem_address=0x80000)
+        assert inorder.instruction_cycles(info) <= 2.0
+
+    def test_pcu_stall_added(self, inorder):
+        info = StepInfo(pc=0x1000, pcu_stall=30)
+        assert inorder.instruction_cycles(info) == 31.0
+
+    def test_mispredict_penalty(self, inorder):
+        # Train not-taken, then take the branch.
+        for _ in range(8):
+            inorder.instruction_cycles(
+                StepInfo(pc=0x1000, is_branch=True, branch_taken=False)
+            )
+        cycles = inorder.instruction_cycles(
+            StepInfo(pc=0x1000, is_branch=True, branch_taken=True)
+        )
+        assert cycles == 1.0 + inorder.MISPREDICT_PENALTY
+
+    def test_trap_costs(self, inorder):
+        assert inorder.instruction_cycles(StepInfo(pc=0x1000, trapped=True)) > 30
+
+
+class TestOutOfOrderModel:
+    def test_base_cost_is_fractional(self, o3):
+        assert o3.instruction_cycles(StepInfo(pc=0x1000)) == pytest.approx(1 / 8)
+
+    def test_hccall_is_34_cycles(self, o3):
+        """Table 4: Gem5 hccall = 34 cycles."""
+        info = StepInfo(pc=0x1000, is_gate=True, gate_kind=GateKind.HCCALL)
+        assert o3.instruction_cycles(info) == pytest.approx(34, abs=1)
+
+    def test_hccalls_is_52_cycles(self, o3):
+        info = StepInfo(pc=0x1000, is_gate=True, gate_kind=GateKind.HCCALLS)
+        assert o3.instruction_cycles(info) == pytest.approx(52, abs=1)
+
+    def test_hcrets_alone_is_44_cycles(self, o3):
+        info = StepInfo(pc=0x1000, is_gate=True, gate_kind=GateKind.HCRETS)
+        assert o3.instruction_cycles(info) == pytest.approx(44, abs=1)
+
+    def test_forwarded_pair_is_74_cycles(self, o3):
+        """Table 4: x86 X-domain call (74) < hccalls + hcrets (96)
+        because the pops forward from the store queue."""
+        call = o3.instruction_cycles(
+            StepInfo(pc=0x1000, is_gate=True, gate_kind=GateKind.HCCALLS)
+        )
+        ret = o3.instruction_cycles(
+            StepInfo(pc=0x1000, is_gate=True, gate_kind=GateKind.HCRETS)
+        )
+        assert call + ret == pytest.approx(74, abs=2)
+
+    def test_forwarding_expires_outside_store_queue_window(self, o3):
+        o3.instruction_cycles(
+            StepInfo(pc=0x1000, is_gate=True, gate_kind=GateKind.HCCALLS)
+        )
+        for _ in range(o3.STORE_QUEUE_WINDOW + 1):
+            o3.instruction_cycles(StepInfo(pc=0x1000))
+        ret = o3.instruction_cycles(
+            StepInfo(pc=0x1000, is_gate=True, gate_kind=GateKind.HCRETS)
+        )
+        assert ret == pytest.approx(44, abs=1)
+
+    def test_store_misses_mostly_hidden(self):
+        model = OutOfOrderPipelineModel(gem5_o3_hierarchy())
+        warm(model)
+        model.hierarchy.access_instruction(0x1000)
+        load = model.instruction_cycles(
+            StepInfo(pc=0x1000, is_load=True, mem_address=0x90000)
+        )
+        model.hierarchy.flush()
+        model.hierarchy.access_instruction(0x1000)
+        store = model.instruction_cycles(
+            StepInfo(pc=0x1000, is_store=True, mem_address=0xA0000)
+        )
+        assert store < load  # stores retire from the store queue
+
+    def test_serializing_csr_drain(self, o3):
+        cycles = o3.instruction_cycles(StepInfo(pc=0x1000, is_csr=True))
+        assert cycles >= o3.SERIALIZE
+
+
+class TestCrossModelShape:
+    def test_gate_much_cheaper_than_vm_exit(self, inorder, o3):
+        """Section 2.3 shape: hardware gates beat the ~1700-cycle trap."""
+        from repro.baselines import VM_EXIT_CYCLES
+
+        for model in (inorder, o3):
+            gate = model.instruction_cycles(
+                StepInfo(pc=0x1000, is_gate=True, gate_kind=GateKind.HCCALL)
+            )
+            assert gate * 10 < VM_EXIT_CYCLES

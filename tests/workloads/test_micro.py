@@ -1,0 +1,67 @@
+"""The Table-4 latency microbenchmark rigs."""
+
+import pytest
+
+from repro.workloads.micro import (
+    LITERATURE_ROWS,
+    instruction_latencies,
+    measure_riscv_gates,
+    measure_riscv_supervisor_call,
+    measure_riscv_syscall,
+    measure_x86_gates,
+)
+
+
+class TestInstructionLatencies:
+    @pytest.fixture(scope="class")
+    def latencies(self):
+        return instruction_latencies()
+
+    def test_riscv_matches_table4(self, latencies):
+        assert latencies["riscv"]["hccall"] == 5
+        assert latencies["riscv"]["hccalls"] == 12
+        assert latencies["riscv"]["hcrets"] == 12
+
+    def test_x86_matches_table4(self, latencies):
+        assert latencies["x86"]["hccall"] == pytest.approx(34, abs=1)
+        assert latencies["x86"]["hccalls"] == pytest.approx(52, abs=1)
+        assert latencies["x86"]["hcrets"] == pytest.approx(44, abs=1)
+
+
+class TestMeasuredGates:
+    @pytest.fixture(scope="class")
+    def riscv(self):
+        return measure_riscv_gates(iterations=600)
+
+    @pytest.fixture(scope="class")
+    def x86(self):
+        return measure_x86_gates(iterations=600)
+
+    def test_riscv_hccall_loop(self, riscv):
+        # Differencing removes the 1-cycle nop it replaces: 5 - 1 = 4.
+        assert riscv["hccall"] == pytest.approx(4, abs=0.5)
+
+    def test_riscv_pair_under_paper_value(self, riscv):
+        assert 20 < riscv["hccalls+hcrets"] < 32
+
+    def test_x86_hccall_loop(self, x86):
+        assert x86["hccall"] == pytest.approx(34, abs=2)
+
+    def test_x86_forwarded_pair(self, x86):
+        assert x86["xdomain_hccalls_hcrets"] == pytest.approx(74, abs=3)
+
+    def test_all_gates_beat_literature_rows(self, riscv, x86):
+        worst = max(riscv["hccalls+hcrets"], x86["xdomain_hccalls_hcrets"])
+        assert worst < min(LITERATURE_ROWS.values())
+
+
+class TestCalls:
+    def test_syscall_ordering(self):
+        plain = measure_riscv_syscall(iterations=150)
+        pti = measure_riscv_syscall(pti=True, iterations=150)
+        supervisor = measure_riscv_supervisor_call(iterations=150)
+        assert supervisor < plain < pti
+        assert pti - plain > 10  # PTI's SATP writes + fences are visible
+
+    def test_syscall_measure_deterministic(self):
+        assert measure_riscv_syscall(iterations=100) == measure_riscv_syscall(iterations=100)

@@ -1,0 +1,111 @@
+"""Workload generators and runners."""
+
+import pytest
+
+from repro.kernel import RiscvKernel, X86Kernel
+from repro.workloads import (
+    APPLICATIONS,
+    GATE_STRESS,
+    LMBENCH_SUITE,
+    MBEDTLS,
+    SQLITE,
+    benchmark_by_name,
+    normalized_time,
+    riscv_loop_source,
+    riscv_user_program,
+    riscv_user_source,
+    run_riscv,
+    run_riscv_app,
+    run_x86,
+    run_x86_app,
+    x86_user_program,
+    x86_user_source,
+)
+
+
+class TestProfiles:
+    def test_application_set_matches_figures(self):
+        names = [p.name for p in APPLICATIONS]
+        assert names == ["SQLite", "Mbedtls", "gzip", "tar"]
+
+    def test_mix_weights_sum_to_one(self):
+        for profile in APPLICATIONS + [GATE_STRESS]:
+            assert sum(profile.mix.values()) == pytest.approx(1.0)
+
+    def test_instruction_budget_is_laptop_sized(self):
+        for profile in APPLICATIONS:
+            assert profile.approx_instructions < 2_000_000
+
+
+class TestGeneratorDeterminism:
+    def test_riscv_source_deterministic(self):
+        assert riscv_user_source(SQLITE) == riscv_user_source(SQLITE)
+
+    def test_x86_source_deterministic(self):
+        assert x86_user_source(SQLITE) == x86_user_source(SQLITE)
+
+    def test_different_seeds_differ(self):
+        import dataclasses
+
+        other = dataclasses.replace(SQLITE, seed=99)
+        assert riscv_user_source(SQLITE) != riscv_user_source(other)
+
+    def test_programs_assemble(self):
+        assert riscv_user_program(MBEDTLS).size > 0
+        assert x86_user_program(MBEDTLS).size > 0
+
+
+class TestAppRunners:
+    def test_riscv_app_runs_clean(self):
+        result = run_riscv_app(MBEDTLS, "decomposed")
+        assert result.valid
+        assert result.syscalls == MBEDTLS.outer_iterations + 1  # + exit
+        assert result.cycles > 0
+
+    def test_x86_app_runs_clean(self):
+        result = run_x86_app(MBEDTLS, "decomposed")
+        assert result.valid
+        assert result.cycles > 0
+
+    def test_identical_streams_native_vs_decomposed(self):
+        """Same program, same work: the decomposed run adds only the
+        boot gate (2 instructions) plus gate instructions replacing
+        call/ret pairs one-for-one."""
+        native = run_riscv_app(MBEDTLS, "native")
+        decomposed = run_riscv_app(MBEDTLS, "decomposed")
+        assert abs(native.instructions - decomposed.instructions) <= 4
+
+    def test_normalized_time(self):
+        native = run_riscv_app(MBEDTLS, "native")
+        decomposed = run_riscv_app(MBEDTLS, "decomposed")
+        ratio = normalized_time(decomposed, native)
+        assert 0.99 < ratio < 1.02  # the paper's <1% band
+
+
+class TestLmbench:
+    def test_suite_covers_core_operations(self):
+        names = {b.name for b in LMBENCH_SUITE}
+        assert {"lat_null", "lat_read", "lat_write", "lat_stat",
+                "lat_sig_install", "lat_mmap", "lat_ctx"} <= names
+
+    def test_lookup_by_name(self):
+        assert benchmark_by_name("lat_null").name == "lat_null"
+        with pytest.raises(KeyError):
+            benchmark_by_name("lat_nothing")
+
+    def test_null_call_runs_on_both_archs(self):
+        bench = benchmark_by_name("lat_null")
+        riscv_cycles = run_riscv(bench, RiscvKernel("native"))
+        x86_cycles = run_x86(bench, X86Kernel("native"))
+        assert riscv_cycles > 0 and x86_cycles > 0
+
+    def test_loop_sources_contain_expected_syscalls(self):
+        bench = benchmark_by_name("lat_openclose")
+        source = riscv_loop_source(bench)
+        assert "li a7, 6" in source and "li a7, 7" in source
+
+    def test_mmap_bench_gates_on_decomposed(self):
+        bench = benchmark_by_name("lat_mmap")
+        kernel = RiscvKernel("decomposed")
+        run_riscv(bench, kernel)
+        assert kernel.system.pcu.stats.gate_calls_extended >= bench.iterations

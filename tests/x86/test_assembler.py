@@ -1,0 +1,139 @@
+"""The x86 assembler."""
+
+import pytest
+
+from repro.x86 import assemble, decode
+from repro.x86.assembler import AssemblerError
+
+
+def decode_all(program):
+    out = []
+    offset = 0
+    while offset < len(program.data):
+        inst = decode(program.data, offset)
+        out.append(inst)
+        offset += inst.size
+    return out
+
+
+class TestBasics:
+    def test_simple_program(self):
+        program = assemble("entry:\n    mov rax, 5\n    hlt\n", base=0x1000)
+        instructions = decode_all(program)
+        assert [i.mnemonic for i in instructions] == ["mov_imm", "hlt"]
+        assert program.symbol("entry") == 0x1000
+
+    def test_mov_forms(self):
+        program = assemble("""
+            mov rax, 42
+            mov rbx, rax
+            mov [rbx+8], rax
+            mov rcx, [rbx+8]
+            mov cr3, rax
+            mov rax, cr3
+            mov dr0, rbx
+        """, base=0)
+        mnemonics = [i.mnemonic for i in decode_all(program)]
+        assert mnemonics == [
+            "mov_imm", "mov_rr", "mov_store", "mov_load",
+            "mov_to_cr", "mov_from_cr", "mov_to_dr",
+        ]
+
+    def test_mov_label_as_imm64(self):
+        program = assemble("""
+        entry:
+            mov rax, target
+            hlt
+        target:
+            nop
+        """, base=0x5000)
+        first = decode_all(program)[0]
+        assert first.imm == program.symbol("target")
+
+    def test_branches_resolve(self):
+        program = assemble("""
+        top:
+            cmp rax, rbx
+            je top
+            jmp top
+        """, base=0)
+        cmp_inst, je, jmp = decode_all(program)
+        assert je.imm == -(cmp_inst.size + je.size)
+        assert jmp.imm == -(cmp_inst.size + je.size + jmp.size)
+
+    def test_negative_displacement(self):
+        program = assemble("mov rax, [rbp-16]\n", base=0)
+        (inst,) = decode_all(program)
+        assert inst.disp == -16
+
+    def test_comments(self):
+        program = assemble("nop ; c1\n nop # c2\n", base=0)
+        assert program.size == 2
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble("xyzzy rax\n")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("a:\nnop\na:\nnop\n")
+
+
+class TestDirectives:
+    def test_byte_emission(self):
+        program = assemble(".byte 0x0F, 0x30\n", base=0)
+        assert program.data == b"\x0F\x30"
+
+    def test_zero(self):
+        program = assemble(".zero 5\nnop\n", base=0)
+        assert program.data[:5] == b"\x00" * 5
+
+    def test_align_pads_with_nops(self):
+        program = assemble("nop\n.align 8\nhere:\nnop\n", base=0)
+        assert program.symbol("here") == 8
+        assert program.data[1:8] == b"\x90" * 7
+
+    def test_labels_between_bytes(self):
+        """Labels inside .byte runs let attacks jump mid-instruction."""
+        program = assemble("""
+        carrier:
+            .byte 0x48, 0xBB
+        hidden:
+            .byte 0x0F, 0x30
+        """, base=0x100)
+        assert program.symbol("hidden") == 0x102
+
+
+class TestSystemSyntax:
+    def test_descriptor_ops(self):
+        program = assemble("lidt [rax+64]\n    sgdt [rbx+0]\n", base=0)
+        lidt, sgdt = decode_all(program)
+        assert lidt.mnemonic == "lidt" and lidt.disp == 64
+        assert sgdt.mnemonic == "sgdt"
+
+    def test_grid_ops(self):
+        program = assemble("hccall r10\n    hccalls rax\n    hcrets\n    pfch rbx\n", base=0)
+        mnemonics = [i.mnemonic for i in decode_all(program)]
+        assert mnemonics == ["hccall", "hccalls", "hcrets", "pfch"]
+
+    def test_int_and_io(self):
+        program = assemble("int 0x80\n    in 0x60\n    out 0x60\n", base=0)
+        i, inb, outb = decode_all(program)
+        assert i.vector == 0x80
+        assert inb.mnemonic == "in" and outb.mnemonic == "out"
+
+    def test_lldt(self):
+        program = assemble("lldt rbx\n", base=0)
+        (inst,) = decode_all(program)
+        assert inst.mnemonic == "lldt" and inst.rm == 3
+
+    def test_two_pass_sizes_stable(self):
+        """Forward references must produce the same encoding size."""
+        program = assemble("""
+        entry:
+            jmp far_away
+            mov rax, far_away
+        far_away:
+            nop
+        """, base=0)
+        assert program.symbol("far_away") == 5 + 10

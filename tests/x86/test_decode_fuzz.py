@@ -1,0 +1,87 @@
+"""Decoder robustness: arbitrary bytes never crash, only raise
+EncodingError — the property the #UD path depends on."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import linear_disassemble
+from repro.x86.encoding import EncodingError, decode
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.binary(min_size=1, max_size=16))
+def test_decode_total_over_arbitrary_bytes(data):
+    """decode() either returns a well-formed Instruction or raises
+    EncodingError — never anything else, never an inconsistent size."""
+    try:
+        inst = decode(data)
+    except EncodingError:
+        return
+    assert 1 <= inst.size <= len(data) + 0  # never larger than the input
+    assert inst.mnemonic
+    assert inst.inst_class
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(min_size=0, max_size=64))
+def test_linear_disassembly_total(data):
+    """The scanner's resynchronizing walk terminates on any input and
+    every reported instruction re-decodes identically."""
+    listing = linear_disassemble(data)
+    for offset, mnemonic, size in listing:
+        inst = decode(data, offset)
+        assert inst.mnemonic == mnemonic
+        assert inst.size == size
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(min_size=4, max_size=16))
+def test_decode_deterministic(data):
+    def result():
+        try:
+            inst = decode(data)
+            return (inst.mnemonic, inst.size, inst.imm, inst.reg, inst.rm)
+        except EncodingError as error:
+            return ("error", str(error))
+
+    assert result() == result()
+
+
+class TestRiscvDecodeFuzz:
+    @settings(max_examples=300, deadline=None)
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_decode_total_over_arbitrary_words(self, word):
+        from repro.riscv.encoding import EncodingError as RvError
+        from repro.riscv.encoding import decode as rv_decode
+
+        try:
+            inst = rv_decode(word)
+        except RvError:
+            return
+        assert inst.mnemonic
+        assert inst.size == 4
+        assert 0 <= inst.rd < 32 and 0 <= inst.rs1 < 32 and 0 <= inst.rs2 < 32
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_decoded_words_reencode_to_themselves(self, word):
+        """Round-trip: any decodable word re-encodes bit-exactly (our
+        encoder emits canonical forms, which decode covers)."""
+        from repro.riscv.encoding import EncodingError as RvError
+        from repro.riscv.encoding import decode as rv_decode
+        from repro.riscv.encoding import encode as rv_encode
+
+        try:
+            inst = rv_decode(word)
+        except RvError:
+            return
+        reencoded = rv_encode(
+            inst.mnemonic, rd=inst.rd, rs1=inst.rs1, rs2=inst.rs2,
+            imm=inst.imm if inst.csr < 0 else 0,
+            csr=inst.csr if inst.csr >= 0 else 0,
+        )
+        # Canonical fields must survive; reserved bits may differ only
+        # where the ISA ignores them (fence, ecall-group encodings).
+        if inst.mnemonic not in ("fence", "fence.i", "ecall", "ebreak",
+                                 "sret", "mret", "wfi", "sfence.vma"):
+            assert reencoded == word

@@ -1,0 +1,148 @@
+"""x86 variable-length encode/decode."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.x86.encoding import Encoder, EncodingError, decode, simple_bytes
+
+
+class TestSimpleOpcodes:
+    @pytest.mark.parametrize("mnemonic,expected", [
+        ("nop", b"\x90"),
+        ("ret", b"\xC3"),
+        ("hlt", b"\xF4"),
+        ("syscall", b"\x0F\x05"),
+        ("rdmsr", b"\x0F\x32"),
+        ("wrmsr", b"\x0F\x30"),
+        ("rdtsc", b"\x0F\x31"),
+        ("cpuid", b"\x0F\xA2"),
+        ("wbinvd", b"\x0F\x09"),
+        ("wrpkru", b"\x0F\x01\xEF"),
+        ("rdpkru", b"\x0F\x01\xEE"),
+    ])
+    def test_real_encodings(self, mnemonic, expected):
+        assert simple_bytes(mnemonic) == expected
+        inst = decode(expected)
+        assert inst.mnemonic == mnemonic
+        assert inst.size == len(expected)
+
+
+class TestModrmForms:
+    def test_mov_reg_reg(self):
+        code = Encoder.rr(0x89, reg=3, rm=0)  # mov rax, rbx
+        inst = decode(code)
+        assert inst.mnemonic == "mov_rr"
+        assert inst.reg == 0 and inst.rm == 3  # normalized: reg = dest
+
+    def test_mov_imm64(self):
+        code = Encoder.mov_imm64(0, 0x1122334455667788)
+        inst = decode(code)
+        assert inst.mnemonic == "mov_imm"
+        assert inst.imm == 0x1122334455667788
+        assert inst.size == 10
+
+    def test_mov_load_store(self):
+        load = decode(Encoder.mem(0x8B, reg=1, base=3, disp=16))
+        assert load.mnemonic == "mov_load" and load.base == 3 and load.disp == 16
+        store = decode(Encoder.mem(0x89, reg=1, base=3, disp=-8))
+        assert store.mnemonic == "mov_store" and store.disp == -8
+
+    def test_rsp_base_requires_sib(self):
+        with pytest.raises(EncodingError):
+            Encoder.mem(0x8B, reg=0, base=4, disp=0)
+
+    def test_extended_registers_via_rex(self):
+        code = Encoder.rr(0x01, reg=8, rm=15)  # add r15, r8
+        inst = decode(code)
+        assert inst.mnemonic == "add"
+        assert inst.reg == 8 and inst.rm == 15
+
+    def test_alu_imm(self):
+        inst = decode(Encoder.alu_imm("sub", rm=2, imm=100))
+        assert inst.mnemonic == "sub_imm" and inst.imm == 100 and inst.rm == 2
+
+    def test_shift_imm(self):
+        inst = decode(Encoder.shift_imm("shl", rm=1, imm=5))
+        assert inst.mnemonic == "shl" and inst.imm == 5
+
+    def test_push_pop(self):
+        assert decode(Encoder.push_pop("push", 0)).mnemonic == "push"
+        inst = decode(Encoder.push_pop("pop", 9))
+        assert inst.mnemonic == "pop" and inst.reg == 9
+
+    def test_rel32_branches(self):
+        inst = decode(Encoder.rel32((0xE8,), -100))
+        assert inst.mnemonic == "call" and inst.imm == -100
+        inst = decode(Encoder.rel32((0x0F, 0x85), 64))
+        assert inst.mnemonic == "jne" and inst.imm == 64
+
+
+class TestSystemInstructions:
+    def test_mov_cr(self):
+        read = decode(Encoder.mov_cr(3, reg=0, to_cr=False))
+        assert read.mnemonic == "mov_from_cr" and read.sysreg == 3
+        write = decode(Encoder.mov_cr(4, reg=1, to_cr=True))
+        assert write.mnemonic == "mov_to_cr" and write.to_system
+
+    def test_mov_dr(self):
+        write = decode(Encoder.mov_dr(7, reg=2, to_dr=True))
+        assert write.mnemonic == "mov_to_dr" and write.sysreg == 7
+
+    def test_group01_descriptor_ops(self):
+        lidt = decode(Encoder.group01(3, base=0, disp=0x40))
+        assert lidt.mnemonic == "lidt" and lidt.disp == 0x40 and lidt.is_mem
+        sgdt = decode(Encoder.group01(0, base=1, disp=0))
+        assert sgdt.mnemonic == "sgdt"
+
+    def test_int_vector(self):
+        inst = decode(bytes([0xCD, 0x80]))
+        assert inst.mnemonic == "int" and inst.vector == 0x80
+
+    def test_grid_instructions(self):
+        hccall = decode(Encoder.grid("hccall", reg=10))
+        assert hccall.mnemonic == "hccall" and hccall.rm == 10
+        hcrets = decode(Encoder.grid("hcrets"))
+        assert hcrets.mnemonic == "hcrets" and hcrets.size == 3
+
+    def test_grid_bytes_are_stable(self):
+        """The attack payloads hard-code hccall r10 = 49 0F 0A C2."""
+        assert Encoder.grid("hccall", reg=10) == bytes([0x49, 0x0F, 0x0A, 0xC2])
+
+
+class TestDecodeErrors:
+    def test_truncated(self):
+        with pytest.raises(EncodingError):
+            decode(b"\x0F")
+        with pytest.raises(EncodingError):
+            decode(b"\x48\xB8\x01")  # truncated imm64
+
+    def test_unknown_opcode(self):
+        with pytest.raises(EncodingError):
+            decode(b"\xD6")
+
+    def test_unknown_0f_opcode(self):
+        with pytest.raises(EncodingError):
+            decode(b"\x0F\xFF")
+
+
+class TestVariableLengthOverlap:
+    """The property the whole §2.3 argument rests on: the same bytes
+    decode differently at different offsets."""
+
+    def test_bytes_hidden_in_immediate(self):
+        hidden = simple_bytes("wrmsr") + b"\xC3" + b"\x90" * 5
+        carrier = bytes([0x48, 0xB8]) + hidden  # mov rax, imm64
+        outer = decode(carrier)
+        assert outer.mnemonic == "mov_imm" and outer.size == 10
+        inner = decode(carrier, offset=2)
+        assert inner.mnemonic == "wrmsr"
+
+    @given(st.integers(min_value=0, max_value=15), st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_mov_imm_roundtrip(self, reg, imm):
+        inst = decode(Encoder.mov_imm64(reg, imm))
+        assert inst.reg == reg and inst.imm == imm
+
+    @given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    def test_disp32_roundtrip(self, disp):
+        inst = decode(Encoder.mem(0x8B, reg=0, base=1, disp=disp))
+        assert inst.disp == disp

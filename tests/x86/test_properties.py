@@ -1,0 +1,149 @@
+"""Differential property tests: random x86 ALU sequences vs a Python
+reference."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.x86 import KERNEL_BASE, assemble, build_x86_system
+
+MASK64 = (1 << 64) - 1
+
+
+def run_source(source):
+    system = build_x86_system(with_isagrid=False)
+    program = assemble(source, base=KERNEL_BASE)
+    system.load(program)
+    system.run(program.symbol("entry"), max_steps=1000)
+    return system.cpu
+
+
+BINARY_OPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+}
+
+VALUE = st.integers(min_value=0, max_value=MASK64)
+
+
+@settings(max_examples=25, deadline=None)
+@given(a=VALUE, b=VALUE, op=st.sampled_from(sorted(BINARY_OPS)))
+def test_binary_ops_match_reference(a, b, op):
+    cpu = run_source("""
+entry:
+    mov rbx, %d
+    mov rcx, %d
+    %s rbx, rcx
+    hlt
+""" % (a, b, op))
+    assert cpu.regs[3] == BINARY_OPS[op](a, b) & MASK64
+
+
+@settings(max_examples=20, deadline=None)
+@given(value=VALUE)
+def test_unary_ops(value):
+    cpu = run_source("""
+entry:
+    mov rbx, %d
+    mov rcx, rbx
+    inc rbx
+    mov rdx, rcx
+    dec rdx
+    mov rsi, rcx
+    neg rsi
+    mov rdi, rcx
+    not rdi
+    hlt
+""" % value)
+    assert cpu.regs[3] == (value + 1) & MASK64
+    assert cpu.regs[2] == (value - 1) & MASK64
+    assert cpu.regs[6] == (-value) & MASK64
+    assert cpu.regs[7] == ~value & MASK64
+
+
+@settings(max_examples=20, deadline=None)
+@given(a=VALUE, b=VALUE)
+def test_xchg_swaps(a, b):
+    cpu = run_source("""
+entry:
+    mov rbx, %d
+    mov rcx, %d
+    xchg rbx, rcx
+    hlt
+""" % (a, b))
+    assert cpu.regs[3] == b and cpu.regs[1] == a
+
+
+@settings(max_examples=20, deadline=None)
+@given(a=VALUE, b=VALUE)
+def test_all_condition_codes_consistent(a, b):
+    """Each signed/unsigned comparison pair must agree with Python."""
+    cpu = run_source("""
+entry:
+    mov rbx, %d
+    mov rcx, %d
+    mov r15, 0
+    cmp rbx, rcx
+    jle le_taken
+    jmp le_done
+le_taken:
+    or r15, 1
+le_done:
+    cmp rbx, rcx
+    ja a_taken
+    jmp a_done
+a_taken:
+    or r15, 2
+a_done:
+    cmp rbx, rcx
+    jg g_taken
+    jmp g_done
+g_taken:
+    or r15, 4
+g_done:
+    cmp rbx, rcx
+    jbe be_taken
+    jmp be_done
+be_taken:
+    or r15, 8
+be_done:
+    hlt
+""" % (a, b))
+    signed_a = a - (1 << 64) if a >> 63 else a
+    signed_b = b - (1 << 64) if b >> 63 else b
+    flags = cpu.regs[15]
+    assert bool(flags & 1) == (signed_a <= signed_b)   # jle
+    assert bool(flags & 2) == (a > b)                  # ja
+    assert bool(flags & 4) == (signed_a > signed_b)    # jg
+    assert bool(flags & 8) == (a <= b)                 # jbe
+
+
+@settings(max_examples=15, deadline=None)
+@given(a=VALUE, shift=st.integers(min_value=0, max_value=63))
+def test_shifts_match_reference(a, shift):
+    cpu = run_source("""
+entry:
+    mov rbx, %d
+    shl rbx, %d
+    mov rcx, %d
+    shr rcx, %d
+    hlt
+""" % (a, shift, a, shift))
+    assert cpu.regs[3] == (a << shift) & MASK64
+    assert cpu.regs[1] == a >> shift
+
+
+@settings(max_examples=10, deadline=None)
+@given(values=st.lists(VALUE, min_size=1, max_size=6))
+def test_push_pop_is_lifo(values):
+    lines = ["entry:", "    mov rsp, 0x6e0000"]
+    for value in values:
+        lines += ["    mov rbx, %d" % value, "    push rbx"]
+    for index in range(len(values)):
+        lines.append("    pop %s" % ("r%d" % (8 + index)))
+    lines.append("    hlt")
+    cpu = run_source("\n".join(lines) + "\n")
+    for index, value in enumerate(reversed(values)):
+        assert cpu.regs[8 + index] == value
