@@ -10,6 +10,7 @@ Usage::
     python -m repro hitrate           # §7.1 privilege-cache hit rates
     python -m repro scan              # §2.3 unintended instructions
     python -m repro audit             # audit the shipped decompositions
+    python -m repro conformance       # differential oracle-vs-PCU fuzz
 """
 
 from __future__ import annotations
@@ -158,6 +159,75 @@ def _cmd_scan(_args) -> int:
     return 0
 
 
+def _cmd_conformance(args) -> int:
+    """Differential conformance fuzz: cached PCU vs the oracle spec."""
+    from repro.conformance import (
+        BACKEND_NAMES,
+        CONFORMANCE_CONFIGS,
+        DEFAULT_CONFIGS,
+        DifferentialRunner,
+        fuzz_backend,
+        load_reproducer,
+    )
+
+    mutate = None
+    if args.inject_bug:
+        # Deliberate cache-fill corruption: every instruction-bitmap fill
+        # flips the allow-bit of class 0.  The runner must catch it.
+        def mutate(pcu):
+            cache = pcu.hpt_cache.inst
+            original = cache.fill
+            cache.fill = lambda tag, payload: original(tag, payload ^ 1)
+
+    if args.replay:
+        try:
+            backend, config, events = load_reproducer(args.replay)
+        except OSError as error:
+            print("cannot read reproducer: %s" % error, file=sys.stderr)
+            return 2
+        runner = DifferentialRunner(backend, config=config, mutate=mutate)
+        divergence = runner.replay(events)
+        if divergence is None:
+            print("%s/%s: replay of %d events: no divergence"
+                  % (backend, config, len(events)))
+            return 0
+        print("%s/%s: DIVERGENCE at %s" % (backend, config,
+                                           divergence.describe()))
+        return 1
+
+    backends = BACKEND_NAMES if args.backend == "both" else (args.backend,)
+    configs = (tuple(CONFORMANCE_CONFIGS) if args.config == "all"
+               else tuple(args.config.split(",")) if args.config
+               else DEFAULT_CONFIGS)
+    unknown = [name for name in configs if name not in CONFORMANCE_CONFIGS]
+    if unknown:
+        print("unknown config %s (choose from %s)"
+              % (", ".join(unknown), ", ".join(CONFORMANCE_CONFIGS)),
+              file=sys.stderr)
+        return 2
+    failures = 0
+    for backend in backends:
+        for config in configs:
+            result = fuzz_backend(
+                backend, args.seed, args.events, config=config,
+                mutate=mutate, oracle_only=args.oracle_only, dump_dir=".",
+            )
+            outcomes = " ".join("%s=%d" % (k, v)
+                                for k, v in sorted(result.outcomes.items()))
+            if result.clean:
+                print("%-6s %-10s %6d events  %s  divergences=0"
+                      % (backend, config, result.events, outcomes))
+            else:
+                failures += 1
+                print("%-6s %-10s %6d events  DIVERGENCE: %s"
+                      % (backend, config, result.events,
+                         result.divergence.describe()))
+                if result.reproducer_path:
+                    print("    reproducer dumped to %s"
+                          % result.reproducer_path)
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "audit": _cmd_audit,
     "table4": _cmd_table4,
@@ -167,6 +237,7 @@ _COMMANDS = {
     "decompose": _cmd_decompose,
     "hitrate": _cmd_hitrate,
     "scan": _cmd_scan,
+    "conformance": _cmd_conformance,
 }
 
 
@@ -175,8 +246,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro",
         description="ISA-Grid reproduction: quick experiment runners.",
     )
-    parser.add_argument("command", choices=sorted(_COMMANDS),
-                        help="artifact to regenerate")
+    subparsers = parser.add_subparsers(dest="command", required=True,
+                                       metavar="command")
+    for name in sorted(_COMMANDS):
+        if name == "conformance":
+            continue
+        subparsers.add_parser(name, help="regenerate the %r artifact" % name)
+    conformance = subparsers.add_parser(
+        "conformance",
+        help="differentially fuzz the cached PCU against the oracle spec",
+    )
+    conformance.add_argument("--events", type=int, default=5000,
+                             help="fuzz events per (backend, config) pair")
+    conformance.add_argument("--seed", type=int, default=0)
+    conformance.add_argument("--backend", choices=("riscv", "x86", "both"),
+                             default="both")
+    conformance.add_argument("--config", default=None,
+                             help="comma-separated PCU config names, or 'all'")
+    conformance.add_argument("--oracle-only", action="store_true",
+                             help="replay through the oracle alone "
+                                  "(spec smoke test, no diffing)")
+    conformance.add_argument("--inject-bug", action="store_true",
+                             help="corrupt instruction-bitmap cache fills "
+                                  "to demonstrate divergence detection")
+    conformance.add_argument("--replay", metavar="REPRO_JSON", default=None,
+                             help="replay a dumped reproducer file")
     args = parser.parse_args(argv)
     return _COMMANDS[args.command](args)
 

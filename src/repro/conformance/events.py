@@ -1,0 +1,212 @@
+"""Abstract conformance events.
+
+The differential fuzzer works on an *abstract* privilege model so one
+event stream can be replayed, bit-for-bit identically, against both the
+x86 and RISC-V backends.  Events therefore never name concrete
+instruction classes or CSR indices; they name *slots* of the abstract
+model:
+
+* domain slots ``1..N_DOMAIN_SLOTS`` (slot 0 is always domain-0),
+* instruction slots ``0..N_INST_SLOTS-1``,
+* CSR slots ``0..N_CSR_SLOTS-1`` (the last one is the backend's
+  bitwise-controlled CSR),
+* gate slots ``0..N_GATE_SLOTS-1`` (also used verbatim as SGT ids).
+
+A :class:`~repro.conformance.generator.Backend` later binds each slot to
+a concrete resource of its ISA map.  Generation is pure and seeded: the
+same ``(seed, count)`` always yields the same stream, so a reproducer is
+just the seed plus the (possibly shrunk) event list.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Set
+
+MASK64 = (1 << 64) - 1
+
+#: Abstract model sizes.  Small on purpose: a handful of resources under
+#: a tiny privilege cache maximises evictions, refills and therefore
+#: opportunities for stale-fill divergences.
+N_DOMAIN_SLOTS = 4   # non-zero domains; slot 0 is domain-0
+N_INST_SLOTS = 5
+N_CSR_SLOTS = 5      # last slot is the bitwise-controlled CSR
+N_GATE_SLOTS = 6
+MASKED_CSR_SLOT = N_CSR_SLOTS - 1
+
+#: Event operations.  ``check``/``gate``/``mem`` exercise the PCU data
+#: path; ``pfch``/``pflh`` the cache-management instructions; the rest
+#: are domain-0 reconfigurations.
+CHECK_OPS = ("check", "gate", "mem", "pfch", "pflh")
+RECONFIG_OPS = (
+    "allow_inst", "deny_inst", "grant_csr", "revoke_csr", "set_mask",
+    "register_gate", "unregister_gate", "create_domain", "destroy_domain",
+)
+
+GATE_KINDS = ("hccall", "hccalls", "hcrets")
+
+
+@dataclass
+class Event:
+    """One abstract conformance event (flat for easy JSON round-trips)."""
+
+    op: str
+    domain: int = 0      # abstract domain slot (reconfig target)
+    inst: int = -1       # abstract instruction slot
+    csr: int = -1        # abstract CSR slot; -1 = no CSR access
+    read: bool = False
+    write: bool = False
+    value: int = 0       # CSR write value
+    old: int = 0         # current CSR value (mask-rule operand)
+    gate: int = -1       # gate slot == SGT gate id
+    kind: str = ""       # gate kind: hccall / hccalls / hcrets
+    site_ok: bool = True  # execute the gate at its registered address?
+    bits: int = 0        # mask bits for set_mask
+    cache: int = 0       # pflh operand (CacheId value)
+    address: int = 0     # mem-event address / gate return address
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Event":
+        return cls(**data)
+
+
+class EventGenerator:
+    """Seeded generator of abstract event streams.
+
+    Tracks just enough abstract state (live domain slots, registered
+    gate slots and their destinations) to keep the stream *mostly*
+    meaningful — while still emitting a tail of hostile events
+    (unregistered gates, wrong call sites, dead domains, underflows) that
+    must fault identically in both implementations.
+    """
+
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self.live: Set[int] = set(range(1, N_DOMAIN_SLOTS + 1))
+        self.gate_dest: Dict[int, int] = {}  # gate slot -> domain slot
+
+    # -- helpers -------------------------------------------------------
+    def _value_pair(self) -> "tuple[int, int]":
+        """(old, new) CSR values biased toward small, maskable diffs."""
+        rng = self.rng
+        old = rng.getrandbits(64)
+        if rng.random() < 0.5:
+            new = old ^ (1 << rng.randrange(64))     # single-bit flip
+        elif rng.random() < 0.5:
+            new = old ^ rng.getrandbits(8)           # low-bit churn
+        else:
+            new = rng.getrandbits(64)
+        return old, new & MASK64
+
+    def setup_events(self) -> List[Event]:
+        """Initial domain configuration: every backend renders these to
+        an equivalent per-ISA grant set (the "same abstract model")."""
+        rng = self.rng
+        events: List[Event] = []
+        for slot in sorted(self.live):
+            for inst in range(N_INST_SLOTS):
+                if inst == 0 or rng.random() < 0.6:
+                    events.append(Event("allow_inst", domain=slot, inst=inst))
+            for csr in range(N_CSR_SLOTS):
+                if rng.random() < 0.6:
+                    events.append(Event(
+                        "grant_csr", domain=slot, csr=csr,
+                        read=True, write=rng.random() < 0.7,
+                    ))
+            events.append(Event(
+                "set_mask", domain=slot, bits=rng.getrandbits(64)))
+        for gate in range(N_GATE_SLOTS - 1):  # leave one slot unregistered
+            dest = rng.choice(sorted(self.live))
+            self.gate_dest[gate] = dest
+            events.append(Event("register_gate", gate=gate, domain=dest))
+        return events
+
+    def next_event(self, index: int) -> Event:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.50:
+            return self._check_event()
+        if roll < 0.72:
+            return self._gate_event(index)
+        if roll < 0.78:
+            return Event("mem", address=rng.choice((
+                0x100000 + rng.randrange(0, 1 << 20, 8),  # inside tmem
+                rng.randrange(0, 1 << 20, 8),             # outside tmem
+            )))
+        if roll < 0.83:
+            return Event("pfch", csr=rng.randrange(-1, N_CSR_SLOTS))
+        if roll < 0.88:
+            return Event("pflh", cache=rng.randrange(0, 5))
+        return self._reconfig_event()
+
+    def _check_event(self) -> Event:
+        rng = self.rng
+        inst = rng.randrange(N_INST_SLOTS)
+        if rng.random() < 0.45:
+            return Event("check", inst=inst)
+        csr = rng.randrange(N_CSR_SLOTS)
+        read = rng.random() < 0.6
+        write = rng.random() < 0.6 or not read
+        old, new = self._value_pair()
+        return Event("check", inst=inst, csr=csr, read=read, write=write,
+                     old=old, value=new)
+
+    def _gate_event(self, index: int) -> Event:
+        rng = self.rng
+        kind = rng.choices(GATE_KINDS, weights=(4, 4, 3))[0]
+        gate = rng.randrange(N_GATE_SLOTS) if rng.random() < 0.9 else \
+            rng.randrange(N_GATE_SLOTS, N_GATE_SLOTS + 2)
+        return Event("gate", kind=kind, gate=gate,
+                     site_ok=rng.random() < 0.85,
+                     address=0x9000 + 4 * index)
+
+    def _reconfig_event(self) -> Event:
+        rng = self.rng
+        op = rng.choice(RECONFIG_OPS)
+        slot = rng.choice(sorted(self.live)) if self.live else 1
+        if op == "allow_inst" or op == "deny_inst":
+            return Event(op, domain=slot, inst=rng.randrange(N_INST_SLOTS))
+        if op == "grant_csr":
+            return Event(op, domain=slot, csr=rng.randrange(N_CSR_SLOTS),
+                         read=rng.random() < 0.8, write=rng.random() < 0.6)
+        if op == "revoke_csr":
+            return Event(op, domain=slot, csr=rng.randrange(N_CSR_SLOTS),
+                         read=rng.random() < 0.5, write=True)
+        if op == "set_mask":
+            return Event(op, domain=slot, bits=rng.getrandbits(64))
+        if op == "register_gate":
+            gate = rng.randrange(N_GATE_SLOTS)
+            self.gate_dest[gate] = slot
+            return Event(op, gate=gate, domain=slot)
+        if op == "unregister_gate":
+            gate = rng.randrange(N_GATE_SLOTS)
+            self.gate_dest.pop(gate, None)
+            return Event(op, gate=gate)
+        if op == "destroy_domain":
+            if len(self.live) > 1:
+                self.live.discard(slot)
+                for gate, dest in list(self.gate_dest.items()):
+                    if dest == slot:
+                        del self.gate_dest[gate]
+                return Event(op, domain=slot)
+            return self._check_event()
+        # create_domain: revive a dead slot (fresh incarnation) if any.
+        dead = sorted(set(range(1, N_DOMAIN_SLOTS + 1)) - self.live)
+        if not dead:
+            return self._check_event()
+        slot = rng.choice(dead)
+        self.live.add(slot)
+        return Event("create_domain", domain=slot)
+
+
+def generate_events(seed: int, count: int) -> List[Event]:
+    """The full stream: deterministic setup plus ``count`` fuzz events."""
+    generator = EventGenerator(seed)
+    events = generator.setup_events()
+    events.extend(generator.next_event(i) for i in range(count))
+    return events

@@ -1,0 +1,183 @@
+"""Cross-ISA binding of the abstract conformance model.
+
+A :class:`Backend` maps the abstract slots of
+:mod:`repro.conformance.events` onto one architecture's concrete ISA-Grid
+resources, so the *same* abstract event stream fuzzes the x86 and RISC-V
+instances against the same privilege model:
+
+* instruction slots bind to real instruction classes of the backend's
+  :class:`~repro.core.isa_extension.IsaGridIsaMap` (a mix of compute and
+  system classes),
+* CSR slots bind to real CSR indices, the last slot always to the
+  backend's bitwise-controlled register (``sstatus`` / ``cr0``),
+* gate and destination addresses are fixed per gate slot.
+
+Backends also render an event stream into a per-ISA pseudo-assembly
+listing (for reproducer dumps) and a domain-configuration manifest, so a
+dumped divergence names concrete instructions and registers rather than
+abstract slot numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.isa_extension import IsaGridIsaMap
+
+from .events import MASKED_CSR_SLOT, Event
+
+#: Per-gate-slot frozen addresses (outside trusted memory).
+GATE_BASE = 0x40_0000
+DEST_BASE = 0x48_0000
+
+
+def gate_address(slot: int) -> int:
+    return GATE_BASE + slot * 0x40
+
+
+def destination_address(slot: int) -> int:
+    return DEST_BASE + slot * 0x40
+
+
+class Backend:
+    """One architecture's binding of the abstract conformance model."""
+
+    def __init__(
+        self,
+        name: str,
+        isa_map: IsaGridIsaMap,
+        inst_classes: Sequence[str],
+        plain_csrs: Sequence[str],
+        masked_csr: str,
+    ):
+        self.name = name
+        self.isa_map = isa_map
+        self.inst_class_names = list(inst_classes)
+        self.csr_names = list(plain_csrs) + [masked_csr]
+        self.inst_slots = [isa_map.inst_class(n) for n in inst_classes]
+        self.csr_slots = [isa_map.csr_index(n) for n in self.csr_names]
+        if isa_map.mask_slot(self.csr_slots[MASKED_CSR_SLOT]) is None:
+            raise ValueError(
+                "%s: CSR %r bound to the masked slot is not bitwise" %
+                (name, masked_csr)
+            )
+
+    # -- slot resolution ----------------------------------------------
+    def inst_class(self, slot: int) -> int:
+        return self.inst_slots[slot]
+
+    def csr_index(self, slot: int) -> int:
+        return self.csr_slots[slot]
+
+    def inst_name(self, slot: int) -> str:
+        return self.inst_class_names[slot]
+
+    def csr_name(self, slot: int) -> str:
+        return self.csr_names[slot]
+
+    # -- reproducer rendering -----------------------------------------
+    def render_event(self, event: Event) -> str:
+        """One per-ISA pseudo-assembly line for a reproducer listing."""
+        if event.op == "check":
+            if event.csr < 0:
+                return self._inst_line(event)
+            return self._csr_line(event)
+        if event.op == "gate":
+            site = "" if event.site_ok else "   ; WRONG call site"
+            if event.kind == "hcrets":
+                return "hcrets%s" % site
+            return "%s %d%s" % (event.kind, event.gate, site)
+        if event.op == "mem":
+            return "%s 0x%x" % ("load" if self.name == "riscv" else "mov rax,",
+                                event.address)
+        if event.op == "pfch":
+            target = 0 if event.csr < 0 else self.csr_index(event.csr)
+            return "pfch %d" % target
+        if event.op == "pflh":
+            return "pflh %d" % event.cache
+        return "; domain-0: %s %s" % (event.op, self.describe_reconfig(event))
+
+    def _inst_line(self, event: Event) -> str:
+        return "%-10s ; class %r" % (
+            self.inst_name(event.inst), self.inst_name(event.inst))
+
+    def _csr_line(self, event: Event) -> str:
+        csr = self.csr_name(event.csr)
+        if self.name == "riscv":
+            mnemonic = "csrrw" if event.write else "csrrs"
+            return "%s %s, %s ; old=0x%x new=0x%x" % (
+                mnemonic, "t0" if event.read else "x0", csr,
+                event.old, event.value)
+        access = ("rdmsr " if event.read else "") + ("wrmsr" if event.write else "")
+        return "%-12s ; %s old=0x%x new=0x%x" % (access or "rdmsr", csr,
+                                                 event.old, event.value)
+
+    def describe_reconfig(self, event: Event) -> str:
+        if event.op in ("allow_inst", "deny_inst"):
+            return "domain slot %d class %r" % (event.domain,
+                                                self.inst_name(event.inst))
+        if event.op in ("grant_csr", "revoke_csr"):
+            return "domain slot %d csr %r r=%s w=%s" % (
+                event.domain, self.csr_name(event.csr), event.read, event.write)
+        if event.op == "set_mask":
+            return "domain slot %d %s mask=0x%x" % (
+                event.domain, self.csr_name(MASKED_CSR_SLOT), event.bits)
+        if event.op in ("register_gate", "unregister_gate"):
+            return "gate %d -> domain slot %d" % (event.gate, event.domain)
+        return "domain slot %d" % event.domain
+
+    def render_program(self, events: Sequence[Event]) -> List[str]:
+        """The whole stream as an annotated per-ISA listing."""
+        return ["%4d: %s" % (i, self.render_event(e))
+                for i, e in enumerate(events)]
+
+    def domain_manifest(self, events: Sequence[Event]) -> Dict[int, Dict[str, object]]:
+        """Final per-domain-slot grant sets implied by the stream."""
+        manifest: Dict[int, Dict[str, object]] = {}
+        for event in events:
+            slot = event.domain
+            if event.op == "create_domain" or event.op == "destroy_domain":
+                manifest[slot] = {"instructions": set(), "csrs": set(), "mask": 0}
+                continue
+            if event.op not in ("allow_inst", "deny_inst", "grant_csr",
+                                "revoke_csr", "set_mask"):
+                continue
+            entry = manifest.setdefault(
+                slot, {"instructions": set(), "csrs": set(), "mask": 0})
+            if event.op == "allow_inst":
+                entry["instructions"].add(self.inst_name(event.inst))
+            elif event.op == "deny_inst":
+                entry["instructions"].discard(self.inst_name(event.inst))
+            elif event.op == "grant_csr":
+                entry["csrs"].add(self.csr_name(event.csr))
+            elif event.op == "revoke_csr":
+                entry["csrs"].discard(self.csr_name(event.csr))
+            else:
+                entry["mask"] = event.bits
+        return manifest
+
+
+def make_backend(name: str) -> Backend:
+    """Build the named backend binding (importing its ISA map lazily)."""
+    if name == "riscv":
+        from repro.riscv.isa import RISCV_ISA_MAP
+
+        return Backend(
+            "riscv", RISCV_ISA_MAP,
+            inst_classes=("alu", "load", "csr", "sret", "sfence_vma"),
+            plain_csrs=("satp", "stvec", "sepc", "scounteren"),
+            masked_csr="sstatus",
+        )
+    if name == "x86":
+        from repro.x86.isa import X86_ISA_MAP
+
+        return Backend(
+            "x86", X86_ISA_MAP,
+            inst_classes=("alu", "mov", "rdmsr", "wrmsr", "mov_cr"),
+            plain_csrs=("cr3", "msr_lstar", "pkru", "gdtr"),
+            masked_csr="cr0",
+        )
+    raise ValueError("unknown conformance backend %r" % name)
+
+
+BACKEND_NAMES = ("riscv", "x86")

@@ -1,0 +1,187 @@
+"""The oracle PCU: a cache-free reference model of the privilege check.
+
+:class:`OraclePcu` is the executable specification the cached
+:class:`~repro.core.pcu.PrivilegeCheckUnit` is differentially tested
+against.  It shares the HPT and SGT *data structures* (trusted-memory
+words) with the real PCU but none of its machinery: no privilege caches,
+no bypass register, no Draco cache, no prefetching — every check reads
+the tables directly, so it can never observe a stale fill.
+
+The contract (recorded in DESIGN.md):
+
+* ``check`` — instruction bitmap first, then (for explicit CSR
+  accesses) the read bit, then the write permission; bitwise-controlled
+  CSRs use the mask rule ``(old ^ new) & ~mask == 0`` *instead of* the
+  write bit.  Domain-0 always passes.  Fault subclasses must match the
+  real PCU exactly.
+* ``execute_gate`` — SGT entry validity, frozen call-site match,
+  trusted-stack push/pop with the same overflow/underflow ordering, and
+  the domain-0 return ban, with the same side effects on failure (an
+  ``hcrets`` that faults on the domain-0 ban has still consumed the
+  frame).
+* ``check_memory_access`` — trusted memory is domain-0-only.
+
+State the differential runner compares after every event: current
+domain, previous domain, trusted-stack depth, and the
+allowed/fault-subclass outcome (plus the target pc for gates).  Stall
+cycles are *not* part of the contract — the oracle is stall-free by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.errors import (
+    BitMaskViolationFault,
+    ConfigurationError,
+    GateFault,
+    InstructionPrivilegeFault,
+    RegisterReadFault,
+    RegisterWriteFault,
+    TrustedMemoryFault,
+    TrustedStackFault,
+)
+from repro.core.hpt import HybridPrivilegeTable
+from repro.core.isa_extension import AccessInfo, GateKind, IsaGridIsaMap
+from repro.core.pcu import DOMAIN_0
+from repro.core.sgt import SwitchingGateTable
+from repro.core.trusted_memory import TrustedMemory
+
+
+class OraclePcu:
+    """Reference privilege-check semantics over the shared HPT/SGT."""
+
+    def __init__(
+        self,
+        isa_map: IsaGridIsaMap,
+        hpt: HybridPrivilegeTable,
+        sgt: SwitchingGateTable,
+        trusted_memory: TrustedMemory,
+        stack_frames: int,
+    ):
+        self.isa_map = isa_map
+        self.hpt = hpt
+        self.sgt = sgt
+        self.trusted_memory = trusted_memory
+        self.stack_frames = stack_frames
+        self.domain = DOMAIN_0
+        self.pdomain = DOMAIN_0
+        self.stack: List[Tuple[int, int]] = []
+        self.enabled = True
+
+    # ------------------------------------------------------------------
+    # State.
+    # ------------------------------------------------------------------
+    @property
+    def current_domain(self) -> int:
+        return self.domain
+
+    @property
+    def depth(self) -> int:
+        return len(self.stack)
+
+    def reset(self) -> None:
+        self.domain = DOMAIN_0
+        self.pdomain = DOMAIN_0
+        self.stack.clear()
+
+    def _switch(self, destination: int) -> None:
+        self.pdomain = self.domain
+        self.domain = destination
+
+    # ------------------------------------------------------------------
+    # Hybrid-grained privilege check (the spec of PCU.check).
+    # ------------------------------------------------------------------
+    def check(self, access: AccessInfo) -> None:
+        if not self.enabled:
+            return
+        domain = self.domain
+        if domain == DOMAIN_0:
+            return
+
+        word = self.hpt.read_inst_word(domain, access.inst_class // 64)
+        if not word >> (access.inst_class % 64) & 1:
+            raise InstructionPrivilegeFault(
+                access.inst_class, domain=domain, address=access.address
+            )
+        if access.csr is None:
+            return
+
+        csr = access.csr
+        word = self.hpt.read_reg_word(domain, (2 * csr) // 64)
+        read_bit = word >> ((2 * csr) % 64) & 1
+        write_bit = word >> ((2 * csr) % 64 + 1) & 1
+        if access.csr_read and not read_bit:
+            raise RegisterReadFault(csr, domain=domain, address=access.address)
+        if access.csr_write:
+            slot = self.isa_map.mask_slot(csr)
+            if slot is not None:
+                if access.write_value is None or access.old_value is None:
+                    raise ConfigurationError(
+                        "bitwise CSR write check requires old and new values"
+                    )
+                mask = self.hpt.read_mask(domain, slot)
+                if (access.old_value ^ access.write_value) & ~mask:
+                    raise BitMaskViolationFault(
+                        csr, access.old_value, access.write_value, mask,
+                        domain=domain, address=access.address,
+                    )
+            elif not write_bit:
+                raise RegisterWriteFault(
+                    csr, domain=domain, address=access.address
+                )
+
+    # ------------------------------------------------------------------
+    # Domain switching (the spec of PCU.execute_gate).
+    # ------------------------------------------------------------------
+    def execute_gate(
+        self,
+        kind: GateKind,
+        gate_id: int,
+        pc: int,
+        return_address: Optional[int] = None,
+    ) -> int:
+        """Execute a gate; returns the target pc or raises a fault."""
+        if kind is GateKind.HCRETS:
+            if not self.stack:
+                raise TrustedStackFault(
+                    "trusted stack underflow", 0, domain=self.domain, address=pc
+                )
+            target, domain = self.stack.pop()
+            if domain == DOMAIN_0:
+                # The frame is consumed even though the return is banned —
+                # matching the real PCU's pop-then-check ordering.
+                raise GateFault(
+                    "hcrets may not return to domain-0",
+                    domain=self.domain, address=pc,
+                )
+            self._switch(domain)
+            return target
+
+        entry = self.sgt.read_entry(gate_id)  # GateFault if unregistered
+        if not entry.matches_call_site(pc):
+            raise GateFault(
+                "gate %d called from 0x%x, registered at 0x%x"
+                % (gate_id, pc, entry.gate_address),
+                gate_id=gate_id, domain=self.domain, address=pc,
+            )
+        if kind is GateKind.HCCALLS:
+            if return_address is None:
+                raise ConfigurationError("hccalls requires a return address")
+            if len(self.stack) >= self.stack_frames:
+                raise TrustedStackFault(
+                    "trusted stack overflow", 0, domain=self.domain, address=pc
+                )
+            self.stack.append((return_address, self.domain))
+        self._switch(entry.destination_domain)
+        return entry.destination_address
+
+    # ------------------------------------------------------------------
+    # Trusted memory enforcement.
+    # ------------------------------------------------------------------
+    def check_memory_access(self, address: int, pc: int = 0) -> None:
+        if not self.enabled:
+            return
+        if self.domain != DOMAIN_0 and self.trusted_memory.contains(address):
+            raise TrustedMemoryFault(address, domain=self.domain, address=pc)

@@ -1,0 +1,422 @@
+"""The differential conformance runner.
+
+Replays one abstract event stream through the cached
+:class:`~repro.core.pcu.PrivilegeCheckUnit` and the cache-free
+:class:`~repro.conformance.oracle.OraclePcu` in lockstep, over *shared*
+HPT/SGT trusted-memory tables, and diffs every architecturally visible
+outcome: allowed vs fault subclass, current/previous domain, trusted
+stack depth, and gate target.  Stall cycles are excluded by contract
+(the oracle is stall-free).
+
+On a mismatch the runner delta-shrinks the event prefix (chunked ddmin,
+then single-event removal, under a replay budget) and dumps a JSON
+reproducer containing the seed, the shrunk events, both outcomes, the
+per-ISA pseudo-assembly listing, and the implied domain configuration.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core import (
+    CONFIG_16E,
+    CONFIG_8E,
+    CONFIG_8EN,
+    AccessInfo,
+    CacheId,
+    DomainManager,
+    GateKind,
+    PcuConfig,
+    PrivilegeCheckUnit,
+    TrustedMemory,
+)
+from repro.core.errors import PrivilegeFault
+
+from .events import N_DOMAIN_SLOTS, Event, generate_events
+from .generator import Backend, destination_address, gate_address, make_backend
+from .oracle import OraclePcu
+
+#: Trusted-memory window shared by every conformance world (the abstract
+#: ``mem`` events are generated against this range).
+TMEM_BASE = 0x100000
+TMEM_SIZE = 1 << 20
+
+#: Trusted-stack capacity, small so fuzzed gate chains hit overflow.
+STACK_FRAMES = 4
+
+#: Cache configurations the fuzzer runs under.  "stress" shrinks every
+#: cache to two entries so refills and evictions dominate; "draco" adds
+#: the Section-8 known-legal cache, whose stale entries are the nastiest
+#: divergence source.
+CONFORMANCE_CONFIGS: Dict[str, PcuConfig] = {
+    "stress": PcuConfig(name="2E.stress", hpt_cache_entries=2,
+                        sgt_cache_entries=2),
+    "draco": PcuConfig(name="2E.draco", hpt_cache_entries=2,
+                       sgt_cache_entries=2, draco_entries=4),
+    "flush": PcuConfig(name="8E.flush", flush_on_switch=True),
+    "16E.": CONFIG_16E,
+    "8E.": CONFIG_8E,
+    "8E.N": CONFIG_8EN,
+}
+
+DEFAULT_CONFIGS = ("stress", "draco")
+
+_GATE_KINDS = {
+    "hccall": GateKind.HCCALL,
+    "hccalls": GateKind.HCCALLS,
+    "hcrets": GateKind.HCRETS,
+}
+
+
+@dataclass
+class Outcome:
+    """Architecturally visible result of one event on one implementation."""
+
+    status: str       # "ok", "skip", or the PrivilegeFault subclass name
+    domain: int
+    pdomain: int
+    depth: int
+    target: int = -1  # gate target pc; -1 for non-gate events
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+@dataclass
+class Divergence:
+    """First event where the cached PCU and the oracle disagreed."""
+
+    index: int
+    event: Event
+    cached: Outcome
+    oracle: Outcome
+
+    def describe(self) -> str:
+        return ("event %d (%s): cached=%s oracle=%s"
+                % (self.index, self.event.op,
+                   self.cached.to_dict(), self.oracle.to_dict()))
+
+
+class ConformanceWorld:
+    """One lockstep pair: cached PCU + oracle over shared tables."""
+
+    def __init__(
+        self,
+        backend: Backend,
+        config: PcuConfig,
+        stack_frames: int = STACK_FRAMES,
+        mutate: Optional[Callable[[PrivilegeCheckUnit], None]] = None,
+        oracle_only: bool = False,
+    ):
+        self.backend = backend
+        self.trusted_memory = TrustedMemory(base=TMEM_BASE, size=TMEM_SIZE)
+        self.pcu = PrivilegeCheckUnit(backend.isa_map, config,
+                                      self.trusted_memory)
+        self.manager = DomainManager(self.pcu)
+        self.manager.allocate_trusted_stack(frames=stack_frames)
+        self.oracle = OraclePcu(backend.isa_map, self.pcu.hpt, self.pcu.sgt,
+                                self.trusted_memory, stack_frames)
+        self.oracle_only = oracle_only
+        # Abstract domain slot -> live concrete domain id (None = dead).
+        self.slot_ids: Dict[int, Optional[int]] = {0: 0}
+        self._incarnation = 0
+        for slot in range(1, N_DOMAIN_SLOTS + 1):
+            self.slot_ids[slot] = self.manager.create_domain(
+                "slot%d" % slot).domain_id
+        if mutate is not None:
+            mutate(self.pcu)
+
+    # ------------------------------------------------------------------
+    # Event application.
+    # ------------------------------------------------------------------
+    def _outcome(self, status: str, pcu_side: bool, target: int = -1) -> Outcome:
+        if pcu_side:
+            return Outcome(status, self.pcu.current_domain,
+                           self.pcu.previous_domain,
+                           self.pcu.trusted_stack.depth, target)
+        return Outcome(status, self.oracle.domain, self.oracle.pdomain,
+                       self.oracle.depth, target)
+
+    def _run_side(self, fn, pcu_side: bool) -> Outcome:
+        try:
+            target = fn()
+        except PrivilegeFault as fault:
+            return self._outcome(type(fault).__name__, pcu_side)
+        return self._outcome("ok", pcu_side,
+                             target if isinstance(target, int) else -1)
+
+    def apply(self, event: Event) -> Tuple[Outcome, Outcome]:
+        """Apply one event to both implementations; return both outcomes."""
+        op = event.op
+        if op == "check":
+            access = self._access(event)
+
+            def run_cached_check() -> None:
+                self.pcu.check(access)  # stall cycles are not compared
+
+            cached = (self._skip(True) if self.oracle_only else
+                      self._run_side(run_cached_check, True))
+            oracle = self._run_side(lambda: self.oracle.check(access), False)
+            return cached, oracle
+        if op == "gate":
+            return self._apply_gate(event)
+        if op == "mem":
+            cached = (self._skip(True) if self.oracle_only else
+                      self._run_side(
+                          lambda: self.pcu.check_memory_access(event.address),
+                          True))
+            oracle = self._run_side(
+                lambda: self.oracle.check_memory_access(event.address), False)
+            return cached, oracle
+        if op == "pfch":
+            if not self.oracle_only:
+                target = (0 if event.csr < 0
+                          else self.backend.csr_index(event.csr))
+                self.pcu.prefetch(target)
+            return self._skip(True, "ok"), self._skip(False, "ok")
+        if op == "pflh":
+            if not self.oracle_only:
+                self.pcu.flush(CacheId(event.cache))
+            return self._skip(True, "ok"), self._skip(False, "ok")
+        return self._apply_reconfig(event)
+
+    def _skip(self, pcu_side: bool, status: str = "skip") -> Outcome:
+        return self._outcome(status, pcu_side)
+
+    def _access(self, event: Event) -> AccessInfo:
+        return AccessInfo(
+            inst_class=self.backend.inst_class(event.inst),
+            csr=None if event.csr < 0 else self.backend.csr_index(event.csr),
+            csr_read=event.read,
+            csr_write=event.write,
+            write_value=event.value if event.write else None,
+            old_value=event.old if event.write else None,
+        )
+
+    def _apply_gate(self, event: Event) -> Tuple[Outcome, Outcome]:
+        kind = _GATE_KINDS[event.kind]
+        pc = gate_address(event.gate)
+        if not event.site_ok:
+            pc += 8
+        return_address = event.address
+
+        def run_cached() -> int:
+            target, _stall = self.pcu.execute_gate(kind, event.gate, pc,
+                                                   return_address)
+            return target
+
+        cached = (self._skip(True) if self.oracle_only else
+                  self._run_side(run_cached, True))
+        oracle = self._run_side(
+            lambda: self.oracle.execute_gate(kind, event.gate, pc,
+                                             return_address),
+            False)
+        return cached, oracle
+
+    def _apply_reconfig(self, event: Event) -> Tuple[Outcome, Outcome]:
+        """Domain-0 management op on the shared tables (one application).
+
+        Events whose abstract target is dead (possible after shrinking
+        edits the stream) degrade to architectural no-ops so replay stays
+        total.
+        """
+        op = event.op
+        manager, backend = self.manager, self.backend
+        domain_id = self.slot_ids.get(event.domain)
+        status = "ok"
+        if op == "create_domain":
+            if domain_id is None:
+                self._incarnation += 1
+                self.slot_ids[event.domain] = manager.create_domain(
+                    "slot%d.%d" % (event.domain, self._incarnation)).domain_id
+            else:
+                status = "skip"
+        elif op == "destroy_domain":
+            if domain_id is not None and domain_id != 0:
+                manager.destroy_domain(domain_id)
+                self.slot_ids[event.domain] = None
+            else:
+                status = "skip"
+        elif op == "unregister_gate":
+            manager.unregister_gate(event.gate)
+        elif op == "register_gate":
+            if domain_id is None:
+                status = "skip"
+            else:
+                manager.register_gate(gate_address(event.gate),
+                                      destination_address(event.gate),
+                                      domain_id, gate_id=event.gate)
+        elif domain_id is None or domain_id == 0:
+            status = "skip"  # never reconfigure domain-0's privileges
+        elif op == "allow_inst":
+            manager.allow_instructions(domain_id,
+                                       [backend.inst_name(event.inst)])
+        elif op == "deny_inst":
+            manager.deny_instruction(domain_id, backend.inst_name(event.inst))
+        elif op == "grant_csr":
+            if event.read or event.write:
+                manager.grant_register(domain_id, backend.csr_name(event.csr),
+                                       read=event.read, write=event.write)
+            else:
+                status = "skip"
+        elif op == "revoke_csr":
+            manager.revoke_register(domain_id, backend.csr_name(event.csr),
+                                    read=event.read, write=event.write)
+        elif op == "set_mask":
+            manager.set_register_mask(
+                domain_id, backend.csr_name(len(backend.csr_names) - 1),
+                event.bits)
+        else:
+            raise ValueError("unknown conformance event op %r" % op)
+        return self._skip(True, status), self._skip(False, status)
+
+
+class DifferentialRunner:
+    """Replay / diff / shrink driver for one (backend, config) pair."""
+
+    def __init__(
+        self,
+        backend_name: str,
+        config: str = "stress",
+        stack_frames: int = STACK_FRAMES,
+        mutate: Optional[Callable[[PrivilegeCheckUnit], None]] = None,
+        oracle_only: bool = False,
+    ):
+        self.backend = make_backend(backend_name)
+        self.config_name = config
+        self.config = CONFORMANCE_CONFIGS[config]
+        self.stack_frames = stack_frames
+        self.mutate = mutate
+        self.oracle_only = oracle_only
+        self.outcomes: "Counter[str]" = Counter()
+
+    def _world(self) -> ConformanceWorld:
+        return ConformanceWorld(self.backend, self.config, self.stack_frames,
+                                self.mutate, self.oracle_only)
+
+    def replay(self, events: Sequence[Event],
+               count_outcomes: bool = False) -> Optional[Divergence]:
+        """Replay a stream; return the first divergence (or ``None``)."""
+        world = self._world()
+        for index, event in enumerate(events):
+            cached, oracle = world.apply(event)
+            if count_outcomes:
+                self.outcomes[oracle.status] += 1
+            if self.oracle_only:
+                continue
+            if cached != oracle:
+                return Divergence(index, event, cached, oracle)
+        return None
+
+    # ------------------------------------------------------------------
+    # Shrinking.
+    # ------------------------------------------------------------------
+    def shrink(self, events: Sequence[Event], divergence: Divergence,
+               replay_budget: int = 400) -> List[Event]:
+        """Delta-shrink to a (locally) minimal still-diverging stream."""
+        needle: List[Event] = list(events[: divergence.index + 1])
+        chunk = max(1, len(needle) // 2)
+        while chunk >= 1 and replay_budget > 0:
+            index = 0
+            while index < len(needle) and replay_budget > 0:
+                candidate = needle[:index] + needle[index + chunk:]
+                replay_budget -= 1
+                if candidate and self.replay(candidate) is not None:
+                    needle = candidate
+                else:
+                    index += chunk
+            if chunk == 1:
+                break
+            chunk //= 2
+        return needle
+
+    # ------------------------------------------------------------------
+    # Reproducer dump.
+    # ------------------------------------------------------------------
+    def dump_reproducer(
+        self,
+        path: str,
+        events: Sequence[Event],
+        divergence: Divergence,
+        seed: Optional[int] = None,
+    ) -> None:
+        manifest = {
+            str(slot): {
+                "instructions": sorted(entry["instructions"]),
+                "csrs": sorted(entry["csrs"]),
+                "mask": entry["mask"],
+            }
+            for slot, entry in self.backend.domain_manifest(events).items()
+        }
+        payload = {
+            "format": "isagrid-conformance-repro-v1",
+            "backend": self.backend.name,
+            "config": self.config_name,
+            "seed": seed,
+            "divergence": {
+                "index": divergence.index,
+                "event": divergence.event.to_dict(),
+                "cached": divergence.cached.to_dict(),
+                "oracle": divergence.oracle.to_dict(),
+            },
+            "events": [event.to_dict() for event in events],
+            "program": self.backend.render_program(events),
+            "domain_manifest": manifest,
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+
+
+def load_reproducer(path: str) -> Tuple[str, str, List[Event]]:
+    """Load a dumped reproducer; returns (backend, config, events)."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    events = [Event.from_dict(entry) for entry in payload["events"]]
+    return payload["backend"], payload["config"], events
+
+
+@dataclass
+class ConformanceResult:
+    """Result of one fuzzing run on one (backend, config) pair."""
+
+    backend: str
+    config: str
+    events: int
+    outcomes: Dict[str, int]
+    divergence: Optional[Divergence] = None
+    reproducer_path: Optional[str] = None
+
+    @property
+    def clean(self) -> bool:
+        return self.divergence is None
+
+
+def fuzz_backend(
+    backend_name: str,
+    seed: int,
+    count: int,
+    config: str = "stress",
+    mutate: Optional[Callable[[PrivilegeCheckUnit], None]] = None,
+    oracle_only: bool = False,
+    dump_dir: Optional[str] = None,
+) -> ConformanceResult:
+    """Generate a stream and differentially fuzz one backend."""
+    events = generate_events(seed, count)
+    runner = DifferentialRunner(backend_name, config=config, mutate=mutate,
+                                oracle_only=oracle_only)
+    divergence = runner.replay(events, count_outcomes=True)
+    result = ConformanceResult(backend_name, config, len(events),
+                               dict(runner.outcomes), divergence)
+    if divergence is not None:
+        shrunk = runner.shrink(events, divergence)
+        final = runner.replay(shrunk) or divergence
+        result.divergence = final
+        if dump_dir is not None:
+            path = "%s/conformance-repro-%s-%s-seed%d.json" % (
+                dump_dir, backend_name, config, seed)
+            runner.dump_reproducer(path, shrunk, final, seed=seed)
+            result.reproducer_path = path
+    return result

@@ -20,7 +20,7 @@ read that register instead of searching the CAM, cutting dynamic energy.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Hashable, List, Optional, Tuple
+from typing import Callable, Hashable, List, Optional, Tuple
 
 from .config import PcuConfig
 from .errors import GateFault
@@ -57,6 +57,18 @@ class FullyAssociativeCache:
 
     def invalidate(self, tag: Hashable) -> None:
         self._entries.pop(tag, None)
+
+    def invalidate_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose tag satisfies ``predicate``.
+
+        Reconfiguration needs group invalidation — e.g. sweeping every
+        cached word of one domain — which an exact-tag :meth:`invalidate`
+        cannot express.  Returns the number of entries dropped.
+        """
+        victims = [tag for tag in self._entries if predicate(tag)]
+        for tag in victims:
+            del self._entries[tag]
+        return len(victims)
 
     def flush(self) -> None:
         self._entries.clear()

@@ -134,19 +134,24 @@ class DomainManager:
             domain_id, [self.isa_map.inst_class(n) for n in names]
         )
         descriptor.instructions.update(names)
+        # Grants need invalidation too: a word cached while the class was
+        # denied would keep faulting the freshly-granted instruction.
+        self.pcu.invalidate_privileges(domain_id, regs=False, masks=False)
         self._refresh_policy(descriptor)
 
     def allow_all_instructions(self, domain_id: int) -> None:
         descriptor = self._descriptor(domain_id)
         self.pcu.hpt.allow_all_instructions(domain_id)
         descriptor.instructions.update(self.isa_map.inst_class_names)
+        self.pcu.invalidate_privileges(domain_id, regs=False, masks=False)
         self._refresh_policy(descriptor)
 
     def deny_instruction(self, domain_id: int, class_name: str) -> None:
         descriptor = self._descriptor(domain_id)
         self.pcu.hpt.deny_instruction(domain_id, self.isa_map.inst_class(class_name))
         descriptor.instructions.discard(class_name)
-        self.pcu.flush()  # revocation: drop stale cached privileges
+        # Revocation: drop stale cached privileges of this domain only.
+        self.pcu.invalidate_privileges(domain_id, regs=False, masks=False)
 
     def grant_register(
         self, domain_id: int, csr_name: str, *, read: bool = False, write: bool = False
@@ -163,6 +168,7 @@ class DomainManager:
                 width = self.isa_map.csr_descriptor(csr).width
                 self.pcu.hpt.set_mask(domain_id, csr, (1 << width) - 1)
                 descriptor.bit_grants[csr_name] = (1 << width) - 1
+        self.pcu.invalidate_privileges(domain_id, inst=False)
         self._refresh_policy(descriptor)
 
     def grant_register_bits(self, domain_id: int, csr_name: str, bits: int) -> None:
@@ -177,6 +183,20 @@ class DomainManager:
         self.pcu.hpt.allow_bits(domain_id, csr, bits)
         descriptor.writable_csrs.add(csr_name)
         descriptor.bit_grants[csr_name] = descriptor.bit_grants.get(csr_name, 0) | bits
+        self.pcu.invalidate_privileges(domain_id, inst=False)
+        self._refresh_policy(descriptor)
+
+    def set_register_mask(self, domain_id: int, csr_name: str, mask: int) -> None:
+        """Set the *exact* write mask of a bitwise CSR (replacing grants)."""
+        descriptor = self._descriptor(domain_id)
+        csr = self.isa_map.csr_index(csr_name)
+        if self.isa_map.mask_slot(csr) is None:
+            raise ConfigurationError(
+                "CSR %s is not bitwise-controlled" % csr_name
+            )
+        self.pcu.hpt.set_mask(domain_id, csr, mask)
+        descriptor.bit_grants[csr_name] = mask
+        self.pcu.invalidate_privileges(domain_id, inst=False)
         self._refresh_policy(descriptor)
 
     def revoke_register(
@@ -192,7 +212,26 @@ class DomainManager:
             if self.isa_map.mask_slot(csr) is not None:
                 self.pcu.hpt.set_mask(domain_id, csr, 0)
                 descriptor.bit_grants.pop(csr_name, None)
-        self.pcu.flush()  # revocation: drop stale cached privileges
+        # Revocation: drop stale cached privileges of this domain only.
+        self.pcu.invalidate_privileges(domain_id, inst=False)
+
+    def destroy_domain(self, domain_id: int) -> None:
+        """Retire a domain: revoke every privilege and drop its gates.
+
+        Domain ids are never reused (the allocator is monotonic), but the
+        HPT words are zeroed write-through and the privilege caches swept
+        so no refill can resurrect the dead domain's grants.
+        """
+        if domain_id == DOMAIN_0:
+            raise ConfigurationError("domain-0 cannot be destroyed")
+        descriptor = self._descriptor(domain_id)
+        self.pcu.hpt.clear_domain(domain_id)
+        for gate_id, entry in list(self.gates.items()):
+            if entry.destination_domain == domain_id:
+                self.unregister_gate(gate_id)
+        self.pcu.invalidate_privileges(domain_id)
+        del self.domains[domain_id]
+        del self._names[descriptor.name]
 
     def _descriptor(self, domain_id: int) -> DomainDescriptor:
         try:
@@ -211,11 +250,18 @@ class DomainManager:
         gate_address: int,
         destination_address: int,
         destination_domain: int,
+        *,
+        gate_id: Optional[int] = None,
     ) -> int:
-        """Register an unforgeable switching gate; returns the gate id."""
+        """Register an unforgeable switching gate; returns the gate id.
+
+        Passing ``gate_id`` re-registers an existing slot (e.g. after a
+        module reload); the stale SGT-cache entry is invalidated so the
+        next ``hccall`` sees the new triple.
+        """
         self._descriptor(destination_domain)  # destination must exist
         entry = self.pcu.sgt.register(
-            gate_address, destination_address, destination_domain
+            gate_address, destination_address, destination_domain, gate_id=gate_id
         )
         self.policy(self, entry)
         self.gates[entry.gate_id] = entry

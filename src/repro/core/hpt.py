@@ -195,6 +195,23 @@ class HybridPrivilegeTable:
         masks.allow_bits(slot, bits)
         self._sync_mask(domain, slot)
 
+    def clear_domain(self, domain: int) -> None:
+        """Zero every privilege of one domain (write-through).
+
+        Used when domain-0 retires a domain: the id is never reused, but
+        the trusted-memory words must not keep granting privileges to a
+        PCU refill racing the teardown.
+        """
+        self._check_domain(domain)
+        self._inst[domain] = InstructionBitmap(self.isa_map.n_inst_classes)
+        self._sync_inst(domain)
+        self._regs[domain] = RegisterBitmap(self.isa_map.n_csrs)
+        self._sync_regs(domain)
+        if self.mask_words_per_domain:
+            self._masks[domain] = BitMaskArray(self.isa_map.n_masked_csrs)
+            for slot in range(self.mask_words_per_domain):
+                self._sync_mask(domain, slot)
+
     def set_all_masks(self, domain: int, mask: int) -> None:
         masks = self._mask_array(domain)
         for slot in range(self.isa_map.n_masked_csrs):

@@ -347,6 +347,39 @@ class PrivilegeCheckUnit:
         if cache_id is CacheId.ALL and self.draco is not None:
             self.draco.flush()
 
+    def invalidate_privileges(
+        self,
+        domain: Optional[int] = None,
+        *,
+        inst: bool = True,
+        regs: bool = True,
+        masks: bool = True,
+    ) -> None:
+        """Coherence sweep after domain-0 edits the HPT.
+
+        A cached word filled before the edit would keep granting (or
+        denying) the *old* privileges, so every HPT mutation must drop
+        the affected entries.  Tags in all three HPT caches (and keys in
+        the Draco cache) lead with the domain id, so one predicate sweep
+        per module covers every group the domain shares.  ``domain=None``
+        sweeps every domain.
+        """
+        def hits(tag) -> bool:
+            return domain is None or tag[0] == domain
+
+        if inst:
+            self.hpt_cache.inst.invalidate_where(hits)
+            if domain is None or self.bypass.loaded_domain == domain:
+                self.bypass.invalidate()
+        if regs:
+            self.hpt_cache.reg.invalidate_where(hits)
+        if masks:
+            self.hpt_cache.mask.invalidate_where(hits)
+        if self.draco is not None:
+            # Draco caches whole proven-legal tuples; any privilege edit
+            # can retroactively falsify them.
+            self.draco.invalidate_where(hits)
+
     # ------------------------------------------------------------------
     # Trusted memory enforcement (Section 4.5).
     # ------------------------------------------------------------------

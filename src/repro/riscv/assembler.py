@@ -122,7 +122,10 @@ def _li_sequence(rd: int, value: int, line: int) -> List[Tuple[str, dict]]:
     value = sign_extend(value & (1 << 64) - 1, 64)
     if -2048 <= value < 2048:
         return [("addi", {"rd": rd, "rs1": 0, "imm": value})]
-    if -(1 << 31) <= value < 1 << 31:
+    # lui+addi only reaches values whose rounded-up upper 20 bits still fit
+    # in 32 bits signed: on RV64, lui 0x80000 sign-extends negative, so
+    # [0x7FFFF800, 0x80000000) must take the wide path below.
+    if -(1 << 31) <= value < (1 << 31) - 0x800:
         upper = (value + 0x800) & 0xFFFFFFFF
         upper &= 0xFFFFF000
         out = [("lui", {"rd": rd, "imm": upper})]

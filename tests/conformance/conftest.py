@@ -1,0 +1,11 @@
+"""Shared fixtures: lockstep (cached PCU, oracle) worlds."""
+
+import pytest
+
+from repro.conformance import CONFORMANCE_CONFIGS, ConformanceWorld, make_backend
+
+
+@pytest.fixture
+def world():
+    """A riscv world under the 2-entry stress config (worst for staleness)."""
+    return ConformanceWorld(make_backend("riscv"), CONFORMANCE_CONFIGS["stress"])

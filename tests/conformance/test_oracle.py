@@ -1,0 +1,231 @@
+"""The oracle PCU: the cache-free executable spec, tested on its own.
+
+These tests pin the oracle's semantics directly — fault subclasses,
+gate ordering, trusted-stack behaviour — so a differential-run failure
+can always be attributed to the cached implementation, not to a drifting
+spec.
+"""
+
+import pytest
+
+from repro.conformance.generator import destination_address, gate_address
+from repro.core import (
+    AccessInfo,
+    BitMaskViolationFault,
+    ConfigurationError,
+    GateFault,
+    GateKind,
+    InstructionPrivilegeFault,
+    RegisterReadFault,
+    RegisterWriteFault,
+    TrustedMemoryFault,
+    TrustedStackFault,
+)
+from repro.core.pcu import DOMAIN_0
+
+#: riscv backend slot bindings (see make_backend): instruction slot 2 is
+#: the "csr" class, CSR slot 4 is the bitwise-controlled sstatus.
+CSR_CLASS_SLOT = 2
+MASKED_SLOT = 4
+
+
+def access(world, inst_slot, csr_slot=None, read=False, write=False,
+           old=0, new=0):
+    backend = world.backend
+    return AccessInfo(
+        inst_class=backend.inst_class(inst_slot),
+        csr=None if csr_slot is None else backend.csr_index(csr_slot),
+        csr_read=read,
+        csr_write=write,
+        write_value=new if write else None,
+        old_value=old if write else None,
+    )
+
+
+class TestInstructionCheck:
+    def test_domain0_always_passes(self, world):
+        for slot in range(len(world.backend.inst_slots)):
+            world.oracle.check(access(world, slot))  # no fault
+
+    def test_fresh_domain_has_no_privileges(self, world):
+        world.oracle.domain = world.slot_ids[1]
+        with pytest.raises(InstructionPrivilegeFault):
+            world.oracle.check(access(world, 0))
+
+    def test_grant_is_visible_immediately(self, world):
+        domain = world.slot_ids[1]
+        world.manager.allow_instructions(domain, [world.backend.inst_name(0)])
+        world.oracle.domain = domain
+        world.oracle.check(access(world, 0))
+        with pytest.raises(InstructionPrivilegeFault):
+            world.oracle.check(access(world, 1))
+
+    def test_deny_is_visible_immediately(self, world):
+        domain = world.slot_ids[1]
+        world.manager.allow_instructions(domain, [world.backend.inst_name(0)])
+        world.oracle.domain = domain
+        world.oracle.check(access(world, 0))
+        world.manager.deny_instruction(domain, world.backend.inst_name(0))
+        with pytest.raises(InstructionPrivilegeFault):
+            world.oracle.check(access(world, 0))
+
+
+class TestCsrCheck:
+    @pytest.fixture
+    def domain(self, world):
+        domain = world.slot_ids[1]
+        world.manager.allow_instructions(
+            domain, [world.backend.inst_name(CSR_CLASS_SLOT)])
+        world.oracle.domain = domain
+        return domain
+
+    def test_read_needs_read_bit(self, world, domain):
+        with pytest.raises(RegisterReadFault):
+            world.oracle.check(access(world, CSR_CLASS_SLOT, 0, read=True))
+        world.manager.grant_register(domain, world.backend.csr_name(0),
+                                     read=True)
+        world.oracle.check(access(world, CSR_CLASS_SLOT, 0, read=True))
+
+    def test_plain_write_needs_write_bit(self, world, domain):
+        world.manager.grant_register(domain, world.backend.csr_name(0),
+                                     read=True)
+        with pytest.raises(RegisterWriteFault):
+            world.oracle.check(access(world, CSR_CLASS_SLOT, 0, write=True,
+                                      old=0, new=1))
+        world.manager.grant_register(domain, world.backend.csr_name(0),
+                                     write=True)
+        world.oracle.check(access(world, CSR_CLASS_SLOT, 0, write=True,
+                                  old=0, new=1))
+
+    def test_masked_csr_uses_mask_not_write_bit(self, world, domain):
+        csr_name = world.backend.csr_name(MASKED_SLOT)
+        world.manager.set_register_mask(domain, csr_name, 0b1010)
+        world.oracle.check(access(world, CSR_CLASS_SLOT, MASKED_SLOT,
+                                  write=True, old=0b0000, new=0b1010))
+        with pytest.raises(BitMaskViolationFault):
+            world.oracle.check(access(world, CSR_CLASS_SLOT, MASKED_SLOT,
+                                      write=True, old=0b0000, new=0b0100))
+
+    def test_identity_write_always_within_mask(self, world, domain):
+        value = 0xDEAD_BEEF
+        world.oracle.check(access(world, CSR_CLASS_SLOT, MASKED_SLOT,
+                                  write=True, old=value, new=value))
+
+    def test_masked_csr_read_still_uses_read_bit(self, world, domain):
+        world.manager.set_register_mask(
+            domain, world.backend.csr_name(MASKED_SLOT), (1 << 64) - 1)
+        with pytest.raises(RegisterReadFault):
+            world.oracle.check(access(world, CSR_CLASS_SLOT, MASKED_SLOT,
+                                      read=True))
+
+    def test_masked_write_requires_values(self, world, domain):
+        info = AccessInfo(
+            inst_class=world.backend.inst_class(CSR_CLASS_SLOT),
+            csr=world.backend.csr_index(MASKED_SLOT),
+            csr_write=True,
+        )
+        with pytest.raises(ConfigurationError):
+            world.oracle.check(info)
+
+
+class TestGates:
+    @pytest.fixture
+    def gated(self, world):
+        """Gate 0 registered into domain slot 1 at its frozen address."""
+        world.manager.register_gate(gate_address(0), destination_address(0),
+                                    world.slot_ids[1], gate_id=0)
+        return world
+
+    def test_hccall_switches_domain(self, gated):
+        target = gated.oracle.execute_gate(GateKind.HCCALL, 0,
+                                           gate_address(0))
+        assert target == destination_address(0)
+        assert gated.oracle.domain == gated.slot_ids[1]
+        assert gated.oracle.pdomain == DOMAIN_0
+        assert gated.oracle.depth == 0  # hccall does not push
+
+    def test_wrong_call_site_faults(self, gated):
+        with pytest.raises(GateFault) as excinfo:
+            gated.oracle.execute_gate(GateKind.HCCALL, 0, gate_address(0) + 8)
+        assert type(excinfo.value) is GateFault
+        assert gated.oracle.domain == DOMAIN_0  # no switch happened
+
+    def test_unregistered_gate_faults(self, gated):
+        with pytest.raises(GateFault):
+            gated.oracle.execute_gate(GateKind.HCCALL, 5, gate_address(5))
+
+    def test_hccalls_pushes_and_hcrets_pops(self, world):
+        first = world.slot_ids[1]
+        world.manager.register_gate(gate_address(0), destination_address(0),
+                                    first, gate_id=0)
+        world.manager.register_gate(gate_address(1), destination_address(1),
+                                    world.slot_ids[2], gate_id=1)
+        world.oracle.execute_gate(GateKind.HCCALLS, 0, gate_address(0),
+                                  return_address=0x9000)
+        world.oracle.execute_gate(GateKind.HCCALLS, 1, gate_address(1),
+                                  return_address=0x9008)
+        assert world.oracle.depth == 2
+        assert world.oracle.execute_gate(GateKind.HCRETS, -1, 0x5000) == 0x9008
+        assert world.oracle.domain == first
+        assert world.oracle.depth == 1
+
+    def test_hccalls_requires_return_address(self, gated):
+        with pytest.raises(ConfigurationError):
+            gated.oracle.execute_gate(GateKind.HCCALLS, 0, gate_address(0))
+
+    def test_overflow_rejected_before_any_mutation(self, world):
+        domain = world.slot_ids[1]
+        world.manager.register_gate(gate_address(0), destination_address(0),
+                                    domain, gate_id=0)
+        world.oracle.domain = domain  # frames carry a non-zero caller
+        for i in range(world.oracle.stack_frames):
+            world.oracle.execute_gate(GateKind.HCCALLS, 0, gate_address(0),
+                                      return_address=0x9000 + 8 * i)
+        depth = world.oracle.depth
+        with pytest.raises(TrustedStackFault) as excinfo:
+            world.oracle.execute_gate(GateKind.HCCALLS, 0, gate_address(0),
+                                      return_address=0x9999)
+        assert type(excinfo.value) is TrustedStackFault
+        assert world.oracle.depth == depth       # nothing pushed
+        assert world.oracle.domain == domain     # no switch happened
+
+    def test_underflow_faults_exactly(self, world):
+        with pytest.raises(TrustedStackFault) as excinfo:
+            world.oracle.execute_gate(GateKind.HCRETS, -1, 0x5000)
+        assert type(excinfo.value) is TrustedStackFault
+
+    def test_return_to_domain0_banned_but_frame_consumed(self, gated):
+        # hccalls from domain-0 records a domain-0 caller frame; the later
+        # hcrets must refuse the return yet still pop the frame (matching
+        # the real PCU's pop-then-check ordering).
+        gated.oracle.execute_gate(GateKind.HCCALLS, 0, gate_address(0),
+                                  return_address=0x9000)
+        assert gated.oracle.depth == 1
+        with pytest.raises(GateFault):
+            gated.oracle.execute_gate(GateKind.HCRETS, -1, 0x5000)
+        assert gated.oracle.depth == 0
+
+
+class TestMemoryAndReset:
+    def test_domain0_may_touch_trusted_memory(self, world):
+        world.oracle.check_memory_access(world.trusted_memory.base)
+
+    def test_other_domains_rejected(self, world):
+        world.oracle.domain = world.slot_ids[1]
+        with pytest.raises(TrustedMemoryFault):
+            world.oracle.check_memory_access(world.trusted_memory.base)
+        world.oracle.check_memory_access(0x4000)  # outside is unrestricted
+
+    def test_disabled_oracle_checks_nothing(self, world):
+        world.oracle.domain = world.slot_ids[1]
+        world.oracle.enabled = False
+        world.oracle.check_memory_access(world.trusted_memory.base)
+        world.oracle.check(access(world, 0))
+
+    def test_reset(self, world):
+        world.oracle.domain = world.slot_ids[1]
+        world.oracle.stack.append((0x9000, 1))
+        world.oracle.reset()
+        assert world.oracle.domain == DOMAIN_0
+        assert world.oracle.pdomain == DOMAIN_0
+        assert world.oracle.depth == 0

@@ -1,0 +1,180 @@
+"""The differential runner: clean runs, mutation smoke checks, shrinking.
+
+The mutation smoke checks are the acceptance test of the whole
+subsystem: an intentionally injected cache-fill bug (and, separately, a
+suppressed coherence sweep) must produce a divergence, shrink to a small
+reproducer, and round-trip through the JSON dump.
+"""
+
+import json
+
+import pytest
+
+from repro.conformance import (
+    BACKEND_NAMES,
+    CONFORMANCE_CONFIGS,
+    ConformanceWorld,
+    DifferentialRunner,
+    Event,
+    fuzz_backend,
+    generate_events,
+    load_reproducer,
+    make_backend,
+)
+
+
+def corrupt_inst_fills(pcu):
+    """The canonical injected bug: every instruction-bitmap cache fill
+    flips the allow-bit of class 0."""
+    cache = pcu.hpt_cache.inst
+    original = cache.fill
+    cache.fill = lambda tag, payload: original(tag, payload ^ 1)
+
+
+def suppress_invalidation(pcu):
+    """A coherence bug: reconfiguration never sweeps the caches, so
+    stale fills outlive the HPT edits they contradict."""
+    pcu.invalidate_privileges = lambda *args, **kwargs: None
+
+
+class TestEventStreams:
+    def test_generation_is_deterministic(self):
+        assert generate_events(11, 200) == generate_events(11, 200)
+        assert generate_events(11, 200) != generate_events(12, 200)
+
+    def test_events_roundtrip_through_json(self):
+        for event in generate_events(5, 150):
+            encoded = json.loads(json.dumps(event.to_dict()))
+            assert Event.from_dict(encoded) == event
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    @pytest.mark.parametrize("config", ("stress", "draco", "flush"))
+    def test_zero_divergences(self, backend, config):
+        result = fuzz_backend(backend, seed=1, count=600, config=config)
+        assert result.clean, result.divergence.describe()
+        assert result.outcomes.get("ok", 0) > 0
+        assert any(key.endswith("Fault") for key in result.outcomes)
+
+    def test_cross_isa_outcomes_identical(self):
+        """One abstract stream must produce the same outcome sequence on
+        both backends — the privilege model is ISA-independent."""
+        events = generate_events(3, 400)
+        statuses = {}
+        for name in BACKEND_NAMES:
+            world = ConformanceWorld(make_backend(name),
+                                     CONFORMANCE_CONFIGS["stress"])
+            outcomes = [world.apply(event) for event in events]
+            for cached, oracle in outcomes:
+                assert cached == oracle
+            statuses[name] = [oracle.status for _, oracle in outcomes]
+        assert statuses["riscv"] == statuses["x86"]
+
+    def test_oracle_only_never_diverges(self):
+        """--oracle-only replays the spec alone, even under a mutation."""
+        runner = DifferentialRunner("riscv", config="stress",
+                                    mutate=corrupt_inst_fills,
+                                    oracle_only=True)
+        assert runner.replay(generate_events(0, 300),
+                             count_outcomes=True) is None
+        assert sum(runner.outcomes.values()) == len(generate_events(0, 300))
+
+
+class TestMutationSmoke:
+    def test_cache_fill_corruption_is_caught(self, tmp_path):
+        result = fuzz_backend("riscv", 0, 400, config="stress",
+                              mutate=corrupt_inst_fills,
+                              dump_dir=str(tmp_path))
+        assert not result.clean
+        assert result.divergence.cached.status != result.divergence.oracle.status
+        assert result.reproducer_path is not None
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_corruption_caught_on_both_backends(self, backend):
+        result = fuzz_backend(backend, 0, 400, config="stress",
+                              mutate=corrupt_inst_fills)
+        assert not result.clean
+
+    def test_suppressed_invalidation_is_caught(self):
+        result = fuzz_backend("riscv", 0, 400, config="stress",
+                              mutate=suppress_invalidation)
+        assert not result.clean
+
+    def test_shrink_produces_smaller_diverging_stream(self):
+        events = generate_events(0, 400)
+        runner = DifferentialRunner("riscv", config="stress",
+                                    mutate=corrupt_inst_fills)
+        divergence = runner.replay(events)
+        assert divergence is not None
+        shrunk = runner.shrink(events, divergence)
+        assert len(shrunk) < len(events)
+        assert runner.replay(shrunk) is not None
+        # the stream really is minimal-ish: the bug needs a handful of
+        # events (configure, enter a domain, check), not hundreds
+        assert len(shrunk) <= divergence.index + 1
+
+    def test_reproducer_roundtrip(self, tmp_path):
+        result = fuzz_backend("riscv", 0, 400, config="stress",
+                              mutate=corrupt_inst_fills,
+                              dump_dir=str(tmp_path))
+        backend, config, events = load_reproducer(result.reproducer_path)
+        assert (backend, config) == ("riscv", "stress")
+        # the dumped stream still diverges under the mutation...
+        mutated = DifferentialRunner(backend, config=config,
+                                     mutate=corrupt_inst_fills)
+        assert mutated.replay(events) is not None
+        # ...and is clean on the unmutated implementation
+        assert DifferentialRunner(backend, config=config).replay(events) is None
+
+    def test_reproducer_payload_is_self_describing(self, tmp_path):
+        result = fuzz_backend("riscv", 0, 400, config="stress",
+                              mutate=corrupt_inst_fills,
+                              dump_dir=str(tmp_path))
+        with open(result.reproducer_path) as handle:
+            payload = json.load(handle)
+        assert payload["format"] == "isagrid-conformance-repro-v1"
+        assert payload["seed"] == 0
+        assert len(payload["program"]) == len(payload["events"])
+        assert payload["divergence"]["cached"] != payload["divergence"]["oracle"]
+
+
+class TestReconfigureCoherence:
+    """Satellite regression: after any reconfigure, the cached PCU must
+    agree with the oracle on the very next check (no stale fills)."""
+
+    def _enter_slot1(self, world):
+        world.apply(Event("register_gate", gate=0, domain=1))
+        cached, oracle = world.apply(
+            Event("gate", kind="hccall", gate=0, site_ok=True))
+        assert cached == oracle and cached.status == "ok"
+
+    def _check(self, world, expected_status):
+        cached, oracle = world.apply(Event("check", inst=0))
+        assert cached == oracle
+        assert cached.status == expected_status
+
+    def test_grant_after_cached_denial(self, world):
+        self._enter_slot1(world)
+        self._check(world, "InstructionPrivilegeFault")  # caches the denial
+        world.apply(Event("allow_inst", domain=1, inst=0))
+        self._check(world, "ok")  # the very next check sees the grant
+
+    def test_deny_after_cached_grant(self, world):
+        world.apply(Event("allow_inst", domain=1, inst=0))
+        self._enter_slot1(world)
+        self._check(world, "ok")  # caches the grant
+        world.apply(Event("deny_inst", domain=1, inst=0))
+        self._check(world, "InstructionPrivilegeFault")
+
+    def test_destroyed_domain_grants_do_not_resurrect(self, world):
+        world.apply(Event("allow_inst", domain=1, inst=0))
+        self._enter_slot1(world)
+        self._check(world, "ok")
+        # kill the domain and recreate the slot: the fresh incarnation
+        # starts de-privileged and no refill may say otherwise
+        cached, oracle = world.apply(Event("destroy_domain", domain=1))
+        assert cached == oracle and cached.status == "ok"
+        world.apply(Event("create_domain", domain=1))
+        self._enter_slot1(world)
+        self._check(world, "InstructionPrivilegeFault")

@@ -68,6 +68,32 @@ class TestFullyAssociativeCache:
         with pytest.raises(ValueError):
             FullyAssociativeCache(0)
 
+    def test_invalidate_where_matching_only(self):
+        cache = FullyAssociativeCache(4)
+        cache.fill((1, 0), "a")
+        cache.fill((1, 1), "b")
+        cache.fill((2, 0), "c")
+        assert cache.invalidate_where(lambda tag: tag[0] == 1) == 2
+        assert cache.lookup((1, 0)) is None
+        assert cache.lookup((1, 1)) is None
+        assert cache.lookup((2, 0)) == "c"
+
+    def test_invalidate_where_no_match(self):
+        cache = FullyAssociativeCache(2)
+        cache.fill("a", 1)
+        assert cache.invalidate_where(lambda tag: False) == 0
+        assert cache.lookup("a") == 1
+
+    def test_invalidate_where_preserves_survivor_lru(self):
+        cache = FullyAssociativeCache(2)
+        cache.fill("a", 1)
+        cache.fill("b", 2)
+        cache.invalidate_where(lambda tag: tag == "a")
+        cache.fill("c", 3)
+        cache.fill("d", 4)  # evicts "b", the LRU survivor
+        assert cache.lookup("b") is None
+        assert cache.lookup("c") == 3 and cache.lookup("d") == 4
+
     @given(st.lists(st.integers(min_value=0, max_value=20), max_size=200))
     def test_never_exceeds_capacity(self, accesses):
         cache = FullyAssociativeCache(4)

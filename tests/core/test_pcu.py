@@ -258,6 +258,56 @@ class TestCacheManagement:
         assert pcu.bypass.loaded_domain == kernel_domain.domain_id
 
 
+class TestInvalidatePrivileges:
+    def _warm(self, pcu, domain):
+        pcu.hpt_cache.inst_word(domain, 0, pcu.stats.inst_cache)
+        pcu.hpt_cache.reg_word(domain, 0, pcu.stats.reg_cache)
+        pcu.hpt_cache.mask_word(domain, 0, pcu.stats.mask_cache)
+
+    def test_sweeps_one_domain_only(self, pcu):
+        self._warm(pcu, 1)
+        self._warm(pcu, 2)
+        pcu.invalidate_privileges(1)
+        assert pcu.hpt_cache.inst.lookup((1, 0)) is None
+        assert pcu.hpt_cache.reg.lookup((1, 0)) is None
+        assert pcu.hpt_cache.mask.lookup((1, 0)) is None
+        assert pcu.hpt_cache.inst.lookup((2, 0)) is not None
+
+    def test_none_sweeps_everything(self, pcu):
+        self._warm(pcu, 1)
+        self._warm(pcu, 2)
+        pcu.invalidate_privileges()
+        for cache in (pcu.hpt_cache.inst, pcu.hpt_cache.reg, pcu.hpt_cache.mask):
+            assert len(cache) == 0
+
+    def test_bypass_dropped_only_for_its_domain(self, pcu):
+        pcu.bypass.load(1, [0b1])
+        pcu.invalidate_privileges(2)
+        assert pcu.bypass.loaded_domain == 1
+        pcu.invalidate_privileges(1)
+        assert pcu.bypass.loaded_domain is None
+
+    def test_grant_after_cached_denial_takes_effect(
+        self, pcu, manager, isa_map, kernel_domain
+    ):
+        """The stale-denial regression: a word cached while a class was
+        denied must not keep faulting after domain-0 grants it."""
+        enter(pcu, manager, kernel_domain.domain_id)
+        with pytest.raises(InstructionPrivilegeFault):
+            pcu.check(AccessInfo(inst_class=isa_map.inst_class("sysop")))
+        manager.allow_instructions(kernel_domain.domain_id, ["sysop"])
+        pcu.check(AccessInfo(inst_class=isa_map.inst_class("sysop")))
+
+    def test_revoke_after_cached_grant_takes_effect(
+        self, pcu, manager, isa_map, kernel_domain
+    ):
+        enter(pcu, manager, kernel_domain.domain_id)
+        pcu.check(AccessInfo(inst_class=isa_map.inst_class("alu")))
+        manager.deny_instruction(kernel_domain.domain_id, "alu")
+        with pytest.raises(InstructionPrivilegeFault):
+            pcu.check(AccessInfo(inst_class=isa_map.inst_class("alu")))
+
+
 class TestTrustedMemoryEnforcement:
     def test_domain0_may_touch_trusted_memory(self, pcu):
         pcu.check_memory_access(pcu.trusted_memory.base)

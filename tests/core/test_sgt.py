@@ -79,3 +79,84 @@ class TestReadEntry:
         entry = sgt.read_entry(0)
         assert entry.matches_call_site(0x1000)
         assert not entry.matches_call_site(0x1004)
+
+
+class TestDuplicateRegistration:
+    def test_reregistration_replaces_the_triple(self, sgt):
+        """Registering the same slot twice overwrites the frozen triple —
+        the slot-reuse idiom for reloaded modules."""
+        sgt.register(0x1000, 0x2000, 1, gate_id=0)
+        sgt.register(0x3000, 0x4000, 2, gate_id=0)
+        entry = sgt.read_entry(0)
+        assert entry.gate_address == 0x3000
+        assert entry.destination_address == 0x4000
+        assert entry.destination_domain == 2
+        assert sgt.gate_nr == 1  # still one slot handed out
+
+    def test_reregistration_revokes_old_call_site(self, sgt):
+        sgt.register(0x1000, 0x2000, 1, gate_id=0)
+        sgt.register(0x3000, 0x4000, 2, gate_id=0)
+        assert not sgt.read_entry(0).matches_call_site(0x1000)
+
+    def test_unregister_then_reuse_slot(self, sgt):
+        sgt.register(0x1000, 0x2000, 1, gate_id=0)
+        sgt.unregister(0)
+        with pytest.raises(GateFault):
+            sgt.read_entry(0)
+        sgt.register(0x5000, 0x6000, 3, gate_id=0)
+        assert sgt.read_entry(0).destination_domain == 3
+
+
+class TestGateEdgeCasesThroughPcu:
+    """Exact fault subclasses for the hostile gate sequences the fuzzer
+    replays: wrong call sites, dead gate ids, empty-stack returns."""
+
+    @pytest.fixture
+    def guest(self, pcu, manager):
+        manager.allocate_trusted_stack(frames=4)
+        return manager.create_domain("guest")
+
+    def test_reregistered_gate_switches_to_new_destination(
+        self, pcu, manager, guest
+    ):
+        from repro.core import GateKind
+
+        other = manager.create_domain("other")
+        gate = manager.register_gate(0x1000, 0x2000, guest.domain_id)
+        pcu.execute_gate(GateKind.HCCALL, gate, 0x1000)  # warm the SGT cache
+        manager.register_gate(0x7000, 0x8000, other.domain_id, gate_id=gate)
+        # the stale cached entry must not serve the old call site...
+        with pytest.raises(GateFault) as excinfo:
+            pcu.execute_gate(GateKind.HCCALL, gate, 0x1000)
+        assert type(excinfo.value) is GateFault
+        # ...and the new triple is live immediately
+        target, _ = pcu.execute_gate(GateKind.HCCALL, gate, 0x7000)
+        assert target == 0x8000
+        assert pcu.current_domain == other.domain_id
+
+    def test_hccall_at_non_registered_address_faults(self, pcu, manager, guest):
+        from repro.core import GateKind
+
+        gate = manager.register_gate(0x1000, 0x2000, guest.domain_id)
+        with pytest.raises(GateFault) as excinfo:
+            pcu.execute_gate(GateKind.HCCALL, gate, 0x1008)
+        assert type(excinfo.value) is GateFault
+        assert excinfo.value.domain == 0
+        assert pcu.current_domain == 0  # the switch never happened
+
+    def test_hccall_on_unregistered_id_faults(self, pcu, manager, guest):
+        from repro.core import GateKind
+
+        with pytest.raises(GateFault) as excinfo:
+            pcu.execute_gate(GateKind.HCCALL, 6, 0x9000)
+        assert type(excinfo.value) is GateFault
+
+    def test_hcrets_with_empty_trusted_stack_faults(self, pcu, manager, guest):
+        from repro.core import GateKind, TrustedStackFault
+
+        gate = manager.register_gate(0x1000, 0x2000, guest.domain_id)
+        pcu.execute_gate(GateKind.HCCALL, gate, 0x1000)  # hccall: no frame
+        with pytest.raises(TrustedStackFault) as excinfo:
+            pcu.execute_gate(GateKind.HCRETS, 0, 0x2000)
+        assert type(excinfo.value) is TrustedStackFault
+        assert pcu.current_domain == guest.domain_id  # still in the callee

@@ -144,3 +144,76 @@ class TestTrustedStack:
         registers.hcsp = registers.hcsb  # simulate a different thread
         trusted_stack.restore_context(context)
         assert trusted_stack.pop() == (5, 1)
+
+    def test_overflow_preserves_existing_frames(self, stack):
+        trusted_stack, _ = stack
+        for i in range(4):
+            trusted_stack.push(0x1000 + i, i + 1)
+        with pytest.raises(TrustedStackFault):
+            trusted_stack.push(0x9999, 9)
+        assert trusted_stack.depth == 4
+        assert trusted_stack.pop() == (0x1003, 4)  # top frame untouched
+
+    def test_underflow_after_drain(self, stack):
+        trusted_stack, _ = stack
+        trusted_stack.push(1, 1)
+        trusted_stack.pop()
+        with pytest.raises(TrustedStackFault):
+            trusted_stack.pop()
+        assert trusted_stack.depth == 0
+
+    def test_frames_live_in_trusted_memory(self):
+        """The stack is trusted-memory words, not hidden python state —
+        that is what makes non-domain-0 writes to it a real threat."""
+        memory = TrustedMemory(base=0x100000, size=1 << 20)
+        registers = PcuRegisters()
+        trusted_stack = TrustedStack(memory, registers)
+        base = memory.allocate(8)
+        trusted_stack.configure(base, base + 8 * 8)
+        trusted_stack.push(0xCAFE, 3)
+        assert memory.load_word(base) == 0xCAFE
+        assert memory.load_word(base + 8) == 3
+
+
+class TestNonDomainZeroRejection:
+    """Satellite coverage: only domain-0 may touch trusted memory —
+    including the trusted-stack words (via the PCU's access filter)."""
+
+    def _enter(self, pcu, manager, domain_id):
+        from repro.core import GateKind
+
+        gate = manager.register_gate(0x1000, 0x2000, domain_id)
+        pcu.execute_gate(GateKind.HCCALL, gate, 0x1000)
+
+    def test_stack_words_unwritable_outside_domain0(self, pcu, manager):
+        from repro.core import TrustedMemoryFault
+
+        base, limit = manager.allocate_trusted_stack(frames=4)
+        domain = manager.create_domain("guest")
+        self._enter(pcu, manager, domain.domain_id)
+        for address in (base, limit - 8):
+            with pytest.raises(TrustedMemoryFault):
+                pcu.check_memory_access(address)
+
+    def test_region_boundaries_are_exact(self, pcu, manager):
+        from repro.core import TrustedMemoryFault
+
+        domain = manager.create_domain("guest")
+        self._enter(pcu, manager, domain.domain_id)
+        memory = pcu.trusted_memory
+        with pytest.raises(TrustedMemoryFault):
+            pcu.check_memory_access(memory.base)
+        with pytest.raises(TrustedMemoryFault):
+            pcu.check_memory_access(memory.base + memory.size - 1)
+        pcu.check_memory_access(memory.base - 1)      # just below
+        pcu.check_memory_access(memory.base + memory.size)  # just above
+
+    def test_fault_names_offender_and_victim(self, pcu, manager):
+        from repro.core import TrustedMemoryFault
+
+        domain = manager.create_domain("guest")
+        self._enter(pcu, manager, domain.domain_id)
+        with pytest.raises(TrustedMemoryFault) as excinfo:
+            pcu.check_memory_access(pcu.trusted_memory.base + 64, pc=0x7777)
+        assert excinfo.value.domain == domain.domain_id
+        assert excinfo.value.address == 0x7777

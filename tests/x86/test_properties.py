@@ -135,6 +135,141 @@ entry:
     assert cpu.regs[1] == a >> shift
 
 
+# ---------------------------------------------------------------------------
+# Differential flag checks: the CPU's condition codes against an
+# arithmetic reference (ZF = result wraps to zero, CF = unsigned borrow,
+# SF_LT = the signed-less-than predicate, i.e. SF != OF after a sub).
+# ---------------------------------------------------------------------------
+
+
+def to_signed(value):
+    return value - (1 << 64) if value >> 63 else value
+
+
+def reference_flags(op, a, b):
+    """(result, zf, cf, sf_lt) the architecture promises for ``op a, b``."""
+    results = {
+        "add": a + b, "sub": a - b, "cmp": a - b,
+        "and": a & b, "test": a & b, "or": a | b, "xor": a ^ b,
+    }
+    result = results[op] & MASK64
+    subtractive = op in ("sub", "cmp")
+    zf = result == 0
+    cf = subtractive and a < b            # unsigned borrow out
+    if subtractive:
+        sf_lt = to_signed(a) < to_signed(b)
+    else:
+        sf_lt = bool(result >> 63)        # plain sign bit
+    return result, zf, cf, sf_lt
+
+
+FLAG_OPS_RR = ("add", "sub", "and", "or", "xor", "cmp", "test")
+FLAG_OPS_IMM = ("add", "sub", "and", "or", "xor", "cmp")
+#: Immediates stay below 2^31: larger ones do not fit an imm32 encoding.
+IMM = st.integers(min_value=0, max_value=0x7FFFFFFF)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=VALUE, b=VALUE, op=st.sampled_from(FLAG_OPS_RR))
+def test_rr_flags_match_reference(a, b, op):
+    cpu = run_source("""
+entry:
+    mov rbx, %d
+    mov rcx, %d
+    %s rbx, rcx
+    hlt
+""" % (a, b, op))
+    result, zf, cf, sf_lt = reference_flags(op, a, b)
+    assert cpu.zf == zf
+    assert cpu.cf == cf
+    assert cpu.sf_lt == sf_lt
+    # cmp/test only set flags; everything else writes the destination
+    assert cpu.regs[3] == (a if op in ("cmp", "test") else result)
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=VALUE, imm=IMM, op=st.sampled_from(FLAG_OPS_IMM))
+def test_imm_flags_match_reference(a, imm, op):
+    cpu = run_source("""
+entry:
+    mov rbx, %d
+    %s rbx, %d
+    hlt
+""" % (a, op, imm))
+    result, zf, cf, sf_lt = reference_flags(op, a, imm)
+    assert (cpu.zf, cpu.cf, cpu.sf_lt) == (zf, cf, sf_lt)
+    assert cpu.regs[3] == (a if op == "cmp" else result)
+
+
+@settings(max_examples=20, deadline=None)
+@given(value=VALUE, step=st.sampled_from(("inc", "dec")))
+def test_inc_dec_set_zf_and_preserve_cf(value, step):
+    # cmp rbx, rcx with 1 < 2 raises CF; inc/dec must not clear it
+    # (the x86 idiom of loop counters inside carry chains).
+    cpu = run_source("""
+entry:
+    mov rbx, 1
+    mov rcx, 2
+    cmp rbx, rcx
+    mov rdx, %d
+    %s rdx
+    hlt
+""" % (value, step))
+    delta = 1 if step == "inc" else -1
+    assert cpu.zf == ((value + delta) & MASK64 == 0)
+    assert cpu.cf is True  # untouched from the cmp
+
+
+@settings(max_examples=20, deadline=None)
+@given(value=VALUE)
+def test_neg_flags(value):
+    cpu = run_source("""
+entry:
+    mov rbx, %d
+    neg rbx
+    hlt
+""" % value)
+    assert cpu.regs[3] == (-value) & MASK64
+    assert cpu.zf == (value == 0)
+    assert cpu.cf == (value != 0)  # CF set unless the operand was zero
+
+
+@settings(max_examples=15, deadline=None)
+@given(a=VALUE, b=VALUE)
+def test_not_preserves_flags(a, b):
+    cpu = run_source("""
+entry:
+    mov rbx, %d
+    mov rcx, %d
+    cmp rbx, rcx
+    mov rdx, rbx
+    not rdx
+    hlt
+""" % (a, b))
+    _, zf, cf, sf_lt = reference_flags("cmp", a, b)
+    assert (cpu.zf, cpu.cf, cpu.sf_lt) == (zf, cf, sf_lt)
+
+
+@settings(max_examples=20, deadline=None)
+@given(value=VALUE, amount=st.integers(min_value=0, max_value=63),
+       op=st.sampled_from(("shl", "shr", "sar")))
+def test_shift_zf_matches_reference(value, amount, op):
+    cpu = run_source("""
+entry:
+    mov rbx, %d
+    %s rbx, %d
+    hlt
+""" % (value, op, amount))
+    if op == "shl":
+        expected = (value << amount) & MASK64
+    elif op == "shr":
+        expected = value >> amount
+    else:
+        expected = (to_signed(value) >> amount) & MASK64
+    assert cpu.regs[3] == expected
+    assert cpu.zf == (expected == 0)
+
+
 @settings(max_examples=10, deadline=None)
 @given(values=st.lists(VALUE, min_size=1, max_size=6))
 def test_push_pop_is_lifo(values):
