@@ -11,6 +11,7 @@ Usage::
     python -m repro scan              # §2.3 unintended instructions
     python -m repro audit             # audit the shipped decompositions
     python -m repro conformance       # differential oracle-vs-PCU fuzz
+    python -m repro faults            # fault-injection campaigns
 """
 
 from __future__ import annotations
@@ -185,7 +186,8 @@ def _cmd_conformance(args) -> int:
         except OSError as error:
             print("cannot read reproducer: %s" % error, file=sys.stderr)
             return 2
-        runner = DifferentialRunner(backend, config=config, mutate=mutate)
+        runner = DifferentialRunner(backend, config=config, mutate=mutate,
+                                    layer=args.layer)
         divergence = runner.replay(events)
         if divergence is None:
             print("%s/%s: replay of %d events: no divergence"
@@ -211,6 +213,7 @@ def _cmd_conformance(args) -> int:
             result = fuzz_backend(
                 backend, args.seed, args.events, config=config,
                 mutate=mutate, oracle_only=args.oracle_only, dump_dir=".",
+                layer=args.layer, scrub_interval=args.scrub_interval,
             )
             outcomes = " ".join("%s=%d" % (k, v)
                                 for k, v in sorted(result.outcomes.items()))
@@ -219,13 +222,57 @@ def _cmd_conformance(args) -> int:
                       % (backend, config, result.events, outcomes))
             else:
                 failures += 1
-                print("%-6s %-10s %6d events  DIVERGENCE: %s"
-                      % (backend, config, result.events,
-                         result.divergence.describe()))
-                if result.reproducer_path:
-                    print("    reproducer dumped to %s"
-                          % result.reproducer_path)
+                if result.divergence is not None:
+                    print("%-6s %-10s %6d events  DIVERGENCE: %s"
+                          % (backend, config, result.events,
+                             result.divergence.describe()))
+                    if result.reproducer_path:
+                        print("    reproducer dumped to %s"
+                              % result.reproducer_path)
+                for detection in result.scrub_detections:
+                    print("%-6s %-10s  SCRUB DETECTION: %s"
+                          % (backend, config, detection))
     return 1 if failures else 0
+
+
+def _cmd_faults(args) -> int:
+    """Seeded fault-injection campaigns with scrub/rollback recovery."""
+    from repro.conformance import CONFORMANCE_CONFIGS
+    from repro.faults import CLASSIFICATIONS, run_campaigns, write_report
+
+    backends = ("riscv", "x86") if args.backend == "both" else (args.backend,)
+    configs = (tuple(CONFORMANCE_CONFIGS) if args.config == "all"
+               else tuple(args.config.split(",")))
+    unknown = [name for name in configs if name not in CONFORMANCE_CONFIGS]
+    if unknown:
+        print("unknown config %s (choose from %s)"
+              % (", ".join(unknown), ", ".join(CONFORMANCE_CONFIGS)),
+              file=sys.stderr)
+        return 2
+    matrices = []
+    for backend in backends:
+        for config in configs:
+            matrix = run_campaigns(
+                backend, args.seed, args.events, args.campaign,
+                config=config, scrub_interval=args.scrub_interval,
+            )
+            matrices.append(matrix)
+            counts = " ".join("%s=%d" % (name, matrix.counts[name])
+                              for name in CLASSIFICATIONS)
+            print("%-6s %-10s %d campaigns x %d events  %s"
+                  % (backend, config, len(matrix.results), args.events,
+                     counts))
+            for result in matrix.widening_silent:
+                print("    WIDENING SILENT DIVERGENCE: campaign %d %s (%s)"
+                      % (result.campaign, result.spec.to_dict(),
+                         result.detail))
+    payload = write_report(matrices, args.report)
+    print("report written to %s" % args.report)
+    if payload["widening_silent_divergences"]:
+        print("FAIL: %d widening fault(s) diverged with no detection"
+              % payload["widening_silent_divergences"], file=sys.stderr)
+        return 1
+    return 0
 
 
 _COMMANDS = {
@@ -238,6 +285,7 @@ _COMMANDS = {
     "hitrate": _cmd_hitrate,
     "scan": _cmd_scan,
     "conformance": _cmd_conformance,
+    "faults": _cmd_faults,
 }
 
 
@@ -249,7 +297,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     subparsers = parser.add_subparsers(dest="command", required=True,
                                        metavar="command")
     for name in sorted(_COMMANDS):
-        if name == "conformance":
+        if name in ("conformance", "faults"):
             continue
         subparsers.add_parser(name, help="regenerate the %r artifact" % name)
     conformance = subparsers.add_parser(
@@ -271,6 +319,32 @@ def main(argv: Optional[List[str]] = None) -> int:
                                   "to demonstrate divergence detection")
     conformance.add_argument("--replay", metavar="REPRO_JSON", default=None,
                              help="replay a dumped reproducer file")
+    conformance.add_argument("--layer", choices=("pcu", "kernel"),
+                             default="pcu",
+                             help="drive the cached side bare (pcu) or "
+                                  "through the MiniKernel syscall table")
+    conformance.add_argument("--scrub-interval", type=int, default=0,
+                             help="run the integrity scrubber every N "
+                                  "events (0 = off); any detection on a "
+                                  "fault-free replay is a failure")
+    faults = subparsers.add_parser(
+        "faults",
+        help="seeded fault-injection campaigns with integrity scrubbing "
+             "and recovery classification",
+    )
+    faults.add_argument("--events", type=int, default=2000,
+                        help="events per campaign stream")
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument("--campaign", type=int, default=50,
+                        help="number of campaigns per (backend, config)")
+    faults.add_argument("--backend", choices=("riscv", "x86", "both"),
+                        default="both")
+    faults.add_argument("--config", default="draco",
+                        help="comma-separated PCU config names, or 'all'")
+    faults.add_argument("--scrub-interval", type=int, default=64,
+                        help="events between watchdog scrubs")
+    faults.add_argument("--report", default="results/fault_campaigns.json",
+                        help="JSON report output path")
     args = parser.parse_args(argv)
     return _COMMANDS[args.command](args)
 

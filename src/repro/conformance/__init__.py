@@ -16,7 +16,13 @@ This package is the defence:
 CLI: ``python -m repro conformance --events 5000 --seed 0``.
 """
 
-from .events import Event, EventGenerator, generate_events
+from .events import (
+    Event,
+    EventGenerator,
+    canonicalize_events,
+    generate_events,
+    stream_key,
+)
 from .generator import BACKEND_NAMES, Backend, make_backend
 from .oracle import OraclePcu
 from .runner import (
@@ -44,8 +50,10 @@ __all__ = [
     "EventGenerator",
     "OraclePcu",
     "Outcome",
+    "canonicalize_events",
     "fuzz_backend",
     "generate_events",
     "load_reproducer",
     "make_backend",
+    "stream_key",
 ]

@@ -210,3 +210,60 @@ def generate_events(seed: int, count: int) -> List[Event]:
     events = generator.setup_events()
     events.extend(generator.next_event(i) for i in range(count))
     return events
+
+
+# ---------------------------------------------------------------------------
+# Canonicalization: slot-id renaming for reproducer dedup.
+# ---------------------------------------------------------------------------
+def canonicalize_events(events: List[Event]) -> List[Event]:
+    """Rename abstract slot ids to first-use order.
+
+    Two shrunk reproducers from different seeds frequently describe the
+    *same* bug modulo which arbitrary slot numbers the RNG happened to
+    pick.  Renaming domain, instruction, CSR and gate slots in order of
+    first appearance maps such twins onto one canonical stream, so
+    reproducer files dedupe by content.
+
+    Invariants preserved: slot 0 stays domain-0; the masked CSR slot is
+    pinned (it is positional, not interchangeable with plain CSR slots);
+    hostile out-of-range gate ids (>= N_GATE_SLOTS) are left alone —
+    their exact value is part of the behaviour under test.
+    """
+    domain_map: Dict[int, int] = {0: 0}
+    inst_map: Dict[int, int] = {}
+    csr_map: Dict[int, int] = {MASKED_CSR_SLOT: MASKED_CSR_SLOT}
+    gate_map: Dict[int, int] = {}
+
+    def rename(mapping: Dict[int, int], slot: int, first: int) -> int:
+        if slot not in mapping:
+            used = set(mapping.values())
+            fresh = first
+            while fresh in used:
+                fresh += 1
+            mapping[slot] = fresh
+        return mapping[slot]
+
+    canonical: List[Event] = []
+    for event in events:
+        data = event.to_dict()
+        if event.domain or event.op in RECONFIG_OPS:
+            data["domain"] = rename(domain_map, event.domain, 1) \
+                if event.domain else 0
+        if event.inst >= 0:
+            data["inst"] = rename(inst_map, event.inst, 0)
+        if 0 <= event.csr < N_CSR_SLOTS and event.csr != MASKED_CSR_SLOT:
+            data["csr"] = rename(csr_map, event.csr, 0)
+        if 0 <= event.gate < N_GATE_SLOTS:
+            data["gate"] = rename(gate_map, event.gate, 0)
+        canonical.append(Event(**data))
+    return canonical
+
+
+def stream_key(events: List[Event]) -> str:
+    """Content hash of the canonicalized stream (reproducer dedup key)."""
+    import hashlib
+
+    digest = hashlib.sha256()
+    for event in canonicalize_events(events):
+        digest.update(repr(sorted(event.to_dict().items())).encode())
+    return digest.hexdigest()[:16]

@@ -35,7 +35,13 @@ from repro.core import (
 )
 from repro.core.errors import PrivilegeFault
 
-from .events import N_DOMAIN_SLOTS, Event, generate_events
+from .events import (
+    N_DOMAIN_SLOTS,
+    Event,
+    canonicalize_events,
+    generate_events,
+    stream_key,
+)
 from .generator import Backend, destination_address, gate_address, make_backend
 from .oracle import OraclePcu
 
@@ -110,6 +116,7 @@ class ConformanceWorld:
         stack_frames: int = STACK_FRAMES,
         mutate: Optional[Callable[[PrivilegeCheckUnit], None]] = None,
         oracle_only: bool = False,
+        layer: str = "pcu",
     ):
         self.backend = backend
         self.trusted_memory = TrustedMemory(base=TMEM_BASE, size=TMEM_SIZE)
@@ -120,6 +127,16 @@ class ConformanceWorld:
         self.oracle = OraclePcu(backend.isa_map, self.pcu.hpt, self.pcu.sgt,
                                 self.trusted_memory, stack_frames)
         self.oracle_only = oracle_only
+        # layer == "kernel": route every cached-side call through the
+        # MiniKernel syscall table so the diff also covers the dispatch
+        # plumbing.  The oracle always stays bare — it is the spec.
+        if layer not in ("pcu", "kernel"):
+            raise ValueError("unknown conformance layer %r" % layer)
+        self.layer = layer
+        self.kernel_layer = None
+        if layer == "kernel":
+            from repro.kernel.conformance_layer import MiniKernelSyscallLayer
+            self.kernel_layer = MiniKernelSyscallLayer(self.pcu, self.manager)
         # Abstract domain slot -> live concrete domain id (None = dead).
         self.slot_ids: Dict[int, Optional[int]] = {0: 0}
         self._incarnation = 0
@@ -155,7 +172,11 @@ class ConformanceWorld:
             access = self._access(event)
 
             def run_cached_check() -> None:
-                self.pcu.check(access)  # stall cycles are not compared
+                if self.kernel_layer is not None:
+                    from repro.kernel.syscalls import SYS_PCHECK
+                    self.kernel_layer.syscall(SYS_PCHECK, access)
+                else:
+                    self.pcu.check(access)  # stall cycles are not compared
 
             cached = (self._skip(True) if self.oracle_only else
                       self._run_side(run_cached_check, True))
@@ -164,10 +185,16 @@ class ConformanceWorld:
         if op == "gate":
             return self._apply_gate(event)
         if op == "mem":
+
+            def run_cached_mem() -> None:
+                if self.kernel_layer is not None:
+                    from repro.kernel.syscalls import SYS_PMEM
+                    self.kernel_layer.syscall(SYS_PMEM, event.address)
+                else:
+                    self.pcu.check_memory_access(event.address)
+
             cached = (self._skip(True) if self.oracle_only else
-                      self._run_side(
-                          lambda: self.pcu.check_memory_access(event.address),
-                          True))
+                      self._run_side(run_cached_mem, True))
             oracle = self._run_side(
                 lambda: self.oracle.check_memory_access(event.address), False)
             return cached, oracle
@@ -175,16 +202,31 @@ class ConformanceWorld:
             if not self.oracle_only:
                 target = (0 if event.csr < 0
                           else self.backend.csr_index(event.csr))
-                self.pcu.prefetch(target)
+                if self.kernel_layer is not None:
+                    from repro.kernel.syscalls import SYS_PFCH
+                    self.kernel_layer.syscall(SYS_PFCH, target)
+                else:
+                    self.pcu.prefetch(target)
             return self._skip(True, "ok"), self._skip(False, "ok")
         if op == "pflh":
             if not self.oracle_only:
-                self.pcu.flush(CacheId(event.cache))
+                if self.kernel_layer is not None:
+                    from repro.kernel.syscalls import SYS_PFLH
+                    self.kernel_layer.syscall(SYS_PFLH, event.cache)
+                else:
+                    self.pcu.flush(CacheId(event.cache))
             return self._skip(True, "ok"), self._skip(False, "ok")
         return self._apply_reconfig(event)
 
     def _skip(self, pcu_side: bool, status: str = "skip") -> Outcome:
         return self._outcome(status, pcu_side)
+
+    def _manager_call(self, op: str, *args, **kwargs):
+        """Domain-0 management op — via SYS_DCONF under the kernel layer."""
+        if self.kernel_layer is not None:
+            from repro.kernel.syscalls import SYS_DCONF
+            return self.kernel_layer.syscall(SYS_DCONF, op, *args, **kwargs)
+        return getattr(self.manager, op)(*args, **kwargs)
 
     def _access(self, event: Event) -> AccessInfo:
         return AccessInfo(
@@ -204,6 +246,10 @@ class ConformanceWorld:
         return_address = event.address
 
         def run_cached() -> int:
+            if self.kernel_layer is not None:
+                from repro.kernel.syscalls import SYS_PGATE
+                return self.kernel_layer.syscall(SYS_PGATE, kind, event.gate,
+                                                 pc, return_address)
             target, _stall = self.pcu.execute_gate(kind, event.gate, pc,
                                                    return_address)
             return target
@@ -224,51 +270,52 @@ class ConformanceWorld:
         total.
         """
         op = event.op
-        manager, backend = self.manager, self.backend
+        backend = self.backend
+        call = self._manager_call
         domain_id = self.slot_ids.get(event.domain)
         status = "ok"
         if op == "create_domain":
             if domain_id is None:
                 self._incarnation += 1
-                self.slot_ids[event.domain] = manager.create_domain(
+                self.slot_ids[event.domain] = call(
+                    "create_domain",
                     "slot%d.%d" % (event.domain, self._incarnation)).domain_id
             else:
                 status = "skip"
         elif op == "destroy_domain":
             if domain_id is not None and domain_id != 0:
-                manager.destroy_domain(domain_id)
+                call("destroy_domain", domain_id)
                 self.slot_ids[event.domain] = None
             else:
                 status = "skip"
         elif op == "unregister_gate":
-            manager.unregister_gate(event.gate)
+            call("unregister_gate", event.gate)
         elif op == "register_gate":
             if domain_id is None:
                 status = "skip"
             else:
-                manager.register_gate(gate_address(event.gate),
-                                      destination_address(event.gate),
-                                      domain_id, gate_id=event.gate)
+                call("register_gate", gate_address(event.gate),
+                     destination_address(event.gate),
+                     domain_id, gate_id=event.gate)
         elif domain_id is None or domain_id == 0:
             status = "skip"  # never reconfigure domain-0's privileges
         elif op == "allow_inst":
-            manager.allow_instructions(domain_id,
-                                       [backend.inst_name(event.inst)])
+            call("allow_instructions", domain_id,
+                 [backend.inst_name(event.inst)])
         elif op == "deny_inst":
-            manager.deny_instruction(domain_id, backend.inst_name(event.inst))
+            call("deny_instruction", domain_id, backend.inst_name(event.inst))
         elif op == "grant_csr":
             if event.read or event.write:
-                manager.grant_register(domain_id, backend.csr_name(event.csr),
-                                       read=event.read, write=event.write)
+                call("grant_register", domain_id, backend.csr_name(event.csr),
+                     read=event.read, write=event.write)
             else:
                 status = "skip"
         elif op == "revoke_csr":
-            manager.revoke_register(domain_id, backend.csr_name(event.csr),
-                                    read=event.read, write=event.write)
+            call("revoke_register", domain_id, backend.csr_name(event.csr),
+                 read=event.read, write=event.write)
         elif op == "set_mask":
-            manager.set_register_mask(
-                domain_id, backend.csr_name(len(backend.csr_names) - 1),
-                event.bits)
+            call("set_register_mask", domain_id,
+                 backend.csr_name(len(backend.csr_names) - 1), event.bits)
         else:
             raise ValueError("unknown conformance event op %r" % op)
         return self._skip(True, status), self._skip(False, status)
@@ -284,6 +331,8 @@ class DifferentialRunner:
         stack_frames: int = STACK_FRAMES,
         mutate: Optional[Callable[[PrivilegeCheckUnit], None]] = None,
         oracle_only: bool = False,
+        layer: str = "pcu",
+        scrub_interval: int = 0,
     ):
         self.backend = make_backend(backend_name)
         self.config_name = config
@@ -291,24 +340,44 @@ class DifferentialRunner:
         self.stack_frames = stack_frames
         self.mutate = mutate
         self.oracle_only = oracle_only
+        self.layer = layer
+        #: Events between integrity-scrub watchdog runs (0 = disabled).
+        #: On a fault-free replay every scrub must come back clean; a
+        #: detection here is itself a conformance failure.
+        self.scrub_interval = scrub_interval
         self.outcomes: "Counter[str]" = Counter()
+        self.scrubs_run = 0
+        self.scrub_detections: List[str] = []
 
     def _world(self) -> ConformanceWorld:
         return ConformanceWorld(self.backend, self.config, self.stack_frames,
-                                self.mutate, self.oracle_only)
+                                self.mutate, self.oracle_only,
+                                layer=self.layer)
 
     def replay(self, events: Sequence[Event],
                count_outcomes: bool = False) -> Optional[Divergence]:
         """Replay a stream; return the first divergence (or ``None``)."""
         world = self._world()
+        scrubber = None
+        if self.scrub_interval:
+            from repro.faults.scrub import IntegrityScrubber
+            scrubber = IntegrityScrubber(world.pcu, world.manager)
         for index, event in enumerate(events):
             cached, oracle = world.apply(event)
             if count_outcomes:
                 self.outcomes[oracle.status] += 1
-            if self.oracle_only:
-                continue
-            if cached != oracle:
+            if not self.oracle_only and cached != oracle:
                 return Divergence(index, event, cached, oracle)
+            if scrubber is not None and (index + 1) % self.scrub_interval == 0:
+                report = scrubber.scrub(repair=False)
+                self.scrubs_run += 1
+                if report.detected:
+                    self.scrub_detections.extend(report.cache_detections)
+                    self.scrub_detections.extend(report.unrepairable)
+                    if report.memory_repairs:
+                        self.scrub_detections.append(
+                            "%d corrupt trusted-memory word(s)"
+                            % report.memory_repairs)
         return None
 
     # ------------------------------------------------------------------
@@ -355,7 +424,9 @@ class DifferentialRunner:
             "format": "isagrid-conformance-repro-v1",
             "backend": self.backend.name,
             "config": self.config_name,
+            "layer": self.layer,
             "seed": seed,
+            "stream_key": stream_key(list(events)),
             "divergence": {
                 "index": divergence.index,
                 "event": divergence.event.to_dict(),
@@ -388,10 +459,13 @@ class ConformanceResult:
     outcomes: Dict[str, int]
     divergence: Optional[Divergence] = None
     reproducer_path: Optional[str] = None
+    layer: str = "pcu"
+    scrub_detections: List[str] = None  # type: ignore[assignment]
+    stream_key: Optional[str] = None
 
     @property
     def clean(self) -> bool:
-        return self.divergence is None
+        return self.divergence is None and not self.scrub_detections
 
 
 def fuzz_backend(
@@ -402,21 +476,35 @@ def fuzz_backend(
     mutate: Optional[Callable[[PrivilegeCheckUnit], None]] = None,
     oracle_only: bool = False,
     dump_dir: Optional[str] = None,
+    layer: str = "pcu",
+    scrub_interval: int = 0,
 ) -> ConformanceResult:
     """Generate a stream and differentially fuzz one backend."""
     events = generate_events(seed, count)
     runner = DifferentialRunner(backend_name, config=config, mutate=mutate,
-                                oracle_only=oracle_only)
+                                oracle_only=oracle_only, layer=layer,
+                                scrub_interval=scrub_interval)
     divergence = runner.replay(events, count_outcomes=True)
     result = ConformanceResult(backend_name, config, len(events),
-                               dict(runner.outcomes), divergence)
+                               dict(runner.outcomes), divergence,
+                               layer=layer,
+                               scrub_detections=list(runner.scrub_detections))
     if divergence is not None:
         shrunk = runner.shrink(events, divergence)
         final = runner.replay(shrunk) or divergence
+        # Dedup: rename slot ids to first-use order.  If the canonical
+        # twin still reproduces (it almost always does — slot numbers are
+        # arbitrary), dump *it*, so equal bugs from different seeds land
+        # in byte-identical reproducer files.
+        canonical = canonicalize_events(shrunk)
+        canonical_divergence = runner.replay(canonical)
+        if canonical_divergence is not None:
+            shrunk, final = canonical, canonical_divergence
         result.divergence = final
+        result.stream_key = stream_key(shrunk)
         if dump_dir is not None:
-            path = "%s/conformance-repro-%s-%s-seed%d.json" % (
-                dump_dir, backend_name, config, seed)
+            path = "%s/conformance-repro-%s-%s-%s.json" % (
+                dump_dir, backend_name, config, result.stream_key)
             runner.dump_reproducer(path, shrunk, final, seed=seed)
             result.reproducer_path = path
     return result

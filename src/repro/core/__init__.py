@@ -34,7 +34,9 @@ from .errors import (
     BitMaskViolationFault,
     ConfigurationError,
     GateFault,
+    InjectedFault,
     InstructionPrivilegeFault,
+    IntegrityFault,
     IsaGridError,
     PrivilegeFault,
     RegisterReadFault,
@@ -80,7 +82,9 @@ __all__ = [
     "GateKind",
     "HptCacheSet",
     "HybridPrivilegeTable",
+    "InjectedFault",
     "InstPrivilegeRegister",
+    "IntegrityFault",
     "InstructionBitmap",
     "InstructionPrivilegeFault",
     "IsaGridError",

@@ -30,13 +30,23 @@ from .stats import CacheStats
 
 
 class FullyAssociativeCache:
-    """A tag → payload cache with true-LRU replacement."""
+    """A tag → payload cache with true-LRU replacement.
+
+    Fault-injection hooks (``repro.faults``): :meth:`corrupt` rewrites a
+    resident payload in place (a CAM data-array bit flip) and
+    :meth:`pin` marks an entry *stuck* — a pinned entry survives
+    invalidation and flush, modelling a CAM line whose valid bit is stuck
+    at one, so a stale privilege can outlive the coherence sweep that
+    should have dropped it.  Both leave the functional lookup/fill path
+    untouched; the integrity scrubber is what must catch the damage.
+    """
 
     def __init__(self, capacity: int):
         if capacity < 1:
             raise ValueError("cache capacity must be positive")
         self.capacity = capacity
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._pinned: "set[Hashable]" = set()
 
     def lookup(self, tag: Hashable) -> Optional[object]:
         """Search the CAM; promotes the entry to most-recently-used."""
@@ -56,6 +66,8 @@ class FullyAssociativeCache:
         self._entries[tag] = payload
 
     def invalidate(self, tag: Hashable) -> None:
+        if tag in self._pinned:
+            return
         self._entries.pop(tag, None)
 
     def invalidate_where(self, predicate: Callable[[Hashable], bool]) -> int:
@@ -65,13 +77,45 @@ class FullyAssociativeCache:
         cached word of one domain — which an exact-tag :meth:`invalidate`
         cannot express.  Returns the number of entries dropped.
         """
-        victims = [tag for tag in self._entries if predicate(tag)]
+        victims = [tag for tag in self._entries
+                   if predicate(tag) and tag not in self._pinned]
         for tag in victims:
             del self._entries[tag]
         return len(victims)
 
     def flush(self) -> None:
+        if self._pinned:
+            survivors = [(tag, self._entries[tag]) for tag in self._entries
+                         if tag in self._pinned]
+            self._entries = OrderedDict(survivors)
+            return
         self._entries.clear()
+
+    # -- fault-injection hooks ------------------------------------------
+    def corrupt(self, tag: Hashable, transform: Callable[[object], object]) -> bool:
+        """Rewrite a resident payload in place; False if not resident."""
+        if tag not in self._entries:
+            return False
+        self._entries[tag] = transform(self._entries[tag])
+        return True
+
+    def pin(self, tag: Hashable) -> bool:
+        """Make an entry immune to invalidation/flush (stuck CAM line)."""
+        if tag not in self._entries:
+            return False
+        self._pinned.add(tag)
+        return True
+
+    def unpin_all(self) -> None:
+        """Clear every stuck line (the scrubber's repair action)."""
+        self._pinned.clear()
+
+    def items(self):
+        """Resident (tag, payload) pairs — the scrubber's audit surface."""
+        return list(self._entries.items())
+
+    def tags(self):
+        return list(self._entries)
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -13,6 +13,8 @@ than raw indices, using the architecture's
 
 from __future__ import annotations
 
+import copy
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
@@ -94,6 +96,78 @@ class DomainManager:
         self.gates: Dict[int, GateEntry] = {}
 
     # ------------------------------------------------------------------
+    # Transactional reconfiguration (fault containment, Section 4.4).
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _transaction(self, domains: Tuple[int, ...] = (), gates: bool = False):
+        """Run one reconfiguration atomically against faults.
+
+        Arms the trusted-memory journal and snapshots the python-side
+        mirrors (HPT bitmaps, descriptors, gate table) the update will
+        touch.  If anything raises mid-update — most importantly an
+        injected trusted-memory store fault — every journalled word is
+        restored, the mirrors are rolled back, and the privilege caches
+        are swept so a half-applied grant can never widen privileges.
+        Nested calls (destroy_domain → unregister_gate) join the open
+        transaction instead of starting their own.
+        """
+        memory = self.pcu.trusted_memory
+        if memory.in_transaction:
+            yield
+            return
+        hpt = self.pcu.hpt
+        domain_snaps = []
+        for d in domains:
+            desc = self.domains.get(d)
+            domain_snaps.append((
+                d,
+                (d in hpt._inst, copy.deepcopy(hpt._inst.get(d))),
+                (d in hpt._regs, copy.deepcopy(hpt._regs.get(d))),
+                (d in hpt._masks, copy.deepcopy(hpt._masks.get(d))),
+                desc,
+                None if desc is None else (
+                    set(desc.instructions), set(desc.readable_csrs),
+                    set(desc.writable_csrs), dict(desc.bit_grants),
+                ),
+            ))
+        gate_snap = None
+        if gates:
+            gate_snap = (dict(self.gates), self.pcu.sgt._next_id,
+                         self.pcu.registers.gate_nr)
+        memory.begin_transaction()
+        try:
+            yield
+        except BaseException:
+            memory.abort_transaction()
+            for d, inst, regs, masks, desc, fields in domain_snaps:
+                for mirror, (present, value) in ((hpt._inst, inst),
+                                                 (hpt._regs, regs),
+                                                 (hpt._masks, masks)):
+                    if present:
+                        mirror[d] = value
+                    else:
+                        mirror.pop(d, None)
+                if desc is not None:
+                    (desc.instructions, desc.readable_csrs,
+                     desc.writable_csrs, desc.bit_grants) = fields
+                    self.domains[d] = desc
+                    self._names[desc.name] = d
+            if gate_snap is not None:
+                self.gates, self.pcu.sgt._next_id = gate_snap[0], gate_snap[1]
+                self.pcu.registers.gate_nr = gate_snap[2]
+                self.pcu.sgt_cache.flush()
+            # The PCU may have cached words filled mid-update; sweep the
+            # touched domains so refills see only the rolled-back truth.
+            for d in domains:
+                self.pcu.invalidate_privileges(d)
+            if not domains:
+                self.pcu.invalidate_privileges()
+            self.pcu.stats.reconfig_rollbacks += 1
+            raise
+        else:
+            memory.commit_transaction()
+
+    # ------------------------------------------------------------------
     # Domain registration.
     # ------------------------------------------------------------------
     def create_domain(self, name: Optional[str] = None) -> DomainDescriptor:
@@ -130,46 +204,51 @@ class DomainManager:
     def allow_instructions(self, domain_id: int, class_names: Iterable[str]) -> None:
         descriptor = self._descriptor(domain_id)
         names = list(class_names)
-        self.pcu.hpt.allow_instructions(
-            domain_id, [self.isa_map.inst_class(n) for n in names]
-        )
-        descriptor.instructions.update(names)
-        # Grants need invalidation too: a word cached while the class was
-        # denied would keep faulting the freshly-granted instruction.
-        self.pcu.invalidate_privileges(domain_id, regs=False, masks=False)
-        self._refresh_policy(descriptor)
+        classes = [self.isa_map.inst_class(n) for n in names]
+        with self._transaction((domain_id,)):
+            self.pcu.hpt.allow_instructions(domain_id, classes)
+            descriptor.instructions.update(names)
+            # Grants need invalidation too: a word cached while the class
+            # was denied would keep faulting the freshly-granted
+            # instruction.
+            self.pcu.invalidate_privileges(domain_id, regs=False, masks=False)
+            self._refresh_policy(descriptor)
 
     def allow_all_instructions(self, domain_id: int) -> None:
         descriptor = self._descriptor(domain_id)
-        self.pcu.hpt.allow_all_instructions(domain_id)
-        descriptor.instructions.update(self.isa_map.inst_class_names)
-        self.pcu.invalidate_privileges(domain_id, regs=False, masks=False)
-        self._refresh_policy(descriptor)
+        with self._transaction((domain_id,)):
+            self.pcu.hpt.allow_all_instructions(domain_id)
+            descriptor.instructions.update(self.isa_map.inst_class_names)
+            self.pcu.invalidate_privileges(domain_id, regs=False, masks=False)
+            self._refresh_policy(descriptor)
 
     def deny_instruction(self, domain_id: int, class_name: str) -> None:
         descriptor = self._descriptor(domain_id)
-        self.pcu.hpt.deny_instruction(domain_id, self.isa_map.inst_class(class_name))
-        descriptor.instructions.discard(class_name)
-        # Revocation: drop stale cached privileges of this domain only.
-        self.pcu.invalidate_privileges(domain_id, regs=False, masks=False)
+        inst_class = self.isa_map.inst_class(class_name)
+        with self._transaction((domain_id,)):
+            self.pcu.hpt.deny_instruction(domain_id, inst_class)
+            descriptor.instructions.discard(class_name)
+            # Revocation: drop stale cached privileges of this domain only.
+            self.pcu.invalidate_privileges(domain_id, regs=False, masks=False)
 
     def grant_register(
         self, domain_id: int, csr_name: str, *, read: bool = False, write: bool = False
     ) -> None:
         descriptor = self._descriptor(domain_id)
         csr = self.isa_map.csr_index(csr_name)
-        self.pcu.hpt.grant_register(domain_id, csr, read=read, write=write)
-        if read:
-            descriptor.readable_csrs.add(csr_name)
-        if write:
-            descriptor.writable_csrs.add(csr_name)
-            if self.isa_map.mask_slot(csr) is not None and csr_name not in descriptor.bit_grants:
-                # A full write grant on a bitwise CSR exposes every bit.
-                width = self.isa_map.csr_descriptor(csr).width
-                self.pcu.hpt.set_mask(domain_id, csr, (1 << width) - 1)
-                descriptor.bit_grants[csr_name] = (1 << width) - 1
-        self.pcu.invalidate_privileges(domain_id, inst=False)
-        self._refresh_policy(descriptor)
+        with self._transaction((domain_id,)):
+            self.pcu.hpt.grant_register(domain_id, csr, read=read, write=write)
+            if read:
+                descriptor.readable_csrs.add(csr_name)
+            if write:
+                descriptor.writable_csrs.add(csr_name)
+                if self.isa_map.mask_slot(csr) is not None and csr_name not in descriptor.bit_grants:
+                    # A full write grant on a bitwise CSR exposes every bit.
+                    width = self.isa_map.csr_descriptor(csr).width
+                    self.pcu.hpt.set_mask(domain_id, csr, (1 << width) - 1)
+                    descriptor.bit_grants[csr_name] = (1 << width) - 1
+            self.pcu.invalidate_privileges(domain_id, inst=False, csr=csr)
+            self._refresh_policy(descriptor)
 
     def grant_register_bits(self, domain_id: int, csr_name: str, bits: int) -> None:
         """Bit-level grant: expose only ``bits`` of a bitwise CSR."""
@@ -179,12 +258,13 @@ class DomainManager:
             raise ConfigurationError(
                 "CSR %s is not bitwise-controlled; use grant_register" % csr_name
             )
-        self.pcu.hpt.grant_register(domain_id, csr, write=True)
-        self.pcu.hpt.allow_bits(domain_id, csr, bits)
-        descriptor.writable_csrs.add(csr_name)
-        descriptor.bit_grants[csr_name] = descriptor.bit_grants.get(csr_name, 0) | bits
-        self.pcu.invalidate_privileges(domain_id, inst=False)
-        self._refresh_policy(descriptor)
+        with self._transaction((domain_id,)):
+            self.pcu.hpt.grant_register(domain_id, csr, write=True)
+            self.pcu.hpt.allow_bits(domain_id, csr, bits)
+            descriptor.writable_csrs.add(csr_name)
+            descriptor.bit_grants[csr_name] = descriptor.bit_grants.get(csr_name, 0) | bits
+            self.pcu.invalidate_privileges(domain_id, inst=False, csr=csr)
+            self._refresh_policy(descriptor)
 
     def set_register_mask(self, domain_id: int, csr_name: str, mask: int) -> None:
         """Set the *exact* write mask of a bitwise CSR (replacing grants)."""
@@ -194,26 +274,28 @@ class DomainManager:
             raise ConfigurationError(
                 "CSR %s is not bitwise-controlled" % csr_name
             )
-        self.pcu.hpt.set_mask(domain_id, csr, mask)
-        descriptor.bit_grants[csr_name] = mask
-        self.pcu.invalidate_privileges(domain_id, inst=False)
-        self._refresh_policy(descriptor)
+        with self._transaction((domain_id,)):
+            self.pcu.hpt.set_mask(domain_id, csr, mask)
+            descriptor.bit_grants[csr_name] = mask
+            self.pcu.invalidate_privileges(domain_id, inst=False, csr=csr)
+            self._refresh_policy(descriptor)
 
     def revoke_register(
         self, domain_id: int, csr_name: str, *, read: bool = False, write: bool = False
     ) -> None:
         descriptor = self._descriptor(domain_id)
         csr = self.isa_map.csr_index(csr_name)
-        self.pcu.hpt.revoke_register(domain_id, csr, read=read, write=write)
-        if read:
-            descriptor.readable_csrs.discard(csr_name)
-        if write:
-            descriptor.writable_csrs.discard(csr_name)
-            if self.isa_map.mask_slot(csr) is not None:
-                self.pcu.hpt.set_mask(domain_id, csr, 0)
-                descriptor.bit_grants.pop(csr_name, None)
-        # Revocation: drop stale cached privileges of this domain only.
-        self.pcu.invalidate_privileges(domain_id, inst=False)
+        with self._transaction((domain_id,)):
+            self.pcu.hpt.revoke_register(domain_id, csr, read=read, write=write)
+            if read:
+                descriptor.readable_csrs.discard(csr_name)
+            if write:
+                descriptor.writable_csrs.discard(csr_name)
+                if self.isa_map.mask_slot(csr) is not None:
+                    self.pcu.hpt.set_mask(domain_id, csr, 0)
+                    descriptor.bit_grants.pop(csr_name, None)
+            # Revocation: drop stale cached privileges of this domain only.
+            self.pcu.invalidate_privileges(domain_id, inst=False, csr=csr)
 
     def destroy_domain(self, domain_id: int) -> None:
         """Retire a domain: revoke every privilege and drop its gates.
@@ -225,13 +307,14 @@ class DomainManager:
         if domain_id == DOMAIN_0:
             raise ConfigurationError("domain-0 cannot be destroyed")
         descriptor = self._descriptor(domain_id)
-        self.pcu.hpt.clear_domain(domain_id)
-        for gate_id, entry in list(self.gates.items()):
-            if entry.destination_domain == domain_id:
-                self.unregister_gate(gate_id)
-        self.pcu.invalidate_privileges(domain_id)
-        del self.domains[domain_id]
-        del self._names[descriptor.name]
+        with self._transaction((domain_id,), gates=True):
+            self.pcu.hpt.clear_domain(domain_id)
+            for gate_id, entry in list(self.gates.items()):
+                if entry.destination_domain == domain_id:
+                    self.unregister_gate(gate_id)
+            self.pcu.invalidate_privileges(domain_id)
+            del self.domains[domain_id]
+            del self._names[descriptor.name]
 
     def _descriptor(self, domain_id: int) -> DomainDescriptor:
         try:
@@ -260,19 +343,23 @@ class DomainManager:
         next ``hccall`` sees the new triple.
         """
         self._descriptor(destination_domain)  # destination must exist
-        entry = self.pcu.sgt.register(
-            gate_address, destination_address, destination_domain, gate_id=gate_id
-        )
-        self.policy(self, entry)
-        self.gates[entry.gate_id] = entry
-        self.pcu.sgt_cache.invalidate(entry.gate_id)
-        self.pcu.registers.gate_nr = self.pcu.sgt.gate_nr
+        # A half-written SGT entry is privilege-widening (a valid bit
+        # over a stale triple), so registration is transactional too.
+        with self._transaction(gates=True):
+            entry = self.pcu.sgt.register(
+                gate_address, destination_address, destination_domain, gate_id=gate_id
+            )
+            self.policy(self, entry)
+            self.gates[entry.gate_id] = entry
+            self.pcu.sgt_cache.invalidate(entry.gate_id)
+            self.pcu.registers.gate_nr = self.pcu.sgt.gate_nr
         return entry.gate_id
 
     def unregister_gate(self, gate_id: int) -> None:
-        self.pcu.sgt.unregister(gate_id)
-        self.pcu.sgt_cache.invalidate(gate_id)
-        self.gates.pop(gate_id, None)
+        with self._transaction(gates=True):
+            self.pcu.sgt.unregister(gate_id)
+            self.pcu.sgt_cache.invalidate(gate_id)
+            self.gates.pop(gate_id, None)
 
     # ------------------------------------------------------------------
     # Trusted stack management (per-thread contexts, Section 5.2).
@@ -312,6 +399,10 @@ class DomainManager:
             self.pcu.trusted_memory.store_word(base, entry_address)
             self.pcu.trusted_memory.store_word(base + 8, entry_domain)
             pointer = base + 16
+        # The seed frame was written with raw stores, not push(): adopt it
+        # into the stack's integrity digest so the first scrub after a
+        # switch onto this context doesn't flag the frame as corruption.
+        self.pcu.trusted_stack.reseed_digest(base, pointer)
         return pointer, base, limit
 
     def describe(self) -> List[str]:

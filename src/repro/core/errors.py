@@ -136,3 +136,29 @@ class TrustedStackFault(PrivilegeFault):
     def __init__(self, reason: str, pointer: int, *, domain: int = -1, address: int = -1):
         super().__init__(reason, domain=domain, address=address)
         self.pointer = pointer
+
+
+class IntegrityFault(IsaGridError):
+    """An integrity scrub found trusted-state corruption it cannot repair.
+
+    Raised by the scrubber when a checksum mismatch has no good copy to
+    restore from (e.g. a flipped word in a *live* trusted-stack frame:
+    domain-0 keeps mirrors of the HPT and SGT, but the stack contents are
+    produced by the PCU at ``hccalls`` time and have no software shadow).
+    The only safe response is to halt the affected core.
+    """
+
+    def __init__(self, reason: str, *, region: str = "?"):
+        super().__init__(reason)
+        self.region = region
+
+
+class InjectedFault(IsaGridError):
+    """A fault-injection campaign fired a simulated hardware fault.
+
+    Used by the fault-injection subsystem (``repro.faults``) to model a
+    trusted-memory store that fails mid-way through a domain-0
+    reconfiguration; :class:`~repro.core.domain.DomainManager` must react
+    by rolling the transaction back, never by leaving a half-applied
+    grant in the HPT.
+    """

@@ -77,6 +77,12 @@ class PrivilegeCheckUnit:
         self.trusted_stack = TrustedStack(trusted_memory, self.registers)
         self.stats = PcuStats()
         self.enabled = True
+        # Degraded mode (fault recovery): after the scrubber detects
+        # cache-vs-HPT divergence the PCU stops trusting its caches and
+        # serves every check via direct trusted-memory walks — correct
+        # but paying the refill latency on each access — until a clean
+        # scrub re-enables caching.
+        self.degraded = False
 
     # ------------------------------------------------------------------
     # State.
@@ -122,6 +128,8 @@ class PrivilegeCheckUnit:
         self.stats.inst_checks += 1
         if domain == DOMAIN_0:
             return 0
+        if self.degraded:
+            return self._check_degraded(domain, access)
 
         # Draco-style shortcut (Section 8): a previously proven-legal
         # access tuple skips the whole check pipeline.
@@ -236,6 +244,59 @@ class PrivilegeCheckUnit:
             )
         return stall
 
+    def _check_degraded(self, domain: int, access: AccessInfo) -> int:
+        """Serve one check via direct HPT walks, bypassing every cache.
+
+        Semantically identical to the cached pipeline (the oracle path):
+        only the latency differs — each structure read pays the full
+        refill latency because nothing may be cached while degraded.
+        """
+        self.stats.degraded_checks += 1
+        stall = self.config.refill_latency
+        word_index, offset = divmod(access.inst_class, 64)
+        if not self.hpt.read_inst_word(domain, word_index) >> offset & 1:
+            self._fault(
+                InstructionPrivilegeFault(
+                    access.inst_class, domain=domain, address=access.address
+                )
+            )
+        csr = access.csr
+        if csr is not None:
+            stall += self.config.refill_latency
+            word = self.hpt.read_reg_word(domain, (2 * csr) // 64)
+            read_bit = word >> ((2 * csr) % 64) & 1
+            write_bit = word >> ((2 * csr) % 64 + 1) & 1
+            if access.csr_read:
+                self.stats.csr_read_checks += 1
+                if not read_bit:
+                    self._fault(
+                        RegisterReadFault(csr, domain=domain, address=access.address)
+                    )
+            if access.csr_write:
+                self.stats.csr_write_checks += 1
+                slot = self.isa_map.mask_slot(csr)
+                if slot is not None:
+                    self.stats.mask_checks += 1
+                    stall += self.config.refill_latency
+                    mask = self.hpt.read_mask(domain, slot)
+                    if access.write_value is None or access.old_value is None:
+                        raise ConfigurationError(
+                            "bitwise CSR write check requires old and new values"
+                        )
+                    if (access.old_value ^ access.write_value) & ~mask:
+                        self._fault(
+                            BitMaskViolationFault(
+                                access.csr, access.old_value, access.write_value,
+                                mask, domain=domain, address=access.address,
+                            )
+                        )
+                elif not write_bit:
+                    self._fault(
+                        RegisterWriteFault(csr, domain=domain, address=access.address)
+                    )
+        self.stats.stall_cycles += stall
+        return stall
+
     def _fault(self, fault) -> None:
         self.stats.record_fault(fault)
         raise fault
@@ -262,7 +323,14 @@ class PrivilegeCheckUnit:
             return self._execute_return(pc)
 
         try:
-            entry, stall = self.sgt_cache.entry(gate_id, self.stats.sgt_cache)
+            if self.degraded:
+                # No SGT caching while degraded: read the entry straight
+                # from trusted memory (may raise GateFault when invalid).
+                self.stats.degraded_checks += 1
+                entry = self.sgt.read_entry(gate_id)
+                stall = self.config.refill_latency
+            else:
+                entry, stall = self.sgt_cache.entry(gate_id, self.stats.sgt_cache)
         except GateFault as fault:
             fault.domain = self.registers.domain
             fault.address = pc
@@ -354,6 +422,7 @@ class PrivilegeCheckUnit:
         inst: bool = True,
         regs: bool = True,
         masks: bool = True,
+        csr: Optional[int] = None,
     ) -> None:
         """Coherence sweep after domain-0 edits the HPT.
 
@@ -363,22 +432,64 @@ class PrivilegeCheckUnit:
         the Draco cache) lead with the domain id, so one predicate sweep
         per module covers every group the domain shares.  ``domain=None``
         sweeps every domain.
+
+        When the edit touched a single CSR, passing ``csr`` narrows the
+        sweep: only the register-bitmap word and mask slot covering that
+        CSR are dropped, and only the Draco tuples proven against that
+        CSR — warm entries for the domain's other registers survive the
+        reconfigure instead of being collateral damage.
         """
         def hits(tag) -> bool:
             return domain is None or tag[0] == domain
 
+        narrow = csr is not None and domain is not None
         if inst:
             self.hpt_cache.inst.invalidate_where(hits)
             if domain is None or self.bypass.loaded_domain == domain:
                 self.bypass.invalidate()
         if regs:
-            self.hpt_cache.reg.invalidate_where(hits)
+            if narrow:
+                self.hpt_cache.reg.invalidate((domain, (2 * csr) // 64))
+            else:
+                self.hpt_cache.reg.invalidate_where(hits)
         if masks:
-            self.hpt_cache.mask.invalidate_where(hits)
+            if narrow:
+                slot = self.isa_map.mask_slot(csr)
+                if slot is not None:
+                    self.hpt_cache.mask.invalidate((domain, slot))
+            else:
+                self.hpt_cache.mask.invalidate_where(hits)
         if self.draco is not None:
-            # Draco caches whole proven-legal tuples; any privilege edit
-            # can retroactively falsify them.
-            self.draco.invalidate_where(hits)
+            # Draco caches whole proven-legal tuples; a privilege edit
+            # can retroactively falsify them.  A CSR-scoped edit only
+            # falsifies tuples proven against that CSR (key layout:
+            # (domain, inst_class, csr, ...)); instruction edits falsify
+            # the whole domain.
+            if narrow and not inst:
+                self.draco.invalidate_where(
+                    lambda tag: tag[0] == domain and tag[2] == csr
+                )
+            else:
+                self.draco.invalidate_where(hits)
+
+    # ------------------------------------------------------------------
+    # Degraded (cache-distrust) operation — fault recovery support.
+    # ------------------------------------------------------------------
+    def enter_degraded_mode(self) -> None:
+        """Stop trusting the privilege caches until the next clean scrub.
+
+        Flushes everything (including the Draco cache and the bypass
+        register) and routes all subsequent checks through direct
+        trusted-memory walks.  Idempotent.
+        """
+        self.flush(CacheId.ALL)
+        if not self.degraded:
+            self.degraded = True
+            self.stats.degraded_entries += 1
+
+    def exit_degraded_mode(self) -> None:
+        """Re-enable caching; only the scrubber calls this, post-repair."""
+        self.degraded = False
 
     # ------------------------------------------------------------------
     # Trusted memory enforcement (Section 4.5).

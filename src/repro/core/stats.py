@@ -61,6 +61,11 @@ class PcuStats:
     gate_calls: int = 0        # hccall
     gate_calls_extended: int = 0  # hccalls
     gate_returns: int = 0      # hcrets
+    degraded_checks: int = 0   # checks served by direct HPT/SGT walks
+    degraded_entries: int = 0  # times the PCU fell into degraded mode
+    scrubs: int = 0            # integrity-scrub passes over trusted state
+    scrub_repairs: int = 0     # trusted-memory words rewritten by scrubs
+    reconfig_rollbacks: int = 0  # transactional reconfigurations rolled back
     faults: Dict[str, int] = field(default_factory=dict)
     stall_cycles: int = 0      # cycles spent waiting on privilege-structure fetches
 
@@ -111,6 +116,11 @@ class PcuStats:
         self.gate_calls = 0
         self.gate_calls_extended = 0
         self.gate_returns = 0
+        self.degraded_checks = 0
+        self.degraded_entries = 0
+        self.scrubs = 0
+        self.scrub_repairs = 0
+        self.reconfig_rollbacks = 0
         self.stall_cycles = 0
         self.faults.clear()
         self.inst_cache.reset()
@@ -131,6 +141,11 @@ class PcuStats:
         self.gate_calls += other.gate_calls
         self.gate_calls_extended += other.gate_calls_extended
         self.gate_returns += other.gate_returns
+        self.degraded_checks += other.degraded_checks
+        self.degraded_entries += other.degraded_entries
+        self.scrubs += other.scrubs
+        self.scrub_repairs += other.scrub_repairs
+        self.reconfig_rollbacks += other.reconfig_rollbacks
         self.stall_cycles += other.stall_cycles
         for name, count in other.faults.items():
             self.faults[name] = self.faults.get(name, 0) + count
@@ -152,6 +167,11 @@ class PcuStats:
             "gate_calls": self.gate_calls,
             "gate_calls_extended": self.gate_calls_extended,
             "gate_returns": self.gate_returns,
+            "degraded_checks": self.degraded_checks,
+            "degraded_entries": self.degraded_entries,
+            "scrubs": self.scrubs,
+            "scrub_repairs": self.scrub_repairs,
+            "reconfig_rollbacks": self.reconfig_rollbacks,
             "stall_cycles": self.stall_cycles,
             "faults": dict(self.faults),
             "cam_lookups": self.total_cam_lookups,

@@ -10,11 +10,13 @@ to the power-of-two constraint.
 
 from __future__ import annotations
 
-from typing import Dict, Protocol
+from typing import Dict, List, Optional, Protocol, Tuple
 
-from .errors import ConfigurationError, TrustedStackFault
+from .errors import ConfigurationError, IntegrityFault, TrustedStackFault
 
 WORD_BYTES = 8
+
+_MASK64 = (1 << 64) - 1
 
 
 class WordBacking(Protocol):
@@ -66,6 +68,12 @@ class TrustedMemory:
         self.limit = base + size
         self._backing: WordBacking = backing if backing is not None else WordMemory()
         self._next_alloc = base
+        # Transactional-reconfiguration journal: while armed, store_word
+        # records the first-touch old value of every word it overwrites so
+        # a fault mid-update can be rolled back (Section 4.4 requires a
+        # half-applied grant to never become architecturally visible).
+        self._journal: Optional[List[Tuple[int, int]]] = None
+        self._journalled: set = set()
 
     def contains(self, address: int) -> bool:
         """Hardware bound check: is ``address`` inside the trusted range?"""
@@ -81,7 +89,40 @@ class TrustedMemory:
         """Domain-0 software write path (the Machine enforces domain-0)."""
         if not self.contains(address):
             raise ConfigurationError("write outside trusted memory: 0x%x" % address)
+        if self._journal is not None and address not in self._journalled:
+            # Record the old value *before* attempting the store so a
+            # backing that faults mid-write still rolls back cleanly.
+            self._journalled.add(address)
+            self._journal.append((address, self._backing.load_word(address)))
         self._backing.store_word(address, value)
+
+    # -- transactional reconfiguration ----------------------------------
+    @property
+    def in_transaction(self) -> bool:
+        return self._journal is not None
+
+    def begin_transaction(self) -> None:
+        """Arm the journal; every store records its first-touch old value."""
+        if self._journal is not None:
+            raise ConfigurationError("trusted-memory transaction already open")
+        self._journal = []
+        self._journalled = set()
+
+    def commit_transaction(self) -> None:
+        """Discard the journal — the update completed without faulting."""
+        if self._journal is None:
+            raise ConfigurationError("no trusted-memory transaction to commit")
+        self._journal = None
+        self._journalled = set()
+
+    def abort_transaction(self) -> None:
+        """Restore every journalled word, newest first, and disarm."""
+        if self._journal is None:
+            raise ConfigurationError("no trusted-memory transaction to abort")
+        journal, self._journal = self._journal, None
+        self._journalled = set()
+        for address, old_value in reversed(journal):
+            self._backing.store_word(address, old_value)
 
     def allocate(self, n_words: int) -> int:
         """Bump-allocate ``n_words`` words; used by domain-0 init code."""
@@ -115,6 +156,22 @@ class TrustedStack:
     def __init__(self, memory: TrustedMemory, registers) -> None:
         self._memory = memory
         self._regs = registers
+        # Integrity digest per stack window, keyed by hcsb: an XOR fold of
+        # every live frame.  XOR makes push/pop self-inverse, so the PCU
+        # maintains it in O(1); the scrubber recomputes it from memory to
+        # detect a flipped word inside a live frame (which has no software
+        # mirror to repair from — see IntegrityFault).  Keying by base
+        # means save_context/restore_context thread switches naturally
+        # select the right digest.
+        self._digests: Dict[int, int] = {}
+
+    @staticmethod
+    def _frame_hash(sp: int, return_address: int, domain: int) -> int:
+        return (
+            sp * 0x9E3779B97F4A7C15
+            ^ return_address * 0xC2B2AE3D27D4EB4F
+            ^ domain * 0x165667B19E3779F9
+        ) & _MASK64
 
     def configure(self, base: int, limit: int) -> None:
         """Domain-0 initialization of hcsb/hcsl/hcsp."""
@@ -125,6 +182,7 @@ class TrustedStack:
         self._regs.hcsb = base
         self._regs.hcsl = limit
         self._regs.hcsp = base
+        self._digests[base] = 0
 
     def push(self, return_address: int, source_domain: int) -> None:
         sp = self._regs.hcsp
@@ -135,6 +193,10 @@ class TrustedStack:
             )
         self._memory.store_word(sp, return_address)
         self._memory.store_word(sp + WORD_BYTES, source_domain)
+        base = self._regs.hcsb
+        self._digests[base] = self._digests.get(base, 0) ^ self._frame_hash(
+            sp, return_address & _MASK64, source_domain
+        )
         self._regs.hcsp = new_sp
 
     def pop(self) -> "tuple[int, int]":
@@ -143,6 +205,13 @@ class TrustedStack:
             raise TrustedStackFault("trusted stack underflow", self._regs.hcsp)
         return_address = self._memory.load_word(sp)
         domain = self._memory.load_word(sp + WORD_BYTES)
+        base = self._regs.hcsb
+        # Fold with the values read back from memory: an unmodified frame
+        # cancels exactly; a corrupted one leaves a residue the scrubber's
+        # recomputation will surface.
+        self._digests[base] = self._digests.get(base, 0) ^ self._frame_hash(
+            sp, return_address, domain
+        )
         self._regs.hcsp = sp
         return return_address, domain
 
@@ -157,3 +226,38 @@ class TrustedStack:
 
     def restore_context(self, context: "tuple[int, int, int]") -> None:
         self._regs.hcsp, self._regs.hcsb, self._regs.hcsl = context
+
+    # -- integrity digest (fault-detection surface) ---------------------
+    def recompute_digest(self, base: int = None, pointer: int = None) -> int:
+        """Fold every live frame of ``[base, pointer)`` read from memory."""
+        base = self._regs.hcsb if base is None else base
+        pointer = self._regs.hcsp if pointer is None else pointer
+        digest = 0
+        frame_bytes = self.FRAME_WORDS * WORD_BYTES
+        for sp in range(base, pointer, frame_bytes):
+            digest ^= self._frame_hash(
+                sp,
+                self._memory.load_word(sp),
+                self._memory.load_word(sp + WORD_BYTES),
+            )
+        return digest
+
+    def reseed_digest(self, base: int, pointer: int) -> None:
+        """Adopt memory as truth for a window seeded by raw domain-0
+        stores (thread-stack creation writes frames without push)."""
+        self._digests[base] = self.recompute_digest(base, pointer)
+
+    def verify_digest(self) -> None:
+        """Scrubber entry point: recompute the current window's digest.
+
+        A mismatch means a live frame was modified behind the PCU's back.
+        There is no software mirror of stack contents to repair from, so
+        this is unrepairable corruption.
+        """
+        expected = self._digests.get(self._regs.hcsb, 0)
+        if self.recompute_digest() != expected:
+            raise IntegrityFault(
+                "trusted-stack frame digest mismatch in [0x%x, 0x%x)"
+                % (self._regs.hcsb, self._regs.hcsp),
+                region="trusted_stack",
+            )

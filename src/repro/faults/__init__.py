@@ -1,0 +1,45 @@
+"""Fault injection, integrity scrubbing and recovery (robustness layer).
+
+The security argument of ISA-Grid assumes the HPT/SGT/trusted-stack
+state is exactly what domain-0 configured.  This package stress-tests
+that assumption: seeded :class:`FaultPlan` campaigns flip bits in
+trusted memory, corrupt or stick privilege-cache lines, swallow
+coherence sweeps and fail stores mid-reconfiguration, while the
+:class:`IntegrityScrubber` (checksums + cache re-verification + stack
+digest), the PCU's degraded mode and the DomainManager's transactional
+reconfiguration try to detect and contain the damage.
+
+CLI: ``python -m repro faults --events 2000 --seed 0 --campaign 50``.
+"""
+
+from .campaign import (
+    CLASSIFICATIONS,
+    DEFAULT_SCRUB_INTERVAL,
+    CampaignMatrix,
+    CampaignResult,
+    run_campaign,
+    run_campaigns,
+    write_report,
+)
+from .injector import FaultInjector, FaultyWordBacking
+from .plan import CACHE_MODULES, FAULT_KINDS, FaultPlan, FaultSpec
+from .scrub import IntegrityScrubber, ScrubReport, make_scrubber
+
+__all__ = [
+    "CACHE_MODULES",
+    "CLASSIFICATIONS",
+    "CampaignMatrix",
+    "CampaignResult",
+    "DEFAULT_SCRUB_INTERVAL",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyWordBacking",
+    "IntegrityScrubber",
+    "ScrubReport",
+    "make_scrubber",
+    "run_campaign",
+    "run_campaigns",
+    "write_report",
+]

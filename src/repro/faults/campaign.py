@@ -1,0 +1,261 @@
+"""Seeded fault-injection campaigns over the conformance generator.
+
+One *campaign* = one fault spec + one event stream, replayed through the
+lockstep (cached PCU, oracle) pair with a periodic integrity-scrub
+watchdog.  Each campaign classifies as exactly one of:
+
+* ``detected_recovered`` — something fired (scrub repair, transactional
+  rollback, degraded-mode entry) and the run finished lockstep-clean
+  with a clean final audit;
+* ``detected_halted`` — corruption was detected but could not be
+  repaired (live stack frame) or was detected only after the
+  implementations had already diverged: the core halts;
+* ``benign`` — the fault landed somewhere architecture never looked (a
+  dead stack word, an already-set bit, an evicted cache line): no
+  divergence, nothing to detect, clean final audit;
+* ``silent_divergence`` — the PCU and the oracle disagreed and *no*
+  detection mechanism fired, then or at the post-divergence audit.  For
+  privilege-widening faults this count must be zero: it would mean a
+  fault can grant privilege invisibly.
+
+Classification notes: faults in the *shared* trusted-memory words can
+never show up as lockstep divergence (the oracle reads the same words),
+so they must be caught by the scrub watchdog — that is precisely what
+the memory-vs-mirror checksums are for.  Cache/bypass/Draco faults are
+invisible to the scrubber's memory pass but diverge in lockstep, and the
+post-divergence audit must then pin the blame on the cache layer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.conformance.events import generate_events
+from repro.conformance.generator import make_backend
+from repro.conformance.runner import CONFORMANCE_CONFIGS, ConformanceWorld
+from repro.core.errors import InjectedFault
+
+from .injector import FaultInjector, FaultyWordBacking
+from .plan import FaultPlan, FaultSpec
+from .scrub import IntegrityScrubber
+
+CLASSIFICATIONS = (
+    "detected_recovered", "detected_halted", "benign", "silent_divergence",
+)
+
+#: Default watchdog period (events between scrubs).  Small enough that a
+#: shared-memory fault is caught within one cache generation, large
+#: enough that scrubbing stays a fraction of replay cost.
+DEFAULT_SCRUB_INTERVAL = 64
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one fault campaign."""
+
+    campaign: int
+    stream_seed: int
+    spec: FaultSpec
+    classification: str
+    events_run: int
+    fired: bool
+    detail: str
+    divergence_index: Optional[int] = None
+    detections: List[str] = field(default_factory=list)
+    rollbacks: int = 0
+    scrub_repairs: int = 0
+    degraded_entries: int = 0
+    degraded_checks: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "campaign": self.campaign,
+            "stream_seed": self.stream_seed,
+            "spec": self.spec.to_dict(),
+            "classification": self.classification,
+            "events_run": self.events_run,
+            "fired": self.fired,
+            "detail": self.detail,
+            "divergence_index": self.divergence_index,
+            "detections": list(self.detections),
+            "rollbacks": self.rollbacks,
+            "scrub_repairs": self.scrub_repairs,
+            "degraded_entries": self.degraded_entries,
+            "degraded_checks": self.degraded_checks,
+        }
+
+
+def run_campaign(
+    backend_name: str,
+    spec: FaultSpec,
+    stream_seed: int,
+    n_events: int,
+    config: str = "stress",
+    scrub_interval: int = DEFAULT_SCRUB_INTERVAL,
+    campaign: int = 0,
+) -> CampaignResult:
+    """Replay one faulted stream in lockstep and classify the outcome."""
+    backend = make_backend(backend_name)
+    world = ConformanceWorld(backend, CONFORMANCE_CONFIGS[config])
+    # Interpose the faulty backing *under* the already-initialised
+    # trusted memory: existing words carry over untouched.
+    backing = FaultyWordBacking(world.trusted_memory._backing)
+    world.trusted_memory._backing = backing
+    injector = FaultInjector(world, backing, spec)
+    scrubber = IntegrityScrubber(world.pcu, world.manager)
+
+    events = generate_events(stream_seed, n_events)
+    detections: List[str] = []
+    divergence_index: Optional[int] = None
+    halted = False
+    events_run = 0
+
+    def note(report) -> None:
+        if report.memory_repairs:
+            detections.append("scrub repaired %d word(s)" % report.memory_repairs)
+        detections.extend(report.cache_detections)
+        detections.extend("UNREPAIRABLE: " + u for u in report.unrepairable)
+
+    for index, event in enumerate(events):
+        injector.on_event(index)
+        try:
+            cached, oracle = world.apply(event)
+        except InjectedFault:
+            # A trusted-memory store failed mid-reconfiguration; the
+            # DomainManager transaction rolled the update back and the
+            # tables are bit-identical to the pre-transaction state.
+            injector.note_rollback()
+            events_run = index + 1
+            continue
+        events_run = index + 1
+        if cached != oracle:
+            divergence_index = index
+            break
+        if scrub_interval and (index + 1) % scrub_interval == 0:
+            report = scrubber.scrub()
+            note(report)
+            if report.unrepairable:
+                halted = True
+                break
+
+    # Final audit: always run one more scrub.  After a divergence this is
+    # the "why did we diverge" post-mortem; on a clean run it catches
+    # anything the watchdog cadence missed.
+    audit = scrubber.scrub()
+    note(audit)
+    if audit.unrepairable:
+        halted = True
+
+    detected = bool(detections) or injector.rollbacks_seen > 0
+    if divergence_index is not None:
+        classification = "detected_halted" if detected else "silent_divergence"
+    elif halted:
+        classification = "detected_halted"
+    elif detected:
+        # Recovery claim requires the final audit to have come back
+        # clean apart from what it just repaired: one more pass must
+        # find nothing.
+        confirm = scrubber.scrub()
+        classification = ("detected_recovered" if confirm.clean
+                          else "detected_halted")
+    else:
+        classification = "benign"
+
+    stats = world.pcu.stats
+    return CampaignResult(
+        campaign=campaign,
+        stream_seed=stream_seed,
+        spec=spec,
+        classification=classification,
+        events_run=events_run,
+        fired=injector.fired,
+        detail=injector.detail,
+        divergence_index=divergence_index,
+        detections=detections,
+        rollbacks=injector.rollbacks_seen,
+        scrub_repairs=stats.scrub_repairs,
+        degraded_entries=stats.degraded_entries,
+        degraded_checks=stats.degraded_checks,
+    )
+
+
+@dataclass
+class CampaignMatrix:
+    """All campaigns of one (backend, config) pair."""
+
+    backend: str
+    config: str
+    seed: int
+    n_events: int
+    results: List[CampaignResult]
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        counter = Counter(r.classification for r in self.results)
+        return {name: counter.get(name, 0) for name in CLASSIFICATIONS}
+
+    @property
+    def widening_silent(self) -> List[CampaignResult]:
+        """The must-be-empty set: widening faults that diverged silently."""
+        return [r for r in self.results
+                if r.classification == "silent_divergence" and r.spec.widening]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "backend": self.backend,
+            "config": self.config,
+            "seed": self.seed,
+            "events": self.n_events,
+            "campaigns": len(self.results),
+            "classification_counts": self.counts,
+            "widening_silent_divergences": len(self.widening_silent),
+            "results": [r.to_dict() for r in self.results],
+        }
+
+
+def run_campaigns(
+    backend_name: str,
+    seed: int,
+    n_events: int,
+    n_campaigns: int,
+    config: str = "stress",
+    scrub_interval: int = DEFAULT_SCRUB_INTERVAL,
+) -> CampaignMatrix:
+    """K campaigns, each with its own derived stream seed and fault."""
+    plan = FaultPlan(seed)
+    results = []
+    for campaign in range(n_campaigns):
+        spec = plan.draw(campaign, n_events)
+        results.append(run_campaign(
+            backend_name, spec,
+            stream_seed=seed + campaign,
+            n_events=n_events,
+            config=config,
+            scrub_interval=scrub_interval,
+            campaign=campaign,
+        ))
+    return CampaignMatrix(backend_name, config, seed, n_events, results)
+
+
+def write_report(matrices: List[CampaignMatrix], path: str) -> Dict[str, object]:
+    """Aggregate matrices into one JSON report under ``results/``."""
+    totals: "Counter[str]" = Counter()
+    widening_silent = 0
+    for matrix in matrices:
+        totals.update(matrix.counts)
+        widening_silent += len(matrix.widening_silent)
+    payload = {
+        "format": "isagrid-fault-campaign-v1",
+        "classification_counts": {name: totals.get(name, 0)
+                                  for name in CLASSIFICATIONS},
+        "widening_silent_divergences": widening_silent,
+        "matrices": [matrix.to_dict() for matrix in matrices],
+    }
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    return payload

@@ -1,0 +1,280 @@
+"""Fault injection against a live conformance world.
+
+Two mechanisms, neither of which modifies core logic:
+
+* :class:`FaultyWordBacking` wraps the ``WordBacking`` under a
+  :class:`~repro.core.trusted_memory.TrustedMemory`, so trusted-memory
+  words can be flipped *underneath* the journal and software mirrors
+  (exactly what a hardware bit flip does), and so a domain-0 store can be
+  made to fail mid-reconfiguration.
+* The cache fault kinds use the injection hooks on
+  :class:`~repro.core.cache.FullyAssociativeCache` (``corrupt``/``pin``)
+  and one-shot method wrapping for the dropped coherence sweep.
+
+Injection is a no-op when the planned target does not exist at trigger
+time (dead domain slot, empty cache, unloaded bypass register): those
+campaigns classify as *benign*, which is itself a useful data point.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.errors import InjectedFault
+from repro.core.trusted_memory import WORD_BYTES, WordBacking
+
+from .plan import FaultSpec
+
+_MASK64 = (1 << 64) - 1
+
+
+class FaultyWordBacking:
+    """WordBacking wrapper: raw bit flips + one-shot store failures."""
+
+    def __init__(self, inner: WordBacking):
+        self.inner = inner
+        self._store_fault_armed = False
+        self.store_faults_fired = 0
+
+    def load_word(self, address: int) -> int:
+        return self.inner.load_word(address)
+
+    def store_word(self, address: int, value: int) -> None:
+        if self._store_fault_armed:
+            self._store_fault_armed = False
+            self.store_faults_fired += 1
+            raise InjectedFault(
+                "injected trusted-memory store fault at 0x%x" % address
+            )
+        self.inner.store_word(address, value)
+
+    # -- injection API --------------------------------------------------
+    def arm_store_fault(self) -> None:
+        """The next store through this backing raises InjectedFault."""
+        self._store_fault_armed = True
+
+    @property
+    def store_fault_armed(self) -> bool:
+        return self._store_fault_armed
+
+    def mutate_word(self, address: int, bit: int, op: str) -> bool:
+        """Apply a raw hardware bit flip, bypassing journal and mirrors.
+
+        Returns True when the stored word actually changed.
+        """
+        old = self.inner.load_word(address)
+        if op == "set":
+            new = old | (1 << bit)
+        elif op == "clear":
+            new = old & ~(1 << bit) & _MASK64
+        else:
+            new = old ^ (1 << bit)
+        if new == old:
+            return False
+        self.inner.store_word(address, new)
+        return True
+
+
+class FaultInjector:
+    """Applies one :class:`FaultSpec` to a conformance world at trigger.
+
+    ``world`` is duck-typed to
+    :class:`~repro.conformance.runner.ConformanceWorld`: it must expose
+    ``pcu``, ``manager``, ``backend`` and ``slot_ids``.
+    """
+
+    def __init__(self, world, backing: FaultyWordBacking, spec: FaultSpec):
+        self.world = world
+        self.backing = backing
+        self.spec = spec
+        self.fired = False    # the fault materially changed state
+        self.detail = "not triggered"
+        self.rollbacks_seen = 0
+
+    # -- helpers --------------------------------------------------------
+    def _target_domain(self) -> Optional[int]:
+        """Resolve the abstract domain slot; fall back to any live slot."""
+        domain = self.world.slot_ids.get(self.spec.domain_slot)
+        if domain is not None:
+            return domain
+        for slot in sorted(self.world.slot_ids):
+            if slot and self.world.slot_ids[slot] is not None:
+                return self.world.slot_ids[slot]
+        return None
+
+    def _note(self, fired: bool, detail: str) -> None:
+        self.fired = fired
+        self.detail = detail
+
+    # -- entry point ----------------------------------------------------
+    def on_event(self, index: int) -> None:
+        """Inject the planned fault when ``index`` hits the trigger."""
+        if index != self.spec.trigger:
+            return
+        handler = getattr(self, "_inject_" + self.spec.kind)
+        handler()
+
+    # -- trusted-memory word faults ------------------------------------
+    def _inject_hpt_inst_bit(self) -> None:
+        domain = self._target_domain()
+        if domain is None:
+            return self._note(False, "no live domain to target")
+        hpt = self.world.pcu.hpt
+        inst_class = self.world.backend.inst_class(
+            self.spec.resource % len(self.world.backend.inst_slots))
+        word, bit = divmod(inst_class, 64)
+        address = hpt.inst_word_address(domain, word)
+        changed = self.backing.mutate_word(address, bit, self.spec.bit_op)
+        self._note(changed, "%s inst bit %d of domain %d (word 0x%x)"
+                   % (self.spec.bit_op, inst_class, domain, address))
+
+    def _inject_hpt_reg_bit(self) -> None:
+        domain = self._target_domain()
+        if domain is None:
+            return self._note(False, "no live domain to target")
+        hpt = self.world.pcu.hpt
+        csr = self.world.backend.csr_index(
+            self.spec.resource % len(self.world.backend.csr_slots))
+        # Even bit = read, odd bit = write; widening specs hit the write
+        # bit when the raw bit index is odd.
+        bit_index = 2 * csr + (self.spec.bit & 1)
+        word, bit = divmod(bit_index, 64)
+        address = hpt.reg_word_address(domain, word)
+        changed = self.backing.mutate_word(address, bit, self.spec.bit_op)
+        self._note(changed, "%s reg bit %d of domain %d (word 0x%x)"
+                   % (self.spec.bit_op, bit_index, domain, address))
+
+    def _inject_hpt_mask_bit(self) -> None:
+        domain = self._target_domain()
+        if domain is None:
+            return self._note(False, "no live domain to target")
+        hpt = self.world.pcu.hpt
+        if not hpt.mask_words_per_domain:
+            return self._note(False, "backend has no bitwise CSRs")
+        slot = self.spec.resource % hpt.mask_words_per_domain
+        address = hpt.mask_address(domain, slot)
+        changed = self.backing.mutate_word(address, self.spec.bit % 64,
+                                           self.spec.bit_op)
+        self._note(changed, "%s mask bit %d of domain %d slot %d"
+                   % (self.spec.bit_op, self.spec.bit % 64, domain, slot))
+
+    def _inject_sgt_word(self) -> None:
+        sgt = self.world.pcu.sgt
+        if not sgt.gate_nr:
+            return self._note(False, "no gate slots allocated yet")
+        gate = self.spec.resource % sgt.gate_nr
+        # Which of the 4 entry words to hit: gate addr, dest addr, dest
+        # domain, or the valid flag (bit 0 of word 3 is the nasty one).
+        word_sel = self.spec.bit % 4
+        address = sgt.entry_address(gate) + word_sel * WORD_BYTES
+        bit = 0 if word_sel == 3 else self.spec.bit % 64
+        changed = self.backing.mutate_word(address, bit, self.spec.bit_op)
+        self._note(changed, "%s bit %d of SGT entry %d word %d"
+                   % (self.spec.bit_op, bit, gate, word_sel))
+
+    def _inject_stack_word(self) -> None:
+        regs = self.world.pcu.registers
+        frame_bytes = 2 * WORD_BYTES
+        frames_total = (regs.hcsl - regs.hcsb) // frame_bytes
+        if not frames_total:
+            return self._note(False, "no trusted-stack window configured")
+        frame = self.spec.resource % frames_total
+        address = regs.hcsb + frame * frame_bytes + (self.spec.bit & 1) * WORD_BYTES
+        live = address < regs.hcsp
+        changed = self.backing.mutate_word(address, self.spec.bit % 64,
+                                           self.spec.bit_op)
+        self._note(changed, "%s bit %d of %s stack word 0x%x (depth %d)"
+                   % (self.spec.bit_op, self.spec.bit % 64,
+                      "LIVE" if live else "dead", address,
+                      self.world.pcu.trusted_stack.depth))
+
+    # -- cache-layer faults --------------------------------------------
+    def _cache_module(self):
+        pcu = self.world.pcu
+        return {
+            "inst": pcu.hpt_cache.inst,
+            "reg": pcu.hpt_cache.reg,
+            "mask": pcu.hpt_cache.mask,
+            "sgt": pcu.sgt_cache._cache,
+        }[self.spec.module]
+
+    def _inject_cache_corrupt(self) -> None:
+        cache = self._cache_module()
+        if cache is None or not len(cache):
+            return self._note(False, "cache %r empty" % self.spec.module)
+        tags = cache.tags()
+        tag = tags[self.spec.resource % len(tags)]
+        if self.spec.module == "sgt":
+            def transform(entry):
+                # Corrupt the frozen triple: redirect the destination
+                # domain (a widening fault if it lands on a richer one).
+                return type(entry)(
+                    entry.gate_id, entry.gate_address,
+                    entry.destination_address,
+                    entry.destination_domain ^ (1 << (self.spec.bit % 2)),
+                )
+        else:
+            if self.spec.bit_op == "set":
+                def transform(word):
+                    return word | (1 << self.spec.bit % 64)
+            elif self.spec.bit_op == "clear":
+                def transform(word):
+                    return word & ~(1 << self.spec.bit % 64) & _MASK64
+            else:
+                def transform(word):
+                    return word ^ (1 << self.spec.bit % 64)
+        before = cache.lookup(tag)
+        cache.corrupt(tag, transform)
+        changed = cache.lookup(tag) != before
+        self._note(changed, "%s payload bit of %r cache entry %r"
+                   % (self.spec.bit_op, self.spec.module, tag))
+
+    def _inject_cache_stale_pin(self) -> None:
+        cache = self._cache_module()
+        if cache is None or not len(cache):
+            return self._note(False, "cache %r empty" % self.spec.module)
+        tags = cache.tags()
+        tag = tags[self.spec.resource % len(tags)]
+        cache.pin(tag)
+        self._note(True, "pinned %r cache entry %r (stuck CAM line)"
+                   % (self.spec.module, tag))
+
+    def _inject_drop_invalidate(self) -> None:
+        pcu = self.world.pcu
+        original = pcu.invalidate_privileges
+        injector = self
+
+        def dropping(*args, **kwargs):
+            pcu.invalidate_privileges = original  # one-shot
+            injector._note(True, "dropped invalidate_privileges(%r, %r)"
+                           % (args, kwargs))
+
+        pcu.invalidate_privileges = dropping
+        self._note(False, "armed invalidate drop (no sweep seen yet)")
+
+    def _inject_bypass_corrupt(self) -> None:
+        bypass = self.world.pcu.bypass
+        if bypass.loaded_domain is None or not bypass._words:
+            return self._note(False, "bypass register not loaded")
+        word = self.spec.resource % len(bypass._words)
+        bit = self.spec.bit % 64
+        old = bypass._words[word]
+        if self.spec.bit_op == "set":
+            new = old | (1 << bit)
+        elif self.spec.bit_op == "clear":
+            new = old & ~(1 << bit) & _MASK64
+        else:
+            new = old ^ (1 << bit)
+        bypass._words[word] = new
+        self._note(new != old, "%s bypass word %d bit %d (domain %d)"
+                   % (self.spec.bit_op, word, bit, bypass.loaded_domain))
+
+    def _inject_store_fault(self) -> None:
+        self.backing.arm_store_fault()
+        self._note(False, "armed one-shot trusted-memory store fault")
+
+    # -- campaign bookkeeping ------------------------------------------
+    def note_rollback(self) -> None:
+        """A store fault fired and the reconfiguration rolled back."""
+        self.rollbacks_seen += 1
+        self._note(True, "store fault fired; reconfiguration rolled back")

@@ -1,0 +1,128 @@
+"""Seeded fault plans.
+
+A :class:`FaultSpec` names one simulated hardware fault in the abstract
+vocabulary of the conformance model (domain *slots*, instruction/CSR
+*slots*, gate *slots*), so the same spec is meaningful on every backend;
+the injector resolves slots to concrete HPT/SGT bit positions at trigger
+time.  A :class:`FaultPlan` deterministically derives one spec per
+campaign from a base seed, cycling through every fault kind so a modest
+campaign count still covers the whole injectable surface.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass
+from typing import Dict
+
+from repro.conformance.events import (
+    MASKED_CSR_SLOT,
+    N_CSR_SLOTS,
+    N_DOMAIN_SLOTS,
+    N_GATE_SLOTS,
+    N_INST_SLOTS,
+)
+
+#: Every injectable fault kind, in the order the plan cycles through.
+FAULT_KINDS = (
+    "hpt_inst_bit",     # flip a bit of an instruction bitmap word in memory
+    "hpt_reg_bit",      # flip a R/W bit of a register bitmap word in memory
+    "hpt_mask_bit",     # flip a bit of a bit-mask array word in memory
+    "sgt_word",         # flip a bit of one SGT entry word in memory
+    "stack_word",       # flip a bit of a trusted-stack word in memory
+    "cache_corrupt",    # flip a bit of a resident privilege-cache payload
+    "cache_stale_pin",  # stick a cache line so coherence sweeps miss it
+    "drop_invalidate",  # swallow the next invalidate_privileges sweep
+    "bypass_corrupt",   # flip a bit of the bypass instruction-privilege reg
+    "store_fault",      # fail the next trusted-memory store mid-reconfig
+)
+
+#: Cache modules a cache_* fault can target.
+CACHE_MODULES = ("inst", "reg", "mask", "sgt")
+
+#: Kinds that are privilege-widening regardless of bit direction: a stale
+#: or half-applied privilege structure can only be trusted to *narrow* if
+#: proven so, and these tamper with structures whose entire job is to
+#: withhold privilege (gates, return frames, coherence, atomicity).
+_ALWAYS_WIDENING = {
+    "sgt_word", "stack_word", "cache_stale_pin", "drop_invalidate",
+    "store_fault",
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault, in abstract-slot vocabulary."""
+
+    kind: str
+    trigger: int          # event index the fault fires at
+    domain_slot: int = 1  # abstract domain slot the fault targets
+    resource: int = 0     # inst/CSR/gate slot (kind-dependent)
+    bit: int = 0          # raw bit index for word-granular kinds
+    bit_op: str = "set"   # "set" (widening direction), "clear", or "flip"
+    module: str = "inst"  # cache module for cache_* kinds
+
+    @property
+    def widening(self) -> bool:
+        """Could this fault grant privilege the configuration withheld?"""
+        if self.kind in _ALWAYS_WIDENING:
+            return True
+        return self.bit_op != "clear"
+
+    def to_dict(self) -> Dict[str, object]:
+        data = asdict(self)
+        data["widening"] = self.widening
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultSpec":
+        data = dict(data)
+        data.pop("widening", None)
+        return cls(**data)
+
+
+class FaultPlan:
+    """Deterministic per-campaign fault specs from one base seed."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self.rng = random.Random(0xFA017 ^ seed)
+
+    def draw(self, campaign: int, n_events: int) -> FaultSpec:
+        """Spec for campaign ``campaign`` over an ``n_events`` stream.
+
+        The kind cycles round-robin so every K >= len(FAULT_KINDS)
+        campaign matrix exercises the full injectable surface; all other
+        parameters are drawn from the plan's seeded RNG.
+        """
+        rng = self.rng
+        kind = FAULT_KINDS[campaign % len(FAULT_KINDS)]
+        # Fire somewhere in the fuzz body, past the setup prologue, with
+        # enough tail left for the fault to matter and a scrub to run.
+        lo = min(16, max(1, n_events // 4))
+        hi = max(lo + 1, (3 * n_events) // 4)
+        trigger = rng.randrange(lo, hi)
+        bit_op = rng.choice(("set", "set", "clear", "flip"))
+        return FaultSpec(
+            kind=kind,
+            trigger=trigger,
+            domain_slot=rng.randrange(1, N_DOMAIN_SLOTS + 1),
+            resource=self._resource(kind),
+            bit=rng.randrange(64),
+            bit_op=bit_op,
+            module=rng.choice(CACHE_MODULES),
+        )
+
+    def _resource(self, kind: str) -> int:
+        rng = self.rng
+        if kind in ("hpt_inst_bit", "bypass_corrupt"):
+            return rng.randrange(N_INST_SLOTS)
+        if kind == "hpt_reg_bit":
+            return rng.randrange(N_CSR_SLOTS)
+        if kind == "hpt_mask_bit":
+            return MASKED_CSR_SLOT
+        if kind == "sgt_word":
+            return rng.randrange(N_GATE_SLOTS)
+        if kind == "stack_word":
+            return rng.randrange(4)  # frame index within the stack window
+        return rng.randrange(4)

@@ -1,0 +1,110 @@
+"""Kernel-layer conformance surface.
+
+The bare-PCU conformance fuzzer calls ``pcu.check(...)`` directly; a real
+deployment reaches the PCU through kernel entry points.  This module is
+the MiniKernel's *syscall-shaped* dispatch over one PCU + DomainManager
+pair, mirroring how ``riscv_kernel``/``x86_kernel`` route service
+requests: a numbered handler table, per-syscall accounting, and faults
+surfacing as the privilege exceptions the trap handler would see.
+
+``python -m repro conformance --layer kernel`` replays every abstract
+event through this table on the cached side (the oracle stays bare — it
+is the spec, not a deployment), so the differential diff also covers the
+dispatch plumbing: argument marshalling, handler routing and fault
+propagation.  ``SYS_SCRUB`` is the domain-0 entry point a production
+kernel would expose for the integrity watchdog of :mod:`repro.faults`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, Optional
+
+from repro.core import CacheId, DomainManager, GateKind, PrivilegeCheckUnit
+from repro.core.errors import PrivilegeFault
+
+from .syscalls import (
+    SYS_DCONF,
+    SYS_PCHECK,
+    SYS_PFCH,
+    SYS_PFLH,
+    SYS_PGATE,
+    SYS_PMEM,
+    SYS_SCRUB,
+    SYSCALL_NAMES,
+)
+
+#: DomainManager methods reachable through SYS_DCONF.  A closed set: the
+#: dispatch layer must not become a generic RPC into domain-0.
+_DCONF_OPS = frozenset((
+    "create_domain", "destroy_domain",
+    "allow_instructions", "deny_instruction",
+    "grant_register", "revoke_register", "set_register_mask",
+    "register_gate", "unregister_gate",
+))
+
+
+class MiniKernelSyscallLayer:
+    """Syscall-numbered dispatch over one PCU/DomainManager pair."""
+
+    def __init__(self, pcu: PrivilegeCheckUnit, manager: DomainManager):
+        self.pcu = pcu
+        self.manager = manager
+        self.syscall_counts: "Counter[str]" = Counter()
+        self.fault_counts: "Counter[str]" = Counter()
+        self._handlers: Dict[int, Callable] = {
+            SYS_PCHECK: self._sys_pcheck,
+            SYS_PGATE: self._sys_pgate,
+            SYS_PMEM: self._sys_pmem,
+            SYS_PFCH: self._sys_pfch,
+            SYS_PFLH: self._sys_pflh,
+            SYS_DCONF: self._sys_dconf,
+            SYS_SCRUB: self._sys_scrub,
+        }
+
+    def syscall(self, number: int, *args, **kwargs):
+        """Dispatch one numbered syscall; privilege faults re-raise so
+        the caller (the trap handler, or the lockstep differ) sees the
+        same architectural exception the bare PCU would deliver."""
+        try:
+            handler = self._handlers[number]
+        except KeyError:
+            raise ValueError("not a conformance-surface syscall: %d" % number)
+        self.syscall_counts[SYSCALL_NAMES[number]] += 1
+        try:
+            return handler(*args, **kwargs)
+        except PrivilegeFault as fault:
+            self.fault_counts[type(fault).__name__] += 1
+            raise
+
+    # -- PCU data path --------------------------------------------------
+    def _sys_pcheck(self, access) -> int:
+        return self.pcu.check(access)
+
+    def _sys_pgate(self, kind: GateKind, gate_id: int, pc: int,
+                   return_address: Optional[int] = None):
+        target, _stall = self.pcu.execute_gate(kind, gate_id, pc,
+                                               return_address)
+        return target
+
+    def _sys_pmem(self, address: int) -> None:
+        self.pcu.check_memory_access(address)
+
+    def _sys_pfch(self, csr: int = 0) -> None:
+        self.pcu.prefetch(csr)
+
+    def _sys_pflh(self, cache: int = 0) -> None:
+        self.pcu.flush(CacheId(cache))
+
+    # -- domain-0 services ---------------------------------------------
+    def _sys_dconf(self, op: str, *args, **kwargs):
+        if op not in _DCONF_OPS:
+            raise ValueError("SYS_DCONF does not expose %r" % op)
+        return getattr(self.manager, op)(*args, **kwargs)
+
+    def _sys_scrub(self):
+        """Domain-0 integrity scrub; halts (IntegrityFault) when the
+        trusted stack is corrupt, otherwise returns the scrub report."""
+        from repro.faults.scrub import IntegrityScrubber
+
+        return IntegrityScrubber(self.pcu, self.manager).scrub_or_halt()

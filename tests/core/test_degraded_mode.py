@@ -1,0 +1,87 @@
+"""Bypass-degraded operation: correctness with every cache distrusted."""
+
+import pytest
+
+from repro.conformance import (
+    CONFORMANCE_CONFIGS,
+    ConformanceWorld,
+    generate_events,
+    make_backend,
+)
+from repro.core import AccessInfo, CacheId, GateKind, InstructionPrivilegeFault
+
+
+class TestDegradedChecks:
+    def test_enter_flushes_and_counts(self, pcu, manager, isa_map):
+        domain = manager.create_domain("kernel")
+        manager.allow_instructions(domain.domain_id, ["alu"])
+        gate = manager.register_gate(0x1000, 0x2000, domain.domain_id)
+        pcu.execute_gate(GateKind.HCCALL, gate, 0x1000)
+        pcu.check(AccessInfo(inst_class=isa_map.inst_class("alu")))
+        assert len(pcu.hpt_cache.inst)
+        pcu.enter_degraded_mode()
+        assert pcu.degraded
+        assert not len(pcu.hpt_cache.inst)
+        assert pcu.stats.degraded_entries == 1
+        pcu.enter_degraded_mode()  # idempotent
+        assert pcu.stats.degraded_entries == 1
+
+    def test_degraded_checks_walk_memory(self, pcu, manager, isa_map):
+        domain = manager.create_domain("kernel")
+        manager.allow_instructions(domain.domain_id, ["alu"])
+        gate = manager.register_gate(0x1000, 0x2000, domain.domain_id)
+        pcu.execute_gate(GateKind.HCCALL, gate, 0x1000)
+        pcu.enter_degraded_mode()
+        stall = pcu.check(AccessInfo(inst_class=isa_map.inst_class("alu")))
+        assert stall > 0  # every degraded check pays the walk
+        assert pcu.stats.degraded_checks == 1
+        assert not len(pcu.hpt_cache.inst)  # and fills nothing
+        with pytest.raises(InstructionPrivilegeFault):
+            pcu.check(AccessInfo(inst_class=isa_map.inst_class("sysop")))
+
+    def test_degraded_gate_reads_sgt_directly(self, pcu, manager):
+        domain = manager.create_domain("kernel")
+        gate = manager.register_gate(0x1000, 0x2000, domain.domain_id)
+        pcu.enter_degraded_mode()
+        target, stall = pcu.execute_gate(GateKind.HCCALL, gate, 0x1000)
+        assert target == 0x2000
+        assert stall > 0
+
+    def test_exit_restores_cached_operation(self, pcu, manager, isa_map):
+        domain = manager.create_domain("kernel")
+        manager.allow_instructions(domain.domain_id, ["alu"])
+        gate = manager.register_gate(0x1000, 0x2000, domain.domain_id)
+        pcu.execute_gate(GateKind.HCCALL, gate, 0x1000)
+        pcu.enter_degraded_mode()
+        pcu.check(AccessInfo(inst_class=isa_map.inst_class("alu")))
+        pcu.exit_degraded_mode()
+        assert not pcu.degraded
+        walked = pcu.stats.degraded_checks
+        pcu.check(AccessInfo(inst_class=isa_map.inst_class("alu")))
+        assert pcu.stats.degraded_checks == walked  # back on the caches
+
+
+class TestDegradedOracleEquivalence:
+    """The acceptance test: a degraded PCU must remain oracle-identical
+    over a long fuzzed stream, with the walks observable in PcuStats."""
+
+    @pytest.mark.parametrize("backend_name", ("riscv", "x86"))
+    def test_degraded_replay_is_oracle_identical(self, backend_name):
+        world = ConformanceWorld(make_backend(backend_name),
+                                 CONFORMANCE_CONFIGS["draco"])
+        world.pcu.enter_degraded_mode()
+        for index, event in enumerate(generate_events(17, 600)):
+            cached, oracle = world.apply(event)
+            assert cached == oracle, "event %d (%s)" % (index, event.op)
+        stats = world.pcu.stats
+        assert stats.degraded_checks > 0
+        assert stats.degraded_entries == 1
+        # degraded means *no* cache traffic served the data path
+        assert stats.draco_hits == 0
+
+    def test_degraded_flag_survives_flush_events(self):
+        world = ConformanceWorld(make_backend("riscv"),
+                                 CONFORMANCE_CONFIGS["stress"])
+        world.pcu.enter_degraded_mode()
+        world.pcu.flush(CacheId.ALL)
+        assert world.pcu.degraded

@@ -1,0 +1,126 @@
+"""Per-CSR coherence: reconfigures only drop the cache state they
+falsify — warm Draco tuples and mask slots for other CSRs survive."""
+
+import pytest
+
+from repro.core import (
+    AccessInfo,
+    DomainManager,
+    GateKind,
+    PcuConfig,
+    PrivilegeCheckUnit,
+    RegisterReadFault,
+)
+
+
+@pytest.fixture
+def pcu(isa_map, trusted_memory):
+    return PrivilegeCheckUnit(
+        isa_map,
+        PcuConfig(name="draco-test", draco_entries=8),
+        trusted_memory,
+    )
+
+
+@pytest.fixture
+def manager(pcu):
+    return DomainManager(pcu)
+
+
+@pytest.fixture
+def domain(pcu, manager):
+    descriptor = manager.create_domain("kernel")
+    manager.allow_instructions(descriptor.domain_id, ["csr"])
+    manager.grant_register(descriptor.domain_id, "vbase", read=True)
+    manager.grant_register(descriptor.domain_id, "counter", read=True)
+    gate = manager.register_gate(0x1000, 0x2000, descriptor.domain_id)
+    pcu.execute_gate(GateKind.HCCALL, gate, 0x1000)
+    return descriptor
+
+
+def read_access(isa_map, csr_name):
+    return AccessInfo(inst_class=isa_map.inst_class("csr"),
+                      csr=isa_map.csr_index(csr_name), csr_read=True)
+
+
+def prove(pcu, isa_map, csr_name):
+    """Run the same check twice: fill the Draco tuple, then hit it."""
+    pcu.check(read_access(isa_map, csr_name))
+    hits = pcu.stats.draco_hits
+    assert pcu.check(read_access(isa_map, csr_name)) == 0
+    assert pcu.stats.draco_hits == hits + 1
+
+
+class TestDracoPerCsrInvalidation:
+    def test_unrelated_csr_grant_preserves_warm_tuples(
+            self, pcu, manager, isa_map, domain):
+        prove(pcu, isa_map, "vbase")
+        manager.grant_register(domain.domain_id, "scratch", read=True)
+        hits = pcu.stats.draco_hits
+        assert pcu.check(read_access(isa_map, "vbase")) == 0  # still proven
+        assert pcu.stats.draco_hits == hits + 1
+
+    def test_unrelated_csr_revoke_preserves_warm_tuples(
+            self, pcu, manager, isa_map, domain):
+        prove(pcu, isa_map, "vbase")
+        manager.revoke_register(domain.domain_id, "counter", read=True)
+        hits = pcu.stats.draco_hits
+        assert pcu.check(read_access(isa_map, "vbase")) == 0
+        assert pcu.stats.draco_hits == hits + 1
+
+    def test_touched_csr_tuples_are_dropped(self, pcu, manager, isa_map,
+                                            domain):
+        prove(pcu, isa_map, "vbase")
+        manager.revoke_register(domain.domain_id, "vbase", read=True)
+        with pytest.raises(RegisterReadFault):
+            pcu.check(read_access(isa_map, "vbase"))
+
+    def test_other_domain_tuples_survive_any_edit(self, pcu, manager,
+                                                  isa_map, domain):
+        prove(pcu, isa_map, "vbase")
+        other = manager.create_domain("other")
+        manager.grant_register(other.domain_id, "vbase",
+                               read=True, write=True)
+        manager.revoke_register(other.domain_id, "vbase", write=True)
+        hits = pcu.stats.draco_hits
+        assert pcu.check(read_access(isa_map, "vbase")) == 0
+        assert pcu.stats.draco_hits == hits + 1
+
+    def test_instruction_edit_sweeps_whole_domain(self, pcu, manager,
+                                                  isa_map, domain):
+        prove(pcu, isa_map, "vbase")
+        manager.allow_instructions(domain.domain_id, ["alu"])
+        hits = pcu.stats.draco_hits
+        pcu.check(read_access(isa_map, "vbase"))  # re-proves, no hit
+        assert pcu.stats.draco_hits == hits
+
+
+class TestMaskSlotIsolation:
+    def write_access(self, isa_map, csr_name, old=0, new=0b0100):
+        return AccessInfo(inst_class=isa_map.inst_class("csr"),
+                          csr=isa_map.csr_index(csr_name),
+                          csr_write=True, write_value=new, old_value=old)
+
+    def test_unrelated_mask_edit_preserves_warm_slot(
+            self, pcu, manager, isa_map, domain):
+        manager.grant_register_bits(domain.domain_id, "ctrl", 0b1111)
+        manager.grant_register_bits(domain.domain_id, "status", 0b1111)
+        pcu.check(self.write_access(isa_map, "ctrl"))
+        pcu.check(self.write_access(isa_map, "status"))
+        ctrl_slot = isa_map.mask_slot(isa_map.csr_index("ctrl"))
+        status_slot = isa_map.mask_slot(isa_map.csr_index("status"))
+        cache = pcu.hpt_cache.mask
+        assert cache.lookup((domain.domain_id, ctrl_slot)) is not None
+        assert cache.lookup((domain.domain_id, status_slot)) is not None
+        manager.set_register_mask(domain.domain_id, "ctrl", 0b0111)
+        # the edited CSR's slot is dropped, the other survives warm
+        assert cache.lookup((domain.domain_id, ctrl_slot)) is None
+        assert cache.lookup((domain.domain_id, status_slot)) is not None
+
+    def test_reg_word_narrowing_still_enforces(self, pcu, manager, isa_map,
+                                               domain):
+        # the narrowed sweep must not leave a stale read grant behind
+        prove(pcu, isa_map, "counter")
+        manager.revoke_register(domain.domain_id, "counter", read=True)
+        with pytest.raises(RegisterReadFault):
+            pcu.check(read_access(isa_map, "counter"))

@@ -1,0 +1,21 @@
+"""Shared fixtures: a faultable lockstep world (backing interposed)."""
+
+import pytest
+
+from repro.conformance import CONFORMANCE_CONFIGS, ConformanceWorld, make_backend
+from repro.faults import FaultyWordBacking, IntegrityScrubber
+
+
+@pytest.fixture
+def world():
+    """A riscv world under the draco config with a faultable backing."""
+    world = ConformanceWorld(make_backend("riscv"), CONFORMANCE_CONFIGS["draco"])
+    backing = FaultyWordBacking(world.trusted_memory._backing)
+    world.trusted_memory._backing = backing
+    world.backing = backing
+    return world
+
+
+@pytest.fixture
+def scrubber(world):
+    return IntegrityScrubber(world.pcu, world.manager)

@@ -1,0 +1,87 @@
+"""Campaign runner: classification protocol, determinism, reporting."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    CLASSIFICATIONS,
+    FAULT_KINDS,
+    FaultPlan,
+    run_campaign,
+    run_campaigns,
+    write_report,
+)
+
+
+class TestSingleCampaign:
+    def test_campaigns_are_deterministic(self):
+        spec = FaultPlan(0).draw(0, 300)
+        a = run_campaign("riscv", spec, stream_seed=0, n_events=300)
+        b = run_campaign("riscv", spec, stream_seed=0, n_events=300)
+        assert a.classification == b.classification
+        assert a.detail == b.detail
+        assert a.divergence_index == b.divergence_index
+
+    def test_store_fault_rolls_back_and_recovers(self):
+        # store_fault arms a one-shot failing store; the transactional
+        # DomainManager must roll back and the run must end recovered.
+        spec = FaultPlan(0).draw(FAULT_KINDS.index("store_fault"), 300)
+        assert spec.kind == "store_fault"
+        result = run_campaign("riscv", spec, stream_seed=11, n_events=300)
+        assert result.classification in ("detected_recovered", "benign")
+        if result.rollbacks:
+            assert result.classification == "detected_recovered"
+
+    def test_classification_is_always_valid(self):
+        plan = FaultPlan(2)
+        for campaign in range(len(FAULT_KINDS)):
+            spec = plan.draw(campaign, 200)
+            result = run_campaign("riscv", spec, stream_seed=campaign,
+                                  n_events=200, campaign=campaign)
+            assert result.classification in CLASSIFICATIONS
+            assert result.events_run > 0
+
+    def test_result_roundtrips_to_dict(self):
+        spec = FaultPlan(1).draw(0, 200)
+        result = run_campaign("riscv", spec, stream_seed=1, n_events=200)
+        data = result.to_dict()
+        assert data["classification"] == result.classification
+        assert data["spec"]["kind"] == spec.kind
+        json.dumps(data)  # JSON-serializable
+
+
+class TestCampaignMatrix:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        # one full cycle of fault kinds on the nastiest (draco) config
+        return run_campaigns("riscv", seed=0, n_events=300,
+                             n_campaigns=len(FAULT_KINDS), config="draco")
+
+    def test_no_widening_silent_divergence(self, matrix):
+        assert matrix.widening_silent == []
+
+    def test_detection_machinery_exercised(self, matrix):
+        counts = matrix.counts
+        assert sum(counts.values()) == len(FAULT_KINDS)
+        assert counts["detected_recovered"] + counts["detected_halted"] > 0
+        assert counts["benign"] > 0
+
+    def test_full_fault_surface_covered(self, matrix):
+        assert {r.spec.kind for r in matrix.results} == set(FAULT_KINDS)
+
+    def test_x86_backend_matches_protocol(self):
+        matrix = run_campaigns("x86", seed=0, n_events=300,
+                               n_campaigns=4, config="draco")
+        assert matrix.widening_silent == []
+        for result in matrix.results:
+            assert result.classification in CLASSIFICATIONS
+
+    def test_report_written_and_gates_on_widening(self, matrix, tmp_path):
+        path = str(tmp_path / "report.json")
+        payload = write_report([matrix], path)
+        assert payload["widening_silent_divergences"] == 0
+        with open(path) as handle:
+            on_disk = json.load(handle)
+        assert on_disk["format"] == "isagrid-fault-campaign-v1"
+        assert on_disk["classification_counts"] == matrix.counts

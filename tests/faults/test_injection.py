@@ -1,0 +1,157 @@
+"""Fault plans and the injector: determinism, coverage, mechanisms."""
+
+import pytest
+
+from repro.conformance import Event
+from repro.core.errors import InjectedFault
+from repro.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    FaultyWordBacking,
+)
+
+
+class TestFaultPlan:
+    def test_plans_are_deterministic(self):
+        a = [FaultPlan(7).draw(i, 1000) for i in range(20)]
+        b = [FaultPlan(7).draw(i, 1000) for i in range(20)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = [FaultPlan(1).draw(i, 1000) for i in range(20)]
+        b = [FaultPlan(2).draw(i, 1000) for i in range(20)]
+        assert a != b
+
+    def test_kinds_cycle_over_full_surface(self):
+        plan = FaultPlan(0)
+        kinds = {plan.draw(i, 1000).kind for i in range(len(FAULT_KINDS))}
+        assert kinds == set(FAULT_KINDS)
+
+    def test_trigger_lands_in_fuzz_body(self):
+        for campaign in range(30):
+            spec = FaultPlan(3).draw(campaign, 2000)
+            assert 16 <= spec.trigger < 1500
+
+    def test_spec_roundtrips_through_dict(self):
+        spec = FaultPlan(5).draw(4, 500)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_widening_classification(self):
+        # Coherence/atomicity/gate/stack faults widen regardless of
+        # direction; plain bitmap faults widen unless they only clear.
+        assert FaultSpec("drop_invalidate", 10, bit_op="clear").widening
+        assert FaultSpec("store_fault", 10, bit_op="clear").widening
+        assert FaultSpec("hpt_inst_bit", 10, bit_op="set").widening
+        assert not FaultSpec("hpt_inst_bit", 10, bit_op="clear").widening
+
+
+class TestFaultyWordBacking:
+    def test_passthrough(self, world):
+        address = world.trusted_memory.base
+        world.trusted_memory.store_word(address, 0xDEAD)
+        assert world.trusted_memory.load_word(address) == 0xDEAD
+
+    def test_store_fault_is_one_shot(self, world):
+        address = world.trusted_memory.base
+        world.backing.arm_store_fault()
+        with pytest.raises(InjectedFault):
+            world.trusted_memory.store_word(address, 1)
+        world.trusted_memory.store_word(address, 2)  # disarmed
+        assert world.trusted_memory.load_word(address) == 2
+        assert world.backing.store_faults_fired == 1
+
+    def test_mutate_word_bypasses_mirrors(self, world):
+        from repro.conformance import Event
+        world.apply(Event("allow_inst", domain=1, inst=0))
+        hpt = world.pcu.hpt
+        domain = world.slot_ids[1]
+        address = hpt.inst_word_address(domain, 0)
+        before = world.trusted_memory.load_word(address)
+        assert world.backing.mutate_word(address, 0, "flip")
+        assert world.trusted_memory.load_word(address) == before ^ 1
+        # the software mirror did not see the flip — that is the point
+        assert hpt._inst[domain].word(0) == before
+
+    def test_mutate_word_reports_no_change(self, world):
+        address = world.trusted_memory.base
+        world.trusted_memory.store_word(address, 0b1)
+        assert not world.backing.mutate_word(address, 0, "set")
+
+
+class TestFaultInjector:
+    def _inject(self, world, spec, warm=True):
+        if warm:  # enter slot 1 and run a check so caches/bypass load
+            world.apply(Event("allow_inst", domain=1, inst=0))
+            world.apply(Event("register_gate", gate=0, domain=1))
+            world.apply(Event("gate", kind="hccall", gate=0))
+            world.apply(Event("check", inst=0))
+        injector = FaultInjector(world, world.backing, spec)
+        injector.on_event(spec.trigger - 1)  # off-trigger: no-op
+        assert not injector.fired
+        injector.on_event(spec.trigger)
+        return injector
+
+    def test_hpt_inst_bit_changes_memory(self, world):
+        world.apply(Event("allow_inst", domain=1, inst=0))
+        spec = FaultSpec("hpt_inst_bit", 5, domain_slot=1, resource=1,
+                         bit_op="flip")
+        injector = self._inject(world, spec, warm=False)
+        assert injector.fired
+        domain = world.slot_ids[1]
+        hpt = world.pcu.hpt
+        assert (hpt.read_inst_word(domain, 0)
+                != hpt._inst[domain].word(0))
+
+    def test_sgt_valid_bit_fault(self, world):
+        spec = FaultSpec("sgt_word", 5, resource=0, bit=3, bit_op="flip")
+        injector = self._inject(world, spec)
+        assert injector.fired
+        assert "word 3" in injector.detail
+
+    def test_cache_corrupt_hits_resident_line(self, world):
+        spec = FaultSpec("cache_corrupt", 5, module="inst", bit_op="flip")
+        injector = self._inject(world, spec)
+        assert injector.fired
+
+    def test_cache_corrupt_on_empty_cache_is_benign(self, world):
+        spec = FaultSpec("cache_corrupt", 5, module="inst", bit_op="flip")
+        injector = FaultInjector(world, world.backing, spec)
+        injector.on_event(5)
+        assert not injector.fired and "empty" in injector.detail
+
+    def test_stale_pin_survives_invalidation(self, world):
+        spec = FaultSpec("cache_stale_pin", 5, module="inst")
+        injector = self._inject(world, spec)
+        assert injector.fired
+        cache = world.pcu.hpt_cache.inst
+        tags = cache.tags()
+        world.pcu.invalidate_privileges()  # full sweep
+        assert set(cache.tags()) & set(tags)  # the pinned line survived
+
+    def test_drop_invalidate_swallows_one_sweep(self, world):
+        spec = FaultSpec("drop_invalidate", 5)
+        injector = self._inject(world, spec)
+        assert not injector.fired  # armed, not yet fired
+        cache = world.pcu.hpt_cache.inst
+        assert len(cache)
+        world.pcu.invalidate_privileges()  # swallowed
+        assert injector.fired
+        assert len(cache)  # nothing was invalidated
+        world.pcu.invalidate_privileges()  # restored: sweeps again
+        assert not len(cache)
+
+    def test_bypass_corrupt_flips_loaded_word(self, world):
+        spec = FaultSpec("bypass_corrupt", 5, bit=2, bit_op="flip")
+        injector = self._inject(world, spec)
+        assert injector.fired
+        domain = world.pcu.bypass.loaded_domain
+        assert (world.pcu.bypass._words
+                != world.pcu.hpt.read_inst_words(domain))
+
+    def test_stack_word_detail_reports_liveness(self, world):
+        spec = FaultSpec("stack_word", 5, resource=0, bit_op="flip")
+        injector = self._inject(world, spec)
+        assert injector.fired
+        assert "stack word" in injector.detail

@@ -1,0 +1,108 @@
+"""The MiniKernel syscall dispatch over the PCU (conformance surface)."""
+
+import pytest
+
+from repro.conformance import (
+    BACKEND_NAMES,
+    CONFORMANCE_CONFIGS,
+    ConformanceWorld,
+    fuzz_backend,
+    generate_events,
+    make_backend,
+)
+from repro.core import AccessInfo, GateKind, InstructionPrivilegeFault
+from repro.kernel import (
+    MiniKernelSyscallLayer,
+    SYS_DCONF,
+    SYS_PCHECK,
+    SYS_PGATE,
+    SYS_SCRUB,
+)
+
+
+@pytest.fixture
+def layered():
+    world = ConformanceWorld(make_backend("riscv"),
+                             CONFORMANCE_CONFIGS["stress"], layer="kernel")
+    return world, world.kernel_layer
+
+
+class TestDispatch:
+    def test_pcheck_routes_to_pcu(self, layered):
+        world, layer = layered
+        backend = world.backend
+        layer.syscall(SYS_DCONF, "allow_instructions", world.slot_ids[1],
+                      [backend.inst_name(0)])
+        gate = layer.syscall(SYS_DCONF, "register_gate", 0x40_0000, 0x50_0000,
+                             world.slot_ids[1], gate_id=0)
+        layer.syscall(SYS_PGATE, GateKind.HCCALL, 0, 0x40_0000)
+        layer.syscall(SYS_PCHECK,
+                      AccessInfo(inst_class=backend.inst_class(0)))
+        assert layer.syscall_counts["pcheck"] == 1
+        assert layer.syscall_counts["dconf"] == 2
+
+    def test_faults_propagate_and_count(self, layered):
+        world, layer = layered
+        backend = world.backend
+        layer.syscall(SYS_DCONF, "register_gate", 0x40_0000, 0x50_0000,
+                      world.slot_ids[1], gate_id=0)
+        layer.syscall(SYS_PGATE, GateKind.HCCALL, 0, 0x40_0000)
+        with pytest.raises(InstructionPrivilegeFault):
+            layer.syscall(SYS_PCHECK,
+                          AccessInfo(inst_class=backend.inst_class(0)))
+        assert layer.fault_counts["InstructionPrivilegeFault"] == 1
+
+    def test_unknown_syscall_rejected(self, layered):
+        _world, layer = layered
+        with pytest.raises(ValueError):
+            layer.syscall(999)
+
+    def test_dconf_surface_is_closed(self, layered):
+        """SYS_DCONF must not become an RPC into arbitrary manager code."""
+        _world, layer = layered
+        with pytest.raises(ValueError):
+            layer.syscall(SYS_DCONF, "_descriptor", 0)
+        with pytest.raises(ValueError):
+            layer.syscall(SYS_DCONF, "describe")
+
+    def test_scrub_syscall_runs_integrity_pass(self, layered):
+        world, layer = layered
+        report = layer.syscall(SYS_SCRUB)
+        assert report.clean
+        assert world.pcu.stats.scrubs == 1
+
+
+class TestKernelLayerLockstep:
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_kernel_layer_replay_is_oracle_identical(self, backend):
+        result = fuzz_backend(backend, seed=5, count=500, config="draco",
+                              layer="kernel")
+        assert result.clean, result.divergence and result.divergence.describe()
+        assert result.layer == "kernel"
+
+    def test_kernel_layer_counts_every_data_path_call(self):
+        world = ConformanceWorld(make_backend("riscv"),
+                                 CONFORMANCE_CONFIGS["stress"],
+                                 layer="kernel")
+        for event in generate_events(2, 300):
+            world.apply(event)
+        counts = world.kernel_layer.syscall_counts
+        assert counts["pcheck"] > 0
+        assert counts["pgate"] > 0
+        assert counts["pmem"] > 0
+        assert counts["dconf"] > 0
+
+    def test_layer_matches_bare_pcu_outcomes(self):
+        events = generate_events(8, 300)
+        statuses = {}
+        for layer in ("pcu", "kernel"):
+            world = ConformanceWorld(make_backend("riscv"),
+                                     CONFORMANCE_CONFIGS["stress"],
+                                     layer=layer)
+            statuses[layer] = [world.apply(e)[0].status for e in events]
+        assert statuses["pcu"] == statuses["kernel"]
+
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(ValueError):
+            ConformanceWorld(make_backend("riscv"),
+                             CONFORMANCE_CONFIGS["stress"], layer="bogus")
