@@ -12,6 +12,11 @@ Usage::
     python -m repro audit             # audit the shipped decompositions
     python -m repro conformance       # differential oracle-vs-PCU fuzz
     python -m repro faults            # fault-injection campaigns
+    python -m repro orchestrate       # status of parallel campaign runs
+
+``conformance`` and ``faults`` accept ``--jobs N`` to run their matrix
+sharded over a supervised worker pool (with ``--resume`` and
+``--shard-timeout``); reports stay byte-identical with ``--jobs 1``.
 """
 
 from __future__ import annotations
@@ -207,6 +212,26 @@ def _cmd_conformance(args) -> int:
               % (", ".join(unknown), ", ".join(CONFORMANCE_CONFIGS)),
               file=sys.stderr)
         return 2
+    if args.jobs > 1 or args.resume or args.run_dir:
+        if mutate is not None:
+            print("--inject-bug needs the in-process path; drop --jobs",
+                  file=sys.stderr)
+            return 2
+        from repro.orchestrator import orchestrate_conformance
+
+        payloads, run, run_dir = orchestrate_conformance(
+            backends, configs, args.seed, args.events,
+            jobs=args.jobs, layer=args.layer,
+            scrub_interval=args.scrub_interval,
+            oracle_only=args.oracle_only, dump_dir=".",
+            run_dir=args.run_dir, resume=args.resume,
+            shard_timeout=args.shard_timeout,
+        )
+        failures = sum(_print_conformance_summary(p) for p in payloads)
+        failures += _report_quarantine(run, run_dir)
+        print(run.metrics.render())
+        print("run directory: %s" % run_dir)
+        return 1 if failures else 0
     failures = 0
     for backend in backends:
         for config in configs:
@@ -215,24 +240,39 @@ def _cmd_conformance(args) -> int:
                 mutate=mutate, oracle_only=args.oracle_only, dump_dir=".",
                 layer=args.layer, scrub_interval=args.scrub_interval,
             )
-            outcomes = " ".join("%s=%d" % (k, v)
-                                for k, v in sorted(result.outcomes.items()))
-            if result.clean:
-                print("%-6s %-10s %6d events  %s  divergences=0"
-                      % (backend, config, result.events, outcomes))
-            else:
-                failures += 1
-                if result.divergence is not None:
-                    print("%-6s %-10s %6d events  DIVERGENCE: %s"
-                          % (backend, config, result.events,
-                             result.divergence.describe()))
-                    if result.reproducer_path:
-                        print("    reproducer dumped to %s"
-                              % result.reproducer_path)
-                for detection in result.scrub_detections:
-                    print("%-6s %-10s  SCRUB DETECTION: %s"
-                          % (backend, config, detection))
+            failures += _print_conformance_summary(result.summary())
     return 1 if failures else 0
+
+
+def _print_conformance_summary(payload) -> int:
+    """Print one (backend, config) fuzz summary; returns 1 on failure.
+
+    One formatter for both execution paths keeps ``--jobs N`` output
+    line-identical with the serial path.
+    """
+    backend, config = payload["backend"], payload["config"]
+    outcomes = " ".join("%s=%d" % (k, v)
+                        for k, v in sorted(payload["outcomes"].items()))
+    if payload["clean"]:
+        print("%-6s %-10s %6d events  %s  divergences=0"
+              % (backend, config, payload["events"], outcomes))
+        return 0
+    if payload["divergence"] is not None:
+        print("%-6s %-10s %6d events  DIVERGENCE: %s"
+              % (backend, config, payload["events"], payload["divergence"]))
+        if payload["reproducer_path"]:
+            print("    reproducer dumped to %s" % payload["reproducer_path"])
+    for detection in payload["scrub_detections"]:
+        print("%-6s %-10s  SCRUB DETECTION: %s" % (backend, config, detection))
+    return 1
+
+
+def _report_quarantine(run, run_dir: str) -> int:
+    """Surface quarantined shards; they fail the run but not the merge."""
+    for spec in run.quarantined:
+        print("QUARANTINED shard %s (params %s) — see %s/quarantine.json"
+              % (spec.shard_id, spec.params, run_dir), file=sys.stderr)
+    return len(run.quarantined)
 
 
 def _cmd_faults(args) -> int:
@@ -249,34 +289,93 @@ def _cmd_faults(args) -> int:
               % (", ".join(unknown), ", ".join(CONFORMANCE_CONFIGS)),
               file=sys.stderr)
         return 2
-    matrices = []
-    for backend in backends:
-        for config in configs:
-            matrix = run_campaigns(
+    quarantined = 0
+    if args.jobs > 1 or args.resume or args.run_dir:
+        from repro.orchestrator import orchestrate_faults
+
+        matrices, run, run_dir = orchestrate_faults(
+            backends, configs, args.seed, args.events, args.campaign,
+            jobs=args.jobs, scrub_interval=args.scrub_interval,
+            faults_per_campaign=args.faults_per_campaign,
+            run_dir=args.run_dir, resume=args.resume,
+            shard_timeout=args.shard_timeout,
+        )
+    else:
+        matrices = [
+            run_campaigns(
                 backend, args.seed, args.events, args.campaign,
                 config=config, scrub_interval=args.scrub_interval,
+                faults_per_campaign=args.faults_per_campaign,
             )
-            matrices.append(matrix)
-            counts = " ".join("%s=%d" % (name, matrix.counts[name])
-                              for name in CLASSIFICATIONS)
-            print("%-6s %-10s %d campaigns x %d events  %s"
-                  % (backend, config, len(matrix.results), args.events,
-                     counts))
-            for result in matrix.widening_silent:
-                print("    WIDENING SILENT DIVERGENCE: campaign %d %s (%s)"
-                      % (result.campaign, result.spec.to_dict(),
-                         result.detail))
+            for backend in backends for config in configs
+        ]
+        run = run_dir = None
+    for matrix in matrices:
+        counts = " ".join("%s=%d" % (name, matrix.counts[name])
+                          for name in CLASSIFICATIONS)
+        print("%-6s %-10s %d campaigns x %d events  %s"
+              % (matrix.backend, matrix.config, len(matrix.results),
+                 args.events, counts))
+        for result in matrix.widening_silent:
+            print("    WIDENING SILENT DIVERGENCE: campaign %d %s (%s)"
+                  % (result.campaign, result.spec.to_dict(),
+                     result.detail))
     payload = write_report(matrices, args.report)
     print("report written to %s" % args.report)
+    if run is not None:
+        quarantined = _report_quarantine(run, run_dir)
+        print(run.metrics.render())
+        print("run directory: %s" % run_dir)
     if payload["widening_silent_divergences"]:
         print("FAIL: %d widening fault(s) diverged with no detection"
               % payload["widening_silent_divergences"], file=sys.stderr)
         return 1
+    return 1 if quarantined else 0
+
+
+def _cmd_orchestrate(args) -> int:
+    """Inspect an orchestrated run directory (default: the latest)."""
+    import json
+    import os
+
+    from repro.orchestrator import latest_run_dir, render_metrics
+    from repro.orchestrator.checkpoint import MANIFEST_NAME, RunJournal
+
+    run_dir = args.run_dir or latest_run_dir()
+    if run_dir is None or not os.path.isfile(
+            os.path.join(run_dir, MANIFEST_NAME)):
+        print("no orchestrated run found%s; start one with "
+              "'python -m repro faults --jobs N' or "
+              "'python -m repro conformance --jobs N'"
+              % (" at %s" % run_dir if run_dir else ""), file=sys.stderr)
+        return 2
+    journal = RunJournal(run_dir)
+    manifest = journal.read_manifest() or {}
+    shard_ids = manifest.get("shards", [])
+    done = [shard_id for shard_id in shard_ids
+            if os.path.isfile(journal.result_path(shard_id))]
+    print("run directory: %s" % run_dir)
+    print("kind: %s  fingerprint: %s" % (manifest.get("kind"),
+                                         manifest.get("fingerprint")))
+    print("params: %s" % json.dumps(manifest.get("params", {}),
+                                    sort_keys=True))
+    print("shards: %d/%d checkpointed" % (len(done), len(shard_ids)))
+    quarantine = journal.read_quarantine()
+    for entry in quarantine:
+        print("    QUARANTINED %s: %s"
+              % (entry["shard_id"], "; ".join(entry["failures"])))
+    metrics = journal.read_metrics()
+    if metrics is not None:
+        print(render_metrics(metrics))
+    else:
+        print("metrics: not written yet (run in flight or interrupted; "
+              "resume with --resume)")
     return 0
 
 
 _COMMANDS = {
     "audit": _cmd_audit,
+    "orchestrate": _cmd_orchestrate,
     "table4": _cmd_table4,
     "table6": _cmd_table6,
     "case3": _cmd_case3,
@@ -297,9 +396,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     subparsers = parser.add_subparsers(dest="command", required=True,
                                        metavar="command")
     for name in sorted(_COMMANDS):
-        if name in ("conformance", "faults"):
+        if name in ("conformance", "faults", "orchestrate"):
             continue
         subparsers.add_parser(name, help="regenerate the %r artifact" % name)
+
+    def add_orchestration_flags(subparser) -> None:
+        subparser.add_argument("--jobs", type=int, default=1,
+                               help="worker processes; >1 runs through the "
+                                    "orchestrator (same streams, same "
+                                    "report bytes as --jobs 1)")
+        subparser.add_argument("--resume", action="store_true",
+                               help="skip shards already checkpointed in "
+                                    "the run directory")
+        subparser.add_argument("--shard-timeout", type=float, default=None,
+                               help="kill and retry a shard after this "
+                                    "many seconds")
+        subparser.add_argument("--run-dir", default=None,
+                               help="checkpoint directory (default: "
+                                    "results/runs/<kind>-<fingerprint>)")
     conformance = subparsers.add_parser(
         "conformance",
         help="differentially fuzz the cached PCU against the oracle spec",
@@ -327,6 +441,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                              help="run the integrity scrubber every N "
                                   "events (0 = off); any detection on a "
                                   "fault-free replay is a failure")
+    add_orchestration_flags(conformance)
     faults = subparsers.add_parser(
         "faults",
         help="seeded fault-injection campaigns with integrity scrubbing "
@@ -345,6 +460,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="events between watchdog scrubs")
     faults.add_argument("--report", default="results/fault_campaigns.json",
                         help="JSON report output path")
+    faults.add_argument("--faults-per-campaign", type=int, default=1,
+                        help="concurrent faults scheduled per campaign "
+                             "(2 = dual-fault mode)")
+    add_orchestration_flags(faults)
+    orchestrate = subparsers.add_parser(
+        "orchestrate",
+        help="inspect orchestrated run directories (checkpoints, "
+             "quarantine, metrics)",
+    )
+    orchestrate.add_argument("--status", action="store_true",
+                             help="print the status of a run directory "
+                                  "(the default action)")
+    orchestrate.add_argument("--run-dir", default=None,
+                             help="run directory to inspect (default: the "
+                                  "most recent under results/runs)")
     args = parser.parse_args(argv)
     return _COMMANDS[args.command](args)
 

@@ -43,6 +43,10 @@ RECONFIG_OPS = (
     "allow_inst", "deny_inst", "grant_csr", "revoke_csr", "set_mask",
     "register_gate", "unregister_gate", "create_domain", "destroy_domain",
 )
+#: Domain-0 scheduler operations on trusted-stack contexts (Section 5.2):
+#: park the current (hcsp, hcsb, hcsl) window, switch onto another one,
+#: or carve a fresh per-thread stack out of trusted memory.
+CONTEXT_OPS = ("save_ctx", "restore_ctx", "thread_stack")
 
 GATE_KINDS = ("hccall", "hccalls", "hcrets")
 
@@ -65,6 +69,7 @@ class Event:
     bits: int = 0        # mask bits for set_mask
     cache: int = 0       # pflh operand (CacheId value)
     address: int = 0     # mem-event address / gate return address
+    ctx: int = -1        # abstract trusted-stack context slot
 
     def to_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -89,6 +94,16 @@ class EventGenerator:
         self.seed = seed
         self.live: Set[int] = set(range(1, N_DOMAIN_SLOTS + 1))
         self.gate_dest: Dict[int, int] = {}  # gate slot -> domain slot
+        # Trusted-stack context bookkeeping.  Context switches must be
+        # emitted as atomic save+restore pairs and every saved context
+        # restored exactly once: a window abandoned without a save, or a
+        # context restored at a depth the window has since moved past,
+        # would break the trusted stack's per-window integrity digest and
+        # turn a fault-free stream into a scrub detection.  ``pending``
+        # queues the tail of a pair so nothing lands in between.
+        self.ctx_next = 0
+        self.saved_ctx: List[int] = []
+        self.pending: List[Event] = []
 
     # -- helpers -------------------------------------------------------
     def _value_pair(self) -> "tuple[int, int]":
@@ -127,6 +142,8 @@ class EventGenerator:
         return events
 
     def next_event(self, index: int) -> Event:
+        if self.pending:
+            return self.pending.pop(0)
         rng = self.rng
         roll = rng.random()
         if roll < 0.50:
@@ -142,7 +159,34 @@ class EventGenerator:
             return Event("pfch", csr=rng.randrange(-1, N_CSR_SLOTS))
         if roll < 0.88:
             return Event("pflh", cache=rng.randrange(0, 5))
+        if roll < 0.93:
+            return self._context_event(index)
         return self._reconfig_event()
+
+    def _fresh_ctx(self) -> int:
+        self.ctx_next += 1
+        return self.ctx_next - 1
+
+    def _context_event(self, index: int) -> Event:
+        """One thread switch: save the current trusted-stack context and
+        restore another — either a previously parked one or a freshly
+        created thread stack (optionally seeded with an entry frame a
+        later ``hcrets`` "returns" into)."""
+        rng = self.rng
+        if self.saved_ctx and rng.random() < 0.5:
+            target = self.saved_ctx.pop(rng.randrange(len(self.saved_ctx)))
+            save = self._fresh_ctx()
+            self.saved_ctx.append(save)
+            self.pending.append(Event("restore_ctx", ctx=target))
+            return Event("save_ctx", ctx=save)
+        new = self._fresh_ctx()
+        save = self._fresh_ctx()
+        self.saved_ctx.append(save)
+        domain = rng.choice(sorted(self.live)) if self.live else 1
+        self.pending.append(Event("save_ctx", ctx=save))
+        self.pending.append(Event("restore_ctx", ctx=new))
+        return Event("thread_stack", ctx=new, domain=domain,
+                     address=0xA000 + 0x40 * new)
 
     def _check_event(self) -> Event:
         rng = self.rng
@@ -233,6 +277,7 @@ def canonicalize_events(events: List[Event]) -> List[Event]:
     inst_map: Dict[int, int] = {}
     csr_map: Dict[int, int] = {MASKED_CSR_SLOT: MASKED_CSR_SLOT}
     gate_map: Dict[int, int] = {}
+    ctx_map: Dict[int, int] = {}
 
     def rename(mapping: Dict[int, int], slot: int, first: int) -> int:
         if slot not in mapping:
@@ -255,6 +300,8 @@ def canonicalize_events(events: List[Event]) -> List[Event]:
             data["csr"] = rename(csr_map, event.csr, 0)
         if 0 <= event.gate < N_GATE_SLOTS:
             data["gate"] = rename(gate_map, event.gate, 0)
+        if event.ctx >= 0:
+            data["ctx"] = rename(ctx_map, event.ctx, 0)
         canonical.append(Event(**data))
     return canonical
 

@@ -95,6 +95,13 @@ class Backend:
             return "pfch %d" % target
         if event.op == "pflh":
             return "pflh %d" % event.cache
+        if event.op == "save_ctx":
+            return "; domain-0: save_ctx %d (park hcsp/hcsb/hcsl)" % event.ctx
+        if event.op == "restore_ctx":
+            return "; domain-0: restore_ctx %d (switch stack window)" % event.ctx
+        if event.op == "thread_stack":
+            return ("; domain-0: thread_stack ctx %d entry 0x%x -> "
+                    "domain slot %d" % (event.ctx, event.address, event.domain))
         return "; domain-0: %s %s" % (event.op, self.describe_reconfig(event))
 
     def _inst_line(self, event: Event) -> str:

@@ -49,6 +49,25 @@ from repro.core.sgt import SwitchingGateTable
 from repro.core.trusted_memory import TrustedMemory
 
 
+class _StackWindow:
+    """One trusted-stack window as the *memory* holds it.
+
+    ``cells`` is the window's frame image: a pop moves the depth pointer
+    but never truncates the image — exactly like the real trusted stack,
+    where popped frames stay in trusted memory until overwritten.  The
+    distinction is visible through thread switches: restoring a context
+    whose window still holds deeper, previously-popped frames must let a
+    later over-deep pop read those stale frames back, or the oracle and
+    the PCU diverge on shrunk/reordered streams.
+    """
+
+    __slots__ = ("capacity", "cells")
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.cells: List[Tuple[int, int]] = []
+
+
 class OraclePcu:
     """Reference privilege-check semantics over the shared HPT/SGT."""
 
@@ -67,7 +86,8 @@ class OraclePcu:
         self.stack_frames = stack_frames
         self.domain = DOMAIN_0
         self.pdomain = DOMAIN_0
-        self.stack: List[Tuple[int, int]] = []
+        self.window = _StackWindow(stack_frames)
+        self._depth = 0
         self.enabled = True
 
     # ------------------------------------------------------------------
@@ -79,16 +99,49 @@ class OraclePcu:
 
     @property
     def depth(self) -> int:
-        return len(self.stack)
+        return self._depth
 
     def reset(self) -> None:
         self.domain = DOMAIN_0
         self.pdomain = DOMAIN_0
-        self.stack.clear()
+        self.window = _StackWindow(self.stack_frames)
+        self._depth = 0
 
     def _switch(self, destination: int) -> None:
         self.pdomain = self.domain
         self.domain = destination
+
+    # ------------------------------------------------------------------
+    # Trusted-stack contexts (the spec of save/restore_context and of
+    # DomainManager.create_thread_stack, Section 5.2).
+    # ------------------------------------------------------------------
+    def save_context(self) -> Tuple[_StackWindow, int]:
+        """Snapshot of (window, depth) — the oracle's (hcsp, hcsb, hcsl)."""
+        return self.window, self._depth
+
+    def restore_context(self, context: Tuple[_StackWindow, int]) -> None:
+        self.window, self._depth = context
+
+    def create_thread_context(
+        self, frames: int, entry: Optional[Tuple[int, int]] = None,
+    ) -> Tuple[_StackWindow, int]:
+        """A fresh window, optionally seeded with one entry frame."""
+        window = _StackWindow(frames)
+        if entry is None:
+            return window, 0
+        window.cells.append(entry)
+        return window, 1
+
+    def _push(self, return_address: int, domain: int) -> None:
+        if self._depth < len(self.window.cells):
+            self.window.cells[self._depth] = (return_address, domain)
+        else:
+            self.window.cells.append((return_address, domain))
+        self._depth += 1
+
+    def _pop(self) -> Tuple[int, int]:
+        self._depth -= 1
+        return self.window.cells[self._depth]
 
     # ------------------------------------------------------------------
     # Hybrid-grained privilege check (the spec of PCU.check).
@@ -144,11 +197,11 @@ class OraclePcu:
     ) -> int:
         """Execute a gate; returns the target pc or raises a fault."""
         if kind is GateKind.HCRETS:
-            if not self.stack:
+            if self._depth <= 0:
                 raise TrustedStackFault(
                     "trusted stack underflow", 0, domain=self.domain, address=pc
                 )
-            target, domain = self.stack.pop()
+            target, domain = self._pop()
             if domain == DOMAIN_0:
                 # The frame is consumed even though the return is banned —
                 # matching the real PCU's pop-then-check ordering.
@@ -169,11 +222,11 @@ class OraclePcu:
         if kind is GateKind.HCCALLS:
             if return_address is None:
                 raise ConfigurationError("hccalls requires a return address")
-            if len(self.stack) >= self.stack_frames:
+            if self._depth >= self.window.capacity:
                 raise TrustedStackFault(
                     "trusted stack overflow", 0, domain=self.domain, address=pc
                 )
-            self.stack.append((return_address, self.domain))
+            self._push(return_address, self.domain)
         self._switch(entry.destination_domain)
         return entry.destination_address
 

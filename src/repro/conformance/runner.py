@@ -119,11 +119,18 @@ class ConformanceWorld:
         layer: str = "pcu",
     ):
         self.backend = backend
+        self.stack_frames = stack_frames
         self.trusted_memory = TrustedMemory(base=TMEM_BASE, size=TMEM_SIZE)
         self.pcu = PrivilegeCheckUnit(backend.isa_map, config,
                                       self.trusted_memory)
         self.manager = DomainManager(self.pcu)
         self.manager.allocate_trusted_stack(frames=stack_frames)
+        # Abstract context slot -> (cached (hcsp, hcsb, hcsl) triple,
+        # oracle (window, depth)).  Contexts are single-use: a restore
+        # consumes the slot, mirroring the generator's pairing discipline
+        # (see events.CONTEXT_OPS) that keeps the per-window stack digest
+        # sound.
+        self.contexts: Dict[int, Tuple[Tuple[int, int, int], object]] = {}
         self.oracle = OraclePcu(backend.isa_map, self.pcu.hpt, self.pcu.sgt,
                                 self.trusted_memory, stack_frames)
         self.oracle_only = oracle_only
@@ -216,7 +223,51 @@ class ConformanceWorld:
                 else:
                     self.pcu.flush(CacheId(event.cache))
             return self._skip(True, "ok"), self._skip(False, "ok")
+        if op in ("save_ctx", "restore_ctx", "thread_stack"):
+            return self._apply_context(event)
         return self._apply_reconfig(event)
+
+    def _apply_context(self, event: Event) -> Tuple[Outcome, Outcome]:
+        """Domain-0 thread-switch op on both trusted-stack models.
+
+        A restore of an unknown context (its save or thread_stack event
+        shrunk away, or the allocation skipped) degrades to an
+        architectural no-op, like dead-target reconfigs.
+        """
+        op = event.op
+        status = "ok"
+        if op == "save_ctx":
+            self.contexts[event.ctx] = (
+                self.pcu.trusted_stack.save_context(),
+                self.oracle.save_context(),
+            )
+        elif op == "restore_ctx":
+            pair = self.contexts.pop(event.ctx, None)
+            if pair is None:
+                status = "skip"
+            else:
+                cached_ctx, oracle_ctx = pair
+                self.pcu.trusted_stack.restore_context(cached_ctx)
+                self.oracle.restore_context(oracle_ctx)
+        else:  # thread_stack
+            frames = self.stack_frames
+            if self.trusted_memory.words_free < frames * 2:
+                status = "skip"  # exhausted: no window on either side
+            else:
+                domain_id = self.slot_ids.get(event.domain)
+                entry = None
+                kwargs: Dict[str, int] = {}
+                if domain_id not in (None, 0):
+                    entry = (event.address, domain_id)
+                    kwargs = {"entry_address": event.address,
+                              "entry_domain": domain_id}
+                context = self._manager_call("create_thread_stack", frames,
+                                             **kwargs)
+                self.contexts[event.ctx] = (
+                    context,
+                    self.oracle.create_thread_context(frames, entry),
+                )
+        return self._skip(True, status), self._skip(False, status)
 
     def _skip(self, pcu_side: bool, status: str = "skip") -> Outcome:
         return self._outcome(status, pcu_side)
@@ -466,6 +517,22 @@ class ConformanceResult:
     @property
     def clean(self) -> bool:
         return self.divergence is None and not self.scrub_detections
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-plain summary — the one shape both the serial CLI path
+        and the orchestrator's shard payloads report through, so
+        ``--jobs N`` output is line-identical with ``--jobs 1``."""
+        return {
+            "backend": self.backend,
+            "config": self.config,
+            "events": self.events,
+            "outcomes": dict(self.outcomes),
+            "clean": self.clean,
+            "divergence": (self.divergence.describe()
+                           if self.divergence is not None else None),
+            "reproducer_path": self.reproducer_path,
+            "scrub_detections": list(self.scrub_detections or []),
+        }
 
 
 def fuzz_backend(

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import asdict, dataclass
-from typing import Dict
+from typing import Dict, List
 
 from repro.conformance.events import (
     MASKED_CSR_SLOT,
@@ -95,8 +95,31 @@ class FaultPlan:
         campaign matrix exercises the full injectable surface; all other
         parameters are drawn from the plan's seeded RNG.
         """
+        return self._draw_one(FAULT_KINDS[campaign % len(FAULT_KINDS)],
+                              n_events)
+
+    def draw_specs(self, campaign: int, n_events: int,
+                   count: int = 1) -> List[FaultSpec]:
+        """Specs for one campaign, optionally several concurrent faults.
+
+        ``count=1`` consumes the plan's RNG exactly as :meth:`draw`
+        does, so single-fault campaigns are unchanged by this API.  For
+        ``count>1`` the extra kinds are offset-cycled against the
+        primary one (campaign ``c``, extra ``i`` pairs kind ``c mod K``
+        with kind ``(c + c//K + i) mod K``), so a full cycle of dual
+        campaigns sweeps *changing* kind pairs rather than re-testing
+        one pairing.
+        """
+        specs = [self.draw(campaign, n_events)]
+        n_kinds = len(FAULT_KINDS)
+        for extra in range(1, count):
+            kind = FAULT_KINDS[
+                (campaign + campaign // n_kinds + extra) % n_kinds]
+            specs.append(self._draw_one(kind, n_events))
+        return specs
+
+    def _draw_one(self, kind: str, n_events: int) -> FaultSpec:
         rng = self.rng
-        kind = FAULT_KINDS[campaign % len(FAULT_KINDS)]
         # Fire somewhere in the fuzz body, past the setup prologue, with
         # enough tail left for the fault to matter and a scrub to run.
         lo = min(16, max(1, n_events // 4))

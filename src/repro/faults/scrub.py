@@ -42,6 +42,10 @@ class ScrubReport:
     unrepairable: List[str] = field(default_factory=list)
     entered_degraded: bool = False
     exited_degraded: bool = False
+    # Which structures pass 1 rewrote — the targets of the single-pass
+    # confirmation check (see IntegrityScrubber.verify_repaired).
+    repaired_domains: List[int] = field(default_factory=list)
+    repaired_gates: List[int] = field(default_factory=list)
 
     @property
     def detected(self) -> bool:
@@ -149,6 +153,7 @@ class IntegrityScrubber:
                         memory.store_word(address_of(domain, index), want)
                         self.pcu.stats.scrub_repairs += 1
                     report.memory_repairs += 1
+            report.repaired_domains.append(domain)
             # The PCU may have cached the corrupt word already.
             if repair:
                 self.pcu.invalidate_privileges(domain)
@@ -177,6 +182,8 @@ class IntegrityScrubber:
                     self.pcu.stats.scrub_repairs += 1
                     self.pcu.sgt_cache.invalidate(gate_id)
                 report.memory_repairs += 1
+                if gate_id not in report.repaired_gates:
+                    report.repaired_gates.append(gate_id)
 
     # ------------------------------------------------------------------
     # Pass 2: cache layer vs (repaired) memory.
@@ -305,6 +312,56 @@ class IntegrityScrubber:
                 self.pcu.exit_degraded_mode()
                 report.exited_degraded = True
         return report
+
+    def verify_repaired(self, report: ScrubReport) -> bool:
+        """Confirm one repairing scrub left the state clean — targeted.
+
+        The recovery claim used to be backed by a *second* full scrub
+        after the final audit; this re-checks only what that audit
+        actually touched, at O(repaired) instead of O(whole state):
+
+        * every domain whose HPT words were rewritten must now checksum
+          against its mirror;
+        * every rewritten SGT entry must match the registration record;
+        * if the cache layer lied, the audit flushed everything and
+          entered degraded mode — confirm the caches really are empty;
+        * the trusted-stack digest (already recomputed by the audit)
+          must not have flagged unrepairable corruption.
+
+        Nothing else can have changed between the audit and this check
+        (no events run in between), so passing here is equivalent to a
+        full confirmation scrub coming back clean.
+        """
+        if report.unrepairable:
+            return False
+        for domain in report.repaired_domains:
+            if self.domain_checksum(domain) != \
+                    self.expected_domain_checksum(domain):
+                return False
+        memory = self.pcu.trusted_memory
+        sgt = self.pcu.sgt
+        for gate_id in report.repaired_gates:
+            entry = self.manager.gates.get(gate_id)
+            expected = ([entry.gate_address, entry.destination_address,
+                         entry.destination_domain, 1]
+                        if entry is not None else [None, None, None, 0])
+            address = sgt.entry_address(gate_id)
+            for offset, want in enumerate(expected):
+                if want is not None and \
+                        memory.load_word(address + offset * WORD_BYTES) != want:
+                    return False
+        if report.cache_detections:
+            caches = [self.pcu.hpt_cache.inst, self.pcu.hpt_cache.reg,
+                      self.pcu.hpt_cache.mask]
+            if self.pcu.sgt_cache._cache is not None:
+                caches.append(self.pcu.sgt_cache._cache)
+            if self.pcu.draco is not None:
+                caches.append(self.pcu.draco)
+            if any(len(cache) for cache in caches):
+                return False
+            if not self.pcu.degraded:
+                return False
+        return True
 
     def scrub_or_halt(self, repair: bool = True) -> ScrubReport:
         """Scrub; raise IntegrityFault on unrepairable corruption."""

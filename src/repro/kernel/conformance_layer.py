@@ -41,6 +41,7 @@ _DCONF_OPS = frozenset((
     "allow_instructions", "deny_instruction",
     "grant_register", "revoke_register", "set_register_mask",
     "register_gate", "unregister_gate",
+    "create_thread_stack",
 ))
 
 

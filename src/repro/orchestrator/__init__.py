@@ -1,0 +1,78 @@
+"""Parallel campaign orchestration (the scalability substrate).
+
+Every heavy harness in this reproduction — the differential conformance
+fuzzer, the fault-injection campaigns, and whatever workload PRs come
+next — boils down to "replay a seeded matrix of event streams and merge
+the verdicts".  This package makes that one scalable operation:
+
+* :mod:`~repro.orchestrator.shards` — deterministic partitioning of a
+  campaign's seed space into JSON-plain :class:`ShardSpec` units, with
+  a layout that depends only on the campaign parameters (never on
+  ``--jobs``), so parallelism can never change which streams run;
+* :mod:`~repro.orchestrator.worker` — the dumb per-shard process that
+  publishes its :class:`ShardResult` with an atomic rename;
+* :mod:`~repro.orchestrator.supervisor` — the policy loop: per-shard
+  timeouts, SIGKILL recovery with bounded retries on fresh workers, and
+  poison-shard quarantine that records the offending seeds and moves on;
+* :mod:`~repro.orchestrator.checkpoint` — journaled run directories
+  whose shard files double as resume checkpoints (``--resume``);
+* :mod:`~repro.orchestrator.metrics` — events/sec per worker, shard
+  latency histogram, retry/quarantine counters and peak worker RSS,
+  persisted per run and printable via
+  ``python -m repro orchestrate --status``;
+* :mod:`~repro.orchestrator.api` — the merge layer that reassembles
+  shard payloads into the exact report structures the serial paths
+  emit (``--jobs N`` is bit-compatible with ``--jobs 1``).
+
+CLI: ``python -m repro faults --jobs 4`` /
+``python -m repro conformance --jobs 4 --resume`` /
+``python -m repro orchestrate --status``.
+"""
+
+from .api import (
+    merge_fault_results,
+    orchestrate_conformance,
+    orchestrate_faults,
+)
+from .checkpoint import (
+    RunJournal,
+    default_run_dir,
+    latest_run_dir,
+)
+from .metrics import RunMetrics, render_metrics
+from .shards import (
+    FAULT_SHARDS_PER_UNIT,
+    ShardPlan,
+    ShardResult,
+    ShardSpec,
+    plan_conformance_shards,
+    plan_fault_shards,
+)
+from .supervisor import (
+    DEFAULT_MAX_RETRIES,
+    SupervisedRun,
+    Supervisor,
+)
+from .worker import execute_shard, worker_entry
+
+__all__ = [
+    "DEFAULT_MAX_RETRIES",
+    "FAULT_SHARDS_PER_UNIT",
+    "RunJournal",
+    "RunMetrics",
+    "ShardPlan",
+    "ShardResult",
+    "ShardSpec",
+    "SupervisedRun",
+    "Supervisor",
+    "default_run_dir",
+    "execute_shard",
+    "latest_run_dir",
+    "merge_fault_results",
+    "orchestrate_conformance",
+    "orchestrate_faults",
+    "plan_conformance_shards",
+    "plan_fault_shards",
+    "render_metrics",
+    "worker_entry",
+]

@@ -1,0 +1,163 @@
+"""Orchestrated campaign entry points and result merging.
+
+These functions are what the CLI's ``--jobs N`` paths call: plan the
+shards, bind (or resume) a checkpointed run directory, drive the plan
+through the :class:`~repro.orchestrator.supervisor.Supervisor`, and
+merge the per-shard JSON payloads back into the exact structures the
+serial code paths produce.
+
+Merging is where the bit-compatibility contract is enforced: fault
+shard payloads are reassembled into
+:class:`~repro.faults.campaign.CampaignMatrix` objects in canonical
+(backend, config, campaign) order, so ``write_report`` emits the same
+bytes a ``--jobs 1`` run would — worker scheduling leaves no trace.
+Quarantined shards are the one exception: their campaigns are missing
+from the merged matrices (recorded in the run directory instead), which
+is precisely the "record the offending seed instead of killing the run"
+trade the orchestrator makes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .checkpoint import RunJournal, default_run_dir
+from .metrics import RunMetrics
+from .shards import ShardPlan, ShardResult, ShardSpec
+from .supervisor import DEFAULT_MAX_RETRIES, SupervisedRun, Supervisor
+
+
+def _drive(
+    plan: ShardPlan,
+    jobs: int,
+    run_dir: Optional[str],
+    resume: bool,
+    shard_timeout: Optional[float],
+    max_retries: int,
+    on_shard_done: Optional[Callable[[ShardResult], None]] = None,
+    sabotage: Optional[Dict[str, Dict[str, object]]] = None,
+) -> Tuple[SupervisedRun, str]:
+    """Common plumbing: journal binding + supervised execution.
+
+    ``sabotage`` maps shard ids to test-only failure hooks (see
+    :mod:`~repro.orchestrator.worker`); production callers leave it
+    unset.
+    """
+    specs: Sequence[ShardSpec] = plan.shards
+    if sabotage:
+        specs = [
+            ShardSpec(spec.shard_id, spec.kind, spec.params, spec.weight,
+                      sabotage.get(spec.shard_id))
+            for spec in plan.shards
+        ]
+    run_dir = run_dir or default_run_dir(plan)
+    journal = RunJournal(run_dir)
+    journal.bind(plan, resume=resume)
+    supervisor = Supervisor(jobs=jobs, shard_timeout=shard_timeout,
+                            max_retries=max_retries)
+    run = supervisor.run(specs, journal, RunMetrics(jobs=jobs),
+                         on_shard_done=on_shard_done)
+    return run, run_dir
+
+
+def orchestrate_faults(
+    backends: Sequence[str],
+    configs: Sequence[str],
+    seed: int,
+    n_events: int,
+    n_campaigns: int,
+    *,
+    jobs: int,
+    scrub_interval: int,
+    faults_per_campaign: int = 1,
+    run_dir: Optional[str] = None,
+    resume: bool = False,
+    shard_timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    on_shard_done: Optional[Callable[[ShardResult], None]] = None,
+    sabotage: Optional[Dict[str, Dict[str, object]]] = None,
+):
+    """Run the fault matrix sharded; return serial-identical matrices.
+
+    Returns ``(matrices, run, run_dir)`` where ``matrices`` is the
+    same list of :class:`~repro.faults.campaign.CampaignMatrix` a
+    serial ``run_campaigns`` loop over (backends x configs) yields.
+    """
+    from .shards import plan_fault_shards
+
+    plan = plan_fault_shards(backends, configs, seed, n_events, n_campaigns,
+                             scrub_interval, faults_per_campaign)
+    run, run_dir = _drive(plan, jobs, run_dir, resume, shard_timeout,
+                          max_retries, on_shard_done, sabotage)
+    return merge_fault_results(backends, configs, seed, n_events, run), \
+        run, run_dir
+
+
+def merge_fault_results(
+    backends: Sequence[str],
+    configs: Sequence[str],
+    seed: int,
+    n_events: int,
+    run: SupervisedRun,
+) -> List["CampaignMatrix"]:
+    """Reassemble shard payloads into canonical-order CampaignMatrix."""
+    from repro.faults.campaign import CampaignMatrix, CampaignResult
+
+    by_unit: Dict[Tuple[str, str], List[Dict[str, object]]] = {}
+    for result in run.results:
+        payload = result.payload
+        key = (payload["backend"], payload["config"])
+        by_unit.setdefault(key, []).append(payload)
+    matrices: List[CampaignMatrix] = []
+    for backend in backends:
+        for config in configs:
+            payloads = sorted(by_unit.get((backend, config), []),
+                              key=lambda p: p["campaign_lo"])
+            results = [CampaignResult.from_dict(entry)
+                       for payload in payloads
+                       for entry in payload["results"]]
+            matrices.append(CampaignMatrix(backend, config, seed, n_events,
+                                           results))
+    return matrices
+
+
+def orchestrate_conformance(
+    backends: Sequence[str],
+    configs: Sequence[str],
+    seed: int,
+    n_events: int,
+    *,
+    jobs: int,
+    layer: str = "pcu",
+    scrub_interval: int = 0,
+    oracle_only: bool = False,
+    dump_dir: Optional[str] = ".",
+    run_dir: Optional[str] = None,
+    resume: bool = False,
+    shard_timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    on_shard_done: Optional[Callable[[ShardResult], None]] = None,
+    sabotage: Optional[Dict[str, Dict[str, object]]] = None,
+):
+    """Fuzz the conformance matrix sharded across workers.
+
+    Returns ``(payloads, run, run_dir)``; ``payloads`` holds one result
+    dict per (backend, config) pair in canonical order, shaped exactly
+    like the serial path's summary (see
+    :func:`repro.orchestrator.worker.run_conformance_shard`).
+    """
+    from .shards import plan_conformance_shards
+
+    plan = plan_conformance_shards(backends, configs, seed, n_events,
+                                   layer=layer,
+                                   scrub_interval=scrub_interval,
+                                   oracle_only=oracle_only,
+                                   dump_dir=dump_dir)
+    run, run_dir = _drive(plan, jobs, run_dir, resume, shard_timeout,
+                          max_retries, on_shard_done, sabotage)
+    by_unit = {(r.payload["backend"], r.payload["config"]): r.payload
+               for r in run.results}
+    payloads = [by_unit[(backend, config)]
+                for backend in backends for config in configs
+                if (backend, config) in by_unit]
+    return payloads, run, run_dir

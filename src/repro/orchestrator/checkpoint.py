@@ -1,0 +1,199 @@
+"""Checkpointed run directories: journal, resume, quarantine records.
+
+Every orchestrated run owns a *run directory*::
+
+    <run_dir>/
+        manifest.json     # kind + campaign params + plan fingerprint
+        shards/<id>.json  # one atomically-written result per shard
+        journal.jsonl     # append-only event log (done/retry/quarantine)
+        quarantine.json   # poison shards with their offending seeds
+        metrics.json      # final RunMetrics snapshot
+
+The shard result files *are* the checkpoint: a worker publishes its
+result with a rename, so any file that exists is complete, and resuming
+is nothing more than skipping shards whose files already exist under a
+manifest with the same plan fingerprint.  The journal is diagnostic
+history for ``python -m repro orchestrate --status``, not state the
+resume logic depends on — deleting it loses nothing but the narrative.
+
+The default run directory name is derived from the plan fingerprint, so
+re-invoking the same campaign with ``--resume`` finds its own
+checkpoints without the caller tracking paths.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+from .shards import ShardPlan, ShardResult, ShardSpec
+
+#: Where unnamed run directories live, relative to the working tree.
+RUNS_ROOT = os.path.join("results", "runs")
+
+MANIFEST_NAME = "manifest.json"
+JOURNAL_NAME = "journal.jsonl"
+QUARANTINE_NAME = "quarantine.json"
+METRICS_NAME = "metrics.json"
+
+
+def default_run_dir(plan: ShardPlan, root: str = RUNS_ROOT) -> str:
+    """Deterministic run directory for a plan: resume finds it again."""
+    return os.path.join(root, "%s-%s" % (plan.kind, plan.fingerprint()))
+
+
+def latest_run_dir(root: str = RUNS_ROOT) -> Optional[str]:
+    """Most recently touched run directory under ``root`` (status view)."""
+    try:
+        candidates = [
+            os.path.join(root, name) for name in os.listdir(root)
+            if os.path.isfile(os.path.join(root, name, MANIFEST_NAME))
+        ]
+    except OSError:
+        return None
+    if not candidates:
+        return None
+    return max(candidates, key=os.path.getmtime)
+
+
+class RunJournal:
+    """One run directory's checkpoint and event-log surface."""
+
+    def __init__(self, run_dir: str):
+        self.run_dir = run_dir
+        self.shard_dir = os.path.join(run_dir, "shards")
+        os.makedirs(self.shard_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Manifest: binds the directory to one plan fingerprint.
+    # ------------------------------------------------------------------
+    def _manifest_path(self) -> str:
+        return os.path.join(self.run_dir, MANIFEST_NAME)
+
+    def read_manifest(self) -> Optional[Dict[str, object]]:
+        try:
+            with open(self._manifest_path()) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def bind(self, plan: ShardPlan, resume: bool) -> None:
+        """Attach this directory to ``plan``.
+
+        Without ``resume``, stale checkpoints are cleared so the run
+        starts fresh.  With ``resume``, an existing manifest must carry
+        the same plan fingerprint — resuming a *different* campaign into
+        the same directory would silently merge unrelated streams, so it
+        is an error.
+        """
+        manifest = self.read_manifest()
+        fingerprint = plan.fingerprint()
+        if resume and manifest is not None:
+            if manifest.get("fingerprint") != fingerprint:
+                raise ValueError(
+                    "run dir %s holds a different campaign "
+                    "(fingerprint %s, this plan is %s); pick another "
+                    "--run-dir or drop --resume"
+                    % (self.run_dir, manifest.get("fingerprint"), fingerprint))
+        if not resume:
+            self.clear()
+        with open(self._manifest_path(), "w") as handle:
+            json.dump({
+                "format": "isagrid-orchestrator-run-v1",
+                "kind": plan.kind,
+                "fingerprint": fingerprint,
+                "params": plan.params,
+                "shards": [shard.shard_id for shard in plan.shards],
+                "total_weight": plan.total_weight,
+            }, handle, indent=2)
+        self.log_event("bind", fingerprint=fingerprint, resume=resume,
+                       shards=len(plan.shards))
+
+    def clear(self) -> None:
+        """Drop all checkpoints (fresh-run semantics)."""
+        for name in os.listdir(self.shard_dir):
+            os.unlink(os.path.join(self.shard_dir, name))
+        for name in (JOURNAL_NAME, QUARANTINE_NAME, METRICS_NAME,
+                     MANIFEST_NAME):
+            path = os.path.join(self.run_dir, name)
+            if os.path.exists(path):
+                os.unlink(path)
+
+    # ------------------------------------------------------------------
+    # Shard checkpoints.
+    # ------------------------------------------------------------------
+    def result_path(self, shard_id: str) -> str:
+        return os.path.join(self.shard_dir, shard_id + ".json")
+
+    def completed(self, spec: ShardSpec) -> Optional[ShardResult]:
+        """The checkpointed result for ``spec``, if one exists intact."""
+        try:
+            with open(self.result_path(spec.shard_id)) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if data.get("shard_id") != spec.shard_id or data.get("status") != "ok":
+            return None
+        result = ShardResult.from_dict(data)
+        result.cached = True
+        return result
+
+    # ------------------------------------------------------------------
+    # Event log + quarantine records.
+    # ------------------------------------------------------------------
+    def log_event(self, event: str, **fields) -> None:
+        record = {"event": event, "wall_time": time.time()}
+        record.update(fields)
+        with open(os.path.join(self.run_dir, JOURNAL_NAME), "a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def read_events(self) -> List[Dict[str, object]]:
+        events: List[Dict[str, object]] = []
+        try:
+            with open(os.path.join(self.run_dir, JOURNAL_NAME)) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        events.append(json.loads(line))
+        except OSError:
+            pass
+        return events
+
+    def quarantine(self, spec: ShardSpec, failures: List[str]) -> None:
+        """Record a poison shard — parameters, seeds and failure history
+        — so the offending streams can be replayed in isolation."""
+        path = os.path.join(self.run_dir, QUARANTINE_NAME)
+        try:
+            with open(path) as handle:
+                entries = json.load(handle)
+        except (OSError, ValueError):
+            entries = []
+        entries.append({
+            "shard_id": spec.shard_id,
+            "kind": spec.kind,
+            "params": dict(spec.params),
+            "failures": list(failures),
+        })
+        with open(path, "w") as handle:
+            json.dump(entries, handle, indent=2)
+        self.log_event("quarantine", shard=spec.shard_id, failures=failures)
+
+    def read_quarantine(self) -> List[Dict[str, object]]:
+        try:
+            with open(os.path.join(self.run_dir, QUARANTINE_NAME)) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return []
+
+    def write_metrics(self, metrics_dict: Dict[str, object]) -> None:
+        with open(os.path.join(self.run_dir, METRICS_NAME), "w") as handle:
+            json.dump(metrics_dict, handle, indent=2)
+
+    def read_metrics(self) -> Optional[Dict[str, object]]:
+        try:
+            with open(os.path.join(self.run_dir, METRICS_NAME)) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None

@@ -1,0 +1,181 @@
+"""Run metrics: throughput, shard latency, supervision counters, RSS.
+
+The orchestrator's value claim is "the checking machinery scales with
+the workload", so every run measures itself: per-worker and aggregate
+events/second, a log2 shard-latency histogram, retry / timeout /
+quarantine counters, and the peak worker RSS (sampled by each worker
+via ``resource.getrusage`` and carried home in its shard result).
+
+The numbers live in the run directory (``metrics.json``) rather than in
+the campaign report, on purpose: the report is required to be
+bit-compatible between serial and parallel runs, and throughput is
+exactly the part that is not.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Dict, List
+
+from .shards import ShardResult
+
+#: Latency histogram bucket upper bounds (seconds), log2-spaced.
+LATENCY_BUCKETS = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+def _bucket_label(index: int) -> str:
+    if index == 0:
+        return "<%.2gs" % LATENCY_BUCKETS[0]
+    if index == len(LATENCY_BUCKETS):
+        return ">=%.3gs" % LATENCY_BUCKETS[-1]
+    return "%.3g-%.3gs" % (LATENCY_BUCKETS[index - 1], LATENCY_BUCKETS[index])
+
+
+class RunMetrics:
+    """Accumulates one orchestrated run's execution statistics."""
+
+    def __init__(self, jobs: int = 1):
+        self.jobs = jobs
+        self.started_monotonic = time.monotonic()
+        self.wall_elapsed_s = 0.0
+        self.shards_done = 0
+        self.shards_resumed = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.crashes = 0
+        self.quarantined = 0
+        self.events_total = 0
+        self.busy_seconds = 0.0
+        self.peak_rss_kb = 0
+        self.latency_counts = [0] * (len(LATENCY_BUCKETS) + 1)
+        # pid -> {"shards", "events", "busy_s"}; insertion-ordered so the
+        # status view lists workers in first-result order.
+        self.workers: "OrderedDict[int, Dict[str, float]]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Recording.
+    # ------------------------------------------------------------------
+    def record_result(self, result: ShardResult) -> None:
+        if result.cached:
+            self.shards_resumed += 1
+            return
+        self.shards_done += 1
+        self.events_total += result.events_run
+        self.busy_seconds += result.elapsed_s
+        self.peak_rss_kb = max(self.peak_rss_kb, result.max_rss_kb)
+        bucket = 0
+        while (bucket < len(LATENCY_BUCKETS)
+               and result.elapsed_s >= LATENCY_BUCKETS[bucket]):
+            bucket += 1
+        self.latency_counts[bucket] += 1
+        worker = self.workers.setdefault(
+            result.worker_pid, {"shards": 0, "events": 0, "busy_s": 0.0})
+        worker["shards"] += 1
+        worker["events"] += result.events_run
+        worker["busy_s"] += result.elapsed_s
+
+    def record_failure(self, reason: str, retried: bool) -> None:
+        if reason == "timeout":
+            self.timeouts += 1
+        else:
+            self.crashes += 1
+        if retried:
+            self.retries += 1
+        else:
+            self.quarantined += 1
+
+    def finish(self) -> None:
+        self.wall_elapsed_s = time.monotonic() - self.started_monotonic
+
+    # ------------------------------------------------------------------
+    # Derived numbers.
+    # ------------------------------------------------------------------
+    @property
+    def events_per_second(self) -> float:
+        """Aggregate throughput against wall-clock time."""
+        elapsed = self.wall_elapsed_s or (
+            time.monotonic() - self.started_monotonic)
+        return self.events_total / elapsed if elapsed > 0 else 0.0
+
+    def worker_rates(self) -> Dict[int, float]:
+        """Per-worker events/second against that worker's busy time."""
+        return {
+            pid: (stats["events"] / stats["busy_s"]
+                  if stats["busy_s"] > 0 else 0.0)
+            for pid, stats in self.workers.items()
+        }
+
+    def latency_histogram(self) -> "OrderedDict[str, int]":
+        return OrderedDict(
+            (_bucket_label(i), count)
+            for i, count in enumerate(self.latency_counts) if count
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization + status rendering.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "jobs": self.jobs,
+            "wall_elapsed_s": round(self.wall_elapsed_s, 3),
+            "shards_done": self.shards_done,
+            "shards_resumed": self.shards_resumed,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "quarantined": self.quarantined,
+            "events_total": self.events_total,
+            "events_per_second": round(self.events_per_second, 1),
+            "busy_seconds": round(self.busy_seconds, 3),
+            "peak_rss_kb": self.peak_rss_kb,
+            "latency_histogram": dict(self.latency_histogram()),
+            "workers": {
+                str(pid): {
+                    "shards": int(stats["shards"]),
+                    "events": int(stats["events"]),
+                    "busy_s": round(stats["busy_s"], 3),
+                    "events_per_second": round(rate, 1),
+                }
+                for (pid, stats), rate in zip(
+                    self.workers.items(), self.worker_rates().values())
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable summary for the CLI and --status view."""
+        return render_metrics(self.to_dict())
+
+
+def render_metrics(data: Dict[str, object]) -> str:
+    """Render a metrics dict (live or reloaded from metrics.json)."""
+    lines: List[str] = []
+    lines.append(
+        "shards: %d done, %d resumed, %d retried, %d quarantined"
+        % (data.get("shards_done", 0), data.get("shards_resumed", 0),
+           data.get("retries", 0), data.get("quarantined", 0)))
+    lines.append(
+        "failures: %d crash(es), %d timeout(s)"
+        % (data.get("crashes", 0), data.get("timeouts", 0)))
+    lines.append(
+        "throughput: %d events in %.2fs wall (%.1f events/s, %d jobs)"
+        % (data.get("events_total", 0), data.get("wall_elapsed_s", 0.0),
+           data.get("events_per_second", 0.0), data.get("jobs", 1)))
+    if data.get("peak_rss_kb"):
+        lines.append("peak worker RSS: %d KiB" % data["peak_rss_kb"])
+    histogram = data.get("latency_histogram") or {}
+    if histogram:
+        width = max(len(label) for label in histogram)
+        lines.append("shard latency:")
+        for label, count in histogram.items():
+            lines.append("    %-*s %4d %s" % (width, label, count,
+                                              "#" * min(count, 40)))
+    workers = data.get("workers") or {}
+    if workers:
+        lines.append("workers:")
+        for pid, stats in workers.items():
+            lines.append(
+                "    pid %-8s %3d shard(s) %9d events  %8.1f events/s"
+                % (pid, stats["shards"], stats["events"],
+                   stats["events_per_second"]))
+    return "\n".join(lines)

@@ -1,0 +1,245 @@
+"""Shard planning: deterministic partitioning of a campaign's seed space.
+
+A *shard* is the orchestrator's unit of distribution: one self-contained
+slice of a campaign matrix that a worker process can execute without
+talking to anyone else, described entirely by JSON-serializable
+parameters.  Two invariants make parallel runs trustworthy:
+
+* **Seed-space determinism** — the shard layout is a pure function of
+  the campaign parameters (backends, configs, seed, event and campaign
+  counts), never of ``--jobs``, worker scheduling, or a previous run's
+  state.  ``--jobs 4`` therefore generates exactly the streams that
+  ``--jobs 1`` generates, and a resumed run slots its completed shards
+  back into the same layout.
+* **Order-independent merging** — every shard result carries enough
+  indexing (backend, config, campaign range) for the merge step to
+  reassemble results in canonical matrix order no matter which worker
+  finished first.
+
+Shard granularity: the conformance fuzzer replays one stateful stream
+per (backend, config) pair, so that pair is the smallest splittable
+unit.  Fault campaigns are independent per campaign index, so each
+(backend, config) unit is further chunked into contiguous campaign
+ranges; the chunk size is derived from the campaign count alone (see
+:data:`FAULT_SHARDS_PER_UNIT`) so the layout survives re-planning with
+a different worker count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+#: How many shards one (backend, config) fault unit is split into, at
+#: most.  A policy constant, not a tunable: changing it changes shard
+#: ids and orphans the checkpoints of in-flight runs.
+FAULT_SHARDS_PER_UNIT = 8
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One self-contained slice of a campaign, ready to hand a worker.
+
+    ``params`` must stay JSON-plain: it crosses the process boundary as
+    the worker's whole world view.  ``sabotage`` is a test-only hook the
+    failure-path tests use to make a worker crash, hang or raise on a
+    chosen attempt; production planners never set it.
+    """
+
+    shard_id: str
+    kind: str                      # "faults" | "conformance"
+    params: Dict[str, object] = field(default_factory=dict, hash=False)
+    weight: int = 0                # events this shard replays (metrics)
+    sabotage: Optional[Dict[str, object]] = field(default=None, hash=False)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "shard_id": self.shard_id,
+            "kind": self.kind,
+            "params": dict(self.params),
+            "weight": self.weight,
+            "sabotage": dict(self.sabotage) if self.sabotage else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ShardSpec":
+        return cls(
+            shard_id=data["shard_id"],
+            kind=data["kind"],
+            params=dict(data.get("params") or {}),
+            weight=int(data.get("weight") or 0),
+            sabotage=dict(data["sabotage"]) if data.get("sabotage") else None,
+        )
+
+
+@dataclass
+class ShardResult:
+    """What came back from one shard: payload plus run accounting."""
+
+    shard_id: str
+    status: str                    # "ok" | "quarantined"
+    payload: Dict[str, object] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+    events_run: int = 0
+    worker_pid: int = 0
+    max_rss_kb: int = 0
+    attempt: int = 0
+    failures: List[str] = field(default_factory=list)
+    cached: bool = False           # satisfied from the resume journal
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "shard_id": self.shard_id,
+            "status": self.status,
+            "payload": self.payload,
+            "elapsed_s": self.elapsed_s,
+            "events_run": self.events_run,
+            "worker_pid": self.worker_pid,
+            "max_rss_kb": self.max_rss_kb,
+            "attempt": self.attempt,
+            "failures": list(self.failures),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ShardResult":
+        return cls(
+            shard_id=data["shard_id"],
+            status=data.get("status", "ok"),
+            payload=data.get("payload") or {},
+            elapsed_s=float(data.get("elapsed_s") or 0.0),
+            events_run=int(data.get("events_run") or 0),
+            worker_pid=int(data.get("worker_pid") or 0),
+            max_rss_kb=int(data.get("max_rss_kb") or 0),
+            attempt=int(data.get("attempt") or 0),
+            failures=list(data.get("failures") or []),
+        )
+
+
+@dataclass
+class ShardPlan:
+    """The full deterministic shard layout of one orchestrated run."""
+
+    kind: str
+    params: Dict[str, object]      # the campaign-level parameters
+    shards: List[ShardSpec]
+
+    @property
+    def total_weight(self) -> int:
+        return sum(shard.weight for shard in self.shards)
+
+    def fingerprint(self) -> str:
+        """Content hash of the layout: the resume-compatibility key.
+
+        Two plans with the same fingerprint generate identical streams
+        shard for shard, so their checkpoints are interchangeable.
+        """
+        digest = hashlib.sha256()
+        digest.update(json.dumps(self.params, sort_keys=True).encode())
+        for shard in self.shards:
+            digest.update(shard.shard_id.encode())
+        return digest.hexdigest()[:16]
+
+
+def _fault_chunk(n_campaigns: int) -> int:
+    """Campaigns per fault shard — a function of the matrix size only."""
+    return max(1, -(-n_campaigns // FAULT_SHARDS_PER_UNIT))
+
+
+def plan_fault_shards(
+    backends: Sequence[str],
+    configs: Sequence[str],
+    seed: int,
+    n_events: int,
+    n_campaigns: int,
+    scrub_interval: int,
+    faults_per_campaign: int = 1,
+) -> ShardPlan:
+    """Chunk the (backend x config x campaign) fault matrix into shards.
+
+    Each shard runs the contiguous campaign range ``[lo, hi)`` of one
+    (backend, config) pair.  Workers re-derive the campaign's
+    :class:`~repro.faults.plan.FaultPlan` draws from campaign 0, so a
+    shard's fault specs are identical to the ones a serial run would
+    hand those campaign indices.
+    """
+    chunk = _fault_chunk(n_campaigns)
+    shards: List[ShardSpec] = []
+    for backend in backends:
+        for config in configs:
+            for lo in range(0, n_campaigns, chunk):
+                hi = min(lo + chunk, n_campaigns)
+                shards.append(ShardSpec(
+                    shard_id="faults-%s-%s-c%04d-c%04d" % (backend, config,
+                                                           lo, hi),
+                    kind="faults",
+                    params={
+                        "backend": backend,
+                        "config": config,
+                        "seed": seed,
+                        "n_events": n_events,
+                        "n_campaigns": n_campaigns,
+                        "campaign_lo": lo,
+                        "campaign_hi": hi,
+                        "scrub_interval": scrub_interval,
+                        "faults_per_campaign": faults_per_campaign,
+                    },
+                    weight=(hi - lo) * n_events,
+                ))
+    return ShardPlan(
+        kind="faults",
+        params={
+            "backends": list(backends), "configs": list(configs),
+            "seed": seed, "n_events": n_events, "n_campaigns": n_campaigns,
+            "scrub_interval": scrub_interval,
+            "faults_per_campaign": faults_per_campaign,
+        },
+        shards=shards,
+    )
+
+
+def plan_conformance_shards(
+    backends: Sequence[str],
+    configs: Sequence[str],
+    seed: int,
+    n_events: int,
+    layer: str = "pcu",
+    scrub_interval: int = 0,
+    oracle_only: bool = False,
+    dump_dir: Optional[str] = ".",
+) -> ShardPlan:
+    """One shard per (backend, config) pair of the conformance matrix.
+
+    A conformance stream is stateful from its first event, so the pair
+    is the smallest unit that can move to another process without
+    changing which streams get generated.
+    """
+    shards = [
+        ShardSpec(
+            shard_id="conformance-%s-%s-s%d" % (backend, config, seed),
+            kind="conformance",
+            params={
+                "backend": backend,
+                "config": config,
+                "seed": seed,
+                "n_events": n_events,
+                "layer": layer,
+                "scrub_interval": scrub_interval,
+                "oracle_only": oracle_only,
+                "dump_dir": dump_dir,
+            },
+            weight=n_events,
+        )
+        for backend in backends
+        for config in configs
+    ]
+    return ShardPlan(
+        kind="conformance",
+        params={
+            "backends": list(backends), "configs": list(configs),
+            "seed": seed, "n_events": n_events, "layer": layer,
+            "scrub_interval": scrub_interval, "oracle_only": oracle_only,
+        },
+        shards=shards,
+    )

@@ -1,0 +1,234 @@
+"""The worker supervisor: spawn, watch, kill, retry, quarantine.
+
+One :class:`Supervisor` drives a shard plan to completion over a pool
+of at most ``jobs`` concurrent worker processes (one fresh process per
+shard attempt — crash isolation is the whole point, so workers are
+never reused across shards).  The loop enforces three policies:
+
+* **Timeout** — a shard that exceeds ``shard_timeout`` seconds is
+  SIGKILLed and treated like a crash.  Hangs are indistinguishable from
+  livelock to the supervisor, so both get the same medicine.
+* **Bounded retry** — a crashed / killed / timed-out shard is re-run on
+  a fresh worker up to ``max_retries`` more times.  The attempt number
+  is passed to the worker (the failure-path tests key sabotage on it).
+* **Poison quarantine** — a shard that fails every attempt is recorded
+  in the run journal with its parameters and failure history, and the
+  run *continues*: one poison seed must cost its shard, not the soak.
+
+Completion is detected through the checkpoint contract of
+:mod:`~repro.orchestrator.worker`: a shard is done iff its result file
+exists and parses; a dead worker without a result file is a crash, no
+matter how it died.  ``KeyboardInterrupt`` terminates the pool but
+leaves every published checkpoint behind for ``--resume``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .checkpoint import RunJournal
+from .metrics import RunMetrics
+from .shards import ShardResult, ShardSpec
+from .worker import worker_entry
+
+#: Extra attempts after the first failure (3 attempts total).
+DEFAULT_MAX_RETRIES = 2
+
+#: Supervisor poll period.  Short enough that shard-level timeouts are
+#: meaningful for the tests' sub-second budgets.
+POLL_INTERVAL_S = 0.05
+
+
+def _mp_context():
+    """Fork where available (fast, inherits the import graph); spawn
+    otherwise.  Workers only touch picklable/JSON state either way."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-posix fallback
+        return multiprocessing.get_context("spawn")
+
+
+class _Active:
+    """Bookkeeping for one in-flight worker process."""
+
+    __slots__ = ("process", "spec", "attempt", "deadline")
+
+    def __init__(self, process, spec: ShardSpec, attempt: int,
+                 deadline: Optional[float]):
+        self.process = process
+        self.spec = spec
+        self.attempt = attempt
+        self.deadline = deadline
+
+
+class SupervisedRun:
+    """What a supervised plan execution produced."""
+
+    def __init__(self, results: List[ShardResult],
+                 quarantined: List[ShardSpec], metrics: RunMetrics):
+        self.results = results
+        self.quarantined = quarantined
+        self.metrics = metrics
+
+    @property
+    def complete(self) -> bool:
+        return not self.quarantined
+
+    def by_id(self) -> Dict[str, ShardResult]:
+        return {result.shard_id: result for result in self.results}
+
+
+class Supervisor:
+    """Runs shard specs on a supervised multiprocessing pool."""
+
+    def __init__(
+        self,
+        jobs: int,
+        shard_timeout: Optional[float] = None,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        poll_interval: float = POLL_INTERVAL_S,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.shard_timeout = shard_timeout or None
+        self.max_retries = max_retries
+        self.poll_interval = poll_interval
+        self._ctx = _mp_context()
+
+    # ------------------------------------------------------------------
+    # Main loop.
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        specs: Sequence[ShardSpec],
+        journal: RunJournal,
+        metrics: Optional[RunMetrics] = None,
+        on_shard_done: Optional[Callable[[ShardResult], None]] = None,
+    ) -> SupervisedRun:
+        """Execute ``specs`` to completion (or quarantine) and return
+        every shard result, checkpoint-cached ones included.
+
+        ``on_shard_done`` fires after each *fresh* completion — the
+        resume tests use it to interrupt a run at a chosen point.
+        """
+        metrics = metrics or RunMetrics(jobs=self.jobs)
+        results: Dict[str, ShardResult] = {}
+        quarantined: List[ShardSpec] = []
+        failures: Dict[str, List[str]] = {}
+        pending: "deque[tuple[ShardSpec, int]]" = deque()
+
+        for spec in specs:
+            cached = journal.completed(spec)
+            if cached is not None:
+                results[spec.shard_id] = cached
+                metrics.record_result(cached)
+                journal.log_event("resumed", shard=spec.shard_id)
+            else:
+                pending.append((spec, 0))
+
+        active: List[_Active] = []
+        try:
+            while pending or active:
+                while pending and len(active) < self.jobs:
+                    active.append(self._launch(pending.popleft(), journal))
+                time.sleep(self.poll_interval)
+                still_active: List[_Active] = []
+                for entry in active:
+                    outcome = self._poll(entry, journal)
+                    if outcome is None:
+                        still_active.append(entry)
+                        continue
+                    kind, detail = outcome
+                    if kind == "done":
+                        result = detail
+                        result.failures = failures.get(
+                            entry.spec.shard_id, [])
+                        results[entry.spec.shard_id] = result
+                        metrics.record_result(result)
+                        journal.log_event(
+                            "done", shard=entry.spec.shard_id,
+                            attempt=entry.attempt,
+                            elapsed_s=round(result.elapsed_s, 3),
+                            events=result.events_run)
+                        if on_shard_done is not None:
+                            on_shard_done(result)
+                    else:
+                        history = failures.setdefault(
+                            entry.spec.shard_id, [])
+                        history.append(detail)
+                        retry = entry.attempt < self.max_retries
+                        metrics.record_failure(
+                            "timeout" if "timeout" in detail else "crash",
+                            retried=retry)
+                        journal.log_event(
+                            "failure", shard=entry.spec.shard_id,
+                            attempt=entry.attempt, detail=detail,
+                            retried=retry)
+                        if retry:
+                            pending.append((entry.spec, entry.attempt + 1))
+                        else:
+                            quarantined.append(entry.spec)
+                            journal.quarantine(entry.spec, history)
+                active = still_active
+        except BaseException:
+            # Interrupt / crash of the supervisor itself: reap children,
+            # keep every published checkpoint for --resume.
+            for entry in active:
+                if entry.process.is_alive():
+                    entry.process.kill()
+                entry.process.join()
+            journal.log_event("interrupted",
+                              outstanding=len(active) + len(pending))
+            raise
+
+        metrics.finish()
+        journal.write_metrics(metrics.to_dict())
+        ordered = [results[spec.shard_id] for spec in specs
+                   if spec.shard_id in results]
+        return SupervisedRun(ordered, quarantined, metrics)
+
+    # ------------------------------------------------------------------
+    # Process management.
+    # ------------------------------------------------------------------
+    def _launch(self, item: "tuple[ShardSpec, int]",
+                journal: RunJournal) -> _Active:
+        spec, attempt = item
+        process = self._ctx.Process(
+            target=worker_entry,
+            args=(spec.to_dict(), attempt,
+                  journal.result_path(spec.shard_id)),
+            daemon=True,
+        )
+        process.start()
+        journal.log_event("started", shard=spec.shard_id, attempt=attempt,
+                          pid=process.pid)
+        deadline = (time.monotonic() + self.shard_timeout
+                    if self.shard_timeout else None)
+        return _Active(process, spec, attempt, deadline)
+
+    def _poll(self, entry: _Active, journal: RunJournal):
+        """One liveness check: ('done', result) | ('failed', why) | None."""
+        process = entry.process
+        if not process.is_alive():
+            process.join()
+            result = journal.completed(entry.spec)
+            if result is not None:
+                result.cached = False  # fresh this run, not resumed
+                return "done", result
+            return "failed", ("worker crashed (exit code %s)"
+                              % process.exitcode)
+        if entry.deadline is not None and time.monotonic() > entry.deadline:
+            process.kill()
+            process.join()
+            # A result published in the kill window still counts.
+            result = journal.completed(entry.spec)
+            if result is not None:
+                result.cached = False
+                return "done", result
+            return "failed", ("shard timeout after %.3gs"
+                              % self.shard_timeout)
+        return None

@@ -1,0 +1,150 @@
+"""The shard worker: one process, one shard, one JSON result file.
+
+``worker_entry`` is the ``multiprocessing`` target.  It executes the
+shard described by a :class:`~repro.orchestrator.shards.ShardSpec`
+dict and writes the :class:`~repro.orchestrator.shards.ShardResult`
+payload to ``result_path`` with a write-to-temp-then-rename, so the
+supervisor can treat "result file exists" as "shard completed":
+a worker that crashed or was killed mid-shard leaves no file (or a
+stray ``.tmp`` the next attempt overwrites), never a torn one.
+
+Workers are deliberately dumb: no queues, no shared state, no retry
+logic.  All supervision policy (timeouts, retries, quarantine) lives in
+:mod:`~repro.orchestrator.supervisor`; all layout policy lives in
+:mod:`~repro.orchestrator.shards`.  That split keeps the failure
+semantics auditable — whatever a worker does, the worst outcome is a
+missing result file.
+
+The ``sabotage`` hook exists for the failure-path tests only: it lets a
+spec ask the worker to SIGKILL itself, hang, or raise on attempts below
+a threshold, which is how "a worker crashed mid-shard" is reproduced
+deterministically inside the test suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from typing import Dict, List
+
+try:  # Unix-only; absent on some platforms, so peak RSS degrades to 0.
+    import resource
+except ImportError:  # pragma: no cover - non-posix fallback
+    resource = None
+
+
+def _max_rss_kb() -> int:
+    """Peak RSS of this worker in KiB (0 where unsupported)."""
+    if resource is None:  # pragma: no cover - non-posix fallback
+        return 0
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    return usage // 1024 if usage > 1 << 30 else usage
+
+
+def _apply_sabotage(sabotage, attempt: int) -> None:
+    """Test-only failure injection, keyed on the attempt number."""
+    if not sabotage or attempt >= int(sabotage.get("attempts", 1)):
+        return
+    kind = sabotage.get("kind")
+    if kind == "sigkill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif kind == "hang":
+        time.sleep(float(sabotage.get("seconds", 3600)))
+    elif kind == "exception":
+        raise RuntimeError("sabotaged shard (test hook)")
+
+
+def run_fault_shard(params: Dict[str, object]) -> Dict[str, object]:
+    """Execute the campaign range ``[campaign_lo, campaign_hi)``.
+
+    The worker re-derives the full :class:`~repro.faults.plan.FaultPlan`
+    sequence from campaign 0 so the specs for its range are drawn from
+    exactly the RNG state a serial run would have reached — the heart of
+    the "``--jobs N`` never changes the streams" contract.
+    """
+    from repro.faults.campaign import run_campaign
+    from repro.faults.plan import FaultPlan
+
+    plan = FaultPlan(int(params["seed"]))
+    lo, hi = int(params["campaign_lo"]), int(params["campaign_hi"])
+    per_campaign = int(params.get("faults_per_campaign", 1))
+    n_events = int(params["n_events"])
+    results: List[Dict[str, object]] = []
+    events_run = 0
+    for campaign in range(hi):
+        specs = plan.draw_specs(campaign, n_events, count=per_campaign)
+        if campaign < lo:
+            continue  # drawn only to advance the plan's RNG
+        result = run_campaign(
+            params["backend"], specs[0],
+            stream_seed=int(params["seed"]) + campaign,
+            n_events=n_events,
+            config=params["config"],
+            scrub_interval=int(params["scrub_interval"]),
+            campaign=campaign,
+            extra_specs=specs[1:],
+        )
+        results.append(result.to_dict())
+        events_run += result.events_run
+    return {
+        "backend": params["backend"],
+        "config": params["config"],
+        "campaign_lo": lo,
+        "campaign_hi": hi,
+        "results": results,
+        "events_run": events_run,
+    }
+
+
+def run_conformance_shard(params: Dict[str, object]) -> Dict[str, object]:
+    """Fuzz one (backend, config) pair; mirror of the serial CLI path."""
+    from repro.conformance.runner import fuzz_backend
+
+    result = fuzz_backend(
+        params["backend"], int(params["seed"]), int(params["n_events"]),
+        config=params["config"],
+        oracle_only=bool(params.get("oracle_only")),
+        dump_dir=params.get("dump_dir"),
+        layer=params.get("layer", "pcu"),
+        scrub_interval=int(params.get("scrub_interval", 0)),
+    )
+    payload = result.summary()
+    payload["events_run"] = result.events
+    return payload
+
+
+_SHARD_RUNNERS = {
+    "faults": run_fault_shard,
+    "conformance": run_conformance_shard,
+}
+
+
+def execute_shard(spec_dict: Dict[str, object]) -> Dict[str, object]:
+    """Dispatch one shard spec dict to its runner (in-process)."""
+    return _SHARD_RUNNERS[spec_dict["kind"]](spec_dict["params"])
+
+
+def worker_entry(spec_dict: Dict[str, object], attempt: int,
+                 result_path: str) -> None:
+    """Process target: run the shard, atomically publish the result."""
+    started = time.monotonic()
+    _apply_sabotage(spec_dict.get("sabotage"), attempt)
+    payload = execute_shard(spec_dict)
+    result = {
+        "shard_id": spec_dict["shard_id"],
+        "status": "ok",
+        "payload": payload,
+        "elapsed_s": time.monotonic() - started,
+        "events_run": int(payload.get("events_run", 0)),
+        "worker_pid": os.getpid(),
+        "max_rss_kb": _max_rss_kb(),
+        "attempt": attempt,
+        "failures": [],
+    }
+    tmp_path = result_path + ".tmp.%d" % os.getpid()
+    with open(tmp_path, "w") as handle:
+        json.dump(result, handle, indent=2)
+    os.replace(tmp_path, result_path)

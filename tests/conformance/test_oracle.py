@@ -224,7 +224,7 @@ class TestMemoryAndReset:
 
     def test_reset(self, world):
         world.oracle.domain = world.slot_ids[1]
-        world.oracle.stack.append((0x9000, 1))
+        world.oracle._push(0x9000, 1)
         world.oracle.reset()
         assert world.oracle.domain == DOMAIN_0
         assert world.oracle.pdomain == DOMAIN_0

@@ -83,5 +83,5 @@ class TestCampaignMatrix:
         assert payload["widening_silent_divergences"] == 0
         with open(path) as handle:
             on_disk = json.load(handle)
-        assert on_disk["format"] == "isagrid-fault-campaign-v1"
+        assert on_disk["format"] == "isagrid-fault-campaign-v2"
         assert on_disk["classification_counts"] == matrix.counts
