@@ -12,11 +12,17 @@ Usage::
     python -m repro audit             # audit the shipped decompositions
     python -m repro conformance       # differential oracle-vs-PCU fuzz
     python -m repro faults            # fault-injection campaigns
+    python -m repro bench             # evaluation rigs + perf trajectory
     python -m repro orchestrate       # status of parallel campaign runs
 
 ``conformance`` and ``faults`` accept ``--jobs N`` to run their matrix
 sharded over a supervised worker pool (with ``--resume`` and
 ``--shard-timeout``); reports stay byte-identical with ``--jobs 1``.
+``bench`` always runs through the orchestrator and writes a
+``BENCH_<stamp>.json`` trajectory (instructions/s and wall-clock per
+rig) that ``--baseline`` diffs against for the CI regression gate.
+All three accept ``--profile`` for per-shard cProfile dumps in the run
+directory.
 """
 
 from __future__ import annotations
@@ -212,7 +218,7 @@ def _cmd_conformance(args) -> int:
               % (", ".join(unknown), ", ".join(CONFORMANCE_CONFIGS)),
               file=sys.stderr)
         return 2
-    if args.jobs > 1 or args.resume or args.run_dir:
+    if args.jobs > 1 or args.resume or args.run_dir or args.profile:
         if mutate is not None:
             print("--inject-bug needs the in-process path; drop --jobs",
                   file=sys.stderr)
@@ -224,6 +230,7 @@ def _cmd_conformance(args) -> int:
             jobs=args.jobs, layer=args.layer,
             scrub_interval=args.scrub_interval,
             oracle_only=args.oracle_only, dump_dir=".",
+            profile=args.profile,
             run_dir=args.run_dir, resume=args.resume,
             shard_timeout=args.shard_timeout,
         )
@@ -290,13 +297,14 @@ def _cmd_faults(args) -> int:
               file=sys.stderr)
         return 2
     quarantined = 0
-    if args.jobs > 1 or args.resume or args.run_dir:
+    if args.jobs > 1 or args.resume or args.run_dir or args.profile:
         from repro.orchestrator import orchestrate_faults
 
         matrices, run, run_dir = orchestrate_faults(
             backends, configs, args.seed, args.events, args.campaign,
             jobs=args.jobs, scrub_interval=args.scrub_interval,
             faults_per_campaign=args.faults_per_campaign,
+            profile=args.profile,
             run_dir=args.run_dir, resume=args.resume,
             shard_timeout=args.shard_timeout,
         )
@@ -331,6 +339,66 @@ def _cmd_faults(args) -> int:
               % payload["widening_silent_divergences"], file=sys.stderr)
         return 1
     return 1 if quarantined else 0
+
+
+def _cmd_bench(args) -> int:
+    """Run the evaluation rigs sharded; emit a perf trajectory file."""
+    import os
+    import time
+
+    from repro.bench import (
+        build_trajectory,
+        compare_trajectories,
+        load_trajectory,
+        resolve_rigs,
+        write_trajectory,
+    )
+    from repro.orchestrator import orchestrate_bench
+
+    try:
+        rigs = resolve_rigs(args.rigs)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    fast_path = not args.slow_path
+    payloads, run, run_dir = orchestrate_bench(
+        rigs, fast_path=fast_path, jobs=args.jobs, profile=args.profile,
+        run_dir=args.run_dir, resume=args.resume,
+        shard_timeout=args.shard_timeout,
+    )
+    for payload in payloads:
+        print("%-16s %10d inst  %14.0f cyc  %8.3f s  %10.0f inst/s"
+              % (payload["rig"], payload["instructions"], payload["cycles"],
+                 payload["wall_s"], payload["ips"]))
+    failures = _report_quarantine(run, run_dir)
+    print(run.metrics.render())
+    print("run directory: %s" % run_dir)
+
+    stamp = args.stamp or time.strftime("%Y%m%d-%H%M%S")
+    out = args.out or os.path.join("results", "bench",
+                                   "BENCH_%s.json" % stamp)
+    trajectory = build_trajectory(payloads, label=args.label,
+                                  fast_path=fast_path, stamp=stamp)
+    write_trajectory(trajectory, out)
+    print("trajectory written to %s" % out)
+
+    if args.baseline:
+        try:
+            baseline = load_trajectory(args.baseline)
+        except (OSError, ValueError) as error:
+            print("cannot read baseline: %s" % error, file=sys.stderr)
+            return 2
+        lines, regressions = compare_trajectories(
+            trajectory, baseline, args.regress_threshold)
+        for line in lines:
+            print(line)
+        if regressions:
+            print("FAIL: %d rig(s) regressed by more than %.0f%% "
+                  "instructions/s vs %s"
+                  % (len(regressions), args.regress_threshold * 100,
+                     args.baseline), file=sys.stderr)
+            return 1
+    return 1 if failures else 0
 
 
 def _cmd_orchestrate(args) -> int:
@@ -375,6 +443,7 @@ def _cmd_orchestrate(args) -> int:
 
 _COMMANDS = {
     "audit": _cmd_audit,
+    "bench": _cmd_bench,
     "orchestrate": _cmd_orchestrate,
     "table4": _cmd_table4,
     "table6": _cmd_table6,
@@ -396,7 +465,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     subparsers = parser.add_subparsers(dest="command", required=True,
                                        metavar="command")
     for name in sorted(_COMMANDS):
-        if name in ("conformance", "faults", "orchestrate"):
+        if name in ("bench", "conformance", "faults", "orchestrate"):
             continue
         subparsers.add_parser(name, help="regenerate the %r artifact" % name)
 
@@ -414,6 +483,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         subparser.add_argument("--run-dir", default=None,
                                help="checkpoint directory (default: "
                                     "results/runs/<kind>-<fingerprint>)")
+        subparser.add_argument("--profile", action="store_true",
+                               help="cProfile each shard; top-N cumulative "
+                                    "dump written to the run directory as "
+                                    "profile-<shard>.txt")
     conformance = subparsers.add_parser(
         "conformance",
         help="differentially fuzz the cached PCU against the oracle spec",
@@ -464,6 +537,35 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="concurrent faults scheduled per campaign "
                              "(2 = dual-fault mode)")
     add_orchestration_flags(faults)
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the Table-4/5 and Fig-5-8 rigs sharded and emit a "
+             "BENCH_<stamp>.json perf trajectory",
+    )
+    bench.add_argument("--rigs", default=None,
+                       help="comma-separated rig names, 'all', or "
+                            "'default' (the full evaluation suite)")
+    bench.add_argument("--slow-path", action="store_true",
+                       help="disable the PCU's compiled verdict plan in "
+                            "every rig (the fast path's escape hatch; "
+                            "results must be identical, only slower)")
+    bench.add_argument("--label", default="",
+                       help="free-form label stored in the trajectory "
+                            "(e.g. 'seed' or a commit id)")
+    bench.add_argument("--stamp", default=None,
+                       help="trajectory stamp (default: current UTC-less "
+                            "local time, YYYYmmdd-HHMMSS)")
+    bench.add_argument("--out", default=None,
+                       help="trajectory output path (default: "
+                            "results/bench/BENCH_<stamp>.json)")
+    bench.add_argument("--baseline", default=None,
+                       help="committed BENCH_*.json to diff against; "
+                            "instructions/s regressions beyond "
+                            "--regress-threshold fail the run")
+    bench.add_argument("--regress-threshold", type=float, default=0.20,
+                       help="relative instructions/s loss tolerated per "
+                            "rig before --baseline fails (default 0.20)")
+    add_orchestration_flags(bench)
     orchestrate = subparsers.add_parser(
         "orchestrate",
         help="inspect orchestrated run directories (checkpoints, "

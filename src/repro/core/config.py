@@ -50,6 +50,14 @@ class PcuConfig:
         paper suggests in Section 8 ("Cache Optimization"): known-legal
         (domain, instruction, register, value) tuples skip the whole
         check pipeline.  0 disables it (the paper's baseline design).
+    fast_path:
+        Let the PCU serve warm-cache checks through its compiled
+        verdict plan (the zero-stall short circuit) instead of walking
+        the cache pipeline object by object.  Verdicts, faults, stall
+        cycles and every statistics counter are bit-identical either
+        way — this trades nothing but simulator wall-clock, and
+        ``--slow-path`` on the bench/conformance CLIs sets it to False
+        to prove exactly that.
     flush_on_switch:
         Flush the domain privilege cache on every domain switch — the
         Section 8 performance/security trade-off against PRIME+PROBE
@@ -67,6 +75,7 @@ class PcuConfig:
     bypass_enabled: bool = True
     prefetch_enabled: bool = True
     draco_entries: int = 0
+    fast_path: bool = True
     flush_on_switch: bool = False
     max_domains: int = 4096
     max_gates: int = 1024

@@ -83,6 +83,22 @@ class PrivilegeCheckUnit:
         # but paying the refill latency on each access — until a clean
         # scrub re-enables caching.
         self.degraded = False
+        # Compiled verdict plan (simulator fast path, DESIGN §3.14).
+        # Eligibility is static per config: the warm-bypass short
+        # circuit in :meth:`check` is only a faithful compression of
+        # the pipeline when the bypass register exists to be its
+        # backing store and no Draco cache wants its hit/fill
+        # bookkeeping run.  ``_fast`` is the live switch — cleared for
+        # the duration of degraded mode, where every check must pay
+        # the direct-walk path.  ``_csr_plan`` holds the per-CSR bit
+        # geometry (word index, read/write shifts, mask slot), which
+        # depends only on the immutable ISA map, never on privileges,
+        # so it is computed once and never invalidated.
+        self._fast_capable = (
+            config.fast_path and config.bypass_enabled and self.draco is None
+        )
+        self._fast = self._fast_capable
+        self._csr_plan: dict = {}
 
     # ------------------------------------------------------------------
     # State.
@@ -121,13 +137,46 @@ class PrivilegeCheckUnit:
 
         Domain-0 holds every privilege by default (Section 4.4), so its
         checks always pass without touching the caches.
+
+        The warm-cache common case — bypass register loaded for the
+        current domain, no Draco cache, not degraded — is served by the
+        compiled verdict plan inline here: the instruction verdict is
+        one shift of the live bypass words, and CSR accesses go through
+        :meth:`_fast_csr` with precomputed bit geometry.  Everything
+        else falls back to :meth:`_check_slow`, the original pipeline.
+        The two paths are bit-identical in verdicts, faults, stall
+        cycles and statistics (see DESIGN §3.14 and the fast-vs-slow
+        differential tests); only the number of Python frames differs.
         """
         if not self.enabled:
             return 0
+        stats = self.stats
+        stats.inst_checks += 1
         domain = self.registers.domain
-        self.stats.inst_checks += 1
         if domain == DOMAIN_0:
             return 0
+        if self._fast:
+            bypass = self.bypass
+            if bypass._domain == domain:
+                # Mirrors _check_instruction's bypass-hit arm: the live
+                # register words are the verdict vector (reading them
+                # live keeps fault-injected corruption visible, exactly
+                # like InstPrivilegeRegister.allowed would).
+                stats.bypass_hits += 1
+                inst_class = access.inst_class
+                if not bypass._words[inst_class >> 6] >> (inst_class & 63) & 1:
+                    self._fault(
+                        InstructionPrivilegeFault(
+                            inst_class, domain=domain, address=access.address
+                        )
+                    )
+                if access.csr is None:
+                    return 0
+                return self._fast_csr(domain, access)
+        return self._check_slow(domain, access)
+
+    def _check_slow(self, domain: int, access: AccessInfo) -> int:
+        """The uncompiled pipeline: cold bypass, Draco, degraded mode."""
         if self.degraded:
             return self._check_degraded(domain, access)
 
@@ -135,10 +184,19 @@ class PrivilegeCheckUnit:
         # access tuple skips the whole check pipeline.
         draco_key = None
         if self.draco is not None:
+            # The written value only decides legality for bit-masked
+            # CSRs; folding it into every key would make ordinary CSR
+            # writes with varying values miss forever.
+            masked = (
+                access.csr is not None
+                and access.csr_write
+                and self.isa_map.mask_slot(access.csr) is not None
+            )
             draco_key = (
                 domain, access.inst_class, access.csr,
                 access.csr_read, access.csr_write,
-                access.write_value, access.old_value,
+                access.write_value if masked else None,
+                access.old_value if masked else None,
             )
             if self.draco.lookup(draco_key) is not None:
                 self.stats.draco_hits += 1
@@ -151,6 +209,76 @@ class PrivilegeCheckUnit:
             self.draco.fill(draco_key, True)  # only reached if legal
         self.stats.stall_cycles += stall
         return stall
+
+    def _fast_csr(self, domain: int, access: AccessInfo) -> int:
+        """Verdict-plan CSR check: _check_csr with precompiled geometry.
+
+        Replays the exact statistics, LRU promotion, fill and fault
+        sequence of ``hpt_cache.reg_word`` + ``_check_csr``, but with
+        the per-CSR shifts and mask slot fetched from the static
+        ``_csr_plan`` and the cache touched through its dict directly
+        (fetched fresh each call — ``flush`` may replace the dict when
+        lines are pinned).
+        """
+        csr = access.csr
+        plan = self._csr_plan.get(csr)
+        if plan is None:
+            shift = (2 * csr) % 64
+            plan = ((2 * csr) // 64, shift, shift + 1,
+                    self.isa_map.mask_slot(csr))
+            self._csr_plan[csr] = plan
+        word_index, read_shift, write_shift, mask_slot = plan
+        stats = self.stats
+        reg_stats = stats.reg_cache
+        reg_stats.lookups += 1
+        reg = self.hpt_cache.reg
+        entries = reg._entries
+        tag = (domain, word_index)
+        word = entries.get(tag)
+        if word is not None:
+            reg_stats.hits += 1
+            entries.move_to_end(tag)
+            stall = 0
+        else:
+            reg_stats.misses += 1
+            word = self.hpt.read_reg_word(domain, word_index)
+            reg.fill(tag, word)
+            reg_stats.fills += 1
+            stall = self.config.refill_latency
+
+        if access.csr_read:
+            stats.csr_read_checks += 1
+            if not word >> read_shift & 1:
+                self._fault(
+                    RegisterReadFault(csr, domain=domain, address=access.address)
+                )
+        if access.csr_write:
+            stats.csr_write_checks += 1
+            if mask_slot is not None:
+                stall += self._check_mask(domain, mask_slot, access)
+            elif not word >> write_shift & 1:
+                self._fault(
+                    RegisterWriteFault(csr, domain=domain, address=access.address)
+                )
+        stats.stall_cycles += stall
+        return stall
+
+    def verdict_plan(self):
+        """The active compiled verdict, or ``None`` when decompiled.
+
+        Introspection for the coherence tests: returns
+        ``(domain, instruction_words)`` exactly when the next warm
+        check would be served by the fast path.  Every invalidation
+        entry point (``invalidate_privileges``, ``flush``, degraded
+        mode, domain switches) must leave this ``None`` or freshly
+        reloaded, never stale.
+        """
+        if not self._fast:
+            return None
+        domain = self.bypass._domain
+        if domain is None:
+            return None
+        return domain, tuple(self.bypass._words)
 
     def _check_instruction(self, domain: int, access: AccessInfo) -> int:
         if self.config.bypass_enabled:
@@ -483,6 +611,10 @@ class PrivilegeCheckUnit:
         trusted-memory walks.  Idempotent.
         """
         self.flush(CacheId.ALL)
+        # Decompile the verdict plan explicitly: while degraded, even a
+        # freshly refilled bypass register must not short-circuit the
+        # direct-HPT-walk path.
+        self._fast = False
         if not self.degraded:
             self.degraded = True
             self.stats.degraded_entries += 1
@@ -490,6 +622,7 @@ class PrivilegeCheckUnit:
     def exit_degraded_mode(self) -> None:
         """Re-enable caching; only the scrubber calls this, post-repair."""
         self.degraded = False
+        self._fast = self._fast_capable
 
     # ------------------------------------------------------------------
     # Trusted memory enforcement (Section 4.5).

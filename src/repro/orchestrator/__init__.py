@@ -31,6 +31,7 @@ CLI: ``python -m repro faults --jobs 4`` /
 
 from .api import (
     merge_fault_results,
+    orchestrate_bench,
     orchestrate_conformance,
     orchestrate_faults,
 )
@@ -45,6 +46,7 @@ from .shards import (
     ShardPlan,
     ShardResult,
     ShardSpec,
+    plan_bench_shards,
     plan_conformance_shards,
     plan_fault_shards,
 )
@@ -69,8 +71,10 @@ __all__ = [
     "execute_shard",
     "latest_run_dir",
     "merge_fault_results",
+    "orchestrate_bench",
     "orchestrate_conformance",
     "orchestrate_faults",
+    "plan_bench_shards",
     "plan_conformance_shards",
     "plan_fault_shards",
     "render_metrics",

@@ -70,6 +70,7 @@ def orchestrate_faults(
     jobs: int,
     scrub_interval: int,
     faults_per_campaign: int = 1,
+    profile: bool = False,
     run_dir: Optional[str] = None,
     resume: bool = False,
     shard_timeout: Optional[float] = None,
@@ -86,7 +87,8 @@ def orchestrate_faults(
     from .shards import plan_fault_shards
 
     plan = plan_fault_shards(backends, configs, seed, n_events, n_campaigns,
-                             scrub_interval, faults_per_campaign)
+                             scrub_interval, faults_per_campaign,
+                             profile=profile)
     run, run_dir = _drive(plan, jobs, run_dir, resume, shard_timeout,
                           max_retries, on_shard_done, sabotage)
     return merge_fault_results(backends, configs, seed, n_events, run), \
@@ -132,6 +134,7 @@ def orchestrate_conformance(
     scrub_interval: int = 0,
     oracle_only: bool = False,
     dump_dir: Optional[str] = ".",
+    profile: bool = False,
     run_dir: Optional[str] = None,
     resume: bool = False,
     shard_timeout: Optional[float] = None,
@@ -152,7 +155,8 @@ def orchestrate_conformance(
                                    layer=layer,
                                    scrub_interval=scrub_interval,
                                    oracle_only=oracle_only,
-                                   dump_dir=dump_dir)
+                                   dump_dir=dump_dir,
+                                   profile=profile)
     run, run_dir = _drive(plan, jobs, run_dir, resume, shard_timeout,
                           max_retries, on_shard_done, sabotage)
     by_unit = {(r.payload["backend"], r.payload["config"]): r.payload
@@ -160,4 +164,37 @@ def orchestrate_conformance(
     payloads = [by_unit[(backend, config)]
                 for backend in backends for config in configs
                 if (backend, config) in by_unit]
+    return payloads, run, run_dir
+
+
+def orchestrate_bench(
+    rigs: Sequence[str],
+    *,
+    fast_path: bool = True,
+    jobs: int = 1,
+    profile: bool = False,
+    run_dir: Optional[str] = None,
+    resume: bool = False,
+    shard_timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    on_shard_done: Optional[Callable[[ShardResult], None]] = None,
+    sabotage: Optional[Dict[str, Dict[str, object]]] = None,
+):
+    """Run the benchmark rigs sharded; return per-rig trajectory records.
+
+    Returns ``(payloads, run, run_dir)`` with one payload per requested
+    rig, in request order (quarantined rigs are simply absent — they are
+    recorded in the run directory like any other quarantined shard).
+    One caveat the fuzz/fault campaigns don't have: wall-clock and
+    instructions/s are *host* measurements, so ``--jobs N`` changes the
+    numbers (workers share cores) even though the simulated
+    instruction/cycle counts stay identical.
+    """
+    from .shards import plan_bench_shards
+
+    plan = plan_bench_shards(rigs, fast_path=fast_path, profile=profile)
+    run, run_dir = _drive(plan, jobs, run_dir, resume, shard_timeout,
+                          max_retries, on_shard_done, sabotage)
+    by_rig = {result.payload["rig"]: result.payload for result in run.results}
+    payloads = [by_rig[rig] for rig in rigs if rig in by_rig]
     return payloads, run, run_dir

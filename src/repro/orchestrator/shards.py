@@ -49,7 +49,7 @@ class ShardSpec:
     """
 
     shard_id: str
-    kind: str                      # "faults" | "conformance"
+    kind: str                      # "faults" | "conformance" | "bench"
     params: Dict[str, object] = field(default_factory=dict, hash=False)
     weight: int = 0                # events this shard replays (metrics)
     sabotage: Optional[Dict[str, object]] = field(default=None, hash=False)
@@ -155,6 +155,7 @@ def plan_fault_shards(
     n_campaigns: int,
     scrub_interval: int,
     faults_per_campaign: int = 1,
+    profile: bool = False,
 ) -> ShardPlan:
     """Chunk the (backend x config x campaign) fault matrix into shards.
 
@@ -170,33 +171,39 @@ def plan_fault_shards(
         for config in configs:
             for lo in range(0, n_campaigns, chunk):
                 hi = min(lo + chunk, n_campaigns)
+                params = {
+                    "backend": backend,
+                    "config": config,
+                    "seed": seed,
+                    "n_events": n_events,
+                    "n_campaigns": n_campaigns,
+                    "campaign_lo": lo,
+                    "campaign_hi": hi,
+                    "scrub_interval": scrub_interval,
+                    "faults_per_campaign": faults_per_campaign,
+                }
+                # Only present when set, so profiled and plain runs of
+                # the same campaign share shard ids but not run dirs
+                # (plan params feed the fingerprint) and pre-profile
+                # checkpoints stay resumable.
+                if profile:
+                    params["profile"] = True
                 shards.append(ShardSpec(
                     shard_id="faults-%s-%s-c%04d-c%04d" % (backend, config,
                                                            lo, hi),
                     kind="faults",
-                    params={
-                        "backend": backend,
-                        "config": config,
-                        "seed": seed,
-                        "n_events": n_events,
-                        "n_campaigns": n_campaigns,
-                        "campaign_lo": lo,
-                        "campaign_hi": hi,
-                        "scrub_interval": scrub_interval,
-                        "faults_per_campaign": faults_per_campaign,
-                    },
+                    params=params,
                     weight=(hi - lo) * n_events,
                 ))
-    return ShardPlan(
-        kind="faults",
-        params={
-            "backends": list(backends), "configs": list(configs),
-            "seed": seed, "n_events": n_events, "n_campaigns": n_campaigns,
-            "scrub_interval": scrub_interval,
-            "faults_per_campaign": faults_per_campaign,
-        },
-        shards=shards,
-    )
+    plan_params = {
+        "backends": list(backends), "configs": list(configs),
+        "seed": seed, "n_events": n_events, "n_campaigns": n_campaigns,
+        "scrub_interval": scrub_interval,
+        "faults_per_campaign": faults_per_campaign,
+    }
+    if profile:
+        plan_params["profile"] = True
+    return ShardPlan(kind="faults", params=plan_params, shards=shards)
 
 
 def plan_conformance_shards(
@@ -208,6 +215,7 @@ def plan_conformance_shards(
     scrub_interval: int = 0,
     oracle_only: bool = False,
     dump_dir: Optional[str] = ".",
+    profile: bool = False,
 ) -> ShardPlan:
     """One shard per (backend, config) pair of the conformance matrix.
 
@@ -215,11 +223,10 @@ def plan_conformance_shards(
     is the smallest unit that can move to another process without
     changing which streams get generated.
     """
-    shards = [
-        ShardSpec(
-            shard_id="conformance-%s-%s-s%d" % (backend, config, seed),
-            kind="conformance",
-            params={
+    shards = []
+    for backend in backends:
+        for config in configs:
+            params = {
                 "backend": backend,
                 "config": config,
                 "seed": seed,
@@ -228,18 +235,52 @@ def plan_conformance_shards(
                 "scrub_interval": scrub_interval,
                 "oracle_only": oracle_only,
                 "dump_dir": dump_dir,
-            },
-            weight=n_events,
-        )
-        for backend in backends
-        for config in configs
-    ]
-    return ShardPlan(
-        kind="conformance",
-        params={
-            "backends": list(backends), "configs": list(configs),
-            "seed": seed, "n_events": n_events, "layer": layer,
-            "scrub_interval": scrub_interval, "oracle_only": oracle_only,
-        },
-        shards=shards,
-    )
+            }
+            if profile:
+                params["profile"] = True
+            shards.append(ShardSpec(
+                shard_id="conformance-%s-%s-s%d" % (backend, config, seed),
+                kind="conformance",
+                params=params,
+                weight=n_events,
+            ))
+    plan_params = {
+        "backends": list(backends), "configs": list(configs),
+        "seed": seed, "n_events": n_events, "layer": layer,
+        "scrub_interval": scrub_interval, "oracle_only": oracle_only,
+    }
+    if profile:
+        plan_params["profile"] = True
+    return ShardPlan(kind="conformance", params=plan_params, shards=shards)
+
+
+def plan_bench_shards(
+    rigs: Sequence[str],
+    fast_path: bool = True,
+    profile: bool = False,
+) -> ShardPlan:
+    """One shard per benchmark rig.
+
+    A rig is self-contained (it boots its own kernels), so the rig is
+    the natural distribution unit; the shard weight is the rig's rough
+    dynamic instruction count so the run metrics report a meaningful
+    events/sec.  ``fast_path`` is part of the layout: a ``--slow-path``
+    run fingerprints (and checkpoints) separately from a fast one.
+    """
+    from repro.bench.rigs import RIGS
+
+    shards = []
+    for rig in rigs:
+        params = {"rig": rig, "fast_path": bool(fast_path)}
+        if profile:
+            params["profile"] = True
+        shards.append(ShardSpec(
+            shard_id="bench-%s-%s" % (rig, "fast" if fast_path else "slow"),
+            kind="bench",
+            params=params,
+            weight=RIGS[rig].approx_instructions,
+        ))
+    plan_params = {"rigs": list(rigs), "fast_path": bool(fast_path)}
+    if profile:
+        plan_params["profile"] = True
+    return ShardPlan(kind="bench", params=plan_params, shards=shards)

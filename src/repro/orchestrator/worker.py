@@ -116,10 +116,57 @@ def run_conformance_shard(params: Dict[str, object]) -> Dict[str, object]:
     return payload
 
 
+def run_bench_shard(params: Dict[str, object]) -> Dict[str, object]:
+    """Execute one benchmark rig; the payload is a trajectory record."""
+    from repro.bench.rigs import run_rig
+
+    payload = run_rig(params["rig"], fast_path=bool(params["fast_path"]))
+    payload["events_run"] = payload["instructions"]
+    return payload
+
+
 _SHARD_RUNNERS = {
     "faults": run_fault_shard,
     "conformance": run_conformance_shard,
+    "bench": run_bench_shard,
 }
+
+#: How many cumulative-time rows a per-shard profile dump keeps.
+PROFILE_TOP_N = 40
+
+
+def _profiled_execute(spec_dict: Dict[str, object],
+                      result_path: str) -> Dict[str, object]:
+    """Run the shard under cProfile; dump top-N rows next to the result.
+
+    The dump lands in the run directory as ``profile-<shard_id>.txt``
+    so ``--resume`` and ``orchestrate --status`` users find it beside
+    the shard checkpoint it explains.  Profiling must never turn a good
+    shard into a failed one, so dump errors are swallowed.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        payload = execute_shard(spec_dict)
+    finally:
+        profiler.disable()
+        try:
+            buffer = io.StringIO()
+            stats = pstats.Stats(profiler, stream=buffer)
+            stats.sort_stats("cumulative").print_stats(PROFILE_TOP_N)
+            dump_path = os.path.join(
+                os.path.dirname(result_path) or ".",
+                "profile-%s.txt" % spec_dict["shard_id"],
+            )
+            with open(dump_path, "w") as handle:
+                handle.write(buffer.getvalue())
+        except OSError:  # pragma: no cover - diagnostic only
+            pass
+    return payload
 
 
 def execute_shard(spec_dict: Dict[str, object]) -> Dict[str, object]:
@@ -132,7 +179,10 @@ def worker_entry(spec_dict: Dict[str, object], attempt: int,
     """Process target: run the shard, atomically publish the result."""
     started = time.monotonic()
     _apply_sabotage(spec_dict.get("sabotage"), attempt)
-    payload = execute_shard(spec_dict)
+    if (spec_dict.get("params") or {}).get("profile"):
+        payload = _profiled_execute(spec_dict, result_path)
+    else:
+        payload = execute_shard(spec_dict)
     result = {
         "shard_id": spec_dict["shard_id"],
         "status": "ok",

@@ -84,6 +84,346 @@ def _div_trunc(a: int, b: int) -> int:
     return -quotient if (a < 0) != (b < 0) else quotient
 
 
+def _remw(r, inst, pc):
+    aw = sign_extend(r[inst.rs1] & 0xFFFFFFFF, 32)
+    bw = sign_extend(r[inst.rs2] & 0xFFFFFFFF, 32)
+    rem = aw if bw == 0 else aw - _div_trunc(aw, bw) * bw
+    return sign_extend(rem & 0xFFFFFFFF, 32)
+
+
+def _rem(r, inst, pc):
+    sa, sb = to_signed(r[inst.rs1]), to_signed(r[inst.rs2])
+    return sa if sb == 0 else sa - _div_trunc(sa, sb) * sb
+
+
+def _divw(r, inst, pc):
+    aw = sign_extend(r[inst.rs1] & 0xFFFFFFFF, 32)
+    bw = sign_extend(r[inst.rs2] & 0xFFFFFFFF, 32)
+    return sign_extend(_div_trunc(aw, bw) & 0xFFFFFFFF, 32)
+
+
+def _divuw(r, inst, pc):
+    aw, bw = r[inst.rs1] & 0xFFFFFFFF, r[inst.rs2] & 0xFFFFFFFF
+    return -1 if bw == 0 else sign_extend(aw // bw, 32)
+
+
+def _remuw(r, inst, pc):
+    aw, bw = r[inst.rs1] & 0xFFFFFFFF, r[inst.rs2] & 0xFFFFFFFF
+    return sign_extend(aw if bw == 0 else aw % bw, 32)
+
+
+# Per-mnemonic ALU evaluators, resolved once at decode time; each takes
+# (regs, inst, pc) and returns the (unmasked) rd value.  The expressions
+# are the same ones the old mnemonic if-chain computed.
+_ALU_OPS = {
+    "lui": lambda r, inst, pc: inst.imm,
+    "auipc": lambda r, inst, pc: pc + inst.imm,
+    "addi": lambda r, inst, pc: r[inst.rs1] + inst.imm,
+    "slti": lambda r, inst, pc: int(to_signed(r[inst.rs1]) < inst.imm),
+    "sltiu": lambda r, inst, pc: int(r[inst.rs1] < inst.imm & MASK64),
+    "xori": lambda r, inst, pc: r[inst.rs1] ^ inst.imm & MASK64,
+    "ori": lambda r, inst, pc: r[inst.rs1] | inst.imm & MASK64,
+    "andi": lambda r, inst, pc: r[inst.rs1] & inst.imm & MASK64,
+    "slli": lambda r, inst, pc: r[inst.rs1] << inst.imm,
+    "srli": lambda r, inst, pc: r[inst.rs1] >> inst.imm,
+    "srai": lambda r, inst, pc: to_signed(r[inst.rs1]) >> inst.imm,
+    "addiw": lambda r, inst, pc: sign_extend((r[inst.rs1] + inst.imm) & 0xFFFFFFFF, 32),
+    "slliw": lambda r, inst, pc: sign_extend((r[inst.rs1] << inst.imm) & 0xFFFFFFFF, 32),
+    "srliw": lambda r, inst, pc: sign_extend((r[inst.rs1] & 0xFFFFFFFF) >> inst.imm, 32),
+    "sraiw": lambda r, inst, pc: sign_extend(r[inst.rs1] & 0xFFFFFFFF, 32) >> inst.imm,
+    "add": lambda r, inst, pc: r[inst.rs1] + r[inst.rs2],
+    "sub": lambda r, inst, pc: r[inst.rs1] - r[inst.rs2],
+    "sll": lambda r, inst, pc: r[inst.rs1] << (r[inst.rs2] & 63),
+    "slt": lambda r, inst, pc: int(to_signed(r[inst.rs1]) < to_signed(r[inst.rs2])),
+    "sltu": lambda r, inst, pc: int(r[inst.rs1] < r[inst.rs2]),
+    "xor": lambda r, inst, pc: r[inst.rs1] ^ r[inst.rs2],
+    "srl": lambda r, inst, pc: r[inst.rs1] >> (r[inst.rs2] & 63),
+    "sra": lambda r, inst, pc: to_signed(r[inst.rs1]) >> (r[inst.rs2] & 63),
+    "or": lambda r, inst, pc: r[inst.rs1] | r[inst.rs2],
+    "and": lambda r, inst, pc: r[inst.rs1] & r[inst.rs2],
+    "mul": lambda r, inst, pc: to_signed(r[inst.rs1]) * to_signed(r[inst.rs2]),
+    "mulh": lambda r, inst, pc: (to_signed(r[inst.rs1]) * to_signed(r[inst.rs2])) >> 64,
+    "mulhu": lambda r, inst, pc: (r[inst.rs1] * r[inst.rs2]) >> 64,
+    "mulhsu": lambda r, inst, pc: (to_signed(r[inst.rs1]) * r[inst.rs2]) >> 64,
+    "div": lambda r, inst, pc: _div_trunc(to_signed(r[inst.rs1]), to_signed(r[inst.rs2])),
+    "divu": lambda r, inst, pc: MASK64 if r[inst.rs2] == 0 else r[inst.rs1] // r[inst.rs2],
+    "rem": _rem,
+    "remu": lambda r, inst, pc: r[inst.rs1] if r[inst.rs2] == 0 else r[inst.rs1] % r[inst.rs2],
+    "addw": lambda r, inst, pc: sign_extend((r[inst.rs1] + r[inst.rs2]) & 0xFFFFFFFF, 32),
+    "subw": lambda r, inst, pc: sign_extend((r[inst.rs1] - r[inst.rs2]) & 0xFFFFFFFF, 32),
+    "sllw": lambda r, inst, pc: sign_extend((r[inst.rs1] << (r[inst.rs2] & 31)) & 0xFFFFFFFF, 32),
+    "srlw": lambda r, inst, pc: sign_extend((r[inst.rs1] & 0xFFFFFFFF) >> (r[inst.rs2] & 31), 32),
+    "sraw": lambda r, inst, pc: sign_extend(r[inst.rs1] & 0xFFFFFFFF, 32) >> (r[inst.rs2] & 31),
+    "mulw": lambda r, inst, pc: sign_extend((r[inst.rs1] * r[inst.rs2]) & 0xFFFFFFFF, 32),
+    "divw": _divw,
+    "divuw": _divuw,
+    "remw": _remw,
+    "remuw": _remuw,
+}
+
+# Fully specialized ALU factories for the mnemonics that dominate the
+# microbenchmarks: called once at decode with the Instruction, they
+# return a closure over the *integer* operand fields, so the per-step
+# call reads no ``inst`` attributes at all.  Each body is the matching
+# ``_ALU_OPS`` expression with the ``& MASK64`` kept exactly where the
+# result can leave [0, MASK64] (operands themselves are always stored
+# masked).  ``auipc`` stays on the generic path — it needs the runtime
+# pc, which translated aliases make per-step, not per-entry.
+def _spec_lui(inst):
+    rd, value = inst.rd, inst.imm & MASK64
+
+    def op(r):
+        r[rd] = value
+
+    return op
+
+
+def _spec_addi(inst):
+    rd, rs1, imm = inst.rd, inst.rs1, inst.imm
+
+    def op(r):
+        r[rd] = (r[rs1] + imm) & MASK64
+
+    return op
+
+
+def _spec_slti(inst):
+    rd, rs1, imm = inst.rd, inst.rs1, inst.imm
+
+    def op(r):
+        r[rd] = int(to_signed(r[rs1]) < imm)
+
+    return op
+
+
+def _spec_sltiu(inst):
+    rd, rs1, value = inst.rd, inst.rs1, inst.imm & MASK64
+
+    def op(r):
+        r[rd] = int(r[rs1] < value)
+
+    return op
+
+
+def _spec_xori(inst):
+    rd, rs1, value = inst.rd, inst.rs1, inst.imm & MASK64
+
+    def op(r):
+        r[rd] = r[rs1] ^ value
+
+    return op
+
+
+def _spec_ori(inst):
+    rd, rs1, value = inst.rd, inst.rs1, inst.imm & MASK64
+
+    def op(r):
+        r[rd] = r[rs1] | value
+
+    return op
+
+
+def _spec_andi(inst):
+    rd, rs1, value = inst.rd, inst.rs1, inst.imm & MASK64
+
+    def op(r):
+        r[rd] = r[rs1] & value
+
+    return op
+
+
+def _spec_slli(inst):
+    rd, rs1, shamt = inst.rd, inst.rs1, inst.imm
+
+    def op(r):
+        r[rd] = (r[rs1] << shamt) & MASK64
+
+    return op
+
+
+def _spec_srli(inst):
+    rd, rs1, shamt = inst.rd, inst.rs1, inst.imm
+
+    def op(r):
+        r[rd] = r[rs1] >> shamt
+
+    return op
+
+
+def _spec_srai(inst):
+    rd, rs1, shamt = inst.rd, inst.rs1, inst.imm
+
+    def op(r):
+        r[rd] = (to_signed(r[rs1]) >> shamt) & MASK64
+
+    return op
+
+
+def _spec_addiw(inst):
+    rd, rs1, imm = inst.rd, inst.rs1, inst.imm
+
+    def op(r):
+        r[rd] = sign_extend((r[rs1] + imm) & 0xFFFFFFFF, 32) & MASK64
+
+    return op
+
+
+def _spec_add(inst):
+    rd, rs1, rs2 = inst.rd, inst.rs1, inst.rs2
+
+    def op(r):
+        r[rd] = (r[rs1] + r[rs2]) & MASK64
+
+    return op
+
+
+def _spec_sub(inst):
+    rd, rs1, rs2 = inst.rd, inst.rs1, inst.rs2
+
+    def op(r):
+        r[rd] = (r[rs1] - r[rs2]) & MASK64
+
+    return op
+
+
+def _spec_sll(inst):
+    rd, rs1, rs2 = inst.rd, inst.rs1, inst.rs2
+
+    def op(r):
+        r[rd] = (r[rs1] << (r[rs2] & 63)) & MASK64
+
+    return op
+
+
+def _spec_slt(inst):
+    rd, rs1, rs2 = inst.rd, inst.rs1, inst.rs2
+
+    def op(r):
+        r[rd] = int(to_signed(r[rs1]) < to_signed(r[rs2]))
+
+    return op
+
+
+def _spec_sltu(inst):
+    rd, rs1, rs2 = inst.rd, inst.rs1, inst.rs2
+
+    def op(r):
+        r[rd] = int(r[rs1] < r[rs2])
+
+    return op
+
+
+def _spec_xor(inst):
+    rd, rs1, rs2 = inst.rd, inst.rs1, inst.rs2
+
+    def op(r):
+        r[rd] = r[rs1] ^ r[rs2]
+
+    return op
+
+
+def _spec_srl(inst):
+    rd, rs1, rs2 = inst.rd, inst.rs1, inst.rs2
+
+    def op(r):
+        r[rd] = r[rs1] >> (r[rs2] & 63)
+
+    return op
+
+
+def _spec_sra(inst):
+    rd, rs1, rs2 = inst.rd, inst.rs1, inst.rs2
+
+    def op(r):
+        r[rd] = (to_signed(r[rs1]) >> (r[rs2] & 63)) & MASK64
+
+    return op
+
+
+def _spec_or(inst):
+    rd, rs1, rs2 = inst.rd, inst.rs1, inst.rs2
+
+    def op(r):
+        r[rd] = r[rs1] | r[rs2]
+
+    return op
+
+
+def _spec_and(inst):
+    rd, rs1, rs2 = inst.rd, inst.rs1, inst.rs2
+
+    def op(r):
+        r[rd] = r[rs1] & r[rs2]
+
+    return op
+
+
+def _spec_mul(inst):
+    rd, rs1, rs2 = inst.rd, inst.rs1, inst.rs2
+
+    def op(r):
+        r[rd] = (to_signed(r[rs1]) * to_signed(r[rs2])) & MASK64
+
+    return op
+
+
+def _spec_addw(inst):
+    rd, rs1, rs2 = inst.rd, inst.rs1, inst.rs2
+
+    def op(r):
+        r[rd] = sign_extend((r[rs1] + r[rs2]) & 0xFFFFFFFF, 32) & MASK64
+
+    return op
+
+
+def _spec_subw(inst):
+    rd, rs1, rs2 = inst.rd, inst.rs1, inst.rs2
+
+    def op(r):
+        r[rd] = sign_extend((r[rs1] - r[rs2]) & 0xFFFFFFFF, 32) & MASK64
+
+    return op
+
+
+_ALU_SPEC = {
+    "lui": _spec_lui,
+    "addi": _spec_addi,
+    "slti": _spec_slti,
+    "sltiu": _spec_sltiu,
+    "xori": _spec_xori,
+    "ori": _spec_ori,
+    "andi": _spec_andi,
+    "slli": _spec_slli,
+    "srli": _spec_srli,
+    "srai": _spec_srai,
+    "addiw": _spec_addiw,
+    "add": _spec_add,
+    "sub": _spec_sub,
+    "sll": _spec_sll,
+    "slt": _spec_slt,
+    "sltu": _spec_sltu,
+    "xor": _spec_xor,
+    "srl": _spec_srl,
+    "sra": _spec_sra,
+    "or": _spec_or,
+    "and": _spec_and,
+    "mul": _spec_mul,
+    "addw": _spec_addw,
+    "subw": _spec_subw,
+}
+
+
+# Per-mnemonic branch comparators, resolved once at decode time.
+_BRANCH_TAKEN = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: to_signed(a) < to_signed(b),
+    "bge": lambda a, b: to_signed(a) >= to_signed(b),
+    "bltu": lambda a, b: a < b,
+    "bgeu": lambda a, b: a >= b,
+}
+
+
 class RiscvCpu:
     """A single RV64 hart attached to a :class:`Machine`."""
 
@@ -103,7 +443,21 @@ class RiscvCpu:
             name: self.isa_map.inst_class(name)
             for name in self.isa_map.inst_class_names
         }
-        self._decode_cache: Dict[int, Instruction] = {}
+        self._csr_class = self._class_index["csr"]
+        self._satp_address = CSR_ADDRESS["satp"]
+        self._sstatus_address = CSR_ADDRESS["sstatus"]
+        # Bound-method handles for the load/store hot path (the memory
+        # object and the machine wrapper are fixed for the CPU's life;
+        # check_data_access itself still reads machine.pcu live).
+        self._mem_load = self.memory.load
+        self._mem_store = self.memory.store
+        self._check_data = machine.check_data_access
+        # pa -> (inst, bound handler, prebuilt AccessInfo | None, extra).
+        # ``access`` is the plain PCU check the step loop performs before
+        # dispatch; handlers with ``None`` (gates, CSR ops, mode-checked
+        # specials) run their own checks in the architecturally required
+        # order.  ``extra`` holds per-handler precomputed operands.
+        self._decode_cache: Dict[int, tuple] = {}
         # Optional Sv39 translation: identity (Bare) until software
         # writes a Sv39-mode SATP.  The decode cache is keyed by
         # *physical* address, so address-space switches stay coherent.
@@ -118,8 +472,11 @@ class RiscvCpu:
     # ------------------------------------------------------------------
     # Address translation.
     # ------------------------------------------------------------------
-    def _translate(self, vaddr: int, access: str, info: StepInfo) -> int:
-        satp = self.csrs[CSR_ADDRESS["satp"]]
+    def _translate(
+        self, vaddr: int, access: str, info: StepInfo, satp: int = -1
+    ) -> int:
+        if satp < 0:
+            satp = self.csrs[self._satp_address]
         if satp == 0:  # Bare mode fast path
             return vaddr
         paddr, cycles = self.mmu.translate(
@@ -127,9 +484,10 @@ class RiscvCpu:
             access,
             satp=satp,
             priv_mode=self.mode,
-            sum_bit=bool(self.csrs[CSR_ADDRESS["sstatus"]] & SSTATUS_SUM),
+            sum_bit=bool(self.csrs[self._sstatus_address] & SSTATUS_SUM),
         )
-        info.extra_cycles += cycles
+        if cycles:
+            info.extra_cycles += cycles
         return paddr
 
     def flush_decode_cache(self) -> None:
@@ -234,24 +592,30 @@ class RiscvCpu:
     # ------------------------------------------------------------------
     def step(self) -> StepInfo:
         pc = self.pc
-        info = StepInfo(pc=pc, size=4)
+        info = StepInfo(pc)
         try:
-            fetch_pa = self._translate(pc, self._ACCESS_FETCH, info)
-            inst = self._decode_cache.get(fetch_pa)
-            if inst is None:
-                try:
-                    word = self.memory.load(fetch_pa, 4)
-                    inst = decode(word)
-                except EncodingError as error:
-                    raise Trap(
-                        TrapKind.ILLEGAL_INSTRUCTION,
-                        CAUSE_ILLEGAL_INSTRUCTION,
-                        value=self.memory.load(fetch_pa, 4),
-                        pc=pc,
-                        message=str(error),
-                    )
-                self._decode_cache[fetch_pa] = inst
-            self._execute(inst, pc, info)
+            satp = self.csrs[self._satp_address]
+            if satp:
+                fetch_pa = self._translate(pc, self._ACCESS_FETCH, info, satp)
+            else:  # Bare mode fast path, inlined
+                fetch_pa = pc
+            entry = self._decode_cache.get(fetch_pa)
+            if entry is None:
+                entry = self._decode_entry(fetch_pa, pc)
+                self._decode_cache[fetch_pa] = entry
+            inst, handler, access, extra = entry
+            if access is not None:
+                pcu = self.pcu
+                if pcu is not None:
+                    if access.address != pc:
+                        # Translated aliases: same line, different VA.
+                        access = AccessInfo(
+                            inst_class=access.inst_class, address=pc
+                        )
+                    stall = pcu.check(access)
+                    if stall:
+                        info.pcu_stall += stall
+            handler(inst, pc, info, extra)
         except Trap as trap:
             if not trap.pc:
                 trap.pc = pc  # page faults raised mid-translation
@@ -275,230 +639,216 @@ class RiscvCpu:
         return info
 
     # ------------------------------------------------------------------
-    def _check_pcu(self, inst: Instruction, pc: int, info: StepInfo, access: AccessInfo) -> None:
-        if self.pcu is not None:
-            info.pcu_stall += self.pcu.check(access)
-
-    def _plain_access(self, inst: Instruction, pc: int) -> AccessInfo:
-        return AccessInfo(inst_class=self._class_index[inst.inst_class], address=pc)
-
-    def _execute(self, inst: Instruction, pc: int, info: StepInfo) -> None:
+    # Decode-and-dispatch cache.  One decode resolves the handler, the
+    # prebuilt plain-check AccessInfo and any static operands, so the
+    # steady-state step never re-examines mnemonics or classes.
+    # ------------------------------------------------------------------
+    def _decode_entry(self, fetch_pa: int, pc: int) -> tuple:
+        try:
+            word = self.memory.load(fetch_pa, 4)
+            inst = decode(word)
+        except EncodingError as error:
+            raise Trap(
+                TrapKind.ILLEGAL_INSTRUCTION,
+                CAUSE_ILLEGAL_INSTRUCTION,
+                value=self.memory.load(fetch_pa, 4),
+                pc=pc,
+                message=str(error),
+            )
         m = inst.mnemonic
         cls = inst.inst_class
-
         if cls in GATE_CLASSES:
-            self._execute_gate(inst, pc, info)
-            return
+            return inst, self._op_gate, None, _GATE_KIND[m]
         if cls == "csr":
-            self._execute_csr(inst, pc, info)
-            return
-
-        # Hybrid check: CPU privilege level first, then the PCU.
-        if m in ("sret", "mret", "wfi") and self.mode < PRIV_S:
-            raise Trap(TrapKind.ILLEGAL_INSTRUCTION, CAUSE_ILLEGAL_INSTRUCTION, pc=pc)
-        if m == "sfence.vma" and self.mode < PRIV_S:
-            raise Trap(TrapKind.ILLEGAL_INSTRUCTION, CAUSE_ILLEGAL_INSTRUCTION, pc=pc)
-        self._check_pcu(inst, pc, info, self._plain_access(inst, pc))
-
-        next_pc = pc + 4
-        r = self.regs
-
-        if cls == "alu" or cls == "mul":
-            self._execute_alu(inst, pc)
-        elif cls == "load":
-            address = (r[inst.rs1] + inst.imm) & MASK64
-            physical = self._translate(address, self._ACCESS_LOAD, info)
-            self.machine.check_data_access(physical, pc)
-            width = load_width(m)
-            value = self.memory.load(physical, width)
-            if not is_unsigned_load(m):
-                value = sign_extend(value, 8 * width) & MASK64
-            self.set_reg(inst.rd, value)
-            info.is_load = True
-            info.mem_address = physical
-        elif cls == "store":
-            address = (r[inst.rs1] + inst.imm) & MASK64
-            physical = self._translate(address, self._ACCESS_STORE, info)
-            self.machine.check_data_access(physical, pc)
-            self.memory.store(physical, r[inst.rs2], load_width(m))
-            info.is_store = True
-            info.mem_address = physical
-        elif cls == "branch":
-            info.is_branch = True
-            taken = self._branch_taken(m, r[inst.rs1], r[inst.rs2])
-            info.branch_taken = taken
-            if taken:
-                next_pc = (pc + inst.imm) & MASK64
-        elif m == "jal":
-            self.set_reg(inst.rd, pc + 4)
-            next_pc = (pc + inst.imm) & MASK64
-        elif m == "jalr":
-            target = (r[inst.rs1] + inst.imm) & MASK64 & ~1
-            self.set_reg(inst.rd, pc + 4)
-            next_pc = target
-        elif cls == "fence":
-            pass
-        elif m == "ecall":
-            raise Trap(
-                TrapKind.SYSCALL,
-                CAUSE_ECALL_S if self.mode == PRIV_S else CAUSE_ECALL_U,
-                pc=pc,
+            address = inst.csr
+            min_priv = CSR_MIN_PRIV.get(address)
+            extra = (
+                address,
+                CSR_INDEX_BY_ADDRESS[address] if min_priv is not None else None,
+                min_priv,
+                m.endswith("i"),
+                m[:5],  # csrrw / csrrs / csrrc
+                address in READ_ONLY_CSRS,
             )
-        elif m == "ebreak":
-            raise Trap(TrapKind.BREAKPOINT, CAUSE_BREAKPOINT, pc=pc)
-        elif m == "sret":
-            self._sret(info)
-            return
-        elif m == "mret":
-            # Minimal M-mode support: treated like sret from M.
-            self._sret(info)
-            return
-        elif m == "wfi":
-            pass
-        elif m == "sfence.vma":
-            self.mmu.flush_tlb()
-            info.extra_cycles = 8  # TLB maintenance cost
-        elif m == "pfch":
-            if self.pcu is not None:
-                self.pcu.prefetch(r[inst.rs1] & 0xFFFF)
-            info.extra_cycles = 1
-        elif m == "pflh":
-            if self.pcu is not None:
-                self.pcu.flush(CacheId(r[inst.rs1] & 0x7))
-            info.extra_cycles = 1
-        elif m == "halt":
-            self.exit_code = r[10]
-            info.halted = True
-        else:  # pragma: no cover - decoder and executor must stay in sync
-            raise Trap(TrapKind.ILLEGAL_INSTRUCTION, CAUSE_ILLEGAL_INSTRUCTION, pc=pc)
+            return inst, self._op_csr, None, extra
+        # Mode-checked specials run their own hybrid check sequence.
+        if m in ("sret", "mret"):
+            return inst, self._op_sret, None, None
+        if m == "wfi":
+            return inst, self._op_wfi, None, None
+        if m == "sfence.vma":
+            return inst, self._op_sfence, None, None
+        access = AccessInfo(inst_class=self._class_index[cls], address=pc)
+        if cls == "alu" or cls == "mul":
+            op = _ALU_OPS.get(m)
+            if op is None:  # pragma: no cover - decoder/executor sync
+                return inst, self._op_illegal, access, None
+            if inst.rd == 0:
+                # rd == x0 discards the result, and no ALU op has side
+                # effects or can fault, so the evaluation is elided.
+                return inst, self._op_alu_x0, access, None
+            spec = _ALU_SPEC.get(m)
+            if spec is not None:
+                return inst, self._op_alu_spec, access, spec(inst)
+            return inst, self._op_alu, access, op
+        if cls == "load":
+            return inst, self._op_load, access, (
+                load_width(m), is_unsigned_load(m)
+            )
+        if cls == "store":
+            return inst, self._op_store, access, load_width(m)
+        if cls == "branch":
+            return inst, self._op_branch, access, _BRANCH_TAKEN.get(
+                m, _BRANCH_TAKEN["bgeu"]
+            )
+        if cls == "fence":
+            return inst, self._op_fence, access, None
+        handler = self._SPECIAL_OPS.get(m)
+        if handler is None:  # pragma: no cover - decoder/executor sync
+            return inst, self._op_illegal, access, None
+        return inst, handler.__get__(self), access, None
 
-        self.pc = next_pc
+    def _check_plain(self, inst: Instruction, pc: int, info: StepInfo) -> None:
+        if self.pcu is not None:
+            info.pcu_stall += self.pcu.check(
+                AccessInfo(
+                    inst_class=self._class_index[inst.inst_class], address=pc
+                )
+            )
 
-    def _branch_taken(self, m: str, a: int, b: int) -> bool:
-        if m == "beq":
-            return a == b
-        if m == "bne":
-            return a != b
-        if m == "blt":
-            return to_signed(a) < to_signed(b)
-        if m == "bge":
-            return to_signed(a) >= to_signed(b)
-        if m == "bltu":
-            return a < b
-        return a >= b  # bgeu
+    # -- handlers (the plain PCU check already ran when access was set) --
+    def _op_alu(self, inst: Instruction, pc: int, info: StepInfo, op) -> None:
+        rd = inst.rd
+        if rd:
+            self.regs[rd] = op(self.regs, inst, pc) & MASK64
+        self.pc = pc + 4
 
-    def _execute_alu(self, inst: Instruction, pc: int) -> None:
-        m = inst.mnemonic
+    def _op_alu_spec(self, inst: Instruction, pc: int, info: StepInfo, op) -> None:
+        op(self.regs)
+        self.pc = pc + 4
+
+    def _op_alu_x0(self, inst: Instruction, pc: int, info: StepInfo, extra) -> None:
+        self.pc = pc + 4
+
+    def _op_load(self, inst: Instruction, pc: int, info: StepInfo, extra) -> None:
+        address = (self.regs[inst.rs1] + inst.imm) & MASK64
+        satp = self.csrs[self._satp_address]
+        if satp:
+            physical = self._translate(address, self._ACCESS_LOAD, info, satp)
+        else:  # Bare mode fast path, inlined
+            physical = address
+        self._check_data(physical, pc)
+        width, unsigned = extra
+        value = self._mem_load(physical, width)
+        if not unsigned:
+            value = sign_extend(value, 8 * width) & MASK64
+        rd = inst.rd
+        if rd:
+            self.regs[rd] = value
+        info.is_load = True
+        info.mem_address = physical
+        self.pc = pc + 4
+
+    def _op_store(self, inst: Instruction, pc: int, info: StepInfo, width) -> None:
+        address = (self.regs[inst.rs1] + inst.imm) & MASK64
+        satp = self.csrs[self._satp_address]
+        if satp:
+            physical = self._translate(address, self._ACCESS_STORE, info, satp)
+        else:  # Bare mode fast path, inlined
+            physical = address
+        self._check_data(physical, pc)
+        self._mem_store(physical, self.regs[inst.rs2], width)
+        info.is_store = True
+        info.mem_address = physical
+        self.pc = pc + 4
+
+    def _op_branch(self, inst: Instruction, pc: int, info: StepInfo, taken_fn) -> None:
+        info.is_branch = True
         r = self.regs
-        a = r[inst.rs1]
-        if m == "lui":
-            result = inst.imm
-        elif m == "auipc":
-            result = pc + inst.imm
-        elif m == "addi":
-            result = a + inst.imm
-        elif m == "slti":
-            result = int(to_signed(a) < inst.imm)
-        elif m == "sltiu":
-            result = int(a < inst.imm & MASK64)
-        elif m == "xori":
-            result = a ^ inst.imm & MASK64
-        elif m == "ori":
-            result = a | inst.imm & MASK64
-        elif m == "andi":
-            result = a & inst.imm & MASK64
-        elif m == "slli":
-            result = a << inst.imm
-        elif m == "srli":
-            result = a >> inst.imm
-        elif m == "srai":
-            result = to_signed(a) >> inst.imm
-        elif m == "addiw":
-            result = sign_extend((a + inst.imm) & 0xFFFFFFFF, 32)
-        elif m == "slliw":
-            result = sign_extend((a << inst.imm) & 0xFFFFFFFF, 32)
-        elif m == "srliw":
-            result = sign_extend((a & 0xFFFFFFFF) >> inst.imm, 32)
-        elif m == "sraiw":
-            result = sign_extend(a & 0xFFFFFFFF, 32) >> inst.imm
-        else:
-            b = r[inst.rs2]
-            if m == "add":
-                result = a + b
-            elif m == "sub":
-                result = a - b
-            elif m == "sll":
-                result = a << (b & 63)
-            elif m == "slt":
-                result = int(to_signed(a) < to_signed(b))
-            elif m == "sltu":
-                result = int(a < b)
-            elif m == "xor":
-                result = a ^ b
-            elif m == "srl":
-                result = a >> (b & 63)
-            elif m == "sra":
-                result = to_signed(a) >> (b & 63)
-            elif m == "or":
-                result = a | b
-            elif m == "and":
-                result = a & b
-            elif m == "mul":
-                result = to_signed(a) * to_signed(b)
-            elif m == "mulh":
-                result = (to_signed(a) * to_signed(b)) >> 64
-            elif m == "mulhu":
-                result = (a * b) >> 64
-            elif m == "mulhsu":
-                result = (to_signed(a) * b) >> 64
-            elif m == "div":
-                result = _div_trunc(to_signed(a), to_signed(b))
-            elif m == "divu":
-                result = MASK64 if b == 0 else a // b
-            elif m == "rem":
-                sa, sb = to_signed(a), to_signed(b)
-                result = sa if sb == 0 else sa - _div_trunc(sa, sb) * sb
-            elif m == "remu":
-                result = a if b == 0 else a % b
-            elif m == "addw":
-                result = sign_extend((a + b) & 0xFFFFFFFF, 32)
-            elif m == "subw":
-                result = sign_extend((a - b) & 0xFFFFFFFF, 32)
-            elif m == "sllw":
-                result = sign_extend((a << (b & 31)) & 0xFFFFFFFF, 32)
-            elif m == "srlw":
-                result = sign_extend((a & 0xFFFFFFFF) >> (b & 31), 32)
-            elif m == "sraw":
-                result = sign_extend(a & 0xFFFFFFFF, 32) >> (b & 31)
-            elif m == "mulw":
-                result = sign_extend((a * b) & 0xFFFFFFFF, 32)
-            elif m == "divw":
-                aw = sign_extend(a & 0xFFFFFFFF, 32)
-                bw = sign_extend(b & 0xFFFFFFFF, 32)
-                result = sign_extend(_div_trunc(aw, bw) & 0xFFFFFFFF, 32)
-            elif m == "divuw":
-                aw, bw = a & 0xFFFFFFFF, b & 0xFFFFFFFF
-                result = -1 if bw == 0 else sign_extend(aw // bw, 32)
-            elif m == "remw":
-                aw = sign_extend(a & 0xFFFFFFFF, 32)
-                bw = sign_extend(b & 0xFFFFFFFF, 32)
-                rem = aw if bw == 0 else aw - _div_trunc(aw, bw) * bw
-                result = sign_extend(rem & 0xFFFFFFFF, 32)
-            elif m == "remuw":
-                aw, bw = a & 0xFFFFFFFF, b & 0xFFFFFFFF
-                result = sign_extend(aw if bw == 0 else aw % bw, 32)
-            else:  # pragma: no cover
-                raise Trap(TrapKind.ILLEGAL_INSTRUCTION, CAUSE_ILLEGAL_INSTRUCTION, pc=pc)
-        self.set_reg(inst.rd, result & MASK64)
+        taken = taken_fn(r[inst.rs1], r[inst.rs2])
+        info.branch_taken = taken
+        self.pc = (pc + inst.imm) & MASK64 if taken else pc + 4
+
+    def _op_jal(self, inst: Instruction, pc: int, info: StepInfo, extra) -> None:
+        self.set_reg(inst.rd, pc + 4)
+        self.pc = (pc + inst.imm) & MASK64
+
+    def _op_jalr(self, inst: Instruction, pc: int, info: StepInfo, extra) -> None:
+        target = (self.regs[inst.rs1] + inst.imm) & MASK64 & ~1
+        self.set_reg(inst.rd, pc + 4)
+        self.pc = target
+
+    def _op_fence(self, inst: Instruction, pc: int, info: StepInfo, extra) -> None:
+        self.pc = pc + 4
+
+    def _op_ecall(self, inst: Instruction, pc: int, info: StepInfo, extra) -> None:
+        raise Trap(
+            TrapKind.SYSCALL,
+            CAUSE_ECALL_S if self.mode == PRIV_S else CAUSE_ECALL_U,
+            pc=pc,
+        )
+
+    def _op_ebreak(self, inst: Instruction, pc: int, info: StepInfo, extra) -> None:
+        raise Trap(TrapKind.BREAKPOINT, CAUSE_BREAKPOINT, pc=pc)
+
+    def _op_sret(self, inst: Instruction, pc: int, info: StepInfo, extra) -> None:
+        # Hybrid check: CPU privilege level first, then the PCU.
+        # (mret gets minimal M-mode support: treated like sret from M.)
+        if self.mode < PRIV_S:
+            raise Trap(TrapKind.ILLEGAL_INSTRUCTION, CAUSE_ILLEGAL_INSTRUCTION, pc=pc)
+        self._check_plain(inst, pc, info)
+        self._sret(info)
+
+    def _op_wfi(self, inst: Instruction, pc: int, info: StepInfo, extra) -> None:
+        if self.mode < PRIV_S:
+            raise Trap(TrapKind.ILLEGAL_INSTRUCTION, CAUSE_ILLEGAL_INSTRUCTION, pc=pc)
+        self._check_plain(inst, pc, info)
+        self.pc = pc + 4
+
+    def _op_sfence(self, inst: Instruction, pc: int, info: StepInfo, extra) -> None:
+        if self.mode < PRIV_S:
+            raise Trap(TrapKind.ILLEGAL_INSTRUCTION, CAUSE_ILLEGAL_INSTRUCTION, pc=pc)
+        self._check_plain(inst, pc, info)
+        self.mmu.flush_tlb()
+        info.extra_cycles = 8  # TLB maintenance cost
+        self.pc = pc + 4
+
+    def _op_pfch(self, inst: Instruction, pc: int, info: StepInfo, extra) -> None:
+        if self.pcu is not None:
+            self.pcu.prefetch(self.regs[inst.rs1] & 0xFFFF)
+        info.extra_cycles = 1
+        self.pc = pc + 4
+
+    def _op_pflh(self, inst: Instruction, pc: int, info: StepInfo, extra) -> None:
+        if self.pcu is not None:
+            self.pcu.flush(CacheId(self.regs[inst.rs1] & 0x7))
+        info.extra_cycles = 1
+        self.pc = pc + 4
+
+    def _op_halt(self, inst: Instruction, pc: int, info: StepInfo, extra) -> None:
+        self.exit_code = self.regs[10]
+        info.halted = True
+        self.pc = pc + 4
+
+    def _op_illegal(self, inst: Instruction, pc: int, info: StepInfo, extra) -> None:  # pragma: no cover
+        raise Trap(TrapKind.ILLEGAL_INSTRUCTION, CAUSE_ILLEGAL_INSTRUCTION, pc=pc)
+
+    _SPECIAL_OPS = {
+        "jal": _op_jal,
+        "jalr": _op_jalr,
+        "ecall": _op_ecall,
+        "ebreak": _op_ebreak,
+        "pfch": _op_pfch,
+        "pflh": _op_pflh,
+        "halt": _op_halt,
+    }
 
     # ------------------------------------------------------------------
-    def _execute_csr(self, inst: Instruction, pc: int, info: StepInfo) -> None:
-        m = inst.mnemonic
-        address = inst.csr
+    def _op_csr(self, inst: Instruction, pc: int, info: StepInfo, extra) -> None:
+        address, csr_index, min_priv, immediate, kind, read_only = extra
         info.is_csr = True
 
         # CPU privilege-level check (the classic mechanism).
-        min_priv = CSR_MIN_PRIV.get(address)
         if min_priv is None:
             raise Trap(
                 TrapKind.ILLEGAL_INSTRUCTION, CAUSE_ILLEGAL_INSTRUCTION,
@@ -510,34 +860,33 @@ class RiscvCpu:
                 value=address, pc=pc, message="CSR 0x%x needs privilege" % address,
             )
 
-        immediate = m.endswith("i")
         operand = inst.rs1 if immediate else self.regs[inst.rs1]
-        does_read = not (m in ("csrrw", "csrrwi") and inst.rd == 0)
-        does_write = m in ("csrrw", "csrrwi") or (
-            m in ("csrrs", "csrrc", "csrrsi", "csrrci") and
-            (inst.rs1 != 0 if not immediate else operand != 0)
-        )
+        if kind == "csrrw":
+            does_read = inst.rd != 0
+            does_write = True
+        else:
+            does_read = True
+            does_write = operand != 0 if immediate else inst.rs1 != 0
 
-        if does_write and address in READ_ONLY_CSRS:
+        if does_write and read_only:
             raise Trap(
                 TrapKind.ILLEGAL_INSTRUCTION, CAUSE_ILLEGAL_INSTRUCTION,
                 value=address, pc=pc, message="CSR 0x%x is read-only" % address,
             )
 
         old = self.read_csr(address)
-        if m in ("csrrw", "csrrwi"):
+        if kind == "csrrw":
             new = operand & MASK64
-        elif m in ("csrrs", "csrrsi"):
+        elif kind == "csrrs":
             new = old | operand
         else:
             new = old & ~operand & MASK64
 
         # ISA-Grid check: explicit CSR access (Section 4.1).
         if self.pcu is not None:
-            csr_index = CSR_INDEX_BY_ADDRESS[address]
             info.pcu_stall += self.pcu.check(
                 AccessInfo(
-                    inst_class=self._class_index["csr"],
+                    inst_class=self._csr_class,
                     address=pc,
                     csr=csr_index,
                     csr_read=does_read,
@@ -554,14 +903,13 @@ class RiscvCpu:
         self.pc = pc + 4
 
     # ------------------------------------------------------------------
-    def _execute_gate(self, inst: Instruction, pc: int, info: StepInfo) -> None:
+    def _op_gate(self, inst: Instruction, pc: int, info: StepInfo, kind) -> None:
         """Gate instructions route to the PCU's switching engine."""
         if self.pcu is None:
             raise Trap(
                 TrapKind.ILLEGAL_INSTRUCTION, CAUSE_ILLEGAL_INSTRUCTION,
                 pc=pc, message="gate instruction without ISA-Grid",
             )
-        kind = _GATE_KIND[inst.mnemonic]
         info.is_gate = True
         info.gate_kind = kind
         gate_id = self.regs[inst.rs1]

@@ -42,6 +42,10 @@ class TournamentPredictor:
         self._global = [1] * self.global_size
         self._chooser = [2] * self.local_size   # weakly prefer global
         self._history = 0
+        # Sizes are powers of two, so ``% size`` == ``& mask`` for the
+        # non-negative indices used here; update() runs once per branch.
+        self._local_mask = self.local_size - 1
+        self._global_mask = self.global_size - 1
 
     def _indices(self, pc: int) -> "tuple[int, int]":
         # XOR-fold the upper PC bits into the index (as real predictors
@@ -58,21 +62,47 @@ class TournamentPredictor:
         return self._local[local_index] >= 2
 
     def update(self, pc: int, taken: bool) -> bool:
-        """Record the outcome; returns True if the prediction was wrong."""
-        local_index, global_index = self._indices(pc)
-        local_prediction = self._local[local_index] >= 2
-        global_prediction = self._global[global_index] >= 2
-        used_global = self._chooser[local_index] >= 2
-        prediction = global_prediction if used_global else local_prediction
+        """Record the outcome; returns True if the prediction was wrong.
+
+        This runs once per simulated branch, so ``_indices`` and
+        ``_update_counter`` are inlined with mask arithmetic; the
+        resulting counters and history are bit-identical to the
+        readable versions above.
+        """
+        folded = (pc >> 2) ^ (pc >> 13) ^ (pc >> 21)
+        local_index = folded & self._local_mask
+        global_index = (self._history ^ folded) & self._global_mask
+        local = self._local
+        global_ = self._global
+        chooser = self._chooser
+        local_counter = local[local_index]
+        global_counter = global_[global_index]
+        local_prediction = local_counter >= 2
+        global_prediction = global_counter >= 2
+        if chooser[local_index] >= 2:
+            prediction = global_prediction
+        else:
+            prediction = local_prediction
 
         # Chooser learns toward whichever component was right.
         if local_prediction != global_prediction:
+            choice = chooser[local_index]
             if global_prediction == taken:
-                self._chooser[local_index] = min(3, self._chooser[local_index] + 1)
-            else:
-                self._chooser[local_index] = max(0, self._chooser[local_index] - 1)
+                if choice < 3:
+                    chooser[local_index] = choice + 1
+            elif choice > 0:
+                chooser[local_index] = choice - 1
 
-        self._local[local_index] = _update_counter(self._local[local_index], taken)
-        self._global[global_index] = _update_counter(self._global[global_index], taken)
-        self._history = ((self._history << 1) | int(taken)) % self.global_size
+        if taken:
+            if local_counter < 3:
+                local[local_index] = local_counter + 1
+            if global_counter < 3:
+                global_[global_index] = global_counter + 1
+            self._history = ((self._history << 1) | 1) & self._global_mask
+        else:
+            if local_counter:
+                local[local_index] = local_counter - 1
+            if global_counter:
+                global_[global_index] = global_counter - 1
+            self._history = (self._history << 1) & self._global_mask
         return prediction != taken

@@ -101,16 +101,51 @@ class Machine:
         With ``require_halt`` (the default), exceeding the budget raises
         :class:`SimulationLimitExceeded` — runaway programs are a bug in
         the experiment, not a result.
+
+        This is the simulator's hottest loop, so :meth:`step` is inlined
+        with the per-instruction lookups hoisted into locals.  The
+        ``instructions`` and ``cycles`` counters must stay live on
+        ``self.stats`` every iteration — the CPUs serve them
+        architecturally mid-run (RISC-V ``cycle``/``instret`` CSRs, x86
+        ``rdtsc``) — so only the trap count, which nothing reads mid-run,
+        is accumulated in a local and flushed on every exit path.
         """
-        for _ in range(max_steps):
-            if self.step().halted:
-                return self.stats
+        cpu = self.cpu
+        if cpu is None:
+            raise RuntimeError("no CPU attached")
+        if "step" in self.__dict__:
+            # Something (the Tracer) wrapped ``step`` on this instance;
+            # honour the wrapper instead of the inlined loop.
+            for _ in range(max_steps):
+                if self.step().halted:
+                    return self.stats
+            if require_halt:
+                raise SimulationLimitExceeded(
+                    "no halt after %d instructions (pc=0x%x)"
+                    % (max_steps, cpu.pc)
+                )
+            return self.stats
+        cpu_step = cpu.step
+        instruction_cycles = self.pipeline.instruction_cycles
+        stats = self.stats
+        traps = 0
+        try:
+            for _ in range(max_steps):
+                info = cpu_step()
+                stats.instructions += 1
+                stats.cycles += instruction_cycles(info)
+                if info.trapped:
+                    traps += 1
+                if info.halted:
+                    stats.halted = True
+                    return stats
+        finally:
+            stats.traps += traps
         if require_halt:
             raise SimulationLimitExceeded(
-                "no halt after %d instructions (pc=0x%x)"
-                % (max_steps, self.cpu.pc if self.cpu else -1)
+                "no halt after %d instructions (pc=0x%x)" % (max_steps, cpu.pc)
             )
-        return self.stats
+        return stats
 
     def reset_stats(self) -> None:
         """Clear run statistics (not architectural or cache state)."""

@@ -14,6 +14,9 @@ PAGE_SHIFT = 12
 PAGE_SIZE = 1 << PAGE_SHIFT
 PAGE_MASK = PAGE_SIZE - 1
 
+# Truncation masks for the scalar store widths.
+_WIDTH_MASKS = {width: (1 << 8 * width) - 1 for width in range(1, 9)}
+
 
 class MemoryAccessError(Exception):
     """Unaligned or out-of-range physical access."""
@@ -48,21 +51,33 @@ class PhysicalMemory:
     # Scalar accessors.
     # ------------------------------------------------------------------
     def load(self, address: int, width: int = 8) -> int:
-        """Load ``width`` bytes (1/2/4/8), little-endian, unsigned."""
-        self._check(address, width)
-        if (address & PAGE_MASK) + width <= PAGE_SIZE:
-            page = self._page(address)
-            offset = address & PAGE_MASK
+        """Load ``width`` bytes (1/2/4/8), little-endian, unsigned.
+
+        ``_check`` and ``_page`` are inlined here (and in :meth:`store`):
+        these two methods sit on the per-instruction hot path.
+        """
+        if not self.base <= address <= self.limit - width:
+            self._check(address, width)  # raises with the full message
+        offset = address & PAGE_MASK
+        if offset + width <= PAGE_SIZE:
+            page = self._pages.get(address >> PAGE_SHIFT)
+            if page is None:
+                page = bytearray(PAGE_SIZE)
+                self._pages[address >> PAGE_SHIFT] = page
             return int.from_bytes(page[offset : offset + width], "little")
         return int.from_bytes(self.load_bytes(address, width), "little")
 
     def store(self, address: int, value: int, width: int = 8) -> None:
         """Store ``width`` bytes (1/2/4/8), little-endian."""
-        self._check(address, width)
-        data = (value & (1 << 8 * width) - 1).to_bytes(width, "little")
-        if (address & PAGE_MASK) + width <= PAGE_SIZE:
-            page = self._page(address)
-            offset = address & PAGE_MASK
+        if not self.base <= address <= self.limit - width:
+            self._check(address, width)  # raises with the full message
+        data = (value & _WIDTH_MASKS[width]).to_bytes(width, "little")
+        offset = address & PAGE_MASK
+        if offset + width <= PAGE_SIZE:
+            page = self._pages.get(address >> PAGE_SHIFT)
+            if page is None:
+                page = bytearray(PAGE_SIZE)
+                self._pages[address >> PAGE_SHIFT] = page
             page[offset : offset + width] = data
         else:
             self.store_bytes(address, data)

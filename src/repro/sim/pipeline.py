@@ -22,7 +22,6 @@ retired instruction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.isa_extension import GateKind
@@ -31,9 +30,15 @@ from .branch import BranchStats, TournamentPredictor
 from .memhier import MemoryHierarchy
 
 
-@dataclass
 class StepInfo:
-    """What one retired instruction did, for timing purposes."""
+    """What one retired instruction did, for timing purposes.
+
+    Deliberately a plain class rather than a dataclass: one StepInfo is
+    built per simulated instruction, and a generated ``__init__`` that
+    stores all fifteen fields dominated the construction cost.  Defaults
+    live on the class; ``__init__`` stores only the fields a step
+    actually passes, and reads fall through to the class attributes.
+    """
 
     pc: int = 0
     size: int = 4
@@ -51,6 +56,17 @@ class StepInfo:
     halted: bool = False
     extra_cycles: int = 0       # instruction-specific cost (wbinvd, rdtsc...)
 
+    def __init__(self, pc: int = 0, size: int = 4, **fields):
+        self.pc = pc
+        self.size = size
+        if fields:
+            self.__dict__.update(fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "StepInfo(%s)" % ", ".join(
+            "%s=%r" % kv for kv in sorted(self.__dict__.items())
+        )
+
 
 class PipelineModel:
     """Base class: shared bookkeeping for both timing models."""
@@ -59,6 +75,11 @@ class PipelineModel:
         self.hierarchy = hierarchy
         self.predictor = predictor or TournamentPredictor()
         self.branch_stats = BranchStats()
+        # Bound-method handles for the per-instruction hot path.
+        self._access_instruction = hierarchy.access_instruction
+        self._access_data = hierarchy.access_data
+        self._predictor_update = self.predictor.update
+        self._mispredict_penalty = float(getattr(self, "MISPREDICT_PENALTY", 0))
 
     def instruction_cycles(self, info: StepInfo) -> float:
         raise NotImplementedError
@@ -95,14 +116,24 @@ class InOrderPipelineModel(PipelineModel):
     def instruction_cycles(self, info: StepInfo) -> float:
         cycles = 1.0
         # Front end: extra fetch cycles beyond the pipelined hit.
-        cycles += max(0, self.hierarchy.access_instruction(info.pc) - 1)
+        fetch = self._access_instruction(info.pc)
+        if fetch > 1:
+            cycles += fetch - 1
         if info.is_gate:
             return cycles + self._gate_cycles(info)
-        if info.mem_address is not None:
+        mem_address = info.mem_address
+        if mem_address is not None:
             # A D-cache hit (2 cycles) costs one extra cycle over ALU ops.
-            cycles += max(0, self.hierarchy.access_data(info.mem_address, info.is_store) - 1)
+            data = self._access_data(mem_address, info.is_store)
+            if data > 1:
+                cycles += data - 1
         if info.is_branch:
-            cycles += self._branch_penalty(info, self.MISPREDICT_PENALTY)
+            # _branch_penalty, inlined for the per-branch hot path.
+            stats = self.branch_stats
+            stats.predictions += 1
+            if self._predictor_update(info.pc, info.branch_taken):
+                stats.mispredictions += 1
+                cycles += self._mispredict_penalty
         if info.is_csr:
             cycles += self.SERIALIZE
         if info.trapped:
@@ -160,23 +191,30 @@ class OutOfOrderPipelineModel(PipelineModel):
             predictor = TournamentPredictor(local_bits=14, global_bits=14)
         super().__init__(hierarchy, predictor)
         self._instructions_since_push: Optional[int] = None
+        self._inv_width = 1.0 / self.WIDTH
 
     def instruction_cycles(self, info: StepInfo) -> float:
         if self._instructions_since_push is not None:
             self._instructions_since_push += 1
-        cycles = 1.0 / self.WIDTH
-        fetch = self.hierarchy.access_instruction(info.pc)
+        cycles = self._inv_width
+        fetch = self._access_instruction(info.pc)
         if fetch > 2:  # beyond the pipelined L1 hit
             cycles += (fetch - 2) * self.ICACHE_MISS_FACTOR
         if info.is_gate:
             return cycles + self._gate_cycles(info)
-        if info.mem_address is not None:
-            data = self.hierarchy.access_data(info.mem_address, info.is_store)
+        mem_address = info.mem_address
+        if mem_address is not None:
+            data = self._access_data(mem_address, info.is_store)
             if data > 2:
                 factor = self.STORE_MISS_FACTOR if info.is_store else self.LOAD_MISS_FACTOR
                 cycles += (data - 2) * factor
         if info.is_branch:
-            cycles += self._branch_penalty(info, self.MISPREDICT_PENALTY)
+            # _branch_penalty, inlined for the per-branch hot path.
+            stats = self.branch_stats
+            stats.predictions += 1
+            if self._predictor_update(info.pc, info.branch_taken):
+                stats.mispredictions += 1
+                cycles += self._mispredict_penalty
         if info.is_csr:
             cycles += self.SERIALIZE
         if info.trapped:

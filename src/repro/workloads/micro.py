@@ -55,12 +55,16 @@ loop:
 
 
 def _riscv_loop_cycles(
-    body: str, gates, iterations: int, config: PcuConfig, tail: str = ""
+    body: str, gates, iterations: int, config: PcuConfig, tail: str = "",
+    totals: Dict[str, float] = None,
 ) -> float:
     """Cycles of one RISC-V loop; ``gates`` = [(gate_label, dest_label)].
 
     The preamble gate (id 0) leaves domain-0 so the measured gates run
-    between ordinary domains; body gates get ids 1, 2, ...
+    between ordinary domains; body gates get ids 1, 2, ...  When
+    ``totals`` is passed, the run's instruction and cycle counts are
+    accumulated into it (the bench trajectory needs work totals, not
+    just latency deltas).
     """
     system = build_riscv_system(config)
     manager = system.manager
@@ -78,28 +82,38 @@ def _riscv_loop_cycles(
             program.symbol(gate_label), program.symbol(dest_label), domain.domain_id
         )
     system.run(program.symbol("entry"), max_steps=60 * iterations + 1000)
-    return system.machine.stats.cycles
+    stats = system.machine.stats
+    if totals is not None:
+        totals["instructions"] = totals.get("instructions", 0) + stats.instructions
+        totals["cycles"] = totals.get("cycles", 0.0) + stats.cycles
+    return stats.cycles
 
 
 def measure_riscv_gates(
-    config: PcuConfig = CONFIG_8E, iterations: int = 2000
+    config: PcuConfig = CONFIG_8E, iterations: int = 2000,
+    totals: Dict[str, float] = None,
 ) -> Dict[str, float]:
     """Measured RISC-V gate latencies (Table 4 rows, cycles/op)."""
-    baseline = _riscv_loop_cycles("    nop", [], iterations, config)
+    baseline = _riscv_loop_cycles("    nop", [], iterations, config,
+                                  totals=totals)
     hccall = _riscv_loop_cycles(
-        "g0:\n    hccall t0\nafter0:", [("g0", "after0")], iterations, config
+        "g0:\n    hccall t0\nafter0:", [("g0", "after0")], iterations, config,
+        totals=totals,
     )
     pair = _riscv_loop_cycles(
         "g0:\n    hccalls t0\nafter0:",
         [("g0", "fn")], iterations, config,
         tail="fn:\n    hcrets",
+        totals=totals,
     )
     two_hccall = _riscv_loop_cycles(
         "g0:\n    hccall t0\nmid:\n    li t1, 2\ng1:\n    hccall t1\nafter1:",
         [("g0", "mid"), ("g1", "after1")], iterations, config,
+        totals=totals,
     )
     two_baseline = _riscv_loop_cycles(
-        "    nop\n    li t1, 2\n    nop", [], iterations, config
+        "    nop\n    li t1, 2\n    nop", [], iterations, config,
+        totals=totals,
     )
     return {
         "hccall": (hccall - baseline) / iterations,
@@ -127,7 +141,8 @@ loop:
 
 
 def _x86_loop_cycles(
-    body: str, gates, iterations: int, config: PcuConfig, tail: str = ""
+    body: str, gates, iterations: int, config: PcuConfig, tail: str = "",
+    totals: Dict[str, float] = None,
 ) -> float:
     system = build_x86_system(config)
     manager = system.manager
@@ -145,21 +160,29 @@ def _x86_loop_cycles(
             program.symbol(gate_label), program.symbol(dest_label), domain.domain_id
         )
     system.run(program.symbol("entry"), max_steps=60 * iterations + 1000)
-    return system.machine.stats.cycles
+    stats = system.machine.stats
+    if totals is not None:
+        totals["instructions"] = totals.get("instructions", 0) + stats.instructions
+        totals["cycles"] = totals.get("cycles", 0.0) + stats.cycles
+    return stats.cycles
 
 
 def measure_x86_gates(
-    config: PcuConfig = CONFIG_8E, iterations: int = 2000
+    config: PcuConfig = CONFIG_8E, iterations: int = 2000,
+    totals: Dict[str, float] = None,
 ) -> Dict[str, float]:
     """Measured x86 gate latencies (Table 4 rows, cycles/op)."""
-    baseline = _x86_loop_cycles("    nop", [], iterations, config)
+    baseline = _x86_loop_cycles("    nop", [], iterations, config,
+                                totals=totals)
     hccall = _x86_loop_cycles(
-        "g0:\n    hccall r10\nafter0:", [("g0", "after0")], iterations, config
+        "g0:\n    hccall r10\nafter0:", [("g0", "after0")], iterations, config,
+        totals=totals,
     )
     pair = _x86_loop_cycles(
         "g0:\n    hccalls r10\nafter0:",
         [("g0", "fn")], iterations, config,
         tail="fn:\n    hcrets",
+        totals=totals,
     )
     return {
         "hccall": (hccall - baseline) / iterations,

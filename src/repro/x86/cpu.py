@@ -13,6 +13,7 @@ on the current stack; ``iret`` pops them.
 
 from __future__ import annotations
 
+import operator
 from typing import Dict, Optional, Tuple
 
 from repro.core.errors import PrivilegeFault, TrustedMemoryFault
@@ -85,6 +86,25 @@ class CpuPanic(Exception):
     """An exception occurred with no IDT handler installed."""
 
 
+#: Binary-ALU semantics, resolved once at decode time (``cmp`` computes
+#: like ``sub``, ``test`` like ``and``; neither writes the result back).
+_ARITH_FN = {
+    "add": operator.add, "sub": operator.sub, "cmp": operator.sub,
+    "and": operator.and_, "test": operator.and_, "or": operator.or_,
+    "xor": operator.xor,
+}
+
+#: Conditional-branch predicates over the flag state.
+_JCC_TAKEN = {
+    "je": lambda c: c.zf, "jne": lambda c: not c.zf,
+    "jl": lambda c: c.sf_lt, "jge": lambda c: not c.sf_lt,
+    "jb": lambda c: c.cf, "jae": lambda c: not c.cf,
+    "jbe": lambda c: c.cf or c.zf, "ja": lambda c: not c.cf and not c.zf,
+    "jle": lambda c: c.sf_lt or c.zf,
+    "jg": lambda c: not c.sf_lt and not c.zf,
+}
+
+
 class X86Cpu:
     """A single simulated x86-64 core attached to a :class:`Machine`."""
 
@@ -108,7 +128,12 @@ class X86Cpu:
             name: self.isa_map.inst_class(name)
             for name in self.isa_map.inst_class_names
         }
-        self._decode_cache: Dict[int, Tuple[bytes, Instruction]] = {}
+        # rip -> (inst, bound handler, extra_cycles, needs_ring0,
+        #         special, access).  ``special`` flags the per-step CR4
+        #         gates (1 = rdtsc/TSD, 2 = rdpmc/PCE); ``access`` is
+        #         the prebuilt plain-check AccessInfo, or None for
+        #         handlers that run their own check sequence.
+        self._decode_cache: Dict[int, tuple] = {}
         machine.attach_cpu(self)
 
     # ------------------------------------------------------------------
@@ -169,11 +194,36 @@ class X86Cpu:
     # ------------------------------------------------------------------
     def step(self) -> StepInfo:
         rip = self.pc
-        info = StepInfo(pc=rip, size=1)
+        info = StepInfo(rip, 1)
         try:
-            inst = self._fetch(rip)
-            info.size = inst.size
-            self._execute(inst, rip, info)
+            entry = self._decode_cache.get(rip)
+            if entry is None:
+                entry = self._decode_entry(rip)
+                self._decode_cache[rip] = entry
+            inst, handler, size, extra_cycles, needs_ring0, special, access = entry
+            info.size = size
+            if extra_cycles:
+                info.extra_cycles = extra_cycles
+            # Classic privilege-level check first (Section 4.1: both).
+            if needs_ring0 and self.ring != RING0:
+                raise Trap(
+                    TrapKind.ILLEGAL_INSTRUCTION, VEC_GP, pc=rip,
+                    message="%s requires ring 0" % inst.mnemonic,
+                )
+            if special:
+                if special == 1:
+                    if self.ring != RING0 and self.sys.cr4 & CR4_TSD:
+                        raise Trap(TrapKind.ILLEGAL_INSTRUCTION, VEC_GP, pc=rip,
+                                   message="rdtsc blocked by CR4.TSD")
+                elif self.ring != RING0 and not self.sys.cr4 & CR4_PCE:
+                    raise Trap(TrapKind.ILLEGAL_INSTRUCTION, VEC_GP, pc=rip,
+                               message="rdpmc blocked by CR4.PCE")
+            if access is not None:
+                pcu = self.pcu
+                if pcu is not None:
+                    info.pcu_stall += pcu.check(access)
+            if not handler(inst, rip, info):
+                self.pc = (rip + size) & MASK64
         except Trap as trap:
             vector = {
                 TrapKind.ILLEGAL_INSTRUCTION: VEC_UD,
@@ -192,10 +242,19 @@ class X86Cpu:
                 self._vector(VEC_ISA_GRID, rip, info, trap)
         return info
 
-    def _fetch(self, rip: int) -> Instruction:
-        cached = self._decode_cache.get(rip)
-        if cached is not None:
-            return cached[1]
+    #: Classes whose only PCU interaction is the plain instruction-class
+    #: check; their AccessInfo is prebuilt into the decode entry and the
+    #: step loop checks it before dispatch (same order as before: ring
+    #: check, then PCU, then execution).
+    _PLAIN_CLASSES = frozenset(
+        {
+            "nop", "string", "mov", "alu", "stack", "branch", "call",
+            "syscall", "int", "iret", "cpuid", "invlpg", "wbinvd", "in",
+            "out", "cli", "sti", "hlt", "pfch", "pflh",
+        }
+    )
+
+    def _decode_entry(self, rip: int) -> tuple:
         window = self.memory.load_bytes(rip, 16)
         try:
             inst = decode(window)
@@ -203,8 +262,31 @@ class X86Cpu:
             raise Trap(
                 TrapKind.ILLEGAL_INSTRUCTION, VEC_UD, pc=rip, message=str(error)
             )
-        self._decode_cache[rip] = (window[: inst.size], inst)
-        return inst
+        cls = inst.inst_class
+        extra_cycles = EXTRA_CYCLES.get(cls, 0)
+        if cls in GATE_CLASSES:
+            return inst, self._op_gate, inst.size, extra_cycles, False, 0, None
+        # The mnemonic-dense classes get per-mnemonic handlers so the
+        # steady state never walks an if-chain.
+        if cls == "alu":
+            handler = self._specialize_alu(inst)
+        elif cls == "mov":
+            handler = self._specialize_mov(inst)
+        elif cls == "branch":
+            handler = self._specialize_branch(inst)
+        else:
+            handler = getattr(self, "_op_" + cls, None)
+            if handler is None:  # pragma: no cover - decoder/executor sync
+                raise Trap(TrapKind.ILLEGAL_INSTRUCTION, VEC_UD, pc=rip,
+                           message="unimplemented class %s" % cls)
+        special = 1 if cls == "rdtsc" else 2 if cls == "rdpmc" else 0
+        access = (
+            AccessInfo(inst_class=self._class_index[cls], address=rip)
+            if cls in self._PLAIN_CLASSES
+            else None
+        )
+        return (inst, handler, inst.size, extra_cycles,
+                cls in RING0_CLASSES, special, access)
 
     # ------------------------------------------------------------------
     def _check_pcu(self, info: StepInfo, access: AccessInfo) -> None:
@@ -248,147 +330,154 @@ class X86Cpu:
                 message="%s requires ring 0" % inst.mnemonic,
             )
 
-    # ------------------------------------------------------------------
-    def _execute(self, inst: Instruction, rip: int, info: StepInfo) -> None:
-        m = inst.mnemonic
-        cls = inst.inst_class
-        info.extra_cycles = EXTRA_CYCLES.get(cls, 0)
-        next_rip = rip + inst.size
-        r = self.regs
-
-        if cls in GATE_CLASSES:
-            self._execute_gate(inst, rip, info)
-            return
-
-        # Classic privilege-level check first (Section 4.1: both checks).
-        if cls in RING0_CLASSES:
-            self._require_ring0(inst, rip)
-        if cls == "rdtsc" and self.ring != RING0 and self.sys.cr4 & CR4_TSD:
-            raise Trap(TrapKind.ILLEGAL_INSTRUCTION, VEC_GP, pc=rip,
-                       message="rdtsc blocked by CR4.TSD")
-        if cls == "rdpmc" and self.ring != RING0 and not self.sys.cr4 & CR4_PCE:
-            raise Trap(TrapKind.ILLEGAL_INSTRUCTION, VEC_GP, pc=rip,
-                       message="rdpmc blocked by CR4.PCE")
-
-        handler = getattr(self, "_op_" + cls, None)
-        if handler is None:  # pragma: no cover - decoder/executor in sync
-            raise Trap(TrapKind.ILLEGAL_INSTRUCTION, VEC_UD, pc=rip,
-                       message="unimplemented class %s" % cls)
-        jumped = handler(inst, rip, info)
-        if not jumped:
-            self.rip = next_rip
-
     # -- general computation -------------------------------------------
+    # (Handlers for classes in _PLAIN_CLASSES rely on the step loop
+    # having already performed the plain PCU check.)
     def _op_nop(self, inst, rip, info):
-        self._check_plain(inst, rip, info)
         return False
 
     def _op_string(self, inst, rip, info):  # pragma: no cover - reserved
-        self._check_plain(inst, rip, info)
         return False
 
-    def _op_mov(self, inst, rip, info):
-        self._check_plain(inst, rip, info)
-        r = self.regs
-        m = inst.mnemonic
-        if m == "mov_imm":
-            self.set_reg(inst.reg, inst.imm)
-        elif m == "mov_rr":
-            self.set_reg(inst.reg, r[inst.rm])
-        elif m == "mov_load":
-            address = (r[inst.base] + inst.disp) & MASK64
-            self.machine.check_data_access(address, rip)
-            self.set_reg(inst.reg, self.memory.load(address, 8))
-            info.is_load = True
-            info.mem_address = address
-        elif m == "mov_store":
-            address = (r[inst.base] + inst.disp) & MASK64
-            self.machine.check_data_access(address, rip)
-            self.memory.store(address, r[inst.reg], 8)
-            info.is_store = True
-            info.mem_address = address
+    def _specialize_mov(self, inst):
+        return {
+            "mov_imm": self._op_mov_imm,
+            "mov_rr": self._op_mov_rr,
+            "mov_load": self._op_mov_load,
+            "mov_store": self._op_mov_store,
+        }[inst.mnemonic]
+
+    def _op_mov_imm(self, inst, rip, info):
+        self.regs[inst.reg] = inst.imm & MASK64
         return False
 
-    def _op_alu(self, inst, rip, info):
-        self._check_plain(inst, rip, info)
-        r = self.regs
+    def _op_mov_rr(self, inst, rip, info):
+        self.regs[inst.reg] = self.regs[inst.rm]
+        return False
+
+    def _op_mov_load(self, inst, rip, info):
+        address = (self.regs[inst.base] + inst.disp) & MASK64
+        self.machine.check_data_access(address, rip)
+        self.regs[inst.reg] = self.memory.load(address, 8) & MASK64
+        info.is_load = True
+        info.mem_address = address
+        return False
+
+    def _op_mov_store(self, inst, rip, info):
+        address = (self.regs[inst.base] + inst.disp) & MASK64
+        self.machine.check_data_access(address, rip)
+        self.memory.store(address, self.regs[inst.reg], 8)
+        info.is_store = True
+        info.mem_address = address
+        return False
+
+    def _specialize_alu(self, inst):
         m = inst.mnemonic
-        if m == "lea":
-            self.set_reg(inst.reg, r[inst.base] + inst.disp)
-            return False
-        if m in ("mul", "imul"):
-            product = r[0] * r[inst.rm]
-            self.set_reg(0, product)
-            self.set_reg(2, product >> 64)
-            return False
-        if m in ("div", "idiv"):
-            divisor = r[inst.rm]
-            if divisor == 0:
-                raise Trap(TrapKind.ILLEGAL_INSTRUCTION, 0, pc=rip,
-                           message="divide by zero")
-            dividend = r[2] << 64 | r[0]
-            self.set_reg(0, dividend // divisor)
-            self.set_reg(2, dividend % divisor)
-            return False
-        if m in ("inc", "dec"):
-            result = (r[inst.rm] + (1 if m == "inc" else -1)) & MASK64
-            self.set_reg(inst.rm, result)
-            self.zf = result == 0
-            return False
-        if m == "neg":
-            result = (-r[inst.rm]) & MASK64
-            self.set_reg(inst.rm, result)
-            self.zf = result == 0
-            self.cf = result != 0
-            return False
-        if m == "not":
-            self.set_reg(inst.rm, ~r[inst.rm] & MASK64)
-            return False
-        if m == "xchg":
-            r[inst.reg], r[inst.rm] = r[inst.rm], r[inst.reg]
-            return False
-        if m in ("shl", "shr", "sar"):
-            value = r[inst.rm]
-            amount = inst.imm & 63
-            if m == "shl":
-                result = value << amount
-            elif m == "shr":
-                result = value >> amount
-            else:
-                sign = value if value < 1 << 63 else value - (1 << 64)
-                result = sign >> amount
-            self.set_reg(inst.rm, result)
-            self.zf = result & MASK64 == 0
-            return False
+        simple = self._ALU_SIMPLE.get(m)
+        if simple is not None:
+            return simple.__get__(self)
         if m.endswith("_imm"):
-            dst, a, b = inst.rm, r[inst.rm], inst.imm & MASK64
-            base = m[:-4]
+            base, use_imm = m[:-4], True
         else:
             # `op r/m, r` encodings: destination in r/m, source in reg.
-            dst, a, b = inst.rm, r[inst.rm], r[inst.reg]
-            base = m
-        if base == "add":
-            result = a + b
-        elif base == "sub" or base == "cmp":
-            result = a - b
-        elif base == "and" or base == "test":
-            result = a & b
-        elif base == "or":
-            result = a | b
-        else:  # xor
-            result = a ^ b
-        masked = result & MASK64
-        self.zf = masked == 0
-        self.cf = a < b if base in ("sub", "cmp") else False
-        signed_a = a - (1 << 64) if a >> 63 else a
-        signed_b = (b & MASK64) - (1 << 64) if (b & MASK64) >> 63 else b & MASK64
-        self.sf_lt = signed_a < signed_b if base in ("sub", "cmp") else masked >> 63 == 1
-        if base not in ("cmp", "test"):
-            self.set_reg(dst, masked)
+            base, use_imm = m, False
+        fn = _ARITH_FN.get(base, operator.xor)
+        cmp_like = base in ("sub", "cmp")
+        writeback = base not in ("cmp", "test")
+
+        def op_arith(inst, rip, info, self=self, fn=fn, use_imm=use_imm,
+                     cmp_like=cmp_like, writeback=writeback):
+            r = self.regs
+            a = r[inst.rm]
+            b = inst.imm & MASK64 if use_imm else r[inst.reg]
+            masked = fn(a, b) & MASK64
+            self.zf = masked == 0
+            self.cf = a < b if cmp_like else False
+            signed_a = a - (1 << 64) if a >> 63 else a
+            signed_b = b - (1 << 64) if b >> 63 else b
+            self.sf_lt = (
+                signed_a < signed_b if cmp_like else masked >> 63 == 1
+            )
+            if writeback:
+                r[inst.rm] = masked
+            return False
+
+        return op_arith
+
+    def _op_lea(self, inst, rip, info):
+        self.set_reg(inst.reg, self.regs[inst.base] + inst.disp)
         return False
 
+    def _op_mul(self, inst, rip, info):
+        product = self.regs[0] * self.regs[inst.rm]
+        self.set_reg(0, product)
+        self.set_reg(2, product >> 64)
+        return False
+
+    def _op_div(self, inst, rip, info):
+        r = self.regs
+        divisor = r[inst.rm]
+        if divisor == 0:
+            raise Trap(TrapKind.ILLEGAL_INSTRUCTION, 0, pc=rip,
+                       message="divide by zero")
+        dividend = r[2] << 64 | r[0]
+        self.set_reg(0, dividend // divisor)
+        self.set_reg(2, dividend % divisor)
+        return False
+
+    def _op_inc(self, inst, rip, info):
+        result = (self.regs[inst.rm] + 1) & MASK64
+        self.regs[inst.rm] = result
+        self.zf = result == 0
+        return False
+
+    def _op_dec(self, inst, rip, info):
+        result = (self.regs[inst.rm] - 1) & MASK64
+        self.regs[inst.rm] = result
+        self.zf = result == 0
+        return False
+
+    def _op_neg(self, inst, rip, info):
+        result = (-self.regs[inst.rm]) & MASK64
+        self.regs[inst.rm] = result
+        self.zf = result == 0
+        self.cf = result != 0
+        return False
+
+    def _op_not(self, inst, rip, info):
+        self.regs[inst.rm] = ~self.regs[inst.rm] & MASK64
+        return False
+
+    def _op_xchg(self, inst, rip, info):
+        r = self.regs
+        r[inst.reg], r[inst.rm] = r[inst.rm], r[inst.reg]
+        return False
+
+    def _op_shift(self, inst, rip, info):
+        m = inst.mnemonic
+        value = self.regs[inst.rm]
+        amount = inst.imm & 63
+        if m == "shl":
+            result = value << amount
+        elif m == "shr":
+            result = value >> amount
+        else:  # sar
+            sign = value if value < 1 << 63 else value - (1 << 64)
+            result = sign >> amount
+        self.set_reg(inst.rm, result)
+        self.zf = result & MASK64 == 0
+        return False
+
+    _ALU_SIMPLE = {
+        "lea": _op_lea,
+        "mul": _op_mul, "imul": _op_mul,
+        "div": _op_div, "idiv": _op_div,
+        "inc": _op_inc, "dec": _op_dec,
+        "neg": _op_neg, "not": _op_not, "xchg": _op_xchg,
+        "shl": _op_shift, "shr": _op_shift, "sar": _op_shift,
+    }
+
     def _op_stack(self, inst, rip, info):
-        self._check_plain(inst, rip, info)
         r = self.regs
         if inst.mnemonic == "push":
             rsp = (r[4] - 8) & MASK64
@@ -406,29 +495,27 @@ class X86Cpu:
             info.mem_address = rsp
         return False
 
-    def _op_branch(self, inst, rip, info):
-        self._check_plain(inst, rip, info)
-        m = inst.mnemonic
-        target = (rip + inst.size + inst.imm) & MASK64
-        if m == "jmp":
-            self.rip = target
-            return True
-        info.is_branch = True
-        taken = {
-            "je": self.zf, "jne": not self.zf,
-            "jl": self.sf_lt, "jge": not self.sf_lt,
-            "jb": self.cf, "jae": not self.cf,
-            "jbe": self.cf or self.zf, "ja": not self.cf and not self.zf,
-            "jle": self.sf_lt or self.zf, "jg": not self.sf_lt and not self.zf,
-        }[m]
-        info.branch_taken = taken
-        if taken:
-            self.rip = target
-            return True
-        return False
+    def _op_jmp(self, inst, rip, info):
+        self.pc = (rip + inst.size + inst.imm) & MASK64
+        return True
+
+    def _specialize_branch(self, inst):
+        if inst.mnemonic == "jmp":
+            return self._op_jmp
+        cond = _JCC_TAKEN[inst.mnemonic]
+
+        def op_jcc(inst, rip, info, self=self, cond=cond):
+            info.is_branch = True
+            taken = cond(self)
+            info.branch_taken = taken
+            if taken:
+                self.pc = (rip + inst.size + inst.imm) & MASK64
+                return True
+            return False
+
+        return op_jcc
 
     def _op_call(self, inst, rip, info):
-        self._check_plain(inst, rip, info)
         r = self.regs
         if inst.mnemonic == "call":
             rsp = (r[4] - 8) & MASK64
@@ -450,7 +537,6 @@ class X86Cpu:
 
     # -- system entry/exit -----------------------------------------------
     def _op_syscall(self, inst, rip, info):
-        self._check_plain(inst, rip, info)
         lstar = self.sys.msrs[0xC0000082]
         if not lstar:
             raise Trap(TrapKind.ILLEGAL_INSTRUCTION, VEC_GP, pc=rip,
@@ -471,13 +557,11 @@ class X86Cpu:
         return True
 
     def _op_int(self, inst, rip, info):
-        self._check_plain(inst, rip, info)
         trap = Trap(TrapKind.SYSCALL, inst.vector, pc=rip)
         self._vector(inst.vector, rip + inst.size, info, trap)
         return True
 
     def _op_iret(self, inst, rip, info):
-        self._check_plain(inst, rip, info)
         self._iret(info)
         return True
 
@@ -528,7 +612,6 @@ class X86Cpu:
         return False
 
     def _op_cpuid(self, inst, rip, info):
-        self._check_plain(inst, rip, info)
         leaf = self.regs[0] & MASK32
         if leaf == 0:
             self.set_reg(0, 0x16)
@@ -630,29 +713,23 @@ class X86Cpu:
         return False
 
     def _op_invlpg(self, inst, rip, info):
-        self._check_plain(inst, rip, info)
         return False
 
     def _op_wbinvd(self, inst, rip, info):
-        self._check_plain(inst, rip, info)
         self.machine.hierarchy.flush()
         return False
 
     def _op_in(self, inst, rip, info):
-        self._check_plain(inst, rip, info)
         self.set_reg(0, 0)
         return False
 
     def _op_out(self, inst, rip, info):
-        self._check_plain(inst, rip, info)
         return False
 
     def _op_cli(self, inst, rip, info):
-        self._check_plain(inst, rip, info)
         return False
 
     def _op_sti(self, inst, rip, info):
-        self._check_plain(inst, rip, info)
         return False
 
     def _op_clts(self, inst, rip, info):
@@ -663,7 +740,6 @@ class X86Cpu:
         return False
 
     def _op_hlt(self, inst, rip, info):
-        self._check_plain(inst, rip, info)
         self.exit_code = self.regs[0]
         info.halted = True
         return False
@@ -695,21 +771,19 @@ class X86Cpu:
 
     # -- ISA-Grid cache management ------------------------------------------
     def _op_pfch(self, inst, rip, info):
-        self._check_plain(inst, rip, info)
         if self.pcu is not None:
             self.pcu.prefetch(self.regs[inst.rm] & 0xFFFF)
         info.extra_cycles = 1
         return False
 
     def _op_pflh(self, inst, rip, info):
-        self._check_plain(inst, rip, info)
         if self.pcu is not None:
             self.pcu.flush(CacheId(self.regs[inst.rm] & 0x7))
         info.extra_cycles = 1
         return False
 
     # -- gates ---------------------------------------------------------------
-    def _execute_gate(self, inst: Instruction, rip: int, info: StepInfo) -> None:
+    def _op_gate(self, inst: Instruction, rip: int, info: StepInfo) -> bool:
         if self.pcu is None:
             raise Trap(TrapKind.ILLEGAL_INSTRUCTION, VEC_UD, pc=rip,
                        message="gate instruction without ISA-Grid")
@@ -722,3 +796,4 @@ class X86Cpu:
         )
         info.pcu_stall += stall
         self.rip = target
+        return True

@@ -1,0 +1,104 @@
+"""Bench trajectory files and the CI regression gate."""
+
+import pytest
+
+from repro.bench.report import (
+    DEFAULT_REGRESSION_THRESHOLD,
+    FORMAT,
+    build_trajectory,
+    compare_trajectories,
+    load_trajectory,
+    write_trajectory,
+)
+
+
+def payload(rig, ips, instructions=1000, cycles=2000.0, wall_s=1.0):
+    return {
+        "rig": rig,
+        "fast_path": True,
+        "instructions": instructions,
+        "cycles": cycles,
+        "wall_s": wall_s,
+        "ips": ips,
+        "detail": {},
+    }
+
+
+def trajectory(*rig_ips, **kwargs):
+    return build_trajectory(
+        [payload(rig, ips) for rig, ips in rig_ips], **kwargs
+    )
+
+
+class TestTrajectoryFiles:
+    def test_build_keys_rigs_by_name(self):
+        doc = trajectory(("gate_stress", 100.0), ("fig5_riscv", 200.0),
+                         label="seed", stamp="20260805")
+        assert doc["format"] == FORMAT
+        assert doc["label"] == "seed"
+        assert doc["stamp"] == "20260805"
+        assert set(doc["rigs"]) == {"gate_stress", "fig5_riscv"}
+        assert "rig" not in doc["rigs"]["gate_stress"]
+        assert doc["rigs"]["gate_stress"]["ips"] == 100.0
+
+    def test_round_trip(self, tmp_path):
+        doc = trajectory(("gate_stress", 123.0), label="x", stamp="s")
+        path = str(tmp_path / "nested" / "BENCH_s.json")
+        assert write_trajectory(doc, path) == path
+        assert load_trajectory(path) == doc
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError):
+            load_trajectory(str(path))
+
+
+class TestRegressionGate:
+    def test_small_drop_within_budget_passes(self):
+        lines, regressions = compare_trajectories(
+            trajectory(("gate_stress", 90.0)),
+            trajectory(("gate_stress", 100.0)),
+        )
+        assert len(lines) == 1 and not regressions
+
+    def test_drop_past_threshold_fails(self):
+        lines, regressions = compare_trajectories(
+            trajectory(("gate_stress", 79.0)),
+            trajectory(("gate_stress", 100.0)),
+        )
+        assert regressions == [lines[0]]
+
+    def test_boundary_is_exclusive(self):
+        # Exactly threshold * baseline lost is still within budget.
+        base = 100.0
+        cur = base * (1.0 - DEFAULT_REGRESSION_THRESHOLD)
+        _, regressions = compare_trajectories(
+            trajectory(("gate_stress", cur)), trajectory(("gate_stress", base))
+        )
+        assert not regressions
+
+    def test_custom_threshold(self):
+        _, regressions = compare_trajectories(
+            trajectory(("gate_stress", 94.0)),
+            trajectory(("gate_stress", 100.0)),
+            threshold=0.05,
+        )
+        assert len(regressions) == 1
+
+    def test_missing_rigs_reported_but_not_regressions(self):
+        lines, regressions = compare_trajectories(
+            trajectory(("new_rig", 50.0)),
+            trajectory(("old_rig", 100.0)),
+        )
+        assert not regressions
+        assert any("no baseline" in line for line in lines)
+        assert any("in baseline only" in line for line in lines)
+
+    def test_speedup_reported_with_ratio(self):
+        lines, regressions = compare_trajectories(
+            trajectory(("gate_stress", 250.0)),
+            trajectory(("gate_stress", 100.0)),
+        )
+        assert not regressions
+        assert "2.50x" in lines[0]
