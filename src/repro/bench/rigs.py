@@ -77,6 +77,34 @@ def _run_smoke(fast_path: bool) -> Dict[str, object]:
     return _run_gate_stress(fast_path, iterations=60, max_steps=4_000_000)
 
 
+def _run_smoke_hooked(fast_path: bool) -> Dict[str, object]:
+    """``smoke`` with a no-op per-step hook installed on the machine.
+
+    The machine-level fault campaigns interpose on
+    :attr:`repro.sim.machine.Machine.step_hook`; this rig holds that
+    injection point to the same ips floor as ``smoke``, so a hook-path
+    regression in the hot loop can't hide behind the hook-free branch.
+    The simulated work must be identical to ``smoke`` — only wall-clock
+    may move.
+    """
+    import dataclasses
+
+    from repro.kernel import X86Kernel
+    from repro.workloads import GATE_STRESS
+    from repro.workloads.generator import x86_user_program
+
+    profile = dataclasses.replace(GATE_STRESS, outer_iterations=60)
+    kernel = X86Kernel("decomposed", _config(fast_path))
+    kernel.system.machine.step_hook = lambda info: False
+    stats = kernel.run(x86_user_program(profile), max_steps=4_000_000)
+    assert kernel.fault_count == 0
+    hit_rates = kernel.system.pcu.stats.hit_rates()
+    return _result(stats.instructions, stats.cycles, {
+        "hit_rates": {name: round(rate, 6) for name, rate in hit_rates.items()},
+        "syscalls": kernel.syscall_count,
+    })
+
+
 # ----------------------------------------------------------------------
 # Figure 5: LMbench microbenchmarks, RISC-V.
 # ----------------------------------------------------------------------
@@ -257,6 +285,10 @@ RIGS: Dict[str, BenchRig] = {
     for rig in (
         BenchRig("smoke", "short gate-stress loop (CI PR gate)",
                  _run_smoke, approx_instructions=200_000),
+        BenchRig("smoke_hooked",
+                 "smoke with a no-op Machine.step_hook (fault-campaign "
+                 "injection point)",
+                 _run_smoke_hooked, approx_instructions=200_000),
         BenchRig("gate_stress", "§7.1 privilege-cache stress workload",
                  _run_gate_stress, approx_instructions=1_000_000),
         BenchRig("fig5_riscv", "Figure 5: LMbench microbenchmarks, RISC-V",

@@ -288,6 +288,8 @@ def _cmd_faults(args) -> int:
     from repro.faults import CLASSIFICATIONS, run_campaigns, write_report
 
     backends = ("riscv", "x86") if args.backend == "both" else (args.backend,)
+    if args.machine:
+        return _run_machine_faults(args, backends)
     configs = (tuple(CONFORMANCE_CONFIGS) if args.config == "all"
                else tuple(args.config.split(",")))
     unknown = [name for name in configs if name not in CONFORMANCE_CONFIGS]
@@ -330,6 +332,75 @@ def _cmd_faults(args) -> int:
                      result.detail))
     payload = write_report(matrices, args.report)
     print("report written to %s" % args.report)
+    if run is not None:
+        quarantined = _report_quarantine(run, run_dir)
+        print(run.metrics.render())
+        print("run directory: %s" % run_dir)
+    if payload["widening_silent_divergences"]:
+        print("FAIL: %d widening fault(s) diverged with no detection"
+              % payload["widening_silent_divergences"], file=sys.stderr)
+        return 1
+    return 1 if quarantined else 0
+
+
+_MACHINE_REPORT_DEFAULT = "results/machine_fault_campaigns.json"
+
+
+def _run_machine_faults(args, backends) -> int:
+    """Machine-level campaigns: faults under the fetch-execute loop.
+
+    ``--events``, ``--config`` and ``--scrub-interval`` are abstract-
+    campaign knobs and are ignored here; the machine mode sizes its
+    pulse/scrub cadence from the workload geometry (overridable with
+    ``--iterations`` / ``--pulse-interval``).
+    """
+    from repro.faults import (
+        CLASSIFICATIONS,
+        DEFAULT_MACHINE_ITERATIONS,
+        run_machine_campaigns,
+        write_machine_report,
+    )
+
+    iterations = (args.iterations if args.iterations is not None
+                  else DEFAULT_MACHINE_ITERATIONS)
+    report_path = args.report
+    if report_path == "results/fault_campaigns.json":
+        report_path = _MACHINE_REPORT_DEFAULT
+    quarantined = 0
+    if args.jobs > 1 or args.resume or args.run_dir or args.profile:
+        from repro.orchestrator import orchestrate_machine_faults
+
+        matrices, run, run_dir = orchestrate_machine_faults(
+            backends, args.seed, args.campaign,
+            jobs=args.jobs, iterations=iterations,
+            faults_per_campaign=args.faults_per_campaign,
+            pulse_interval=args.pulse_interval,
+            profile=args.profile,
+            run_dir=args.run_dir, resume=args.resume,
+            shard_timeout=args.shard_timeout,
+        )
+    else:
+        matrices = [
+            run_machine_campaigns(
+                backend, args.seed, args.campaign,
+                iterations=iterations,
+                faults_per_campaign=args.faults_per_campaign,
+                pulse_interval=args.pulse_interval,
+            )
+            for backend in backends
+        ]
+        run = run_dir = None
+    for matrix in matrices:
+        counts = " ".join("%s=%d" % (name, matrix.counts[name])
+                          for name in CLASSIFICATIONS)
+        print("%-6s machine  %d campaigns x %d iterations  %s  rollbacks=%d"
+              % (matrix.backend, len(matrix.results), matrix.iterations,
+                 counts, matrix.rollbacks))
+        for result in matrix.widening_silent:
+            print("    WIDENING SILENT DIVERGENCE: campaign %d %s (%s)"
+                  % (result.campaign, result.spec.to_dict(), result.detail))
+    payload = write_machine_report(matrices, report_path)
+    print("report written to %s" % report_path)
     if run is not None:
         quarantined = _report_quarantine(run, run_dir)
         print(run.metrics.render())
@@ -536,6 +607,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     faults.add_argument("--faults-per-campaign", type=int, default=1,
                         help="concurrent faults scheduled per campaign "
                              "(2 = dual-fault mode)")
+    faults.add_argument("--machine", action="store_true",
+                        help="machine-level campaigns: inject under the "
+                             "fetch-execute loop of a booted MiniKernel, "
+                             "in lockstep with the oracle PCU (ignores "
+                             "--events/--config/--scrub-interval)")
+    faults.add_argument("--iterations", type=int, default=None,
+                        help="machine mode: workload outer iterations per "
+                             "campaign (default: the module's calibrated "
+                             "default)")
+    faults.add_argument("--pulse-interval", type=int, default=None,
+                        help="machine mode: instructions between "
+                             "reconfiguration pulses (default: derived "
+                             "from the workload geometry)")
     add_orchestration_flags(faults)
     bench = subparsers.add_parser(
         "bench",

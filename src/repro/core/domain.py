@@ -94,6 +94,13 @@ class DomainManager:
         self._names: Dict[str, int] = {"domain-0": DOMAIN_0}
         self._next_domain = 1
         self.gates: Dict[int, GateEntry] = {}
+        # Commit-window accounting: how many top-level reconfiguration
+        # transactions ran to completion or rolled back, and how many
+        # journalled stores the most recent one performed.  Machine-level
+        # fault campaigns use these to verify their faults landed inside
+        # (or outside) a window.
+        self.transactions_committed = 0
+        self.transactions_rolled_back = 0
 
     # ------------------------------------------------------------------
     # Transactional reconfiguration (fault containment, Section 4.4).
@@ -163,9 +170,16 @@ class DomainManager:
             if not domains:
                 self.pcu.invalidate_privileges()
             self.pcu.stats.reconfig_rollbacks += 1
+            self.transactions_rolled_back += 1
             raise
         else:
             memory.commit_transaction()
+            self.transactions_committed += 1
+
+    @property
+    def last_transaction_stores(self) -> int:
+        """Journalled stores of the current or most recent transaction."""
+        return self.pcu.trusted_memory.transaction_stores
 
     # ------------------------------------------------------------------
     # Domain registration.

@@ -74,6 +74,12 @@ class TrustedMemory:
         # half-applied grant to never become architecturally visible).
         self._journal: Optional[List[Tuple[int, int]]] = None
         self._journalled: set = set()
+        # Journalled-store accounting for commit-window fault targeting:
+        # ``transaction_stores`` counts every store executed under the
+        # current (or, after commit/abort, the most recent) journal;
+        # ``journalled_stores_total`` never resets.
+        self.transaction_stores = 0
+        self.journalled_stores_total = 0
 
     def contains(self, address: int) -> bool:
         """Hardware bound check: is ``address`` inside the trusted range?"""
@@ -89,11 +95,14 @@ class TrustedMemory:
         """Domain-0 software write path (the Machine enforces domain-0)."""
         if not self.contains(address):
             raise ConfigurationError("write outside trusted memory: 0x%x" % address)
-        if self._journal is not None and address not in self._journalled:
-            # Record the old value *before* attempting the store so a
-            # backing that faults mid-write still rolls back cleanly.
-            self._journalled.add(address)
-            self._journal.append((address, self._backing.load_word(address)))
+        if self._journal is not None:
+            if address not in self._journalled:
+                # Record the old value *before* attempting the store so a
+                # backing that faults mid-write still rolls back cleanly.
+                self._journalled.add(address)
+                self._journal.append((address, self._backing.load_word(address)))
+            self.transaction_stores += 1
+            self.journalled_stores_total += 1
         self._backing.store_word(address, value)
 
     # -- transactional reconfiguration ----------------------------------
@@ -107,6 +116,7 @@ class TrustedMemory:
             raise ConfigurationError("trusted-memory transaction already open")
         self._journal = []
         self._journalled = set()
+        self.transaction_stores = 0
 
     def commit_transaction(self) -> None:
         """Discard the journal — the update completed without faulting."""
@@ -114,6 +124,17 @@ class TrustedMemory:
             raise ConfigurationError("no trusted-memory transaction to commit")
         self._journal = None
         self._journalled = set()
+
+    def journalled_addresses(self) -> List[int]:
+        """Addresses of the open journal, oldest first (empty when closed).
+
+        The commit-window fault injector uses this to mutate a word the
+        journal already covers, so ``abort_transaction``'s replay is
+        forced to overwrite (and thereby repair) the corruption.
+        """
+        if self._journal is None:
+            return []
+        return [address for address, _ in self._journal]
 
     def abort_transaction(self) -> None:
         """Restore every journalled word, newest first, and disarm."""

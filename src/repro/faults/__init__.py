@@ -22,7 +22,28 @@ from .campaign import (
     write_report,
 )
 from .injector import FaultInjector, FaultyWordBacking
-from .plan import CACHE_MODULES, FAULT_KINDS, FaultPlan, FaultSpec
+from .machine import (
+    DEFAULT_MACHINE_ITERATIONS,
+    MACHINE_BACKENDS,
+    LockstepMonitor,
+    MachineCampaignMatrix,
+    MachineCampaignResult,
+    MachineWorld,
+    ReconfigPulser,
+    machine_geometry,
+    run_machine_campaign,
+    run_machine_campaigns,
+    run_planned_machine_campaign,
+    write_machine_report,
+)
+from .plan import (
+    CACHE_MODULES,
+    FAULT_KINDS,
+    MACHINE_FAULT_KINDS,
+    TRIGGER_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
 from .scrub import IntegrityScrubber, ScrubReport, make_scrubber
 
 __all__ = [
@@ -30,6 +51,7 @@ __all__ = [
     "CLASSIFICATIONS",
     "CampaignMatrix",
     "CampaignResult",
+    "DEFAULT_MACHINE_ITERATIONS",
     "DEFAULT_SCRUB_INTERVAL",
     "FAULT_KINDS",
     "FaultInjector",
@@ -37,9 +59,21 @@ __all__ = [
     "FaultSpec",
     "FaultyWordBacking",
     "IntegrityScrubber",
+    "LockstepMonitor",
+    "MACHINE_BACKENDS",
+    "MACHINE_FAULT_KINDS",
+    "MachineCampaignMatrix",
+    "MachineCampaignResult",
+    "MachineWorld",
+    "ReconfigPulser",
     "ScrubReport",
+    "TRIGGER_KINDS",
+    "machine_geometry",
     "make_scrubber",
     "run_campaign",
     "run_campaigns",
-    "write_report",
+    "run_machine_campaign",
+    "run_machine_campaigns",
+    "run_planned_machine_campaign",
+    "write_machine_report",
 ]

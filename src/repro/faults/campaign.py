@@ -67,6 +67,11 @@ class CampaignResult:
     divergence_index: Optional[int] = None
     detections: List[str] = field(default_factory=list)
     rollbacks: int = 0
+    #: Injected store faults that fired with no transaction open (e.g.
+    #: on a gate-event trusted-stack push).  Nothing rolled back, so
+    #: these are *not* detections — the classifier judges the damage on
+    #: its own merits.
+    escaped_faults: int = 0
     scrub_repairs: int = 0
     degraded_entries: int = 0
     degraded_checks: int = 0
@@ -90,6 +95,7 @@ class CampaignResult:
             "divergence_index": self.divergence_index,
             "detections": list(self.detections),
             "rollbacks": self.rollbacks,
+            "escaped_faults": self.escaped_faults,
             "scrub_repairs": self.scrub_repairs,
             "degraded_entries": self.degraded_entries,
             "degraded_checks": self.degraded_checks,
@@ -124,15 +130,11 @@ def run_campaign(
     world = ConformanceWorld(backend, CONFORMANCE_CONFIGS[config])
     # Interpose the faulty backing *under* the already-initialised
     # trusted memory: existing words carry over untouched.
-    backing = FaultyWordBacking(world.trusted_memory._backing)
+    backing = FaultyWordBacking(world.trusted_memory._backing,
+                                trusted_memory=world.trusted_memory)
     world.trusted_memory._backing = backing
     injectors = [FaultInjector(world, backing, s)
                  for s in (spec, *extra_specs)]
-    # Rollbacks are attributed to the store_fault injector that armed
-    # the failing store (the primary one if none did — single-fault
-    # campaigns only ever have one candidate).
-    rollback_owner = next(
-        (i for i in injectors if i.spec.kind == "store_fault"), injectors[0])
     scrubber = IntegrityScrubber(world.pcu, world.manager)
 
     events = generate_events(stream_seed, n_events)
@@ -140,6 +142,33 @@ def run_campaign(
     divergence_index: Optional[int] = None
     halted = False
     events_run = 0
+    escaped_faults = 0
+    stats = world.pcu.stats
+
+    def fault_owner() -> FaultInjector:
+        # The backing records which injector armed the fault that fired;
+        # fall back to the first store-ish spec only for armings made
+        # behind the injector's back (tests arming the backing directly).
+        if backing.last_fired_owner is not None:
+            return backing.last_fired_owner
+        return next((i for i in injectors
+                     if i.spec.kind in ("store_fault", "commit_store_fault",
+                                        "commit_flip_journalled")),
+                    injectors[0])
+
+    def settle_injected_fault() -> None:
+        # An injected store fault escaped to us.  Only credit a rollback
+        # when the DomainManager actually rolled a transaction back —
+        # a store can just as well fail outside any commit window (a
+        # gate-event trusted-stack push, a scrub repair), and crediting
+        # a phantom recovery there would upgrade genuine half-written
+        # corruption to detected_recovered.
+        nonlocal escaped_faults
+        if stats.reconfig_rollbacks > rollbacks_before:
+            fault_owner().note_rollback()
+        else:
+            fault_owner().note_escaped()
+            escaped_faults += 1
 
     def note(report) -> None:
         if report.memory_repairs:
@@ -147,16 +176,27 @@ def run_campaign(
         detections.extend(report.cache_detections)
         detections.extend("UNREPAIRABLE: " + u for u in report.unrepairable)
 
+    def safe_scrub():
+        # A still-armed store fault can fire on a scrub *repair* store;
+        # that interrupted pass is itself an escaped, non-transactional
+        # fault.  The fault is one-shot, so the retry completes.
+        nonlocal rollbacks_before
+        rollbacks_before = stats.reconfig_rollbacks
+        try:
+            return scrubber.scrub()
+        except InjectedFault:
+            settle_injected_fault()
+            return scrubber.scrub()
+
+    rollbacks_before = stats.reconfig_rollbacks
     for index, event in enumerate(events):
         for injector in injectors:
             injector.on_event(index)
+        rollbacks_before = stats.reconfig_rollbacks
         try:
             cached, oracle = world.apply(event)
         except InjectedFault:
-            # A trusted-memory store failed mid-reconfiguration; the
-            # DomainManager transaction rolled the update back and the
-            # tables are bit-identical to the pre-transaction state.
-            rollback_owner.note_rollback()
+            settle_injected_fault()
             events_run = index + 1
             continue
         events_run = index + 1
@@ -164,7 +204,7 @@ def run_campaign(
             divergence_index = index
             break
         if scrub_interval and (index + 1) % scrub_interval == 0:
-            report = scrubber.scrub()
+            report = safe_scrub()
             note(report)
             if report.unrepairable:
                 halted = True
@@ -173,12 +213,15 @@ def run_campaign(
     # Final audit: always run one more scrub.  After a divergence this is
     # the "why did we diverge" post-mortem; on a clean run it catches
     # anything the watchdog cadence missed.
-    audit = scrubber.scrub()
+    audit = safe_scrub()
     note(audit)
     if audit.unrepairable:
         halted = True
 
     rollbacks = sum(i.rollbacks_seen for i in injectors)
+    # Escaped (non-transactional) store faults are deliberately absent
+    # here: nothing detected or recovered anything, so they only shape
+    # the outcome through what the lockstep diff and the audit saw.
     detected = bool(detections) or rollbacks > 0
     if divergence_index is not None:
         classification = "detected_halted" if detected else "silent_divergence"
@@ -196,7 +239,6 @@ def run_campaign(
     else:
         classification = "benign"
 
-    stats = world.pcu.stats
     return CampaignResult(
         campaign=campaign,
         stream_seed=stream_seed,
@@ -208,6 +250,7 @@ def run_campaign(
         divergence_index=divergence_index,
         detections=detections,
         rollbacks=rollbacks,
+        escaped_faults=escaped_faults,
         scrub_repairs=stats.scrub_repairs,
         degraded_entries=stats.degraded_entries,
         degraded_checks=stats.degraded_checks,

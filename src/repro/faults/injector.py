@@ -29,12 +29,28 @@ _MASK64 = (1 << 64) - 1
 
 
 class FaultyWordBacking:
-    """WordBacking wrapper: raw bit flips + one-shot store failures."""
+    """WordBacking wrapper: raw bit flips + one-shot store failures.
 
-    def __init__(self, inner: WordBacking):
+    ``trusted_memory`` (optional) is the :class:`TrustedMemory` the
+    backing sits under; it is only needed for commit-window faults,
+    which must know whether the store being intercepted is journalled
+    and which other addresses the open journal covers.
+    """
+
+    def __init__(self, inner: WordBacking, trusted_memory=None):
         self.inner = inner
+        self.trusted_memory = trusted_memory
         self._store_fault_armed = False
+        self._store_fault_owner = None
+        self._commit_countdown = 0
+        self._commit_owner = None
+        self._commit_flip = None      # (bit, op) to mutate under the journal
         self.store_faults_fired = 0
+        #: The injector whose armed fault raised the most recent
+        #: InjectedFault (None when armed without an owner).
+        self.last_fired_owner = None
+        #: Detail of the most recent fire, for campaign bookkeeping.
+        self.last_fired_detail = ""
 
     def load_word(self, address: int) -> int:
         return self.inner.load_word(address)
@@ -42,20 +58,79 @@ class FaultyWordBacking:
     def store_word(self, address: int, value: int) -> None:
         if self._store_fault_armed:
             self._store_fault_armed = False
-            self.store_faults_fired += 1
-            raise InjectedFault(
-                "injected trusted-memory store fault at 0x%x" % address
-            )
+            self._fire(self._store_fault_owner,
+                       "injected trusted-memory store fault at 0x%x" % address)
+        if self._commit_countdown > 0 and self._in_commit_window():
+            self._commit_countdown -= 1
+            if self._commit_countdown == 0:
+                self._fire_commit_fault(address)
         self.inner.store_word(address, value)
 
+    def _in_commit_window(self) -> bool:
+        return (self.trusted_memory is not None
+                and self.trusted_memory.in_transaction)
+
+    def _fire(self, owner, detail: str) -> None:
+        self.store_faults_fired += 1
+        self.last_fired_owner = owner
+        self.last_fired_detail = detail
+        raise InjectedFault(detail)
+
+    def _fire_commit_fault(self, address: int) -> None:
+        # TrustedMemory counts the store before handing it down, so the
+        # counter already includes the one being failed.
+        detail = ("injected commit-window store fault at 0x%x "
+                  "(journalled store %d of the window)"
+                  % (address, self.trusted_memory.transaction_stores))
+        if self._commit_flip is not None:
+            bit, op = self._commit_flip
+            journalled = self.trusted_memory.journalled_addresses()
+            if journalled:
+                victim = journalled[0]
+                self.mutate_word(victim, bit, op)
+                detail += ("; %s bit %d flipped under journalled word 0x%x"
+                           % (op, bit, victim))
+        owner, self._commit_owner = self._commit_owner, None
+        self._commit_flip = None
+        self._fire(owner, detail)
+
     # -- injection API --------------------------------------------------
-    def arm_store_fault(self) -> None:
-        """The next store through this backing raises InjectedFault."""
+    def arm_store_fault(self, owner=None) -> None:
+        """The next store through this backing raises InjectedFault.
+
+        ``owner`` (typically the arming :class:`FaultInjector`) is
+        recorded as :attr:`last_fired_owner` when the fault fires, so a
+        multi-fault campaign can attribute the rollback to the injector
+        whose fault actually tripped.
+        """
         self._store_fault_armed = True
+        self._store_fault_owner = owner
+
+    def arm_commit_fault(self, nth_store: int, owner=None,
+                         flip=None) -> None:
+        """Fail the ``nth_store``-th journalled store after arming.
+
+        Only stores executed while the trusted memory's transaction
+        journal is open count, so the fault is guaranteed to land inside
+        a ``DomainManager`` commit window and exercise the rollback
+        replay.  ``flip`` is an optional ``(bit, op)`` pair: just before
+        raising, mutate that bit of the *oldest* journalled word, so the
+        newest-first replay must overwrite — and thereby repair — a raw
+        hardware flip on its way back.
+        """
+        if nth_store < 1:
+            raise ValueError("nth_store is 1-based")
+        self._commit_countdown = nth_store
+        self._commit_owner = owner
+        self._commit_flip = flip
 
     @property
     def store_fault_armed(self) -> bool:
         return self._store_fault_armed
+
+    @property
+    def commit_fault_armed(self) -> bool:
+        return self._commit_countdown > 0
 
     def mutate_word(self, address: int, bit: int, op: str) -> bool:
         """Apply a raw hardware bit flip, bypassing journal and mirrors.
@@ -106,11 +181,20 @@ class FaultInjector:
         self.fired = fired
         self.detail = detail
 
-    # -- entry point ----------------------------------------------------
+    # -- entry points ---------------------------------------------------
     def on_event(self, index: int) -> None:
         """Inject the planned fault when ``index`` hits the trigger."""
         if index != self.spec.trigger:
             return
+        self.fire()
+
+    def fire(self) -> None:
+        """Inject the planned fault now (trigger policy is the caller's).
+
+        The machine-level campaign driver uses this directly: it owns
+        the instruction/cycle trigger bookkeeping, and calls ``fire``
+        between steps once the trigger point is crossed.
+        """
         handler = getattr(self, "_inject_" + self.spec.kind)
         handler()
 
@@ -270,11 +354,41 @@ class FaultInjector:
                    % (self.spec.bit_op, word, bit, bypass.loaded_domain))
 
     def _inject_store_fault(self) -> None:
-        self.backing.arm_store_fault()
+        self.backing.arm_store_fault(owner=self)
         self._note(False, "armed one-shot trusted-memory store fault")
+
+    # -- commit-window faults (machine-level campaigns) ----------------
+    def _inject_commit_store_fault(self) -> None:
+        nth = max(1, self.spec.resource)
+        self.backing.arm_commit_fault(nth, owner=self)
+        self._note(False,
+                   "armed commit-window store fault (journalled store %d)"
+                   % nth)
+
+    def _inject_commit_flip_journalled(self) -> None:
+        nth = max(1, self.spec.resource)
+        self.backing.arm_commit_fault(
+            nth, owner=self, flip=(self.spec.bit % 64, self.spec.bit_op))
+        self._note(False,
+                   "armed commit-window store fault (journalled store %d) "
+                   "with a %s of bit %d under the oldest journalled word"
+                   % (nth, self.spec.bit_op, self.spec.bit % 64))
 
     # -- campaign bookkeeping ------------------------------------------
     def note_rollback(self) -> None:
         """A store fault fired and the reconfiguration rolled back."""
         self.rollbacks_seen += 1
-        self._note(True, "store fault fired; reconfiguration rolled back")
+        detail = self.backing.last_fired_detail or "store fault fired"
+        self._note(True, detail + "; reconfiguration rolled back")
+
+    def note_escaped(self) -> None:
+        """A store fault fired outside any transaction (no journal).
+
+        Nothing rolled back — the failed store simply never landed.  The
+        campaign classifier must judge the damage on its own merits
+        (lockstep, scrub, final audit) rather than crediting a recovery
+        that never happened.
+        """
+        detail = self.backing.last_fired_detail or "store fault fired"
+        self._note(True, detail + "; fired outside any transaction "
+                                  "(no rollback)")

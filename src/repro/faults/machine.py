@@ -1,0 +1,780 @@
+"""Machine-level fault campaigns: faults under a *running* kernel.
+
+The abstract campaigns (:mod:`repro.faults.campaign`) replay generated
+domain-0 event streams; this module injects the same fault vocabulary
+under the PR-4 fetch-execute loop instead.  One campaign boots a
+decomposed MiniKernel (RISC-V or x86), runs a gate-heavy user workload
+through :meth:`repro.sim.machine.Machine.run`, and drives three things
+against it:
+
+* a **lockstep oracle** — the PCU's ``check`` / ``execute_gate`` /
+  ``check_memory_access`` entry points are wrapped so every call the
+  *CPU* makes is mirrored into a cache-free
+  :class:`~repro.conformance.oracle.OraclePcu` sharing the same
+  HPT/SGT/trusted memory, and the first disagreement (fault class,
+  gate target, or post-gate domain/stack state) stops the machine;
+* **reconfiguration pulses** — periodic domain-0 transactions (gate
+  re-registration, instruction/CSR toggle pairs, mask rewrites) run
+  while the machine is paused between instructions.  Each pulse is
+  state-neutral when it commits, so pulses only change behaviour when
+  a fault lands inside one — which is exactly what the commit-window
+  fault kinds arm for;
+* the **integrity-scrub watchdog** and a final audit, exactly like the
+  abstract campaigns.
+
+Triggers are machine-level: a fault fires at a retired-instruction
+count (``inst``), a simulated-cycle count (``cycle``), or a pulse index
+(``event``, the analogue of the abstract campaigns' event index).  The
+commit-window kinds (``commit_store_fault``, ``commit_flip_journalled``)
+use their trigger as the *arming* point and fire on the Nth journalled
+store inside a later ``DomainManager`` transaction, exercising
+``abort_transaction``'s newest-first replay directly.
+
+Classification is the abstract campaigns' four-way split.  Two
+machine-specific notes: a campaign whose workload exhausts its
+instruction budget without halting counts as a *watchdog* detection
+(the liveness monitor halts the core), and injected store faults that
+fire outside any transaction are tallied as ``escaped_faults`` — they
+are not detections and must earn their classification from the
+lockstep diff and the audit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.conformance.generator import make_backend
+from repro.conformance.oracle import OraclePcu
+from repro.core import CONFIG_8E
+from repro.core.errors import InjectedFault, PrivilegeFault
+from repro.core.trusted_memory import WORD_BYTES
+
+from .campaign import CLASSIFICATIONS
+from .injector import FaultInjector, FaultyWordBacking
+from .plan import FaultPlan, FaultSpec
+from .scrub import IntegrityScrubber
+
+#: Backends a machine campaign can target.
+MACHINE_BACKENDS = ("riscv", "x86")
+
+#: Default workload size (GATE_STRESS outer iterations) per campaign.
+DEFAULT_MACHINE_ITERATIONS = 12
+
+#: Nominal reconfiguration pulses across one campaign run.
+PULSES_PER_RUN = 16
+
+#: Measured boot + per-iteration dynamic instruction counts of the
+#: machine-campaign workload (GATE_STRESS), per backend.  These only
+#: size the trigger windows and pulse cadence — a drift of +-30% from
+#: future kernel changes is harmless, because triggers are drawn from
+#: the middle half of the estimated run and the step budget is 4x.
+_BOOT_INSTRUCTIONS = {"riscv": 57, "x86": 57}
+_PER_ITERATION_INSTRUCTIONS = {"riscv": 3180, "x86": 3186}
+
+
+@dataclass(frozen=True)
+class MachineGeometry:
+    """Derived campaign timing parameters (a pure function of inputs).
+
+    Both the serial driver and the orchestrator workers derive specs
+    from this geometry, so it must depend only on the backend name and
+    the explicit knobs — never on anything measured at run time.
+    """
+
+    n_steps: int          # estimated boot-to-halt instruction count
+    budget: int           # hard instruction budget (liveness watchdog)
+    pulse_interval: int   # instructions between reconfiguration pulses
+    scrub_interval: int   # instructions between watchdog scrubs
+    n_pulses: int         # nominal pulse count (event-trigger range)
+
+
+def machine_geometry(
+    backend_name: str,
+    iterations: int = DEFAULT_MACHINE_ITERATIONS,
+    scrub_interval: Optional[int] = None,
+    pulse_interval: Optional[int] = None,
+) -> MachineGeometry:
+    n_steps = (_BOOT_INSTRUCTIONS[backend_name]
+               + iterations * _PER_ITERATION_INSTRUCTIONS[backend_name])
+    if pulse_interval is None:
+        pulse_interval = max(500, n_steps // PULSES_PER_RUN)
+    if scrub_interval is None:
+        scrub_interval = max(2 * pulse_interval, n_steps // 4)
+    return MachineGeometry(
+        n_steps=n_steps,
+        budget=4 * n_steps + 100_000,
+        pulse_interval=pulse_interval,
+        scrub_interval=scrub_interval,
+        n_pulses=max(1, n_steps // pulse_interval),
+    )
+
+
+def _build_kernel(backend_name: str):
+    if backend_name == "riscv":
+        from repro.kernel import RiscvKernel
+        return RiscvKernel("decomposed", CONFIG_8E)
+    if backend_name == "x86":
+        from repro.kernel import X86Kernel
+        return X86Kernel("decomposed", CONFIG_8E)
+    raise ValueError("unknown machine backend %r" % backend_name)
+
+
+def _workload(backend_name: str, iterations: int):
+    from repro.workloads import GATE_STRESS
+    from repro.workloads.generator import riscv_user_program, x86_user_program
+
+    profile = dataclasses.replace(GATE_STRESS, outer_iterations=iterations)
+    if backend_name == "riscv":
+        return riscv_user_program(profile)
+    return x86_user_program(profile)
+
+
+class MachineWorld:
+    """Duck-typed ConformanceWorld stand-in over a booted kernel.
+
+    :class:`~repro.faults.injector.FaultInjector` needs ``pcu``,
+    ``manager``, ``backend`` and ``slot_ids``; here the abstract domain
+    slots resolve to the kernel's real module domains (slot 0 is always
+    domain-0, slots 1..N the live domains in id order).
+    """
+
+    def __init__(self, kernel, backend_name: str):
+        self.kernel = kernel
+        self.backend_name = backend_name
+        self.pcu = kernel.system.pcu
+        self.manager = kernel.system.manager
+        self.backend = make_backend(backend_name)
+        self.trusted_memory = self.pcu.trusted_memory
+        self.slot_ids: Dict[int, Optional[int]] = {0: 0}
+        for index, domain_id in enumerate(
+                sorted(d for d in self.manager.domains if d != 0)):
+            self.slot_ids[index + 1] = domain_id
+
+
+class LockstepMonitor:
+    """Mirror every CPU-originated PCU call into a cache-free oracle.
+
+    Installed by shadowing the PCU's bound methods with instance
+    attributes — the CPUs look the methods up per call, so no core code
+    changes.  The real PCU always runs *first*; an
+    :class:`InjectedFault` from it propagates before the oracle is
+    consulted, so both sides agree the instruction never executed and a
+    retry stays in lockstep (the injected faults are one-shot).
+
+    Only the first divergence is recorded: once the two models disagree
+    their downstream states are incomparable, and the campaign driver
+    stops the machine at the next step anyway.
+    """
+
+    def __init__(self, pcu, oracle: OraclePcu, stats):
+        self.pcu = pcu
+        self.oracle = oracle
+        self.stats = stats
+        self.divergence: Optional[str] = None
+        self.divergence_instruction: Optional[int] = None
+        self.checks = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def install(self) -> None:
+        pcu = self.pcu
+        self._real_check = pcu.check
+        self._real_gate = pcu.execute_gate
+        self._real_mem = pcu.check_memory_access
+        pcu.check = self._check
+        pcu.execute_gate = self._execute_gate
+        pcu.check_memory_access = self._check_memory_access
+
+    def uninstall(self) -> None:
+        for name in ("check", "execute_gate", "check_memory_access"):
+            self.pcu.__dict__.pop(name, None)
+
+    # -- helpers --------------------------------------------------------
+    def _diverge(self, description: str) -> None:
+        if self.divergence is None:
+            self.divergence = description
+            self.divergence_instruction = self.stats.instructions
+
+    @staticmethod
+    def _fault_name(fault) -> Optional[str]:
+        return None if fault is None else type(fault).__name__
+
+    # -- wrapped entry points ------------------------------------------
+    def _check(self, access):
+        self.checks += 1
+        stall = 0
+        real_fault = None
+        try:
+            stall = self._real_check(access)
+        except PrivilegeFault as fault:
+            real_fault = fault
+        oracle_fault = None
+        try:
+            self.oracle.check(access)
+        except PrivilegeFault as fault:
+            oracle_fault = fault
+        if self._fault_name(real_fault) != self._fault_name(oracle_fault):
+            self._diverge(
+                "check(class %d @0x%x): pcu=%s oracle=%s"
+                % (access.inst_class, access.address,
+                   self._fault_name(real_fault),
+                   self._fault_name(oracle_fault)))
+        if real_fault is not None:
+            raise real_fault
+        return stall
+
+    def _execute_gate(self, kind, gate_id, pc, return_address=None):
+        self.checks += 1
+        target = stall = 0
+        real_fault = None
+        try:
+            target, stall = self._real_gate(
+                kind, gate_id, pc, return_address=return_address)
+        except PrivilegeFault as fault:
+            real_fault = fault
+        oracle_fault = None
+        oracle_target = None
+        try:
+            oracle_target = self.oracle.execute_gate(
+                kind, gate_id, pc, return_address)
+        except PrivilegeFault as fault:
+            oracle_fault = fault
+        pcu, oracle = self.pcu, self.oracle
+        if self._fault_name(real_fault) != self._fault_name(oracle_fault):
+            self._diverge(
+                "%s(gate %d @0x%x): pcu=%s oracle=%s"
+                % (kind.name.lower(), gate_id, pc,
+                   self._fault_name(real_fault),
+                   self._fault_name(oracle_fault)))
+        elif real_fault is None:
+            if target != oracle_target:
+                self._diverge(
+                    "%s(gate %d @0x%x): target pcu=0x%x oracle=0x%x"
+                    % (kind.name.lower(), gate_id, pc, target, oracle_target))
+            elif (pcu.current_domain != oracle.domain
+                  or pcu.previous_domain != oracle.pdomain
+                  or pcu.trusted_stack.depth != oracle.depth):
+                self._diverge(
+                    "%s(gate %d @0x%x): post state pcu=(d%d,p%d,depth %d) "
+                    "oracle=(d%d,p%d,depth %d)"
+                    % (kind.name.lower(), gate_id, pc,
+                       pcu.current_domain, pcu.previous_domain,
+                       pcu.trusted_stack.depth,
+                       oracle.domain, oracle.pdomain, oracle.depth))
+        if real_fault is not None:
+            raise real_fault
+        return target, stall
+
+    def _check_memory_access(self, address, pc=0):
+        real_fault = None
+        try:
+            self._real_mem(address, pc)
+        except PrivilegeFault as fault:
+            real_fault = fault
+        oracle_fault = None
+        try:
+            self.oracle.check_memory_access(address, pc)
+        except PrivilegeFault as fault:
+            oracle_fault = fault
+        if self._fault_name(real_fault) != self._fault_name(oracle_fault):
+            self._diverge(
+                "check_memory_access(0x%x @0x%x): pcu=%s oracle=%s"
+                % (address, pc, self._fault_name(real_fault),
+                   self._fault_name(oracle_fault)))
+        if real_fault is not None:
+            raise real_fault
+
+
+class ReconfigPulser:
+    """State-neutral domain-0 transactions fired between instructions.
+
+    Every pulse commits back to the configuration it started from: gate
+    re-registration of the same triple, a deny/re-allow instruction
+    pair, a revoke/re-grant CSR read pair, or rewriting a bit mask to
+    its current value.  The point is the *commit windows* they open —
+    journalled trusted-memory stores for the commit-window fault kinds
+    to land in — plus the coherence sweeps they trigger (the surface
+    the ``drop_invalidate`` kind needs).
+
+    The kernel domain (where the user workload executes) is never the
+    toggle target: an aborted pulse may legitimately leave a deny
+    standing, and stranding the *workload's own* domain without its
+    basic classes would turn every campaign into a fault storm.
+    Stranding a module domain instead is survivable — the kernel's
+    fault handler skips, which is itself interesting campaign surface.
+    """
+
+    OPS = ("gate_rewrite", "inst_toggle", "csr_toggle", "mask_rewrite")
+
+    def __init__(self, manager, protected_domain: Optional[int], seed: int):
+        import random
+
+        self.manager = manager
+        self.protected = protected_domain
+        self.rng = random.Random(0x9C1 ^ seed)
+        self.pulses_run = 0
+
+    def _toggle_domains(self) -> List[int]:
+        return sorted(d for d in self.manager.domains
+                      if d != 0 and d != self.protected)
+
+    def pulse(self) -> None:
+        op = self.OPS[self.pulses_run % len(self.OPS)]
+        self.pulses_run += 1
+        getattr(self, "_" + op)()
+
+    def _gate_rewrite(self) -> None:
+        gates = sorted(self.manager.gates)
+        if not gates:
+            return
+        gate_id = gates[self.rng.randrange(len(gates))]
+        entry = self.manager.gates[gate_id]
+        self.manager.register_gate(
+            entry.gate_address, entry.destination_address,
+            entry.destination_domain, gate_id=gate_id)
+
+    def _inst_toggle(self) -> None:
+        for domain in self._pick_order():
+            classes = sorted(self.manager.domains[domain].instructions)
+            if not classes:
+                continue
+            name = classes[self.rng.randrange(len(classes))]
+            self.manager.deny_instruction(domain, name)
+            self.manager.allow_instructions(domain, (name,))
+            return
+
+    def _csr_toggle(self) -> None:
+        for domain in self._pick_order():
+            csrs = sorted(self.manager.domains[domain].readable_csrs)
+            if not csrs:
+                continue
+            name = csrs[self.rng.randrange(len(csrs))]
+            self.manager.revoke_register(domain, name, read=True)
+            self.manager.grant_register(domain, name, read=True)
+            return
+
+    def _mask_rewrite(self) -> None:
+        candidates = self._toggle_domains()
+        if self.protected is not None:
+            candidates.append(self.protected)  # masks are rewrite-safe
+        for domain in candidates:
+            grants = sorted(self.manager.domains[domain].bit_grants.items())
+            if not grants:
+                continue
+            name, mask = grants[self.rng.randrange(len(grants))]
+            self.manager.set_register_mask(domain, name, mask)
+            return
+
+    def _pick_order(self) -> List[int]:
+        domains = self._toggle_domains()
+        self.rng.shuffle(domains)
+        return domains
+
+
+@dataclass
+class MachineCampaignResult:
+    """Outcome of one machine-level fault campaign."""
+
+    campaign: int
+    backend: str
+    spec: FaultSpec
+    classification: str
+    instructions: int
+    cycles: float
+    fired: bool
+    detail: str
+    pulses_run: int = 0
+    divergence: Optional[str] = None
+    divergence_instruction: Optional[int] = None
+    detections: List[str] = field(default_factory=list)
+    rollbacks: int = 0
+    escaped_faults: int = 0
+    scrub_repairs: int = 0
+    degraded_entries: int = 0
+    #: DomainManager transactions (committed + rolled back) during the
+    #: run, and trusted-memory stores journalled inside them — the
+    #: surface the commit-window fault kinds aim at.
+    commit_windows: int = 0
+    journalled_stores: int = 0
+    workload_halted: bool = False
+    kernel_faults: int = 0
+    syscalls: int = 0
+    lockstep_checks: int = 0
+    extra_specs: List[FaultSpec] = field(default_factory=list)
+
+    @property
+    def widening(self) -> bool:
+        return self.spec.widening or any(s.widening for s in self.extra_specs)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "campaign": self.campaign,
+            "backend": self.backend,
+            "spec": self.spec.to_dict(),
+            "extra_specs": [s.to_dict() for s in self.extra_specs],
+            "classification": self.classification,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "fired": self.fired,
+            "detail": self.detail,
+            "pulses_run": self.pulses_run,
+            "divergence": self.divergence,
+            "divergence_instruction": self.divergence_instruction,
+            "detections": list(self.detections),
+            "rollbacks": self.rollbacks,
+            "escaped_faults": self.escaped_faults,
+            "scrub_repairs": self.scrub_repairs,
+            "degraded_entries": self.degraded_entries,
+            "commit_windows": self.commit_windows,
+            "journalled_stores": self.journalled_stores,
+            "workload_halted": self.workload_halted,
+            "kernel_faults": self.kernel_faults,
+            "syscalls": self.syscalls,
+            "lockstep_checks": self.lockstep_checks,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MachineCampaignResult":
+        data = dict(data)
+        data["spec"] = FaultSpec.from_dict(data["spec"])
+        data["extra_specs"] = [FaultSpec.from_dict(s)
+                               for s in data.get("extra_specs", [])]
+        return cls(**data)
+
+
+class _StopGate:
+    """Mutable stop thresholds the per-step hook reads."""
+
+    __slots__ = ("inst", "cycle")
+
+    def __init__(self):
+        self.inst = float("inf")
+        self.cycle = float("inf")
+
+
+def run_machine_campaign(
+    backend_name: str,
+    specs: Sequence[FaultSpec],
+    campaign: int = 0,
+    *,
+    pulse_seed: int = 0,
+    iterations: int = DEFAULT_MACHINE_ITERATIONS,
+    scrub_interval: Optional[int] = None,
+    pulse_interval: Optional[int] = None,
+) -> MachineCampaignResult:
+    """Run one faulted kernel workload in lockstep and classify it."""
+    if not specs:
+        raise ValueError("a machine campaign needs at least one FaultSpec")
+    geometry = machine_geometry(backend_name, iterations,
+                                scrub_interval, pulse_interval)
+    kernel = _build_kernel(backend_name)
+    world = MachineWorld(kernel, backend_name)
+    trusted_memory = world.trusted_memory
+    # Interpose the faulty backing after boot: the kernel's own domain
+    # configuration is never the fault target, the running campaign is.
+    backing = FaultyWordBacking(trusted_memory._backing,
+                                trusted_memory=trusted_memory)
+    trusted_memory._backing = backing
+    injectors = [FaultInjector(world, backing, s) for s in specs]
+    scrubber = IntegrityScrubber(world.pcu, world.manager)
+
+    pcu = world.pcu
+    registers = pcu.registers
+    frames = (registers.hcsl - registers.hcsb) // (2 * WORD_BYTES)
+    machine = kernel.system.machine
+    stats = machine.stats
+    oracle = OraclePcu(pcu.isa_map, pcu.hpt, pcu.sgt, trusted_memory,
+                       stack_frames=frames)
+    monitor = LockstepMonitor(pcu, oracle, stats)
+    monitor.install()
+    pulser = ReconfigPulser(world.manager,
+                            world.kernel.domains.get("kernel"),
+                            seed=pulse_seed)
+
+    pcu_stats = pcu.stats
+    base_commits = (world.manager.transactions_committed
+                    + world.manager.transactions_rolled_back)
+    base_journalled = trusted_memory.journalled_stores_total
+    base_faults = kernel.fault_count
+
+    detections: List[str] = []
+    escaped_faults = 0
+    rollbacks_before = pcu_stats.reconfig_rollbacks
+
+    def fault_owner() -> FaultInjector:
+        if backing.last_fired_owner is not None:
+            return backing.last_fired_owner
+        return next((i for i in injectors
+                     if i.spec.kind in ("store_fault", "commit_store_fault",
+                                        "commit_flip_journalled")),
+                    injectors[0])
+
+    def settle_injected_fault() -> None:
+        # Same contract as the abstract campaigns: a rollback is only
+        # credited when the DomainManager actually rolled one back.
+        nonlocal escaped_faults
+        if pcu_stats.reconfig_rollbacks > rollbacks_before:
+            fault_owner().note_rollback()
+        else:
+            fault_owner().note_escaped()
+            escaped_faults += 1
+
+    def note(report) -> None:
+        if report.memory_repairs:
+            detections.append("scrub repaired %d word(s)"
+                              % report.memory_repairs)
+        detections.extend(report.cache_detections)
+        detections.extend("UNREPAIRABLE: " + u for u in report.unrepairable)
+
+    def safe_scrub():
+        nonlocal rollbacks_before
+        rollbacks_before = pcu_stats.reconfig_rollbacks
+        try:
+            return scrubber.scrub()
+        except InjectedFault:
+            settle_injected_fault()
+            return scrubber.scrub()
+
+    # Trigger bookkeeping: event triggers key on the pulse index, the
+    # others fire at the first pause point past their threshold.
+    event_pending: Dict[int, List[FaultInjector]] = {}
+    inst_pending: List[Tuple[int, FaultInjector]] = []
+    cycle_pending: List[Tuple[int, FaultInjector]] = []
+    for injector in injectors:
+        spec = injector.spec
+        if spec.trigger_kind == "inst":
+            inst_pending.append((spec.trigger, injector))
+        elif spec.trigger_kind == "cycle":
+            cycle_pending.append((spec.trigger, injector))
+        else:
+            event_pending.setdefault(spec.trigger, []).append(injector)
+
+    kernel.load_user(_workload(backend_name, iterations))
+    kernel.cpu.pc = kernel.symbol("boot")
+    gate = _StopGate()
+
+    def hook(_info, stats=stats, gate=gate, monitor=monitor) -> bool:
+        return (stats.instructions >= gate.inst
+                or stats.cycles >= gate.cycle
+                or monitor.divergence is not None)
+
+    machine.step_hook = hook
+
+    next_pulse = geometry.pulse_interval
+    next_scrub = geometry.scrub_interval
+    pulse_index = 0
+    halted_by_scrub = False
+    budget = geometry.budget
+    while True:
+        gate.inst = min([next_pulse, next_scrub, budget]
+                        + [t for t, _ in inst_pending])
+        gate.cycle = min((t for t, _ in cycle_pending), default=float("inf"))
+        rollbacks_before = pcu_stats.reconfig_rollbacks
+        try:
+            machine.run(max_steps=max(1, budget - stats.instructions),
+                        require_halt=False)
+        except InjectedFault:
+            # The faulted instruction never retired; the fault is
+            # one-shot, so resuming retries it cleanly on both sides.
+            settle_injected_fault()
+            continue
+        if stats.halted or monitor.divergence is not None:
+            break
+        if stats.instructions >= budget:
+            detections.append(
+                "WATCHDOG: no halt after %d instructions (budget %dx nominal)"
+                % (stats.instructions, 4))
+            halted_by_scrub = True
+            break
+        for threshold, injector in list(inst_pending):
+            if stats.instructions >= threshold:
+                injector.fire()
+                inst_pending.remove((threshold, injector))
+        for threshold, injector in list(cycle_pending):
+            if stats.cycles >= threshold:
+                injector.fire()
+                cycle_pending.remove((threshold, injector))
+        if stats.instructions >= next_pulse:
+            for injector in event_pending.pop(pulse_index, ()):
+                injector.fire()
+            rollbacks_before = pcu_stats.reconfig_rollbacks
+            try:
+                pulser.pulse()
+            except InjectedFault:
+                settle_injected_fault()
+            pulse_index += 1
+            next_pulse += geometry.pulse_interval
+        if stats.instructions >= next_scrub:
+            report = safe_scrub()
+            note(report)
+            next_scrub += geometry.scrub_interval
+            if report.unrepairable:
+                halted_by_scrub = True
+                break
+
+    machine.step_hook = None
+    audit = safe_scrub()
+    note(audit)
+    if audit.unrepairable:
+        halted_by_scrub = True
+
+    rollbacks = sum(i.rollbacks_seen for i in injectors)
+    detected = bool(detections) or rollbacks > 0
+    if monitor.divergence is not None:
+        classification = "detected_halted" if detected else "silent_divergence"
+    elif halted_by_scrub:
+        classification = "detected_halted"
+    elif detected:
+        classification = ("detected_recovered"
+                          if audit.clean or scrubber.verify_repaired(audit)
+                          else "detected_halted")
+    else:
+        classification = "benign"
+
+    return MachineCampaignResult(
+        campaign=campaign,
+        backend=backend_name,
+        spec=specs[0],
+        classification=classification,
+        instructions=stats.instructions,
+        cycles=round(stats.cycles, 3),
+        fired=any(i.fired for i in injectors),
+        detail="; ".join(i.detail for i in injectors),
+        pulses_run=pulser.pulses_run,
+        divergence=monitor.divergence,
+        divergence_instruction=monitor.divergence_instruction,
+        detections=detections,
+        rollbacks=rollbacks,
+        escaped_faults=escaped_faults,
+        scrub_repairs=pcu_stats.scrub_repairs,
+        degraded_entries=pcu_stats.degraded_entries,
+        commit_windows=(world.manager.transactions_committed
+                        + world.manager.transactions_rolled_back
+                        - base_commits),
+        journalled_stores=(trusted_memory.journalled_stores_total
+                           - base_journalled),
+        workload_halted=stats.halted,
+        kernel_faults=kernel.fault_count - base_faults,
+        syscalls=kernel.syscall_count,
+        lockstep_checks=monitor.checks,
+        extra_specs=list(specs[1:]),
+    )
+
+
+def run_planned_machine_campaign(
+    backend_name: str,
+    seed: int,
+    campaign: int,
+    *,
+    iterations: int = DEFAULT_MACHINE_ITERATIONS,
+    faults_per_campaign: int = 1,
+    scrub_interval: Optional[int] = None,
+    pulse_interval: Optional[int] = None,
+) -> MachineCampaignResult:
+    """Draw campaign ``campaign``'s specs from the plan and run it.
+
+    This is the unit both the serial driver and the orchestrator
+    workers call: specs come from :meth:`FaultPlan.draw_machine_specs`
+    (a per-campaign RNG, so workers need not replay earlier campaigns)
+    and every derived parameter is a pure function of the arguments —
+    the foundation of the ``--jobs N`` byte-identity contract.
+    """
+    geometry = machine_geometry(backend_name, iterations,
+                                scrub_interval, pulse_interval)
+    specs = FaultPlan(seed).draw_machine_specs(
+        campaign, geometry.n_steps, geometry.n_pulses, faults_per_campaign)
+    return run_machine_campaign(
+        backend_name, specs, campaign,
+        pulse_seed=seed * 1_000_003 + campaign,
+        iterations=iterations,
+        scrub_interval=scrub_interval,
+        pulse_interval=pulse_interval,
+    )
+
+
+@dataclass
+class MachineCampaignMatrix:
+    """All machine campaigns of one backend."""
+
+    backend: str
+    seed: int
+    iterations: int
+    results: List[MachineCampaignResult]
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        counter = Counter(r.classification for r in self.results)
+        return {name: counter.get(name, 0) for name in CLASSIFICATIONS}
+
+    @property
+    def widening_silent(self) -> List[MachineCampaignResult]:
+        return [r for r in self.results
+                if r.classification == "silent_divergence" and r.widening]
+
+    @property
+    def rollbacks(self) -> int:
+        return sum(r.rollbacks for r in self.results)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "backend": self.backend,
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "campaigns": len(self.results),
+            "classification_counts": self.counts,
+            "widening_silent_divergences": len(self.widening_silent),
+            "reconfig_rollbacks": self.rollbacks,
+            "results": [r.to_dict() for r in self.results],
+        }
+
+
+def run_machine_campaigns(
+    backend_name: str,
+    seed: int,
+    n_campaigns: int,
+    *,
+    iterations: int = DEFAULT_MACHINE_ITERATIONS,
+    faults_per_campaign: int = 1,
+    scrub_interval: Optional[int] = None,
+    pulse_interval: Optional[int] = None,
+) -> MachineCampaignMatrix:
+    """K machine campaigns on one backend, serially."""
+    results = [
+        run_planned_machine_campaign(
+            backend_name, seed, campaign,
+            iterations=iterations,
+            faults_per_campaign=faults_per_campaign,
+            scrub_interval=scrub_interval,
+            pulse_interval=pulse_interval,
+        )
+        for campaign in range(n_campaigns)
+    ]
+    return MachineCampaignMatrix(backend_name, seed, iterations, results)
+
+
+def write_machine_report(matrices: List[MachineCampaignMatrix],
+                         path: str) -> Dict[str, object]:
+    """Aggregate machine matrices into one JSON report."""
+    totals: "Counter[str]" = Counter()
+    widening_silent = 0
+    rollbacks = 0
+    for matrix in matrices:
+        totals.update(matrix.counts)
+        widening_silent += len(matrix.widening_silent)
+        rollbacks += matrix.rollbacks
+    payload = {
+        "format": "isagrid-machine-fault-campaign-v1",
+        "classification_counts": {name: totals.get(name, 0)
+                                  for name in CLASSIFICATIONS},
+        "widening_silent_divergences": widening_silent,
+        "reconfig_rollbacks": rollbacks,
+        "matrices": [matrix.to_dict() for matrix in matrices],
+    }
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    return payload

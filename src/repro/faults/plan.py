@@ -37,6 +37,24 @@ FAULT_KINDS = (
     "store_fault",      # fail the next trusted-memory store mid-reconfig
 )
 
+#: Machine-level campaigns add two commit-window kinds on top: both arm
+#: the word backing to fail the Nth journalled store inside a
+#: ``DomainManager`` transaction (``resource`` is N, 1-based), directly
+#: exercising ``abort_transaction``'s newest-first replay; the ``flip``
+#: variant additionally mutates a bit *under* an already-journalled word
+#: first, so the replay also repairs a raw hardware flip.
+MACHINE_FAULT_KINDS = FAULT_KINDS + (
+    "commit_store_fault",     # fail the Nth journalled store in a window
+    "commit_flip_journalled",  # same, plus a bit flip the replay repairs
+)
+
+#: When a machine-level fault fires: at a reconfiguration-pulse index
+#: (``event``, mirroring the abstract campaigns), at a retired-
+#: instruction count (``inst``), or at a simulated-cycle count
+#: (``cycle``).  Commit-window kinds use their trigger as the *arming*
+#: point; the fault itself fires on the Nth journalled store after that.
+TRIGGER_KINDS = ("event", "inst", "cycle")
+
 #: Cache modules a cache_* fault can target.
 CACHE_MODULES = ("inst", "reg", "mask", "sgt")
 
@@ -46,7 +64,7 @@ CACHE_MODULES = ("inst", "reg", "mask", "sgt")
 #: withhold privilege (gates, return frames, coherence, atomicity).
 _ALWAYS_WIDENING = {
     "sgt_word", "stack_word", "cache_stale_pin", "drop_invalidate",
-    "store_fault",
+    "store_fault", "commit_store_fault", "commit_flip_journalled",
 }
 
 
@@ -61,6 +79,11 @@ class FaultSpec:
     bit: int = 0          # raw bit index for word-granular kinds
     bit_op: str = "set"   # "set" (widening direction), "clear", or "flip"
     module: str = "inst"  # cache module for cache_* kinds
+    #: What ``trigger`` counts: conformance/pulse event index ("event"),
+    #: retired instructions ("inst") or simulated cycles ("cycle").  The
+    #: abstract campaigns only ever use the default, which keeps their
+    #: serialized specs and report bytes unchanged.
+    trigger_kind: str = "event"
 
     @property
     def widening(self) -> bool:
@@ -118,6 +141,69 @@ class FaultPlan:
             specs.append(self._draw_one(kind, n_events))
         return specs
 
+    def draw_machine_specs(self, campaign: int, n_steps: int,
+                           n_pulses: int, count: int = 1) -> List[FaultSpec]:
+        """Specs for one *machine-level* campaign (see ``faults.machine``).
+
+        Machine campaigns draw from a private per-campaign RNG derived
+        from ``(seed, campaign)`` rather than the plan's shared stream:
+        existing abstract-campaign seeds stay byte-identical no matter
+        how many machine campaigns run, and an orchestrator worker can
+        draw campaign ``k`` without replaying campaigns ``0..k-1``.
+
+        ``n_steps`` bounds instruction/cycle triggers, ``n_pulses`` the
+        reconfiguration-pulse indices event triggers land on.  Kinds
+        cycle through :data:`MACHINE_FAULT_KINDS`; ``count > 1`` offset-
+        cycles the extra kinds exactly like :meth:`draw_specs`.
+        """
+        rng = random.Random((0xFA017 ^ self.seed) * 0x9E3779B1 + campaign)
+        n_kinds = len(MACHINE_FAULT_KINDS)
+        kinds = [MACHINE_FAULT_KINDS[campaign % n_kinds]]
+        for extra in range(1, count):
+            kinds.append(MACHINE_FAULT_KINDS[
+                (campaign + campaign // n_kinds + extra) % n_kinds])
+        return [self._draw_machine_one(rng, kind, n_steps, n_pulses)
+                for kind in kinds]
+
+    def _draw_machine_one(self, rng: random.Random, kind: str,
+                          n_steps: int, n_pulses: int) -> FaultSpec:
+        lo = max(1, n_steps // 4)
+        hi = max(lo + 1, (3 * n_steps) // 4)
+        if kind in ("commit_store_fault", "commit_flip_journalled"):
+            # Arm at an instruction count; the fault itself fires on the
+            # Nth journalled store of a later commit window.
+            trigger_kind = "inst"
+            trigger = rng.randrange(lo, hi)
+        else:
+            trigger_kind = rng.choice(TRIGGER_KINDS)
+            if trigger_kind == "event":
+                trigger = rng.randrange(max(1, n_pulses))
+            elif trigger_kind == "inst":
+                trigger = rng.randrange(lo, hi)
+            else:
+                # CPI straddles 1.0 across the backends (~1.7 RISC-V,
+                # ~0.9 x86), so the instruction-count window is reused
+                # unscaled: early-body on a slow machine, late-body on a
+                # fast one, inside the run either way.
+                trigger = rng.randrange(lo, hi)
+        bit_op = rng.choice(("set", "set", "clear", "flip"))
+        if kind == "commit_flip_journalled":
+            # The under-journal mutation must change the word, or there
+            # is nothing for the rollback replay to repair.
+            bit_op = "flip"
+        resource = (rng.randrange(1, 5) if kind.startswith("commit_")
+                    else self._resource_from(rng, kind))
+        return FaultSpec(
+            kind=kind,
+            trigger=trigger,
+            domain_slot=rng.randrange(1, N_DOMAIN_SLOTS + 1),
+            resource=resource,
+            bit=rng.randrange(64),
+            bit_op=bit_op,
+            module=rng.choice(CACHE_MODULES),
+            trigger_kind=trigger_kind,
+        )
+
     def _draw_one(self, kind: str, n_events: int) -> FaultSpec:
         rng = self.rng
         # Fire somewhere in the fuzz body, past the setup prologue, with
@@ -137,7 +223,10 @@ class FaultPlan:
         )
 
     def _resource(self, kind: str) -> int:
-        rng = self.rng
+        return self._resource_from(self.rng, kind)
+
+    @staticmethod
+    def _resource_from(rng: random.Random, kind: str) -> int:
         if kind in ("hpt_inst_bit", "bypass_corrupt"):
             return rng.randrange(N_INST_SLOTS)
         if kind == "hpt_reg_bit":

@@ -31,9 +31,11 @@ CLI: ``python -m repro faults --jobs 4`` /
 
 from .api import (
     merge_fault_results,
+    merge_machine_fault_results,
     orchestrate_bench,
     orchestrate_conformance,
     orchestrate_faults,
+    orchestrate_machine_faults,
 )
 from .checkpoint import (
     RunJournal,
@@ -49,6 +51,7 @@ from .shards import (
     plan_bench_shards,
     plan_conformance_shards,
     plan_fault_shards,
+    plan_machine_fault_shards,
 )
 from .supervisor import (
     DEFAULT_MAX_RETRIES,
@@ -71,12 +74,15 @@ __all__ = [
     "execute_shard",
     "latest_run_dir",
     "merge_fault_results",
+    "merge_machine_fault_results",
     "orchestrate_bench",
     "orchestrate_conformance",
     "orchestrate_faults",
+    "orchestrate_machine_faults",
     "plan_bench_shards",
     "plan_conformance_shards",
     "plan_fault_shards",
+    "plan_machine_fault_shards",
     "render_metrics",
     "worker_entry",
 ]

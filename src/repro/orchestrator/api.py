@@ -123,6 +123,77 @@ def merge_fault_results(
     return matrices
 
 
+def orchestrate_machine_faults(
+    backends: Sequence[str],
+    seed: int,
+    n_campaigns: int,
+    *,
+    jobs: int,
+    iterations: Optional[int] = None,
+    faults_per_campaign: int = 1,
+    scrub_interval: Optional[int] = None,
+    pulse_interval: Optional[int] = None,
+    profile: bool = False,
+    run_dir: Optional[str] = None,
+    resume: bool = False,
+    shard_timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    on_shard_done: Optional[Callable[[ShardResult], None]] = None,
+    sabotage: Optional[Dict[str, Dict[str, object]]] = None,
+):
+    """Run the machine-level fault matrix sharded.
+
+    Returns ``(matrices, run, run_dir)`` where ``matrices`` is the same
+    list of :class:`~repro.faults.machine.MachineCampaignMatrix` a
+    serial ``run_machine_campaigns`` loop over ``backends`` yields —
+    byte-identical, since every campaign derives from a per-campaign RNG
+    and a pure-function geometry.
+    """
+    from repro.faults.machine import DEFAULT_MACHINE_ITERATIONS
+
+    from .shards import plan_machine_fault_shards
+
+    if iterations is None:
+        iterations = DEFAULT_MACHINE_ITERATIONS
+    plan = plan_machine_fault_shards(
+        backends, seed, n_campaigns, iterations,
+        faults_per_campaign=faults_per_campaign,
+        scrub_interval=scrub_interval, pulse_interval=pulse_interval,
+        profile=profile)
+    run, run_dir = _drive(plan, jobs, run_dir, resume, shard_timeout,
+                          max_retries, on_shard_done, sabotage)
+    return merge_machine_fault_results(backends, seed, iterations, run), \
+        run, run_dir
+
+
+def merge_machine_fault_results(
+    backends: Sequence[str],
+    seed: int,
+    iterations: int,
+    run: SupervisedRun,
+) -> List["MachineCampaignMatrix"]:
+    """Reassemble machine shard payloads in canonical campaign order."""
+    from repro.faults.machine import (
+        MachineCampaignMatrix,
+        MachineCampaignResult,
+    )
+
+    by_backend: Dict[str, List[Dict[str, object]]] = {}
+    for result in run.results:
+        payload = result.payload
+        by_backend.setdefault(payload["backend"], []).append(payload)
+    matrices: List[MachineCampaignMatrix] = []
+    for backend in backends:
+        payloads = sorted(by_backend.get(backend, []),
+                          key=lambda p: p["campaign_lo"])
+        results = [MachineCampaignResult.from_dict(entry)
+                   for payload in payloads
+                   for entry in payload["results"]]
+        matrices.append(MachineCampaignMatrix(backend, seed, iterations,
+                                              results))
+    return matrices
+
+
 def orchestrate_conformance(
     backends: Sequence[str],
     configs: Sequence[str],

@@ -206,6 +206,64 @@ def plan_fault_shards(
     return ShardPlan(kind="faults", params=plan_params, shards=shards)
 
 
+def plan_machine_fault_shards(
+    backends: Sequence[str],
+    seed: int,
+    n_campaigns: int,
+    iterations: int,
+    faults_per_campaign: int = 1,
+    scrub_interval: Optional[int] = None,
+    pulse_interval: Optional[int] = None,
+    profile: bool = False,
+) -> ShardPlan:
+    """Chunk the machine-level (backend x campaign) matrix into shards.
+
+    Machine campaigns draw their fault specs from a per-campaign RNG
+    (see :meth:`repro.faults.plan.FaultPlan.draw_machine_specs`), so a
+    worker executes exactly its ``[lo, hi)`` range — no replay of
+    earlier campaigns is needed for stream identity.  The shard weight
+    is the geometry's estimated instruction count, making the metrics'
+    events/sec a simulated-instructions rate.
+    """
+    from repro.faults.machine import machine_geometry
+
+    chunk = _fault_chunk(n_campaigns)
+    shards: List[ShardSpec] = []
+    for backend in backends:
+        n_steps = machine_geometry(backend, iterations,
+                                   scrub_interval, pulse_interval).n_steps
+        for lo in range(0, n_campaigns, chunk):
+            hi = min(lo + chunk, n_campaigns)
+            params = {
+                "backend": backend,
+                "seed": seed,
+                "n_campaigns": n_campaigns,
+                "campaign_lo": lo,
+                "campaign_hi": hi,
+                "iterations": iterations,
+                "faults_per_campaign": faults_per_campaign,
+                "scrub_interval": scrub_interval,
+                "pulse_interval": pulse_interval,
+            }
+            if profile:
+                params["profile"] = True
+            shards.append(ShardSpec(
+                shard_id="mfaults-%s-c%04d-c%04d" % (backend, lo, hi),
+                kind="machine_faults",
+                params=params,
+                weight=(hi - lo) * n_steps,
+            ))
+    plan_params = {
+        "backends": list(backends), "seed": seed,
+        "n_campaigns": n_campaigns, "iterations": iterations,
+        "faults_per_campaign": faults_per_campaign,
+        "scrub_interval": scrub_interval, "pulse_interval": pulse_interval,
+    }
+    if profile:
+        plan_params["profile"] = True
+    return ShardPlan(kind="machine_faults", params=plan_params, shards=shards)
+
+
 def plan_conformance_shards(
     backends: Sequence[str],
     configs: Sequence[str],

@@ -26,6 +26,7 @@ from __future__ import annotations
 import json
 import os
 import signal
+import sys
 import time
 from typing import Dict, List
 
@@ -40,8 +41,10 @@ def _max_rss_kb() -> int:
     if resource is None:  # pragma: no cover - non-posix fallback
         return 0
     usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    # Linux reports KiB; macOS reports bytes.
-    return usage // 1024 if usage > 1 << 30 else usage
+    # ru_maxrss is KiB on Linux but bytes on macOS — keyed on the
+    # platform, not the magnitude (a Darwin worker peaking under 1 GiB
+    # must not be reported 1024x too large).
+    return usage // 1024 if sys.platform == "darwin" else usage
 
 
 def _apply_sabotage(sabotage, attempt: int) -> None:
@@ -99,6 +102,43 @@ def run_fault_shard(params: Dict[str, object]) -> Dict[str, object]:
     }
 
 
+def run_machine_fault_shard(params: Dict[str, object]) -> Dict[str, object]:
+    """Execute the machine-level campaign range ``[campaign_lo, campaign_hi)``.
+
+    Unlike :func:`run_fault_shard` there is nothing to replay: machine
+    campaigns use a per-campaign RNG, so drawing campaign ``k`` in a
+    worker is byte-identical to drawing it in a serial loop.
+    ``events_run`` reports simulated instructions (the machine-level
+    analogue of replayed events).
+    """
+    from repro.faults.machine import run_planned_machine_campaign
+
+    lo, hi = int(params["campaign_lo"]), int(params["campaign_hi"])
+    scrub_interval = params.get("scrub_interval")
+    pulse_interval = params.get("pulse_interval")
+    results: List[Dict[str, object]] = []
+    events_run = 0
+    for campaign in range(lo, hi):
+        result = run_planned_machine_campaign(
+            params["backend"], int(params["seed"]), campaign,
+            iterations=int(params["iterations"]),
+            faults_per_campaign=int(params.get("faults_per_campaign", 1)),
+            scrub_interval=(None if scrub_interval is None
+                            else int(scrub_interval)),
+            pulse_interval=(None if pulse_interval is None
+                            else int(pulse_interval)),
+        )
+        results.append(result.to_dict())
+        events_run += result.instructions
+    return {
+        "backend": params["backend"],
+        "campaign_lo": lo,
+        "campaign_hi": hi,
+        "results": results,
+        "events_run": events_run,
+    }
+
+
 def run_conformance_shard(params: Dict[str, object]) -> Dict[str, object]:
     """Fuzz one (backend, config) pair; mirror of the serial CLI path."""
     from repro.conformance.runner import fuzz_backend
@@ -127,6 +167,7 @@ def run_bench_shard(params: Dict[str, object]) -> Dict[str, object]:
 
 _SHARD_RUNNERS = {
     "faults": run_fault_shard,
+    "machine_faults": run_machine_fault_shard,
     "conformance": run_conformance_shard,
     "bench": run_bench_shard,
 }

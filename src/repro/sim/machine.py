@@ -10,7 +10,7 @@ and accumulates instruction and cycle counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Protocol
+from typing import Callable, Optional, Protocol
 
 from repro.core.pcu import PrivilegeCheckUnit
 
@@ -67,6 +67,13 @@ class Machine:
         self.pcu = pcu
         self.cpu: Optional[Core] = None
         self.stats = MachineStats()
+        #: Optional per-step observation hook (fault campaigns, probes):
+        #: called after every retired instruction with its StepInfo; a
+        #: truthy return stops ``run`` early (stats stay consistent).
+        #: ``None`` (the default) keeps the hoisted hot loop untouched —
+        #: the hook branch is selected once per ``run`` call, so a
+        #: hook-free run pays nothing per instruction.
+        self.step_hook: Optional[Callable[[StepInfo], bool]] = None
 
     def attach_cpu(self, cpu: Core) -> None:
         self.cpu = cpu
@@ -113,11 +120,15 @@ class Machine:
         cpu = self.cpu
         if cpu is None:
             raise RuntimeError("no CPU attached")
+        hook = self.step_hook
         if "step" in self.__dict__:
             # Something (the Tracer) wrapped ``step`` on this instance;
             # honour the wrapper instead of the inlined loop.
             for _ in range(max_steps):
-                if self.step().halted:
+                info = self.step()
+                if info.halted:
+                    return self.stats
+                if hook is not None and hook(info):
                     return self.stats
             if require_halt:
                 raise SimulationLimitExceeded(
@@ -130,15 +141,31 @@ class Machine:
         stats = self.stats
         traps = 0
         try:
-            for _ in range(max_steps):
-                info = cpu_step()
-                stats.instructions += 1
-                stats.cycles += instruction_cycles(info)
-                if info.trapped:
-                    traps += 1
-                if info.halted:
-                    stats.halted = True
-                    return stats
+            if hook is None:
+                for _ in range(max_steps):
+                    info = cpu_step()
+                    stats.instructions += 1
+                    stats.cycles += instruction_cycles(info)
+                    if info.trapped:
+                        traps += 1
+                    if info.halted:
+                        stats.halted = True
+                        return stats
+            else:
+                # Same loop with the hook call appended.  Kept as a
+                # separate branch so the hook-free hot path stays free
+                # of the extra call and None test per instruction.
+                for _ in range(max_steps):
+                    info = cpu_step()
+                    stats.instructions += 1
+                    stats.cycles += instruction_cycles(info)
+                    if info.trapped:
+                        traps += 1
+                    if info.halted:
+                        stats.halted = True
+                        return stats
+                    if hook(info):
+                        return stats
         finally:
             stats.traps += traps
         if require_halt:

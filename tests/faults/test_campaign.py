@@ -8,6 +8,7 @@ from repro.faults import (
     CLASSIFICATIONS,
     FAULT_KINDS,
     FaultPlan,
+    FaultSpec,
     run_campaign,
     run_campaigns,
     write_report,
@@ -42,6 +43,31 @@ class TestSingleCampaign:
             assert result.classification in CLASSIFICATIONS
             assert result.events_run > 0
 
+    def test_escaped_store_fault_is_not_a_recovery(self):
+        # Regression: this fault fires on a non-transactional store (a
+        # gate-event trusted-stack push) — nothing rolls back, so the
+        # classifier must NOT credit a phantom rollback and upgrade the
+        # run to detected_recovered.
+        spec = FaultSpec(kind="store_fault", trigger=40)
+        result = run_campaign("riscv", spec, stream_seed=0, n_events=200)
+        assert result.escaped_faults == 1
+        assert result.rollbacks == 0
+        assert result.classification == "benign"
+        assert "fired outside any transaction" in result.detail
+
+    def test_dual_fault_rollback_attributed_to_firing_injector(self):
+        # Regression: with two store-fault specs armed, the rollback
+        # belongs to the injector whose fault actually fired — not to
+        # whichever store-ish spec happens to come first in the list.
+        primary = FaultSpec(kind="store_fault", trigger=10_000)  # never arms
+        extra = FaultSpec(kind="store_fault", trigger=5)
+        result = run_campaign("riscv", primary, stream_seed=0, n_events=200,
+                              extra_specs=[extra])
+        assert result.rollbacks == 1
+        first_detail, _, rest = result.detail.partition("; ")
+        assert first_detail == "not triggered"
+        assert "rolled back" in rest
+
     def test_result_roundtrips_to_dict(self):
         spec = FaultPlan(1).draw(0, 200)
         result = run_campaign("riscv", spec, stream_seed=1, n_events=200)
@@ -49,6 +75,36 @@ class TestSingleCampaign:
         assert data["classification"] == result.classification
         assert data["spec"]["kind"] == spec.kind
         json.dumps(data)  # JSON-serializable
+
+
+class TestFastSlowIdentity:
+    """Cache-layer campaigns must classify identically with the PCU's
+    compiled verdict plan disabled — the fast path is an optimisation,
+    never a behaviour change, even under injected cache corruption."""
+
+    KINDS = ("cache_corrupt", "cache_stale_pin", "bypass_corrupt")
+
+    def test_cache_fault_campaigns_identical_without_fast_path(self):
+        import dataclasses
+
+        from repro.conformance.runner import CONFORMANCE_CONFIGS
+
+        CONFORMANCE_CONFIGS["_slow_test"] = dataclasses.replace(
+            CONFORMANCE_CONFIGS["draco"], fast_path=False)
+        try:
+            for kind in self.KINDS:
+                campaign = FAULT_KINDS.index(kind)
+                fast = run_campaign(
+                    "riscv", FaultPlan(3).draw(campaign, 200),
+                    stream_seed=campaign, n_events=200,
+                    config="draco", campaign=campaign)
+                slow = run_campaign(
+                    "riscv", FaultPlan(3).draw(campaign, 200),
+                    stream_seed=campaign, n_events=200,
+                    config="_slow_test", campaign=campaign)
+                assert fast.to_dict() == slow.to_dict(), kind
+        finally:
+            del CONFORMANCE_CONFIGS["_slow_test"]
 
 
 class TestCampaignMatrix:

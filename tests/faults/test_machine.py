@@ -1,0 +1,150 @@
+"""Machine-level fault campaigns: lockstep, commit windows, determinism.
+
+Everything here runs with tiny workloads (``iterations=2``/``3``) so the
+full file stays a few seconds; geometry and triggers scale with the
+workload, so small runs exercise the same machinery as the shipped
+report.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    CLASSIFICATIONS,
+    MACHINE_FAULT_KINDS,
+    FaultPlan,
+    machine_geometry,
+    run_machine_campaigns,
+    run_planned_machine_campaign,
+    write_machine_report,
+)
+
+COMMIT_STORE = MACHINE_FAULT_KINDS.index("commit_store_fault")
+COMMIT_FLIP = MACHINE_FAULT_KINDS.index("commit_flip_journalled")
+
+
+class TestGeometry:
+    def test_geometry_is_a_pure_function(self):
+        a = machine_geometry("riscv", 3)
+        b = machine_geometry("riscv", 3)
+        assert a == b
+
+    def test_geometry_scales_with_iterations(self):
+        small = machine_geometry("riscv", 2)
+        large = machine_geometry("riscv", 8)
+        assert large.n_steps > small.n_steps
+        assert large.budget > large.n_steps  # watchdog headroom
+
+    def test_explicit_intervals_override_derived(self):
+        g = machine_geometry("x86", 3, scrub_interval=999,
+                             pulse_interval=400)
+        assert g.scrub_interval == 999
+        assert g.pulse_interval == 400
+
+
+class TestSingleCampaign:
+    def test_campaigns_are_deterministic(self):
+        a = run_planned_machine_campaign("riscv", 7, 3, iterations=2)
+        b = run_planned_machine_campaign("riscv", 7, 3, iterations=2)
+        assert a.to_dict() == b.to_dict()
+
+    @pytest.mark.parametrize("backend", ["riscv", "x86"])
+    def test_commit_store_fault_rolls_back(self, backend):
+        result = run_planned_machine_campaign(backend, 7, COMMIT_STORE,
+                                              iterations=3)
+        assert result.spec.kind == "commit_store_fault"
+        assert result.fired
+        assert result.rollbacks >= 1
+        assert result.classification == "detected_recovered"
+        assert "commit-window store fault" in result.detail
+        assert result.commit_windows > 0
+
+    @pytest.mark.parametrize("backend", ["riscv", "x86"])
+    def test_commit_flip_is_repaired_by_rollback_replay(self, backend):
+        result = run_planned_machine_campaign(backend, 7, COMMIT_FLIP,
+                                              iterations=3)
+        assert result.spec.kind == "commit_flip_journalled"
+        assert result.rollbacks >= 1
+        # The bit was flipped under an already-journalled word; the
+        # newest-first replay must have overwritten it, so the run ends
+        # recovered with a clean audit — not halted on raw corruption.
+        assert "flipped under journalled word" in result.detail
+        assert result.classification == "detected_recovered"
+
+    def test_lockstep_oracle_is_actually_consulted(self):
+        result = run_planned_machine_campaign("riscv", 7, 0, iterations=2)
+        assert result.lockstep_checks > 0
+        assert result.workload_halted
+
+    def test_result_roundtrips_to_dict(self):
+        result = run_planned_machine_campaign("x86", 7, 1, iterations=2)
+        data = result.to_dict()
+        json.dumps(data)
+        assert data["classification"] == result.classification
+        assert data["spec"]["kind"] == result.spec.kind
+        from repro.faults import MachineCampaignResult
+        assert MachineCampaignResult.from_dict(data).to_dict() == data
+
+
+class TestMachineMatrix:
+    @pytest.fixture(scope="class", params=["riscv", "x86"])
+    def matrix(self, request):
+        # one full cycle of machine fault kinds per backend
+        return run_machine_campaigns(request.param, seed=7,
+                                     n_campaigns=len(MACHINE_FAULT_KINDS),
+                                     iterations=2)
+
+    def test_no_widening_silent_divergence(self, matrix):
+        assert matrix.widening_silent == []
+
+    def test_full_kind_cycle_covered(self, matrix):
+        assert ({r.spec.kind for r in matrix.results}
+                == set(MACHINE_FAULT_KINDS))
+
+    def test_classifications_valid_and_recovery_exercised(self, matrix):
+        for result in matrix.results:
+            assert result.classification in CLASSIFICATIONS
+        assert matrix.rollbacks >= 1
+        assert matrix.counts["detected_recovered"] > 0
+
+    def test_reconfig_pulses_ran(self, matrix):
+        assert all(r.pulses_run > 0 for r in matrix.results)
+
+    def test_report_written_with_rollback_count(self, matrix, tmp_path):
+        path = str(tmp_path / "machine_report.json")
+        payload = write_machine_report([matrix], path)
+        with open(path) as handle:
+            on_disk = json.load(handle)
+        assert on_disk["format"] == "isagrid-machine-fault-campaign-v1"
+        assert on_disk["reconfig_rollbacks"] == matrix.rollbacks >= 1
+        assert payload["widening_silent_divergences"] == 0
+
+
+class TestOrchestration:
+    def test_jobs_identical_to_serial(self, tmp_path):
+        from repro.orchestrator import orchestrate_machine_faults
+
+        serial = [run_machine_campaigns(backend, seed=7, n_campaigns=4,
+                                        iterations=2)
+                  for backend in ("riscv", "x86")]
+        sharded, run, _ = orchestrate_machine_faults(
+            ("riscv", "x86"), 7, 4, jobs=2, iterations=2,
+            run_dir=str(tmp_path / "run"))
+        assert run.quarantined == []
+        assert [m.to_dict() for m in sharded] == \
+            [m.to_dict() for m in serial]
+
+    def test_machine_plan_draws_are_campaign_local(self):
+        # A worker must be able to draw campaign k without replaying
+        # campaigns 0..k-1 — and the abstract plan stream must be
+        # untouched by machine draws.
+        plan = FaultPlan(7)
+        geometry = machine_geometry("riscv", 2)
+        direct = plan.draw_machine_specs(5, geometry.n_steps,
+                                         geometry.n_pulses)
+        abstract_after = plan.draw(0, 300)
+        fresh = FaultPlan(7)
+        assert fresh.draw_machine_specs(5, geometry.n_steps,
+                                        geometry.n_pulses) == direct
+        assert fresh.draw(0, 300) == abstract_after

@@ -1,0 +1,41 @@
+"""Worker-side unit behaviour (the bits not covered by supervisor runs)."""
+
+import sys
+import types
+
+from repro.orchestrator import worker
+
+
+class TestMaxRssKb:
+    """ru_maxrss is KiB on Linux but bytes on macOS; the platform — not
+    the magnitude — must pick the conversion."""
+
+    def _fake_resource(self, ru_maxrss):
+        fake = types.SimpleNamespace(
+            RUSAGE_SELF=0,
+            getrusage=lambda who: types.SimpleNamespace(ru_maxrss=ru_maxrss),
+        )
+        return fake
+
+    def test_linux_reports_kib_unchanged(self, monkeypatch):
+        monkeypatch.setattr(worker, "resource", self._fake_resource(2048))
+        monkeypatch.setattr(sys, "platform", "linux")
+        assert worker._max_rss_kb() == 2048
+
+    def test_darwin_converts_bytes_to_kib(self, monkeypatch):
+        monkeypatch.setattr(worker, "resource",
+                            self._fake_resource(2048 * 1024))
+        monkeypatch.setattr(sys, "platform", "darwin")
+        assert worker._max_rss_kb() == 2048
+
+    def test_darwin_small_peak_not_misread_as_kib(self, monkeypatch):
+        # The old magnitude heuristic left sub-GiB Darwin peaks (byte
+        # counts that "look like" KiB) unconverted — 1024x too large.
+        monkeypatch.setattr(worker, "resource",
+                            self._fake_resource(300 * 1024 * 1024))
+        monkeypatch.setattr(sys, "platform", "darwin")
+        assert worker._max_rss_kb() == 300 * 1024
+
+    def test_missing_resource_module_degrades_to_zero(self, monkeypatch):
+        monkeypatch.setattr(worker, "resource", None)
+        assert worker._max_rss_kb() == 0

@@ -93,3 +93,39 @@ class TestRunLoop:
     def test_check_data_access_without_pcu_is_noop(self):
         machine = make_machine()
         machine.check_data_access(0x1234)  # must not raise
+
+
+class TestStepHook:
+    def test_hook_sees_every_step_and_stats_match_hookless(self):
+        seen = []
+        hooked = make_machine()
+        hooked.attach_cpu(ScriptedCore([StepInfo(pc=0), StepInfo(pc=4)]))
+        hooked.step_hook = lambda info: seen.append(info.pc) or False
+        plain = make_machine()
+        plain.attach_cpu(ScriptedCore([StepInfo(pc=0), StepInfo(pc=4)]))
+        a, b = hooked.run(), plain.run()
+        assert (a.instructions, a.cycles, a.traps) == \
+            (b.instructions, b.cycles, b.traps)
+        # the halting step is not offered to the hook (run returns first)
+        assert len(seen) == a.instructions - 1
+
+    def test_truthy_hook_stops_the_run_with_stats_flushed(self):
+        machine = make_machine()
+        machine.attach_cpu(ScriptedCore(
+            [StepInfo(pc=0, trapped=True)] * 10))
+        machine.step_hook = lambda info: machine.stats.instructions >= 3
+        stats = machine.run(max_steps=100, require_halt=False)
+        assert stats.instructions == 3
+        assert stats.traps == 3  # flushed despite the early return
+        assert not stats.halted
+
+    def test_hook_runs_under_a_wrapped_step(self):
+        # The Tracer wraps ``step`` on the instance; the hook must be
+        # honoured on that fallback path too.
+        machine = make_machine()
+        machine.attach_cpu(ScriptedCore([StepInfo(pc=0)] * 10))
+        inner = machine.step
+        machine.step = lambda: inner()
+        machine.step_hook = lambda info: machine.stats.instructions >= 2
+        stats = machine.run(max_steps=100, require_halt=False)
+        assert stats.instructions == 2
