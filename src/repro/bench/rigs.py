@@ -105,6 +105,38 @@ def _run_smoke_hooked(fast_path: bool) -> Dict[str, object]:
     })
 
 
+def _run_smoke_contracts(fast_path: bool) -> Dict[str, object]:
+    """``smoke`` with the universal-contract monitor attached.
+
+    The contract tap (see DESIGN §3.16) must be invisible when armed on
+    a healthy run: zero violations, and ``instructions``/``cycles``/
+    hit-rates identical to the unmonitored ``smoke`` rig.  Keeping this
+    rig in the registry makes that claim a perf-trajectory row, so a
+    tap-path slowdown shows up as an ips regression next to ``smoke``.
+    """
+    import dataclasses
+
+    from repro.contracts import ContractMonitor
+    from repro.kernel import X86Kernel
+    from repro.workloads import GATE_STRESS
+    from repro.workloads.generator import x86_user_program
+
+    profile = dataclasses.replace(GATE_STRESS, outer_iterations=60)
+    kernel = X86Kernel("decomposed", _config(fast_path))
+    monitor = ContractMonitor(seed=0)
+    monitor.attach(kernel.system.pcu, kernel.system.manager)
+    stats = kernel.run(x86_user_program(profile), max_steps=4_000_000)
+    assert kernel.fault_count == 0
+    assert monitor.total_violations == 0, monitor.first_unwaived()
+    hit_rates = kernel.system.pcu.stats.hit_rates()
+    return _result(stats.instructions, stats.cycles, {
+        "hit_rates": {name: round(rate, 6) for name, rate in hit_rates.items()},
+        "syscalls": kernel.syscall_count,
+        "contract_events": monitor.events_seen,
+        "contract_counts": monitor.counts(),
+    })
+
+
 # ----------------------------------------------------------------------
 # Figure 5: LMbench microbenchmarks, RISC-V.
 # ----------------------------------------------------------------------
@@ -289,6 +321,10 @@ RIGS: Dict[str, BenchRig] = {
                  "smoke with a no-op Machine.step_hook (fault-campaign "
                  "injection point)",
                  _run_smoke_hooked, approx_instructions=200_000),
+        BenchRig("smoke_contracts",
+                 "smoke with the universal-contract monitor attached "
+                 "(tap-path floor; simulated work identical to smoke)",
+                 _run_smoke_contracts, approx_instructions=200_000),
         BenchRig("gate_stress", "§7.1 privilege-cache stress workload",
                  _run_gate_stress, approx_instructions=1_000_000),
         BenchRig("fig5_riscv", "Figure 5: LMbench microbenchmarks, RISC-V",

@@ -14,6 +14,13 @@ Usage::
     python -m repro faults            # fault-injection campaigns
     python -m repro bench             # evaluation rigs + perf trajectory
     python -m repro orchestrate       # status of parallel campaign runs
+    python -m repro contracts         # the universal-contract layer
+
+``conformance`` and ``faults`` monitor every run against the
+universal ISA-Grid contracts by default (``--no-contracts`` turns the
+tap off); any *unwaived* violation — one not attributable to an armed
+fault injector — fails the run.  ``contracts --explain`` documents
+each contract and the events it consumes.
 
 ``conformance`` and ``faults`` accept ``--jobs N`` to run their matrix
 sharded over a supervised worker pool (with ``--resume`` and
@@ -171,6 +178,21 @@ def _cmd_scan(_args) -> int:
     return 0
 
 
+def _cmd_contracts(args) -> int:
+    """List the universal contracts; --explain adds their vocabularies."""
+    from repro.contracts import CONTRACT_CLASSES
+
+    for cls in CONTRACT_CLASSES:
+        print("%-24s %s" % (cls.name, cls.description))
+        if args.explain:
+            print("    consumes: %s" % ", ".join(cls.vocabulary))
+    if args.explain:
+        print()
+        print("Violations during fault campaigns are waived when an armed")
+        print("injector explains them; unwaived violations fail the run.")
+    return 0
+
+
 def _cmd_conformance(args) -> int:
     """Differential conformance fuzz: cached PCU vs the oracle spec."""
     from repro.conformance import (
@@ -230,7 +252,7 @@ def _cmd_conformance(args) -> int:
             jobs=args.jobs, layer=args.layer,
             scrub_interval=args.scrub_interval,
             oracle_only=args.oracle_only, dump_dir=".",
-            profile=args.profile,
+            profile=args.profile, contracts=args.contracts,
             run_dir=args.run_dir, resume=args.resume,
             shard_timeout=args.shard_timeout,
         )
@@ -246,6 +268,7 @@ def _cmd_conformance(args) -> int:
                 backend, args.seed, args.events, config=config,
                 mutate=mutate, oracle_only=args.oracle_only, dump_dir=".",
                 layer=args.layer, scrub_interval=args.scrub_interval,
+                contracts=args.contracts,
             )
             failures += _print_conformance_summary(result.summary())
     return 1 if failures else 0
@@ -260,9 +283,15 @@ def _print_conformance_summary(payload) -> int:
     backend, config = payload["backend"], payload["config"]
     outcomes = " ".join("%s=%d" % (k, v)
                         for k, v in sorted(payload["outcomes"].items()))
+    monitored = payload.get("contracts") is not None
+    contracts_note = ("  contracts=%d unwaived=%d"
+                      % (sum(payload["contracts"].values()),
+                         payload.get("contract_unwaived", 0))
+                      if monitored else "")
     if payload["clean"]:
-        print("%-6s %-10s %6d events  %s  divergences=0"
-              % (backend, config, payload["events"], outcomes))
+        print("%-6s %-10s %6d events  %s  divergences=0%s"
+              % (backend, config, payload["events"], outcomes,
+                 contracts_note))
         return 0
     if payload["divergence"] is not None:
         print("%-6s %-10s %6d events  DIVERGENCE: %s"
@@ -271,6 +300,10 @@ def _print_conformance_summary(payload) -> int:
             print("    reproducer dumped to %s" % payload["reproducer_path"])
     for detection in payload["scrub_detections"]:
         print("%-6s %-10s  SCRUB DETECTION: %s" % (backend, config, detection))
+    if payload.get("contract_unwaived"):
+        print("%-6s %-10s  CONTRACT VIOLATION: %s"
+              % (backend, config,
+                 payload.get("contract_first") or "unwaived violation"))
     return 1
 
 
@@ -306,7 +339,7 @@ def _cmd_faults(args) -> int:
             backends, configs, args.seed, args.events, args.campaign,
             jobs=args.jobs, scrub_interval=args.scrub_interval,
             faults_per_campaign=args.faults_per_campaign,
-            profile=args.profile,
+            profile=args.profile, contracts=args.contracts,
             run_dir=args.run_dir, resume=args.resume,
             shard_timeout=args.shard_timeout,
         )
@@ -316,6 +349,7 @@ def _cmd_faults(args) -> int:
                 backend, args.seed, args.events, args.campaign,
                 config=config, scrub_interval=args.scrub_interval,
                 faults_per_campaign=args.faults_per_campaign,
+                contracts=args.contracts,
             )
             for backend in backends for config in configs
         ]
@@ -323,9 +357,11 @@ def _cmd_faults(args) -> int:
     for matrix in matrices:
         counts = " ".join("%s=%d" % (name, matrix.counts[name])
                           for name in CLASSIFICATIONS)
-        print("%-6s %-10s %d campaigns x %d events  %s"
+        print("%-6s %-10s %d campaigns x %d events  %s  "
+              "contracts=%d unwaived=%d"
               % (matrix.backend, matrix.config, len(matrix.results),
-                 args.events, counts))
+                 args.events, counts, matrix.contract_violations,
+                 matrix.unwaived_contract_violations))
         for result in matrix.widening_silent:
             print("    WIDENING SILENT DIVERGENCE: campaign %d %s (%s)"
                   % (result.campaign, result.spec.to_dict(),
@@ -339,6 +375,11 @@ def _cmd_faults(args) -> int:
     if payload["widening_silent_divergences"]:
         print("FAIL: %d widening fault(s) diverged with no detection"
               % payload["widening_silent_divergences"], file=sys.stderr)
+        return 1
+    if payload["unwaived_contract_violations"]:
+        print("FAIL: %d unwaived contract violation(s) — not attributable "
+              "to any armed fault"
+              % payload["unwaived_contract_violations"], file=sys.stderr)
         return 1
     return 1 if quarantined else 0
 
@@ -375,7 +416,7 @@ def _run_machine_faults(args, backends) -> int:
             jobs=args.jobs, iterations=iterations,
             faults_per_campaign=args.faults_per_campaign,
             pulse_interval=args.pulse_interval,
-            profile=args.profile,
+            profile=args.profile, contracts=args.contracts,
             run_dir=args.run_dir, resume=args.resume,
             shard_timeout=args.shard_timeout,
         )
@@ -386,6 +427,7 @@ def _run_machine_faults(args, backends) -> int:
                 iterations=iterations,
                 faults_per_campaign=args.faults_per_campaign,
                 pulse_interval=args.pulse_interval,
+                contracts=args.contracts,
             )
             for backend in backends
         ]
@@ -393,9 +435,11 @@ def _run_machine_faults(args, backends) -> int:
     for matrix in matrices:
         counts = " ".join("%s=%d" % (name, matrix.counts[name])
                           for name in CLASSIFICATIONS)
-        print("%-6s machine  %d campaigns x %d iterations  %s  rollbacks=%d"
+        print("%-6s machine  %d campaigns x %d iterations  %s  "
+              "rollbacks=%d contracts=%d unwaived=%d"
               % (matrix.backend, len(matrix.results), matrix.iterations,
-                 counts, matrix.rollbacks))
+                 counts, matrix.rollbacks, matrix.contract_violations,
+                 matrix.unwaived_contract_violations))
         for result in matrix.widening_silent:
             print("    WIDENING SILENT DIVERGENCE: campaign %d %s (%s)"
                   % (result.campaign, result.spec.to_dict(), result.detail))
@@ -408,6 +452,11 @@ def _run_machine_faults(args, backends) -> int:
     if payload["widening_silent_divergences"]:
         print("FAIL: %d widening fault(s) diverged with no detection"
               % payload["widening_silent_divergences"], file=sys.stderr)
+        return 1
+    if payload["unwaived_contract_violations"]:
+        print("FAIL: %d unwaived contract violation(s) — not attributable "
+              "to any armed fault"
+              % payload["unwaived_contract_violations"], file=sys.stderr)
         return 1
     return 1 if quarantined else 0
 
@@ -525,6 +574,7 @@ _COMMANDS = {
     "scan": _cmd_scan,
     "conformance": _cmd_conformance,
     "faults": _cmd_faults,
+    "contracts": _cmd_contracts,
 }
 
 
@@ -536,7 +586,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     subparsers = parser.add_subparsers(dest="command", required=True,
                                        metavar="command")
     for name in sorted(_COMMANDS):
-        if name in ("bench", "conformance", "faults", "orchestrate"):
+        if name in ("bench", "conformance", "contracts", "faults",
+                    "orchestrate"):
             continue
         subparsers.add_parser(name, help="regenerate the %r artifact" % name)
 
@@ -558,6 +609,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                                help="cProfile each shard; top-N cumulative "
                                     "dump written to the run directory as "
                                     "profile-<shard>.txt")
+
+    def add_contracts_flag(subparser) -> None:
+        subparser.add_argument("--contracts", default=True,
+                               action=argparse.BooleanOptionalAction,
+                               help="monitor the run against the universal "
+                                    "ISA-Grid contracts (default on; any "
+                                    "unwaived violation fails the run)")
     conformance = subparsers.add_parser(
         "conformance",
         help="differentially fuzz the cached PCU against the oracle spec",
@@ -585,6 +643,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                              help="run the integrity scrubber every N "
                                   "events (0 = off); any detection on a "
                                   "fault-free replay is a failure")
+    add_contracts_flag(conformance)
     add_orchestration_flags(conformance)
     faults = subparsers.add_parser(
         "faults",
@@ -620,6 +679,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="machine mode: instructions between "
                              "reconfiguration pulses (default: derived "
                              "from the workload geometry)")
+    add_contracts_flag(faults)
     add_orchestration_flags(faults)
     bench = subparsers.add_parser(
         "bench",
@@ -661,6 +721,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     orchestrate.add_argument("--run-dir", default=None,
                              help="run directory to inspect (default: the "
                                   "most recent under results/runs)")
+    contracts = subparsers.add_parser(
+        "contracts",
+        help="list the universal ISA-Grid contracts the campaigns are "
+             "checked against",
+    )
+    contracts.add_argument("--explain", action="store_true",
+                           help="also print each contract's event "
+                                "vocabulary and the waiver semantics")
     args = parser.parse_args(argv)
     return _COMMANDS[args.command](args)
 

@@ -406,9 +406,20 @@ class DifferentialRunner:
                                 layer=self.layer)
 
     def replay(self, events: Sequence[Event],
-               count_outcomes: bool = False) -> Optional[Divergence]:
-        """Replay a stream; return the first divergence (or ``None``)."""
+               count_outcomes: bool = False,
+               monitor=None) -> Optional[Divergence]:
+        """Replay a stream; return the first divergence (or ``None``).
+
+        ``monitor`` is an optional
+        :class:`~repro.contracts.monitor.ContractMonitor`; it is
+        attached to the freshly built world so every check, gate,
+        trusted-memory store and reconfiguration of this replay is
+        judged against the universal contracts (shrink replays run
+        unmonitored — they re-execute a prefix the monitor already saw).
+        """
         world = self._world()
+        if monitor is not None:
+            monitor.attach(world.pcu, world.manager)
         scrubber = None
         if self.scrub_interval:
             from repro.faults.scrub import IntegrityScrubber
@@ -513,10 +524,15 @@ class ConformanceResult:
     layer: str = "pcu"
     scrub_detections: List[str] = None  # type: ignore[assignment]
     stream_key: Optional[str] = None
+    #: Per-contract violation counts (None when monitoring was off).
+    contract_counts: Optional[Dict[str, int]] = None
+    contract_unwaived: int = 0
+    contract_first: Optional[str] = None
 
     @property
     def clean(self) -> bool:
-        return self.divergence is None and not self.scrub_detections
+        return (self.divergence is None and not self.scrub_detections
+                and not self.contract_unwaived)
 
     def summary(self) -> Dict[str, object]:
         """JSON-plain summary — the one shape both the serial CLI path
@@ -532,6 +548,10 @@ class ConformanceResult:
                            if self.divergence is not None else None),
             "reproducer_path": self.reproducer_path,
             "scrub_detections": list(self.scrub_detections or []),
+            "contracts": (dict(self.contract_counts)
+                          if self.contract_counts is not None else None),
+            "contract_unwaived": self.contract_unwaived,
+            "contract_first": self.contract_first,
         }
 
 
@@ -545,17 +565,33 @@ def fuzz_backend(
     dump_dir: Optional[str] = None,
     layer: str = "pcu",
     scrub_interval: int = 0,
+    contracts: bool = True,
 ) -> ConformanceResult:
-    """Generate a stream and differentially fuzz one backend."""
+    """Generate a stream and differentially fuzz one backend.
+
+    With ``contracts`` (the default) the replay runs under a
+    :class:`~repro.contracts.monitor.ContractMonitor`; a fuzz run is
+    only ``clean`` if, on top of zero divergences, it produced zero
+    unwaived contract violations.
+    """
     events = generate_events(seed, count)
     runner = DifferentialRunner(backend_name, config=config, mutate=mutate,
                                 oracle_only=oracle_only, layer=layer,
                                 scrub_interval=scrub_interval)
-    divergence = runner.replay(events, count_outcomes=True)
+    monitor = None
+    if contracts:
+        from repro.contracts import ContractMonitor
+        monitor = ContractMonitor(seed=seed)
+    divergence = runner.replay(events, count_outcomes=True, monitor=monitor)
     result = ConformanceResult(backend_name, config, len(events),
                                dict(runner.outcomes), divergence,
                                layer=layer,
                                scrub_detections=list(runner.scrub_detections))
+    if monitor is not None:
+        result.contract_counts = monitor.counts()
+        result.contract_unwaived = monitor.unwaived_violations
+        first = monitor.first_unwaived()
+        result.contract_first = None if first is None else first.describe()
     if divergence is not None:
         shrunk = runner.shrink(events, divergence)
         final = runner.replay(shrunk) or divergence

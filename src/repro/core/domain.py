@@ -101,6 +101,15 @@ class DomainManager:
         # (or outside) a window.
         self.transactions_committed = 0
         self.transactions_rolled_back = 0
+        # Contract-monitor tap (repro.contracts, DESIGN §3.16).  Every
+        # mutating method narrates its table edits through ``_emit``;
+        # ``None`` makes that a no-op.
+        self._tap = None
+
+    def _emit(self, op: str, **fields) -> None:
+        """Narrate one table mutation to the attached contract tap."""
+        if self._tap is not None:
+            self._tap.on_reconfig(op, **fields)
 
     # ------------------------------------------------------------------
     # Transactional reconfiguration (fault containment, Section 4.4).
@@ -204,6 +213,7 @@ class DomainManager:
         self.domains[domain_id] = descriptor
         self._names[name] = domain_id
         self.pcu.registers.domain_nr = self._next_domain
+        self._emit("create_domain", domain=domain_id)
         return descriptor
 
     def domain_id(self, name: str) -> int:
@@ -222,6 +232,8 @@ class DomainManager:
         with self._transaction((domain_id,)):
             self.pcu.hpt.allow_instructions(domain_id, classes)
             descriptor.instructions.update(names)
+            for inst_class in classes:
+                self._emit("allow_inst", domain=domain_id, inst=inst_class)
             # Grants need invalidation too: a word cached while the class
             # was denied would keep faulting the freshly-granted
             # instruction.
@@ -233,6 +245,8 @@ class DomainManager:
         with self._transaction((domain_id,)):
             self.pcu.hpt.allow_all_instructions(domain_id)
             descriptor.instructions.update(self.isa_map.inst_class_names)
+            for inst_class in range(self.isa_map.n_inst_classes):
+                self._emit("allow_inst", domain=domain_id, inst=inst_class)
             self.pcu.invalidate_privileges(domain_id, regs=False, masks=False)
             self._refresh_policy(descriptor)
 
@@ -242,6 +256,7 @@ class DomainManager:
         with self._transaction((domain_id,)):
             self.pcu.hpt.deny_instruction(domain_id, inst_class)
             descriptor.instructions.discard(class_name)
+            self._emit("deny_inst", domain=domain_id, inst=inst_class)
             # Revocation: drop stale cached privileges of this domain only.
             self.pcu.invalidate_privileges(domain_id, regs=False, masks=False)
 
@@ -252,6 +267,8 @@ class DomainManager:
         csr = self.isa_map.csr_index(csr_name)
         with self._transaction((domain_id,)):
             self.pcu.hpt.grant_register(domain_id, csr, read=read, write=write)
+            self._emit("grant_csr", domain=domain_id, csr=csr,
+                       read=read, write=write)
             if read:
                 descriptor.readable_csrs.add(csr_name)
             if write:
@@ -261,6 +278,8 @@ class DomainManager:
                     width = self.isa_map.csr_descriptor(csr).width
                     self.pcu.hpt.set_mask(domain_id, csr, (1 << width) - 1)
                     descriptor.bit_grants[csr_name] = (1 << width) - 1
+                    self._emit("set_mask", domain=domain_id, csr=csr,
+                               bits=(1 << width) - 1)
             self.pcu.invalidate_privileges(domain_id, inst=False, csr=csr)
             self._refresh_policy(descriptor)
 
@@ -277,6 +296,9 @@ class DomainManager:
             self.pcu.hpt.allow_bits(domain_id, csr, bits)
             descriptor.writable_csrs.add(csr_name)
             descriptor.bit_grants[csr_name] = descriptor.bit_grants.get(csr_name, 0) | bits
+            self._emit("grant_csr", domain=domain_id, csr=csr, write=True)
+            self._emit("set_mask", domain=domain_id, csr=csr,
+                       bits=descriptor.bit_grants[csr_name])
             self.pcu.invalidate_privileges(domain_id, inst=False, csr=csr)
             self._refresh_policy(descriptor)
 
@@ -291,6 +313,7 @@ class DomainManager:
         with self._transaction((domain_id,)):
             self.pcu.hpt.set_mask(domain_id, csr, mask)
             descriptor.bit_grants[csr_name] = mask
+            self._emit("set_mask", domain=domain_id, csr=csr, bits=mask)
             self.pcu.invalidate_privileges(domain_id, inst=False, csr=csr)
             self._refresh_policy(descriptor)
 
@@ -301,6 +324,8 @@ class DomainManager:
         csr = self.isa_map.csr_index(csr_name)
         with self._transaction((domain_id,)):
             self.pcu.hpt.revoke_register(domain_id, csr, read=read, write=write)
+            self._emit("revoke_csr", domain=domain_id, csr=csr,
+                       read=read, write=write)
             if read:
                 descriptor.readable_csrs.discard(csr_name)
             if write:
@@ -308,6 +333,7 @@ class DomainManager:
                 if self.isa_map.mask_slot(csr) is not None:
                     self.pcu.hpt.set_mask(domain_id, csr, 0)
                     descriptor.bit_grants.pop(csr_name, None)
+                    self._emit("set_mask", domain=domain_id, csr=csr, bits=0)
             # Revocation: drop stale cached privileges of this domain only.
             self.pcu.invalidate_privileges(domain_id, inst=False, csr=csr)
 
@@ -329,6 +355,7 @@ class DomainManager:
             self.pcu.invalidate_privileges(domain_id)
             del self.domains[domain_id]
             del self._names[descriptor.name]
+            self._emit("clear_domain", domain=domain_id)
 
     def _descriptor(self, domain_id: int) -> DomainDescriptor:
         try:
@@ -367,6 +394,8 @@ class DomainManager:
             self.gates[entry.gate_id] = entry
             self.pcu.sgt_cache.invalidate(entry.gate_id)
             self.pcu.registers.gate_nr = self.pcu.sgt.gate_nr
+            self._emit("register_gate", gate=entry.gate_id,
+                       dest=destination_domain)
         return entry.gate_id
 
     def unregister_gate(self, gate_id: int) -> None:
@@ -374,6 +403,7 @@ class DomainManager:
             self.pcu.sgt.unregister(gate_id)
             self.pcu.sgt_cache.invalidate(gate_id)
             self.gates.pop(gate_id, None)
+            self._emit("unregister_gate", gate=gate_id)
 
     # ------------------------------------------------------------------
     # Trusted stack management (per-thread contexts, Section 5.2).
@@ -410,8 +440,10 @@ class DomainManager:
                 raise ConfigurationError(
                     "thread entries need a non-domain-0 entry domain"
                 )
-            self.pcu.trusted_memory.store_word(base, entry_address)
-            self.pcu.trusted_memory.store_word(base + 8, entry_domain)
+            self.pcu.trusted_memory.store_word(base, entry_address,
+                                               origin="d0")
+            self.pcu.trusted_memory.store_word(base + 8, entry_domain,
+                                               origin="d0")
             pointer = base + 16
         # The seed frame was written with raw stores, not push(): adopt it
         # into the stack's integrity digest so the first scrub after a

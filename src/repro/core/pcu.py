@@ -99,6 +99,11 @@ class PrivilegeCheckUnit:
         )
         self._fast = self._fast_capable
         self._csr_plan: dict = {}
+        # Contract-monitor tap (repro.contracts, DESIGN §3.16).  ``None``
+        # keeps every hot path on its original instruction sequence, so
+        # an unmonitored run is bit-identical to pre-tap builds; a
+        # ContractMonitor installs itself here via ``attach``.
+        self._tap = None
 
     # ------------------------------------------------------------------
     # State.
@@ -150,6 +155,8 @@ class PrivilegeCheckUnit:
         """
         if not self.enabled:
             return 0
+        if self._tap is not None:
+            return self._traced_check(access)
         stats = self.stats
         stats.inst_checks += 1
         domain = self.registers.domain
@@ -174,6 +181,26 @@ class PrivilegeCheckUnit:
                     return 0
                 return self._fast_csr(domain, access)
         return self._check_slow(domain, access)
+
+    def _traced_check(self, access: AccessInfo) -> int:
+        """Run :meth:`check` with the tap muted, then emit one event.
+
+        The class-qualified inner call sidesteps both recursion through
+        this wrapper and instance-attribute shadowing (the machine
+        campaigns' lockstep monitor replaces ``pcu.check`` on the
+        instance), so the traced verdict — stall cycles, faults and
+        statistics included — is exactly the untraced one.
+        """
+        tap, self._tap = self._tap, None
+        status = "ok"
+        try:
+            return PrivilegeCheckUnit.check(self, access)
+        except BaseException as error:
+            status = type(error).__name__
+            raise
+        finally:
+            self._tap = tap
+            tap.on_check(self, access, status)
 
     def _check_slow(self, domain: int, access: AccessInfo) -> int:
         """The uncompiled pipeline: cold bypass, Draco, degraded mode."""
@@ -447,6 +474,8 @@ class PrivilegeCheckUnit:
         does not match the registered gate address (defeating injected or
         ROP-constructed gates) or the gate is unregistered.
         """
+        if self._tap is not None:
+            return self._traced_gate(kind, gate_id, pc, return_address)
         if kind is GateKind.HCRETS:
             return self._execute_return(pc)
 
@@ -487,6 +516,33 @@ class PrivilegeCheckUnit:
         self._enter_domain(entry.destination_domain)
         self.stats.stall_cycles += stall
         return entry.destination_address, stall
+
+    def _traced_gate(
+        self,
+        kind: GateKind,
+        gate_id: int,
+        pc: int,
+        return_address: Optional[int],
+    ) -> Tuple[int, int]:
+        """Run :meth:`execute_gate` tap-muted, then emit one gate event.
+
+        Same shape as :meth:`_traced_check`: the pre-domain is captured
+        before the call and the event carries both sides of the switch,
+        so the gate-only-switches contract can judge the transition.
+        """
+        tap, self._tap = self._tap, None
+        pre_domain = self.registers.domain
+        status = "ok"
+        try:
+            return PrivilegeCheckUnit.execute_gate(
+                self, kind, gate_id, pc, return_address
+            )
+        except BaseException as error:
+            status = type(error).__name__
+            raise
+        finally:
+            self._tap = tap
+            tap.on_gate(self, kind, gate_id, pre_domain, status)
 
     def _execute_return(self, pc: int) -> Tuple[int, int]:
         """``hcrets``: pop the trusted stack and return cross-domain."""

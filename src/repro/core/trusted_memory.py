@@ -80,6 +80,10 @@ class TrustedMemory:
         # ``journalled_stores_total`` never resets.
         self.transaction_stores = 0
         self.journalled_stores_total = 0
+        # Contract-monitor tap (repro.contracts, DESIGN §3.16): ``None``
+        # keeps stores and transaction boundaries on their original
+        # instruction sequences.
+        self._tap = None
 
     def contains(self, address: int) -> bool:
         """Hardware bound check: is ``address`` inside the trusted range?"""
@@ -91,8 +95,16 @@ class TrustedMemory:
             raise ConfigurationError("PCU read outside trusted memory: 0x%x" % address)
         return self._backing.load_word(address)
 
-    def store_word(self, address: int, value: int) -> None:
-        """Domain-0 software write path (the Machine enforces domain-0)."""
+    def store_word(self, address: int, value: int, *,
+                   origin: str = "sw") -> None:
+        """Domain-0 software write path (the Machine enforces domain-0).
+
+        ``origin`` tags who issued the store for the contract trace:
+        ``"sw"`` for manager-transaction software stores, ``"hw"`` for
+        hardware trusted-stack pushes, ``"d0"`` for domain-0
+        provisioning, ``"scrub"`` for scrubber repairs.  It changes
+        nothing about the store itself.
+        """
         if not self.contains(address):
             raise ConfigurationError("write outside trusted memory: 0x%x" % address)
         if self._journal is not None:
@@ -103,6 +115,11 @@ class TrustedMemory:
                 self._journal.append((address, self._backing.load_word(address)))
             self.transaction_stores += 1
             self.journalled_stores_total += 1
+        if self._tap is not None:
+            # Emitted before the backing store so the monitor can read
+            # the old value; an injected store fault is still reported
+            # through the check/gate status that observes it.
+            self._tap.on_mem_write(self, address, value, origin)
         self._backing.store_word(address, value)
 
     # -- transactional reconfiguration ----------------------------------
@@ -117,6 +134,8 @@ class TrustedMemory:
         self._journal = []
         self._journalled = set()
         self.transaction_stores = 0
+        if self._tap is not None:
+            self._tap.on_txn(self, "begin")
 
     def commit_transaction(self) -> None:
         """Discard the journal — the update completed without faulting."""
@@ -124,6 +143,8 @@ class TrustedMemory:
             raise ConfigurationError("no trusted-memory transaction to commit")
         self._journal = None
         self._journalled = set()
+        if self._tap is not None:
+            self._tap.on_txn(self, "commit")
 
     def journalled_addresses(self) -> List[int]:
         """Addresses of the open journal, oldest first (empty when closed).
@@ -143,7 +164,13 @@ class TrustedMemory:
         journal, self._journal = self._journal, None
         self._journalled = set()
         for address, old_value in reversed(journal):
+            # Raw backing stores: the rollback replay is the mechanism
+            # under test, so it must not narrate itself as new writes.
             self._backing.store_word(address, old_value)
+        if self._tap is not None:
+            # Emitted after the replay so the monitor snapshots the
+            # post-abort word values for the atomicity contract.
+            self._tap.on_txn(self, "abort")
 
     def allocate(self, n_words: int) -> int:
         """Bump-allocate ``n_words`` words; used by domain-0 init code."""
@@ -212,8 +239,8 @@ class TrustedStack:
             raise TrustedStackFault(
                 "trusted stack overflow", sp, domain=source_domain
             )
-        self._memory.store_word(sp, return_address)
-        self._memory.store_word(sp + WORD_BYTES, source_domain)
+        self._memory.store_word(sp, return_address, origin="hw")
+        self._memory.store_word(sp + WORD_BYTES, source_domain, origin="hw")
         base = self._regs.hcsb
         self._digests[base] = self._digests.get(base, 0) ^ self._frame_hash(
             sp, return_address & _MASK64, source_domain

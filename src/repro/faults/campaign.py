@@ -76,6 +76,13 @@ class CampaignResult:
     degraded_entries: int = 0
     degraded_checks: int = 0
     extra_specs: List[FaultSpec] = field(default_factory=list)
+    #: Universal-contract accounting (DESIGN §3.16).  Violations the
+    #: monitor attributed to a fired injected fault are *waived*; an
+    #: unwaived violation is a genuine guarantee breach and fails the
+    #: campaign report.
+    contract_violations: int = 0
+    unwaived_contract_violations: int = 0
+    contract_counts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def widening(self) -> bool:
@@ -99,6 +106,9 @@ class CampaignResult:
             "scrub_repairs": self.scrub_repairs,
             "degraded_entries": self.degraded_entries,
             "degraded_checks": self.degraded_checks,
+            "contract_violations": self.contract_violations,
+            "unwaived_contract_violations": self.unwaived_contract_violations,
+            "contract_counts": dict(self.contract_counts),
         }
 
     @classmethod
@@ -119,12 +129,20 @@ def run_campaign(
     scrub_interval: int = DEFAULT_SCRUB_INTERVAL,
     campaign: int = 0,
     extra_specs: Sequence[FaultSpec] = (),
+    contracts: bool = True,
 ) -> CampaignResult:
     """Replay one faulted stream in lockstep and classify the outcome.
 
     ``extra_specs`` schedules additional concurrent faults over the same
     stream (each with its own trigger), modelling multi-event upsets;
     the classification then answers for the *combined* damage.
+
+    With ``contracts`` (the default) the world runs under a
+    :class:`~repro.contracts.monitor.ContractMonitor` whose waiver
+    probe attributes violations to fired injected faults — an injected
+    HPT flip legitimately makes verdicts disagree with the contract
+    shadow, and that *is* the fault model working.  Unwaived violations
+    are reported in the result and fail the campaign report.
     """
     backend = make_backend(backend_name)
     world = ConformanceWorld(backend, CONFORMANCE_CONFIGS[config])
@@ -136,6 +154,19 @@ def run_campaign(
     injectors = [FaultInjector(world, backing, s)
                  for s in (spec, *extra_specs)]
     scrubber = IntegrityScrubber(world.pcu, world.manager)
+    monitor = None
+    if contracts:
+        from repro.contracts import ContractMonitor
+
+        def waiver_probe():
+            if any(i.fired for i in injectors) or backing.store_faults_fired:
+                return ("; ".join(i.detail for i in injectors if i.fired)
+                        or backing.last_fired_detail or "injected fault")
+            return None
+
+        monitor = ContractMonitor(seed=stream_seed, campaign=campaign)
+        monitor.attach(world.pcu, world.manager)
+        monitor.waiver_probe = waiver_probe
 
     events = generate_events(stream_seed, n_events)
     detections: List[str] = []
@@ -255,6 +286,12 @@ def run_campaign(
         degraded_entries=stats.degraded_entries,
         degraded_checks=stats.degraded_checks,
         extra_specs=list(extra_specs),
+        contract_violations=(0 if monitor is None
+                             else monitor.total_violations),
+        unwaived_contract_violations=(0 if monitor is None
+                                      else monitor.unwaived_violations),
+        contract_counts=({} if monitor is None
+                         else monitor.nonzero_counts()),
     )
 
 
@@ -279,6 +316,15 @@ class CampaignMatrix:
         return [r for r in self.results
                 if r.classification == "silent_divergence" and r.widening]
 
+    @property
+    def contract_violations(self) -> int:
+        return sum(r.contract_violations for r in self.results)
+
+    @property
+    def unwaived_contract_violations(self) -> int:
+        """The must-be-zero set: contract breaches no fault accounts for."""
+        return sum(r.unwaived_contract_violations for r in self.results)
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "backend": self.backend,
@@ -288,6 +334,8 @@ class CampaignMatrix:
             "campaigns": len(self.results),
             "classification_counts": self.counts,
             "widening_silent_divergences": len(self.widening_silent),
+            "contract_violations": self.contract_violations,
+            "unwaived_contract_violations": self.unwaived_contract_violations,
             "results": [r.to_dict() for r in self.results],
         }
 
@@ -300,6 +348,7 @@ def run_campaigns(
     config: str = "stress",
     scrub_interval: int = DEFAULT_SCRUB_INTERVAL,
     faults_per_campaign: int = 1,
+    contracts: bool = True,
 ) -> CampaignMatrix:
     """K campaigns, each with its own derived stream seed and fault(s)."""
     plan = FaultPlan(seed)
@@ -314,22 +363,33 @@ def run_campaigns(
             scrub_interval=scrub_interval,
             campaign=campaign,
             extra_specs=specs[1:],
+            contracts=contracts,
         ))
     return CampaignMatrix(backend_name, config, seed, n_events, results)
 
 
 def write_report(matrices: List[CampaignMatrix], path: str) -> Dict[str, object]:
     """Aggregate matrices into one JSON report under ``results/``."""
+    from repro.contracts import CONTRACT_NAMES
+
     totals: "Counter[str]" = Counter()
+    contract_totals: "Counter[str]" = Counter()
     widening_silent = 0
+    unwaived = 0
     for matrix in matrices:
         totals.update(matrix.counts)
         widening_silent += len(matrix.widening_silent)
+        unwaived += matrix.unwaived_contract_violations
+        for result in matrix.results:
+            contract_totals.update(result.contract_counts)
     payload = {
         "format": "isagrid-fault-campaign-v2",
         "classification_counts": {name: totals.get(name, 0)
                                   for name in CLASSIFICATIONS},
         "widening_silent_divergences": widening_silent,
+        "contract_counts": {name: contract_totals.get(name, 0)
+                            for name in CONTRACT_NAMES},
+        "unwaived_contract_violations": unwaived,
         "matrices": [matrix.to_dict() for matrix in matrices],
     }
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)

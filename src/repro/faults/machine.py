@@ -405,6 +405,11 @@ class MachineCampaignResult:
     syscalls: int = 0
     lockstep_checks: int = 0
     extra_specs: List[FaultSpec] = field(default_factory=list)
+    #: Universal-contract accounting (DESIGN §3.16): total violations,
+    #: the must-be-zero unwaived subset, and nonzero per-contract counts.
+    contract_violations: int = 0
+    unwaived_contract_violations: int = 0
+    contract_counts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def widening(self) -> bool:
@@ -435,6 +440,9 @@ class MachineCampaignResult:
             "kernel_faults": self.kernel_faults,
             "syscalls": self.syscalls,
             "lockstep_checks": self.lockstep_checks,
+            "contract_violations": self.contract_violations,
+            "unwaived_contract_violations": self.unwaived_contract_violations,
+            "contract_counts": dict(self.contract_counts),
         }
 
     @classmethod
@@ -465,6 +473,7 @@ def run_machine_campaign(
     iterations: int = DEFAULT_MACHINE_ITERATIONS,
     scrub_interval: Optional[int] = None,
     pulse_interval: Optional[int] = None,
+    contracts: bool = True,
 ) -> MachineCampaignResult:
     """Run one faulted kernel workload in lockstep and classify it."""
     if not specs:
@@ -481,6 +490,25 @@ def run_machine_campaign(
     trusted_memory._backing = backing
     injectors = [FaultInjector(world, backing, s) for s in specs]
     scrubber = IntegrityScrubber(world.pcu, world.manager)
+    contract_monitor = None
+    if contracts:
+        from repro.contracts import ContractMonitor
+
+        def waiver_probe():
+            if any(i.fired for i in injectors) or backing.store_faults_fired:
+                return ("; ".join(i.detail for i in injectors if i.fired)
+                        or backing.last_fired_detail or "injected fault")
+            return None
+
+        # Attached after boot, so the monitor seeds its contract shadows
+        # from the kernel's committed domain/gate configuration.  The
+        # taps are inline in the PCU class methods, so the lockstep
+        # monitor's instance-level shadowing below still routes every
+        # check through them.
+        contract_monitor = ContractMonitor(seed=pulse_seed,
+                                           campaign=campaign)
+        contract_monitor.attach(world.pcu, world.manager)
+        contract_monitor.waiver_probe = waiver_probe
 
     pcu = world.pcu
     registers = pcu.registers
@@ -662,6 +690,13 @@ def run_machine_campaign(
         syscalls=kernel.syscall_count,
         lockstep_checks=monitor.checks,
         extra_specs=list(specs[1:]),
+        contract_violations=(0 if contract_monitor is None
+                             else contract_monitor.total_violations),
+        unwaived_contract_violations=(
+            0 if contract_monitor is None
+            else contract_monitor.unwaived_violations),
+        contract_counts=({} if contract_monitor is None
+                         else contract_monitor.nonzero_counts()),
     )
 
 
@@ -674,6 +709,7 @@ def run_planned_machine_campaign(
     faults_per_campaign: int = 1,
     scrub_interval: Optional[int] = None,
     pulse_interval: Optional[int] = None,
+    contracts: bool = True,
 ) -> MachineCampaignResult:
     """Draw campaign ``campaign``'s specs from the plan and run it.
 
@@ -693,6 +729,7 @@ def run_planned_machine_campaign(
         iterations=iterations,
         scrub_interval=scrub_interval,
         pulse_interval=pulse_interval,
+        contracts=contracts,
     )
 
 
@@ -719,6 +756,14 @@ class MachineCampaignMatrix:
     def rollbacks(self) -> int:
         return sum(r.rollbacks for r in self.results)
 
+    @property
+    def contract_violations(self) -> int:
+        return sum(r.contract_violations for r in self.results)
+
+    @property
+    def unwaived_contract_violations(self) -> int:
+        return sum(r.unwaived_contract_violations for r in self.results)
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "backend": self.backend,
@@ -728,6 +773,8 @@ class MachineCampaignMatrix:
             "classification_counts": self.counts,
             "widening_silent_divergences": len(self.widening_silent),
             "reconfig_rollbacks": self.rollbacks,
+            "contract_violations": self.contract_violations,
+            "unwaived_contract_violations": self.unwaived_contract_violations,
             "results": [r.to_dict() for r in self.results],
         }
 
@@ -741,6 +788,7 @@ def run_machine_campaigns(
     faults_per_campaign: int = 1,
     scrub_interval: Optional[int] = None,
     pulse_interval: Optional[int] = None,
+    contracts: bool = True,
 ) -> MachineCampaignMatrix:
     """K machine campaigns on one backend, serially."""
     results = [
@@ -750,6 +798,7 @@ def run_machine_campaigns(
             faults_per_campaign=faults_per_campaign,
             scrub_interval=scrub_interval,
             pulse_interval=pulse_interval,
+            contracts=contracts,
         )
         for campaign in range(n_campaigns)
     ]
@@ -759,19 +808,29 @@ def run_machine_campaigns(
 def write_machine_report(matrices: List[MachineCampaignMatrix],
                          path: str) -> Dict[str, object]:
     """Aggregate machine matrices into one JSON report."""
+    from repro.contracts import CONTRACT_NAMES
+
     totals: "Counter[str]" = Counter()
+    contract_totals: "Counter[str]" = Counter()
     widening_silent = 0
     rollbacks = 0
+    unwaived = 0
     for matrix in matrices:
         totals.update(matrix.counts)
         widening_silent += len(matrix.widening_silent)
         rollbacks += matrix.rollbacks
+        unwaived += matrix.unwaived_contract_violations
+        for result in matrix.results:
+            contract_totals.update(result.contract_counts)
     payload = {
         "format": "isagrid-machine-fault-campaign-v1",
         "classification_counts": {name: totals.get(name, 0)
                                   for name in CLASSIFICATIONS},
         "widening_silent_divergences": widening_silent,
         "reconfig_rollbacks": rollbacks,
+        "contract_counts": {name: contract_totals.get(name, 0)
+                            for name in CONTRACT_NAMES},
+        "unwaived_contract_violations": unwaived,
         "matrices": [matrix.to_dict() for matrix in matrices],
     }
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)

@@ -150,7 +150,8 @@ class IntegrityScrubber:
                     if read(domain, index) == want:
                         continue
                     if repair:
-                        memory.store_word(address_of(domain, index), want)
+                        memory.store_word(address_of(domain, index), want,
+                                          origin="scrub")
                         self.pcu.stats.scrub_repairs += 1
                     report.memory_repairs += 1
             report.repaired_domains.append(domain)
@@ -178,7 +179,7 @@ class IntegrityScrubber:
                 if memory.load_word(word_address) == want:
                     continue
                 if repair:
-                    memory.store_word(word_address, want)
+                    memory.store_word(word_address, want, origin="scrub")
                     self.pcu.stats.scrub_repairs += 1
                     self.pcu.sgt_cache.invalidate(gate_id)
                 report.memory_repairs += 1

@@ -71,6 +71,7 @@ def orchestrate_faults(
     scrub_interval: int,
     faults_per_campaign: int = 1,
     profile: bool = False,
+    contracts: bool = True,
     run_dir: Optional[str] = None,
     resume: bool = False,
     shard_timeout: Optional[float] = None,
@@ -88,7 +89,7 @@ def orchestrate_faults(
 
     plan = plan_fault_shards(backends, configs, seed, n_events, n_campaigns,
                              scrub_interval, faults_per_campaign,
-                             profile=profile)
+                             profile=profile, contracts=contracts)
     run, run_dir = _drive(plan, jobs, run_dir, resume, shard_timeout,
                           max_retries, on_shard_done, sabotage)
     return merge_fault_results(backends, configs, seed, n_events, run), \
@@ -134,6 +135,7 @@ def orchestrate_machine_faults(
     scrub_interval: Optional[int] = None,
     pulse_interval: Optional[int] = None,
     profile: bool = False,
+    contracts: bool = True,
     run_dir: Optional[str] = None,
     resume: bool = False,
     shard_timeout: Optional[float] = None,
@@ -159,7 +161,7 @@ def orchestrate_machine_faults(
         backends, seed, n_campaigns, iterations,
         faults_per_campaign=faults_per_campaign,
         scrub_interval=scrub_interval, pulse_interval=pulse_interval,
-        profile=profile)
+        profile=profile, contracts=contracts)
     run, run_dir = _drive(plan, jobs, run_dir, resume, shard_timeout,
                           max_retries, on_shard_done, sabotage)
     return merge_machine_fault_results(backends, seed, iterations, run), \
@@ -206,6 +208,7 @@ def orchestrate_conformance(
     oracle_only: bool = False,
     dump_dir: Optional[str] = ".",
     profile: bool = False,
+    contracts: bool = True,
     run_dir: Optional[str] = None,
     resume: bool = False,
     shard_timeout: Optional[float] = None,
@@ -227,7 +230,7 @@ def orchestrate_conformance(
                                    scrub_interval=scrub_interval,
                                    oracle_only=oracle_only,
                                    dump_dir=dump_dir,
-                                   profile=profile)
+                                   profile=profile, contracts=contracts)
     run, run_dir = _drive(plan, jobs, run_dir, resume, shard_timeout,
                           max_retries, on_shard_done, sabotage)
     by_unit = {(r.payload["backend"], r.payload["config"]): r.payload

@@ -156,6 +156,7 @@ def plan_fault_shards(
     scrub_interval: int,
     faults_per_campaign: int = 1,
     profile: bool = False,
+    contracts: bool = True,
 ) -> ShardPlan:
     """Chunk the (backend x config x campaign) fault matrix into shards.
 
@@ -181,6 +182,7 @@ def plan_fault_shards(
                     "campaign_hi": hi,
                     "scrub_interval": scrub_interval,
                     "faults_per_campaign": faults_per_campaign,
+                    "contracts": bool(contracts),
                 }
                 # Only present when set, so profiled and plain runs of
                 # the same campaign share shard ids but not run dirs
@@ -200,6 +202,7 @@ def plan_fault_shards(
         "seed": seed, "n_events": n_events, "n_campaigns": n_campaigns,
         "scrub_interval": scrub_interval,
         "faults_per_campaign": faults_per_campaign,
+        "contracts": bool(contracts),
     }
     if profile:
         plan_params["profile"] = True
@@ -215,6 +218,7 @@ def plan_machine_fault_shards(
     scrub_interval: Optional[int] = None,
     pulse_interval: Optional[int] = None,
     profile: bool = False,
+    contracts: bool = True,
 ) -> ShardPlan:
     """Chunk the machine-level (backend x campaign) matrix into shards.
 
@@ -244,6 +248,7 @@ def plan_machine_fault_shards(
                 "faults_per_campaign": faults_per_campaign,
                 "scrub_interval": scrub_interval,
                 "pulse_interval": pulse_interval,
+                "contracts": bool(contracts),
             }
             if profile:
                 params["profile"] = True
@@ -258,6 +263,7 @@ def plan_machine_fault_shards(
         "n_campaigns": n_campaigns, "iterations": iterations,
         "faults_per_campaign": faults_per_campaign,
         "scrub_interval": scrub_interval, "pulse_interval": pulse_interval,
+        "contracts": bool(contracts),
     }
     if profile:
         plan_params["profile"] = True
@@ -274,6 +280,7 @@ def plan_conformance_shards(
     oracle_only: bool = False,
     dump_dir: Optional[str] = ".",
     profile: bool = False,
+    contracts: bool = True,
 ) -> ShardPlan:
     """One shard per (backend, config) pair of the conformance matrix.
 
@@ -293,6 +300,7 @@ def plan_conformance_shards(
                 "scrub_interval": scrub_interval,
                 "oracle_only": oracle_only,
                 "dump_dir": dump_dir,
+                "contracts": bool(contracts),
             }
             if profile:
                 params["profile"] = True
@@ -306,6 +314,7 @@ def plan_conformance_shards(
         "backends": list(backends), "configs": list(configs),
         "seed": seed, "n_events": n_events, "layer": layer,
         "scrub_interval": scrub_interval, "oracle_only": oracle_only,
+        "contracts": bool(contracts),
     }
     if profile:
         plan_params["profile"] = True

@@ -89,6 +89,7 @@ def run_fault_shard(params: Dict[str, object]) -> Dict[str, object]:
             scrub_interval=int(params["scrub_interval"]),
             campaign=campaign,
             extra_specs=specs[1:],
+            contracts=bool(params.get("contracts", True)),
         )
         results.append(result.to_dict())
         events_run += result.events_run
@@ -127,6 +128,7 @@ def run_machine_fault_shard(params: Dict[str, object]) -> Dict[str, object]:
                             else int(scrub_interval)),
             pulse_interval=(None if pulse_interval is None
                             else int(pulse_interval)),
+            contracts=bool(params.get("contracts", True)),
         )
         results.append(result.to_dict())
         events_run += result.instructions
@@ -150,6 +152,7 @@ def run_conformance_shard(params: Dict[str, object]) -> Dict[str, object]:
         dump_dir=params.get("dump_dir"),
         layer=params.get("layer", "pcu"),
         scrub_interval=int(params.get("scrub_interval", 0)),
+        contracts=bool(params.get("contracts", True)),
     )
     payload = result.summary()
     payload["events_run"] = result.events

@@ -1,0 +1,264 @@
+"""Brute-force reference for the contract layer's verdicts.
+
+An independent re-derivation of what the six universal contracts should
+report for a given event stream, written as six flat single-purpose
+passes (one list of per-event violation counts each) plus an explicit
+model of the monitor's delivery discipline (transaction buffering,
+waiver arming).  The stateful test cross-checks
+:func:`repro.contracts.replay_trace` against this on random streams:
+agreement on every per-contract count *and* on the unwaived total is
+the acceptance bar.
+"""
+
+from typing import Dict, List, Tuple
+
+from repro.contracts import TraceEvent
+
+DOMAIN_0 = 0
+
+
+def normalize(events) -> List[TraceEvent]:
+    """Reproduce the monitor's delivery order.
+
+    Reconfig events inside an open transaction are held back until the
+    commit (and dropped by an abort, like the mutation they describe);
+    everything else is delivered in feed order.
+    """
+    out: List[TraceEvent] = []
+    buffer: List[TraceEvent] = []
+    in_txn = False
+    for event in events:
+        if event.kind == "txn":
+            if event.op == "begin":
+                in_txn, buffer = True, []
+                out.append(event)
+            elif event.op == "commit":
+                in_txn = False
+                out.extend(buffer)
+                buffer = []
+                out.append(event)
+            else:                      # abort
+                in_txn, buffer = False, []
+                out.append(event)
+        elif event.kind == "reconfig" and in_txn:
+            buffer.append(event)
+        else:
+            out.append(event)
+    return out
+
+
+def _inst_counts(stream) -> List[int]:
+    allowed: Dict[int, set] = {}
+    out = []
+    for event in stream:
+        n = 0
+        if event.kind == "reconfig":
+            if event.op in ("create_domain", "clear_domain"):
+                allowed[event.domain] = set()
+            elif event.op == "allow_inst":
+                allowed.setdefault(event.domain, set()).add(event.inst)
+            elif event.op == "deny_inst":
+                allowed.setdefault(event.domain, set()).discard(event.inst)
+        elif (event.kind == "check" and event.status == "ok"
+              and event.domain != DOMAIN_0 and event.inst >= 0
+              and event.inst not in allowed.get(event.domain, set())):
+            n = 1
+        out.append(n)
+    return out
+
+
+def _csr_counts(stream, masked) -> List[int]:
+    readable: Dict[int, set] = {}
+    writable: Dict[int, set] = {}
+    masks: Dict[Tuple[int, int], int] = {}
+    out = []
+    for event in stream:
+        n = 0
+        if event.kind == "reconfig":
+            if event.op in ("create_domain", "clear_domain"):
+                readable[event.domain] = set()
+                writable[event.domain] = set()
+                masks = {key: bits for key, bits in masks.items()
+                         if key[0] != event.domain}
+            elif event.op == "grant_csr":
+                if event.read:
+                    readable.setdefault(event.domain, set()).add(event.csr)
+                if event.write:
+                    writable.setdefault(event.domain, set()).add(event.csr)
+            elif event.op == "revoke_csr":
+                if event.read:
+                    readable.setdefault(event.domain,
+                                        set()).discard(event.csr)
+                if event.write:
+                    writable.setdefault(event.domain,
+                                        set()).discard(event.csr)
+            elif event.op == "set_mask":
+                masks[(event.domain, event.csr)] = event.bits
+        elif (event.kind == "check" and event.status == "ok"
+              and event.domain != DOMAIN_0 and event.csr >= 0):
+            if event.read and event.csr not in readable.get(event.domain,
+                                                            set()):
+                n += 1
+            if event.write:
+                if event.csr in masked:
+                    mask = masks.get((event.domain, event.csr), 0)
+                    if (event.old ^ event.value) & ~mask:
+                        n += 1
+                elif event.csr not in writable.get(event.domain, set()):
+                    n += 1
+        out.append(n)
+    return out
+
+
+def _gate_counts(stream) -> List[int]:
+    expected = DOMAIN_0
+    gates: Dict[int, int] = {}
+    out = []
+    for event in stream:
+        n = 0
+        if event.kind == "reconfig":
+            if event.op == "register_gate":
+                gates[event.gate] = event.dest
+            elif event.op == "unregister_gate":
+                gates.pop(event.gate, None)
+            elif event.op == "sync_domain":
+                expected = event.domain
+        elif event.kind == "check":
+            if event.domain != expected:
+                n = 1
+                expected = event.domain
+        elif event.kind == "mem_write":
+            if event.domain >= 0 and event.domain != expected:
+                n = 1
+                expected = event.domain
+        elif event.kind == "gate":
+            if event.pre_domain != expected:
+                n += 1
+                expected = event.pre_domain
+            if event.status != "ok":
+                if event.domain != expected:
+                    n += 1
+                    expected = event.domain
+            else:
+                if event.op in ("hccall", "hccalls"):
+                    dest = gates.get(event.gate)
+                    if dest is None or event.domain != dest:
+                        n += 1
+                elif event.op == "hcrets" and event.domain == DOMAIN_0:
+                    n += 1
+                expected = event.domain
+        out.append(n)
+    return out
+
+
+def _d0_counts(stream) -> List[int]:
+    in_txn = False
+    out = []
+    for event in stream:
+        n = 0
+        if event.kind == "txn":
+            in_txn = event.op == "begin"
+        elif (event.kind == "mem_write" and event.op == "sw"
+              and not in_txn and event.domain not in (-1, DOMAIN_0)):
+            n = 1
+        out.append(n)
+    return out
+
+
+def _revoke_counts(stream, masked) -> List[int]:
+    # (domain, kind, item) -> "granted" | "revoked"; absent = never seen
+    state: Dict[Tuple[int, str, int], str] = {}
+
+    def grant(domain, kind, item):
+        state[(domain, kind, item)] = "granted"
+
+    def revoke(domain, kind, item):
+        if state.get((domain, kind, item)) == "granted":
+            state[(domain, kind, item)] = "revoked"
+
+    out = []
+    for event in stream:
+        n = 0
+        if event.kind == "reconfig":
+            if event.op == "create_domain":
+                for key in [key for key in state if key[0] == event.domain]:
+                    del state[key]
+            elif event.op == "clear_domain":
+                for key in state:
+                    if key[0] == event.domain and state[key] == "granted":
+                        state[key] = "revoked"
+            elif event.op == "allow_inst":
+                grant(event.domain, "inst", event.inst)
+            elif event.op == "deny_inst":
+                revoke(event.domain, "inst", event.inst)
+            elif event.op == "grant_csr":
+                if event.read:
+                    grant(event.domain, "read", event.csr)
+                if event.write:
+                    grant(event.domain, "write", event.csr)
+            elif event.op == "revoke_csr":
+                if event.read:
+                    revoke(event.domain, "read", event.csr)
+                if event.write:
+                    revoke(event.domain, "write", event.csr)
+        elif (event.kind == "check" and event.status == "ok"
+              and event.domain != DOMAIN_0):
+            if state.get((event.domain, "inst", event.inst)) == "revoked":
+                n += 1
+            if event.csr >= 0:
+                if (event.read and state.get((event.domain, "read",
+                                              event.csr)) == "revoked"):
+                    n += 1
+                if (event.write and event.csr not in masked
+                        and state.get((event.domain, "write",
+                                       event.csr)) == "revoked"):
+                    n += 1
+        out.append(n)
+    return out
+
+
+def _rollback_counts(stream) -> List[int]:
+    in_txn = False
+    first_touch: Dict[int, int] = {}
+    out = []
+    for event in stream:
+        n = 0
+        if event.kind == "mem_write":
+            if in_txn:
+                first_touch.setdefault(event.address, event.old)
+        elif event.kind == "txn":
+            if event.op == "begin":
+                in_txn, first_touch = True, {}
+            elif event.op == "commit":
+                in_txn, first_touch = False, {}
+            else:                      # abort
+                observed = event.values or {}
+                n = sum(1 for address, want in first_touch.items()
+                        if observed.get(address, want) != want)
+                in_txn, first_touch = False, {}
+        out.append(n)
+    return out
+
+
+def reference_verdict(events, geometry) -> Tuple[Dict[str, int], int]:
+    """Counts per contract plus the unwaived total, independently derived."""
+    stream = normalize(events)
+    masked = set(geometry.get("masked_csrs", ()))
+    per_contract = {
+        "inst_retirement": _inst_counts(stream),
+        "csr_retirement": _csr_counts(stream, masked),
+        "gate_only_switches": _gate_counts(stream),
+        "trusted_mem_d0": _d0_counts(stream),
+        "coherence_after_revoke": _revoke_counts(stream, masked),
+        "rollback_atomicity": _rollback_counts(stream),
+    }
+    counts = {name: sum(rows) for name, rows in per_contract.items()}
+    armed = False
+    unwaived = 0
+    for position, event in enumerate(stream):
+        if event.kind == "fault" and event.op == "injected":
+            armed = True
+        if not armed:
+            unwaived += sum(rows[position]
+                            for rows in per_contract.values())
+    return counts, unwaived

@@ -87,13 +87,28 @@ class TestSingleCampaign:
         assert MachineCampaignResult.from_dict(data).to_dict() == data
 
 
+@pytest.fixture(scope="module")
+def matrices():
+    """One full kind-cycle matrix per backend, run once for the module.
+
+    Both the matrix-shape tests and the jobs-vs-serial identity test
+    consume these: machine campaign draws are campaign-local (see
+    ``test_machine_plan_draws_are_campaign_local``), so a prefix of a
+    full matrix doubles as the serial reference for a shorter sharded
+    run — no second serial campaign sweep needed.
+    """
+    return {
+        backend: run_machine_campaigns(backend, seed=7,
+                                       n_campaigns=len(MACHINE_FAULT_KINDS),
+                                       iterations=2)
+        for backend in ("riscv", "x86")
+    }
+
+
 class TestMachineMatrix:
-    @pytest.fixture(scope="class", params=["riscv", "x86"])
-    def matrix(self, request):
-        # one full cycle of machine fault kinds per backend
-        return run_machine_campaigns(request.param, seed=7,
-                                     n_campaigns=len(MACHINE_FAULT_KINDS),
-                                     iterations=2)
+    @pytest.fixture(params=["riscv", "x86"])
+    def matrix(self, request, matrices):
+        return matrices[request.param]
 
     def test_no_widening_silent_divergence(self, matrix):
         assert matrix.widening_silent == []
@@ -111,6 +126,12 @@ class TestMachineMatrix:
     def test_reconfig_pulses_ran(self, matrix):
         assert all(r.pulses_run > 0 for r in matrix.results)
 
+    def test_no_unwaived_contract_violations(self, matrix):
+        # Every campaign runs monitored by default; any violation must
+        # be attributable to the armed injector (waived), never free.
+        assert all(r.unwaived_contract_violations == 0
+                   for r in matrix.results)
+
     def test_report_written_with_rollback_count(self, matrix, tmp_path):
         path = str(tmp_path / "machine_report.json")
         payload = write_machine_report([matrix], path)
@@ -122,18 +143,20 @@ class TestMachineMatrix:
 
 
 class TestOrchestration:
-    def test_jobs_identical_to_serial(self, tmp_path):
+    def test_jobs_identical_to_serial(self, tmp_path, matrices):
+        # The serial reference is the first 4 campaigns of the already-
+        # computed full matrices (campaign draws are campaign-local, so
+        # a prefix is exactly what a 4-campaign serial run produces) —
+        # this test only pays for the sharded side.
         from repro.orchestrator import orchestrate_machine_faults
 
-        serial = [run_machine_campaigns(backend, seed=7, n_campaigns=4,
-                                        iterations=2)
-                  for backend in ("riscv", "x86")]
         sharded, run, _ = orchestrate_machine_faults(
             ("riscv", "x86"), 7, 4, jobs=2, iterations=2,
             run_dir=str(tmp_path / "run"))
         assert run.quarantined == []
-        assert [m.to_dict() for m in sharded] == \
-            [m.to_dict() for m in serial]
+        assert [[r.to_dict() for r in m.results] for m in sharded] == \
+            [[r.to_dict() for r in matrices[backend].results[:4]]
+             for backend in ("riscv", "x86")]
 
     def test_machine_plan_draws_are_campaign_local(self):
         # A worker must be able to draw campaign k without replaying
