@@ -138,6 +138,49 @@ def _run_smoke_contracts(fast_path: bool) -> Dict[str, object]:
 
 
 # ----------------------------------------------------------------------
+# Tenant churn: domain-ID virtualization under eviction pressure.
+# ----------------------------------------------------------------------
+def _run_churn_stress(fast_path: bool, n_ops: int = 900,
+                      max_slots: int = 24) -> Dict[str, object]:
+    """Fault-free churn stream over a deliberately small slot pool.
+
+    Times the virtualization layer where it hurts: constant eviction,
+    recycle and rebind traffic interleaved with live gate/check pairs.
+    ``detail`` carries the p50/p99 check-stall tail — the
+    generation-guard and refill costs the virtualizer adds to the check
+    path — plus the lifecycle counters, so a trajectory row doubles as
+    a coarse churn-correctness record.  Simulated work (checks, pairs,
+    stall cycles) must be fast/slow-path identical; only wall-clock and
+    ips may move.
+    """
+    from repro.conformance.events import N_CSR_SLOTS, N_INST_SLOTS
+    from repro.conformance.generator import make_backend
+    from repro.faults.churn import ChurnWorld, latency_percentiles
+    from repro.workloads import generate_churn_ops
+
+    world = ChurnWorld(make_backend("x86"), max_slots=max_slots,
+                       config="stress", fast_path=fast_path)
+    trace = generate_churn_ops(0, n_ops, N_INST_SLOTS, N_CSR_SLOTS)
+    pairs = 0
+    for index, op in enumerate(trace.ops):
+        for cached, oracle in world.apply(op, index):
+            assert cached == oracle, (index, cached, oracle)
+            pairs += 1
+    stall_cycles = sum(stall * count for stall, count in world.latency.items())
+    stats = world.virtualizer.stats
+    return _result(world.checks_run, stall_cycles, {
+        "pairs": pairs,
+        "latency": latency_percentiles(dict(world.latency)),
+        "spawned": stats.spawned,
+        "retired": stats.retired,
+        "recycles": stats.recycles,
+        "evictions": stats.evictions,
+        "slot_exhausted": stats.slot_exhausted,
+        "backpressured": world.backpressured,
+    })
+
+
+# ----------------------------------------------------------------------
 # Figure 5: LMbench microbenchmarks, RISC-V.
 # ----------------------------------------------------------------------
 def _run_fig5_riscv(fast_path: bool) -> Dict[str, object]:
@@ -327,6 +370,10 @@ RIGS: Dict[str, BenchRig] = {
                  _run_smoke_contracts, approx_instructions=200_000),
         BenchRig("gate_stress", "§7.1 privilege-cache stress workload",
                  _run_gate_stress, approx_instructions=1_000_000),
+        BenchRig("churn_stress",
+                 "tenant churn over a small slot pool (virtualizer "
+                 "eviction/recycle path; p50/p99 check-stall tail)",
+                 _run_churn_stress, approx_instructions=10_000),
         BenchRig("fig5_riscv", "Figure 5: LMbench microbenchmarks, RISC-V",
                  _run_fig5_riscv, approx_instructions=2_500_000),
         BenchRig("fig6_apps_riscv", "Figure 6: application profiles, RISC-V",

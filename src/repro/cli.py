@@ -12,6 +12,7 @@ Usage::
     python -m repro audit             # audit the shipped decompositions
     python -m repro conformance       # differential oracle-vs-PCU fuzz
     python -m repro faults            # fault-injection campaigns
+    python -m repro churn             # multi-tenant churn + slot recycling
     python -m repro bench             # evaluation rigs + perf trajectory
     python -m repro orchestrate       # status of parallel campaign runs
     python -m repro contracts         # the universal-contract layer
@@ -384,6 +385,80 @@ def _cmd_faults(args) -> int:
     return 1 if quarantined else 0
 
 
+def _cmd_churn(args) -> int:
+    """Tenant-churn campaigns: domain-ID virtualization under fault fire.
+
+    Thousands of logical tenants are spawned, retired and revisited over
+    a fixed pool of physical HPT slots while seeded recycle-window
+    faults (mid-recycle store faults, generation flips, dropped
+    flush-on-reuse) try to leak one tenant's privileges into the next.
+    Every campaign runs in lockstep with the oracle and is monitored
+    against all seven contracts — ``no_stale_generation`` included.
+    """
+    from repro.faults import (
+        CLASSIFICATIONS,
+        run_churn_campaigns,
+        write_churn_report,
+    )
+
+    backends = ("riscv", "x86") if args.backend == "both" else (args.backend,)
+    quarantined = 0
+    if args.jobs > 1 or args.resume or args.run_dir or args.profile:
+        from repro.orchestrator import orchestrate_churn
+
+        matrices, run, run_dir = orchestrate_churn(
+            backends, args.seed, args.ops, args.campaign,
+            jobs=args.jobs, max_slots=args.slots, config=args.config,
+            scrub_interval=args.scrub_interval,
+            profile=args.profile, contracts=args.contracts,
+            run_dir=args.run_dir, resume=args.resume,
+            shard_timeout=args.shard_timeout,
+        )
+    else:
+        matrices = [
+            run_churn_campaigns(
+                backend, args.seed, args.ops, args.campaign,
+                max_slots=args.slots, config=args.config,
+                scrub_interval=args.scrub_interval,
+                contracts=args.contracts,
+            )
+            for backend in backends
+        ]
+        run = run_dir = None
+    for matrix in matrices:
+        counts = " ".join("%s=%d" % (name, matrix.counts[name])
+                          for name in CLASSIFICATIONS)
+        percentiles = matrix.to_dict()["latency_percentiles"]
+        print("%-6s churn  %d campaigns x %d ops  %s  contracts "
+              "unwaived=%d" % (matrix.backend, len(matrix.results),
+                               matrix.n_ops, counts,
+                               matrix.unwaived_contract_violations))
+        print("    %d logical domains over %d slots  slot_exhausted=%d  "
+              "check stall p50=%d p99=%d"
+              % (matrix.logical_domains, matrix.max_slots,
+                 matrix.slot_exhausted, percentiles["p50"],
+                 percentiles["p99"]))
+        for result in matrix.widening_silent:
+            print("    WIDENING SILENT DIVERGENCE: campaign %d %s (%s)"
+                  % (result.campaign, result.spec.to_dict(), result.detail))
+    payload = write_churn_report(matrices, args.report)
+    print("report written to %s" % args.report)
+    if run is not None:
+        quarantined = _report_quarantine(run, run_dir)
+        print(run.metrics.render())
+        print("run directory: %s" % run_dir)
+    if payload["widening_silent_divergences"]:
+        print("FAIL: %d widening fault(s) diverged with no detection"
+              % payload["widening_silent_divergences"], file=sys.stderr)
+        return 1
+    if payload["unwaived_contract_violations"]:
+        print("FAIL: %d unwaived contract violation(s) — not attributable "
+              "to any armed fault"
+              % payload["unwaived_contract_violations"], file=sys.stderr)
+        return 1
+    return 1 if quarantined else 0
+
+
 _MACHINE_REPORT_DEFAULT = "results/machine_fault_campaigns.json"
 
 
@@ -417,6 +492,7 @@ def _run_machine_faults(args, backends) -> int:
             faults_per_campaign=args.faults_per_campaign,
             pulse_interval=args.pulse_interval,
             profile=args.profile, contracts=args.contracts,
+            state_changing_pulses=args.state_changing_pulses,
             run_dir=args.run_dir, resume=args.resume,
             shard_timeout=args.shard_timeout,
         )
@@ -428,6 +504,7 @@ def _run_machine_faults(args, backends) -> int:
                 faults_per_campaign=args.faults_per_campaign,
                 pulse_interval=args.pulse_interval,
                 contracts=args.contracts,
+                state_changing_pulses=args.state_changing_pulses,
             )
             for backend in backends
         ]
@@ -564,6 +641,7 @@ def _cmd_orchestrate(args) -> int:
 _COMMANDS = {
     "audit": _cmd_audit,
     "bench": _cmd_bench,
+    "churn": _cmd_churn,
     "orchestrate": _cmd_orchestrate,
     "table4": _cmd_table4,
     "table6": _cmd_table6,
@@ -586,7 +664,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     subparsers = parser.add_subparsers(dest="command", required=True,
                                        metavar="command")
     for name in sorted(_COMMANDS):
-        if name in ("bench", "conformance", "contracts", "faults",
+        if name in ("bench", "churn", "conformance", "contracts", "faults",
                     "orchestrate"):
             continue
         subparsers.add_parser(name, help="regenerate the %r artifact" % name)
@@ -679,8 +757,37 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="machine mode: instructions between "
                              "reconfiguration pulses (default: derived "
                              "from the workload geometry)")
+    faults.add_argument("--state-changing-pulses", action="store_true",
+                        help="machine mode: let the reconfiguration pulser "
+                             "also spawn/retire scratch domains (state-"
+                             "changing domain-0 transactions) instead of "
+                             "only state-neutral ones")
     add_contracts_flag(faults)
     add_orchestration_flags(faults)
+    churn = subparsers.add_parser(
+        "churn",
+        help="multi-tenant churn campaigns: logical domain-ID "
+             "virtualization over a fixed slot pool, with recycle-window "
+             "fault injection and generation-coherence contracts",
+    )
+    churn.add_argument("--ops", type=int, default=1200,
+                       help="churn operations per campaign stream")
+    churn.add_argument("--seed", type=int, default=0)
+    churn.add_argument("--campaign", type=int, default=12,
+                       help="number of campaigns per backend")
+    churn.add_argument("--backend", choices=("riscv", "x86", "both"),
+                       default="both")
+    churn.add_argument("--slots", type=int, default=48,
+                       help="physical HPT slots the virtualizer multiplexes "
+                            "logical tenants over")
+    churn.add_argument("--config", default="stress",
+                       help="PCU config name for the churn world")
+    churn.add_argument("--scrub-interval", type=int, default=64,
+                       help="churn ops between watchdog scrubs")
+    churn.add_argument("--report", default="results/churn_campaigns.json",
+                       help="JSON report output path")
+    add_contracts_flag(churn)
+    add_orchestration_flags(churn)
     bench = subparsers.add_parser(
         "bench",
         help="run the Table-4/5 and Fig-5-8 rigs sharded and emit a "

@@ -39,6 +39,7 @@ from repro.core.errors import (
     InstructionPrivilegeFault,
     RegisterReadFault,
     RegisterWriteFault,
+    StaleGenerationFault,
     TrustedMemoryFault,
     TrustedStackFault,
 )
@@ -89,6 +90,11 @@ class OraclePcu:
         self.window = _StackWindow(stack_frames)
         self._depth = 0
         self.enabled = True
+        # Slot-generation table mirror (domain virtualization): shared
+        # with the real PCU by the churn world so both sides latch the
+        # same generation on entry and fault identically on reuse.
+        self.generation_table = None
+        self._entry_generation = 0
 
     # ------------------------------------------------------------------
     # State.
@@ -106,10 +112,23 @@ class OraclePcu:
         self.pdomain = DOMAIN_0
         self.window = _StackWindow(self.stack_frames)
         self._depth = 0
+        self._entry_generation = 0
 
     def _switch(self, destination: int) -> None:
         self.pdomain = self.domain
         self.domain = destination
+        table = self.generation_table
+        if table is not None:
+            self._entry_generation = table.get(destination, 0)
+
+    def _check_generation(self, domain: int, address: int) -> None:
+        """Mirror of the PCU's slot-generation guard (hard fault)."""
+        table = self.generation_table
+        if table is not None and table.get(domain, 0) != self._entry_generation:
+            raise StaleGenerationFault(
+                domain, table.get(domain, 0), self._entry_generation,
+                address=address,
+            )
 
     # ------------------------------------------------------------------
     # Trusted-stack contexts (the spec of save/restore_context and of
@@ -152,6 +171,7 @@ class OraclePcu:
         domain = self.domain
         if domain == DOMAIN_0:
             return
+        self._check_generation(domain, access.address)
 
         word = self.hpt.read_inst_word(domain, access.inst_class // 64)
         if not word >> (access.inst_class % 64) & 1:
@@ -196,6 +216,8 @@ class OraclePcu:
         return_address: Optional[int] = None,
     ) -> int:
         """Execute a gate; returns the target pc or raises a fault."""
+        if self.domain != DOMAIN_0:
+            self._check_generation(self.domain, pc)
         if kind is GateKind.HCRETS:
             if self._depth <= 0:
                 raise TrustedStackFault(
@@ -236,5 +258,8 @@ class OraclePcu:
     def check_memory_access(self, address: int, pc: int = 0) -> None:
         if not self.enabled:
             return
-        if self.domain != DOMAIN_0 and self.trusted_memory.contains(address):
+        if self.domain == DOMAIN_0:
+            return
+        self._check_generation(self.domain, pc)
+        if self.trusted_memory.contains(address):
             raise TrustedMemoryFault(address, domain=self.domain, address=pc)

@@ -521,6 +521,10 @@ class ConformanceResult:
     outcomes: Dict[str, int]
     divergence: Optional[Divergence] = None
     reproducer_path: Optional[str] = None
+    #: Where the shrunk stream's contract trace landed (divergent runs
+    #: with contracts on).  Deliberately NOT part of :meth:`summary` —
+    #: the ``--jobs N`` byte-identity surface stays unchanged.
+    contract_trace_path: Optional[str] = None
     layer: str = "pcu"
     scrub_detections: List[str] = None  # type: ignore[assignment]
     stream_key: Optional[str] = None
@@ -610,4 +614,35 @@ def fuzz_backend(
                 dump_dir, backend_name, config, result.stream_key)
             runner.dump_reproducer(path, shrunk, final, seed=seed)
             result.reproducer_path = path
+            if contracts:
+                # Emit the ddmin-minimized divergence as a *contract
+                # trace* too: one more replay of the shrunk stream under
+                # a recording monitor, dumped in the corpus vocabulary so
+                # the reproducer doubles as a replayable contract-layer
+                # regression (no simulator needed to re-judge it).
+                from repro.contracts import ContractMonitor
+                trace_monitor = ContractMonitor(seed=seed, record=True)
+                runner.replay(shrunk, monitor=trace_monitor)
+                isa = runner.backend.isa_map
+                trace_path = "%s/contract-trace-%s-%s-%s.json" % (
+                    dump_dir, backend_name, config, result.stream_key)
+                payload = {
+                    "format": "isagrid-contract-trace-v1",
+                    "backend": backend_name,
+                    "config": config,
+                    "seed": seed,
+                    "stream_key": result.stream_key,
+                    "divergence": final.describe(),
+                    "geometry": {
+                        "n_inst_classes": isa.n_inst_classes,
+                        "n_csrs": isa.n_csrs,
+                        "masked_csrs": [csr for csr in range(isa.n_csrs)
+                                        if isa.mask_slot(csr) is not None],
+                    },
+                    "events": [event.to_dict()
+                               for event in trace_monitor.recorded],
+                }
+                with open(trace_path, "w") as handle:
+                    json.dump(payload, handle, indent=2)
+                result.contract_trace_path = trace_path
     return result

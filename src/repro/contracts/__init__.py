@@ -21,6 +21,7 @@ from .contracts import (
     CsrRetirementContract,
     GateOnlySwitchContract,
     InstRetirementContract,
+    NoStaleGenerationContract,
     RollbackAtomicityContract,
     TrustedMemConfinementContract,
     make_contracts,
@@ -44,6 +45,7 @@ __all__ = [
     "GateOnlySwitchContract",
     "InstRetirementContract",
     "MEM_ORIGINS",
+    "NoStaleGenerationContract",
     "RECONFIG_OPS",
     "RollbackAtomicityContract",
     "TRACE_EVENT_KINDS",

@@ -409,6 +409,67 @@ class RollbackAtomicityContract(Contract):
         return problems
 
 
+class NoStaleGenerationContract(Contract):
+    """C7 — no check retires against a recycled slot's prior tenant.
+
+    Shadow of the domain-virtualization layer (DESIGN §3.17): per-slot
+    generation counters driven by ``bind_slot``/``recycle_slot``
+    reconfigs, plus the generation the core *entered* each slot at
+    (latched from successful gate events).  An ``ok`` check in a
+    slot-managed domain is a violation when the slot is unbound (its
+    tenant was recycled away) or when the core's entry generation no
+    longer matches the slot's — either way the verdict was served
+    against a dead tenant's tables.  A generation mismatch surfacing as
+    a *hard fault* is the architecture working as specified and never
+    violates.
+    """
+
+    name = "no_stale_generation"
+    description = ("an ok verdict in a virtualized slot requires the slot "
+                   "to be bound and the core's entry generation to match "
+                   "the slot's current generation")
+    vocabulary = ("check", "gate", "reconfig")
+
+    def reset(self) -> None:
+        #: physical slot -> current generation (tracked slots only)
+        self.slot_gen: Dict[int, int] = {}
+        #: physical slot -> bound logical tenant
+        self.bound: Dict[int, int] = {}
+        #: physical slot -> generation the core last entered it at
+        self.entry_gen: Dict[int, int] = {}
+
+    def observe(self, event: TraceEvent) -> List[str]:
+        if event.kind == "reconfig":
+            if event.op == "bind_slot":
+                self.slot_gen[event.domain] = event.bits
+                self.bound[event.domain] = event.dest
+            elif event.op == "recycle_slot":
+                self.slot_gen[event.domain] = event.bits
+                self.bound.pop(event.domain, None)
+            return []
+        if event.status != "ok":
+            return []
+        if event.kind == "gate":
+            if event.domain in self.slot_gen:
+                self.entry_gen[event.domain] = self.slot_gen[event.domain]
+            return []
+        if event.kind != "check":
+            return []
+        domain = event.domain
+        if domain == DOMAIN_0 or domain not in self.slot_gen:
+            return []
+        current = self.slot_gen[domain]
+        if domain not in self.bound:
+            return ["check retired ok in slot %d after its tenant was "
+                    "recycled away (generation %d)" % (domain, current)]
+        entered = self.entry_gen.get(domain, current)
+        if entered != current:
+            return ["check retired ok in slot %d at generation %d but the "
+                    "core entered at generation %d — a prior tenant's "
+                    "verdict" % (domain, current, entered)]
+        return []
+
+
 #: Registry, in canonical report order.
 CONTRACT_CLASSES = (
     InstRetirementContract,
@@ -417,6 +478,7 @@ CONTRACT_CLASSES = (
     TrustedMemConfinementContract,
     CoherenceAfterRevokeContract,
     RollbackAtomicityContract,
+    NoStaleGenerationContract,
 )
 
 #: Canonical contract names, matching :data:`CONTRACT_CLASSES` order.

@@ -34,7 +34,10 @@ Kinds and the fields they carry:
     ``create_domain``, ``clear_domain``, ``allow_inst``, ``deny_inst``,
     ``grant_csr``, ``revoke_csr``, ``set_mask``, ``register_gate``,
     ``unregister_gate``, ``sync_domain`` (the monitor's "the core is
-    currently in ``domain``" synchronization marker).
+    currently in ``domain``" synchronization marker), plus the domain
+    virtualization pair ``bind_slot``/``recycle_slot`` (``domain`` is
+    the physical slot, ``dest`` the logical tenant, ``bits`` the slot
+    generation the bind is valid for / the recycle bumped to).
 
 ``txn``
     Trusted-memory transaction boundary; ``op`` is ``begin``,
@@ -60,7 +63,7 @@ TRACE_EVENT_KINDS = ("check", "gate", "mem_write", "reconfig", "txn", "fault")
 RECONFIG_OPS = (
     "create_domain", "clear_domain", "allow_inst", "deny_inst",
     "grant_csr", "revoke_csr", "set_mask", "register_gate",
-    "unregister_gate", "sync_domain",
+    "unregister_gate", "sync_domain", "bind_slot", "recycle_slot",
 )
 
 #: Trusted-memory store origins (``TraceEvent.op`` when kind is

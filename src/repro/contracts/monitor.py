@@ -79,12 +79,19 @@ class ContractMonitor:
 
     def __init__(self, contracts: Optional[Sequence[Contract]] = None, *,
                  seed: Optional[int] = None,
-                 campaign: Optional[int] = None):
+                 campaign: Optional[int] = None,
+                 record: bool = False):
         self.contracts: List[Contract] = (list(contracts)
                                           if contracts is not None
                                           else make_contracts())
         self.seed = seed
         self.campaign = campaign
+        #: With ``record=True`` every fed event is appended to
+        #: ``recorded`` in feed order (including transaction-buffered
+        #: reconfigs at their *feed* position), so a live run can be
+        #: dumped as a replayable contract trace.
+        self.record = record
+        self.recorded: List[TraceEvent] = []
         #: Zero-arg callable the driver installs: returns a detail
         #: string while an injected fault is armed/fired, else None.
         self.waiver_probe: Optional[Callable[[], Optional[str]]] = None
@@ -157,6 +164,16 @@ class ContractMonitor:
             feed(TraceEvent(kind="reconfig", op="register_gate",
                             gate=gate_id,
                             dest=manager.gates[gate_id].destination_domain))
+        virtualizer = getattr(manager, "virtualizer", None)
+        if virtualizer is not None:
+            # Replay the live slot bindings so the generation-coherence
+            # shadow starts truthful on mid-run attachment.
+            for logical in sorted(virtualizer.bindings):
+                physical = virtualizer.bindings[logical]
+                feed(TraceEvent(
+                    kind="reconfig", op="bind_slot", domain=physical,
+                    bits=virtualizer.generations.get(physical, 0),
+                    dest=logical))
         feed(TraceEvent(kind="reconfig", op="sync_domain",
                         domain=pcu.current_domain))
 
@@ -167,6 +184,8 @@ class ContractMonitor:
             event.index = self._index
         self._index = event.index + 1
         self.events_seen += 1
+        if self.record:
+            self.recorded.append(event)
         kind = event.kind
         if kind == "fault":
             if event.op == "injected":

@@ -30,6 +30,12 @@ from .domain import (
     allow_all_policy,
     exclusive_writers_policy,
 )
+from .domain_virtualization import (
+    DomainVirtualizer,
+    SlotExhausted,
+    TenantManifest,
+    VirtualizerStats,
+)
 from .errors import (
     BitMaskViolationFault,
     ConfigurationError,
@@ -41,6 +47,7 @@ from .errors import (
     PrivilegeFault,
     RegisterReadFault,
     RegisterWriteFault,
+    StaleGenerationFault,
     TrustedMemoryFault,
     TrustedStackFault,
 )
@@ -76,6 +83,7 @@ __all__ = [
     "DOMAIN_0",
     "DomainDescriptor",
     "DomainManager",
+    "DomainVirtualizer",
     "FullyAssociativeCache",
     "GateEntry",
     "GateFault",
@@ -101,11 +109,15 @@ __all__ = [
     "RegisterWriteFault",
     "RegistrationRejected",
     "SgtCache",
+    "SlotExhausted",
+    "StaleGenerationFault",
     "SwitchingGateTable",
+    "TenantManifest",
     "TrustedMemory",
     "TrustedMemoryFault",
     "TrustedStack",
     "TrustedStackFault",
+    "VirtualizerStats",
     "WordMemory",
     "allow_all_policy",
     "apply_manifest",

@@ -105,6 +105,12 @@ class DomainManager:
         # mutating method narrates its table edits through ``_emit``;
         # ``None`` makes that a no-op.
         self._tap = None
+        # Domain virtualization layer (DESIGN §3.17).  A
+        # :class:`~repro.core.domain_virtualization.DomainVirtualizer`
+        # installs itself here so the integrity scrubber and the
+        # contract monitor can discover slot bindings and generation
+        # words without any call-site plumbing.
+        self.virtualizer = None
 
     def _emit(self, op: str, **fields) -> None:
         """Narrate one table mutation to the attached contract tap."""
@@ -340,9 +346,13 @@ class DomainManager:
     def destroy_domain(self, domain_id: int) -> None:
         """Retire a domain: revoke every privilege and drop its gates.
 
-        Domain ids are never reused (the allocator is monotonic), but the
-        HPT words are zeroed write-through and the privilege caches swept
-        so no refill can resurrect the dead domain's grants.
+        Domain ids are never reused by this allocator (it is monotonic),
+        but the HPT words are zeroed write-through and the privilege
+        caches swept so no refill can resurrect the dead domain's
+        grants.  (Slot *recycling* — mapping many logical tenants onto
+        one physical id — lives a layer above, in
+        :mod:`~repro.core.domain_virtualization`, which keeps the
+        descriptor alive and guards reuse with generation counters.)
         """
         if domain_id == DOMAIN_0:
             raise ConfigurationError("domain-0 cannot be destroyed")

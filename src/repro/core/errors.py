@@ -130,6 +130,35 @@ class TrustedMemoryFault(PrivilegeFault):
         self.access_address = access_address
 
 
+class StaleGenerationFault(PrivilegeFault):
+    """A check or gate retired against a recycled domain slot.
+
+    With domain-ID virtualization (``repro.core.domain_virtualization``)
+    a physical HPT slot can be recycled between logical tenants.  The
+    PCU records the slot's generation when the core enters a domain; any
+    subsequent check whose slot generation no longer matches is served
+    with this hard fault instead of a stale verdict — the use-after-free
+    of the privilege table is never silently survivable.
+    """
+
+    def __init__(
+        self,
+        domain: int,
+        generation: int,
+        entered: int,
+        *,
+        address: int = -1,
+    ):
+        super().__init__(
+            "domain %d slot generation is %d but the core entered at "
+            "generation %d" % (domain, generation, entered),
+            domain=domain,
+            address=address,
+        )
+        self.generation = generation
+        self.entered = entered
+
+
 class TrustedStackFault(PrivilegeFault):
     """Trusted stack pointer left the [hcsb, hcsl) window (over/underflow)."""
 

@@ -28,6 +28,7 @@ from .errors import (
     InstructionPrivilegeFault,
     RegisterReadFault,
     RegisterWriteFault,
+    StaleGenerationFault,
     TrustedMemoryFault,
 )
 from .hpt import HybridPrivilegeTable
@@ -104,6 +105,16 @@ class PrivilegeCheckUnit:
         # an unmonitored run is bit-identical to pre-tap builds; a
         # ContractMonitor installs itself here via ``attach``.
         self._tap = None
+        # Slot-generation table (domain virtualization, DESIGN §3.17).
+        # ``None`` keeps every check path generation-blind (one
+        # is-not-None test when dormant); a DomainVirtualizer installs
+        # its live {physical domain: generation} mapping here.  The PCU
+        # latches the destination's generation on every domain switch;
+        # a later mismatch means the slot was recycled under the
+        # running core and the check must hard-fault, never serve a
+        # stale verdict.
+        self.generation_table = None
+        self._entry_generation = 0
 
     # ------------------------------------------------------------------
     # State.
@@ -121,6 +132,7 @@ class PrivilegeCheckUnit:
         self.registers.domain = DOMAIN_0
         self.registers.pdomain = DOMAIN_0
         self.bypass.invalidate()
+        self._entry_generation = 0
 
     def _enter_domain(self, destination: int) -> None:
         if self.config.flush_on_switch:
@@ -133,6 +145,9 @@ class PrivilegeCheckUnit:
         self.registers.domain = destination
         self.bypass.invalidate()
         self.stats.domain_switches += 1
+        table = self.generation_table
+        if table is not None:
+            self._entry_generation = table.get(destination, 0)
 
     # ------------------------------------------------------------------
     # Hybrid-grained privilege check engine (Section 4.1).
@@ -162,6 +177,14 @@ class PrivilegeCheckUnit:
         domain = self.registers.domain
         if domain == DOMAIN_0:
             return 0
+        table = self.generation_table
+        if table is not None and table.get(domain, 0) != self._entry_generation:
+            self._fault(
+                StaleGenerationFault(
+                    domain, table.get(domain, 0), self._entry_generation,
+                    address=access.address,
+                )
+            )
         if self._fast:
             bypass = self.bypass
             if bypass._domain == domain:
@@ -476,6 +499,17 @@ class PrivilegeCheckUnit:
         """
         if self._tap is not None:
             return self._traced_gate(kind, gate_id, pc, return_address)
+        table = self.generation_table
+        if table is not None:
+            domain = self.registers.domain
+            if domain != DOMAIN_0 and \
+                    table.get(domain, 0) != self._entry_generation:
+                self._fault(
+                    StaleGenerationFault(
+                        domain, table.get(domain, 0),
+                        self._entry_generation, address=pc,
+                    )
+                )
         if kind is GateKind.HCRETS:
             return self._execute_return(pc)
 
@@ -687,9 +721,18 @@ class PrivilegeCheckUnit:
         """Software load/store filter: trusted memory is domain-0-only."""
         if not self.enabled:
             return
-        if self.registers.domain != DOMAIN_0 and self.trusted_memory.contains(address):
+        domain = self.registers.domain
+        if domain == DOMAIN_0:
+            return
+        table = self.generation_table
+        if table is not None and table.get(domain, 0) != self._entry_generation:
             self._fault(
-                TrustedMemoryFault(
-                    address, domain=self.registers.domain, address=pc
+                StaleGenerationFault(
+                    domain, table.get(domain, 0), self._entry_generation,
+                    address=pc,
                 )
+            )
+        if self.trusted_memory.contains(address):
+            self._fault(
+                TrustedMemoryFault(address, domain=domain, address=pc)
             )

@@ -21,6 +21,17 @@ from .campaign import (
     run_campaigns,
     write_report,
 )
+from .churn import (
+    DEFAULT_CHURN_OPS,
+    DEFAULT_SLOTS,
+    ChurnCampaignResult,
+    ChurnMatrix,
+    ChurnWorld,
+    latency_percentiles,
+    run_churn_campaign,
+    run_churn_campaigns,
+    write_churn_report,
+)
 from .injector import FaultInjector, FaultyWordBacking
 from .machine import (
     DEFAULT_MACHINE_ITERATIONS,
@@ -38,6 +49,7 @@ from .machine import (
 )
 from .plan import (
     CACHE_MODULES,
+    CHURN_FAULT_KINDS,
     FAULT_KINDS,
     MACHINE_FAULT_KINDS,
     TRIGGER_KINDS,
@@ -48,11 +60,17 @@ from .scrub import IntegrityScrubber, ScrubReport, make_scrubber
 
 __all__ = [
     "CACHE_MODULES",
+    "CHURN_FAULT_KINDS",
     "CLASSIFICATIONS",
     "CampaignMatrix",
     "CampaignResult",
+    "ChurnCampaignResult",
+    "ChurnMatrix",
+    "ChurnWorld",
+    "DEFAULT_CHURN_OPS",
     "DEFAULT_MACHINE_ITERATIONS",
     "DEFAULT_SCRUB_INTERVAL",
+    "DEFAULT_SLOTS",
     "FAULT_KINDS",
     "FaultInjector",
     "FaultPlan",
@@ -68,10 +86,13 @@ __all__ = [
     "ReconfigPulser",
     "ScrubReport",
     "TRIGGER_KINDS",
+    "latency_percentiles",
     "machine_geometry",
     "make_scrubber",
     "run_campaign",
     "run_campaigns",
+    "run_churn_campaign",
+    "run_churn_campaigns",
     "run_machine_campaign",
     "run_machine_campaigns",
     "run_planned_machine_campaign",

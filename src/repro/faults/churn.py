@@ -1,0 +1,659 @@
+"""Tenant-churn campaigns: lockstep survival under slot recycling.
+
+The conformance fuzzer and the abstract fault campaigns run a *fixed*
+domain population; churn campaigns instead drive the
+:class:`~repro.core.domain_virtualization.DomainVirtualizer` with a
+:mod:`~repro.workloads.tenant_churn` op stream — thousands of logical
+tenants multiplexed over a few dozen physical slots, with Zipf-popular
+gate traffic, bursty arrivals, LRU eviction under ``slot_exhausted``
+backpressure, and SYS_DCONF-style reconfiguration commit windows
+overlapping live checks.
+
+Every privilege-visible step (gate, check) still runs in lockstep
+against the cache-free oracle over shared tables, the integrity
+scrubber still runs as a periodic watchdog (now also auditing slot
+generation words and bound-slot manifests), the universal contracts —
+including ``no_stale_generation`` — judge the whole stream, and the
+injected faults aim at the *recycle window* itself: a store fault
+mid-bind/recycle, a generation word flipped behind the mirror, a
+dropped flush-on-reuse.  Outcomes classify through the same
+detected/benign/silent-divergence matrix as every other campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.conformance.events import N_CSR_SLOTS, N_INST_SLOTS
+from repro.conformance.generator import Backend, make_backend
+from repro.conformance.runner import CONFORMANCE_CONFIGS, Outcome
+from repro.core import (
+    AccessInfo,
+    DomainManager,
+    DomainVirtualizer,
+    GateKind,
+    PrivilegeCheckUnit,
+    SlotExhausted,
+    TrustedMemory,
+)
+from repro.core.errors import InjectedFault, PrivilegeFault
+from repro.conformance.oracle import OraclePcu
+from repro.workloads.tenant_churn import ChurnOp, generate_churn_ops
+
+from .campaign import CLASSIFICATIONS, DEFAULT_SCRUB_INTERVAL
+from .injector import FaultInjector, FaultyWordBacking
+from .plan import FaultPlan, FaultSpec
+from .scrub import IntegrityScrubber
+
+#: Trusted-memory window (matches the conformance worlds).
+TMEM_BASE = 0x100000
+TMEM_SIZE = 1 << 20
+
+#: Deeper than the conformance stack: visits nest one frame, and the
+#: eviction policy must see live frames to refuse recycling them.
+STACK_FRAMES = 8
+
+#: Default physical slot pool.  Well under the acceptance ceiling of 64
+#: and far under ``max_domains``, so eviction pressure is constant.
+DEFAULT_SLOTS = 48
+
+DEFAULT_CHURN_OPS = 1200
+
+
+class ChurnWorld:
+    """Lockstep pair (cached PCU + oracle) driven by churn ops.
+
+    Duck-typed to :class:`~repro.conformance.runner.ConformanceWorld`
+    for the fault injector: exposes ``pcu``, ``manager``, ``backend``,
+    ``trusted_memory`` and ``slot_ids``.
+    """
+
+    def __init__(self, backend: Backend, *, max_slots: int = DEFAULT_SLOTS,
+                 config: str = "stress", fast_path: bool = True):
+        import dataclasses
+
+        self.backend = backend
+        self.trusted_memory = TrustedMemory(base=TMEM_BASE, size=TMEM_SIZE)
+        pcu_config = CONFORMANCE_CONFIGS[config]
+        if not fast_path:
+            pcu_config = dataclasses.replace(pcu_config, fast_path=False)
+        self.pcu = PrivilegeCheckUnit(backend.isa_map, pcu_config,
+                                      self.trusted_memory)
+        self.manager = DomainManager(self.pcu)
+        self.manager.allocate_trusted_stack(frames=STACK_FRAMES)
+        self.virtualizer = DomainVirtualizer(self.manager, max_slots=max_slots)
+        self.oracle = OraclePcu(backend.isa_map, self.pcu.hpt, self.pcu.sgt,
+                                self.trusted_memory, STACK_FRAMES)
+        # Both lockstep sides guard against the same generation mirror:
+        # a recycle hard-faults identically on either implementation.
+        self.oracle.generation_table = self.virtualizer.generations
+        #: generator tenant handle -> live logical id (None once retired)
+        self.logical_of: Dict[int, Optional[int]] = {}
+        self.home_handle = -1
+        #: check-stall histogram {stall cycles: count} for tail latency
+        self.latency: "Counter[int]" = Counter()
+        self.checks_run = 0
+        self.backpressured = 0
+
+    # -- injector surface ----------------------------------------------
+    @property
+    def slot_ids(self) -> Dict[int, Optional[int]]:
+        ids: Dict[int, Optional[int]] = {0: 0}
+        for index, physical in enumerate(sorted(self.virtualizer.slot_owner)):
+            ids[index + 1] = physical
+        return ids
+
+    # -- lockstep helpers ----------------------------------------------
+    def _outcome(self, status: str, pcu_side: bool, target: int = -1) -> Outcome:
+        if pcu_side:
+            return Outcome(status, self.pcu.current_domain,
+                           self.pcu.previous_domain,
+                           self.pcu.trusted_stack.depth, target)
+        return Outcome(status, self.oracle.domain, self.oracle.pdomain,
+                       self.oracle.depth, target)
+
+    def _run_side(self, fn, pcu_side: bool) -> Outcome:
+        try:
+            target = fn()
+        except PrivilegeFault as fault:
+            return self._outcome(type(fault).__name__, pcu_side)
+        return self._outcome("ok", pcu_side,
+                             target if isinstance(target, int) else -1)
+
+    def _check_pair(self, spec: Tuple[int, int, bool, bool]) -> Tuple[Outcome, Outcome]:
+        inst_slot, csr_slot, read, write = spec
+        access = AccessInfo(
+            inst_class=self.backend.inst_class(max(inst_slot, 0)),
+            csr=None if csr_slot < 0 else self.backend.csr_index(csr_slot),
+            csr_read=read,
+            csr_write=write,
+            write_value=0 if write else None,
+            old_value=0 if write else None,
+        )
+
+        def run_cached() -> None:
+            stall = self.pcu.check(access)
+            self.latency[stall] += 1
+
+        cached = self._run_side(run_cached, True)
+        oracle = self._run_side(lambda: self.oracle.check(access), False)
+        self.checks_run += 1
+        return cached, oracle
+
+    def _gate_pair(self, kind: GateKind, gate_id: int, pc: int,
+                   return_address: Optional[int]) -> Tuple[Outcome, Outcome]:
+        def run_cached() -> int:
+            target, _stall = self.pcu.execute_gate(kind, gate_id, pc,
+                                                   return_address)
+            return target
+
+        cached = self._run_side(run_cached, True)
+        oracle = self._run_side(
+            lambda: self.oracle.execute_gate(kind, gate_id, pc,
+                                             return_address),
+            False)
+        return cached, oracle
+
+    # -- op application ------------------------------------------------
+    def apply(self, op: ChurnOp, index: int) -> List[Tuple[Outcome, Outcome]]:
+        """Apply one churn op; return its lockstep outcome pairs.
+
+        Management ops (spawn/retire/reconfig) act on the *shared*
+        tables through domain-0 transactions, so they produce no
+        lockstep pairs of their own — the next check or gate is where
+        any damage becomes architecturally visible.
+        """
+        kind = op.kind
+        if kind == "spawn":
+            return self._apply_spawn(op)
+        if kind == "retire":
+            return self._apply_retire(op)
+        if kind == "reconfig":
+            return self._apply_reconfig(op)
+        if kind == "migrate":
+            return self._apply_migrate(op)
+        if kind == "visit":
+            return self._apply_visit(op, index)
+        if kind == "check":
+            return [self._check_pair(spec) for spec in op.checks]
+        raise ValueError("unknown churn op kind %r" % kind)
+
+    def _logical(self, handle: int) -> Optional[int]:
+        return self.logical_of.get(handle)
+
+    def _apply_spawn(self, op: ChurnOp) -> List[Tuple[Outcome, Outcome]]:
+        from repro.core import TenantManifest
+
+        manifest = TenantManifest(
+            instructions={self.backend.inst_name(s) for s in op.insts},
+            readable_csrs={self.backend.csr_name(s) for s in op.csr_reads},
+            writable_csrs={self.backend.csr_name(s) for s in op.csr_writes},
+        )
+        self.logical_of[op.tenant] = self.virtualizer.spawn(manifest)
+        return []
+
+    def _apply_retire(self, op: ChurnOp) -> List[Tuple[Outcome, Outcome]]:
+        logical = self._logical(op.tenant)
+        if logical is None:
+            return []
+        self.virtualizer.retire(logical)
+        self.logical_of[op.tenant] = None
+        return []
+
+    def _apply_reconfig(self, op: ChurnOp) -> List[Tuple[Outcome, Outcome]]:
+        logical = self._logical(op.tenant)
+        if logical is None:
+            return []
+        virtualizer = self.virtualizer
+        if op.verb == "allow_inst":
+            virtualizer.allow_instructions(
+                logical, [self.backend.inst_name(op.inst)])
+        elif op.verb == "deny_inst":
+            virtualizer.deny_instruction(
+                logical, self.backend.inst_name(op.inst))
+        elif op.verb == "grant_csr":
+            virtualizer.grant_register(logical, self.backend.csr_name(op.csr),
+                                       read=op.read, write=op.write)
+        elif op.verb == "revoke_csr":
+            virtualizer.revoke_register(logical, self.backend.csr_name(op.csr),
+                                        read=op.read, write=op.write)
+        else:
+            raise ValueError("unknown reconfig verb %r" % op.verb)
+        return []
+
+    def _activate(self, logical: int) -> Optional[int]:
+        try:
+            return self.virtualizer.activate(logical)
+        except SlotExhausted:
+            # Bounded backpressure: the op is simply deferred (dropped,
+            # in this open-loop workload) rather than crashing the run.
+            self.backpressured += 1
+            return None
+
+    def _apply_migrate(self, op: ChurnOp) -> List[Tuple[Outcome, Outcome]]:
+        logical = self._logical(op.tenant)
+        if logical is None:
+            return []
+        self.virtualizer.pin(logical)
+        physical = self._activate(logical)
+        if physical is None:
+            self.virtualizer.unpin(logical)
+            return []
+        pair = self._gate_pair(
+            GateKind.HCCALL,
+            self.virtualizer.gate_id_of(physical),
+            self.virtualizer.gate_address_of(physical),
+            None,
+        )
+        cached, oracle = pair
+        if cached.status == "ok" and oracle.status == "ok":
+            old = self._logical(self.home_handle)
+            if old is not None and old != logical:
+                self.virtualizer.unpin(old)
+            self.home_handle = op.tenant
+        else:
+            self.virtualizer.unpin(logical)
+        return [pair]
+
+    def _apply_visit(self, op: ChurnOp,
+                     index: int) -> List[Tuple[Outcome, Outcome]]:
+        logical = self._logical(op.tenant)
+        if logical is None:
+            return []
+        physical = self._activate(logical)
+        if physical is None:
+            return []
+        return_address = 0x9000 + 4 * (index & 0x3FF)
+        gate_id = self.virtualizer.gate_id_of(physical)
+        pairs = [self._gate_pair(
+            GateKind.HCCALLS,
+            gate_id,
+            self.virtualizer.gate_address_of(physical),
+            return_address,
+        )]
+        cached, oracle = pairs[0]
+        if cached != oracle or cached.status != "ok":
+            return pairs  # no domain entered on either side: stay home
+        for spec in op.checks:
+            pairs.append(self._check_pair(spec))
+        pairs.append(self._gate_pair(GateKind.HCRETS, gate_id,
+                                     return_address, None))
+        return pairs
+
+
+@dataclass
+class ChurnCampaignResult:
+    """Outcome of one churn campaign (fault matrix + churn totals)."""
+
+    campaign: int
+    stream_seed: int
+    spec: FaultSpec
+    classification: str
+    ops_run: int
+    pairs_run: int
+    fired: bool
+    detail: str
+    divergence_index: Optional[int] = None
+    detections: List[str] = field(default_factory=list)
+    rollbacks: int = 0
+    escaped_faults: int = 0
+    scrub_repairs: int = 0
+    extra_specs: List[FaultSpec] = field(default_factory=list)
+    contract_violations: int = 0
+    unwaived_contract_violations: int = 0
+    contract_counts: Dict[str, int] = field(default_factory=dict)
+    #: Virtualizer lifetime counters (spawned/retired/binds/recycles/
+    #: evictions/slot_exhausted) — the churn-specific half of the story.
+    virtualizer: Dict[str, int] = field(default_factory=dict)
+    checks_run: int = 0
+    backpressured: int = 0
+    #: Check-stall histogram {stall cycles: count}; percentiles derive
+    #: from it without storing per-check samples.
+    latency: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def widening(self) -> bool:
+        return self.spec.widening or any(s.widening for s in self.extra_specs)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "campaign": self.campaign,
+            "stream_seed": self.stream_seed,
+            "spec": self.spec.to_dict(),
+            "extra_specs": [s.to_dict() for s in self.extra_specs],
+            "classification": self.classification,
+            "ops_run": self.ops_run,
+            "pairs_run": self.pairs_run,
+            "fired": self.fired,
+            "detail": self.detail,
+            "divergence_index": self.divergence_index,
+            "detections": list(self.detections),
+            "rollbacks": self.rollbacks,
+            "escaped_faults": self.escaped_faults,
+            "scrub_repairs": self.scrub_repairs,
+            "contract_violations": self.contract_violations,
+            "unwaived_contract_violations": self.unwaived_contract_violations,
+            "contract_counts": dict(self.contract_counts),
+            "virtualizer": dict(self.virtualizer),
+            "checks_run": self.checks_run,
+            "backpressured": self.backpressured,
+            "latency": {str(k): v for k, v in sorted(self.latency.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ChurnCampaignResult":
+        data = dict(data)
+        data["spec"] = FaultSpec.from_dict(data["spec"])
+        data["extra_specs"] = [FaultSpec.from_dict(s)
+                               for s in data.get("extra_specs", [])]
+        data["latency"] = {int(k): v
+                           for k, v in data.get("latency", {}).items()}
+        return cls(**data)
+
+
+def latency_percentiles(histogram: Dict[int, int]) -> Dict[str, int]:
+    """p50/p99 check stall from a {stall: count} histogram."""
+    total = sum(histogram.values())
+    if not total:
+        return {"p50": 0, "p99": 0}
+    out: Dict[str, int] = {}
+    for name, fraction in (("p50", 0.50), ("p99", 0.99)):
+        threshold = fraction * total
+        seen = 0
+        value = 0
+        for stall in sorted(histogram):
+            seen += histogram[stall]
+            value = stall
+            if seen >= threshold:
+                break
+        out[name] = value
+    return out
+
+
+def run_churn_campaign(
+    backend_name: str,
+    spec: FaultSpec,
+    stream_seed: int,
+    n_ops: int,
+    *,
+    max_slots: int = DEFAULT_SLOTS,
+    config: str = "stress",
+    scrub_interval: int = DEFAULT_SCRUB_INTERVAL,
+    campaign: int = 0,
+    extra_specs: Sequence[FaultSpec] = (),
+    contracts: bool = True,
+) -> ChurnCampaignResult:
+    """Run one faulted churn stream in lockstep and classify the outcome.
+
+    The classification ladder is deliberately identical to
+    :func:`~repro.faults.campaign.run_campaign` — recycle-window faults
+    answer to the same detected/benign/silent-divergence matrix as every
+    other fault kind, they just get a richer world to do damage in.
+    """
+    backend = make_backend(backend_name)
+    world = ChurnWorld(backend, max_slots=max_slots, config=config)
+    backing = FaultyWordBacking(world.trusted_memory._backing,
+                                trusted_memory=world.trusted_memory)
+    world.trusted_memory._backing = backing
+    injectors = [FaultInjector(world, backing, s)
+                 for s in (spec, *extra_specs)]
+    scrubber = IntegrityScrubber(world.pcu, world.manager)
+    monitor = None
+    if contracts:
+        from repro.contracts import ContractMonitor
+
+        def waiver_probe():
+            if any(i.fired for i in injectors) or backing.store_faults_fired:
+                return ("; ".join(i.detail for i in injectors if i.fired)
+                        or backing.last_fired_detail or "injected fault")
+            return None
+
+        monitor = ContractMonitor(seed=stream_seed, campaign=campaign)
+        monitor.attach(world.pcu, world.manager)
+        monitor.waiver_probe = waiver_probe
+
+    trace = generate_churn_ops(stream_seed, n_ops, N_INST_SLOTS, N_CSR_SLOTS)
+    detections: List[str] = []
+    divergence_index: Optional[int] = None
+    halted = False
+    ops_run = 0
+    pairs_run = 0
+    escaped_faults = 0
+    stats = world.pcu.stats
+
+    def fault_owner() -> FaultInjector:
+        if backing.last_fired_owner is not None:
+            return backing.last_fired_owner
+        return next((i for i in injectors
+                     if i.spec.kind in ("store_fault", "recycle_store_fault")),
+                    injectors[0])
+
+    def settle_injected_fault() -> None:
+        nonlocal escaped_faults
+        if stats.reconfig_rollbacks > rollbacks_before:
+            fault_owner().note_rollback()
+        else:
+            fault_owner().note_escaped()
+            escaped_faults += 1
+
+    def note(report) -> None:
+        if report.memory_repairs:
+            detections.append("scrub repaired %d word(s)"
+                              % report.memory_repairs)
+        detections.extend(report.cache_detections)
+        detections.extend("UNREPAIRABLE: " + u for u in report.unrepairable)
+
+    def safe_scrub():
+        nonlocal rollbacks_before
+        rollbacks_before = stats.reconfig_rollbacks
+        try:
+            return scrubber.scrub()
+        except InjectedFault:
+            settle_injected_fault()
+            return scrubber.scrub()
+
+    rollbacks_before = stats.reconfig_rollbacks
+    for index, op in enumerate(trace.ops):
+        for injector in injectors:
+            injector.on_event(index)
+        rollbacks_before = stats.reconfig_rollbacks
+        try:
+            pairs = world.apply(op, index)
+        except InjectedFault:
+            settle_injected_fault()
+            ops_run = index + 1
+            continue
+        ops_run = index + 1
+        pairs_run += len(pairs)
+        diverged = next((p for p in pairs if p[0] != p[1]), None)
+        if diverged is not None:
+            divergence_index = index
+            break
+        if scrub_interval and (index + 1) % scrub_interval == 0:
+            report = safe_scrub()
+            note(report)
+            if report.unrepairable:
+                halted = True
+                break
+
+    audit = safe_scrub()
+    note(audit)
+    if audit.unrepairable:
+        halted = True
+
+    rollbacks = sum(i.rollbacks_seen for i in injectors)
+    detected = bool(detections) or rollbacks > 0
+    if divergence_index is not None:
+        classification = "detected_halted" if detected else "silent_divergence"
+    elif halted:
+        classification = "detected_halted"
+    elif detected:
+        classification = ("detected_recovered"
+                          if audit.clean or scrubber.verify_repaired(audit)
+                          else "detected_halted")
+    else:
+        classification = "benign"
+
+    return ChurnCampaignResult(
+        campaign=campaign,
+        stream_seed=stream_seed,
+        spec=spec,
+        classification=classification,
+        ops_run=ops_run,
+        pairs_run=pairs_run,
+        fired=any(i.fired for i in injectors),
+        detail="; ".join(i.detail for i in injectors),
+        divergence_index=divergence_index,
+        detections=detections,
+        rollbacks=rollbacks,
+        escaped_faults=escaped_faults,
+        scrub_repairs=stats.scrub_repairs,
+        extra_specs=list(extra_specs),
+        contract_violations=(0 if monitor is None
+                             else monitor.total_violations),
+        unwaived_contract_violations=(0 if monitor is None
+                                      else monitor.unwaived_violations),
+        contract_counts=({} if monitor is None
+                         else monitor.nonzero_counts()),
+        virtualizer=world.virtualizer.stats.to_dict(),
+        checks_run=world.checks_run,
+        backpressured=world.backpressured,
+        latency=dict(world.latency),
+    )
+
+
+@dataclass
+class ChurnMatrix:
+    """All churn campaigns of one backend."""
+
+    backend: str
+    seed: int
+    n_ops: int
+    max_slots: int
+    results: List[ChurnCampaignResult]
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        counter = Counter(r.classification for r in self.results)
+        return {name: counter.get(name, 0) for name in CLASSIFICATIONS}
+
+    @property
+    def widening_silent(self) -> List[ChurnCampaignResult]:
+        return [r for r in self.results
+                if r.classification == "silent_divergence" and r.widening]
+
+    @property
+    def unwaived_contract_violations(self) -> int:
+        return sum(r.unwaived_contract_violations for r in self.results)
+
+    @property
+    def logical_domains(self) -> int:
+        return sum(r.virtualizer.get("spawned", 0) for r in self.results)
+
+    @property
+    def slot_exhausted(self) -> int:
+        return sum(r.virtualizer.get("slot_exhausted", 0)
+                   for r in self.results)
+
+    @property
+    def latency(self) -> Dict[int, int]:
+        merged: "Counter[int]" = Counter()
+        for result in self.results:
+            merged.update(result.latency)
+        return dict(merged)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "backend": self.backend,
+            "seed": self.seed,
+            "ops": self.n_ops,
+            "max_slots": self.max_slots,
+            "campaigns": len(self.results),
+            "classification_counts": self.counts,
+            "widening_silent_divergences": len(self.widening_silent),
+            "unwaived_contract_violations": self.unwaived_contract_violations,
+            "logical_domains": self.logical_domains,
+            "slot_exhausted": self.slot_exhausted,
+            "latency_percentiles": latency_percentiles(self.latency),
+            "results": [r.to_dict() for r in self.results],
+        }
+
+
+def run_churn_campaigns(
+    backend_name: str,
+    seed: int,
+    n_ops: int,
+    n_campaigns: int,
+    *,
+    max_slots: int = DEFAULT_SLOTS,
+    config: str = "stress",
+    scrub_interval: int = DEFAULT_SCRUB_INTERVAL,
+    contracts: bool = True,
+    campaign_lo: int = 0,
+    campaign_hi: Optional[int] = None,
+) -> ChurnMatrix:
+    """K churn campaigns, each with its own stream seed and fault."""
+    plan = FaultPlan(seed)
+    hi = n_campaigns if campaign_hi is None else campaign_hi
+    results = []
+    for campaign in range(campaign_lo, hi):
+        specs = plan.draw_churn_specs(campaign, n_ops)
+        results.append(run_churn_campaign(
+            backend_name, specs[0],
+            stream_seed=seed + campaign,
+            n_ops=n_ops,
+            max_slots=max_slots,
+            config=config,
+            scrub_interval=scrub_interval,
+            campaign=campaign,
+            extra_specs=specs[1:],
+            contracts=contracts,
+        ))
+    return ChurnMatrix(backend_name, seed, n_ops, max_slots, results)
+
+
+def write_churn_report(matrices: List[ChurnMatrix],
+                       path: str) -> Dict[str, object]:
+    """Aggregate churn matrices into one JSON report under ``results/``."""
+    from repro.contracts import CONTRACT_NAMES
+
+    totals: "Counter[str]" = Counter()
+    contract_totals: "Counter[str]" = Counter()
+    latency: "Counter[int]" = Counter()
+    widening_silent = 0
+    unwaived = 0
+    logical_domains = 0
+    slot_exhausted = 0
+    max_slots = 0
+    for matrix in matrices:
+        totals.update(matrix.counts)
+        widening_silent += len(matrix.widening_silent)
+        unwaived += matrix.unwaived_contract_violations
+        logical_domains += matrix.logical_domains
+        slot_exhausted += matrix.slot_exhausted
+        latency.update(matrix.latency)
+        max_slots = max(max_slots, matrix.max_slots)
+        for result in matrix.results:
+            contract_totals.update(result.contract_counts)
+    payload = {
+        "format": "isagrid-churn-campaign-v1",
+        "classification_counts": {name: totals.get(name, 0)
+                                  for name in CLASSIFICATIONS},
+        "widening_silent_divergences": widening_silent,
+        "contract_counts": {name: contract_totals.get(name, 0)
+                            for name in CONTRACT_NAMES},
+        "unwaived_contract_violations": unwaived,
+        "logical_domains": logical_domains,
+        "max_slots": max_slots,
+        "slot_exhausted": slot_exhausted,
+        "latency_percentiles": latency_percentiles(dict(latency)),
+        "matrices": [matrix.to_dict() for matrix in matrices],
+    }
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    return payload

@@ -357,6 +357,61 @@ class FaultInjector:
         self.backing.arm_store_fault(owner=self)
         self._note(False, "armed one-shot trusted-memory store fault")
 
+    # -- recycle-window faults (domain virtualization) -----------------
+    def _virtualizer(self):
+        return getattr(self.world.manager, "virtualizer", None)
+
+    def _inject_recycle_store_fault(self) -> None:
+        """Arm a store fault that fires inside the next bind/recycle
+        transaction — squarely in the slot-recycle commit window."""
+        virtualizer = self._virtualizer()
+        if virtualizer is None:
+            return self._note(False, "no domain virtualizer in this world")
+        original = virtualizer._recycle_window
+        backing = self.backing
+        injector = self
+
+        def arming(physical):
+            virtualizer._recycle_window = original  # one-shot
+            backing.arm_store_fault(owner=injector)
+
+        virtualizer._recycle_window = arming
+        self._note(False, "armed recycle-window store fault "
+                          "(no bind/recycle seen yet)")
+
+    def _inject_generation_flip(self) -> None:
+        """Flip a slot-generation word in trusted memory, under the
+        domain-0 mirror the PCU guards with."""
+        virtualizer = self._virtualizer()
+        if virtualizer is None or not virtualizer._slot_index:
+            return self._note(False, "no virtualized slots to target")
+        slots = sorted(virtualizer._slot_index)
+        physical = slots[self.spec.resource % len(slots)]
+        address = virtualizer.generation_address_of(physical)
+        # Low bits only: the flipped word should look like a plausible
+        # nearby generation, not an astronomically large counter.
+        bit = self.spec.bit % 4
+        changed = self.backing.mutate_word(address, bit, self.spec.bit_op)
+        self._note(changed, "%s generation bit %d of slot %d (word 0x%x)"
+                   % (self.spec.bit_op, bit, physical, address))
+
+    def _inject_drop_reuse_flush(self) -> None:
+        """Swallow the flush-on-reuse of the next slot rebind, leaving
+        the prior tenant's grants live under the new binding."""
+        virtualizer = self._virtualizer()
+        if virtualizer is None:
+            return self._note(False, "no domain virtualizer in this world")
+        original = virtualizer._flush_slot
+        injector = self
+
+        def dropping(physical):
+            virtualizer._flush_slot = original  # one-shot
+            injector._note(True, "dropped flush-on-reuse of slot %d"
+                           % physical)
+
+        virtualizer._flush_slot = dropping
+        self._note(False, "armed flush-on-reuse drop (no rebind seen yet)")
+
     # -- commit-window faults (machine-level campaigns) ----------------
     def _inject_commit_store_fault(self) -> None:
         nth = max(1, self.spec.resource)

@@ -290,15 +290,23 @@ class LockstepMonitor:
 
 
 class ReconfigPulser:
-    """State-neutral domain-0 transactions fired between instructions.
+    """Domain-0 transactions fired between instructions.
 
-    Every pulse commits back to the configuration it started from: gate
-    re-registration of the same triple, a deny/re-allow instruction
-    pair, a revoke/re-grant CSR read pair, or rewriting a bit mask to
-    its current value.  The point is the *commit windows* they open —
-    journalled trusted-memory stores for the commit-window fault kinds
-    to land in — plus the coherence sweeps they trigger (the surface
-    the ``drop_invalidate`` kind needs).
+    By default every pulse is *state-neutral* — it commits back to the
+    configuration it started from: gate re-registration of the same
+    triple, a deny/re-allow instruction pair, a revoke/re-grant CSR
+    read pair, or rewriting a bit mask to its current value.  The point
+    is the *commit windows* they open — journalled trusted-memory
+    stores for the commit-window fault kinds to land in — plus the
+    coherence sweeps they trigger (the surface the ``drop_invalidate``
+    kind needs).
+
+    With ``state_changing`` the pulse rotation additionally spawns and
+    retires short-lived *scratch domains* (create + grant, then
+    destroy), so the commit windows genuinely move the table state the
+    workload's live checks run against — multi-tenant churn in
+    miniature — instead of always netting out to a no-op.  The flag
+    defaults off so existing campaign reports stay byte-identical.
 
     The kernel domain (where the user workload executes) is never the
     toggle target: an aborted pulse may legitimately leave a deny
@@ -309,23 +317,62 @@ class ReconfigPulser:
     """
 
     OPS = ("gate_rewrite", "inst_toggle", "csr_toggle", "mask_rewrite")
+    STATE_CHANGING_OPS = OPS + ("scratch_spawn", "scratch_retire")
 
-    def __init__(self, manager, protected_domain: Optional[int], seed: int):
+    #: Scratch-domain population cap under ``state_changing`` — enough
+    #: to keep churn alive, bounded so long runs never exhaust the
+    #: domain-id space.
+    MAX_SCRATCH = 4
+
+    def __init__(self, manager, protected_domain: Optional[int], seed: int,
+                 state_changing: bool = False):
         import random
 
         self.manager = manager
         self.protected = protected_domain
         self.rng = random.Random(0x9C1 ^ seed)
         self.pulses_run = 0
+        self.state_changing = state_changing
+        self.ops = self.STATE_CHANGING_OPS if state_changing else self.OPS
+        self._scratch: List[int] = []
+        self._scratch_seq = 0
 
     def _toggle_domains(self) -> List[int]:
         return sorted(d for d in self.manager.domains
                       if d != 0 and d != self.protected)
 
     def pulse(self) -> None:
-        op = self.OPS[self.pulses_run % len(self.OPS)]
+        op = self.ops[self.pulses_run % len(self.ops)]
         self.pulses_run += 1
         getattr(self, "_" + op)()
+
+    def _scratch_spawn(self) -> None:
+        from repro.core.errors import ConfigurationError
+
+        if len(self._scratch) >= self.MAX_SCRATCH:
+            return self._scratch_retire()
+        try:
+            descriptor = self.manager.create_domain(
+                "pulse-scratch%d" % self._scratch_seq)
+        except ConfigurationError:
+            return  # out of domain ids: stop spawning, keep retiring
+        self._scratch_seq += 1
+        self._scratch.append(descriptor.domain_id)
+        # Grant the newcomer a class some live domain really holds, so
+        # the spawn writes genuine HPT state (not an all-zero row).
+        for domain in self._toggle_domains():
+            if domain in self._scratch:
+                continue
+            classes = sorted(self.manager.domains[domain].instructions)
+            if classes:
+                self.manager.allow_instructions(
+                    descriptor.domain_id,
+                    (classes[self.rng.randrange(len(classes))],))
+                return
+
+    def _scratch_retire(self) -> None:
+        if self._scratch:
+            self.manager.destroy_domain(self._scratch.pop(0))
 
     def _gate_rewrite(self) -> None:
         gates = sorted(self.manager.gates)
@@ -474,6 +521,7 @@ def run_machine_campaign(
     scrub_interval: Optional[int] = None,
     pulse_interval: Optional[int] = None,
     contracts: bool = True,
+    state_changing_pulses: bool = False,
 ) -> MachineCampaignResult:
     """Run one faulted kernel workload in lockstep and classify it."""
     if not specs:
@@ -521,7 +569,8 @@ def run_machine_campaign(
     monitor.install()
     pulser = ReconfigPulser(world.manager,
                             world.kernel.domains.get("kernel"),
-                            seed=pulse_seed)
+                            seed=pulse_seed,
+                            state_changing=state_changing_pulses)
 
     pcu_stats = pcu.stats
     base_commits = (world.manager.transactions_committed
@@ -710,6 +759,7 @@ def run_planned_machine_campaign(
     scrub_interval: Optional[int] = None,
     pulse_interval: Optional[int] = None,
     contracts: bool = True,
+    state_changing_pulses: bool = False,
 ) -> MachineCampaignResult:
     """Draw campaign ``campaign``'s specs from the plan and run it.
 
@@ -730,6 +780,7 @@ def run_planned_machine_campaign(
         scrub_interval=scrub_interval,
         pulse_interval=pulse_interval,
         contracts=contracts,
+        state_changing_pulses=state_changing_pulses,
     )
 
 
@@ -789,6 +840,7 @@ def run_machine_campaigns(
     scrub_interval: Optional[int] = None,
     pulse_interval: Optional[int] = None,
     contracts: bool = True,
+    state_changing_pulses: bool = False,
 ) -> MachineCampaignMatrix:
     """K machine campaigns on one backend, serially."""
     results = [
@@ -799,6 +851,7 @@ def run_machine_campaigns(
             scrub_interval=scrub_interval,
             pulse_interval=pulse_interval,
             contracts=contracts,
+            state_changing_pulses=state_changing_pulses,
         )
         for campaign in range(n_campaigns)
     ]

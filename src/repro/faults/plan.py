@@ -48,6 +48,23 @@ MACHINE_FAULT_KINDS = FAULT_KINDS + (
     "commit_flip_journalled",  # same, plus a bit flip the replay repairs
 )
 
+#: Churn campaigns aim at the domain-virtualization recycle window
+#: (DESIGN §3.17): fail a trusted-memory store mid-bind/recycle, flip a
+#: slot's generation word behind the mirror, or swallow the
+#: flush-on-reuse so a rebound slot inherits its prior tenant's grants —
+#: plus a core subset of the general kinds so churn worlds also face the
+#: classic HPT/cache/coherence faults.
+CHURN_FAULT_KINDS = (
+    "recycle_store_fault",  # fail a store inside the next bind/recycle window
+    "generation_flip",      # flip a slot-generation word under the mirror
+    "drop_reuse_flush",     # swallow the flush-on-reuse of the next rebind
+    "hpt_inst_bit",
+    "hpt_reg_bit",
+    "cache_corrupt",
+    "drop_invalidate",
+    "store_fault",
+)
+
 #: When a machine-level fault fires: at a reconfiguration-pulse index
 #: (``event``, mirroring the abstract campaigns), at a retired-
 #: instruction count (``inst``), or at a simulated-cycle count
@@ -65,6 +82,7 @@ CACHE_MODULES = ("inst", "reg", "mask", "sgt")
 _ALWAYS_WIDENING = {
     "sgt_word", "stack_word", "cache_stale_pin", "drop_invalidate",
     "store_fault", "commit_store_fault", "commit_flip_journalled",
+    "recycle_store_fault", "generation_flip", "drop_reuse_flush",
 }
 
 
@@ -164,6 +182,37 @@ class FaultPlan:
                 (campaign + campaign // n_kinds + extra) % n_kinds])
         return [self._draw_machine_one(rng, kind, n_steps, n_pulses)
                 for kind in kinds]
+
+    def draw_churn_specs(self, campaign: int, n_ops: int,
+                         count: int = 1) -> List[FaultSpec]:
+        """Specs for one tenant-churn campaign (see ``faults.churn``).
+
+        Like :meth:`draw_machine_specs`, churn campaigns use a private
+        per-campaign RNG — salted differently, so churn plans neither
+        disturb nor depend on the abstract and machine plans — and cycle
+        kinds through :data:`CHURN_FAULT_KINDS`.  ``n_ops`` bounds the
+        workload-op index the trigger lands on.
+        """
+        rng = random.Random((0xC4012 ^ self.seed) * 0x9E3779B1 + campaign)
+        n_kinds = len(CHURN_FAULT_KINDS)
+        kinds = [CHURN_FAULT_KINDS[campaign % n_kinds]]
+        for extra in range(1, count):
+            kinds.append(CHURN_FAULT_KINDS[
+                (campaign + campaign // n_kinds + extra) % n_kinds])
+        specs = []
+        for kind in kinds:
+            lo = min(16, max(1, n_ops // 4))
+            hi = max(lo + 1, (3 * n_ops) // 4)
+            specs.append(FaultSpec(
+                kind=kind,
+                trigger=rng.randrange(lo, hi),
+                domain_slot=rng.randrange(1, N_DOMAIN_SLOTS + 1),
+                resource=self._resource_from(rng, kind),
+                bit=rng.randrange(64),
+                bit_op=rng.choice(("set", "set", "clear", "flip")),
+                module=rng.choice(CACHE_MODULES),
+            ))
+        return specs
 
     def _draw_machine_one(self, rng: random.Random, kind: str,
                           n_steps: int, n_pulses: int) -> FaultSpec:

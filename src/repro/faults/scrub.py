@@ -46,6 +46,11 @@ class ScrubReport:
     # confirmation check (see IntegrityScrubber.verify_repaired).
     repaired_domains: List[int] = field(default_factory=list)
     repaired_gates: List[int] = field(default_factory=list)
+    # Domain-virtualization repairs: slots whose generation word was
+    # rewritten from the mirror, and bound slots whose descriptor was
+    # flushed and replayed from the tenant manifest.
+    repaired_generations: List[int] = field(default_factory=list)
+    repaired_slots: List[int] = field(default_factory=list)
 
     @property
     def detected(self) -> bool:
@@ -186,6 +191,40 @@ class IntegrityScrubber:
                 if gate_id not in report.repaired_gates:
                     report.repaired_gates.append(gate_id)
 
+    def _scrub_virtualizer(self, report: ScrubReport, repair: bool) -> None:
+        """Domain-virtualization state (DESIGN §3.17), two checks.
+
+        * Every slot's trusted-memory generation word against the
+          domain-0 mirror the PCU guards with — a flipped word is
+          repairable from the mirror.
+        * Every *bound* slot's descriptor against its tenant's manifest —
+          a mismatch means a flush-on-reuse (or grant replay) was lost
+          and the slot carries a prior tenant's grants; the repair
+          flushes the slot and replays the manifest.
+        """
+        virtualizer = getattr(self.manager, "virtualizer", None)
+        if virtualizer is None:
+            return
+        memory = self.pcu.trusted_memory
+        for physical in sorted(virtualizer._slot_index):
+            address = virtualizer.generation_address_of(physical)
+            want = virtualizer.generations.get(physical, 0)
+            if memory.load_word(address) == want:
+                continue
+            if repair:
+                memory.store_word(address, want, origin="scrub")
+                self.pcu.stats.scrub_repairs += 1
+            report.memory_repairs += 1
+            report.repaired_generations.append(physical)
+        for physical in sorted(virtualizer.slot_owner):
+            if virtualizer.slot_conforms(physical):
+                continue
+            if repair:
+                virtualizer.refresh_slot(physical)
+                self.pcu.stats.scrub_repairs += 1
+            report.memory_repairs += 1
+            report.repaired_slots.append(physical)
+
     # ------------------------------------------------------------------
     # Pass 2: cache layer vs (repaired) memory.
     # ------------------------------------------------------------------
@@ -289,6 +328,7 @@ class IntegrityScrubber:
         self.pcu.stats.scrubs += 1
         self._scrub_hpt_memory(report, repair)
         self._scrub_sgt_memory(report, repair)
+        self._scrub_virtualizer(report, repair)
         self._verify_hpt_caches(report)
         self._verify_sgt_cache(report)
         self._verify_bypass(report)
@@ -350,6 +390,16 @@ class IntegrityScrubber:
             for offset, want in enumerate(expected):
                 if want is not None and \
                         memory.load_word(address + offset * WORD_BYTES) != want:
+                    return False
+        virtualizer = getattr(self.manager, "virtualizer", None)
+        if virtualizer is not None:
+            for physical in report.repaired_generations:
+                address = virtualizer.generation_address_of(physical)
+                if memory.load_word(address) != \
+                        virtualizer.generations.get(physical, 0):
+                    return False
+            for physical in report.repaired_slots:
+                if not virtualizer.slot_conforms(physical):
                     return False
         if report.cache_detections:
             caches = [self.pcu.hpt_cache.inst, self.pcu.hpt_cache.reg,

@@ -30,9 +30,11 @@ CLI: ``python -m repro faults --jobs 4`` /
 """
 
 from .api import (
+    merge_churn_results,
     merge_fault_results,
     merge_machine_fault_results,
     orchestrate_bench,
+    orchestrate_churn,
     orchestrate_conformance,
     orchestrate_faults,
     orchestrate_machine_faults,
@@ -49,6 +51,7 @@ from .shards import (
     ShardResult,
     ShardSpec,
     plan_bench_shards,
+    plan_churn_shards,
     plan_conformance_shards,
     plan_fault_shards,
     plan_machine_fault_shards,
@@ -73,13 +76,16 @@ __all__ = [
     "default_run_dir",
     "execute_shard",
     "latest_run_dir",
+    "merge_churn_results",
     "merge_fault_results",
     "merge_machine_fault_results",
     "orchestrate_bench",
+    "orchestrate_churn",
     "orchestrate_conformance",
     "orchestrate_faults",
     "orchestrate_machine_faults",
     "plan_bench_shards",
+    "plan_churn_shards",
     "plan_conformance_shards",
     "plan_fault_shards",
     "plan_machine_fault_shards",

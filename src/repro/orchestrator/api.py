@@ -136,6 +136,7 @@ def orchestrate_machine_faults(
     pulse_interval: Optional[int] = None,
     profile: bool = False,
     contracts: bool = True,
+    state_changing_pulses: bool = False,
     run_dir: Optional[str] = None,
     resume: bool = False,
     shard_timeout: Optional[float] = None,
@@ -161,7 +162,8 @@ def orchestrate_machine_faults(
         backends, seed, n_campaigns, iterations,
         faults_per_campaign=faults_per_campaign,
         scrub_interval=scrub_interval, pulse_interval=pulse_interval,
-        profile=profile, contracts=contracts)
+        profile=profile, contracts=contracts,
+        state_changing_pulses=state_changing_pulses)
     run, run_dir = _drive(plan, jobs, run_dir, resume, shard_timeout,
                           max_retries, on_shard_done, sabotage)
     return merge_machine_fault_results(backends, seed, iterations, run), \
@@ -193,6 +195,69 @@ def merge_machine_fault_results(
                    for entry in payload["results"]]
         matrices.append(MachineCampaignMatrix(backend, seed, iterations,
                                               results))
+    return matrices
+
+
+def orchestrate_churn(
+    backends: Sequence[str],
+    seed: int,
+    n_ops: int,
+    n_campaigns: int,
+    *,
+    jobs: int,
+    max_slots: int,
+    config: str = "stress",
+    scrub_interval: int = 0,
+    profile: bool = False,
+    contracts: bool = True,
+    run_dir: Optional[str] = None,
+    resume: bool = False,
+    shard_timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    on_shard_done: Optional[Callable[[ShardResult], None]] = None,
+    sabotage: Optional[Dict[str, Dict[str, object]]] = None,
+):
+    """Run the tenant-churn matrix sharded.
+
+    Returns ``(matrices, run, run_dir)`` where ``matrices`` is the same
+    list of :class:`~repro.faults.churn.ChurnMatrix` a serial
+    ``run_churn_campaigns`` loop over ``backends`` yields —
+    byte-identical, since every campaign derives from a per-campaign
+    fault RNG and a ``seed + campaign`` tenant stream.
+    """
+    from .shards import plan_churn_shards
+
+    plan = plan_churn_shards(backends, seed, n_ops, n_campaigns, max_slots,
+                             config=config, scrub_interval=scrub_interval,
+                             profile=profile, contracts=contracts)
+    run, run_dir = _drive(plan, jobs, run_dir, resume, shard_timeout,
+                          max_retries, on_shard_done, sabotage)
+    return merge_churn_results(backends, seed, n_ops, max_slots, run), \
+        run, run_dir
+
+
+def merge_churn_results(
+    backends: Sequence[str],
+    seed: int,
+    n_ops: int,
+    max_slots: int,
+    run: SupervisedRun,
+) -> List["ChurnMatrix"]:
+    """Reassemble churn shard payloads in canonical campaign order."""
+    from repro.faults.churn import ChurnCampaignResult, ChurnMatrix
+
+    by_backend: Dict[str, List[Dict[str, object]]] = {}
+    for result in run.results:
+        payload = result.payload
+        by_backend.setdefault(payload["backend"], []).append(payload)
+    matrices: List[ChurnMatrix] = []
+    for backend in backends:
+        payloads = sorted(by_backend.get(backend, []),
+                          key=lambda p: p["campaign_lo"])
+        results = [ChurnCampaignResult.from_dict(entry)
+                   for payload in payloads
+                   for entry in payload["results"]]
+        matrices.append(ChurnMatrix(backend, seed, n_ops, max_slots, results))
     return matrices
 
 

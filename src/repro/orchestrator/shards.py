@@ -219,6 +219,7 @@ def plan_machine_fault_shards(
     pulse_interval: Optional[int] = None,
     profile: bool = False,
     contracts: bool = True,
+    state_changing_pulses: bool = False,
 ) -> ShardPlan:
     """Chunk the machine-level (backend x campaign) matrix into shards.
 
@@ -252,6 +253,10 @@ def plan_machine_fault_shards(
             }
             if profile:
                 params["profile"] = True
+            # Like "profile": present only when set, so the default
+            # (state-neutral) layout keeps its historical shard ids.
+            if state_changing_pulses:
+                params["state_changing_pulses"] = True
             shards.append(ShardSpec(
                 shard_id="mfaults-%s-c%04d-c%04d" % (backend, lo, hi),
                 kind="machine_faults",
@@ -267,7 +272,65 @@ def plan_machine_fault_shards(
     }
     if profile:
         plan_params["profile"] = True
+    if state_changing_pulses:
+        plan_params["state_changing_pulses"] = True
     return ShardPlan(kind="machine_faults", params=plan_params, shards=shards)
+
+
+def plan_churn_shards(
+    backends: Sequence[str],
+    seed: int,
+    n_ops: int,
+    n_campaigns: int,
+    max_slots: int,
+    config: str = "stress",
+    scrub_interval: int = 0,
+    profile: bool = False,
+    contracts: bool = True,
+) -> ShardPlan:
+    """Chunk the tenant-churn (backend x campaign) matrix into shards.
+
+    Churn campaigns draw their recycle-window fault specs from a
+    per-campaign RNG (:meth:`repro.faults.plan.FaultPlan.draw_churn_specs`)
+    and each campaign's tenant stream is seeded ``seed + campaign``, so —
+    like the machine matrix — a worker executes exactly its ``[lo, hi)``
+    range with no replay of earlier campaigns.  The shard weight is the
+    churn-op count the range will generate.
+    """
+    chunk = _fault_chunk(n_campaigns)
+    shards: List[ShardSpec] = []
+    for backend in backends:
+        for lo in range(0, n_campaigns, chunk):
+            hi = min(lo + chunk, n_campaigns)
+            params = {
+                "backend": backend,
+                "seed": seed,
+                "n_ops": n_ops,
+                "n_campaigns": n_campaigns,
+                "campaign_lo": lo,
+                "campaign_hi": hi,
+                "max_slots": max_slots,
+                "config": config,
+                "scrub_interval": scrub_interval,
+                "contracts": bool(contracts),
+            }
+            if profile:
+                params["profile"] = True
+            shards.append(ShardSpec(
+                shard_id="churn-%s-c%04d-c%04d" % (backend, lo, hi),
+                kind="churn",
+                params=params,
+                weight=(hi - lo) * n_ops,
+            ))
+    plan_params = {
+        "backends": list(backends), "seed": seed, "n_ops": n_ops,
+        "n_campaigns": n_campaigns, "max_slots": max_slots,
+        "config": config, "scrub_interval": scrub_interval,
+        "contracts": bool(contracts),
+    }
+    if profile:
+        plan_params["profile"] = True
+    return ShardPlan(kind="churn", params=plan_params, shards=shards)
 
 
 def plan_conformance_shards(

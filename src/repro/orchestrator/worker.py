@@ -129,6 +129,8 @@ def run_machine_fault_shard(params: Dict[str, object]) -> Dict[str, object]:
             pulse_interval=(None if pulse_interval is None
                             else int(pulse_interval)),
             contracts=bool(params.get("contracts", True)),
+            state_changing_pulses=bool(
+                params.get("state_changing_pulses", False)),
         )
         results.append(result.to_dict())
         events_run += result.instructions
@@ -138,6 +140,34 @@ def run_machine_fault_shard(params: Dict[str, object]) -> Dict[str, object]:
         "campaign_hi": hi,
         "results": results,
         "events_run": events_run,
+    }
+
+
+def run_churn_shard(params: Dict[str, object]) -> Dict[str, object]:
+    """Execute the tenant-churn campaign range ``[campaign_lo, campaign_hi)``.
+
+    Like the machine matrix, churn campaigns draw from a per-campaign
+    RNG and seed their tenant stream ``seed + campaign``, so the worker
+    runs exactly its range.  ``events_run`` reports churn ops executed.
+    """
+    from repro.faults.churn import run_churn_campaigns
+
+    lo, hi = int(params["campaign_lo"]), int(params["campaign_hi"])
+    matrix = run_churn_campaigns(
+        params["backend"], int(params["seed"]), int(params["n_ops"]),
+        int(params["n_campaigns"]),
+        max_slots=int(params["max_slots"]),
+        config=params.get("config", "stress"),
+        scrub_interval=int(params.get("scrub_interval", 0)),
+        contracts=bool(params.get("contracts", True)),
+        campaign_lo=lo, campaign_hi=hi,
+    )
+    return {
+        "backend": params["backend"],
+        "campaign_lo": lo,
+        "campaign_hi": hi,
+        "results": [result.to_dict() for result in matrix.results],
+        "events_run": sum(result.ops_run for result in matrix.results),
     }
 
 
@@ -171,6 +201,7 @@ def run_bench_shard(params: Dict[str, object]) -> Dict[str, object]:
 _SHARD_RUNNERS = {
     "faults": run_fault_shard,
     "machine_faults": run_machine_fault_shard,
+    "churn": run_churn_shard,
     "conformance": run_conformance_shard,
     "bench": run_bench_shard,
 }

@@ -1,6 +1,13 @@
-"""Synthetic workloads: LMbench microbenchmarks and application profiles."""
+"""Synthetic workloads: LMbench microbenchmarks, application profiles
+and the multi-tenant churn generator."""
 
 from .apps import AppRunResult, normalized_time, run_riscv_app, run_x86_app
+from .tenant_churn import (
+    ChurnOp,
+    ChurnTrace,
+    TenantChurnGenerator,
+    generate_churn_ops,
+)
 from .generator import (
     USER_BUFFER,
     riscv_user_program,
@@ -30,16 +37,20 @@ from .profiles import (
 __all__ = [
     "APPLICATIONS",
     "AppRunResult",
+    "ChurnOp",
+    "ChurnTrace",
     "GATE_STRESS",
     "GZIP",
     "LMBENCH_SUITE",
     "MBEDTLS",
     "MicroBenchmark",
+    "TenantChurnGenerator",
     "SQLITE",
     "TAR",
     "USER_BUFFER",
     "WorkloadProfile",
     "benchmark_by_name",
+    "generate_churn_ops",
     "normalized_time",
     "riscv_loop_source",
     "riscv_user_program",

@@ -138,6 +138,33 @@ class TestMutationSmoke:
         assert len(payload["program"]) == len(payload["events"])
         assert payload["divergence"]["cached"] != payload["divergence"]["oracle"]
 
+    def test_shrunk_divergence_doubles_as_contract_trace(self, tmp_path):
+        """The ddmin-minimized reproducer is also dumped in the contract
+        corpus vocabulary: replaying the trace alone (no simulator) must
+        flag the same bug at the contract layer."""
+        from repro.contracts import load_trace, replay_trace
+
+        result = fuzz_backend("riscv", 0, 400, config="stress",
+                              mutate=corrupt_inst_fills,
+                              dump_dir=str(tmp_path))
+        assert result.contract_trace_path is not None
+        meta, events = load_trace(result.contract_trace_path)
+        assert meta["format"] == "isagrid-contract-trace-v1"
+        assert meta["stream_key"] == result.stream_key
+        assert meta["divergence"] == result.divergence.describe()
+        monitor = replay_trace(events, geometry=meta["geometry"])
+        assert monitor.counts()["inst_retirement"] > 0
+        assert monitor.unwaived_violations > 0
+        # The trace path stays out of summary(): the --jobs N
+        # byte-identity surface is unchanged by the extra artifact.
+        assert "contract_trace_path" not in result.summary()
+
+    def test_clean_runs_emit_no_contract_trace(self, tmp_path):
+        result = fuzz_backend("riscv", 0, 300, config="stress",
+                              dump_dir=str(tmp_path))
+        assert result.clean
+        assert result.contract_trace_path is None
+
 
 class TestReconfigureCoherence:
     """Satellite regression: after any reconfigure, the cached PCU must

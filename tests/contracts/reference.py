@@ -1,7 +1,7 @@
 """Brute-force reference for the contract layer's verdicts.
 
-An independent re-derivation of what the six universal contracts should
-report for a given event stream, written as six flat single-purpose
+An independent re-derivation of what the seven universal contracts
+should report for a given event stream, written as flat single-purpose
 passes (one list of per-event violation counts each) plus an explicit
 model of the monitor's delivery discipline (transaction buffering,
 waiver arming).  The stateful test cross-checks
@@ -240,6 +240,34 @@ def _rollback_counts(stream) -> List[int]:
     return out
 
 
+def _stale_generation_counts(stream) -> List[int]:
+    slot_gen: Dict[int, int] = {}
+    bound: Dict[int, int] = {}
+    entry_gen: Dict[int, int] = {}
+    out = []
+    for event in stream:
+        n = 0
+        if event.kind == "reconfig":
+            if event.op == "bind_slot":
+                slot_gen[event.domain] = event.bits
+                bound[event.domain] = event.dest
+            elif event.op == "recycle_slot":
+                slot_gen[event.domain] = event.bits
+                bound.pop(event.domain, None)
+        elif event.kind == "gate" and event.status == "ok":
+            if event.domain in slot_gen:
+                entry_gen[event.domain] = slot_gen[event.domain]
+        elif (event.kind == "check" and event.status == "ok"
+              and event.domain != DOMAIN_0 and event.domain in slot_gen):
+            current = slot_gen[event.domain]
+            if event.domain not in bound:
+                n = 1
+            elif entry_gen.get(event.domain, current) != current:
+                n = 1
+        out.append(n)
+    return out
+
+
 def reference_verdict(events, geometry) -> Tuple[Dict[str, int], int]:
     """Counts per contract plus the unwaived total, independently derived."""
     stream = normalize(events)
@@ -251,6 +279,7 @@ def reference_verdict(events, geometry) -> Tuple[Dict[str, int], int]:
         "trusted_mem_d0": _d0_counts(stream),
         "coherence_after_revoke": _revoke_counts(stream, masked),
         "rollback_atomicity": _rollback_counts(stream),
+        "no_stale_generation": _stale_generation_counts(stream),
     }
     counts = {name: sum(rows) for name, rows in per_contract.items()}
     armed = False

@@ -89,6 +89,18 @@ class ContractStream(RuleBasedStateMachine):
     def sync_domain(self, domain):
         self.emit("reconfig", op="sync_domain", domain=domain)
 
+    @rule(domain=DOMAIN, bits=st.integers(min_value=0, max_value=3),
+          dest=st.integers(min_value=100, max_value=103))
+    def bind_slot(self, domain, bits, dest):
+        self.emit("reconfig", op="bind_slot", domain=domain, bits=bits,
+                  dest=dest)
+
+    @rule(domain=DOMAIN, bits=st.integers(min_value=0, max_value=3),
+          dest=st.integers(min_value=100, max_value=103))
+    def recycle_slot(self, domain, bits, dest):
+        self.emit("reconfig", op="recycle_slot", domain=domain, bits=bits,
+                  dest=dest)
+
     # -- observable events (valid and violating alike) -------------------
     @rule(domain=DOMAIN, status=STATUS, inst=INST, csr=CSR,
           read=st.booleans(), write=st.booleans(), value=VALUE, old=VALUE)

@@ -1,0 +1,124 @@
+"""Stateful ABA property: recycling never serves a stale tenant verdict.
+
+Hypothesis drives random tenant lifecycles — spawns, retires, rebinds,
+gate entries, context switches — against one DomainVirtualizer, and
+after every step checks the core-visible property the generation guard
+exists for: a check retired in a domain whose slot generation moved
+since the core entered MUST raise StaleGenerationFault, and a check in
+a generation-coherent domain must NEVER raise it.  That is exactly the
+ABA confusion (old core, recycled slot, possibly a brand-new tenant
+bound in it) shrunk to its minimal reproduction when it fails.
+"""
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, precondition, rule
+
+from repro.core import (
+    CONFIG_8E,
+    AccessInfo,
+    CsrDescriptor,
+    DomainManager,
+    DomainVirtualizer,
+    GateKind,
+    IsaGridIsaMap,
+    PrivilegeCheckUnit,
+    SlotExhausted,
+    StaleGenerationFault,
+    TenantManifest,
+    TrustedMemory,
+)
+from repro.core.errors import PrivilegeFault
+from repro.core.pcu import DOMAIN_0
+
+CLASSES = ["alu", "load", "store", "csr", "sysop", "halt"]
+MAX_SLOTS = 3
+
+
+class VirtualizerMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        isa_map = IsaGridIsaMap("testarch", CLASSES,
+                                [CsrDescriptor("ctrl", 0, bitwise=True)])
+        memory = TrustedMemory(base=0x100000, size=1 << 20)
+        self.pcu = PrivilegeCheckUnit(isa_map, CONFIG_8E, memory)
+        self.manager = DomainManager(self.pcu)
+        self.virtualizer = DomainVirtualizer(self.manager,
+                                             max_slots=MAX_SLOTS)
+        self.alive = []
+        #: generation the core latched when it last entered its domain —
+        #: the independent mirror of ``pcu._entry_generation``
+        self.entry_generation = 0
+
+    def _pick(self, index):
+        return self.alive[index % len(self.alive)]
+
+    @rule(grants=st.sets(st.sampled_from(CLASSES), max_size=3))
+    def spawn(self, grants):
+        self.alive.append(
+            self.virtualizer.spawn(TenantManifest(instructions=set(grants))))
+
+    @precondition(lambda self: self.alive)
+    @rule(index=st.integers(min_value=0, max_value=99))
+    def retire(self, index):
+        logical = self._pick(index)
+        self.alive.remove(logical)
+        self.virtualizer.retire(logical)
+
+    @precondition(lambda self: self.alive)
+    @rule(index=st.integers(min_value=0, max_value=99))
+    def activate(self, index):
+        try:
+            self.virtualizer.activate(self._pick(index))
+        except SlotExhausted:
+            pass  # legal backpressure, never a crash
+
+    @precondition(lambda self: self.alive)
+    @rule(index=st.integers(min_value=0, max_value=99))
+    def enter(self, index):
+        """Context-switch to domain-0 and HCCALL into a tenant's slot."""
+        self.pcu.reset()
+        self.entry_generation = 0
+        try:
+            physical = self.virtualizer.activate(self._pick(index))
+        except SlotExhausted:
+            return
+        self.pcu.execute_gate(
+            GateKind.HCCALL, self.virtualizer.gate_id_of(physical),
+            self.virtualizer.gate_address_of(physical), None)
+        self.entry_generation = self.virtualizer.generations[physical]
+
+    @rule()
+    def context_switch_out(self):
+        self.pcu.reset()
+        self.entry_generation = 0
+
+    @rule(inst=st.integers(min_value=0, max_value=5))
+    def check(self, inst):
+        """The property: staleness and StaleGenerationFault coincide."""
+        domain = self.pcu.current_domain
+        if domain == DOMAIN_0:
+            self.pcu.check(AccessInfo(inst))  # domain-0 checks always pass
+            return
+        stale = (self.virtualizer.generations.get(domain, 0)
+                 != self.entry_generation)
+        try:
+            self.pcu.check(AccessInfo(inst))
+            outcome = "ok"
+        except StaleGenerationFault:
+            outcome = "stale"
+        except PrivilegeFault:
+            outcome = "denied"
+        if stale:
+            assert outcome == "stale", (
+                "slot generation moved under the core (domain %d) but the "
+                "check returned %r — a stale/ABA verdict escaped"
+                % (domain, outcome))
+        else:
+            assert outcome != "stale", (
+                "generation-coherent check in domain %d raised "
+                "StaleGenerationFault" % domain)
+
+
+TestVirtualizerMachine = VirtualizerMachine.TestCase
+TestVirtualizerMachine.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None)

@@ -171,3 +171,31 @@ class TestOrchestration:
         assert fresh.draw_machine_specs(5, geometry.n_steps,
                                         geometry.n_pulses) == direct
         assert fresh.draw(0, 300) == abstract_after
+
+
+class TestStateChangingPulses:
+    """Satellite: the pulse rotation can genuinely move table state
+    (scratch-domain spawn/retire) instead of always netting to a no-op.
+    The flag defaults off so committed machine reports stay stable."""
+
+    def test_default_path_is_unchanged_and_deterministic(self):
+        a = run_planned_machine_campaign("x86", 7, 0, iterations=2)
+        b = run_planned_machine_campaign("x86", 7, 0, iterations=2,
+                                         state_changing_pulses=False)
+        assert a.to_dict() == b.to_dict()
+
+    def test_state_changing_rotation_actually_differs(self):
+        neutral = run_planned_machine_campaign("x86", 7, 0, iterations=3)
+        churny = run_planned_machine_campaign("x86", 7, 0, iterations=3,
+                                              state_changing_pulses=True)
+        assert churny.pulses_run > 0
+        # Same geometry, same fault draws — only the pulse ops differ.
+        assert churny.spec.to_dict() == neutral.spec.to_dict()
+        assert churny.to_dict() != neutral.to_dict()
+
+    @pytest.mark.parametrize("campaign", [0, 3])
+    def test_state_changing_campaigns_classify_cleanly(self, campaign):
+        result = run_planned_machine_campaign(
+            "riscv", 5, campaign, iterations=2, state_changing_pulses=True)
+        assert result.classification in CLASSIFICATIONS
+        assert result.unwaived_contract_violations == 0
