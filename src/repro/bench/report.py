@@ -26,6 +26,7 @@ def build_trajectory(
     *,
     label: str = "",
     fast_path: bool = True,
+    block_cache: bool = True,
     stamp: str = "",
 ) -> Dict[str, object]:
     """Assemble per-rig payloads into one trajectory document."""
@@ -33,6 +34,7 @@ def build_trajectory(
         "format": FORMAT,
         "label": label,
         "fast_path": bool(fast_path),
+        "block_cache": bool(block_cache),
         "stamp": stamp,
         "rigs": {payload["rig"]: {key: value
                                   for key, value in payload.items()

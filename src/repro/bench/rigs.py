@@ -33,14 +33,16 @@ class BenchRig:
 
     name: str
     description: str
-    run: Callable[[bool], Dict[str, object]]
+    run: Callable[[bool, bool], Dict[str, object]]
     #: Rough dynamic instruction count, used as the shard weight so the
     #: orchestrator's metrics can report events/sec without running it.
     approx_instructions: int = 1_000_000
 
 
-def _config(fast_path: bool) -> PcuConfig:
-    return CONFIG_8E if fast_path else replace(CONFIG_8E, fast_path=False)
+def _config(fast_path: bool, block_cache: bool = True) -> PcuConfig:
+    if fast_path and block_cache:
+        return CONFIG_8E
+    return replace(CONFIG_8E, fast_path=fast_path, block_summaries=block_cache)
 
 
 def _result(instructions: int, cycles: float, detail: Dict[str, object]):
@@ -54,8 +56,9 @@ def _result(instructions: int, cycles: float, detail: Dict[str, object]):
 # ----------------------------------------------------------------------
 # Gate stress (the §7.1 hit-rate workload — the hot-path acceptance rig).
 # ----------------------------------------------------------------------
-def _run_gate_stress(fast_path: bool, iterations: int = 300,
-                     max_steps: int = 20_000_000) -> Dict[str, object]:
+def _run_gate_stress(fast_path: bool, block_cache: bool = True,
+                     iterations: int = 300, max_steps: int = 20_000_000,
+                     full_stats: bool = False) -> Dict[str, object]:
     import dataclasses
 
     from repro.kernel import X86Kernel
@@ -63,21 +66,63 @@ def _run_gate_stress(fast_path: bool, iterations: int = 300,
     from repro.workloads.generator import x86_user_program
 
     profile = dataclasses.replace(GATE_STRESS, outer_iterations=iterations)
-    kernel = X86Kernel("decomposed", _config(fast_path))
+    kernel = X86Kernel("decomposed", _config(fast_path, block_cache))
     stats = kernel.run(x86_user_program(profile), max_steps=max_steps)
     assert kernel.fault_count == 0
-    hit_rates = kernel.system.pcu.stats.hit_rates()
-    return _result(stats.instructions, stats.cycles, {
+    pcu = kernel.system.pcu
+    hit_rates = pcu.stats.hit_rates()
+    detail: Dict[str, object] = {
         "hit_rates": {name: round(rate, 6) for name, rate in hit_rates.items()},
         "syscalls": kernel.syscall_count,
+    }
+    if full_stats:
+        # For identity-asserting wrappers (smoke_blocks): the whole
+        # counter surface, not just the headline hit rates.
+        detail["pcu_stats"] = pcu.stats.as_dict()
+        detail["block_stats"] = pcu.block_stats.as_dict()
+    return _result(stats.instructions, stats.cycles, detail)
+
+
+def _run_smoke(fast_path: bool, block_cache: bool = True) -> Dict[str, object]:
+    return _run_gate_stress(fast_path, block_cache, iterations=60,
+                            max_steps=4_000_000)
+
+
+def _run_smoke_blocks(fast_path: bool, block_cache: bool = True) -> Dict[str, object]:
+    """``smoke`` run twice: block executor on, then off, as one rig.
+
+    The on-vs-off identity assertion (instructions, cycles and the
+    whole :class:`~repro.core.stats.PcuStats` dict must match exactly)
+    turns the block-summary coherence contract (DESIGN §3.18) into a
+    perf-trajectory row: a divergence fails the rig, and a slowdown in
+    either executor drags the gated ips down.  ``detail`` carries the
+    block cache's own probe counters.  The rig's own ``block_cache``
+    flag only affects the *first* run — under ``--no-block-cache``
+    both runs take the per-instruction loop and the assertion still
+    holds trivially.
+    """
+    on = _run_gate_stress(fast_path, block_cache, iterations=60,
+                          max_steps=4_000_000, full_stats=True)
+    off = _run_gate_stress(fast_path, False, iterations=60,
+                           max_steps=4_000_000, full_stats=True)
+    for key in ("instructions", "cycles"):
+        assert on[key] == off[key], (key, on[key], off[key])
+    assert on["detail"]["pcu_stats"] == off["detail"]["pcu_stats"]
+    block_stats = on["detail"].pop("block_stats")
+    off_blocks = off["detail"].pop("block_stats")
+    assert off_blocks["insts"] == 0, off_blocks
+    on["detail"].pop("pcu_stats")
+    off["detail"].pop("pcu_stats")
+    assert on["detail"] == off["detail"], (on["detail"], off["detail"])
+    return _result(on["instructions"] + off["instructions"],
+                   on["cycles"] + off["cycles"], {
+        "verified_identical": True,
+        "block_stats": block_stats,
+        "hit_rates": on["detail"]["hit_rates"],
     })
 
 
-def _run_smoke(fast_path: bool) -> Dict[str, object]:
-    return _run_gate_stress(fast_path, iterations=60, max_steps=4_000_000)
-
-
-def _run_smoke_hooked(fast_path: bool) -> Dict[str, object]:
+def _run_smoke_hooked(fast_path: bool, block_cache: bool = True) -> Dict[str, object]:
     """``smoke`` with a no-op per-step hook installed on the machine.
 
     The machine-level fault campaigns interpose on
@@ -94,7 +139,7 @@ def _run_smoke_hooked(fast_path: bool) -> Dict[str, object]:
     from repro.workloads.generator import x86_user_program
 
     profile = dataclasses.replace(GATE_STRESS, outer_iterations=60)
-    kernel = X86Kernel("decomposed", _config(fast_path))
+    kernel = X86Kernel("decomposed", _config(fast_path, block_cache))
     kernel.system.machine.step_hook = lambda info: False
     stats = kernel.run(x86_user_program(profile), max_steps=4_000_000)
     assert kernel.fault_count == 0
@@ -105,7 +150,7 @@ def _run_smoke_hooked(fast_path: bool) -> Dict[str, object]:
     })
 
 
-def _run_smoke_contracts(fast_path: bool) -> Dict[str, object]:
+def _run_smoke_contracts(fast_path: bool, block_cache: bool = True) -> Dict[str, object]:
     """``smoke`` with the universal-contract monitor attached.
 
     The contract tap (see DESIGN §3.16) must be invisible when armed on
@@ -122,7 +167,7 @@ def _run_smoke_contracts(fast_path: bool) -> Dict[str, object]:
     from repro.workloads.generator import x86_user_program
 
     profile = dataclasses.replace(GATE_STRESS, outer_iterations=60)
-    kernel = X86Kernel("decomposed", _config(fast_path))
+    kernel = X86Kernel("decomposed", _config(fast_path, block_cache))
     monitor = ContractMonitor(seed=0)
     monitor.attach(kernel.system.pcu, kernel.system.manager)
     stats = kernel.run(x86_user_program(profile), max_steps=4_000_000)
@@ -140,9 +185,14 @@ def _run_smoke_contracts(fast_path: bool) -> Dict[str, object]:
 # ----------------------------------------------------------------------
 # Tenant churn: domain-ID virtualization under eviction pressure.
 # ----------------------------------------------------------------------
-def _run_churn_stress(fast_path: bool, n_ops: int = 900,
+def _run_churn_stress(fast_path: bool, block_cache: bool = True,
+                      n_ops: int = 900,
                       max_slots: int = 24) -> Dict[str, object]:
     """Fault-free churn stream over a deliberately small slot pool.
+
+    ``block_cache`` is accepted for signature uniformity but has no
+    effect: the churn world drives ``pcu.check`` directly with no
+    Machine run loop, so the block executor never engages.
 
     Times the virtualization layer where it hurts: constant eviction,
     recycle and rebind traffic interleaved with live gate/check pairs.
@@ -183,13 +233,13 @@ def _run_churn_stress(fast_path: bool, n_ops: int = 900,
 # ----------------------------------------------------------------------
 # Figure 5: LMbench microbenchmarks, RISC-V.
 # ----------------------------------------------------------------------
-def _run_fig5_riscv(fast_path: bool) -> Dict[str, object]:
+def _run_fig5_riscv(fast_path: bool, block_cache: bool = True) -> Dict[str, object]:
     from repro.kernel import RiscvKernel
     from repro.riscv import USER_BASE, assemble
     from repro.workloads import LMBENCH_SUITE
     from repro.workloads.lmbench import riscv_loop_source
 
-    config = _config(fast_path)
+    config = _config(fast_path, block_cache)
     instructions = 0
     cycles = 0.0
     detail: Dict[str, object] = {}
@@ -212,10 +262,10 @@ def _run_fig5_riscv(fast_path: bool) -> Dict[str, object]:
 # ----------------------------------------------------------------------
 # Figures 6/7: application profiles, RISC-V and x86.
 # ----------------------------------------------------------------------
-def _run_apps(runner, fast_path: bool) -> Dict[str, object]:
+def _run_apps(runner, fast_path: bool, block_cache: bool = True) -> Dict[str, object]:
     from repro.workloads import APPLICATIONS
 
-    config = _config(fast_path)
+    config = _config(fast_path, block_cache)
     instructions = 0
     cycles = 0.0
     detail: Dict[str, object] = {}
@@ -229,26 +279,26 @@ def _run_apps(runner, fast_path: bool) -> Dict[str, object]:
     return _result(instructions, cycles, detail)
 
 
-def _run_fig6_apps_riscv(fast_path: bool) -> Dict[str, object]:
+def _run_fig6_apps_riscv(fast_path: bool, block_cache: bool = True) -> Dict[str, object]:
     from repro.workloads import run_riscv_app
 
-    return _run_apps(run_riscv_app, fast_path)
+    return _run_apps(run_riscv_app, fast_path, block_cache)
 
 
-def _run_fig7_apps_x86(fast_path: bool) -> Dict[str, object]:
+def _run_fig7_apps_x86(fast_path: bool, block_cache: bool = True) -> Dict[str, object]:
     from repro.workloads import run_x86_app
 
-    return _run_apps(run_x86_app, fast_path)
+    return _run_apps(run_x86_app, fast_path, block_cache)
 
 
 # ----------------------------------------------------------------------
 # Figure 8: Nested-Kernel monitor variants, x86.
 # ----------------------------------------------------------------------
-def _run_fig8_nested(fast_path: bool) -> Dict[str, object]:
+def _run_fig8_nested(fast_path: bool, block_cache: bool = True) -> Dict[str, object]:
     from repro.workloads import APPLICATIONS, run_x86_app
     from repro.workloads.profiles import scaled
 
-    config = _config(fast_path)
+    config = _config(fast_path, block_cache)
     instructions = 0
     cycles = 0.0
     detail: Dict[str, object] = {}
@@ -277,10 +327,10 @@ def _run_fig8_nested(fast_path: bool) -> Dict[str, object]:
 # ----------------------------------------------------------------------
 # Table 4: domain-switch latencies (both backends).
 # ----------------------------------------------------------------------
-def _run_table4_switch(fast_path: bool) -> Dict[str, object]:
+def _run_table4_switch(fast_path: bool, block_cache: bool = True) -> Dict[str, object]:
     from repro.workloads.micro import measure_riscv_gates, measure_x86_gates
 
-    config = _config(fast_path)
+    config = _config(fast_path, block_cache)
     totals: Dict[str, float] = {}
     riscv = measure_riscv_gates(config, iterations=800, totals=totals)
     x86 = measure_x86_gates(config, iterations=800, totals=totals)
@@ -313,7 +363,7 @@ loop:
 """
 
 
-def _run_table5_services(fast_path: bool) -> Dict[str, object]:
+def _run_table5_services(fast_path: bool, block_cache: bool = True) -> Dict[str, object]:
     from repro.kernel import (
         SERVICE_CPUID,
         SERVICE_MTRR,
@@ -329,7 +379,7 @@ def _run_table5_services(fast_path: bool) -> Dict[str, object]:
         ("pmc_irq", SERVICE_PMC_IRQ),
         ("pmc_miss", SERVICE_PMC_MISS),
     )
-    config = _config(fast_path)
+    config = _config(fast_path, block_cache)
     instructions = 0
     cycles = 0.0
     detail: Dict[str, object] = {}
@@ -368,6 +418,10 @@ RIGS: Dict[str, BenchRig] = {
                  "smoke with the universal-contract monitor attached "
                  "(tap-path floor; simulated work identical to smoke)",
                  _run_smoke_contracts, approx_instructions=200_000),
+        BenchRig("smoke_blocks",
+                 "smoke with the block-summary executor on vs off, "
+                 "asserting bit-identical work (DESIGN §3.18 gate)",
+                 _run_smoke_blocks, approx_instructions=400_000),
         BenchRig("gate_stress", "§7.1 privilege-cache stress workload",
                  _run_gate_stress, approx_instructions=1_000_000),
         BenchRig("churn_stress",
@@ -411,7 +465,8 @@ def resolve_rigs(names: str = None) -> List[str]:
     return chosen
 
 
-def run_rig(name: str, fast_path: bool = True) -> Dict[str, object]:
+def run_rig(name: str, fast_path: bool = True,
+            block_cache: bool = True) -> Dict[str, object]:
     """Execute one rig and wrap it with wall-clock accounting.
 
     The returned payload is the per-rig record of the trajectory file:
@@ -423,11 +478,12 @@ def run_rig(name: str, fast_path: bool = True) -> Dict[str, object]:
 
     rig = RIGS[name]
     started = time.perf_counter()
-    out = rig.run(fast_path)
+    out = rig.run(fast_path, block_cache)
     wall = time.perf_counter() - started
     return {
         "rig": name,
         "fast_path": bool(fast_path),
+        "block_cache": bool(block_cache),
         "instructions": out["instructions"],
         "cycles": round(out["cycles"], 1),
         "wall_s": round(wall, 3),

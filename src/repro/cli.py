@@ -552,15 +552,38 @@ def _cmd_bench(args) -> int:
     )
     from repro.orchestrator import orchestrate_bench
 
+    if args.compare:
+        current_path, baseline_path = args.compare
+        try:
+            current = load_trajectory(current_path)
+            baseline = load_trajectory(baseline_path)
+        except (OSError, ValueError) as error:
+            print("cannot read trajectory: %s" % error, file=sys.stderr)
+            return 2
+        print("comparing %s (current) vs %s (baseline)"
+              % (current_path, baseline_path))
+        lines, regressions = compare_trajectories(
+            current, baseline, args.regress_threshold)
+        for line in lines:
+            print(line)
+        if regressions:
+            print("FAIL: %d rig(s) regressed by more than %.0f%% "
+                  "instructions/s" % (len(regressions),
+                                      args.regress_threshold * 100),
+                  file=sys.stderr)
+            return 1
+        return 0
+
     try:
         rigs = resolve_rigs(args.rigs)
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
         return 2
     fast_path = not args.slow_path
+    block_cache = not args.no_block_cache
     payloads, run, run_dir = orchestrate_bench(
-        rigs, fast_path=fast_path, jobs=args.jobs, profile=args.profile,
-        run_dir=args.run_dir, resume=args.resume,
+        rigs, fast_path=fast_path, block_cache=block_cache, jobs=args.jobs,
+        profile=args.profile, run_dir=args.run_dir, resume=args.resume,
         shard_timeout=args.shard_timeout,
     )
     for payload in payloads:
@@ -575,7 +598,8 @@ def _cmd_bench(args) -> int:
     out = args.out or os.path.join("results", "bench",
                                    "BENCH_%s.json" % stamp)
     trajectory = build_trajectory(payloads, label=args.label,
-                                  fast_path=fast_path, stamp=stamp)
+                                  fast_path=fast_path,
+                                  block_cache=block_cache, stamp=stamp)
     write_trajectory(trajectory, out)
     print("trajectory written to %s" % out)
 
@@ -800,6 +824,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="disable the PCU's compiled verdict plan in "
                             "every rig (the fast path's escape hatch; "
                             "results must be identical, only slower)")
+    bench.add_argument("--no-block-cache", action="store_true",
+                       help="disable the block-summary executor in every "
+                            "rig (DESIGN \u00a73.18 escape hatch; results "
+                            "must be identical, only slower)")
+    bench.add_argument("--compare", nargs=2, default=None,
+                       metavar=("CURRENT", "BASELINE"),
+                       help="don't run anything: diff two BENCH_*.json "
+                            "trajectories rig by rig (speedups and "
+                            "regressions on instructions/s) and exit "
+                            "non-zero on --regress-threshold violations")
     bench.add_argument("--label", default="",
                        help="free-form label stored in the trajectory "
                             "(e.g. 'seed' or a commit id)")

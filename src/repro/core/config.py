@@ -58,6 +58,17 @@ class PcuConfig:
         way — this trades nothing but simulator wall-clock, and
         ``--slow-path`` on the bench/conformance CLIs sets it to False
         to prove exactly that.
+    block_summaries:
+        Let the CPUs execute warm straight-line blocks against one
+        privilege-summary probe (:meth:`PrivilegeCheckUnit.
+        check_block_summary`) instead of one check per instruction
+        (DESIGN §3.18).  Like ``fast_path``, purely a simulator
+        wall-clock optimization: cycles, stats, faults and contract
+        events are bit-identical either way, and ``--no-block-cache``
+        on the bench CLI sets it to False to prove exactly that.
+        Block summaries require the compiled verdict plan to be the
+        backing store, so they are inert when ``fast_path`` or
+        ``bypass_enabled`` is off or a Draco cache is configured.
     flush_on_switch:
         Flush the domain privilege cache on every domain switch — the
         Section 8 performance/security trade-off against PRIME+PROBE
@@ -76,6 +87,7 @@ class PcuConfig:
     prefetch_enabled: bool = True
     draco_entries: int = 0
     fast_path: bool = True
+    block_summaries: bool = True
     flush_on_switch: bool = False
     max_domains: int = 4096
     max_gates: int = 1024

@@ -34,10 +34,20 @@ from .errors import (
 from .hpt import HybridPrivilegeTable
 from .isa_extension import AccessInfo, CacheId, GateKind, IsaGridIsaMap, PcuRegisters
 from .sgt import SwitchingGateTable
-from .stats import PcuStats
+from .stats import BlockSummaryStats, PcuStats
 from .trusted_memory import TrustedMemory, TrustedStack
 
 DOMAIN_0 = 0
+
+#: Verdict modes of :meth:`PrivilegeCheckUnit.check_block_summary`.
+#: ``BLOCK_REFUSED`` sends the CPU back to the per-instruction check
+#: path for this block; the other three authorize executing the whole
+#: block against the one probe, and name the statistics profile
+#: :meth:`~PrivilegeCheckUnit.account_block` must replay afterwards.
+BLOCK_REFUSED = 0
+BLOCK_DOMAIN0 = 1   # domain-0: per-inst checks would count inst_checks only
+BLOCK_BYPASS = 2    # warm bypass: per-inst checks would also count bypass_hits
+BLOCK_SILENT = 3    # PCU disabled: per-inst checks would count nothing
 
 
 class PrivilegeCheckUnit:
@@ -100,6 +110,18 @@ class PrivilegeCheckUnit:
         )
         self._fast = self._fast_capable
         self._csr_plan: dict = {}
+        # Block-summary eligibility (DESIGN §3.18).  Static per config:
+        # the summary probe is only a faithful compression of N warm
+        # bypass checks when the compiled verdict plan is the backing
+        # store, so every condition that forbids ``_fast_capable``
+        # (bypass disabled, armed Draco entries, ``fast_path=False``)
+        # forbids block summaries too, plus the dedicated
+        # ``block_summaries`` escape hatch.  The *live* conditions
+        # (degraded mode, armed contract tap, shadowed ``check``, cold
+        # or foreign bypass, stale generation) are re-tested on every
+        # probe in :meth:`check_block_summary`.
+        self._block_capable = config.block_summaries and self._fast_capable
+        self.block_stats = BlockSummaryStats()
         # Contract-monitor tap (repro.contracts, DESIGN §3.16).  ``None``
         # keeps every hot path on its original instruction sequence, so
         # an unmonitored run is bit-identical to pre-tap builds; a
@@ -329,6 +351,85 @@ class PrivilegeCheckUnit:
         if domain is None:
             return None
         return domain, tuple(self.bypass._words)
+
+    # ------------------------------------------------------------------
+    # Block-level privilege summaries (DESIGN §3.18).
+    # ------------------------------------------------------------------
+    def check_block_summary(self, summary) -> int:
+        """One probe deciding a whole straight-line block.
+
+        ``summary`` is the union of everything the block's instructions
+        would ask :meth:`check` for — inst-bitmap bits per 64-bit word
+        and CSR touches (blocks containing CSR accesses are never
+        formed, so a non-empty CSR set always refuses).  Returns a
+        ``BLOCK_*`` mode: anything but :data:`BLOCK_REFUSED` proves
+        that running :meth:`check` once per member would pass with zero
+        stall and touch only the counters
+        :meth:`account_block` replays — so the CPU may execute the
+        block and skip the N per-instruction calls.
+
+        Refusal is always safe (the CPU falls back to per-instruction
+        checks, the reference semantics), so every live condition the
+        verdict plan invalidates on refuses here: degraded mode and
+        decompiled plans (``_fast``), an armed contract tap (per-check
+        events must keep their per-instruction cadence), an
+        instance-shadowed ``check`` (the machine campaigns' lockstep
+        monitor must see every call), a recycled tenant slot
+        (generation mismatch — the per-instruction path raises the
+        architectural :class:`StaleGenerationFault`), and a cold or
+        foreign bypass register.  The probe itself never mutates
+        privilege or statistics state beyond :attr:`block_stats`,
+        which is deliberately outside :class:`PcuStats`.
+        """
+        if not self.enabled:
+            return BLOCK_SILENT
+        block_stats = self.block_stats
+        block_stats.probes += 1
+        if (
+            not self._block_capable
+            or not self._fast
+            or self._tap is not None
+            or "check" in self.__dict__
+        ):
+            block_stats.refusals += 1
+            return BLOCK_REFUSED
+        domain = self.registers.domain
+        if domain == DOMAIN_0:
+            block_stats.hits += 1
+            return BLOCK_DOMAIN0
+        table = self.generation_table
+        if table is not None and table.get(domain, 0) != self._entry_generation:
+            block_stats.refusals += 1
+            return BLOCK_REFUSED
+        bypass = self.bypass
+        if bypass._domain != domain or summary.csrs:
+            block_stats.refusals += 1
+            return BLOCK_REFUSED
+        words = bypass._words
+        for index, needed in summary.class_words:
+            if words[index] & needed != needed:
+                block_stats.refusals += 1
+                return BLOCK_REFUSED
+        block_stats.hits += 1
+        return BLOCK_BYPASS
+
+    def account_block(self, mode: int, retired: int) -> None:
+        """Replay the counters ``retired`` per-instruction checks would
+        have bumped under ``mode``.
+
+        Called after the block (or its faulting prefix) executed, with
+        the exact retired count, so a mid-block trap accounts the same
+        checks the per-instruction path would have run — the check of
+        a faulting instruction precedes its handler, so the faulting
+        member itself is included by the caller.
+        """
+        stats = self.stats
+        if mode == BLOCK_BYPASS:
+            stats.inst_checks += retired
+            stats.bypass_hits += retired
+        elif mode == BLOCK_DOMAIN0:
+            stats.inst_checks += retired
+        self.block_stats.insts += retired
 
     def _check_instruction(self, domain: int, access: AccessInfo) -> int:
         if self.config.bypass_enabled:

@@ -47,6 +47,53 @@ class CacheStats:
 
 
 @dataclass
+class BlockSummaryStats:
+    """Diagnostics for the block-level privilege summaries (§3.18).
+
+    Deliberately *not* part of :class:`PcuStats`: the block cache is a
+    simulator acceleration, so its hit/miss profile depends on whether
+    the block path is enabled at all.  ``PcuStats`` must stay
+    bit-identical between the per-instruction and block-summary paths
+    (that equality is an acceptance gate), which is only possible if
+    the block bookkeeping lives outside it.
+    """
+
+    probes: int = 0         # check_block_summary calls (one per warm block)
+    hits: int = 0           # probes that served the whole block
+    refusals: int = 0       # probes that fell back to per-instruction checks
+    insts: int = 0          # instructions retired under a block summary
+    invalidations: int = 0  # block-cache flushes (icache coherence)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit rate in [0, 1]; 1.0 when no block was ever probed."""
+        if not self.probes:
+            return 1.0
+        return self.hits / self.probes
+
+    def reset(self) -> None:
+        self.probes = self.hits = self.refusals = 0
+        self.insts = self.invalidations = 0
+
+    def merge(self, other: "BlockSummaryStats") -> None:
+        self.probes += other.probes
+        self.hits += other.hits
+        self.refusals += other.refusals
+        self.insts += other.insts
+        self.invalidations += other.invalidations
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "probes": self.probes,
+            "hits": self.hits,
+            "refusals": self.refusals,
+            "insts": self.insts,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
 class PcuStats:
     """All counters of one Privilege Check Unit."""
 

@@ -310,6 +310,7 @@ def orchestrate_bench(
     rigs: Sequence[str],
     *,
     fast_path: bool = True,
+    block_cache: bool = True,
     jobs: int = 1,
     profile: bool = False,
     run_dir: Optional[str] = None,
@@ -331,7 +332,8 @@ def orchestrate_bench(
     """
     from .shards import plan_bench_shards
 
-    plan = plan_bench_shards(rigs, fast_path=fast_path, profile=profile)
+    plan = plan_bench_shards(rigs, fast_path=fast_path,
+                             block_cache=block_cache, profile=profile)
     run, run_dir = _drive(plan, jobs, run_dir, resume, shard_timeout,
                           max_retries, on_shard_done, sabotage)
     by_rig = {result.payload["rig"]: result.payload for result in run.results}

@@ -387,6 +387,7 @@ def plan_conformance_shards(
 def plan_bench_shards(
     rigs: Sequence[str],
     fast_path: bool = True,
+    block_cache: bool = True,
     profile: bool = False,
 ) -> ShardPlan:
     """One shard per benchmark rig.
@@ -395,17 +396,22 @@ def plan_bench_shards(
     the natural distribution unit; the shard weight is the rig's rough
     dynamic instruction count so the run metrics report a meaningful
     events/sec.  ``fast_path`` is part of the layout: a ``--slow-path``
-    run fingerprints (and checkpoints) separately from a fast one.
+    run fingerprints (and checkpoints) separately from a fast one, and
+    ``block_cache`` likewise (``--no-block-cache``).
     """
     from repro.bench.rigs import RIGS
 
     shards = []
     for rig in rigs:
-        params = {"rig": rig, "fast_path": bool(fast_path)}
+        params = {"rig": rig, "fast_path": bool(fast_path),
+                  "block_cache": bool(block_cache)}
         if profile:
             params["profile"] = True
+        suffix = "fast" if fast_path else "slow"
+        if not block_cache:
+            suffix += "-noblocks"
         shards.append(ShardSpec(
-            shard_id="bench-%s-%s" % (rig, "fast" if fast_path else "slow"),
+            shard_id="bench-%s-%s" % (rig, suffix),
             kind="bench",
             params=params,
             weight=RIGS[rig].approx_instructions,

@@ -193,7 +193,8 @@ def run_bench_shard(params: Dict[str, object]) -> Dict[str, object]:
     """Execute one benchmark rig; the payload is a trajectory record."""
     from repro.bench.rigs import run_rig
 
-    payload = run_rig(params["rig"], fast_path=bool(params["fast_path"]))
+    payload = run_rig(params["rig"], fast_path=bool(params["fast_path"]),
+                      block_cache=bool(params.get("block_cache", True)))
     payload["events_run"] = payload["instructions"]
     return payload
 

@@ -111,6 +111,10 @@ def build_riscv_system(
         )
         manager = DomainManager(pcu)
     machine = Machine(memory, hierarchy, pipeline, pcu)
+    # Native (PCU-less) machines honour the escape hatch too, so a
+    # ``--no-block-cache`` bench run never takes the block executor on
+    # either side of a native-vs-protected pair.
+    machine.block_summaries = config.block_summaries
     cpu = RiscvCpu(machine)
     return RiscvSystem(machine, cpu, pcu, manager)
 

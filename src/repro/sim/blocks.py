@@ -1,0 +1,120 @@
+"""Superblock cache scaffolding: privilege summaries for basic blocks.
+
+DESIGN §3.18.  The per-pc decode caches resolve one instruction at a
+time; the block cache extends them with straight-line *superblocks* —
+maximal runs of block-eligible decoded instructions ending at the first
+control transfer — each carrying a :class:`BlockSummary` of every
+privilege the run needs.  A warm block for the current domain and
+generation then costs one
+:meth:`~repro.core.pcu.PrivilegeCheckUnit.check_block_summary` probe
+instead of N per-instruction checks, and its members execute through
+pre-fused closures that fold the work and the pipeline-timing model of
+each instruction into a single call.
+
+The containers here are shared by both backends; the formation rules,
+member closures and executor loops live with their CPUs
+(:mod:`repro.riscv.cpu`, :mod:`repro.x86.cpu`) because both are
+ISA- and pipeline-specific.  The coherence contract — what may be in a
+block, when a probe must refuse, and why the fallback path is always
+the reference semantics — is documented in DESIGN §3.18 and enforced
+by the block lockstep test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+#: Blocks shorter than this are not worth the probe + accounting
+#: overhead; the per-instruction path serves them.
+MIN_BLOCK_LEN = 3
+
+#: Formation stops after this many members: caps compile time per block
+#: and bounds how far a partial-block fault has to be attributed.
+MAX_BLOCK_LEN = 64
+
+#: Cache sentinel for a pc where formation was refused (head instruction
+#: ineligible, block too short, undecodable tail...): the executor takes
+#: one ordinary ``step()`` and re-probes at the next pc.
+NO_BLOCK = False
+
+
+class BlockSummary:
+    """Union of every privilege a block's members need.
+
+    ``class_words`` holds the inst-bitmap union as sparse
+    ``(word_index, bit_mask)`` pairs, matching the bypass register's
+    word layout so the probe is one AND-compare per touched word.
+    ``csrs`` is the tuple of CSR indices the block would access —
+    always empty for blocks the CPUs form today (CSR instructions are
+    never block members), but carried so the probe can refuse any
+    future summary that does carry them instead of silently skipping
+    the read/write/mask checks.  ``touches_memory`` records whether any
+    member performs a load or store; those members keep their *live*
+    ``check_data_access`` call (trusted-memory ranges and generations
+    are enforced per access, not summarized — addresses are dynamic).
+    """
+
+    __slots__ = ("class_words", "csrs", "touches_memory")
+
+    def __init__(
+        self,
+        class_words: Tuple[Tuple[int, int], ...],
+        csrs: Tuple[int, ...] = (),
+        touches_memory: bool = False,
+    ):
+        self.class_words = class_words
+        self.csrs = csrs
+        self.touches_memory = touches_memory
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "BlockSummary(words=%r, csrs=%r, mem=%r)" % (
+            self.class_words, self.csrs, self.touches_memory
+        )
+
+
+def summarize_classes(inst_classes: Iterable[int]) -> Tuple[Tuple[int, int], ...]:
+    """Fold instruction-class indices into sparse bypass-word masks."""
+    words: Dict[int, int] = {}
+    for inst_class in inst_classes:
+        index = inst_class >> 6
+        words[index] = words.get(index, 0) | 1 << (inst_class & 63)
+    return tuple(sorted(words.items()))
+
+
+class CompiledBlock:
+    """One formed superblock: summary + fused member closures.
+
+    ``ops[i]()`` performs member ``i``'s architectural work *and* its
+    pipeline-timing accounting (instruction fetch, data access, branch
+    prediction) in the exact operation order of the per-instruction
+    path, returning the float cycle cost — so accumulating the returns
+    sequentially is bit-identical to the reference loop's
+    ``stats.cycles += instruction_cycles(info)`` adds.  ``pcs`` and
+    ``sizes`` attribute a mid-block fault to its member; ``sets_pc``
+    records that the final member is a control transfer which wrote
+    ``cpu.pc`` itself (otherwise the executor stores ``end_pc`` once).
+    """
+
+    __slots__ = ("summary", "ops", "pcs", "sizes", "n", "end_pc", "sets_pc")
+
+    def __init__(
+        self,
+        summary: BlockSummary,
+        ops: Sequence,
+        pcs: Sequence[int],
+        sizes: Sequence[int],
+        end_pc: int,
+        sets_pc: bool,
+    ):
+        self.summary = summary
+        self.ops = list(ops)
+        self.pcs = tuple(pcs)
+        self.sizes = tuple(sizes)
+        self.n = len(self.ops)
+        self.end_pc = end_pc
+        self.sets_pc = sets_pc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "CompiledBlock(n=%d, pc=0x%x..0x%x, sets_pc=%r)" % (
+            self.n, self.pcs[0], self.pcs[-1], self.sets_pc
+        )

@@ -74,6 +74,11 @@ class Machine:
         #: the hook branch is selected once per ``run`` call, so a
         #: hook-free run pays nothing per instruction.
         self.step_hook: Optional[Callable[[StepInfo], bool]] = None
+        #: Master switch for the block-summary executor (DESIGN §3.18).
+        #: The system builders copy ``PcuConfig.block_summaries`` here so
+        #: native (PCU-less) machines honour ``--no-block-cache`` too;
+        #: tests flip it to pin a run to the per-instruction loop.
+        self.block_summaries = True
 
     def attach_cpu(self, cpu: Core) -> None:
         self.cpu = cpu
@@ -136,6 +141,30 @@ class Machine:
                     % (max_steps, cpu.pc)
                 )
             return self.stats
+        if hook is None and self.block_summaries:
+            # Block-summary executor (DESIGN §3.18): warm straight-line
+            # blocks retire under one PCU probe instead of N checks.
+            # Only taken when the CPU formed its member closures against
+            # this pipeline model and its PCU (if any) was configured
+            # block-capable; the executor itself falls back to the
+            # reference ``step()`` per instruction whenever a probe
+            # refuses, so results are bit-identical to the loops below.
+            run_blocks = getattr(cpu, "run_blocks", None)
+            if (
+                run_blocks is not None
+                and cpu.blocks_supported
+                and (cpu.pcu is None or cpu.pcu._block_capable)
+            ):
+                stats = self.stats
+                run_blocks(max_steps, stats, self.pipeline.instruction_cycles)
+                if stats.halted:
+                    return stats
+                if require_halt:
+                    raise SimulationLimitExceeded(
+                        "no halt after %d instructions (pc=0x%x)"
+                        % (max_steps, cpu.pc)
+                    )
+                return stats
         cpu_step = cpu.step
         instruction_cycles = self.pipeline.instruction_cycles
         stats = self.stats

@@ -119,6 +119,10 @@ def build_x86_system(
         )
         manager = DomainManager(pcu)
     machine = Machine(memory, hierarchy, pipeline, pcu)
+    # Native (PCU-less) machines honour the escape hatch too, so a
+    # ``--no-block-cache`` bench run never takes the block executor on
+    # either side of a native-vs-protected pair.
+    machine.block_summaries = config.block_summaries
     cpu = X86Cpu(machine)
     return X86System(machine, cpu, pcu, manager)
 

@@ -18,9 +18,17 @@ from typing import Dict, Optional, Tuple
 
 from repro.core.errors import PrivilegeFault, TrustedMemoryFault
 from repro.core.isa_extension import AccessInfo, CacheId, GateKind
-from repro.core.pcu import PrivilegeCheckUnit
+from repro.core.pcu import BLOCK_REFUSED, BLOCK_SILENT, PrivilegeCheckUnit
+from repro.sim.blocks import (
+    MAX_BLOCK_LEN,
+    MIN_BLOCK_LEN,
+    NO_BLOCK,
+    BlockSummary,
+    CompiledBlock,
+    summarize_classes,
+)
 from repro.sim.machine import Machine
-from repro.sim.pipeline import StepInfo
+from repro.sim.pipeline import OutOfOrderPipelineModel, StepInfo
 from repro.sim.trap import Trap, TrapKind
 
 from .encoding import EncodingError, Instruction, decode
@@ -134,6 +142,17 @@ class X86Cpu:
         #         the prebuilt plain-check AccessInfo, or None for
         #         handlers that run their own check sequence.
         self._decode_cache: Dict[int, tuple] = {}
+        # rip -> CompiledBlock | NO_BLOCK (DESIGN §3.18): superblocks
+        # over the decode entries, each carrying a privilege summary so
+        # a warm block costs one PCU probe.  Invalidated together with
+        # the decode cache (icache coherence); privilege edits need no
+        # explicit invalidation because the summary is re-proved
+        # against the *live* bypass register on every entry.
+        self._block_cache: Dict[int, object] = {}
+        # Block formation bakes the O3 timing model into the member
+        # closures, so any other pipeline falls back to the
+        # per-instruction loop.
+        self.blocks_supported = type(machine.pipeline) is OutOfOrderPipelineModel
         machine.attach_cpu(self)
 
     # ------------------------------------------------------------------
@@ -154,6 +173,10 @@ class X86Cpu:
     def flush_decode_cache(self) -> None:
         """Call after writing instruction memory (icache coherence)."""
         self._decode_cache.clear()
+        if self._block_cache:
+            self._block_cache.clear()
+            if self.pcu is not None:
+                self.pcu.block_stats.invalidations += 1
 
     # ------------------------------------------------------------------
     # Interrupt/trap machinery.
@@ -224,23 +247,267 @@ class X86Cpu:
                     info.pcu_stall += pcu.check(access)
             if not handler(inst, rip, info):
                 self.pc = (rip + size) & MASK64
-        except Trap as trap:
+        except (Trap, PrivilegeFault) as error:
+            self._dispatch_fault(error, rip, info)
+        return info
+
+    def _dispatch_fault(self, error, rip: int, info: StepInfo) -> None:
+        """Vector a Trap or PrivilegeFault exactly as ``step()`` does.
+
+        Shared by the per-instruction loop and the block executor so a
+        mid-block fault takes the identical IDT path.
+        """
+        if isinstance(error, Trap):
             vector = {
                 TrapKind.ILLEGAL_INSTRUCTION: VEC_UD,
                 TrapKind.ISA_GRID_FAULT: VEC_ISA_GRID,
                 TrapKind.TRUSTED_MEMORY_FAULT: VEC_TRUSTED_MEMORY,
-            }.get(trap.kind, VEC_GP)
-            self._vector(vector, rip, info, trap)
-        except PrivilegeFault as fault:
-            if isinstance(fault, TrustedMemoryFault):
-                trap = Trap(TrapKind.TRUSTED_MEMORY_FAULT, VEC_TRUSTED_MEMORY,
-                            pc=rip, message=str(fault), fault=fault)
-                self._vector(VEC_TRUSTED_MEMORY, rip, info, trap)
+            }.get(error.kind, VEC_GP)
+            self._vector(vector, rip, info, error)
+        elif isinstance(error, TrustedMemoryFault):
+            trap = Trap(TrapKind.TRUSTED_MEMORY_FAULT, VEC_TRUSTED_MEMORY,
+                        pc=rip, message=str(error), fault=error)
+            self._vector(VEC_TRUSTED_MEMORY, rip, info, trap)
+        else:
+            trap = Trap(TrapKind.ISA_GRID_FAULT, VEC_ISA_GRID,
+                        pc=rip, message=str(error), fault=error)
+            self._vector(VEC_ISA_GRID, rip, info, trap)
+
+    # ------------------------------------------------------------------
+    # Block-summary execution (DESIGN §3.18).
+    # ------------------------------------------------------------------
+    def _block_op_pure(self, handler, inst, rip: int, size: int):
+        """Fused member closure: no memory access, no branch predictor."""
+        p = self.machine.pipeline
+        info = StepInfo(rip, size)
+
+        def op(h=handler, inst=inst, rip=rip, info=info,
+               ai=p._access_instruction, inv=p._inv_width,
+               icf=p.ICACHE_MISS_FACTOR):
+            h(inst, rip, info)
+            f = ai(rip)
+            if f > 2:
+                return inv + (f - 2) * icf
+            return inv
+
+        return op
+
+    def _block_op_mem(self, handler, inst, rip: int, size: int, is_store: bool):
+        """Fused member closure for loads/stores (mov/stack/call/ret)."""
+        p = self.machine.pipeline
+        info = StepInfo(rip, size)
+        factor = p.STORE_MISS_FACTOR if is_store else p.LOAD_MISS_FACTOR
+
+        def op(h=handler, inst=inst, rip=rip, info=info,
+               ai=p._access_instruction, ad=p._access_data,
+               inv=p._inv_width, icf=p.ICACHE_MISS_FACTOR,
+               is_store=is_store, factor=factor):
+            h(inst, rip, info)
+            f = ai(rip)
+            c = inv + (f - 2) * icf if f > 2 else inv
+            d = ad(info.mem_address, is_store)
+            if d > 2:
+                c += (d - 2) * factor
+            return c
+
+        return op
+
+    def _block_op_jcc(self, handler, inst, rip: int, size: int):
+        """Fused member closure for conditional branches."""
+        p = self.machine.pipeline
+        info = StepInfo(rip, size)
+        fall_through = (rip + size) & MASK64
+
+        def op(h=handler, inst=inst, rip=rip, info=info,
+               ai=p._access_instruction, inv=p._inv_width,
+               icf=p.ICACHE_MISS_FACTOR, stats=p.branch_stats,
+               pu=p._predictor_update, mp=p._mispredict_penalty,
+               cpu=self, fall=fall_through):
+            if not h(inst, rip, info):
+                cpu.pc = fall
+            f = ai(rip)
+            c = inv + (f - 2) * icf if f > 2 else inv
+            stats.predictions += 1
+            if pu(rip, info.branch_taken):
+                stats.mispredictions += 1
+                c += mp
+            return c
+
+        return op
+
+    def _form_block(self, start: int):
+        """Compile a superblock at ``start``, or ``NO_BLOCK``.
+
+        Members are straight-line ring-3-eligible instructions whose
+        only PCU interaction is the plain instruction-class check and
+        whose timing has no serializing component; the first control
+        transfer (branch/call/ret) ends the block as its final member.
+        Everything else — gates, CSR/MSR access, ring-0 instructions,
+        rdtsc/rdpmc, syscall/int/iret, hlt — refuses membership, so a
+        block can never contain a domain switch or privilege edit.
+        """
+        decode_cache = self._decode_cache
+        ops = []
+        pcs = []
+        sizes = []
+        classes = []
+        touches_memory = False
+        sets_pc = False
+        pc = start
+        while len(ops) < MAX_BLOCK_LEN:
+            entry = decode_cache.get(pc)
+            if entry is None:
+                try:
+                    entry = self._decode_entry(pc)
+                except Trap:
+                    # Undecodable tail: executing it live must raise the
+                    # same trap via the reference path, so end the block
+                    # here and do not cache the decode failure.
+                    break
+                decode_cache[pc] = entry
+            inst, handler, size, extra_cycles, needs_ring0, special, access = entry
+            if access is None or needs_ring0 or special or extra_cycles:
+                break
+            cls = inst.inst_class
+            mnemonic = inst.mnemonic
+            ender = False
+            if cls in ("nop", "alu"):
+                op = self._block_op_pure(handler, inst, pc, size)
+            elif cls == "mov":
+                if mnemonic == "mov_load":
+                    op = self._block_op_mem(handler, inst, pc, size, False)
+                    touches_memory = True
+                elif mnemonic == "mov_store":
+                    op = self._block_op_mem(handler, inst, pc, size, True)
+                    touches_memory = True
+                else:
+                    op = self._block_op_pure(handler, inst, pc, size)
+            elif cls == "stack":
+                op = self._block_op_mem(handler, inst, pc, size,
+                                        mnemonic == "push")
+                touches_memory = True
+            elif cls == "branch":
+                ender = True
+                if mnemonic == "jmp":
+                    op = self._block_op_pure(handler, inst, pc, size)
+                else:
+                    op = self._block_op_jcc(handler, inst, pc, size)
+            elif cls == "call":
+                ender = True
+                op = self._block_op_mem(handler, inst, pc, size,
+                                        mnemonic == "call")
+                touches_memory = True
             else:
-                trap = Trap(TrapKind.ISA_GRID_FAULT, VEC_ISA_GRID,
-                            pc=rip, message=str(fault), fault=fault)
-                self._vector(VEC_ISA_GRID, rip, info, trap)
-        return info
+                # string (reserved), syscall/int/iret: never members.
+                break
+            ops.append(op)
+            pcs.append(pc)
+            sizes.append(size)
+            classes.append(access.inst_class)
+            pc = (pc + size) & MASK64
+            if ender:
+                sets_pc = True
+                break
+        if len(ops) < MIN_BLOCK_LEN:
+            return NO_BLOCK
+        summary = BlockSummary(summarize_classes(classes), (), touches_memory)
+        return CompiledBlock(summary, ops, pcs, sizes, pc, sets_pc)
+
+    def run_blocks(self, max_steps: int, mstats, instruction_cycles) -> None:
+        """Hot loop: execute warm blocks under one PCU probe each.
+
+        Called by :meth:`Machine.run` instead of its per-instruction
+        loop when block summaries are enabled.  Any cold/ineligible pc
+        or refused probe falls back to the reference ``step()`` for
+        exactly one instruction, so semantics, cycles and statistics
+        are bit-identical to the per-instruction loop by construction.
+        """
+        blocks = self._block_cache
+        pcu = self.pcu
+        pipeline = self.machine.pipeline
+        step = self.step
+        probe = None if pcu is None else pcu.check_block_summary
+        account = None if pcu is None else pcu.account_block
+        insts = mstats.instructions
+        cyc = mstats.cycles
+        traps = 0
+        remaining = max_steps
+        try:
+            while remaining > 0:
+                pc = self.pc
+                block = blocks.get(pc)
+                if block is None:
+                    block = self._form_block(pc)
+                    blocks[pc] = block
+                if block is not NO_BLOCK and block.n <= remaining:
+                    mode = BLOCK_SILENT if probe is None else probe(block.summary)
+                else:
+                    mode = BLOCK_REFUSED
+                if mode == BLOCK_REFUSED:
+                    # Reference path for one instruction.  Flush the
+                    # stats mirrors first: rdtsc-style reads and trap
+                    # handlers observe them live.
+                    mstats.instructions = insts
+                    mstats.cycles = cyc
+                    info = step()
+                    insts += 1
+                    cyc += instruction_cycles(info)
+                    remaining -= 1
+                    if info.trapped:
+                        traps += 1
+                    if info.halted:
+                        mstats.halted = True
+                        return
+                    continue
+                ops = block.ops
+                n = block.n
+                isp = pipeline._instructions_since_push
+                i = 0
+                try:
+                    while i < n:
+                        cyc += ops[i]()
+                        i += 1
+                except (Trap, PrivilegeFault) as error:
+                    # Mid-block fault: members [0, i) retired normally;
+                    # the faulting member vectors exactly like step().
+                    insts += i
+                    if isp is not None:
+                        pipeline._instructions_since_push = isp + i
+                    info = StepInfo(block.pcs[i], block.sizes[i])
+                    self._dispatch_fault(error, block.pcs[i], info)
+                    insts += 1
+                    cyc += instruction_cycles(info)
+                    traps += 1
+                    remaining -= i + 1
+                    if account is not None:
+                        # The faulting member's check preceded its
+                        # handler on the reference path, so it counts.
+                        account(mode, i + 1)
+                    continue
+                except BaseException:
+                    # e.g. MemoryAccessError escaping the run, as on
+                    # the per-instruction path; attribute the retired
+                    # members before unwinding.  The faulting member's
+                    # check preceded its memory access there, so it
+                    # counts here too.
+                    insts += i
+                    if isp is not None:
+                        pipeline._instructions_since_push = isp + i
+                    if account is not None:
+                        account(mode, i + 1)
+                    raise
+                if isp is not None:
+                    pipeline._instructions_since_push = isp + n
+                insts += n
+                remaining -= n
+                if not block.sets_pc:
+                    self.pc = block.end_pc
+                if account is not None:
+                    account(mode, n)
+        finally:
+            mstats.instructions = insts
+            mstats.cycles = cyc
+            mstats.traps += traps
 
     #: Classes whose only PCU interaction is the plain instruction-class
     #: check; their AccessInfo is prebuilt into the decode entry and the

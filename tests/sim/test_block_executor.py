@@ -1,0 +1,324 @@
+"""The block-summary executor: machine-level bit-identity (§3.18).
+
+The block executor must be a pure wall-clock optimization: for every
+program, running with block summaries on, off (per-instruction fast
+path) and with ``fast_path=False`` (reference slow path) must produce
+bit-identical instructions, cycles, traps, architectural registers and
+``PcuStats``.  This suite drives small assembled programs and the
+gate-stress kernel workload through all three modes on both backends,
+exercises the mid-block fault and escaping-exception paths, and pins
+the escape hatches (``PcuConfig(block_summaries=False)``, the
+``Machine.block_summaries`` flag, step hooks, an attached contract
+monitor) that must keep the reference path in charge.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.contracts import ContractMonitor
+from repro.core import CONFIG_8E
+from repro.kernel import RiscvKernel, X86Kernel
+from repro.riscv import (
+    KERNEL_BASE as RISCV_BASE,
+    assemble as riscv_assemble,
+    build_riscv_system,
+)
+from repro.sim import MemoryAccessError, SimulationLimitExceeded
+from repro.workloads import GATE_STRESS
+from repro.workloads.generator import riscv_user_program, x86_user_program
+from repro.x86 import (
+    IDT_BASE,
+    KERNEL_BASE as X86_BASE,
+    VEC_UD,
+    assemble as x86_assemble,
+    build_x86_system,
+)
+
+BLOCK_OFF = dataclasses.replace(CONFIG_8E, block_summaries=False)
+SLOW_PATH = dataclasses.replace(CONFIG_8E, fast_path=False)
+ALL_MODES = (CONFIG_8E, BLOCK_OFF, SLOW_PATH)
+
+X86_LOOP = """
+entry:
+    mov rcx, 40
+loop:
+    mov rax, 5
+    add rax, 7
+    sub rax, 2
+    and rax, 0xFF
+    sub rcx, 1
+    cmp rcx, 0
+    jne loop
+    hlt
+"""
+
+RISCV_LOOP = """
+entry:
+    li t0, 40
+loop:
+    addi t1, t1, 3
+    add t2, t1, t0
+    sub t3, t2, t1
+    addi t0, t0, -1
+    bnez t0, loop
+    halt
+"""
+
+
+def run_x86(config, source=X86_LOOP, *, max_steps=100_000):
+    system = build_x86_system(config)
+    domain = system.manager.create_domain("all")
+    system.manager.allow_all_instructions(domain.domain_id)
+    program = x86_assemble(source, base=X86_BASE)
+    system.load(program)
+    system.run(program.symbol("entry"), max_steps=max_steps)
+    return system
+
+
+def run_riscv(config, source=RISCV_LOOP, *, max_steps=100_000):
+    system = build_riscv_system(config)
+    domain = system.manager.create_domain("all")
+    system.manager.allow_all_instructions(domain.domain_id)
+    program = riscv_assemble(source, base=RISCV_BASE)
+    system.load(program)
+    system.run(program.symbol("entry"), max_steps=max_steps)
+    return system
+
+
+def snapshot(system):
+    stats = system.machine.stats
+    return {
+        "instructions": stats.instructions,
+        "cycles": stats.cycles,
+        "traps": stats.traps,
+        "halted": stats.halted,
+        "regs": tuple(system.cpu.regs),
+        "pcu": system.pcu.stats.as_dict(),
+    }
+
+
+class TestX86Identity:
+    def test_three_way_bit_identity(self):
+        blocky, off, slow = (run_x86(config) for config in ALL_MODES)
+        reference = snapshot(off)
+        assert snapshot(blocky) == reference
+        assert snapshot(slow) == reference
+        # The block run really took the block executor; the others
+        # never probed.
+        assert blocky.pcu.block_stats.insts > 0
+        assert off.pcu.block_stats.probes == 0
+        assert slow.pcu.block_stats.probes == 0
+
+    def test_trap_inside_a_block_takes_the_idt_path(self):
+        # mov/mov/add/div is one straight-line block; the div faults at
+        # member 3, which must vector through the IDT exactly like the
+        # per-instruction path — same handler, same counters.
+        source = """
+        entry:
+            mov rsp, 0x6e0000
+            mov rax, %d
+            mov rbx, handler
+            mov [rax+%d], rbx
+            mov rbx, %d
+            mov rcx, 0x610000
+            mov [rcx+0], rbx
+            mov rbx, 4095
+            mov [rcx+8], rbx
+            lidt [rcx+0]
+            mov rax, 8
+            mov rbx, 0
+            add rax, 4
+            div rbx
+            hlt
+        handler:
+            mov rdi, 99
+            hlt
+        """ % (IDT_BASE, 8 * VEC_UD, IDT_BASE)
+        blocky = run_x86(CONFIG_8E, source)
+        off = run_x86(BLOCK_OFF, source)
+        assert blocky.cpu.regs[7] == off.cpu.regs[7] == 99
+        assert snapshot(blocky) == snapshot(off)
+        assert blocky.machine.stats.traps == 1
+        assert blocky.pcu.block_stats.insts > 0
+
+    def test_escaping_exception_inside_a_block(self):
+        # An out-of-range load escapes the run on the reference path;
+        # mid-block it must escape with identical attribution.
+        source = """
+        entry:
+            mov rbx, 0x40000000
+            mov rax, 1
+            add rax, 2
+            mov rcx, [rbx]
+            hlt
+        """
+        snaps = []
+        for config in (CONFIG_8E, BLOCK_OFF):
+            system = build_x86_system(config)
+            domain = system.manager.create_domain("all")
+            system.manager.allow_all_instructions(domain.domain_id)
+            program = x86_assemble(source, base=X86_BASE)
+            system.load(program)
+            with pytest.raises(MemoryAccessError):
+                system.run(program.symbol("entry"))
+            snaps.append(snapshot(system))
+        assert snaps[0] == snaps[1]
+
+    def test_budget_cutoff_is_identical(self):
+        # A non-halting program must stop after exactly max_steps in
+        # both modes — a block never overshoots the budget.
+        source = """
+        entry:
+            mov rax, 1
+        loop:
+            add rax, 1
+            add rax, 2
+            add rax, 3
+            and rax, 0xFFFF
+            jmp loop
+        """
+        snaps = []
+        for config in (CONFIG_8E, BLOCK_OFF):
+            system = build_x86_system(config)
+            domain = system.manager.create_domain("all")
+            system.manager.allow_all_instructions(domain.domain_id)
+            program = x86_assemble(source, base=X86_BASE)
+            system.load(program)
+            with pytest.raises(SimulationLimitExceeded):
+                system.run(program.symbol("entry"), max_steps=1001)
+            snaps.append(snapshot(system))
+        assert snaps[0] == snaps[1]
+        assert snaps[0]["instructions"] == 1001
+
+    def test_machine_flag_escape_hatch(self):
+        system = build_x86_system(CONFIG_8E)
+        system.machine.block_summaries = False
+        domain = system.manager.create_domain("all")
+        system.manager.allow_all_instructions(domain.domain_id)
+        program = x86_assemble(X86_LOOP, base=X86_BASE)
+        system.load(program)
+        system.run(program.symbol("entry"))
+        assert system.pcu.block_stats.probes == 0
+        assert snapshot(system) == snapshot(run_x86(BLOCK_OFF))
+
+    def test_step_hook_keeps_the_reference_path(self):
+        system = build_x86_system(CONFIG_8E)
+        seen = []
+        system.machine.step_hook = lambda info: seen.append(info.pc) or False
+        domain = system.manager.create_domain("all")
+        system.manager.allow_all_instructions(domain.domain_id)
+        program = x86_assemble(X86_LOOP, base=X86_BASE)
+        system.load(program)
+        system.run(program.symbol("entry"))
+        assert system.pcu.block_stats.probes == 0
+        # The hook saw every instruction (the halting one returns
+        # before the hook call, as the reference loop always did).
+        assert len(seen) == system.machine.stats.instructions - 1
+
+    def test_reload_flushes_the_block_cache(self):
+        system = run_x86(CONFIG_8E)
+        assert system.cpu._block_cache
+        invalidations = system.pcu.block_stats.invalidations
+        program = x86_assemble(X86_LOOP, base=X86_BASE)
+        system.load(program)  # icache coherence: flush_decode_cache
+        assert not system.cpu._block_cache
+        assert system.pcu.block_stats.invalidations == invalidations + 1
+
+
+class TestRiscvIdentity:
+    def test_three_way_bit_identity(self):
+        blocky, off, slow = (run_riscv(config) for config in ALL_MODES)
+        reference = snapshot(off)
+        assert snapshot(blocky) == reference
+        assert snapshot(slow) == reference
+        assert blocky.pcu.block_stats.insts > 0
+        assert off.pcu.block_stats.probes == 0
+        assert slow.pcu.block_stats.probes == 0
+
+    def test_escaping_exception_inside_a_block(self):
+        # An out-of-range load is a simulator-level error that escapes
+        # the run on the reference path; mid-block it must escape too,
+        # with the retired prefix attributed identically.
+        source = """
+        entry:
+            addi t0, x0, 1
+            addi t1, x0, 2
+            li t2, 0x40000000
+            ld t3, 0(t2)
+            halt
+        """
+        snaps = []
+        for config in (CONFIG_8E, BLOCK_OFF):
+            system = build_riscv_system(config)
+            domain = system.manager.create_domain("all")
+            system.manager.allow_all_instructions(domain.domain_id)
+            program = riscv_assemble(source, base=RISCV_BASE)
+            system.load(program)
+            with pytest.raises(MemoryAccessError):
+                system.run(program.symbol("entry"))
+            snaps.append(snapshot(system))
+        assert snaps[0] == snaps[1]
+
+
+class TestKernelWorkloadIdentity:
+    """The gate-stress kernel exercises BYPASS-mode blocks: domain
+    entries through gates, privilege revocations, ISA-Grid faults and
+    syscalls interleave with straight-line user code."""
+
+    ITERATIONS = 8
+    MAX_STEPS = 1_000_000
+
+    def run_kernel(self, kernel_class, user_program, config):
+        profile = dataclasses.replace(GATE_STRESS,
+                                      outer_iterations=self.ITERATIONS)
+        kernel = kernel_class("decomposed", config)
+        stats = kernel.run(user_program(profile), max_steps=self.MAX_STEPS)
+        observed = {
+            "instructions": stats.instructions,
+            "cycles": stats.cycles,
+            "traps": stats.traps,
+            "pcu": kernel.system.pcu.stats.as_dict(),
+            "syscalls": kernel.syscall_count,
+            "faults": kernel.fault_count,
+        }
+        return observed, kernel
+
+    def test_x86_gate_stress_three_way(self):
+        results = {}
+        for config in ALL_MODES:
+            results[config.fast_path, config.block_summaries] = (
+                self.run_kernel(X86Kernel, x86_user_program, config))
+        reference = results[True, False][0]
+        for key, (observed, _) in results.items():
+            assert observed == reference, "mode %r diverged" % (key,)
+        blocky = results[True, True][1]
+        assert blocky.system.pcu.block_stats.hits > 0
+        assert results[True, False][1].system.pcu.block_stats.probes == 0
+
+    def test_riscv_gate_stress_three_way(self):
+        results = {}
+        for config in ALL_MODES:
+            results[config.fast_path, config.block_summaries] = (
+                self.run_kernel(RiscvKernel, riscv_user_program, config))
+        reference = results[True, False][0]
+        for key, (observed, _) in results.items():
+            assert observed == reference, "mode %r diverged" % (key,)
+        assert results[True, True][1].system.pcu.block_stats.hits > 0
+
+    def test_attached_monitor_forces_per_instruction_cadence(self):
+        # An armed contract tap must see every check: probes refuse,
+        # and the monitored event stream is identical with blocks
+        # configured on or off.
+        monitors = []
+        for config in (CONFIG_8E, BLOCK_OFF):
+            profile = dataclasses.replace(GATE_STRESS,
+                                          outer_iterations=self.ITERATIONS)
+            kernel = X86Kernel("decomposed", config)
+            monitor = ContractMonitor(seed=0)
+            monitor.attach(kernel.system.pcu, kernel.system.manager)
+            kernel.run(x86_user_program(profile), max_steps=self.MAX_STEPS)
+            assert kernel.system.pcu.block_stats.hits == 0
+            assert monitor.total_violations == 0
+            monitors.append(monitor)
+        assert monitors[0].events_seen == monitors[1].events_seen > 0
