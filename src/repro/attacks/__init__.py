@@ -1,4 +1,5 @@
-"""ISA-abuse-based attacks (Table 1) and gate-forgery attacks."""
+"""ISA-abuse-based attacks (Table 1), gate-forgery attacks, and the
+unintended-instruction campaigns (scanner baseline vs the PCU)."""
 
 from .base import (
     MARKER_ADDRESS,
@@ -25,6 +26,14 @@ from .riscv_attacks import (
     SSTATUS_SUM_FLIP,
     STVEC_HIJACK,
 )
+from .unintended import (
+    AttackCampaignResult,
+    PlantedGadget,
+    build_stream,
+    run_unintended_campaign,
+    run_unintended_campaigns,
+    write_attack_report,
+)
 from .table1 import (
     CONTROLLED_CHANNEL,
     FORESHADOW,
@@ -38,6 +47,7 @@ from .table1 import (
 )
 
 __all__ = [
+    "AttackCampaignResult",
     "AttackOutcome",
     "AttackSpec",
     "CONTROLLED_CHANNEL",
@@ -61,9 +71,14 @@ __all__ = [
     "STVEC_HIJACK",
     "SUPER_ROOT",
     "TABLE1_ATTACKS",
+    "PlantedGadget",
     "TRESOR_HUNT",
     "VOLTAGE",
+    "build_stream",
     "evaluate_attack",
     "marker_written",
     "run_attack",
+    "run_unintended_campaign",
+    "run_unintended_campaigns",
+    "write_attack_report",
 ]

@@ -22,12 +22,24 @@ demonstrates the second by construction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.x86.encoding import EncodingError, decode, simple_bytes
 
 #: Sequences a Nested-Kernel-style scanner must eliminate.
 DEFAULT_FORBIDDEN: Tuple[str, ...] = ("wrmsr", "wrpkru", "wrpkrs", "hlt", "cli")
+
+#: A forbidden entry: a fixed-encoding mnemonic, or raw pattern bytes
+#: (for sequences with no single mnemonic, e.g. an opcode prefix).
+ForbiddenEntry = Union[str, bytes]
+
+
+def resolve_pattern(entry: ForbiddenEntry) -> Tuple[str, bytes]:
+    """(report name, pattern bytes) for one forbidden entry."""
+    if isinstance(entry, (bytes, bytearray)):
+        pattern = bytes(entry)
+        return pattern.hex(), pattern
+    return entry, simple_bytes(entry)
 
 
 def find_byte_occurrences(code: bytes, pattern: bytes) -> List[int]:
@@ -81,23 +93,33 @@ class ScanReport:
 
 
 def scan_program(
-    code: bytes, forbidden: Sequence[str] = DEFAULT_FORBIDDEN
+    code: bytes, forbidden: Sequence[ForbiddenEntry] = DEFAULT_FORBIDDEN
 ) -> Dict[str, ScanReport]:
     """Scan a binary for forbidden sequences, splitting intended (on the
-    linear instruction stream) from unintended (hidden) occurrences."""
+    linear instruction stream) from unintended (hidden) occurrences.
+
+    ``forbidden`` entries are fixed-encoding mnemonics or raw pattern
+    bytes; a raw pattern counts as *intended* where an instruction on
+    the linear stream begins with exactly those bytes.
+    """
     listing = linear_disassemble(code)
     by_mnemonic: Dict[str, List[int]] = {}
     for offset, mnemonic, _size in listing:
         by_mnemonic.setdefault(mnemonic, []).append(offset)
 
     reports: Dict[str, ScanReport] = {}
-    for mnemonic in forbidden:
-        pattern = simple_bytes(mnemonic)
-        reports[mnemonic] = ScanReport(
-            mnemonic=mnemonic,
+    for entry in forbidden:
+        name, pattern = resolve_pattern(entry)
+        if isinstance(entry, (bytes, bytearray)):
+            intended = [offset for offset, _m, _s in listing
+                        if code[offset:offset + len(pattern)] == pattern]
+        else:
+            intended = by_mnemonic.get(name, [])
+        reports[name] = ScanReport(
+            mnemonic=name,
             pattern=pattern,
             total_occurrences=find_byte_occurrences(code, pattern),
-            intended_offsets=by_mnemonic.get(mnemonic, []),
+            intended_offsets=intended,
         )
     return reports
 
@@ -116,36 +138,55 @@ class RewriteResult:
         return not self.corrupted_instructions
 
 
+def _merge_ranges(ranges: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Coalesce overlapping ``[start, end)`` byte ranges."""
+    merged: List[Tuple[int, int]] = []
+    for start, end in sorted(ranges):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
 def rewrite_hidden_bytes(
-    code: bytes, forbidden: Sequence[str] = DEFAULT_FORBIDDEN
+    code: bytes, forbidden: Sequence[ForbiddenEntry] = DEFAULT_FORBIDDEN
 ) -> RewriteResult:
     """ERIM-style naive rewrite: overwrite hidden occurrences with NOPs.
 
     Returns which *legitimate* instructions got corrupted in the
     process — demonstrating why scanning-and-rewriting cannot be both
     complete and safe on a variable-length ISA.
+
+    Hidden occurrences of different patterns may overlap (and a pattern
+    may overlap itself); their byte ranges are coalesced before
+    patching, and each distinct occurrence offset is reported once.
     """
     reports = scan_program(code, forbidden)
-    patched = bytearray(code)
-    patched_offsets: List[int] = []
+    ranges: List[Tuple[int, int]] = []
+    offsets = set()
     for report in reports.values():
         for offset in report.unintended_offsets:
-            patched[offset : offset + len(report.pattern)] = b"\x90" * len(report.pattern)
-            patched_offsets.append(offset)
+            ranges.append((offset, offset + len(report.pattern)))
+            offsets.add(offset)
+    patched = bytearray(code)
+    for start, end in _merge_ranges(ranges):
+        patched[start:end] = b"\x90" * (end - start)
 
-    def full_listing(data: bytes) -> Dict[int, Tuple[str, int, int]]:
-        out: Dict[int, Tuple[str, int, int]] = {}
-        for offset, mnemonic, size in linear_disassemble(data):
-            inst = decode(data, offset)
-            out[offset] = (mnemonic, size, inst.imm)
-        return out
-
-    # Corruption is semantic as well as structural: compare mnemonic,
-    # size AND immediate of every pre-existing instruction.
+    # Corruption is semantic as well as structural: re-decode the
+    # patched bytes at every pre-existing instruction boundary and
+    # compare mnemonic, size AND immediate.  A patch can leave the
+    # boundary undecodable altogether (the NOPs formed an illegal
+    # ModRM/suffix) — that is corruption too, not a scan crash.
     corrupted: List[Tuple[int, str]] = []
-    before = full_listing(code)
-    after = full_listing(bytes(patched))
-    for offset, description in before.items():
-        if after.get(offset) != description:
-            corrupted.append((offset, description[0]))
-    return RewriteResult(bytes(patched), sorted(patched_offsets), corrupted)
+    patched_bytes = bytes(patched)
+    for offset, mnemonic, size in linear_disassemble(code):
+        inst = decode(code, offset)
+        try:
+            after = decode(patched_bytes, offset)
+        except EncodingError:
+            corrupted.append((offset, mnemonic))
+            continue
+        if (after.mnemonic, after.size, after.imm) != (mnemonic, size, inst.imm):
+            corrupted.append((offset, mnemonic))
+    return RewriteResult(patched_bytes, sorted(offsets), corrupted)

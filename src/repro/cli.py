@@ -100,10 +100,12 @@ def _cmd_case3(_args) -> int:
     return 0
 
 
-def _cmd_attacks(_args) -> int:
+def _cmd_attacks(args) -> int:
     from repro.analysis import render_table
     from repro.attacks import RISCV_ATTACKS, TABLE1_ATTACKS, evaluate_attack
 
+    if getattr(args, "campaign", False):
+        return _run_attack_campaigns(args)
     rows = []
     mitigated = 0
     for spec in TABLE1_ATTACKS + RISCV_ATTACKS:
@@ -117,6 +119,74 @@ def _cmd_attacks(_args) -> int:
     print(render_table(("attack", "prerequisite", "native", "ISA-Grid"), rows))
     print("\nmitigated %d/%d" % (mitigated, len(rows)))
     return 0 if mitigated == len(rows) else 1
+
+
+def _run_attack_campaigns(args) -> int:
+    """Unintended-instruction campaigns: binary-scan baseline vs PCU.
+
+    Gadget-bearing streams are generated per seed; the ERIM-style
+    scanner and the PCU-enforced decode race on every planted gadget.
+    Fails unless the baseline misses at least one gadget the PCU
+    faults on, the legitimate stream stays fault-free, every sealed
+    probe is denied, and no unwaived contract violation fired.
+    """
+    from repro.attacks import run_unintended_campaigns, write_attack_report
+
+    try:
+        seeds = [int(s) for s in args.seeds.split(",") if s != ""]
+    except ValueError:
+        print("bad --seeds %r (want comma-separated ints)" % args.seeds,
+              file=sys.stderr)
+        return 2
+    if not seeds:
+        print("no seeds given", file=sys.stderr)
+        return 2
+    results = run_unintended_campaigns(
+        seeds, args.streams, args.stream_len, jobs=args.jobs,
+        contracts=args.contracts,
+    )
+    for result in results:
+        detected = sum(g.scanner_detected for g in result.gadgets)
+        blocked = sum(g.pcu_blocked for g in result.gadgets)
+        missed = sum(g.pcu_blocked and not g.scanner_detected
+                     for g in result.gadgets)
+        print("seed %-4d %3d streams  %4d gadgets  scanner=%d/%d  "
+              "pcu=%d/%d  missed-but-blocked=%d  rewrite-corrupted=%d  "
+              "unwaived=%d"
+              % (result.seed, result.n_streams, len(result.gadgets),
+                 detected, len(result.gadgets), blocked,
+                 len(result.gadgets), missed, result.rewrite_corrupted,
+                 result.unwaived_contract_violations))
+    payload = write_attack_report(results, args.report)
+    print("report written to %s" % args.report)
+    print("scanner miss rate %.1f%%  pcu block rate %.1f%%  "
+          "baseline missed %d gadget(s) the PCU blocks"
+          % (payload["scanner_miss_rate"] * 100,
+             payload["pcu_block_rate"] * 100,
+             payload["baseline_missed_pcu_blocked"]))
+    failed = False
+    if not payload["baseline_missed_pcu_blocked"]:
+        print("FAIL: the scanner caught everything the PCU caught — the "
+              "campaign demonstrates nothing", file=sys.stderr)
+        failed = True
+    totals = payload["totals"]
+    if totals.get("pcu_blocked") != totals.get("generated"):
+        print("FAIL: %d gadget(s) escaped the PCU"
+              % (totals.get("generated", 0) - totals.get("pcu_blocked", 0)),
+              file=sys.stderr)
+        failed = True
+    if totals.get("legit_faults"):
+        print("FAIL: %d false positive(s) on the legitimate stream"
+              % totals["legit_faults"], file=sys.stderr)
+        failed = True
+    if totals.get("sealed_blocked") != totals.get("sealed_probes"):
+        print("FAIL: a sealed-class probe executed", file=sys.stderr)
+        failed = True
+    if payload["unwaived_contract_violations"]:
+        print("FAIL: %d unwaived contract violation(s)"
+              % payload["unwaived_contract_violations"], file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 def _cmd_decompose(_args) -> int:
@@ -688,8 +758,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     subparsers = parser.add_subparsers(dest="command", required=True,
                                        metavar="command")
     for name in sorted(_COMMANDS):
-        if name in ("bench", "churn", "conformance", "contracts", "faults",
-                    "orchestrate"):
+        if name in ("attacks", "bench", "churn", "conformance", "contracts",
+                    "faults", "orchestrate"):
             continue
         subparsers.add_parser(name, help="regenerate the %r artifact" % name)
 
@@ -718,6 +788,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                                help="monitor the run against the universal "
                                     "ISA-Grid contracts (default on; any "
                                     "unwaived violation fails the run)")
+    attacks = subparsers.add_parser(
+        "attacks",
+        help="Table-1 mitigation matrix; --campaign runs the "
+             "unintended-instruction campaigns (binary-scan baseline vs "
+             "the PCU over gadget-bearing byte streams)",
+    )
+    attacks.add_argument("--campaign", action="store_true",
+                         help="generate gadget-bearing streams and race "
+                              "the scanner against PCU-enforced decode "
+                              "(default: print the Table-1 matrix)")
+    attacks.add_argument("--seeds", default="0",
+                         help="comma-separated campaign seeds "
+                              "(one self-contained campaign per seed)")
+    attacks.add_argument("--streams", type=int, default=24,
+                         help="gadget-bearing streams per seed")
+    attacks.add_argument("--stream-len", type=int, default=48,
+                         help="instructions per stream")
+    attacks.add_argument("--jobs", type=int, default=1,
+                         help="process-pool workers over the seeds "
+                              "(report bytes identical to --jobs 1)")
+    attacks.add_argument("--report", default="results/attack_campaigns.json",
+                         help="JSON report output path")
+    add_contracts_flag(attacks)
     conformance = subparsers.add_parser(
         "conformance",
         help="differentially fuzz the cached PCU against the oracle spec",

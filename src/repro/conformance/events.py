@@ -42,6 +42,7 @@ CHECK_OPS = ("check", "gate", "mem", "pfch", "pflh")
 RECONFIG_OPS = (
     "allow_inst", "deny_inst", "grant_csr", "revoke_csr", "set_mask",
     "register_gate", "unregister_gate", "create_domain", "destroy_domain",
+    "seal",
 )
 #: Domain-0 scheduler operations on trusted-stack contexts (Section 5.2):
 #: park the current (hcsp, hcsb, hcsl) window, switch onto another one,
@@ -223,6 +224,13 @@ class EventGenerator:
                          read=rng.random() < 0.5, write=True)
         if op == "set_mask":
             return Event(op, domain=slot, bits=rng.getrandbits(64))
+        if op == "seal":
+            if rng.random() < 0.5:
+                return Event(op, domain=slot,
+                             inst=rng.randrange(N_INST_SLOTS))
+            read = rng.random() < 0.5
+            return Event(op, domain=slot, csr=rng.randrange(N_CSR_SLOTS),
+                         read=read, write=rng.random() < 0.7 or not read)
         if op == "register_gate":
             gate = rng.randrange(N_GATE_SLOTS)
             self.gate_dest[gate] = slot

@@ -131,6 +131,12 @@ class Backend:
                 event.domain, self.csr_name(MASKED_CSR_SLOT), event.bits)
         if event.op in ("register_gate", "unregister_gate"):
             return "gate %d -> domain slot %d" % (event.gate, event.domain)
+        if event.op == "seal":
+            if event.csr < 0:
+                return "domain slot %d seal class %r" % (
+                    event.domain, self.inst_name(event.inst))
+            return "domain slot %d seal csr %r r=%s w=%s" % (
+                event.domain, self.csr_name(event.csr), event.read, event.write)
         return "domain slot %d" % event.domain
 
     def render_program(self, events: Sequence[Event]) -> List[str]:

@@ -367,6 +367,16 @@ class ConformanceWorld:
         elif op == "set_mask":
             call("set_register_mask", domain_id,
                  backend.csr_name(len(backend.csr_names) - 1), event.bits)
+        elif op == "seal":
+            if event.csr < 0:
+                call("seal_privileges", domain_id,
+                     instructions=[backend.inst_name(event.inst)])
+            elif event.read or event.write:
+                call("seal_privileges", domain_id,
+                     csrs=[backend.csr_name(event.csr)],
+                     read=event.read, write=event.write)
+            else:
+                status = "skip"
         else:
             raise ValueError("unknown conformance event op %r" % op)
         return self._skip(True, status), self._skip(False, status)

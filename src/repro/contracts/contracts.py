@@ -381,7 +381,10 @@ class RollbackAtomicityContract(Contract):
 
     def observe(self, event: TraceEvent) -> List[str]:
         if event.kind == "mem_write":
-            if self.in_txn:
+            # Seal-word sets bypass the journal by design (sealing is
+            # one-way); the abort replay will not restore them, so they
+            # must not enter the first-touch shadow.
+            if self.in_txn and event.op != "seal":
                 self.first_touch.setdefault(event.address, event.old)
             return []
         if event.kind != "txn":
@@ -470,6 +473,78 @@ class NoStaleGenerationContract(Contract):
         return []
 
 
+class NoUnsealContract(Contract):
+    """C8 — a sealed privilege is never honoured again.
+
+    Shadow: per-domain sets of sealed instruction classes and sealed
+    CSR read/write sides, built from ``seal`` reconfigs.  Seals only
+    retire with the domain itself (``create_domain``/``clear_domain``
+    reset, and ``recycle_slot`` — the seal belongs to the tenant, and
+    the virtualizer clears it with the generation bump).  Any later
+    ``ok`` check consuming a sealed privilege is a violation — however
+    it came back: a domain-0 re-grant, a rolled-back transaction, a
+    recycled slot under a stale flush, or a flipped seal word.
+
+    A masked-CSR write that changes no bits is not *consuming* the
+    sealed write privilege (the PCU legitimately allows it: the seal
+    forces the effective mask to zero, and a no-change write passes a
+    zero mask), so only bit-changing masked writes violate.
+    """
+
+    name = "no_unseal"
+    description = ("an ok verdict never consumes a privilege that was "
+                   "sealed earlier in the domain's lifetime")
+    vocabulary = ("check", "reconfig")
+
+    def reset(self) -> None:
+        self.sealed_inst: Dict[int, Set[int]] = {}
+        self.sealed_read: Dict[int, Set[int]] = {}
+        self.sealed_write: Dict[int, Set[int]] = {}
+
+    def observe(self, event: TraceEvent) -> List[str]:
+        if event.kind == "reconfig":
+            domain = event.domain
+            if event.op in ("create_domain", "clear_domain", "recycle_slot"):
+                self.sealed_inst[domain] = set()
+                self.sealed_read[domain] = set()
+                self.sealed_write[domain] = set()
+            elif event.op == "seal":
+                if event.inst >= 0:
+                    self.sealed_inst.setdefault(domain,
+                                                set()).add(event.inst)
+                if event.csr >= 0:
+                    if event.read:
+                        self.sealed_read.setdefault(domain,
+                                                    set()).add(event.csr)
+                    if event.write:
+                        self.sealed_write.setdefault(domain,
+                                                     set()).add(event.csr)
+            return []
+        if event.kind != "check" or event.status != "ok":
+            return []
+        if event.domain == DOMAIN_0:
+            return []
+        problems: List[str] = []
+        if event.inst in self.sealed_inst.get(event.domain, ()):
+            problems.append(
+                "verdict honoured instruction class %d in domain %d after "
+                "it was sealed" % (event.inst, event.domain))
+        if event.csr >= 0:
+            if event.read and event.csr in self.sealed_read.get(
+                    event.domain, ()):
+                problems.append(
+                    "verdict honoured a read of sealed CSR %d in domain %d"
+                    % (event.csr, event.domain))
+            if event.write and event.csr in self.sealed_write.get(
+                    event.domain, ()):
+                if not (self._masked(event.csr)
+                        and event.old == event.value):
+                    problems.append(
+                        "verdict honoured a write of sealed CSR %d in "
+                        "domain %d" % (event.csr, event.domain))
+        return problems
+
+
 #: Registry, in canonical report order.
 CONTRACT_CLASSES = (
     InstRetirementContract,
@@ -479,6 +554,7 @@ CONTRACT_CLASSES = (
     CoherenceAfterRevokeContract,
     RollbackAtomicityContract,
     NoStaleGenerationContract,
+    NoUnsealContract,
 )
 
 #: Canonical contract names, matching :data:`CONTRACT_CLASSES` order.

@@ -64,11 +64,13 @@ RECONFIG_OPS = (
     "create_domain", "clear_domain", "allow_inst", "deny_inst",
     "grant_csr", "revoke_csr", "set_mask", "register_gate",
     "unregister_gate", "sync_domain", "bind_slot", "recycle_slot",
+    "seal",
 )
 
 #: Trusted-memory store origins (``TraceEvent.op`` when kind is
-#: ``mem_write``).
-MEM_ORIGINS = ("sw", "hw", "d0", "scrub")
+#: ``mem_write``).  ``"seal"`` marks the journal-bypassed one-way
+#: seal-word sets: rollback atomicity deliberately does not cover them.
+MEM_ORIGINS = ("sw", "hw", "d0", "scrub", "seal")
 
 
 @dataclass

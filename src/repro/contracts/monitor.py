@@ -160,6 +160,19 @@ class ContractMonitor:
                 feed(TraceEvent(kind="reconfig", op="set_mask",
                                 domain=domain_id, csr=isa.csr_index(name),
                                 bits=mask))
+            if domain_id and hasattr(manager, "sealed_privileges"):
+                sealed = manager.sealed_privileges(domain_id)
+                for name in sorted(sealed["instructions"]):
+                    feed(TraceEvent(kind="reconfig", op="seal",
+                                    domain=domain_id,
+                                    inst=isa.inst_class(name)))
+                for name in sorted(sealed["read_csrs"]
+                                   | sealed["write_csrs"]):
+                    feed(TraceEvent(
+                        kind="reconfig", op="seal", domain=domain_id,
+                        csr=isa.csr_index(name),
+                        read=name in sealed["read_csrs"],
+                        write=name in sealed["write_csrs"]))
         for gate_id in sorted(manager.gates):
             feed(TraceEvent(kind="reconfig", op="register_gate",
                             gate=gate_id,
@@ -212,7 +225,10 @@ class ContractMonitor:
         if kind == "reconfig" and self._in_txn:
             self._buffer.append(event)
             return
-        if kind == "mem_write" and self._in_txn:
+        if kind == "mem_write" and self._in_txn and event.op != "seal":
+            # Journal-bypassed seal sets are not part of the transaction:
+            # the abort replay will not restore them, so the post-abort
+            # snapshot must not cover their addresses.
             self._txn_touched.setdefault(event.address, event.old)
         self._deliver(event)
 

@@ -139,6 +139,7 @@ class DomainManager:
             return
         hpt = self.pcu.hpt
         domain_snaps = []
+        seal_snaps = []
         for d in domains:
             desc = self.domains.get(d)
             domain_snaps.append((
@@ -151,6 +152,17 @@ class DomainManager:
                     set(desc.instructions), set(desc.readable_csrs),
                     set(desc.writable_csrs), dict(desc.bit_grants),
                 ),
+            ))
+            # Seal mirrors are restored by OR-merging the snapshot with
+            # whatever is sealed at abort time: a journalled seal *clear*
+            # (teardown/recycle) rolls back with the memory journal, but
+            # a journal-bypassed seal *set* can never be reverted — the
+            # merge only ever moves toward more sealed.
+            seal_snaps.append((
+                d,
+                list(hpt._seal_inst.get(d, ())),
+                list(hpt._seal_regs.get(d, ())),
+                list(hpt._seal_masks.get(d, ())),
             ))
         gate_snap = None
         if gates:
@@ -174,6 +186,22 @@ class DomainManager:
                      desc.writable_csrs, desc.bit_grants) = fields
                     self.domains[d] = desc
                     self._names[desc.name] = d
+            for d, seal_inst, seal_regs, seal_masks in seal_snaps:
+                for mirror, snap, n_words in (
+                    (hpt._seal_inst, seal_inst, hpt.inst_words_per_domain),
+                    (hpt._seal_regs, seal_regs, hpt.reg_words_per_domain),
+                    (hpt._seal_masks, seal_masks, hpt.mask_words_per_domain),
+                ):
+                    current = mirror.get(d, ())
+                    merged = [
+                        (snap[i] if i < len(snap) else 0)
+                        | (current[i] if i < len(current) else 0)
+                        for i in range(n_words)
+                    ]
+                    if any(merged):
+                        mirror[d] = merged
+                    else:
+                        mirror.pop(d, None)
             if gate_snap is not None:
                 self.gates, self.pcu.sgt._next_id = gate_snap[0], gate_snap[1]
                 self.pcu.registers.gate_nr = gate_snap[2]
@@ -342,6 +370,77 @@ class DomainManager:
                     self._emit("set_mask", domain=domain_id, csr=csr, bits=0)
             # Revocation: drop stale cached privileges of this domain only.
             self.pcu.invalidate_privileges(domain_id, inst=False, csr=csr)
+
+    # ------------------------------------------------------------------
+    # Seals: one-way privilege drops (Efficient Sealable Protection
+    # Keys' seal operation, generalized to instruction classes and CSRs).
+    # ------------------------------------------------------------------
+    def seal_privileges(
+        self,
+        domain_id: int,
+        instructions: Iterable[str] = (),
+        csrs: Iterable[str] = (),
+        *,
+        read: bool = True,
+        write: bool = True,
+    ) -> None:
+        """Irrevocably drop privileges of ``domain_id``.
+
+        Sealed instruction classes and CSR accesses are ANDed out of
+        every HPT read below the verdict paths, so later domain-0
+        re-grants, slot recycling under a stale flush, and transactional
+        rollback all leave the seal in force.  There is deliberately no
+        unseal: the seal words are written journal-bypassed (a rolled
+        back transaction cannot restore the pre-seal value) and only a
+        full domain teardown (``destroy_domain`` / slot recycle under a
+        fresh generation) retires them.
+
+        The descriptor keeps the sealed names: it records what was
+        *granted*; the seal is an enforcement overlay the PCU applies
+        below it.  ``sealed_privileges`` reports the overlay.
+        """
+        if domain_id == DOMAIN_0:
+            raise ConfigurationError("domain-0 privileges cannot be sealed")
+        self._descriptor(domain_id)  # domain must exist
+        inst_names = list(instructions)
+        csr_names = list(csrs)
+        if not read and not write:
+            csr_names = []
+        classes = [self.isa_map.inst_class(n) for n in inst_names]
+        csr_indices = [self.isa_map.csr_index(n) for n in csr_names]
+        for inst_class in classes:
+            self.pcu.hpt.seal_instruction(domain_id, inst_class)
+            self._emit("seal", domain=domain_id, inst=inst_class)
+        for csr in csr_indices:
+            self.pcu.hpt.seal_register(domain_id, csr, read=read, write=write)
+            self._emit("seal", domain=domain_id, csr=csr,
+                       read=read, write=write)
+        if classes or csr_indices:
+            # Pre-seal verdicts may still sit in the caches, the bypass
+            # register and the Draco proven-legal table; sweep them.
+            self.pcu.invalidate_privileges(domain_id)
+
+    def sealed_privileges(self, domain_id: int) -> Dict[str, Set[str]]:
+        """The seal overlay of one domain, by resource name."""
+        self._descriptor(domain_id)
+        hpt = self.pcu.hpt
+        sealed_insts = {
+            self.isa_map.inst_class_name(i)
+            for i in hpt.sealed_instructions(domain_id)
+        }
+        sealed_reads: Set[str] = set()
+        sealed_writes: Set[str] = set()
+        for csr, (r, w) in hpt.sealed_registers(domain_id).items():
+            name = self.isa_map.csr_name(csr)
+            if r:
+                sealed_reads.add(name)
+            if w:
+                sealed_writes.add(name)
+        return {
+            "instructions": sealed_insts,
+            "read_csrs": sealed_reads,
+            "write_csrs": sealed_writes,
+        }
 
     def destroy_domain(self, domain_id: int) -> None:
         """Retire a domain: revoke every privilege and drop its gates.

@@ -272,6 +272,24 @@ class DomainVirtualizer:
         if write:
             manifest.writable_csrs.discard(csr_name)
 
+    def seal_privileges(
+        self, logical: int, instructions: Iterable[str] = (),
+        csrs: Iterable[str] = (), *, read: bool = True, write: bool = True,
+    ) -> None:
+        """One-way seal on the tenant's *current* slot incarnation.
+
+        Seals are slot state, not manifest state: they retire with the
+        binding (``_reset_seals`` on recycle) and are deliberately not
+        replayed on a rebind — a seal pins down a live incarnation, it
+        is not a durable grant-shaped intent.  Sealing an unbound
+        tenant is therefore a no-op.
+        """
+        self._manifest(logical)
+        physical = self.bindings.get(logical)
+        if physical is not None:
+            self.manager.seal_privileges(physical, instructions=instructions,
+                                         csrs=csrs, read=read, write=write)
+
     def _manifest(self, logical: int) -> TenantManifest:
         try:
             return self.tenants[logical]
@@ -321,6 +339,15 @@ class DomainVirtualizer:
     def _flush_slot(self, physical: int) -> None:
         """The droppable flush-on-reuse step (fault-injection hook)."""
         self._do_flush(physical)
+
+    def _reset_seals(self, physical: int) -> None:
+        """The droppable seal-retirement step (fault-injection hook).
+
+        Runs with the generation bump so a recycled slot never inherits
+        the retired tenant's seal overlay; if dropped, the stale seals
+        only *narrow* the next tenant until bind-time flush clears them.
+        """
+        self.pcu.hpt.clear_seals(physical)
 
     def _do_flush(self, physical: int) -> None:
         descriptor = self.manager.domains[physical]
@@ -387,6 +414,11 @@ class DomainVirtualizer:
             memory.store_word(
                 self.generation_address_of(physical), new_generation, origin="sw"
             )
+            # Retire the tenant's seal overlay with the generation bump:
+            # the seal belongs to the tenant, not the slot.  These clears
+            # are journalled, and the seal mirrors merge back on abort,
+            # so a rolled-back recycle leaves the tenant still sealed.
+            self._reset_seals(physical)
             self.manager.unregister_gate(gate_id)
             self.manager._emit(
                 "recycle_slot", domain=physical, bits=new_generation, dest=logical

@@ -59,12 +59,28 @@ class HybridPrivilegeTable:
         self.csr_bit_mask = memory.allocate(
             max(1, max_domains * self.mask_words_per_domain)
         )
+        # Seal masks (one-way privilege drops): laid out exactly like the
+        # three grant structures, ANDed out below every read path.  A set
+        # seal bit permanently suppresses the corresponding grant bit for
+        # that domain, whatever domain-0 later writes into the grant word.
+        self.seal_inst_cap = memory.allocate(max_domains * self.inst_words_per_domain)
+        self.seal_csr_cap = memory.allocate(max_domains * self.reg_words_per_domain)
+        self.seal_bit_mask = memory.allocate(
+            max(1, max_domains * self.mask_words_per_domain)
+        )
 
         # Python-side mirror for the configuration API; trusted memory is
         # the source of truth for the PCU's refill path.
         self._inst: Dict[int, InstructionBitmap] = {}
         self._regs: Dict[int, RegisterBitmap] = {}
         self._masks: Dict[int, BitMaskArray] = {}
+        # Seal mirrors live in plain word lists, deliberately *outside*
+        # the three grant mirrors: DomainManager transactions snapshot and
+        # restore only the grant mirrors, so a rolled-back transaction can
+        # never resurrect a pre-seal state.
+        self._seal_inst: Dict[int, List[int]] = {}
+        self._seal_regs: Dict[int, List[int]] = {}
+        self._seal_masks: Dict[int, List[int]] = {}
 
     # ------------------------------------------------------------------
     # Layout: word addresses the PCU refills cache entries from.
@@ -86,6 +102,24 @@ class HybridPrivilegeTable:
         if not 0 <= slot < self.mask_words_per_domain:
             raise IndexError("mask slot %d out of range" % slot)
         return self.csr_bit_mask + (domain * self.mask_words_per_domain + slot) * WORD_BYTES
+
+    def seal_inst_address(self, domain: int, word_index: int) -> int:
+        self._check_domain(domain)
+        if not 0 <= word_index < self.inst_words_per_domain:
+            raise IndexError("instruction seal word %d out of range" % word_index)
+        return self.seal_inst_cap + (domain * self.inst_words_per_domain + word_index) * WORD_BYTES
+
+    def seal_reg_address(self, domain: int, word_index: int) -> int:
+        self._check_domain(domain)
+        if not 0 <= word_index < self.reg_words_per_domain:
+            raise IndexError("register seal word %d out of range" % word_index)
+        return self.seal_csr_cap + (domain * self.reg_words_per_domain + word_index) * WORD_BYTES
+
+    def seal_mask_address(self, domain: int, slot: int) -> int:
+        self._check_domain(domain)
+        if not 0 <= slot < self.mask_words_per_domain:
+            raise IndexError("seal mask slot %d out of range" % slot)
+        return self.seal_bit_mask + (domain * self.mask_words_per_domain + slot) * WORD_BYTES
 
     def _check_domain(self, domain: int) -> None:
         if not 0 <= domain < self.max_domains:
@@ -200,7 +234,10 @@ class HybridPrivilegeTable:
 
         Used when domain-0 retires a domain: the id is never reused, but
         the trusted-memory words must not keep granting privileges to a
-        PCU refill racing the teardown.
+        PCU refill racing the teardown.  Seals are cleared too — a seal
+        belongs to the tenant that earned it, and a retired domain id is
+        never handed back out (slot recycling re-creates under a fresh
+        id and bumps the generation word first).
         """
         self._check_domain(domain)
         self._inst[domain] = InstructionBitmap(self.isa_map.n_inst_classes)
@@ -211,6 +248,7 @@ class HybridPrivilegeTable:
             self._masks[domain] = BitMaskArray(self.isa_map.n_masked_csrs)
             for slot in range(self.mask_words_per_domain):
                 self._sync_mask(domain, slot)
+        self.clear_seals(domain)
 
     def set_all_masks(self, domain: int, mask: int) -> None:
         masks = self._mask_array(domain)
@@ -219,16 +257,148 @@ class HybridPrivilegeTable:
             self._sync_mask(domain, slot)
 
     # ------------------------------------------------------------------
-    # PCU refill path: raw word reads from trusted memory.
+    # Seals: one-way privilege drops (write-through, journal-bypassed).
+    # ------------------------------------------------------------------
+    def _seal_inst_words(self, domain: int) -> List[int]:
+        self._check_domain(domain)
+        words = self._seal_inst.get(domain)
+        if words is None:
+            words = [0] * self.inst_words_per_domain
+            self._seal_inst[domain] = words
+        return words
+
+    def _seal_reg_words(self, domain: int) -> List[int]:
+        self._check_domain(domain)
+        words = self._seal_regs.get(domain)
+        if words is None:
+            words = [0] * self.reg_words_per_domain
+            self._seal_regs[domain] = words
+        return words
+
+    def _seal_mask_words(self, domain: int) -> List[int]:
+        self._check_domain(domain)
+        words = self._seal_masks.get(domain)
+        if words is None:
+            words = [0] * self.mask_words_per_domain
+            self._seal_masks[domain] = words
+        return words
+
+    def seal_instruction(self, domain: int, inst_class: int) -> None:
+        """Permanently drop one instruction class for ``domain``.
+
+        The mirror is updated *before* the store: if the store faults
+        mid-seal, the scrubber repairs toward the sealed state, so the
+        seal completes rather than silently unwinding.
+        """
+        if not 0 <= inst_class < self.isa_map.n_inst_classes:
+            raise ConfigurationError("instruction class %d out of range" % inst_class)
+        words = self._seal_inst_words(domain)
+        word, bit = divmod(inst_class, WORD_BITS)
+        words[word] |= 1 << bit
+        self.memory.store_word(self.seal_inst_address(domain, word), words[word],
+                               origin="seal", journal=False)
+
+    def seal_register(self, domain: int, csr: int, *,
+                      read: bool = False, write: bool = False) -> None:
+        """Permanently drop read and/or write access to one CSR.
+
+        Sealing the write side of a bitwise-controlled CSR also seals the
+        whole bit-mask slot: masked writes are checked against the mask
+        alone, so the seal must force the effective mask to zero.
+        """
+        if not 0 <= csr < self.isa_map.n_csrs:
+            raise ConfigurationError("CSR index %d out of range" % csr)
+        words = self._seal_reg_words(domain)
+        bit_index = 2 * csr
+        word, bit = divmod(bit_index, WORD_BITS)
+        if read:
+            words[word] |= 1 << bit
+        if write:
+            words[word] |= 1 << (bit + 1)
+        if read or write:
+            self.memory.store_word(self.seal_reg_address(domain, word), words[word],
+                                   origin="seal", journal=False)
+        slot = self.isa_map.mask_slot(csr)
+        if write and slot is not None:
+            mask_words = self._seal_mask_words(domain)
+            mask_words[slot] = (1 << WORD_BITS) - 1
+            self.memory.store_word(self.seal_mask_address(domain, slot),
+                                   mask_words[slot], origin="seal", journal=False)
+
+    def clear_seals(self, domain: int) -> None:
+        """Retire a domain's seals (teardown/recycle only, never a grant
+        path).  These stores stay journalled: a rollback that *restores*
+        a seal narrows privileges, which is always safe."""
+        self._check_domain(domain)
+        if domain in self._seal_inst:
+            for i in range(self.inst_words_per_domain):
+                self.memory.store_word(self.seal_inst_address(domain, i), 0)
+            del self._seal_inst[domain]
+        if domain in self._seal_regs:
+            for i in range(self.reg_words_per_domain):
+                self.memory.store_word(self.seal_reg_address(domain, i), 0)
+            del self._seal_regs[domain]
+        if domain in self._seal_masks:
+            for slot in range(self.mask_words_per_domain):
+                self.memory.store_word(self.seal_mask_address(domain, slot), 0)
+            del self._seal_masks[domain]
+
+    def sealed_instructions(self, domain: int) -> List[int]:
+        """Instruction classes currently sealed for ``domain`` (mirror view)."""
+        self._check_domain(domain)
+        words = self._seal_inst.get(domain)
+        if not words:
+            return []
+        return [
+            i for i in range(self.isa_map.n_inst_classes)
+            if words[i // WORD_BITS] >> (i % WORD_BITS) & 1
+        ]
+
+    def sealed_registers(self, domain: int) -> Dict[int, "tuple[bool, bool]"]:
+        """``{csr: (read_sealed, write_sealed)}`` for ``domain`` (mirror view)."""
+        self._check_domain(domain)
+        words = self._seal_regs.get(domain)
+        sealed: Dict[int, tuple] = {}
+        if not words:
+            return sealed
+        for csr in range(self.isa_map.n_csrs):
+            word, bit = divmod(2 * csr, WORD_BITS)
+            read = bool(words[word] >> bit & 1)
+            write = bool(words[word] >> (bit + 1) & 1)
+            if read or write:
+                sealed[csr] = (read, write)
+        return sealed
+
+    # ------------------------------------------------------------------
+    # PCU refill path: word reads from trusted memory.  Every read ANDs
+    # the seal word out, so compiled plans, block summaries, degraded
+    # mode, the bypass register and the conformance oracle all enforce
+    # seals from one place.
     # ------------------------------------------------------------------
     def read_inst_word(self, domain: int, word_index: int) -> int:
-        return self.memory.load_word(self.inst_word_address(domain, word_index))
+        raw = self.memory.load_word(self.inst_word_address(domain, word_index))
+        seal = self.memory.load_word(self.seal_inst_address(domain, word_index))
+        return raw & ~seal
 
     def read_reg_word(self, domain: int, word_index: int) -> int:
-        return self.memory.load_word(self.reg_word_address(domain, word_index))
+        raw = self.memory.load_word(self.reg_word_address(domain, word_index))
+        seal = self.memory.load_word(self.seal_reg_address(domain, word_index))
+        return raw & ~seal
 
     def read_mask(self, domain: int, slot: int) -> int:
-        return self.memory.load_word(self.mask_address(domain, slot))
+        raw = self.memory.load_word(self.mask_address(domain, slot))
+        seal = self.memory.load_word(self.seal_mask_address(domain, slot))
+        return raw & ~seal
+
+    # Raw seal-word reads (scrubber audit surface; not a verdict path).
+    def read_seal_inst_word(self, domain: int, word_index: int) -> int:
+        return self.memory.load_word(self.seal_inst_address(domain, word_index))
+
+    def read_seal_reg_word(self, domain: int, word_index: int) -> int:
+        return self.memory.load_word(self.seal_reg_address(domain, word_index))
+
+    def read_seal_mask(self, domain: int, slot: int) -> int:
+        return self.memory.load_word(self.seal_mask_address(domain, slot))
 
     def read_inst_words(self, domain: int) -> List[int]:
         """All instruction-bitmap words of one domain (bypass-register fill)."""
@@ -237,8 +407,12 @@ class HybridPrivilegeTable:
         ]
 
     def footprint_words(self) -> int:
-        """Trusted-memory footprint of the whole table, in words."""
-        return self.max_domains * (
+        """Trusted-memory footprint of the whole table, in words.
+
+        Doubled by the seal overlay: every grant structure has a
+        shadow seal structure of identical geometry.
+        """
+        return 2 * self.max_domains * (
             self.inst_words_per_domain
             + self.reg_words_per_domain
             + self.mask_words_per_domain

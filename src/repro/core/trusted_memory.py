@@ -96,18 +96,24 @@ class TrustedMemory:
         return self._backing.load_word(address)
 
     def store_word(self, address: int, value: int, *,
-                   origin: str = "sw") -> None:
+                   origin: str = "sw", journal: bool = True) -> None:
         """Domain-0 software write path (the Machine enforces domain-0).
 
         ``origin`` tags who issued the store for the contract trace:
         ``"sw"`` for manager-transaction software stores, ``"hw"`` for
         hardware trusted-stack pushes, ``"d0"`` for domain-0
-        provisioning, ``"scrub"`` for scrubber repairs.  It changes
-        nothing about the store itself.
+        provisioning, ``"scrub"`` for scrubber repairs, ``"seal"`` for
+        one-way seal-word sets.  It changes nothing about the store
+        itself.
+
+        ``journal=False`` keeps the store out of any open transaction
+        journal: an aborting transaction must never replay the old value
+        over it.  Seal-word *sets* use this — sealing is one-way, so a
+        rollback that un-sealed would violate the no-unseal contract.
         """
         if not self.contains(address):
             raise ConfigurationError("write outside trusted memory: 0x%x" % address)
-        if self._journal is not None:
+        if self._journal is not None and journal:
             if address not in self._journalled:
                 # Record the old value *before* attempting the store so a
                 # backing that faults mid-write still rolls back cleanly.

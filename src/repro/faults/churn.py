@@ -221,6 +221,14 @@ class ChurnWorld:
         elif op.verb == "revoke_csr":
             virtualizer.revoke_register(logical, self.backend.csr_name(op.csr),
                                         read=op.read, write=op.write)
+        elif op.verb == "seal":
+            if op.inst >= 0:
+                virtualizer.seal_privileges(
+                    logical, instructions=[self.backend.inst_name(op.inst)])
+            else:
+                virtualizer.seal_privileges(
+                    logical, csrs=[self.backend.csr_name(op.csr)],
+                    read=op.read, write=op.write)
         else:
             raise ValueError("unknown reconfig verb %r" % op.verb)
         return []

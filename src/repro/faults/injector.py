@@ -357,6 +357,79 @@ class FaultInjector:
         self.backing.arm_store_fault(owner=self)
         self._note(False, "armed one-shot trusted-memory store fault")
 
+    # -- seal-window faults --------------------------------------------
+    def _inject_seal_word_flip(self) -> None:
+        """Flip a bit of a one-way seal word in trusted memory.
+
+        ``module`` picks the seal region (inst / reg / mask); a *clear*
+        silently un-seals, the widening direction the seal audit in the
+        scrubber exists to catch (seal words are shared memory, so
+        lockstep can never see this).
+        """
+        domain = self._target_domain()
+        if domain is None:
+            return self._note(False, "no live domain to target")
+        hpt = self.world.pcu.hpt
+        backend = self.world.backend
+        if self.spec.module == "reg":
+            csr = backend.csr_index(self.spec.resource % len(backend.csr_slots))
+            bit_index = 2 * csr + (self.spec.bit & 1)
+            word, bit = divmod(bit_index, 64)
+            address = hpt.seal_reg_address(domain, word)
+            what = "reg-seal bit %d" % bit_index
+        elif self.spec.module == "mask" and hpt.mask_words_per_domain:
+            slot = self.spec.resource % hpt.mask_words_per_domain
+            address = hpt.seal_mask_address(domain, slot)
+            bit = self.spec.bit % 64
+            what = "mask-seal bit %d of slot %d" % (bit, slot)
+        else:
+            inst_class = backend.inst_class(
+                self.spec.resource % len(backend.inst_slots))
+            word, bit = divmod(inst_class, 64)
+            address = hpt.seal_inst_address(domain, word)
+            what = "inst-seal bit %d" % inst_class
+        changed = self.backing.mutate_word(address, bit, self.spec.bit_op)
+        self._note(changed, "%s %s of domain %d (word 0x%x)"
+                   % (self.spec.bit_op, what, domain, address))
+
+    def _inject_seal_store_fault(self) -> None:
+        """Fail the first trusted-memory store of the next seal.
+
+        Seal stores are mirror-first and journal-bypassed, so the fault
+        leaves mirror ⊇ memory: the scrubber must repair *toward* the
+        sealed state — a half-landed seal completes, never unwinds.
+        """
+        manager = self.world.manager
+        original = manager.seal_privileges
+        backing = self.backing
+        injector = self
+
+        def arming(*args, **kwargs):
+            manager.seal_privileges = original  # one-shot
+            backing.arm_store_fault(owner=injector)
+            return original(*args, **kwargs)
+
+        manager.seal_privileges = arming
+        self._note(False, "armed seal-window store fault (no seal seen yet)")
+
+    def _inject_seal_reset_drop(self) -> None:
+        """Swallow the seal retirement of the next slot recycle, so the
+        slot carries the retired tenant's seals until the bind-time
+        flush (which must still clear them — defence in depth)."""
+        virtualizer = self._virtualizer()
+        if virtualizer is None:
+            return self._note(False, "no domain virtualizer in this world")
+        original = virtualizer._reset_seals
+        injector = self
+
+        def dropping(physical):
+            virtualizer._reset_seals = original  # one-shot
+            injector._note(True, "dropped seal retirement of slot %d"
+                           % physical)
+
+        virtualizer._reset_seals = dropping
+        self._note(False, "armed seal-retirement drop (no recycle seen yet)")
+
     # -- recycle-window faults (domain virtualization) -----------------
     def _virtualizer(self):
         return getattr(self.world.manager, "virtualizer", None)

@@ -35,6 +35,8 @@ FAULT_KINDS = (
     "drop_invalidate",  # swallow the next invalidate_privileges sweep
     "bypass_corrupt",   # flip a bit of the bypass instruction-privilege reg
     "store_fault",      # fail the next trusted-memory store mid-reconfig
+    "seal_word_flip",   # flip a bit of a one-way seal word in memory
+    "seal_store_fault",  # fail the trusted-memory store of the next seal
 )
 
 #: Machine-level campaigns add two commit-window kinds on top: both arm
@@ -63,6 +65,7 @@ CHURN_FAULT_KINDS = (
     "cache_corrupt",
     "drop_invalidate",
     "store_fault",
+    "seal_reset_drop",      # swallow the seal retirement of the next recycle
 )
 
 #: When a machine-level fault fires: at a reconfiguration-pulse index
@@ -83,6 +86,11 @@ _ALWAYS_WIDENING = {
     "sgt_word", "stack_word", "cache_stale_pin", "drop_invalidate",
     "store_fault", "commit_store_fault", "commit_flip_journalled",
     "recycle_store_fault", "generation_flip", "drop_reuse_flush",
+    # A cleared seal bit un-seals (widening); a mid-seal store fault
+    # leaves the seal half-landed.  Both must never diverge silently.
+    # ``seal_reset_drop`` is the exception: an *inherited* seal can only
+    # deny, so it keeps the direction-based default.
+    "seal_word_flip", "seal_store_fault",
 }
 
 
@@ -276,7 +284,7 @@ class FaultPlan:
 
     @staticmethod
     def _resource_from(rng: random.Random, kind: str) -> int:
-        if kind in ("hpt_inst_bit", "bypass_corrupt"):
+        if kind in ("hpt_inst_bit", "bypass_corrupt", "seal_word_flip"):
             return rng.randrange(N_INST_SLOTS)
         if kind == "hpt_reg_bit":
             return rng.randrange(N_CSR_SLOTS)

@@ -95,29 +95,65 @@ class IntegrityScrubber:
         domains |= set(self.manager.domains)
         return sorted(d for d in domains if 0 <= d < hpt.max_domains)
 
+    def _expected_seal_inst(self, domain: int) -> List[int]:
+        hpt = self.pcu.hpt
+        words = hpt._seal_inst.get(domain)
+        if words is None:
+            return [0] * hpt.inst_words_per_domain
+        return list(words)
+
+    def _expected_seal_regs(self, domain: int) -> List[int]:
+        hpt = self.pcu.hpt
+        words = hpt._seal_regs.get(domain)
+        if words is None:
+            return [0] * hpt.reg_words_per_domain
+        return list(words)
+
+    def _expected_seal_masks(self, domain: int) -> List[int]:
+        hpt = self.pcu.hpt
+        words = hpt._seal_masks.get(domain)
+        if words is None:
+            return [0] * hpt.mask_words_per_domain
+        return list(words)
+
     def _expected_inst_words(self, domain: int) -> List[int]:
         hpt = self.pcu.hpt
         bitmap = hpt._inst.get(domain)
+        seal = self._expected_seal_inst(domain)
         if bitmap is None:
             return [0] * hpt.inst_words_per_domain
-        return [bitmap.word(i) for i in range(hpt.inst_words_per_domain)]
+        # The read path ANDs seals out, so the expectation must too —
+        # otherwise a seal under a live grant would look like permanent
+        # corruption and the scrubber would "repair" forever.
+        return [bitmap.word(i) & ~seal[i]
+                for i in range(hpt.inst_words_per_domain)]
 
     def _expected_reg_words(self, domain: int) -> List[int]:
         hpt = self.pcu.hpt
         bitmap = hpt._regs.get(domain)
+        seal = self._expected_seal_regs(domain)
         if bitmap is None:
             return [0] * hpt.reg_words_per_domain
-        return [bitmap.word(i) for i in range(hpt.reg_words_per_domain)]
+        return [bitmap.word(i) & ~seal[i]
+                for i in range(hpt.reg_words_per_domain)]
 
     def _expected_masks(self, domain: int) -> List[int]:
         hpt = self.pcu.hpt
         masks = hpt._masks.get(domain)
+        seal = self._expected_seal_masks(domain)
         if masks is None:
             return [0] * hpt.mask_words_per_domain
-        return [masks.get_mask(s) for s in range(hpt.mask_words_per_domain)]
+        return [masks.get_mask(s) & ~seal[s]
+                for s in range(hpt.mask_words_per_domain)]
 
     def domain_checksum(self, domain: int) -> int:
-        """Checksum of one domain's HPT regions as held in trusted memory."""
+        """Checksum of one domain's HPT regions as held in trusted memory.
+
+        Covers the seal overlay too (raw seal words): a flipped seal bit
+        has no lockstep signature — both PCU and oracle read the same
+        flipped word — so this audit is the detector of record for
+        un-seal attempts against trusted memory.
+        """
         hpt = self.pcu.hpt
         words = [hpt.read_inst_word(domain, i)
                  for i in range(hpt.inst_words_per_domain)]
@@ -125,13 +161,22 @@ class IntegrityScrubber:
                   for i in range(hpt.reg_words_per_domain)]
         words += [hpt.read_mask(domain, s)
                   for s in range(hpt.mask_words_per_domain)]
+        words += [hpt.read_seal_inst_word(domain, i)
+                  for i in range(hpt.inst_words_per_domain)]
+        words += [hpt.read_seal_reg_word(domain, i)
+                  for i in range(hpt.reg_words_per_domain)]
+        words += [hpt.read_seal_mask(domain, s)
+                  for s in range(hpt.mask_words_per_domain)]
         return _fold(words)
 
     def expected_domain_checksum(self, domain: int) -> int:
         """The same checksum derived from domain-0's mirrors."""
         return _fold(self._expected_inst_words(domain)
                      + self._expected_reg_words(domain)
-                     + self._expected_masks(domain))
+                     + self._expected_masks(domain)
+                     + self._expected_seal_inst(domain)
+                     + self._expected_seal_regs(domain)
+                     + self._expected_seal_masks(domain))
 
     # ------------------------------------------------------------------
     # Pass 1: memory vs mirrors (repairable).
@@ -149,6 +194,12 @@ class IntegrityScrubber:
                  hpt.read_reg_word),
                 (hpt.mask_address, self._expected_masks(domain),
                  hpt.read_mask),
+                (hpt.seal_inst_address, self._expected_seal_inst(domain),
+                 hpt.read_seal_inst_word),
+                (hpt.seal_reg_address, self._expected_seal_regs(domain),
+                 hpt.read_seal_reg_word),
+                (hpt.seal_mask_address, self._expected_seal_masks(domain),
+                 hpt.read_seal_mask),
             )
             for address_of, expected, read in regions:
                 for index, want in enumerate(expected):

@@ -40,6 +40,7 @@ _DCONF_OPS = frozenset((
     "create_domain", "destroy_domain",
     "allow_instructions", "deny_instruction",
     "grant_register", "revoke_register", "set_register_mask",
+    "seal_privileges",
     "register_gate", "unregister_gate",
     "create_thread_stack",
 ))

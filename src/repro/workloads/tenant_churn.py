@@ -50,7 +50,7 @@ class ChurnOp:
         Destroy tenant ``tenant``, recycling its slot if bound.
     ``reconfig``
         Apply ``verb`` (``allow_inst`` / ``deny_inst`` / ``grant_csr``
-        / ``revoke_csr``) to tenant ``tenant`` — issued from wherever
+        / ``revoke_csr`` / ``seal``) to tenant ``tenant`` — issued from wherever
         the core currently sits, overlapping gate traffic.
     ``visit``
         Activate ``tenant`` (binding a slot, possibly evicting),
@@ -214,7 +214,8 @@ class TenantChurnGenerator:
         handle = self._zipf_pick()
         insts, reads, writes = self.manifests[handle]
         rng = self.rng
-        verb = rng.choice(("allow_inst", "deny_inst", "grant_csr", "revoke_csr"))
+        verb = rng.choice(("allow_inst", "deny_inst", "grant_csr",
+                           "revoke_csr", "seal"))
         if verb == "allow_inst":
             slot = rng.randrange(self.n_inst_slots)
             insts.add(slot)
@@ -235,7 +236,7 @@ class TenantChurnGenerator:
                 kind="reconfig", tenant=handle, verb=verb, csr=slot,
                 read=read, write=write,
             )
-        else:
+        elif verb == "revoke_csr":
             if not reads:
                 return
             slot = rng.choice(sorted(reads))
@@ -245,6 +246,21 @@ class TenantChurnGenerator:
                 kind="reconfig", tenant=handle, verb=verb, csr=slot,
                 read=True, write=True,
             )
+        else:  # seal: drop the privilege from the mirror too — it is
+            # gone for this slot incarnation, so checks bias away.
+            if insts and rng.random() < 0.6:
+                slot = rng.choice(sorted(insts))
+                insts.discard(slot)
+                op = ChurnOp(kind="reconfig", tenant=handle, verb=verb,
+                             inst=slot)
+            elif reads:
+                slot = rng.choice(sorted(reads))
+                reads.discard(slot)
+                writes.discard(slot)
+                op = ChurnOp(kind="reconfig", tenant=handle, verb=verb,
+                             csr=slot, read=True, write=True)
+            else:
+                return
         trace.ops.append(op)
         trace.reconfigs += 1
 

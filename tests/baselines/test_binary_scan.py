@@ -98,3 +98,55 @@ class TestRewriting:
         assert original.imm == 0x11300F22
         patched = decode(result.rewritten)
         assert patched.imm != original.imm  # immediate destroyed
+
+
+class TestRawBytePatterns:
+    def test_bytes_entry_reported_by_hex_name(self):
+        from repro.x86.encoding import Encoder
+
+        # mov cr3, rax aligned, plus the same prefix hidden in an imm64.
+        code = (Encoder.mov_cr(3, 0, True)
+                + Encoder.mov_imm64(0, 0x1122_0F22_3344_5566))
+        reports = scan_program(code, forbidden=(b"\x0f\x22",))
+        report = reports["0f22"]
+        assert report.intended_offsets == [0]
+        # little-endian imm64: the 0F 22 pair sits 5 bytes into the imm
+        assert report.unintended_offsets == [3 + 2 + 5]
+
+    def test_string_and_bytes_entries_mix(self):
+        code = simple_bytes("wrmsr") + b"\x90"
+        reports = scan_program(code, forbidden=("wrmsr", b"\x0f\x30"))
+        assert reports["wrmsr"].intended_offsets == [0]
+        # The raw twin of the same pattern agrees, under its hex name.
+        assert reports["0f30"].intended_offsets == [0]
+
+
+class TestRewriteRobustness:
+    def test_undecodable_patched_suffix_is_corruption_not_a_crash(self):
+        """Patching can leave an old instruction boundary undecodable
+        (the NOP forms an illegal ModRM): `xchg rsp, rsi` ends in the
+        hlt byte 0xF4; NOP-ing it yields ModRM 0x90 — a memory form the
+        decoder rejects.  The rewrite must classify that boundary as
+        corrupted instead of raising EncodingError."""
+        code = bytes([0x48, 0x87, 0xF4])  # xchg: REX.W 87 /r, rm=rsp
+        result = rewrite_hidden_bytes(code, forbidden=("hlt",))
+        assert result.patched_offsets == [2]
+        assert (0, "xchg") in result.corrupted_instructions
+        assert not result.safe
+
+    def test_overlapping_occurrences_patched_and_counted_once(self):
+        """Self-overlapping and cross-pattern occurrences must coalesce:
+        every hidden offset reported exactly once, every byte patched
+        exactly once, and the rewrite must not grow the program."""
+        from repro.x86.encoding import Encoder
+
+        imm = int.from_bytes(b"\xf4\xf4\xf4" + b"\x11" * 5, "little")
+        code = Encoder.mov_imm64(0, imm) + simple_bytes("nop")
+        result = rewrite_hidden_bytes(code, forbidden=("hlt", b"\xf4\xf4"))
+        # hlt hides at 2,3,4; the two-byte pattern self-overlaps at 2,3.
+        assert result.patched_offsets == [2, 3, 4]
+        assert len(result.patched_offsets) == len(set(result.patched_offsets))
+        assert len(result.rewritten) == len(code)
+        assert result.rewritten[2:5] == b"\x90\x90\x90"
+        assert result.rewritten[5:] == code[5:]
+        assert result.rewritten[:2] == code[:2]

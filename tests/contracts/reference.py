@@ -1,6 +1,6 @@
 """Brute-force reference for the contract layer's verdicts.
 
-An independent re-derivation of what the seven universal contracts
+An independent re-derivation of what the eight universal contracts
 should report for a given event stream, written as flat single-purpose
 passes (one list of per-event violation counts each) plus an explicit
 model of the monitor's delivery discipline (transaction buffering,
@@ -268,6 +268,40 @@ def _stale_generation_counts(stream) -> List[int]:
     return out
 
 
+def _unseal_counts(stream, masked) -> List[int]:
+    sealed: Dict[Tuple[int, str, int], bool] = {}
+    out = []
+    for event in stream:
+        n = 0
+        if event.kind == "reconfig":
+            if event.op in ("create_domain", "clear_domain", "recycle_slot"):
+                for key in [key for key in sealed if key[0] == event.domain]:
+                    del sealed[key]
+            elif event.op == "seal":
+                if event.inst >= 0:
+                    sealed[(event.domain, "inst", event.inst)] = True
+                if event.csr >= 0:
+                    if event.read:
+                        sealed[(event.domain, "read", event.csr)] = True
+                    if event.write:
+                        sealed[(event.domain, "write", event.csr)] = True
+        elif (event.kind == "check" and event.status == "ok"
+              and event.domain != DOMAIN_0):
+            if sealed.get((event.domain, "inst", event.inst)):
+                n += 1
+            if event.csr >= 0:
+                if event.read and sealed.get((event.domain, "read",
+                                              event.csr)):
+                    n += 1
+                if (event.write and sealed.get((event.domain, "write",
+                                                event.csr))
+                        and not (event.csr in masked
+                                 and event.old == event.value)):
+                    n += 1
+        out.append(n)
+    return out
+
+
 def reference_verdict(events, geometry) -> Tuple[Dict[str, int], int]:
     """Counts per contract plus the unwaived total, independently derived."""
     stream = normalize(events)
@@ -280,6 +314,7 @@ def reference_verdict(events, geometry) -> Tuple[Dict[str, int], int]:
         "coherence_after_revoke": _revoke_counts(stream, masked),
         "rollback_atomicity": _rollback_counts(stream),
         "no_stale_generation": _stale_generation_counts(stream),
+        "no_unseal": _unseal_counts(stream, masked),
     }
     counts = {name: sum(rows) for name, rows in per_contract.items()}
     armed = False

@@ -101,6 +101,12 @@ class ContractStream(RuleBasedStateMachine):
         self.emit("reconfig", op="recycle_slot", domain=domain, bits=bits,
                   dest=dest)
 
+    @rule(domain=DOMAIN, inst=INST, csr=CSR,
+          read=st.booleans(), write=st.booleans())
+    def seal(self, domain, inst, csr, read, write):
+        self.emit("reconfig", op="seal", domain=domain, inst=inst,
+                  csr=csr, read=read, write=write)
+
     # -- observable events (valid and violating alike) -------------------
     @rule(domain=DOMAIN, status=STATUS, inst=INST, csr=CSR,
           read=st.booleans(), write=st.booleans(), value=VALUE, old=VALUE)

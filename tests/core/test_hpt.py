@@ -39,7 +39,7 @@ class TestLayout:
         assert hpt.mask_words_per_domain == isa_map.n_masked_csrs == 2
 
     def test_footprint(self, hpt):
-        expected = 16 * (
+        expected = 2 * 16 * (
             hpt.inst_words_per_domain
             + hpt.reg_words_per_domain
             + hpt.mask_words_per_domain

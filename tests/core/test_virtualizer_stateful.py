@@ -8,6 +8,12 @@ since the core entered MUST raise StaleGenerationFault, and a check in
 a generation-coherent domain must NEVER raise it.  That is exactly the
 ABA confusion (old core, recycled slot, possibly a brand-new tenant
 bound in it) shrunk to its minimal reproduction when it fails.
+
+The machine also drives one-way seals through the tenant lifecycle and
+pins their slot-scoped lifetime: while a tenant stays bound, a sealed
+class MUST deny even though the manifest still grants it; once the
+binding dies (retire, eviction, recycle), the next tenant in that slot
+MUST NOT inherit the seal mask — a granted class checks ok again.
 """
 
 from hypothesis import settings, strategies as st
@@ -48,14 +54,21 @@ class VirtualizerMachine(RuleBasedStateMachine):
         #: generation the core latched when it last entered its domain —
         #: the independent mirror of ``pcu._entry_generation``
         self.entry_generation = 0
+        #: spawn-time manifest mirror: logical -> granted class names
+        self.grants = {}
+        #: live seal mirror: logical -> (physical, generation, classes);
+        #: valid only while that exact binding incarnation persists
+        self.seals = {}
 
     def _pick(self, index):
         return self.alive[index % len(self.alive)]
 
     @rule(grants=st.sets(st.sampled_from(CLASSES), max_size=3))
     def spawn(self, grants):
-        self.alive.append(
-            self.virtualizer.spawn(TenantManifest(instructions=set(grants))))
+        logical = self.virtualizer.spawn(
+            TenantManifest(instructions=set(grants)))
+        self.alive.append(logical)
+        self.grants[logical] = set(grants)
 
     @precondition(lambda self: self.alive)
     @rule(index=st.integers(min_value=0, max_value=99))
@@ -63,6 +76,39 @@ class VirtualizerMachine(RuleBasedStateMachine):
         logical = self._pick(index)
         self.alive.remove(logical)
         self.virtualizer.retire(logical)
+        self.grants.pop(logical, None)
+        self.seals.pop(logical, None)
+
+    @precondition(lambda self: self.alive)
+    @rule(index=st.integers(min_value=0, max_value=99),
+          inst=st.integers(min_value=0, max_value=5))
+    def seal(self, index, inst):
+        """Seal one class on a tenant; slot state when bound, no-op when
+        unbound (deliberately not replayed on a later rebind)."""
+        logical = self._pick(index)
+        self.virtualizer.seal_privileges(logical,
+                                         instructions=[CLASSES[inst]])
+        physical = self.virtualizer.bindings.get(logical)
+        if physical is None:
+            return
+        generation = self.virtualizer.generations[physical]
+        entry = self.seals.get(logical)
+        if entry is None or entry[0] != physical or entry[1] != generation:
+            entry = (physical, generation, set())
+            self.seals[logical] = entry
+        entry[2].add(inst)
+
+    def _sealed_classes(self, physical):
+        """Classes sealed in the *current incarnation* of ``physical``."""
+        for logical, bound in self.virtualizer.bindings.items():
+            if bound != physical:
+                continue
+            entry = self.seals.get(logical)
+            if (entry and entry[0] == physical
+                    and entry[1] == self.virtualizer.generations[physical]):
+                return logical, entry[2]
+            return logical, set()
+        return None, set()
 
     @precondition(lambda self: self.alive)
     @rule(index=st.integers(min_value=0, max_value=99))
@@ -113,10 +159,21 @@ class VirtualizerMachine(RuleBasedStateMachine):
                 "slot generation moved under the core (domain %d) but the "
                 "check returned %r — a stale/ABA verdict escaped"
                 % (domain, outcome))
-        else:
-            assert outcome != "stale", (
-                "generation-coherent check in domain %d raised "
-                "StaleGenerationFault" % domain)
+            return
+        assert outcome != "stale", (
+            "generation-coherent check in domain %d raised "
+            "StaleGenerationFault" % domain)
+        logical, sealed = self._sealed_classes(domain)
+        if inst in sealed:
+            assert outcome == "denied", (
+                "class %r is sealed for tenant %s in slot %d but the check "
+                "returned %r — a seal was lost" % (CLASSES[inst], logical,
+                                                   domain, outcome))
+        elif logical is not None and CLASSES[inst] in self.grants[logical]:
+            assert outcome == "ok", (
+                "tenant %s in slot %d is granted unsealed class %r but the "
+                "check returned %r — the slot inherited a stale seal mask"
+                % (logical, domain, CLASSES[inst], outcome))
 
 
 TestVirtualizerMachine = VirtualizerMachine.TestCase

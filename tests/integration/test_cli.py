@@ -31,3 +31,68 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestBenchCompareGate:
+    """`bench --compare` is the CI perf gate; pin its exit contract."""
+
+    @staticmethod
+    def _write(tmp_path, name, ips_by_rig):
+        from repro.bench import build_trajectory, write_trajectory
+
+        payloads = [{"rig": rig, "instructions": 1000, "cycles": 2000.0,
+                     "wall_s": 1000.0 / ips, "ips": float(ips)}
+                    for rig, ips in ips_by_rig.items()]
+        path = str(tmp_path / name)
+        write_trajectory(build_trajectory(payloads, label=name), path)
+        return path
+
+    def test_regression_fails(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "base.json",
+                               {"rocket": 10000, "kernel": 8000})
+        current = self._write(tmp_path, "cur.json",
+                              {"rocket": 10000, "kernel": 4000})
+        assert main(["bench", "--compare", current, baseline]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL: 1 rig(s) regressed" in captured.err
+        assert "kernel" in captured.out
+
+    def test_within_threshold_passes(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "base.json", {"rocket": 10000})
+        current = self._write(tmp_path, "cur.json", {"rocket": 9000})
+        assert main(["bench", "--compare", current, baseline]) == 0
+        assert "0.90x" in capsys.readouterr().out
+
+    def test_new_rig_is_not_a_regression(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "base.json", {"rocket": 10000})
+        current = self._write(tmp_path, "cur.json",
+                              {"rocket": 10000, "fresh": 1})
+        assert main(["bench", "--compare", current, baseline]) == 0
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_unreadable_trajectory_is_usage_error(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["bench", "--compare", missing, missing]) == 2
+        assert "cannot read trajectory" in capsys.readouterr().err
+
+
+class TestAttackCampaignCli:
+    def test_mini_campaign_passes_and_writes_report(self, tmp_path, capsys):
+        import json
+
+        report = str(tmp_path / "attack.json")
+        assert main(["attacks", "--campaign", "--seeds", "0",
+                     "--streams", "4", "--stream-len", "24",
+                     "--report", report]) == 0
+        out = capsys.readouterr().out
+        assert "missed-but-blocked" in out
+        with open(report) as handle:
+            payload = json.load(handle)
+        assert payload["format"] == "isagrid-attack-campaign-v1"
+        assert payload["baseline_missed_pcu_blocked"] > 0
+        assert payload["totals"]["pcu_blocked"] == payload["totals"]["generated"]
+        assert payload["unwaived_contract_violations"] == 0
+
+    def test_bad_seeds_is_usage_error(self, capsys):
+        assert main(["attacks", "--campaign", "--seeds", "zero"]) == 2
+        assert "seeds" in capsys.readouterr().err
